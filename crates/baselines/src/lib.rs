@@ -1,0 +1,21 @@
+//! # baselines
+//!
+//! Simplified re-implementations of the sanitizers EffectiveSan is compared
+//! against in the paper (Figure 1 and §6.2): AddressSanitizer, LowFat,
+//! SoftBound, TypeSan/CaVer, HexType and CETS.
+//!
+//! Each baseline runs as an alternative *runtime backend* for the same VM
+//! and the same instrumented workloads, so the capability matrix
+//! (Figure 1) and the tool-comparison overheads can be regenerated on
+//! identical inputs.  The implementations intentionally reproduce the
+//! original tools' blind spots (AddressSanitizer missing sub-object
+//! overflows and red-zone skips, CETS missing spatial errors, TypeSan
+//! ignoring non-class casts, …) because those gaps are exactly what the
+//! paper's comparison is about.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod runtime;
+
+pub use runtime::{BaselineKind, BaselineRuntime, BaselineStats, ASAN_QUARANTINE, REDZONE};

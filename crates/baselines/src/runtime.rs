@@ -1,0 +1,559 @@
+//! Simplified but behaviourally faithful re-implementations of the
+//! sanitizers the paper compares against (Figure 1, §2.1, §6.2).
+//!
+//! Each baseline keeps its own meta data — completely independent of
+//! EffectiveSan's type headers — and reproduces the *coverage profile* the
+//! paper ascribes to the original tool:
+//!
+//! | Tool            | Detects                                             | Misses (by design)                           |
+//! |-----------------|-----------------------------------------------------|----------------------------------------------|
+//! | AddressSanitizer| contiguous object overflows into red-zones, UAF while the block is quarantined | sub-object overflows, overflows that skip red-zones, reuse-after-free after quarantine |
+//! | LowFat/SoftBound| allocation-bounds overflows (SoftBound additionally narrows to fields) | type confusion, temporal errors |
+//! | TypeSan/HexType | bad C++ class downcasts at explicit cast sites       | non-class casts, implicit casts, bounds, UAF |
+//! | CETS            | use-after-free / double-free                         | spatial and type errors |
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::Arc;
+
+use effective_runtime::{Bounds, ErrorKind, ErrorRecord, ErrorReporter, ReporterConfig};
+use effective_types::{Type, TypeRegistry};
+use lowfat::Ptr;
+use serde::{Deserialize, Serialize};
+
+/// Which baseline behaviour the runtime exhibits.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BaselineKind {
+    /// AddressSanitizer: shadow-memory/red-zone spatial checks + quarantine
+    /// temporal checks.
+    AddressSanitizer,
+    /// LowFat: allocation-bounds checks from pointer meta data.
+    LowFat,
+    /// SoftBound: per-pointer bounds with sub-object narrowing.
+    SoftBound,
+    /// TypeSan / CaVer: C++ class downcast checking.
+    TypeSan,
+    /// HexType: TypeSan extended to further cast kinds.
+    HexType,
+    /// CETS: identifier-based temporal safety.
+    Cets,
+}
+
+impl BaselineKind {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            BaselineKind::AddressSanitizer => "AddressSanitizer",
+            BaselineKind::LowFat => "LowFat",
+            BaselineKind::SoftBound => "SoftBound",
+            BaselineKind::TypeSan => "TypeSan",
+            BaselineKind::HexType => "HexType",
+            BaselineKind::Cets => "CETS",
+        }
+    }
+}
+
+/// Size of the simulated AddressSanitizer red-zone placed after each
+/// allocation.
+pub const REDZONE: u64 = 16;
+
+/// Number of freed blocks AddressSanitizer keeps poisoned (quarantined)
+/// before recycling their meta data.
+pub const ASAN_QUARANTINE: usize = 64;
+
+#[derive(Clone, Debug)]
+struct AllocationInfo {
+    size: u64,
+    ty: Option<Type>,
+    freed: bool,
+    /// CETS-style allocation identifier (never reused).
+    id: u64,
+}
+
+/// Per-baseline check counters (for the §6.2 tool comparison).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BaselineStats {
+    /// Per-access (shadow/temporal) checks performed.
+    pub access_checks: u64,
+    /// Bounds queries performed.
+    pub bounds_gets: u64,
+    /// Bounds checks performed.
+    pub bounds_checks: u64,
+    /// Bounds narrowing operations performed.
+    pub bounds_narrows: u64,
+    /// Cast checks performed.
+    pub cast_checks: u64,
+    /// Allocations registered.
+    pub allocations: u64,
+    /// Frees registered.
+    pub frees: u64,
+}
+
+impl BaselineStats {
+    /// Total number of checks of any kind.
+    pub fn total_checks(&self) -> u64 {
+        self.access_checks + self.bounds_checks + self.bounds_gets + self.cast_checks
+    }
+}
+
+/// A baseline sanitizer runtime.
+#[derive(Debug)]
+pub struct BaselineRuntime {
+    kind: BaselineKind,
+    registry: Arc<TypeRegistry>,
+    allocations: BTreeMap<u64, AllocationInfo>,
+    /// Bases of freed-but-quarantined blocks (ASan behaviour).
+    quarantine: VecDeque<u64>,
+    /// CETS lock table: allocation id → still-valid flag (ids are never
+    /// reused, so a missing id means the object is gone).
+    valid_ids: HashMap<u64, bool>,
+    next_id: u64,
+    reporter: ErrorReporter,
+    stats: BaselineStats,
+}
+
+impl BaselineRuntime {
+    /// Create a baseline runtime of the given kind.
+    pub fn new(kind: BaselineKind, registry: Arc<TypeRegistry>, config: ReporterConfig) -> Self {
+        BaselineRuntime {
+            kind,
+            registry,
+            allocations: BTreeMap::new(),
+            quarantine: VecDeque::new(),
+            valid_ids: HashMap::new(),
+            next_id: 1,
+            reporter: ErrorReporter::new(config),
+            stats: BaselineStats::default(),
+        }
+    }
+
+    /// Which baseline this is.
+    pub fn kind(&self) -> BaselineKind {
+        self.kind
+    }
+
+    /// The error reporter.
+    pub fn reporter(&self) -> &ErrorReporter {
+        &self.reporter
+    }
+
+    /// Check counters.
+    pub fn stats(&self) -> BaselineStats {
+        self.stats
+    }
+
+    // ------------------------------------------------------------------
+    // Allocation events (driven by the VM)
+    // ------------------------------------------------------------------
+
+    /// Record an allocation of `size` bytes at `base` with optional
+    /// allocation type (used only by the cast checkers).
+    pub fn on_alloc(&mut self, base: Ptr, size: u64, ty: Option<&Type>) {
+        self.stats.allocations += 1;
+        let id = self.next_id;
+        self.next_id += 1;
+        self.valid_ids.insert(id, true);
+        self.allocations.insert(
+            base.addr(),
+            AllocationInfo {
+                size,
+                ty: ty.cloned(),
+                freed: false,
+                id,
+            },
+        );
+    }
+
+    /// Record a free of the allocation based at `base`.
+    pub fn on_free(&mut self, base: Ptr, location: &Arc<str>) {
+        self.stats.frees += 1;
+        match self.allocations.get_mut(&base.addr()) {
+            Some(info) if !info.freed => {
+                info.freed = true;
+                self.valid_ids.remove(&info.id);
+                if self.kind == BaselineKind::AddressSanitizer {
+                    self.quarantine.push_back(base.addr());
+                    while self.quarantine.len() > ASAN_QUARANTINE {
+                        if let Some(old) = self.quarantine.pop_front() {
+                            self.allocations.remove(&old);
+                        }
+                    }
+                } else if matches!(self.kind, BaselineKind::LowFat | BaselineKind::SoftBound) {
+                    // Spatial-only tools drop the record entirely.
+                    self.allocations.remove(&base.addr());
+                }
+            }
+            Some(_) => {
+                // Double free: detected by the temporal tools.
+                if matches!(
+                    self.kind,
+                    BaselineKind::AddressSanitizer | BaselineKind::Cets
+                ) {
+                    self.report(
+                        ErrorKind::DoubleFree,
+                        "void",
+                        "freed object",
+                        0,
+                        location,
+                        "double free detected by baseline".to_string(),
+                    );
+                }
+            }
+            None => {}
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Checks (dispatched from the VM's check instructions)
+    // ------------------------------------------------------------------
+
+    /// AddressSanitizer / CETS per-access check.
+    pub fn access_check(&mut self, ptr: Ptr, size: u64, _write: bool, location: &Arc<str>) -> bool {
+        self.stats.access_checks += 1;
+        let Some((base, info)) = self.containing_allocation(ptr) else {
+            // Unknown memory (globals without registration, wild pointers
+            // that skipped every red-zone): no detection.
+            return true;
+        };
+        match self.kind {
+            BaselineKind::AddressSanitizer => {
+                if info.freed {
+                    self.report(
+                        ErrorKind::UseAfterFree,
+                        "access",
+                        "poisoned (freed) memory",
+                        ptr.addr() - base,
+                        location,
+                        "heap-use-after-free".to_string(),
+                    );
+                    return false;
+                }
+                let end = base + info.size;
+                if ptr.addr() + size > end {
+                    // Landing in the red-zone right after the object is
+                    // detected; skipping past it is not.
+                    if ptr.addr() < end + REDZONE {
+                        self.report(
+                            ErrorKind::ObjectBoundsOverflow,
+                            "access",
+                            "red-zone",
+                            ptr.addr() - base,
+                            location,
+                            "heap-buffer-overflow".to_string(),
+                        );
+                        return false;
+                    }
+                }
+                true
+            }
+            BaselineKind::Cets => {
+                if info.freed || !self.valid_ids.contains_key(&info.id) {
+                    self.report(
+                        ErrorKind::UseAfterFree,
+                        "access",
+                        "deallocated object",
+                        ptr.addr() - base,
+                        location,
+                        "temporal safety violation".to_string(),
+                    );
+                    return false;
+                }
+                true
+            }
+            // Spatial and cast tools do not implement per-access checks.
+            _ => true,
+        }
+    }
+
+    /// LowFat / SoftBound allocation-bounds query.
+    pub fn bounds_get(&mut self, ptr: Ptr) -> Bounds {
+        self.stats.bounds_gets += 1;
+        match self.containing_allocation(ptr) {
+            Some((base, info)) if !info.freed => Bounds::new(base, base + info.size),
+            _ => Bounds::WIDE,
+        }
+    }
+
+    /// Bounds check against previously computed bounds.
+    pub fn bounds_check(
+        &mut self,
+        ptr: Ptr,
+        size: u64,
+        bounds: Bounds,
+        location: &Arc<str>,
+        escape: bool,
+    ) -> bool {
+        self.stats.bounds_checks += 1;
+        if bounds.contains_access(ptr, size) {
+            return true;
+        }
+        let kind = if escape {
+            ErrorKind::EscapeBoundsOverflow
+        } else if self
+            .containing_allocation(ptr)
+            .map(|(base, info)| ptr.addr() >= base && ptr.addr() < base + info.size)
+            .unwrap_or(false)
+        {
+            ErrorKind::SubObjectBoundsOverflow
+        } else {
+            ErrorKind::ObjectBoundsOverflow
+        };
+        self.report(
+            kind,
+            "access",
+            "out of bounds",
+            0,
+            location,
+            format!("access of {size} byte(s) outside {:#x}..{:#x}", bounds.lo, bounds.hi),
+        );
+        false
+    }
+
+    /// Bounds narrowing (SoftBound-style sub-object narrowing).
+    pub fn bounds_narrow(&mut self, bounds: Bounds, field: Bounds) -> Bounds {
+        self.stats.bounds_narrows += 1;
+        bounds.narrow(field)
+    }
+
+    /// TypeSan / HexType cast check: verify that the object `ptr` points to
+    /// was allocated as `target` or as a class derived from `target`.
+    pub fn cast_check(&mut self, ptr: Ptr, target: &Type, location: &Arc<str>) -> bool {
+        self.stats.cast_checks += 1;
+        if !target.is_record() {
+            // Class-hierarchy checkers only understand class casts.
+            return true;
+        }
+        let Some((_base, info)) = self.containing_allocation(ptr) else {
+            return true; // untracked object: no detection
+        };
+        let Some(alloc_ty) = info.ty.clone() else {
+            return true;
+        };
+        if self.class_compatible(&alloc_ty, target) {
+            return true;
+        }
+        self.report(
+            ErrorKind::BadCast,
+            &target.to_string(),
+            &alloc_ty.to_string(),
+            0,
+            location,
+            "bad cast detected by class-hierarchy checker".to_string(),
+        );
+        false
+    }
+
+    // ------------------------------------------------------------------
+    // Internals
+    // ------------------------------------------------------------------
+
+    fn containing_allocation(&self, ptr: Ptr) -> Option<(u64, AllocationInfo)> {
+        let (base, info) = self.allocations.range(..=ptr.addr()).next_back()?;
+        // Include the red-zone so ASan can classify overflow into it.
+        if ptr.addr() < base + info.size + REDZONE + 1 {
+            Some((*base, info.clone()))
+        } else {
+            None
+        }
+    }
+
+    /// Is a cast of an object allocated as `alloc` to static class `target`
+    /// compatible (identical, or `target` is a base of `alloc`)?
+    fn class_compatible(&self, alloc: &Type, target: &Type) -> bool {
+        if alloc == target {
+            return true;
+        }
+        let (Some(alloc_tag), Some(target_tag)) = (alloc.record_tag(), target.record_tag()) else {
+            return true;
+        };
+        self.is_base_of(target_tag, alloc_tag)
+    }
+
+    /// Is `base_tag` a (transitive) base class of `derived_tag`?
+    fn is_base_of(&self, base_tag: &str, derived_tag: &str) -> bool {
+        if base_tag == derived_tag {
+            return true;
+        }
+        let Ok(layout) = self.registry.layout(derived_tag) else {
+            return false;
+        };
+        layout.bases().any(|b| {
+            b.ty.record_tag()
+                .map(|t| self.is_base_of(base_tag, t))
+                .unwrap_or(false)
+        })
+    }
+
+    fn report(
+        &mut self,
+        kind: ErrorKind,
+        static_type: &str,
+        dynamic_type: &str,
+        offset: u64,
+        location: &Arc<str>,
+        detail: String,
+    ) {
+        self.reporter.report(ErrorRecord {
+            kind,
+            static_type: static_type.to_string(),
+            dynamic_type: dynamic_type.to_string(),
+            offset,
+            location: location.clone(),
+            detail,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use effective_types::{BaseDef, FieldDef, RecordDef};
+
+    fn loc() -> Arc<str> {
+        Arc::from("test")
+    }
+
+    fn registry() -> Arc<TypeRegistry> {
+        let mut reg = TypeRegistry::new();
+        reg.define(RecordDef::class(
+            "Grammar",
+            vec![],
+            vec![FieldDef::new("kind", Type::int())],
+            true,
+        ))
+        .unwrap();
+        reg.define(RecordDef::class(
+            "SchemaGrammar",
+            vec![BaseDef::new("Grammar")],
+            vec![FieldDef::new("schema", Type::int())],
+            true,
+        ))
+        .unwrap();
+        reg.define(RecordDef::class(
+            "DTDGrammar",
+            vec![BaseDef::new("Grammar")],
+            vec![FieldDef::new("dtd", Type::int())],
+            true,
+        ))
+        .unwrap();
+        Arc::new(reg)
+    }
+
+    fn rt(kind: BaselineKind) -> BaselineRuntime {
+        BaselineRuntime::new(kind, registry(), ReporterConfig::default())
+    }
+
+    #[test]
+    fn asan_detects_contiguous_overflow_but_not_subobject() {
+        let mut asan = rt(BaselineKind::AddressSanitizer);
+        asan.on_alloc(Ptr(0x1000), 32, None);
+        // In-bounds access: fine.
+        assert!(asan.access_check(Ptr(0x1010), 4, false, &loc()));
+        // Access just past the object lands in the red-zone: detected.
+        assert!(!asan.access_check(Ptr(0x1020), 4, false, &loc()));
+        // An access that skips far past the red-zone is missed.
+        assert!(asan.access_check(Ptr(0x1000 + 32 + REDZONE + 64), 4, false, &loc()));
+        assert_eq!(asan.reporter().stats().bounds_issues(), 1);
+    }
+
+    #[test]
+    fn asan_detects_use_after_free_while_quarantined() {
+        let mut asan = rt(BaselineKind::AddressSanitizer);
+        asan.on_alloc(Ptr(0x2000), 64, None);
+        asan.on_free(Ptr(0x2000), &loc());
+        assert!(!asan.access_check(Ptr(0x2008), 4, false, &loc()));
+        assert_eq!(asan.reporter().stats().temporal_issues(), 1);
+        // Double free is detected too.
+        asan.on_free(Ptr(0x2000), &loc());
+        assert_eq!(
+            asan.reporter().stats().issues_of(ErrorKind::DoubleFree),
+            1
+        );
+    }
+
+    #[test]
+    fn asan_quarantine_is_bounded() {
+        let mut asan = rt(BaselineKind::AddressSanitizer);
+        for i in 0..(ASAN_QUARANTINE as u64 + 10) {
+            let base = Ptr(0x10_0000 + i * 0x1000);
+            asan.on_alloc(base, 64, None);
+            asan.on_free(base, &loc());
+        }
+        // The earliest freed block has left quarantine: its UAF is missed.
+        assert!(asan.access_check(Ptr(0x10_0000), 4, false, &loc()));
+    }
+
+    #[test]
+    fn cets_detects_temporal_but_not_spatial_errors() {
+        let mut cets = rt(BaselineKind::Cets);
+        cets.on_alloc(Ptr(0x3000), 32, None);
+        // Spatial overflow: not CETS's problem.
+        assert!(cets.access_check(Ptr(0x3000 + 40), 4, false, &loc()));
+        cets.on_free(Ptr(0x3000), &loc());
+        assert!(!cets.access_check(Ptr(0x3008), 4, false, &loc()));
+        let stats = cets.reporter().stats();
+        assert_eq!(stats.temporal_issues(), 1);
+        assert_eq!(stats.bounds_issues(), 0);
+    }
+
+    #[test]
+    fn lowfat_bounds_cover_the_allocation_only() {
+        let mut lf = rt(BaselineKind::LowFat);
+        lf.on_alloc(Ptr(0x4000), 128, None);
+        let b = lf.bounds_get(Ptr(0x4010));
+        assert_eq!(b, Bounds::new(0x4000, 0x4080));
+        assert!(lf.bounds_check(Ptr(0x4010), 8, b, &loc(), false));
+        assert!(!lf.bounds_check(Ptr(0x4080), 8, b, &loc(), false));
+        // Unknown pointers get wide bounds (no false positives).
+        assert!(lf.bounds_get(Ptr(0x9999_0000)).is_wide());
+    }
+
+    #[test]
+    fn softbound_narrowing_detects_field_overflow() {
+        let mut sb = rt(BaselineKind::SoftBound);
+        sb.on_alloc(Ptr(0x5000), 64, None);
+        let alloc = sb.bounds_get(Ptr(0x5000));
+        let field = sb.bounds_narrow(alloc, Bounds::new(0x5000, 0x5010));
+        assert!(!sb.bounds_check(Ptr(0x5010), 4, field, &loc(), false));
+        assert_eq!(
+            sb.reporter()
+                .stats()
+                .issues_of(ErrorKind::SubObjectBoundsOverflow),
+            1
+        );
+    }
+
+    #[test]
+    fn typesan_detects_bad_downcast_but_allows_valid_ones() {
+        let mut ts = rt(BaselineKind::TypeSan);
+        // The xalancbmk scenario: the object is really a DTDGrammar.
+        ts.on_alloc(Ptr(0x6000), 32, Some(&Type::class("DTDGrammar")));
+        // Casting to the base class (upcast) is fine.
+        assert!(ts.cast_check(Ptr(0x6000), &Type::class("Grammar"), &loc()));
+        // Casting to the sibling derived class is type confusion.
+        assert!(!ts.cast_check(Ptr(0x6000), &Type::class("SchemaGrammar"), &loc()));
+        assert_eq!(ts.reporter().stats().issues_of(ErrorKind::BadCast), 1);
+        // Downcast back to the true type is fine.
+        assert!(ts.cast_check(Ptr(0x6000), &Type::class("DTDGrammar"), &loc()));
+        // Non-class casts are ignored entirely.
+        assert!(ts.cast_check(Ptr(0x6000), &Type::int(), &loc()));
+    }
+
+    #[test]
+    fn stats_count_checks() {
+        let mut lf = rt(BaselineKind::LowFat);
+        lf.on_alloc(Ptr(0x7000), 32, None);
+        let b = lf.bounds_get(Ptr(0x7000));
+        lf.bounds_check(Ptr(0x7000), 4, b, &loc(), false);
+        lf.bounds_narrow(b, b);
+        lf.access_check(Ptr(0x7000), 4, false, &loc());
+        lf.cast_check(Ptr(0x7000), &Type::int(), &loc());
+        let s = lf.stats();
+        assert_eq!(s.bounds_gets, 1);
+        assert_eq!(s.bounds_checks, 1);
+        assert_eq!(s.bounds_narrows, 1);
+        assert_eq!(s.access_checks, 1);
+        assert_eq!(s.cast_checks, 1);
+        assert_eq!(s.total_checks(), 4);
+        assert_eq!(s.allocations, 1);
+    }
+}

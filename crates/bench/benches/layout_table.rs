@@ -1,0 +1,58 @@
+//! Micro-benchmarks of the layout function and layout hash table — the
+//! data structure every `type_check` depends on (§5).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use effective_san::effective_types::{
+    layout_at, FieldDef, RecordDef, Type, TypeLayout, TypeRegistry,
+};
+
+fn paper_registry() -> TypeRegistry {
+    let mut reg = TypeRegistry::new();
+    reg.define(RecordDef::struct_(
+        "S",
+        vec![
+            FieldDef::new("a", Type::array(Type::int(), 3)),
+            FieldDef::new("s", Type::char_ptr()),
+        ],
+    ))
+    .unwrap();
+    reg.define(RecordDef::struct_(
+        "T",
+        vec![
+            FieldDef::new("f", Type::float()),
+            FieldDef::new("t", Type::struct_("S")),
+        ],
+    ))
+    .unwrap();
+    reg
+}
+
+fn bench_layout(c: &mut Criterion) {
+    let reg = paper_registry();
+    let ty = Type::struct_("T");
+
+    c.bench_function("layout_function_L", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for k in 0..=32u64 {
+                total += layout_at(std::hint::black_box(&reg), &ty, k).unwrap().len();
+            }
+            total
+        })
+    });
+
+    c.bench_function("layout_table_build", |b| {
+        b.iter(|| TypeLayout::build(std::hint::black_box(&reg), &ty).unwrap())
+    });
+
+    let table = TypeLayout::build(&reg, &ty).unwrap();
+    c.bench_function("layout_table_lookup_hit", |b| {
+        b.iter(|| table.lookup(std::hint::black_box(&Type::int()), 8))
+    });
+    c.bench_function("layout_table_lookup_miss", |b| {
+        b.iter(|| table.lookup(std::hint::black_box(&Type::double()), 8))
+    });
+}
+
+criterion_group!(benches, bench_layout);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! End-to-end timing comparison on a slice of the SPEC-like suite: the
+//! Criterion companion to the Figure 8 harness binary.  Wall-clock numbers
+//! here measure the interpreter; relative ordering (uninstrumented <
+//! -type < -bounds < full) is the reproduced result.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use effective_san::{instrument, SanitizerKind, Scale};
+use effective_san::vm::{Value, Vm, VmConfig};
+use effective_san::workloads::SpecBenchmark;
+
+fn bench_spec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spec_slice");
+    group.sample_size(10);
+
+    for name in ["mcf", "lbm", "xalancbmk"] {
+        let bench = SpecBenchmark::by_name(name).unwrap();
+        let program = minic::compile(&bench.source(Scale::Test)).unwrap();
+        for kind in [
+            SanitizerKind::None,
+            SanitizerKind::EffectiveType,
+            SanitizerKind::EffectiveBounds,
+            SanitizerKind::EffectiveFull,
+        ] {
+            let instrumented = Arc::new(instrument(&program, kind));
+            group.bench_with_input(
+                BenchmarkId::new(name, kind.name()),
+                &instrumented,
+                |b, prog| {
+                    b.iter(|| {
+                        let mut vm = Vm::new(
+                            prog.clone(),
+                            VmConfig {
+                                sanitizer: kind,
+                                ..Default::default()
+                            },
+                        );
+                        vm.run("bench_main", &[Value::Int(Scale::Test.n())]).unwrap()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_spec);
+criterion_main!(benches);

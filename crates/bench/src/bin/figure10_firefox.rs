@@ -1,0 +1,28 @@
+//! Regenerate Figure 10: relative performance of EffectiveSan (full) on the
+//! Firefox-like browser benchmarks.
+
+use effective_san::firefox_experiment;
+
+fn main() {
+    let scale = bench::scale_from_env();
+    println!("Figure 10 — Firefox-like browser benchmarks (scale {scale:?})\n");
+    let experiment = firefox_experiment(scale, true);
+    println!("{:<14} {:>14} {:>14} {:>12}", "benchmark", "base cost", "EffectiveSan", "relative");
+    bench::rule(60);
+    for (name, base, full) in &experiment.benchmarks {
+        println!(
+            "{:<14} {:>14.0} {:>14.0} {:>11.0}%",
+            name,
+            base.cost,
+            full.cost,
+            full.overhead_pct(base) + 100.0
+        );
+    }
+    bench::rule(60);
+    println!(
+        "mean overhead {:.0}% (paper: {:.0}% overall; ~1.5x the SPEC overhead) — issues found: {}",
+        experiment.mean_overhead_pct(),
+        experiment.paper_overall_overhead_pct,
+        experiment.total_issues()
+    );
+}

@@ -1,0 +1,63 @@
+//! Regenerate the Figure 4 discussion: check placement and dynamic check
+//! counts for the `length` (list walk) and `sum` (array loop) functions.
+
+use effective_san::{run_source, RunConfig, SanitizerKind};
+
+const SRC: &str = "
+struct node { int value; struct node *next; };
+int length(struct node *xs) {
+    int len = 0;
+    while (xs != NULL) { len++; xs = xs->next; }
+    return len;
+}
+int sum(int *a, int len) {
+    int s = 0;
+    for (int i = 0; i < len; i++) { s += a[i]; }
+    return s;
+}
+int run_length(int n) {
+    struct node *head = NULL;
+    for (int i = 0; i < n; i++) {
+        struct node *nw = (struct node *)malloc(sizeof(struct node));
+        nw->next = head;
+        nw->value = i;
+        head = nw;
+    }
+    return length(head);
+}
+int run_sum(int n) {
+    int *a = (int *)malloc(n * sizeof(int));
+    for (int i = 0; i < n; i++) { a[i] = i; }
+    int s = sum(a, n);
+    free(a);
+    return s;
+}
+";
+
+fn main() {
+    println!("Figure 4 — instrumented length/sum: dynamic check counts vs N\n");
+    println!(
+        "{:>8} {:>18} {:>18} {:>18} {:>18}",
+        "N", "length #type", "length #bounds", "sum #type", "sum #bounds"
+    );
+    bench::rule(86);
+    for n in [100i64, 200, 400, 800] {
+        let config = RunConfig::for_sanitizer(SanitizerKind::EffectiveFull);
+        let length = run_source(SRC, "run_length", &[n], &config).unwrap();
+        let sum = run_source(SRC, "run_sum", &[n], &config).unwrap();
+        println!(
+            "{:>8} {:>18} {:>18} {:>18} {:>18}",
+            n,
+            length.checks.type_checks,
+            length.checks.bounds_checks,
+            sum.checks.type_checks,
+            sum.checks.bounds_checks
+        );
+    }
+    bench::rule(86);
+    println!(
+        "length() performs O(N) type checks (one per pointer loaded from memory);\n\
+         sum() performs O(1) type checks (the input pointer, outside the loop) and\n\
+         O(N) bounds checks — exactly the placement of Figure 4."
+    );
+}

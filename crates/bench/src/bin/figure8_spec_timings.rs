@@ -1,0 +1,43 @@
+//! Regenerate Figure 8: per-benchmark overheads of the three EffectiveSan
+//! variants relative to the uninstrumented baseline.
+
+use effective_san::{spec_experiment, SanitizerKind};
+
+fn main() {
+    let scale = bench::scale_from_env();
+    println!("Figure 8 — SPEC2006-like timings (scale {scale:?}, cost-model overheads)\n");
+    let sanitizers = [
+        SanitizerKind::None,
+        SanitizerKind::EffectiveFull,
+        SanitizerKind::EffectiveBounds,
+        SanitizerKind::EffectiveType,
+    ];
+    let experiment = spec_experiment(None, scale, &sanitizers);
+
+    println!(
+        "{:<12} {:>14} {:>12} {:>12} {:>12} {:>14}",
+        "benchmark", "base cost", "full %", "bounds %", "type %", "wall (full) ms"
+    );
+    bench::rule(84);
+    for row in &experiment.rows {
+        let base = row.report(SanitizerKind::None).unwrap();
+        let full = row.report(SanitizerKind::EffectiveFull).unwrap();
+        println!(
+            "{:<12} {:>14.0} {:>11.0}% {:>11.0}% {:>11.0}% {:>14.1}",
+            row.name,
+            base.cost,
+            row.overhead_pct(SanitizerKind::EffectiveFull).unwrap_or(0.0),
+            row.overhead_pct(SanitizerKind::EffectiveBounds).unwrap_or(0.0),
+            row.overhead_pct(SanitizerKind::EffectiveType).unwrap_or(0.0),
+            full.wall_time.as_secs_f64() * 1000.0,
+        );
+    }
+    bench::rule(84);
+    println!(
+        "geometric mean:    full {:>6.0}%   bounds {:>6.0}%   type {:>6.0}%",
+        experiment.mean_overhead_pct(SanitizerKind::EffectiveFull),
+        experiment.mean_overhead_pct(SanitizerKind::EffectiveBounds),
+        experiment.mean_overhead_pct(SanitizerKind::EffectiveType),
+    );
+    println!("paper:             full   288%   bounds   115%   type    49%");
+}

@@ -1,0 +1,38 @@
+//! Regenerate the §6.1/§6.3 issue taxonomy: which error classes were found
+//! in which benchmark, versus the paper's findings.
+
+use effective_san::{issue_breakdown, spec_experiment, SanitizerKind};
+use effective_san::workloads::SpecBenchmark;
+
+fn main() {
+    let scale = bench::scale_from_env();
+    println!("§6.1 issue taxonomy (scale {scale:?})\n");
+    let experiment = spec_experiment(None, scale, &[SanitizerKind::EffectiveFull]);
+    let breakdown = issue_breakdown(&experiment, SanitizerKind::EffectiveFull);
+
+    println!("{:<12} {:>8} {:>10}  {}", "benchmark", "paper", "measured", "classes found");
+    bench::rule(100);
+    for bench_def in SpecBenchmark::all() {
+        let classes = breakdown.get(bench_def.name).cloned().unwrap_or_default();
+        let measured: u64 = classes.iter().map(|(_, n)| n).sum();
+        let rendered: Vec<String> = classes
+            .iter()
+            .filter(|(_, n)| *n > 0)
+            .map(|(k, n)| format!("{k}={n}"))
+            .collect();
+        println!(
+            "{:<12} {:>8} {:>10}  {}",
+            bench_def.name,
+            bench_def.paper_issues,
+            measured,
+            rendered.join(", ")
+        );
+    }
+    bench::rule(100);
+    println!(
+        "\nSeeded-bug catalogue (what each class models in the paper):"
+    );
+    for bug in effective_san::workloads::catalogue() {
+        println!("  {:<26} {}", bug.id, bug.models);
+    }
+}

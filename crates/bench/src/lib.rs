@@ -1,0 +1,33 @@
+//! # bench
+//!
+//! Benchmark harnesses that regenerate every table and figure of the
+//! paper's evaluation on the synthetic workloads (see `DESIGN.md` §4 for
+//! the experiment index and `EXPERIMENTS.md` for paper-vs-measured
+//! results).
+//!
+//! * Criterion benches (`cargo bench -p bench`): micro-benchmarks of the
+//!   layout hash table and the runtime checks, plus a small SPEC-slice
+//!   timing comparison.
+//! * Figure/table binaries (`cargo run -p bench --bin figure7_spec_summary`
+//!   etc.): print the corresponding table with both the paper's reported
+//!   numbers and the measured ones.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use effective_san::Scale;
+
+/// Resolve the workload scale from the `SCALE` environment variable
+/// (`test`, `small` or `ref`; defaults to `small`).
+pub fn scale_from_env() -> Scale {
+    match std::env::var("SCALE").unwrap_or_default().to_lowercase().as_str() {
+        "test" => Scale::Test,
+        "ref" | "reference" => Scale::Reference,
+        _ => Scale::Small,
+    }
+}
+
+/// Print a horizontal rule of the given width.
+pub fn rule(width: usize) {
+    println!("{}", "-".repeat(width));
+}

@@ -1,0 +1,265 @@
+//! The sanitizer capability matrix (paper Figure 1).
+//!
+//! Every sanitizer is run on every seeded-bug probe from the workloads
+//! catalogue (plus a few extra probes for the cases the paper calls out
+//! explicitly, such as reuse-after-free with an unchanged type), and the
+//! detection ratio per error column (Types / Bounds / UAF) is summarised as
+//! ✓ (comprehensive), `Partial` or ✗ — regenerating Figure 1 on identical
+//! inputs for every tool.
+
+use effective_runtime::ErrorKind;
+use instrument::SanitizerKind;
+use serde::Serialize;
+
+use crate::pipeline::{run_source, RunConfig};
+
+/// The three capability columns of Figure 1.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize)]
+pub enum ErrorColumn {
+    /// Type errors (type confusion, bad casts).
+    Types,
+    /// (Sub-)object bounds errors.
+    Bounds,
+    /// Temporal errors (use-after-free, double free, reuse-after-free).
+    UseAfterFree,
+}
+
+impl ErrorColumn {
+    /// All columns in Figure 1 order.
+    pub fn all() -> [ErrorColumn; 3] {
+        [
+            ErrorColumn::Types,
+            ErrorColumn::Bounds,
+            ErrorColumn::UseAfterFree,
+        ]
+    }
+
+    /// Column header text.
+    pub fn name(self) -> &'static str {
+        match self {
+            ErrorColumn::Types => "Types",
+            ErrorColumn::Bounds => "Bounds",
+            ErrorColumn::UseAfterFree => "UAF",
+        }
+    }
+}
+
+/// A coverage verdict, as printed in Figure 1.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub enum Coverage {
+    /// Comprehensive protection (✓).
+    Full,
+    /// Partial protection with caveats.
+    Partial,
+    /// No (or incidental) protection (✗).
+    None,
+}
+
+impl Coverage {
+    /// The symbol used in the paper's table.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            Coverage::Full => "Y",
+            Coverage::Partial => "Partial",
+            Coverage::None => "x",
+        }
+    }
+}
+
+/// One probe: a self-contained buggy program plus the column it belongs to.
+#[derive(Clone, Debug)]
+struct Probe {
+    id: String,
+    column: ErrorColumn,
+    source: String,
+    entry: String,
+}
+
+fn column_of(kind: ErrorKind) -> ErrorColumn {
+    if kind.is_temporal_error() {
+        ErrorColumn::UseAfterFree
+    } else if kind.is_bounds_error() {
+        ErrorColumn::Bounds
+    } else {
+        ErrorColumn::Types
+    }
+}
+
+fn probes() -> Vec<Probe> {
+    let mut probes: Vec<Probe> = workloads::catalogue()
+        .into_iter()
+        .map(|bug| {
+            // The semantic column: reuse-after-free is a temporal bug even
+            // though EffectiveSan reports it as a type error.
+            let column = if bug.id.contains("free") {
+                ErrorColumn::UseAfterFree
+            } else {
+                column_of(bug.expected)
+            };
+            Probe {
+                id: bug.id.to_string(),
+                column,
+                source: format!(
+                    "{}\nint probe_main(int n) {{ {}(); return n; }}\n",
+                    bug.decls, bug.entry
+                ),
+                entry: "probe_main".to_string(),
+            }
+        })
+        .collect();
+    // Extra probe: reuse-after-free where the reallocated object has the
+    // SAME type — the case the paper lists as EffectiveSan's UAF caveat (§).
+    probes.push(Probe {
+        id: "reuse-after-free-same-type".to_string(),
+        column: ErrorColumn::UseAfterFree,
+        source: "
+struct same_obj { int field[6]; };
+int same_read(struct same_obj *o) { return o->field[0]; }
+int probe_main(int n) {
+    struct same_obj *a = (struct same_obj *)malloc(sizeof(struct same_obj));
+    free(a);
+    struct same_obj *b = (struct same_obj *)malloc(sizeof(struct same_obj));
+    b->field[0] = 1;
+    same_read(a);
+    free(b);
+    return n;
+}
+"
+        .to_string(),
+        entry: "probe_main".to_string(),
+    });
+    probes
+}
+
+/// Detection results for one sanitizer.
+#[derive(Clone, Debug, Serialize)]
+pub struct CapabilityRow {
+    /// The sanitizer.
+    pub sanitizer: SanitizerKind,
+    /// Per-column verdicts.
+    pub coverage: Vec<(ErrorColumn, Coverage)>,
+    /// Per-column detected / total probe counts (the evidence behind the
+    /// verdicts).
+    pub detail: Vec<(ErrorColumn, usize, usize)>,
+}
+
+impl CapabilityRow {
+    /// The verdict for a column.
+    pub fn coverage_for(&self, column: ErrorColumn) -> Coverage {
+        self.coverage
+            .iter()
+            .find(|(c, _)| *c == column)
+            .map(|(_, v)| *v)
+            .unwrap_or(Coverage::None)
+    }
+}
+
+/// Compute the full capability matrix for the given sanitizers.
+pub fn capability_matrix(sanitizers: &[SanitizerKind]) -> Vec<CapabilityRow> {
+    let probes = probes();
+    sanitizers
+        .iter()
+        .map(|&sanitizer| {
+            let mut detail = Vec::new();
+            let mut coverage = Vec::new();
+            for column in ErrorColumn::all() {
+                let relevant: Vec<&Probe> =
+                    probes.iter().filter(|p| p.column == column).collect();
+                let mut detected = 0usize;
+                for probe in &relevant {
+                    let report = run_source(
+                        &probe.source,
+                        &probe.entry,
+                        &[1],
+                        &RunConfig::for_sanitizer(sanitizer),
+                    )
+                    .unwrap_or_else(|e| panic!("probe {} failed to compile: {e}", probe.id));
+                    let hits = match column {
+                        ErrorColumn::Types => report.errors.type_issues(),
+                        ErrorColumn::Bounds => report.errors.bounds_issues(),
+                        ErrorColumn::UseAfterFree => {
+                            // Reuse-after-free is reported by EffectiveSan as
+                            // a type error; count any detection for temporal
+                            // probes.
+                            report.errors.distinct_issues
+                        }
+                    };
+                    if hits > 0 {
+                        detected += 1;
+                    }
+                }
+                let total = relevant.len();
+                let verdict = if total == 0 || detected == 0 {
+                    Coverage::None
+                } else if detected == total {
+                    Coverage::Full
+                } else {
+                    Coverage::Partial
+                };
+                detail.push((column, detected, total));
+                coverage.push((column, verdict));
+            }
+            CapabilityRow {
+                sanitizer,
+                coverage,
+                detail,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure1_shape_holds_for_key_tools() {
+        let rows = capability_matrix(&[
+            SanitizerKind::EffectiveFull,
+            SanitizerKind::AddressSanitizer,
+            SanitizerKind::TypeSan,
+            SanitizerKind::Cets,
+            SanitizerKind::None,
+        ]);
+        let row = |k: SanitizerKind| rows.iter().find(|r| r.sanitizer == k).unwrap();
+
+        // EffectiveSan: comprehensive types and bounds, partial UAF.
+        let eff = row(SanitizerKind::EffectiveFull);
+        assert_eq!(eff.coverage_for(ErrorColumn::Types), Coverage::Full);
+        assert_eq!(eff.coverage_for(ErrorColumn::Bounds), Coverage::Full);
+        assert_eq!(eff.coverage_for(ErrorColumn::UseAfterFree), Coverage::Partial);
+
+        // AddressSanitizer: no type coverage, partial bounds (misses
+        // sub-object overflows), partial UAF.
+        let asan = row(SanitizerKind::AddressSanitizer);
+        assert_eq!(asan.coverage_for(ErrorColumn::Types), Coverage::None);
+        assert_eq!(asan.coverage_for(ErrorColumn::Bounds), Coverage::Partial);
+        assert_ne!(asan.coverage_for(ErrorColumn::UseAfterFree), Coverage::None);
+
+        // TypeSan: partial type coverage (class downcasts only), nothing else.
+        let typesan = row(SanitizerKind::TypeSan);
+        assert_eq!(typesan.coverage_for(ErrorColumn::Types), Coverage::Partial);
+        assert_eq!(typesan.coverage_for(ErrorColumn::Bounds), Coverage::None);
+        assert_eq!(typesan.coverage_for(ErrorColumn::UseAfterFree), Coverage::None);
+
+        // CETS: temporal only.
+        let cets = row(SanitizerKind::Cets);
+        assert_eq!(cets.coverage_for(ErrorColumn::Types), Coverage::None);
+        assert_eq!(cets.coverage_for(ErrorColumn::Bounds), Coverage::None);
+        assert_ne!(cets.coverage_for(ErrorColumn::UseAfterFree), Coverage::None);
+
+        // Uninstrumented: nothing.
+        let none = row(SanitizerKind::None);
+        for col in ErrorColumn::all() {
+            assert_eq!(none.coverage_for(col), Coverage::None);
+        }
+    }
+
+    #[test]
+    fn coverage_symbols_match_figure1_legend() {
+        assert_eq!(Coverage::Full.symbol(), "Y");
+        assert_eq!(Coverage::None.symbol(), "x");
+        assert_eq!(Coverage::Partial.symbol(), "Partial");
+        assert_eq!(ErrorColumn::all().len(), 3);
+    }
+}

@@ -1,0 +1,364 @@
+//! Experiment runners for the paper's evaluation (Figures 7–10 and the
+//! §6.2 tool comparison).
+//!
+//! Each function runs the synthetic workloads under the requested
+//! sanitizers and returns structured results; the `bench` crate's binaries
+//! format them as the corresponding table/figure and `EXPERIMENTS.md`
+//! records paper-vs-measured values.
+
+use std::collections::BTreeMap;
+
+use instrument::SanitizerKind;
+use serde::Serialize;
+use workloads::{FirefoxWorkload, Scale, SpecBenchmark, BROWSER_BENCHMARKS};
+
+use crate::pipeline::{
+    geometric_mean_overhead, run_program, RunConfig, RunReport,
+};
+
+/// Results for one SPEC-like benchmark under several sanitizers.
+#[derive(Clone, Debug, Serialize)]
+pub struct SpecRow {
+    /// Benchmark name.
+    pub name: String,
+    /// Whether the original benchmark is C++.
+    pub cpp: bool,
+    /// Paper-reported kilo-sLOC.
+    pub paper_kilo_sloc: f64,
+    /// Paper-reported type checks (billions).
+    pub paper_type_checks_b: f64,
+    /// Paper-reported bounds checks (billions).
+    pub paper_bounds_checks_b: f64,
+    /// Paper-reported issues found.
+    pub paper_issues: u32,
+    /// Synthetic workload source size (lines).
+    pub source_lines: usize,
+    /// One report per sanitizer, in the order requested.
+    pub reports: Vec<RunReport>,
+}
+
+impl SpecRow {
+    /// The report for a given sanitizer, if it was run.
+    pub fn report(&self, kind: SanitizerKind) -> Option<&RunReport> {
+        self.reports.iter().find(|r| r.sanitizer == kind)
+    }
+
+    /// Overhead (cost-model) of `kind` relative to the uninstrumented run.
+    pub fn overhead_pct(&self, kind: SanitizerKind) -> Option<f64> {
+        let base = self.report(SanitizerKind::None)?;
+        Some(self.report(kind)?.overhead_pct(base))
+    }
+
+    /// Memory overhead of `kind` relative to the uninstrumented run.
+    pub fn memory_overhead_pct(&self, kind: SanitizerKind) -> Option<f64> {
+        let base = self.report(SanitizerKind::None)?;
+        Some(self.report(kind)?.memory_overhead_pct(base))
+    }
+}
+
+/// The whole SPEC-like experiment.
+#[derive(Clone, Debug, Serialize)]
+pub struct SpecExperiment {
+    /// The scale the workloads were run at.
+    pub scale: Scale,
+    /// Per-benchmark rows, in Figure 7 order.
+    pub rows: Vec<SpecRow>,
+    /// The sanitizers each row was run under.
+    pub sanitizers: Vec<SanitizerKind>,
+}
+
+impl SpecExperiment {
+    /// Mean (geometric) overhead of a sanitizer across all benchmarks.
+    pub fn mean_overhead_pct(&self, kind: SanitizerKind) -> f64 {
+        let overheads: Vec<f64> = self
+            .rows
+            .iter()
+            .filter_map(|r| r.overhead_pct(kind))
+            .collect();
+        geometric_mean_overhead(&overheads)
+    }
+
+    /// Mean memory overhead of a sanitizer across all benchmarks.
+    pub fn mean_memory_overhead_pct(&self, kind: SanitizerKind) -> f64 {
+        let overheads: Vec<f64> = self
+            .rows
+            .iter()
+            .filter_map(|r| r.memory_overhead_pct(kind))
+            .collect();
+        if overheads.is_empty() {
+            0.0
+        } else {
+            overheads.iter().sum::<f64>() / overheads.len() as f64
+        }
+    }
+
+    /// Total issues found by a sanitizer across the suite.
+    pub fn total_issues(&self, kind: SanitizerKind) -> u64 {
+        self.rows
+            .iter()
+            .filter_map(|r| r.report(kind))
+            .map(|r| r.errors.distinct_issues)
+            .sum()
+    }
+
+    /// Total dynamic checks performed by a sanitizer across the suite.
+    pub fn total_checks(&self, kind: SanitizerKind) -> u64 {
+        self.rows
+            .iter()
+            .filter_map(|r| r.report(kind))
+            .map(|r| r.total_checks())
+            .sum()
+    }
+}
+
+/// Run the named benchmarks (or all 19 when `names` is `None`) at `scale`
+/// under every sanitizer in `sanitizers`.
+pub fn spec_experiment(
+    names: Option<&[&str]>,
+    scale: Scale,
+    sanitizers: &[SanitizerKind],
+) -> SpecExperiment {
+    let benches: Vec<SpecBenchmark> = match names {
+        Some(names) => names
+            .iter()
+            .filter_map(|n| SpecBenchmark::by_name(n))
+            .collect(),
+        None => SpecBenchmark::all(),
+    };
+    let rows = benches
+        .iter()
+        .map(|bench| {
+            let source = bench.source(scale);
+            let program = minic::compile(&source)
+                .unwrap_or_else(|e| panic!("workload {} failed to compile: {e}", bench.name));
+            let reports = sanitizers
+                .iter()
+                .map(|&kind| {
+                    run_program(
+                        &program,
+                        "bench_main",
+                        &[scale.n()],
+                        &RunConfig::for_sanitizer(kind),
+                    )
+                })
+                .collect();
+            SpecRow {
+                name: bench.name.to_string(),
+                cpp: bench.cpp,
+                paper_kilo_sloc: bench.paper_kilo_sloc,
+                paper_type_checks_b: bench.paper_type_checks_b,
+                paper_bounds_checks_b: bench.paper_bounds_checks_b,
+                paper_issues: bench.paper_issues,
+                source_lines: program.source_lines,
+                reports,
+            }
+        })
+        .collect();
+    SpecExperiment {
+        scale,
+        rows,
+        sanitizers: sanitizers.to_vec(),
+    }
+}
+
+/// Results of the Firefox-like browser benchmark experiment (Figure 10).
+#[derive(Clone, Debug, Serialize)]
+pub struct FirefoxExperiment {
+    /// The scale the workload was run at.
+    pub scale: Scale,
+    /// Per browser-benchmark: (name, uninstrumented report, EffectiveSan
+    /// full report).
+    pub benchmarks: Vec<(String, RunReport, RunReport)>,
+    /// Paper-reported overall overhead (422%).
+    pub paper_overall_overhead_pct: f64,
+}
+
+impl FirefoxExperiment {
+    /// Relative performance (overhead %) per benchmark, Figure 10's bars.
+    pub fn overheads_pct(&self) -> Vec<(String, f64)> {
+        self.benchmarks
+            .iter()
+            .map(|(name, base, full)| (name.clone(), full.overhead_pct(base)))
+            .collect()
+    }
+
+    /// Mean overhead across the browser benchmarks.
+    pub fn mean_overhead_pct(&self) -> f64 {
+        let overheads: Vec<f64> = self.overheads_pct().into_iter().map(|(_, o)| o).collect();
+        geometric_mean_overhead(&overheads)
+    }
+
+    /// Distinct issues found across all benchmark runs (the §6.3 findings).
+    pub fn total_issues(&self) -> u64 {
+        self.benchmarks
+            .iter()
+            .map(|(_, _, full)| full.errors.distinct_issues)
+            .sum()
+    }
+}
+
+/// Run the Firefox-like workload's browser benchmarks, each driver executed
+/// in its own thread (each VM owns an isolated simulated address space; see
+/// DESIGN.md for the threading substitution).
+pub fn firefox_experiment(scale: Scale, parallel: bool) -> FirefoxExperiment {
+    let workload = FirefoxWorkload::default();
+    let source = workload.source(scale);
+    let program = minic::compile(&source).expect("firefox workload compiles");
+
+    let run_pair = |bench: &str| {
+        let entry = FirefoxWorkload::entry(bench);
+        let base = run_program(
+            &program,
+            &entry,
+            &[scale.n()],
+            &RunConfig::for_sanitizer(SanitizerKind::None),
+        );
+        let full = run_program(
+            &program,
+            &entry,
+            &[scale.n()],
+            &RunConfig::for_sanitizer(SanitizerKind::EffectiveFull),
+        );
+        (bench.to_string(), base, full)
+    };
+
+    let benchmarks = if parallel {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = BROWSER_BENCHMARKS
+                .iter()
+                .map(|bench| scope.spawn(move || run_pair(bench)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("browser benchmark thread panicked"))
+                .collect()
+        })
+    } else {
+        BROWSER_BENCHMARKS.iter().map(|b| run_pair(b)).collect()
+    };
+
+    FirefoxExperiment {
+        scale,
+        benchmarks,
+        paper_overall_overhead_pct: workload.paper_overall_overhead_pct,
+    }
+}
+
+/// §6.2 tool comparison: overhead of every sanitizer on the same workload
+/// subset, plus total checks performed.
+#[derive(Clone, Debug, Serialize)]
+pub struct ToolComparison {
+    /// Per-tool: (sanitizer, mean overhead %, total dynamic checks).
+    pub tools: Vec<(SanitizerKind, f64, u64)>,
+}
+
+/// Run the tool comparison over the given benchmark names.
+pub fn tool_comparison(names: &[&str], scale: Scale) -> ToolComparison {
+    let sanitizers = SanitizerKind::all();
+    let experiment = spec_experiment(Some(names), scale, &sanitizers);
+    let mut tools = Vec::new();
+    for kind in sanitizers {
+        if kind == SanitizerKind::None {
+            continue;
+        }
+        tools.push((
+            kind,
+            experiment.mean_overhead_pct(kind),
+            experiment.total_checks(kind),
+        ));
+    }
+    ToolComparison { tools }
+}
+
+/// Aggregate the distinct issues found per benchmark and per error class —
+/// the data behind the issue-taxonomy discussion of §6.1.
+pub fn issue_breakdown(
+    experiment: &SpecExperiment,
+    kind: SanitizerKind,
+) -> BTreeMap<String, Vec<(String, u64)>> {
+    let mut out = BTreeMap::new();
+    for row in &experiment.rows {
+        if let Some(report) = row.report(kind) {
+            let mut kinds: Vec<(String, u64)> = report
+                .errors
+                .issues_by_kind
+                .iter()
+                .map(|(k, v)| (k.name().to_string(), *v))
+                .collect();
+            kinds.sort();
+            out.insert(row.name.clone(), kinds);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_spec_subset_reproduces_key_claims() {
+        let experiment = spec_experiment(
+            Some(&["mcf", "h264ref", "xalancbmk"]),
+            Scale::Test,
+            &[
+                SanitizerKind::None,
+                SanitizerKind::EffectiveFull,
+                SanitizerKind::EffectiveBounds,
+                SanitizerKind::EffectiveType,
+            ],
+        );
+        assert_eq!(experiment.rows.len(), 3);
+
+        // Clean benchmark: no issues.  Buggy benchmarks: issues found.
+        let mcf = &experiment.rows[0];
+        assert_eq!(
+            mcf.report(SanitizerKind::EffectiveFull).unwrap().errors.distinct_issues,
+            0
+        );
+        let h264 = &experiment.rows[1];
+        assert!(
+            h264.report(SanitizerKind::EffectiveFull).unwrap().errors.bounds_issues() >= 2
+        );
+        let xalanc = &experiment.rows[2];
+        assert!(
+            xalanc.report(SanitizerKind::EffectiveFull).unwrap().errors.type_issues() >= 2
+        );
+
+        // Overheads ordered: full >= bounds >= type >= 0 on average.
+        let full = experiment.mean_overhead_pct(SanitizerKind::EffectiveFull);
+        let bounds = experiment.mean_overhead_pct(SanitizerKind::EffectiveBounds);
+        let ty = experiment.mean_overhead_pct(SanitizerKind::EffectiveType);
+        assert!(full > bounds, "full={full:.0}% bounds={bounds:.0}%");
+        assert!(bounds > ty, "bounds={bounds:.0}% type={ty:.0}%");
+        assert!(ty >= 0.0);
+
+        // Memory overhead of full instrumentation is modest (Figure 9).
+        let mem = experiment.mean_memory_overhead_pct(SanitizerKind::EffectiveFull);
+        assert!(mem >= 0.0 && mem < 150.0, "memory overhead {mem:.0}%");
+    }
+
+    #[test]
+    fn firefox_experiment_runs_in_parallel() {
+        let experiment = firefox_experiment(Scale::Test, true);
+        assert_eq!(experiment.benchmarks.len(), BROWSER_BENCHMARKS.len());
+        // The browser workload finds the §6.3-style issues.
+        assert!(experiment.total_issues() >= 2);
+        // And EffectiveSan costs more than the uninstrumented baseline.
+        assert!(experiment.mean_overhead_pct() > 0.0);
+    }
+
+    #[test]
+    fn issue_breakdown_groups_by_benchmark() {
+        let experiment = spec_experiment(
+            Some(&["soplex"]),
+            Scale::Test,
+            &[SanitizerKind::None, SanitizerKind::EffectiveFull],
+        );
+        let breakdown = issue_breakdown(&experiment, SanitizerKind::EffectiveFull);
+        let soplex = breakdown.get("soplex").unwrap();
+        assert!(soplex
+            .iter()
+            .any(|(k, n)| k == "subobject-bounds-overflow" && *n >= 1));
+    }
+}

@@ -1,0 +1,131 @@
+//! The `BOUNDS` values propagated by the instrumentation (paper §4).
+//!
+//! Bounds are represented "by a pair of pointers" delimiting the address
+//! range for which the checked static type is valid.  `type_check` returns
+//! sub-object bounds, `bounds_narrow` intersects them with a field's range,
+//! and `bounds_check` verifies an access falls entirely inside them.
+//! Legacy pointers and failed checks yield the *wide bounds*
+//! `0..UINTPTR_MAX` for compatibility (Fig. 6 lines 11–12, 23).
+
+use lowfat::Ptr;
+use serde::{Deserialize, Serialize};
+
+/// An address range `[lo, hi)` within which an access is permitted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Bounds {
+    /// Inclusive lower bound.
+    pub lo: u64,
+    /// Exclusive upper bound.
+    pub hi: u64,
+}
+
+impl Bounds {
+    /// The wide bounds `0 .. UINTPTR_MAX` returned for legacy pointers and
+    /// after errors: every access passes.
+    pub const WIDE: Bounds = Bounds {
+        lo: 0,
+        hi: u64::MAX,
+    };
+
+    /// The empty bounds: every access fails.
+    pub const EMPTY: Bounds = Bounds { lo: 1, hi: 1 };
+
+    /// Bounds covering `[lo, hi)`.
+    pub fn new(lo: u64, hi: u64) -> Self {
+        Bounds { lo, hi: hi.max(lo) }
+    }
+
+    /// Bounds covering `size` bytes starting at `base`.
+    pub fn from_base_size(base: Ptr, size: u64) -> Self {
+        Bounds::new(base.addr(), base.addr().saturating_add(size))
+    }
+
+    /// Are these the wide (always-pass) bounds?
+    pub fn is_wide(&self) -> bool {
+        *self == Bounds::WIDE
+    }
+
+    /// Width in bytes.
+    pub fn width(&self) -> u64 {
+        self.hi - self.lo
+    }
+
+    /// The `bounds_narrow` operation: interval intersection.
+    pub fn narrow(&self, other: Bounds) -> Bounds {
+        Bounds {
+            lo: self.lo.max(other.lo),
+            hi: self.hi.min(other.hi).max(self.lo.max(other.lo)),
+        }
+    }
+
+    /// Does an access of `size` bytes at `ptr` fall entirely inside the
+    /// bounds?  This is the predicate of the `bounds_check` function:
+    /// an error is raised iff `{p .. p+size} ∩ b ≠ {p .. p+size}`.
+    pub fn contains_access(&self, ptr: Ptr, size: u64) -> bool {
+        let lo = ptr.addr();
+        let hi = lo.saturating_add(size);
+        lo >= self.lo && hi <= self.hi
+    }
+
+    /// Does the bounds contain the single address `ptr`?
+    pub fn contains_ptr(&self, ptr: Ptr) -> bool {
+        (self.lo..self.hi).contains(&ptr.addr())
+    }
+}
+
+impl Default for Bounds {
+    fn default() -> Self {
+        Bounds::WIDE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wide_bounds_admit_everything() {
+        assert!(Bounds::WIDE.contains_access(Ptr(0), 8));
+        assert!(Bounds::WIDE.contains_access(Ptr(u64::MAX - 8), 8));
+        assert!(Bounds::WIDE.is_wide());
+        assert_eq!(Bounds::default(), Bounds::WIDE);
+    }
+
+    #[test]
+    fn empty_bounds_admit_nothing() {
+        assert!(!Bounds::EMPTY.contains_access(Ptr(1), 0).then_some(false).unwrap_or(false));
+        assert!(!Bounds::EMPTY.contains_access(Ptr(1), 1));
+        assert_eq!(Bounds::EMPTY.width(), 0);
+    }
+
+    #[test]
+    fn narrowing_is_intersection() {
+        let a = Bounds::new(100, 200);
+        let b = Bounds::new(150, 300);
+        assert_eq!(a.narrow(b), Bounds::new(150, 200));
+        assert_eq!(b.narrow(a), Bounds::new(150, 200));
+        // Disjoint ranges narrow to an empty range (never negative).
+        let c = Bounds::new(400, 500);
+        assert_eq!(a.narrow(c).width(), 0);
+        // Narrowing by WIDE is the identity.
+        assert_eq!(a.narrow(Bounds::WIDE), a);
+    }
+
+    #[test]
+    fn access_containment() {
+        let b = Bounds::new(1000, 1016);
+        assert!(b.contains_access(Ptr(1000), 16));
+        assert!(b.contains_access(Ptr(1012), 4));
+        assert!(!b.contains_access(Ptr(1012), 8)); // straddles the end
+        assert!(!b.contains_access(Ptr(996), 8)); // straddles the start
+        assert!(!b.contains_access(Ptr(1016), 1)); // one past the end
+        assert!(b.contains_ptr(Ptr(1015)));
+        assert!(!b.contains_ptr(Ptr(1016)));
+    }
+
+    #[test]
+    fn from_base_size_saturates() {
+        let b = Bounds::from_base_size(Ptr(u64::MAX - 4), 16);
+        assert_eq!(b.hi, u64::MAX);
+    }
+}

@@ -1,0 +1,373 @@
+//! Error classification, bucketing and reporting.
+//!
+//! EffectiveSan "logs all errors without stopping the program" by default,
+//! can be configured "to merely count errors", and/or "to abort after N
+//! errors" (§6).  Issues are bucketed "by type and offset to prevent the
+//! same issue from being reported at multiple different program points"
+//! (§6.1).  This module implements all three modes plus the error-class
+//! taxonomy used throughout the evaluation.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+/// The class of a detected issue.
+///
+/// The classes correspond to the columns of Figure 1 and the issue
+/// categories discussed in §6.1/§6.3.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum ErrorKind {
+    /// A pointer is used at a type incompatible with the object's dynamic
+    /// type (includes implicit casts, container casts, `T*` vs `T**`
+    /// confusion, incompatible struct definitions, …).
+    TypeConfusion,
+    /// An explicit bad cast (C++ downcast or C-style cast) detected by the
+    /// cast-site instrumentation of the EffectiveSan-type variant or by a
+    /// baseline cast checker.
+    BadCast,
+    /// Access to an object whose dynamic type is `FREE` (use-after-free).
+    UseAfterFree,
+    /// `free`/`delete` of an object already bound to `FREE`.
+    DoubleFree,
+    /// Access outside a sub-object's bounds but still inside the containing
+    /// allocation (e.g. overflowing `account.number` into
+    /// `account.balance`).
+    SubObjectBoundsOverflow,
+    /// Access outside the allocation bounds entirely.
+    ObjectBoundsOverflow,
+    /// A bounds violation detected when a pointer escapes (is stored or
+    /// passed) rather than when it is dereferenced.
+    EscapeBoundsOverflow,
+}
+
+impl ErrorKind {
+    /// Short stable name used in reports and experiment tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            ErrorKind::TypeConfusion => "type-confusion",
+            ErrorKind::BadCast => "bad-cast",
+            ErrorKind::UseAfterFree => "use-after-free",
+            ErrorKind::DoubleFree => "double-free",
+            ErrorKind::SubObjectBoundsOverflow => "subobject-bounds-overflow",
+            ErrorKind::ObjectBoundsOverflow => "object-bounds-overflow",
+            ErrorKind::EscapeBoundsOverflow => "escape-bounds-overflow",
+        }
+    }
+
+    /// Is this a type error (the "Types" column of Figure 1)?
+    pub fn is_type_error(self) -> bool {
+        matches!(self, ErrorKind::TypeConfusion | ErrorKind::BadCast)
+    }
+
+    /// Is this a bounds error (the "Bounds" column of Figure 1)?
+    pub fn is_bounds_error(self) -> bool {
+        matches!(
+            self,
+            ErrorKind::SubObjectBoundsOverflow
+                | ErrorKind::ObjectBoundsOverflow
+                | ErrorKind::EscapeBoundsOverflow
+        )
+    }
+
+    /// Is this a temporal error (the "UAF" column of Figure 1)?
+    pub fn is_temporal_error(self) -> bool {
+        matches!(self, ErrorKind::UseAfterFree | ErrorKind::DoubleFree)
+    }
+
+    /// All error kinds, for iteration in reports.
+    pub fn all() -> [ErrorKind; 7] {
+        [
+            ErrorKind::TypeConfusion,
+            ErrorKind::BadCast,
+            ErrorKind::UseAfterFree,
+            ErrorKind::DoubleFree,
+            ErrorKind::SubObjectBoundsOverflow,
+            ErrorKind::ObjectBoundsOverflow,
+            ErrorKind::EscapeBoundsOverflow,
+        ]
+    }
+}
+
+impl fmt::Display for ErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A single logged issue.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ErrorRecord {
+    /// The issue class.
+    pub kind: ErrorKind,
+    /// The static type the program used at the access/cast site (rendered).
+    pub static_type: String,
+    /// The dynamic (allocation) type of the object involved (rendered).
+    pub dynamic_type: String,
+    /// Byte offset of the access within the allocation (normalised).
+    pub offset: u64,
+    /// Source location / instrumentation-site label.
+    pub location: Arc<str>,
+    /// Free-form detail.
+    pub detail: String,
+}
+
+impl fmt::Display for ErrorRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: static type `{}` vs dynamic type `{}` at offset {} ({}) {}",
+            self.kind, self.static_type, self.dynamic_type, self.offset, self.location, self.detail
+        )
+    }
+}
+
+/// Reporting mode (§6: logging for finding errors, counting for
+/// performance measurement).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ReportMode {
+    /// Keep a full record of every distinct issue bucket (plus counts).
+    #[default]
+    Log,
+    /// Only count errors; do not retain records.
+    Count,
+}
+
+/// Reporter configuration.
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct ReporterConfig {
+    /// Logging or counting.
+    pub mode: ReportMode,
+    /// Stop the program after this many errors (`None`: never stop).
+    pub abort_after: Option<u64>,
+}
+
+/// Aggregated error statistics.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ErrorStats {
+    /// Total number of error events (before bucketing).
+    pub total_events: u64,
+    /// Number of distinct issue buckets (the `#Issues-found` column of
+    /// Figure 7).
+    pub distinct_issues: u64,
+    /// Event counts per error kind.
+    pub events_by_kind: HashMap<ErrorKind, u64>,
+    /// Distinct-issue counts per error kind.
+    pub issues_by_kind: HashMap<ErrorKind, u64>,
+}
+
+impl ErrorStats {
+    /// Number of distinct issues of the given kind.
+    pub fn issues_of(&self, kind: ErrorKind) -> u64 {
+        self.issues_by_kind.get(&kind).copied().unwrap_or(0)
+    }
+
+    /// Number of raw events of the given kind.
+    pub fn events_of(&self, kind: ErrorKind) -> u64 {
+        self.events_by_kind.get(&kind).copied().unwrap_or(0)
+    }
+
+    /// Distinct type-error issues (Figure 1 "Types" column).
+    pub fn type_issues(&self) -> u64 {
+        ErrorKind::all()
+            .iter()
+            .filter(|k| k.is_type_error())
+            .map(|k| self.issues_of(*k))
+            .sum()
+    }
+
+    /// Distinct bounds-error issues (Figure 1 "Bounds" column).
+    pub fn bounds_issues(&self) -> u64 {
+        ErrorKind::all()
+            .iter()
+            .filter(|k| k.is_bounds_error())
+            .map(|k| self.issues_of(*k))
+            .sum()
+    }
+
+    /// Distinct temporal (UAF/double-free) issues (Figure 1 "UAF" column).
+    pub fn temporal_issues(&self) -> u64 {
+        ErrorKind::all()
+            .iter()
+            .filter(|k| k.is_temporal_error())
+            .map(|k| self.issues_of(*k))
+            .sum()
+    }
+}
+
+/// The error reporter.
+#[derive(Debug, Default)]
+pub struct ErrorReporter {
+    config: ReporterConfig,
+    stats: ErrorStats,
+    records: Vec<ErrorRecord>,
+    buckets: HashMap<(ErrorKind, String, String, u64), u64>,
+    halted: bool,
+}
+
+impl ErrorReporter {
+    /// A reporter with the given configuration.
+    pub fn new(config: ReporterConfig) -> Self {
+        ErrorReporter {
+            config,
+            ..Default::default()
+        }
+    }
+
+    /// Report an error event.  Returns `true` if this event opened a new
+    /// issue bucket (i.e. it is a *distinct* issue).
+    pub fn report(&mut self, record: ErrorRecord) -> bool {
+        self.stats.total_events += 1;
+        *self.stats.events_by_kind.entry(record.kind).or_insert(0) += 1;
+
+        let key = (
+            record.kind,
+            record.static_type.clone(),
+            record.dynamic_type.clone(),
+            record.offset,
+        );
+        let bucket = self.buckets.entry(key).or_insert(0);
+        let is_new = *bucket == 0;
+        *bucket += 1;
+        if is_new {
+            self.stats.distinct_issues += 1;
+            *self.stats.issues_by_kind.entry(record.kind).or_insert(0) += 1;
+            if self.config.mode == ReportMode::Log {
+                self.records.push(record);
+            }
+        }
+
+        if let Some(limit) = self.config.abort_after {
+            if self.stats.total_events >= limit {
+                self.halted = true;
+            }
+        }
+        is_new
+    }
+
+    /// Has the abort-after-N limit been reached?
+    pub fn halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Aggregated statistics.
+    pub fn stats(&self) -> &ErrorStats {
+        &self.stats
+    }
+
+    /// The distinct issue records (empty in counting mode).
+    pub fn records(&self) -> &[ErrorRecord] {
+        &self.records
+    }
+
+    /// The reporter configuration.
+    pub fn config(&self) -> ReporterConfig {
+        self.config
+    }
+
+    /// Reset all statistics and records (e.g. between benchmark runs).
+    pub fn reset(&mut self) {
+        let config = self.config;
+        *self = ErrorReporter::new(config);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(kind: ErrorKind, offset: u64) -> ErrorRecord {
+        ErrorRecord {
+            kind,
+            static_type: "int".to_string(),
+            dynamic_type: "struct S".to_string(),
+            offset,
+            location: Arc::from("test.c:1"),
+            detail: String::new(),
+        }
+    }
+
+    #[test]
+    fn duplicate_events_share_a_bucket() {
+        let mut r = ErrorReporter::default();
+        assert!(r.report(record(ErrorKind::TypeConfusion, 8)));
+        assert!(!r.report(record(ErrorKind::TypeConfusion, 8)));
+        assert!(!r.report(record(ErrorKind::TypeConfusion, 8)));
+        assert_eq!(r.stats().total_events, 3);
+        assert_eq!(r.stats().distinct_issues, 1);
+        assert_eq!(r.records().len(), 1);
+    }
+
+    #[test]
+    fn different_offsets_or_kinds_are_distinct_issues() {
+        let mut r = ErrorReporter::default();
+        r.report(record(ErrorKind::TypeConfusion, 8));
+        r.report(record(ErrorKind::TypeConfusion, 16));
+        r.report(record(ErrorKind::SubObjectBoundsOverflow, 8));
+        assert_eq!(r.stats().distinct_issues, 3);
+        assert_eq!(r.stats().type_issues(), 2);
+        assert_eq!(r.stats().bounds_issues(), 1);
+        assert_eq!(r.stats().temporal_issues(), 0);
+    }
+
+    #[test]
+    fn counting_mode_keeps_no_records() {
+        let mut r = ErrorReporter::new(ReporterConfig {
+            mode: ReportMode::Count,
+            abort_after: None,
+        });
+        r.report(record(ErrorKind::UseAfterFree, 0));
+        r.report(record(ErrorKind::DoubleFree, 0));
+        assert!(r.records().is_empty());
+        assert_eq!(r.stats().distinct_issues, 2);
+        assert_eq!(r.stats().temporal_issues(), 2);
+    }
+
+    #[test]
+    fn abort_after_limit_halts() {
+        let mut r = ErrorReporter::new(ReporterConfig {
+            mode: ReportMode::Log,
+            abort_after: Some(2),
+        });
+        r.report(record(ErrorKind::TypeConfusion, 0));
+        assert!(!r.halted());
+        r.report(record(ErrorKind::TypeConfusion, 0));
+        assert!(r.halted());
+    }
+
+    #[test]
+    fn reset_clears_state_but_keeps_config() {
+        let mut r = ErrorReporter::new(ReporterConfig {
+            mode: ReportMode::Count,
+            abort_after: Some(5),
+        });
+        r.report(record(ErrorKind::BadCast, 4));
+        r.reset();
+        assert_eq!(r.stats().total_events, 0);
+        assert_eq!(r.config().abort_after, Some(5));
+        assert_eq!(r.config().mode, ReportMode::Count);
+    }
+
+    #[test]
+    fn kind_classification() {
+        assert!(ErrorKind::TypeConfusion.is_type_error());
+        assert!(ErrorKind::BadCast.is_type_error());
+        assert!(ErrorKind::SubObjectBoundsOverflow.is_bounds_error());
+        assert!(ErrorKind::ObjectBoundsOverflow.is_bounds_error());
+        assert!(ErrorKind::EscapeBoundsOverflow.is_bounds_error());
+        assert!(ErrorKind::UseAfterFree.is_temporal_error());
+        assert!(ErrorKind::DoubleFree.is_temporal_error());
+        assert!(!ErrorKind::UseAfterFree.is_type_error());
+        assert_eq!(ErrorKind::all().len(), 7);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let rec = record(ErrorKind::TypeConfusion, 8);
+        let s = rec.to_string();
+        assert!(s.contains("type-confusion"));
+        assert!(s.contains("struct S"));
+        assert!(s.contains("offset 8"));
+    }
+}

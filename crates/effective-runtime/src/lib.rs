@@ -1,0 +1,56 @@
+//! # effective-runtime
+//!
+//! The EffectiveSan runtime system (paper §5): typed allocation with `META`
+//! object headers, the `type_check` / `bounds_check` / `bounds_narrow`
+//! primitives invoked by the instrumentation, the special `FREE` type for
+//! deallocated memory, and error reporting with the paper's logging /
+//! counting / abort-after-N modes.
+//!
+//! The runtime sits on top of:
+//!
+//! * `effective-types` — the dynamic type model, layout function and layout
+//!   hash table;
+//! * `lowfat` — the simulated low-fat pointer allocator whose `base()`
+//!   operation locates the `META` header from any interior pointer.
+//!
+//! ## Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use effective_runtime::{RuntimeConfig, TypeCheckRuntime};
+//! use effective_types::{FieldDef, RecordDef, Type, TypeRegistry};
+//! use lowfat::AllocKind;
+//!
+//! let mut registry = TypeRegistry::new();
+//! registry
+//!     .define(RecordDef::struct_(
+//!         "node",
+//!         vec![
+//!             FieldDef::new("value", Type::int()),
+//!             FieldDef::new("next", Type::ptr(Type::struct_("node"))),
+//!         ],
+//!     ))
+//!     .unwrap();
+//!
+//! let mut rt = TypeCheckRuntime::new(Arc::new(registry), RuntimeConfig::default());
+//! let loc: Arc<str> = Arc::from("example.c:3");
+//!
+//! // node *n = malloc(sizeof(node));  — the dynamic type node[1] is bound.
+//! let n = rt.type_malloc(16, &Type::struct_("node"), AllocKind::Heap);
+//!
+//! // Using it as a node is fine; using it as a float array is a type error.
+//! assert!(!rt.type_check(n, &Type::struct_("node"), &loc).is_wide());
+//! rt.type_check(n, &Type::float(), &loc);
+//! assert_eq!(rt.reporter().stats().type_issues(), 1);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod bounds;
+pub mod errors;
+pub mod runtime;
+
+pub use bounds::Bounds;
+pub use errors::{ErrorKind, ErrorRecord, ErrorReporter, ErrorStats, ReportMode, ReporterConfig};
+pub use runtime::{CheckStats, RuntimeConfig, TypeCheckRuntime, META_SIZE};

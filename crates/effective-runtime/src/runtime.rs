@@ -1,0 +1,806 @@
+//! The EffectiveSan runtime system (paper §5, Figure 6).
+//!
+//! The runtime binds a *dynamic type* to every allocated object by storing a
+//! `META` header (allocation type + allocation size) at the object's base,
+//! where the low-fat `base()` operation can find it from any interior
+//! pointer.  The instrumented program then calls:
+//!
+//! * [`TypeCheckRuntime::type_check`] — verify a pointer against the static
+//!   type declared by the programmer and return the matching sub-object's
+//!   bounds (Fig. 6 lines 9–24);
+//! * [`TypeCheckRuntime::bounds_check`] — verify a (derived) pointer access
+//!   stays inside previously computed bounds (Fig. 3(g));
+//! * [`TypeCheckRuntime::bounds_narrow`] — narrow bounds to a field
+//!   sub-object (Fig. 3(e));
+//! * [`TypeCheckRuntime::type_malloc`] / [`TypeCheckRuntime::type_free`] —
+//!   the typed allocation wrappers (Fig. 6 lines 1–7), including binding
+//!   deallocated objects to the special `FREE` type;
+//! * [`TypeCheckRuntime::bounds_get`] — the reduced-instrumentation entry
+//!   point used by the EffectiveSan-bounds variant (§6.2);
+//! * [`TypeCheckRuntime::cast_check`] — the cast-site check used by the
+//!   EffectiveSan-type variant (§6.2).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use effective_types::{LayoutTable, MatchKind, Type, TypeLayout, TypeRegistry};
+use lowfat::{AllocKind, AllocatorConfig, LowFatAllocator, Memory, Ptr};
+use serde::{Deserialize, Serialize};
+
+use crate::bounds::Bounds;
+use crate::errors::{ErrorKind, ErrorRecord, ErrorReporter, ReporterConfig};
+
+/// Size of the `META` header stored at the base of every typed allocation
+/// (one word for the type, one word for the allocation size) — the paper
+/// assumes `sizeof(META) = 16` in Example 5.
+pub const META_SIZE: u64 = 16;
+
+/// Runtime configuration.
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct RuntimeConfig {
+    /// Error reporting configuration.
+    pub reporter: ReporterConfig,
+    /// Low-fat allocator configuration (quarantine, …).
+    pub allocator: AllocatorConfig,
+}
+
+/// Counters for every kind of instrumentation call, reported per benchmark
+/// in Figure 7 (`#Type`, `#Bound`) and used for the §6.2 tool comparison.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CheckStats {
+    /// Number of `type_check` calls.
+    pub type_checks: u64,
+    /// `type_check` calls that saw a legacy (non-low-fat or untyped)
+    /// pointer and returned wide bounds.
+    pub legacy_type_checks: u64,
+    /// `type_check` calls that failed (type error reported).
+    pub failed_type_checks: u64,
+    /// Number of `bounds_check` calls.
+    pub bounds_checks: u64,
+    /// `bounds_check` calls that failed.
+    pub failed_bounds_checks: u64,
+    /// Number of `bounds_narrow` operations.
+    pub bounds_narrows: u64,
+    /// Number of `bounds_get` calls (EffectiveSan-bounds variant).
+    pub bounds_gets: u64,
+    /// Number of `cast_check` calls (EffectiveSan-type variant).
+    pub cast_checks: u64,
+    /// Typed allocations performed.
+    pub typed_allocations: u64,
+    /// Typed frees performed.
+    pub typed_frees: u64,
+}
+
+impl CheckStats {
+    /// Total number of checks of any kind (used for overhead modelling).
+    pub fn total_checks(&self) -> u64 {
+        self.type_checks + self.bounds_checks + self.bounds_gets + self.cast_checks
+    }
+}
+
+/// The EffectiveSan runtime: typed allocation, dynamic type checks, bounds
+/// checks and error reporting over a simulated low-fat address space.
+#[derive(Debug)]
+pub struct TypeCheckRuntime {
+    registry: Arc<TypeRegistry>,
+    layout_cache: LayoutTable,
+    type_ids: HashMap<Type, u32>,
+    types_by_id: Vec<(Type, Option<Arc<TypeLayout>>)>,
+    /// The simulated low-fat allocator.
+    pub allocator: LowFatAllocator,
+    /// The simulated memory backing the address space.
+    pub memory: Memory,
+    reporter: ErrorReporter,
+    stats: CheckStats,
+    free_type_id: u32,
+}
+
+impl TypeCheckRuntime {
+    /// Create a runtime over the given type registry.
+    pub fn new(registry: Arc<TypeRegistry>, config: RuntimeConfig) -> Self {
+        let mut rt = TypeCheckRuntime {
+            registry,
+            layout_cache: LayoutTable::new(),
+            type_ids: HashMap::new(),
+            // Id 0 is reserved for "no type bound" (untyped / foreign
+            // allocations read back zeroed META words).
+            types_by_id: vec![(Type::void(), None)],
+            allocator: LowFatAllocator::new(config.allocator),
+            memory: Memory::new(),
+            reporter: ErrorReporter::new(config.reporter),
+            stats: CheckStats::default(),
+            free_type_id: 0,
+        };
+        rt.free_type_id = rt.register_type(&Type::Free);
+        rt
+    }
+
+    /// The type registry the runtime was built over.
+    pub fn registry(&self) -> &Arc<TypeRegistry> {
+        &self.registry
+    }
+
+    /// Instrumentation-call statistics.
+    pub fn stats(&self) -> CheckStats {
+        self.stats
+    }
+
+    /// The error reporter (read access).
+    pub fn reporter(&self) -> &ErrorReporter {
+        &self.reporter
+    }
+
+    /// Mutable access to the error reporter (used by tests and by baseline
+    /// sanitizers sharing the reporting infrastructure).
+    pub fn reporter_mut(&mut self) -> &mut ErrorReporter {
+        &mut self.reporter
+    }
+
+    /// Should execution stop (abort-after-N errors reached)?
+    pub fn halted(&self) -> bool {
+        self.reporter.halted()
+    }
+
+    /// Total number of layout-hash-table entries materialised so far
+    /// (type meta data footprint).
+    pub fn layout_table_entries(&self) -> usize {
+        self.layout_cache.total_entries()
+    }
+
+    /// Intern a type, building (and caching) its layout table.
+    ///
+    /// Returns a dense id used in `META` headers.  Unknown/record types that
+    /// cannot be laid out (e.g. undefined tags) are registered without a
+    /// layout and behave like legacy allocations.
+    pub fn register_type(&mut self, ty: &Type) -> u32 {
+        let key = ty.strip_array().clone();
+        if let Some(&id) = self.type_ids.get(&key) {
+            return id;
+        }
+        let layout = TypeLayout::build(&self.registry, &key).ok().map(Arc::new);
+        if layout.is_none() && !key.is_free() {
+            // Fall back to the shared layout cache only for layoutable
+            // types; others keep `None`.
+        }
+        let id = self.types_by_id.len() as u32;
+        self.types_by_id.push((key.clone(), layout));
+        self.type_ids.insert(key, id);
+        id
+    }
+
+    /// The dynamic (allocation) type currently bound to the object that
+    /// `ptr` points (into), if any.
+    pub fn dynamic_type_of(&self, ptr: Ptr) -> Option<&Type> {
+        let base = self.allocator.base(ptr)?;
+        let id = self.memory.read_u64(base) as u32;
+        self.types_by_id.get(id as usize).map(|(t, _)| t).filter(|_| id != 0)
+    }
+
+    /// The allocation bounds (excluding the META header) of the object that
+    /// `ptr` points into, if it is a typed low-fat allocation.
+    pub fn allocation_bounds(&self, ptr: Ptr) -> Option<Bounds> {
+        let base = self.allocator.base(ptr)?;
+        let id = self.memory.read_u64(base) as u32;
+        if id == 0 || id as usize >= self.types_by_id.len() {
+            return None;
+        }
+        let size = self.memory.read_u64(base.add(8));
+        Some(Bounds::from_base_size(base.add(META_SIZE), size))
+    }
+
+    // ------------------------------------------------------------------
+    // Typed allocation (Fig. 6 lines 1-7)
+    // ------------------------------------------------------------------
+
+    /// `type_malloc(size, T)`: allocate `size` bytes bound to dynamic type
+    /// `T[size / sizeof(T)]`.  Also used for typed stack and global
+    /// allocations by passing the appropriate [`AllocKind`].
+    pub fn type_malloc(&mut self, size: u64, elem: &Type, kind: AllocKind) -> Ptr {
+        self.stats.typed_allocations += 1;
+        if kind == AllocKind::Legacy {
+            // Custom memory allocators / uninstrumented code: no META, the
+            // resulting pointer is legacy.
+            return self.allocator.alloc(size.max(1), AllocKind::Legacy);
+        }
+        let id = self.register_type(elem);
+        let base = self.allocator.alloc(META_SIZE + size.max(1), kind);
+        if !self.allocator.is_low_fat(base) {
+            // Oversized allocation fell back to the legacy region; it cannot
+            // carry meta data retrievable via base().
+            return base;
+        }
+        self.memory.write_u64(base, id as u64);
+        self.memory.write_u64(base.add(8), size);
+        base.add(META_SIZE)
+    }
+
+    /// `type_free(ptr)`: bind the object to the `FREE` type and release the
+    /// memory.  Detects double frees.  Returns `true` when the free was
+    /// accepted.
+    pub fn type_free(&mut self, ptr: Ptr, location: &Arc<str>) -> bool {
+        self.stats.typed_frees += 1;
+        if ptr.is_null() {
+            return true; // free(NULL) is a no-op
+        }
+        let Some(base) = self.allocator.base(ptr) else {
+            // Legacy pointer: nothing to check, nothing to do.
+            return true;
+        };
+        let id = self.memory.read_u64(base) as u32;
+        let dyn_ty = self
+            .types_by_id
+            .get(id as usize)
+            .map(|(t, _)| t.clone())
+            .unwrap_or_else(Type::void);
+        if id == self.free_type_id {
+            self.report(
+                ErrorKind::DoubleFree,
+                &Type::void(),
+                &Type::Free,
+                0,
+                location,
+                "object freed twice".to_string(),
+            );
+            return false;
+        }
+        // Bind the FREE type.  The allocator preserves the META words until
+        // the block is reallocated (the memory is simply not zeroed).
+        let free_id = self.free_type_id;
+        self.memory.write_u64(base, free_id as u64);
+        if ptr != base.add(META_SIZE) {
+            // Freeing an interior pointer is itself undefined behaviour;
+            // report it as a type error against the dynamic type.
+            let off = ptr.diff(base.add(META_SIZE)).unsigned_abs();
+            self.report(
+                ErrorKind::TypeConfusion,
+                &Type::void(),
+                &dyn_ty,
+                off,
+                location,
+                "free() of an interior pointer".to_string(),
+            );
+        }
+        let _ = self.allocator.free(base);
+        true
+    }
+
+    /// `type_realloc(ptr, new_size, T)`: grow/shrink a typed allocation,
+    /// copying the payload and freeing the old object.
+    pub fn type_realloc(
+        &mut self,
+        ptr: Ptr,
+        new_size: u64,
+        elem: &Type,
+        kind: AllocKind,
+        location: &Arc<str>,
+    ) -> Ptr {
+        if ptr.is_null() {
+            return self.type_malloc(new_size, elem, kind);
+        }
+        let old_bounds = self.allocation_bounds(ptr);
+        let new = self.type_malloc(new_size, elem, kind);
+        if let Some(old) = old_bounds {
+            let copy = old.width().min(new_size);
+            self.memory.copy(new, Ptr(old.lo), copy);
+        }
+        self.type_free(ptr, location);
+        new
+    }
+
+    // ------------------------------------------------------------------
+    // Dynamic type checking (Fig. 6 lines 9-24)
+    // ------------------------------------------------------------------
+
+    /// The `type_check(ptr, T[])` function: verify that `ptr` points to (a
+    /// sub-object of) an object whose dynamic type is compatible with the
+    /// static type `static_ty`, and return the sub-object bounds.
+    ///
+    /// Legacy pointers and failed checks return [`Bounds::WIDE`].
+    pub fn type_check(&mut self, ptr: Ptr, static_ty: &Type, location: &Arc<str>) -> Bounds {
+        self.stats.type_checks += 1;
+        self.check_against_dynamic_type(ptr, static_ty, location, ErrorKind::TypeConfusion)
+    }
+
+    /// The cast-site variant of [`type_check`](Self::type_check) used by
+    /// EffectiveSan-type: identical logic, but failures are classified as
+    /// [`ErrorKind::BadCast`] and counted separately.
+    pub fn cast_check(&mut self, ptr: Ptr, static_ty: &Type, location: &Arc<str>) -> Bounds {
+        self.stats.cast_checks += 1;
+        self.check_against_dynamic_type(ptr, static_ty, location, ErrorKind::BadCast)
+    }
+
+    /// The `bounds_get(ptr)` function used by the EffectiveSan-bounds
+    /// variant: return the *allocation* bounds derived from the object's
+    /// dynamic type / allocation size, without verifying the static type.
+    pub fn bounds_get(&mut self, ptr: Ptr) -> Bounds {
+        self.stats.bounds_gets += 1;
+        match self.allocation_bounds(ptr) {
+            Some(b) => b,
+            None => Bounds::WIDE,
+        }
+    }
+
+    /// The `bounds_narrow` operation (Fig. 3(e)): intersect bounds with a
+    /// field's address range.
+    pub fn bounds_narrow(&mut self, bounds: Bounds, field: Bounds) -> Bounds {
+        self.stats.bounds_narrows += 1;
+        bounds.narrow(field)
+    }
+
+    /// The `bounds_check(ptr, b)` function (Fig. 3(g)): verify an access of
+    /// `access_size` bytes at `ptr` lies inside `bounds`.
+    ///
+    /// `escape` marks checks guarding pointer escapes (stores of pointers,
+    /// arguments) rather than dereferences; failures are then classified as
+    /// [`ErrorKind::EscapeBoundsOverflow`].
+    ///
+    /// Returns `true` when the access is in bounds.
+    pub fn bounds_check(
+        &mut self,
+        ptr: Ptr,
+        access_size: u64,
+        bounds: Bounds,
+        location: &Arc<str>,
+        escape: bool,
+    ) -> bool {
+        self.stats.bounds_checks += 1;
+        if bounds.contains_access(ptr, access_size) {
+            return true;
+        }
+        self.stats.failed_bounds_checks += 1;
+        let (kind, dyn_ty, offset) = self.classify_bounds_failure(ptr, escape);
+        self.report(
+            kind,
+            &Type::void(),
+            &dyn_ty,
+            offset,
+            location,
+            format!(
+                "access of {access_size} byte(s) at {ptr} outside bounds {:#x}..{:#x}",
+                bounds.lo, bounds.hi
+            ),
+        );
+        false
+    }
+
+    // ------------------------------------------------------------------
+    // Internals
+    // ------------------------------------------------------------------
+
+    fn check_against_dynamic_type(
+        &mut self,
+        ptr: Ptr,
+        static_ty: &Type,
+        location: &Arc<str>,
+        failure_kind: ErrorKind,
+    ) -> Bounds {
+        // Legacy pointers (null, uninstrumented allocations, oversized
+        // objects): wide bounds, no check possible.
+        let Some(base) = self.allocator.base(ptr) else {
+            self.stats.legacy_type_checks += 1;
+            return Bounds::WIDE;
+        };
+        let id = self.memory.read_u64(base) as u32;
+        let Some((alloc_ty, layout)) = self.types_by_id.get(id as usize).cloned() else {
+            self.stats.legacy_type_checks += 1;
+            return Bounds::WIDE;
+        };
+        if id == 0 {
+            // Low-fat but never typed (foreign allocation): treat as legacy.
+            self.stats.legacy_type_checks += 1;
+            return Bounds::WIDE;
+        }
+
+        let alloc_size = self.memory.read_u64(base.add(8));
+        let obj_base = base.add(META_SIZE);
+        let alloc_bounds = Bounds::from_base_size(obj_base, alloc_size);
+
+        // Use-after-free: the dynamic type is FREE.
+        if id == self.free_type_id {
+            self.stats.failed_type_checks += 1;
+            self.report(
+                ErrorKind::UseAfterFree,
+                static_ty,
+                &Type::Free,
+                ptr.diff(obj_base).unsigned_abs(),
+                location,
+                "pointer to deallocated object".to_string(),
+            );
+            return Bounds::WIDE;
+        }
+
+        // Pointer into the META header itself (an underflow past the object
+        // base): no sub-object can match.
+        let delta = ptr.diff(obj_base);
+        if delta < 0 {
+            self.stats.failed_type_checks += 1;
+            self.report(
+                failure_kind,
+                static_ty,
+                &alloc_ty,
+                delta.unsigned_abs(),
+                location,
+                "pointer underflows the allocation base".to_string(),
+            );
+            return Bounds::WIDE;
+        }
+        let k = delta as u64;
+
+        let Some(layout) = layout else {
+            self.stats.legacy_type_checks += 1;
+            return Bounds::WIDE;
+        };
+
+        match layout.lookup(static_ty, k) {
+            Some(m) => {
+                let sub = match m.kind {
+                    MatchKind::ContainingArray | MatchKind::ByteAccess => alloc_bounds,
+                    _ if m.bounds.is_unbounded() => alloc_bounds,
+                    _ => Bounds::new(
+                        ptr.addr().wrapping_add(m.bounds.lo as u64),
+                        ptr.addr().wrapping_add(m.bounds.hi as u64),
+                    ),
+                };
+                // Fig. 6 line 20: narrow to the allocation bounds (the
+                // layout table is built for the incomplete type T[]).
+                sub.narrow(alloc_bounds)
+            }
+            None => {
+                self.stats.failed_type_checks += 1;
+                let detail = format!(
+                    "no sub-object of type `{static_ty}` at offset {k} of `{alloc_ty}`"
+                );
+                self.report(failure_kind, static_ty, &alloc_ty, layout.normalize_offset(k), location, detail);
+                Bounds::WIDE
+            }
+        }
+    }
+
+    fn classify_bounds_failure(&self, ptr: Ptr, escape: bool) -> (ErrorKind, Type, u64) {
+        if escape {
+            let dyn_ty = self.dynamic_type_of(ptr).cloned().unwrap_or_else(Type::void);
+            return (ErrorKind::EscapeBoundsOverflow, dyn_ty, 0);
+        }
+        match self.allocation_bounds(ptr) {
+            Some(alloc) if alloc.contains_ptr(ptr) => {
+                // Inside the allocation but outside the (narrowed) bounds:
+                // a sub-object overflow.
+                let dyn_ty = self
+                    .dynamic_type_of(ptr)
+                    .cloned()
+                    .unwrap_or_else(Type::void);
+                (
+                    ErrorKind::SubObjectBoundsOverflow,
+                    dyn_ty,
+                    ptr.addr() - alloc.lo,
+                )
+            }
+            _ => {
+                let dyn_ty = self
+                    .dynamic_type_of(ptr)
+                    .cloned()
+                    .unwrap_or_else(Type::void);
+                (ErrorKind::ObjectBoundsOverflow, dyn_ty, 0)
+            }
+        }
+    }
+
+    fn report(
+        &mut self,
+        kind: ErrorKind,
+        static_ty: &Type,
+        dynamic_ty: &Type,
+        offset: u64,
+        location: &Arc<str>,
+        detail: String,
+    ) {
+        self.reporter.report(ErrorRecord {
+            kind,
+            static_type: static_ty.to_string(),
+            dynamic_type: dynamic_ty.to_string(),
+            offset,
+            location: location.clone(),
+            detail,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use effective_types::{FieldDef, RecordDef};
+
+    fn loc(s: &str) -> Arc<str> {
+        Arc::from(s)
+    }
+
+    /// Registry with the paper's running example plus the `account` struct
+    /// from the introduction.
+    fn registry() -> Arc<TypeRegistry> {
+        let mut reg = TypeRegistry::new();
+        reg.define(RecordDef::struct_(
+            "S",
+            vec![
+                FieldDef::new("a", Type::array(Type::int(), 3)),
+                FieldDef::new("s", Type::char_ptr()),
+            ],
+        ))
+        .unwrap();
+        reg.define(RecordDef::struct_(
+            "T",
+            vec![
+                FieldDef::new("f", Type::float()),
+                FieldDef::new("t", Type::struct_("S")),
+            ],
+        ))
+        .unwrap();
+        reg.define(RecordDef::struct_(
+            "account",
+            vec![
+                FieldDef::new("number", Type::array(Type::int(), 8)),
+                FieldDef::new("balance", Type::float()),
+            ],
+        ))
+        .unwrap();
+        Arc::new(reg)
+    }
+
+    fn runtime() -> TypeCheckRuntime {
+        TypeCheckRuntime::new(registry(), RuntimeConfig::default())
+    }
+
+    #[test]
+    fn paper_intro_type_check_example() {
+        // int *p = new int[100];
+        // type_check(p, int[]) passes; type_check(p, float[]) fails.
+        let mut rt = runtime();
+        let p = rt.type_malloc(100 * 4, &Type::int(), AllocKind::Heap);
+        let b1 = rt.type_check(p, &Type::int(), &loc("intro"));
+        assert_eq!(b1, Bounds::from_base_size(p, 400));
+        let b2 = rt.type_check(p, &Type::float(), &loc("intro"));
+        assert!(b2.is_wide());
+        assert_eq!(rt.stats().failed_type_checks, 1);
+        assert_eq!(rt.reporter().stats().type_issues(), 1);
+    }
+
+    #[test]
+    fn example5_interior_pointer_subobject_bounds() {
+        // Example 5: p points to a T object; q = p + offsetof(t)+8 (the
+        // a[2] position); type_check(q, int[]) returns the bounds of the
+        // int[3] sub-object; type_check(q, double[]) fails.
+        let mut rt = runtime();
+        let size_t = rt.registry().size_of(&Type::struct_("T")).unwrap();
+        let p = rt.type_malloc(size_t, &Type::struct_("T"), AllocKind::Heap);
+        let toff = rt.registry().offset_of("T", "t").unwrap();
+        let q = p.add(toff + 8);
+        let b = rt.type_check(q, &Type::int(), &loc("ex5"));
+        assert_eq!(b, Bounds::new(p.addr() + toff, p.addr() + toff + 12));
+        let b2 = rt.type_check(q, &Type::double(), &loc("ex5"));
+        assert!(b2.is_wide());
+        assert_eq!(rt.stats().type_checks, 2);
+        assert_eq!(rt.stats().failed_type_checks, 1);
+    }
+
+    #[test]
+    fn subobject_overflow_into_sibling_field_is_detected() {
+        // The introduction's motivating example: overflowing
+        // account.number must not silently modify account.balance.
+        let mut rt = runtime();
+        let size = rt.registry().size_of(&Type::struct_("account")).unwrap();
+        let p = rt.type_malloc(size, &Type::struct_("account"), AllocKind::Heap);
+        // A pointer to number[0] with static type int[]:
+        let b = rt.type_check(p, &Type::int(), &loc("account"));
+        assert_eq!(b.width(), 32); // int[8], not the whole struct
+        // number[8] === balance: inside the allocation, outside the
+        // sub-object bounds.
+        let overflow = p.add(32);
+        assert!(!rt.bounds_check(overflow, 4, b, &loc("account"), false));
+        let stats = rt.reporter().stats();
+        assert_eq!(stats.issues_of(ErrorKind::SubObjectBoundsOverflow), 1);
+        assert_eq!(stats.issues_of(ErrorKind::ObjectBoundsOverflow), 0);
+    }
+
+    #[test]
+    fn object_overflow_is_classified_differently() {
+        let mut rt = runtime();
+        let p = rt.type_malloc(4 * 4, &Type::int(), AllocKind::Heap);
+        let b = rt.type_check(p, &Type::int(), &loc("arr"));
+        // Element 100 is far outside the 4-element allocation.
+        let wild = p.add(400);
+        assert!(!rt.bounds_check(wild, 4, b, &loc("arr"), false));
+        assert_eq!(
+            rt.reporter().stats().issues_of(ErrorKind::ObjectBoundsOverflow),
+            1
+        );
+    }
+
+    #[test]
+    fn use_after_free_and_double_free() {
+        let mut rt = runtime();
+        let p = rt.type_malloc(24, &Type::struct_("S"), AllocKind::Heap);
+        assert!(rt.type_free(p, &loc("free1")));
+        // Use after free: the dynamic type is now FREE.
+        let b = rt.type_check(p, &Type::struct_("S"), &loc("uaf"));
+        assert!(b.is_wide());
+        assert_eq!(rt.reporter().stats().issues_of(ErrorKind::UseAfterFree), 1);
+        // Double free.
+        assert!(!rt.type_free(p, &loc("free2")));
+        assert_eq!(rt.reporter().stats().issues_of(ErrorKind::DoubleFree), 1);
+    }
+
+    #[test]
+    fn reuse_after_free_with_different_type_is_detected() {
+        let mut rt = runtime();
+        let p = rt.type_malloc(24, &Type::struct_("S"), AllocKind::Heap);
+        rt.type_free(p, &loc("free"));
+        // The allocator reuses the block for a float array.
+        let q = rt.type_malloc(24, &Type::float(), AllocKind::Heap);
+        assert_eq!(p, q, "block should be reused for this test to be meaningful");
+        // The dangling pointer is now typed float[], not S: error.
+        let b = rt.type_check(p, &Type::struct_("S"), &loc("reuse"));
+        assert!(b.is_wide());
+        assert!(rt.reporter().stats().type_issues() >= 1);
+        // Whereas the new owner's accesses are fine.
+        let ok = rt.type_check(q, &Type::float(), &loc("owner"));
+        assert!(!ok.is_wide());
+    }
+
+    #[test]
+    fn reuse_after_free_with_same_type_is_missed() {
+        // Documented limitation (§2.2/§3): reuse with the *same* type is not
+        // detectable by type checking alone.
+        let mut rt = runtime();
+        let p = rt.type_malloc(24, &Type::struct_("S"), AllocKind::Heap);
+        rt.type_free(p, &loc("free"));
+        let q = rt.type_malloc(24, &Type::struct_("S"), AllocKind::Heap);
+        assert_eq!(p, q);
+        let b = rt.type_check(p, &Type::struct_("S"), &loc("reuse-same"));
+        assert!(!b.is_wide());
+        assert_eq!(rt.reporter().stats().temporal_issues(), 0);
+    }
+
+    #[test]
+    fn quarantine_prevents_same_type_reuse() {
+        let mut rt = TypeCheckRuntime::new(
+            registry(),
+            RuntimeConfig {
+                allocator: AllocatorConfig {
+                    quarantine_blocks: 4,
+                },
+                ..Default::default()
+            },
+        );
+        let p = rt.type_malloc(24, &Type::struct_("S"), AllocKind::Heap);
+        rt.type_free(p, &loc("free"));
+        let q = rt.type_malloc(24, &Type::struct_("S"), AllocKind::Heap);
+        assert_ne!(p, q, "quarantine must delay reuse");
+        // The dangling pointer still sees FREE: use-after-free detected.
+        rt.type_check(p, &Type::struct_("S"), &loc("uaf"));
+        assert_eq!(rt.reporter().stats().issues_of(ErrorKind::UseAfterFree), 1);
+    }
+
+    #[test]
+    fn legacy_pointers_get_wide_bounds() {
+        let mut rt = runtime();
+        let p = rt.type_malloc(100, &Type::int(), AllocKind::Legacy);
+        let b = rt.type_check(p, &Type::float(), &loc("legacy"));
+        assert!(b.is_wide());
+        assert_eq!(rt.stats().legacy_type_checks, 1);
+        assert_eq!(rt.stats().failed_type_checks, 0);
+        assert!(rt.bounds_check(p.add(1000), 8, b, &loc("legacy"), false));
+        // Null pointers are legacy too.
+        let b = rt.type_check(Ptr::NULL, &Type::int(), &loc("null"));
+        assert!(b.is_wide());
+    }
+
+    #[test]
+    fn char_access_resets_bounds_to_containing_object() {
+        // §6.1 (xalancbmk): a cast to char* resets the bounds to the
+        // containing object rather than reporting a sub-object overflow.
+        let mut rt = runtime();
+        let size = rt.registry().size_of(&Type::struct_("T")).unwrap();
+        let p = rt.type_malloc(size, &Type::struct_("T"), AllocKind::Heap);
+        let b = rt.type_check(p.add(5), &Type::char_(), &loc("memcpyish"));
+        assert_eq!(b, Bounds::from_base_size(p, size));
+        assert_eq!(rt.stats().failed_type_checks, 0);
+    }
+
+    #[test]
+    fn bounds_get_ignores_types() {
+        let mut rt = runtime();
+        let p = rt.type_malloc(64, &Type::struct_("S"), AllocKind::Heap);
+        let b = rt.bounds_get(p.add(8));
+        assert_eq!(b, Bounds::from_base_size(p, 64));
+        assert_eq!(rt.stats().bounds_gets, 1);
+        assert_eq!(rt.stats().failed_type_checks, 0);
+        // Legacy pointer: wide.
+        let q = rt.type_malloc(64, &Type::int(), AllocKind::Legacy);
+        assert!(rt.bounds_get(q).is_wide());
+    }
+
+    #[test]
+    fn cast_check_reports_bad_cast() {
+        let mut rt = runtime();
+        let p = rt.type_malloc(24, &Type::struct_("S"), AllocKind::Heap);
+        let b = rt.cast_check(p, &Type::struct_("account"), &loc("cast"));
+        assert!(b.is_wide());
+        assert_eq!(rt.reporter().stats().issues_of(ErrorKind::BadCast), 1);
+        assert_eq!(rt.stats().cast_checks, 1);
+    }
+
+    #[test]
+    fn realloc_copies_and_frees() {
+        let mut rt = runtime();
+        let p = rt.type_malloc(16, &Type::int(), AllocKind::Heap);
+        rt.memory.write_u32(p, 0x11223344);
+        rt.memory.write_u32(p.add(12), 0x55667788);
+        let q = rt.type_realloc(p, 64, &Type::int(), AllocKind::Heap, &loc("realloc"));
+        assert_ne!(p, q);
+        assert_eq!(rt.memory.read_u32(q), 0x11223344);
+        assert_eq!(rt.memory.read_u32(q.add(12)), 0x55667788);
+        // The old object is now FREE.
+        rt.type_check(p, &Type::int(), &loc("stale"));
+        assert_eq!(rt.reporter().stats().issues_of(ErrorKind::UseAfterFree), 1);
+    }
+
+    #[test]
+    fn pointer_underflow_into_meta_header_is_an_error() {
+        let mut rt = runtime();
+        let p = rt.type_malloc(24, &Type::struct_("S"), AllocKind::Heap);
+        let before = p.offset(-4);
+        let b = rt.type_check(before, &Type::int(), &loc("underflow"));
+        assert!(b.is_wide());
+        assert_eq!(rt.stats().failed_type_checks, 1);
+    }
+
+    #[test]
+    fn escape_bounds_failures_are_classified() {
+        let mut rt = runtime();
+        let p = rt.type_malloc(16, &Type::int(), AllocKind::Heap);
+        let b = rt.type_check(p, &Type::int(), &loc("esc"));
+        assert!(!rt.bounds_check(p.add(64), 8, b, &loc("esc"), true));
+        assert_eq!(
+            rt.reporter().stats().issues_of(ErrorKind::EscapeBoundsOverflow),
+            1
+        );
+    }
+
+    #[test]
+    fn stats_count_all_check_kinds() {
+        let mut rt = runtime();
+        let p = rt.type_malloc(16, &Type::int(), AllocKind::Heap);
+        let b = rt.type_check(p, &Type::int(), &loc("s"));
+        rt.bounds_check(p, 4, b, &loc("s"), false);
+        rt.bounds_narrow(b, Bounds::new(b.lo, b.lo + 4));
+        rt.bounds_get(p);
+        rt.cast_check(p, &Type::int(), &loc("s"));
+        let stats = rt.stats();
+        assert_eq!(stats.type_checks, 1);
+        assert_eq!(stats.bounds_checks, 1);
+        assert_eq!(stats.bounds_narrows, 1);
+        assert_eq!(stats.bounds_gets, 1);
+        assert_eq!(stats.cast_checks, 1);
+        assert_eq!(stats.typed_allocations, 1);
+        assert_eq!(stats.total_checks(), 4);
+    }
+
+    #[test]
+    fn free_of_interior_pointer_is_reported() {
+        let mut rt = runtime();
+        let p = rt.type_malloc(24, &Type::struct_("S"), AllocKind::Heap);
+        rt.type_free(p.add(4), &loc("interior-free"));
+        assert!(rt.reporter().stats().type_issues() >= 1);
+    }
+
+    #[test]
+    fn stack_and_global_allocations_are_typed() {
+        let mut rt = runtime();
+        let frame = rt.allocator.stack_frame_begin();
+        let s = rt.type_malloc(24, &Type::struct_("S"), AllocKind::Stack);
+        let g = rt.type_malloc(8 * 24, &Type::struct_("S"), AllocKind::Global);
+        assert!(!rt.type_check(s, &Type::struct_("S"), &loc("stack")).is_wide());
+        assert!(!rt.type_check(g.add(24), &Type::struct_("S"), &loc("global")).is_wide());
+        assert_eq!(rt.stats().failed_type_checks, 0);
+        rt.allocator.stack_frame_end(frame);
+    }
+}

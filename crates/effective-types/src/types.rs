@@ -1,0 +1,523 @@
+//! The C/C++ dynamic type representation.
+//!
+//! A [`Type`] models a qualifier-free C/C++ type as defined by the paper
+//! (§3): fundamental types, enumerations, pointers, function pointers,
+//! arrays (complete and incomplete), structures, classes, unions, and the
+//! special `FREE` type bound to deallocated memory.
+//!
+//! Record types (`struct`/`class`/`union`) are *nominal*: a [`Type::Record`]
+//! only carries the tag, and the member layout lives in a
+//! [`TypeRegistry`](crate::registry::TypeRegistry).  This mirrors the paper's
+//! treatment: "structures, classes and unions are considered equivalent based
+//! on tag".
+
+use std::fmt;
+use std::sync::Arc;
+
+/// A fundamental (scalar) C/C++ type.
+///
+/// Sizes follow the LP64 data model used by the paper's x86-64 target.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Primitive {
+    /// `void` — size 0, only meaningful behind a pointer.
+    Void,
+    /// `_Bool` / `bool`.
+    Bool,
+    /// Plain `char` (also used for `signed char` / `unsigned char`; the
+    /// distinction does not affect layout and the paper's coercion rules
+    /// treat all character types alike).
+    Char,
+    /// `short` / `unsigned short`.
+    Short,
+    /// `int` / `unsigned int`.  Enumerations are treated as `int` (§6,
+    /// "Limitations").
+    Int,
+    /// `long` / `unsigned long` (LP64: 8 bytes).
+    Long,
+    /// `long long` / `unsigned long long`.
+    LongLong,
+    /// `float`.
+    Float,
+    /// `double`.
+    Double,
+    /// `long double` (x86-64 SysV: 16 bytes).
+    LongDouble,
+}
+
+impl Primitive {
+    /// Size of the primitive in bytes.
+    pub fn size(self) -> u64 {
+        match self {
+            Primitive::Void => 0,
+            Primitive::Bool | Primitive::Char => 1,
+            Primitive::Short => 2,
+            Primitive::Int | Primitive::Float => 4,
+            Primitive::Long | Primitive::LongLong | Primitive::Double => 8,
+            Primitive::LongDouble => 16,
+        }
+    }
+
+    /// Alignment of the primitive in bytes.
+    pub fn align(self) -> u64 {
+        match self {
+            Primitive::Void => 1,
+            other => other.size().max(1),
+        }
+    }
+
+    /// Human-readable C spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            Primitive::Void => "void",
+            Primitive::Bool => "bool",
+            Primitive::Char => "char",
+            Primitive::Short => "short",
+            Primitive::Int => "int",
+            Primitive::Long => "long",
+            Primitive::LongLong => "long long",
+            Primitive::Float => "float",
+            Primitive::Double => "double",
+            Primitive::LongDouble => "long double",
+        }
+    }
+
+    /// True for the character types that participate in the `char[]`
+    /// coercion rule (§5, "automatic coercions").
+    pub fn is_character(self) -> bool {
+        matches!(self, Primitive::Char)
+    }
+
+    /// True for integer-like primitives.
+    pub fn is_integer(self) -> bool {
+        matches!(
+            self,
+            Primitive::Bool
+                | Primitive::Char
+                | Primitive::Short
+                | Primitive::Int
+                | Primitive::Long
+                | Primitive::LongLong
+        )
+    }
+
+    /// True for floating-point primitives.
+    pub fn is_float(self) -> bool {
+        matches!(
+            self,
+            Primitive::Float | Primitive::Double | Primitive::LongDouble
+        )
+    }
+}
+
+/// The kind of a record (aggregate) type.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum RecordKind {
+    /// A C `struct` (or C++ `struct`).
+    Struct,
+    /// A C++ `class`.  Layout-wise identical to `Struct`; retained so error
+    /// reports can distinguish C++ class confusion (CaVer-style findings)
+    /// from C struct confusion.
+    Class,
+    /// A C/C++ `union`: every member lives at offset 0 (Fig. 2 rule (g)).
+    Union,
+}
+
+impl RecordKind {
+    /// The C keyword for this record kind.
+    pub fn keyword(self) -> &'static str {
+        match self {
+            RecordKind::Struct => "struct",
+            RecordKind::Class => "class",
+            RecordKind::Union => "union",
+        }
+    }
+}
+
+/// A function type: return type plus parameter types.
+///
+/// The paper treats virtual function tables as "arrays of generic functions"
+/// (§6, "Limitations"); [`FunctionType::generic`] builds that generic
+/// function type.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct FunctionType {
+    /// Return type.
+    pub ret: Type,
+    /// Parameter types, in order.
+    pub params: Vec<Type>,
+    /// Whether the function is variadic (`...`).
+    pub variadic: bool,
+}
+
+impl FunctionType {
+    /// The "generic function" type used for virtual-table entries.
+    pub fn generic() -> Self {
+        FunctionType {
+            ret: Type::void(),
+            params: Vec::new(),
+            variadic: true,
+        }
+    }
+}
+
+/// A qualifier-free C/C++ type.
+///
+/// `Type` is cheap to clone: compound types share their component types via
+/// [`Arc`].  Equality is structural for everything except records, which are
+/// compared by tag (nominal equivalence), matching the paper.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Type {
+    /// A fundamental type.
+    Prim(Primitive),
+    /// An enumeration; treated as `int` for layout but retains its tag for
+    /// diagnostics.
+    Enum(Arc<str>),
+    /// A pointer type `T *`.  C++ references are treated as pointers (§6).
+    Pointer(Arc<Type>),
+    /// A function type (only meaningful behind a pointer).
+    Function(Arc<FunctionType>),
+    /// A complete array type `T[N]`.
+    Array(Arc<Type>, u64),
+    /// An incomplete array type `T[]`.  Static types used in checks are
+    /// incomplete (§4 footnote 3); allocation (dynamic) types are complete.
+    IncompleteArray(Arc<Type>),
+    /// A named `struct`/`class`/`union` type, referenced by tag.
+    Record(RecordKind, Arc<str>),
+    /// The special type bound to deallocated memory (§3, Fig. 2(h)).
+    Free,
+}
+
+impl Type {
+    /// `void`.
+    pub fn void() -> Type {
+        Type::Prim(Primitive::Void)
+    }
+    /// `bool`.
+    pub fn bool_() -> Type {
+        Type::Prim(Primitive::Bool)
+    }
+    /// `char`.
+    pub fn char_() -> Type {
+        Type::Prim(Primitive::Char)
+    }
+    /// `short`.
+    pub fn short() -> Type {
+        Type::Prim(Primitive::Short)
+    }
+    /// `int`.
+    pub fn int() -> Type {
+        Type::Prim(Primitive::Int)
+    }
+    /// `long`.
+    pub fn long() -> Type {
+        Type::Prim(Primitive::Long)
+    }
+    /// `long long`.
+    pub fn long_long() -> Type {
+        Type::Prim(Primitive::LongLong)
+    }
+    /// `float`.
+    pub fn float() -> Type {
+        Type::Prim(Primitive::Float)
+    }
+    /// `double`.
+    pub fn double() -> Type {
+        Type::Prim(Primitive::Double)
+    }
+    /// `long double`.
+    pub fn long_double() -> Type {
+        Type::Prim(Primitive::LongDouble)
+    }
+    /// An enumeration type with the given tag.
+    pub fn enum_(tag: impl Into<Arc<str>>) -> Type {
+        Type::Enum(tag.into())
+    }
+    /// A pointer to `inner`.
+    pub fn ptr(inner: Type) -> Type {
+        Type::Pointer(Arc::new(inner))
+    }
+    /// `void *`.
+    pub fn void_ptr() -> Type {
+        Type::ptr(Type::void())
+    }
+    /// `char *`.
+    pub fn char_ptr() -> Type {
+        Type::ptr(Type::char_())
+    }
+    /// A complete array `elem[n]`.
+    pub fn array(elem: Type, n: u64) -> Type {
+        Type::Array(Arc::new(elem), n)
+    }
+    /// An incomplete array `elem[]`.
+    pub fn incomplete_array(elem: Type) -> Type {
+        Type::IncompleteArray(Arc::new(elem))
+    }
+    /// A `struct tag` type.
+    pub fn struct_(tag: impl Into<Arc<str>>) -> Type {
+        Type::Record(RecordKind::Struct, tag.into())
+    }
+    /// A `class tag` type.
+    pub fn class(tag: impl Into<Arc<str>>) -> Type {
+        Type::Record(RecordKind::Class, tag.into())
+    }
+    /// A `union tag` type.
+    pub fn union_(tag: impl Into<Arc<str>>) -> Type {
+        Type::Record(RecordKind::Union, tag.into())
+    }
+    /// A function type.
+    pub fn function(ret: Type, params: Vec<Type>, variadic: bool) -> Type {
+        Type::Function(Arc::new(FunctionType {
+            ret,
+            params,
+            variadic,
+        }))
+    }
+    /// A pointer to the generic function type (virtual-table entry type).
+    pub fn generic_fn_ptr() -> Type {
+        Type::Pointer(Arc::new(Type::Function(Arc::new(FunctionType::generic()))))
+    }
+
+    /// Is this the `void` type?
+    pub fn is_void(&self) -> bool {
+        matches!(self, Type::Prim(Primitive::Void))
+    }
+
+    /// Is this a pointer type?
+    pub fn is_pointer(&self) -> bool {
+        matches!(self, Type::Pointer(_))
+    }
+
+    /// Is this `void *`?
+    pub fn is_void_pointer(&self) -> bool {
+        matches!(self, Type::Pointer(p) if p.is_void())
+    }
+
+    /// Is this a character type (participates in `char[]` coercion)?
+    pub fn is_character(&self) -> bool {
+        matches!(self, Type::Prim(p) if p.is_character())
+    }
+
+    /// Is this an array type (complete or incomplete)?
+    pub fn is_array(&self) -> bool {
+        matches!(self, Type::Array(..) | Type::IncompleteArray(_))
+    }
+
+    /// Is this a record (struct/class/union) type?
+    pub fn is_record(&self) -> bool {
+        matches!(self, Type::Record(..))
+    }
+
+    /// Is this the special `FREE` type?
+    pub fn is_free(&self) -> bool {
+        matches!(self, Type::Free)
+    }
+
+    /// Is this an integer type (enums included)?
+    pub fn is_integer(&self) -> bool {
+        match self {
+            Type::Prim(p) => p.is_integer(),
+            Type::Enum(_) => true,
+            _ => false,
+        }
+    }
+
+    /// Is this a floating-point type?
+    pub fn is_float(&self) -> bool {
+        matches!(self, Type::Prim(p) if p.is_float())
+    }
+
+    /// Is this a scalar (integer, float, enum or pointer) type?
+    pub fn is_scalar(&self) -> bool {
+        self.is_integer() || self.is_float() || self.is_pointer()
+    }
+
+    /// The pointee type if this is a pointer.
+    pub fn pointee(&self) -> Option<&Type> {
+        match self {
+            Type::Pointer(p) => Some(p),
+            _ => None,
+        }
+    }
+
+    /// The element type if this is a (complete or incomplete) array.
+    pub fn element(&self) -> Option<&Type> {
+        match self {
+            Type::Array(e, _) | Type::IncompleteArray(e) => Some(e),
+            _ => None,
+        }
+    }
+
+    /// The array length if this is a complete array.
+    pub fn array_len(&self) -> Option<u64> {
+        match self {
+            Type::Array(_, n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The record tag if this is a record type.
+    pub fn record_tag(&self) -> Option<&str> {
+        match self {
+            Type::Record(_, tag) => Some(tag),
+            _ => None,
+        }
+    }
+
+    /// Strip array-ness: `T[N]` and `T[]` become `T`; other types are
+    /// returned unchanged.  This is the canonicalisation used for layout
+    /// hash-table keys, where static types are always incomplete arrays of
+    /// some element type (§4 footnote 3).
+    pub fn strip_array(&self) -> &Type {
+        match self {
+            Type::Array(e, _) | Type::IncompleteArray(e) => e,
+            other => other,
+        }
+    }
+
+    /// The incomplete static type `T[]` corresponding to this type: arrays
+    /// lose their length; scalars/records become `self[]` conceptually but
+    /// are represented by the element type itself (keys in the layout table
+    /// are element types).
+    pub fn to_static_key(&self) -> Type {
+        self.strip_array().clone()
+    }
+
+    /// Decay to the type used when this type appears as an expression
+    /// (arrays decay to element pointers, functions to function pointers).
+    pub fn decay(&self) -> Type {
+        match self {
+            Type::Array(e, _) | Type::IncompleteArray(e) => Type::Pointer(e.clone()),
+            Type::Function(f) => Type::Pointer(Arc::new(Type::Function(f.clone()))),
+            other => other.clone(),
+        }
+    }
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Type::Prim(p) => write!(f, "{}", p.name()),
+            Type::Enum(tag) => write!(f, "enum {tag}"),
+            Type::Pointer(inner) => write!(f, "{inner}*"),
+            Type::Function(ft) => {
+                write!(f, "{}(", ft.ret)?;
+                for (i, p) in ft.params.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                if ft.variadic {
+                    if !ft.params.is_empty() {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "...")?;
+                }
+                write!(f, ")")
+            }
+            Type::Array(e, n) => write!(f, "{e}[{n}]"),
+            Type::IncompleteArray(e) => write!(f, "{e}[]"),
+            Type::Record(kind, tag) => write!(f, "{} {tag}", kind.keyword()),
+            Type::Free => write!(f, "FREE"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_sizes_follow_lp64() {
+        assert_eq!(Primitive::Char.size(), 1);
+        assert_eq!(Primitive::Short.size(), 2);
+        assert_eq!(Primitive::Int.size(), 4);
+        assert_eq!(Primitive::Long.size(), 8);
+        assert_eq!(Primitive::LongLong.size(), 8);
+        assert_eq!(Primitive::Float.size(), 4);
+        assert_eq!(Primitive::Double.size(), 8);
+        assert_eq!(Primitive::LongDouble.size(), 16);
+        assert_eq!(Primitive::Void.size(), 0);
+    }
+
+    #[test]
+    fn primitive_alignment_equals_size_for_scalars() {
+        for p in [
+            Primitive::Bool,
+            Primitive::Char,
+            Primitive::Short,
+            Primitive::Int,
+            Primitive::Long,
+            Primitive::Float,
+            Primitive::Double,
+        ] {
+            assert_eq!(p.align(), p.size());
+        }
+        assert_eq!(Primitive::Void.align(), 1);
+    }
+
+    #[test]
+    fn display_formats_compound_types() {
+        let t = Type::ptr(Type::array(Type::int(), 3));
+        assert_eq!(t.to_string(), "int[3]*");
+        assert_eq!(Type::struct_("S").to_string(), "struct S");
+        assert_eq!(Type::union_("U").to_string(), "union U");
+        assert_eq!(Type::incomplete_array(Type::char_()).to_string(), "char[]");
+        assert_eq!(Type::Free.to_string(), "FREE");
+        assert_eq!(
+            Type::function(Type::int(), vec![Type::char_ptr()], true).to_string(),
+            "int(char*, ...)"
+        );
+    }
+
+    #[test]
+    fn record_equality_is_by_tag() {
+        assert_eq!(Type::struct_("S"), Type::struct_("S"));
+        assert_ne!(Type::struct_("S"), Type::struct_("T"));
+        assert_ne!(Type::struct_("S"), Type::union_("S"));
+        assert_ne!(Type::struct_("S"), Type::class("S"));
+    }
+
+    #[test]
+    fn strip_array_removes_one_level() {
+        let t = Type::array(Type::int(), 100);
+        assert_eq!(*t.strip_array(), Type::int());
+        let u = Type::incomplete_array(Type::struct_("S"));
+        assert_eq!(*u.strip_array(), Type::struct_("S"));
+        assert_eq!(*Type::float().strip_array(), Type::float());
+    }
+
+    #[test]
+    fn decay_converts_arrays_and_functions_to_pointers() {
+        assert_eq!(
+            Type::array(Type::int(), 8).decay(),
+            Type::ptr(Type::int())
+        );
+        let f = Type::function(Type::void(), vec![], false);
+        assert!(f.decay().is_pointer());
+        assert_eq!(Type::int().decay(), Type::int());
+    }
+
+    #[test]
+    fn predicates_classify_types() {
+        assert!(Type::int().is_integer());
+        assert!(Type::enum_("E").is_integer());
+        assert!(Type::double().is_float());
+        assert!(Type::void_ptr().is_void_pointer());
+        assert!(Type::char_().is_character());
+        assert!(!Type::int().is_character());
+        assert!(Type::Free.is_free());
+        assert!(Type::array(Type::int(), 4).is_array());
+        assert!(Type::ptr(Type::int()).is_scalar());
+        assert!(!Type::struct_("S").is_scalar());
+    }
+
+    #[test]
+    fn pointee_and_element_accessors() {
+        assert_eq!(Type::ptr(Type::int()).pointee(), Some(&Type::int()));
+        assert_eq!(Type::int().pointee(), None);
+        assert_eq!(Type::array(Type::char_(), 3).element(), Some(&Type::char_()));
+        assert_eq!(Type::array(Type::char_(), 3).array_len(), Some(3));
+        assert_eq!(Type::incomplete_array(Type::char_()).array_len(), None);
+        assert_eq!(Type::struct_("S").record_tag(), Some("S"));
+    }
+}

@@ -1,0 +1,185 @@
+//! Property-based tests for the type model, layout function and layout
+//! hash table.
+
+use proptest::prelude::*;
+
+use effective_types::{
+    layout_at, FieldDef, RecordDef, RelBounds, SubObject, Type, TypeLayout, TypeRegistry,
+};
+
+/// A small pool of scalar types used to build random records.
+fn arb_scalar() -> impl Strategy<Value = Type> {
+    prop_oneof![
+        Just(Type::char_()),
+        Just(Type::short()),
+        Just(Type::int()),
+        Just(Type::long()),
+        Just(Type::float()),
+        Just(Type::double()),
+        Just(Type::ptr(Type::int())),
+        Just(Type::char_ptr()),
+        Just(Type::void_ptr()),
+    ]
+}
+
+/// A random field type: a scalar or a small array of scalars.
+fn arb_field_type() -> impl Strategy<Value = Type> {
+    prop_oneof![
+        arb_scalar(),
+        (arb_scalar(), 1u64..8).prop_map(|(t, n)| Type::array(t, n)),
+    ]
+}
+
+/// A random struct definition with 1..6 fields, registered under `tag`.
+fn arb_struct(tag: &'static str) -> impl Strategy<Value = RecordDef> {
+    prop::collection::vec(arb_field_type(), 1..6).prop_map(move |tys| {
+        let fields = tys
+            .into_iter()
+            .enumerate()
+            .map(|(i, ty)| FieldDef::new(format!("f{i}"), ty))
+            .collect();
+        RecordDef::struct_(tag, fields)
+    })
+}
+
+/// A registry holding one random inner struct and one random outer struct
+/// that embeds it, plus the allocation type to test against.
+fn arb_registry() -> impl Strategy<Value = (TypeRegistry, Type)> {
+    (arb_struct("Inner"), arb_struct("Outer")).prop_map(|(inner, mut outer)| {
+        let mut reg = TypeRegistry::new();
+        reg.define(inner).unwrap();
+        // Embed the inner struct somewhere in the outer one.
+        outer
+            .fields
+            .push(FieldDef::new("inner", Type::struct_("Inner")));
+        reg.define(outer).unwrap();
+        (reg, Type::struct_("Outer"))
+    })
+}
+
+proptest! {
+    /// Rule (a): the allocation type itself is always a sub-object at
+    /// offset 0 with delta 0.
+    #[test]
+    fn rule_a_holds((reg, ty) in arb_registry()) {
+        let l = layout_at(&reg, &ty, 0).unwrap();
+        prop_assert!(l.contains(&SubObject::new(ty.clone(), 0)));
+    }
+
+    /// Rule (b): the allocation type is a sub-object at offset sizeof(T)
+    /// with delta sizeof(T).
+    #[test]
+    fn rule_b_holds((reg, ty) in arb_registry()) {
+        let size = reg.size_of(&ty).unwrap();
+        let l = layout_at(&reg, &ty, size).unwrap();
+        prop_assert!(l.contains(&SubObject::new(ty.clone(), size)));
+    }
+
+    /// Every sub-object returned by L lies entirely within the containing
+    /// object: its relative bounds never extend below the object base or
+    /// above the object end.
+    #[test]
+    fn subobjects_are_contained((reg, ty) in arb_registry(), k in 0u64..256) {
+        let size = reg.size_of(&ty).unwrap();
+        let k = k % (size + 1);
+        for so in layout_at(&reg, &ty, k).unwrap() {
+            let (lo, hi) = so.relative_bounds(&reg).unwrap();
+            let abs_lo = k as i64 + lo;
+            let abs_hi = k as i64 + hi;
+            prop_assert!(abs_lo >= 0, "sub-object {so:?} starts before the object");
+            prop_assert!(abs_hi <= size as i64, "sub-object {so:?} ends after the object");
+        }
+    }
+
+    /// Offsets beyond sizeof(T) yield nothing from the raw layout function.
+    #[test]
+    fn out_of_bounds_offsets_are_empty((reg, ty) in arb_registry(), extra in 1u64..64) {
+        let size = reg.size_of(&ty).unwrap();
+        let l = layout_at(&reg, &ty, size + extra).unwrap();
+        prop_assert!(l.is_empty());
+    }
+
+    /// The layout hash table agrees with the layout function: whenever L
+    /// reports a sub-object of element type S at offset k, a lookup of S at
+    /// k succeeds (the reverse need not hold because of coercions).
+    #[test]
+    fn table_is_complete_wrt_layout_function((reg, ty) in arb_registry(), k in 0u64..128) {
+        let size = reg.size_of(&ty).unwrap();
+        let k = k % size.max(1);
+        let table = TypeLayout::build(&reg, &ty).unwrap();
+        for so in layout_at(&reg, &ty, k).unwrap() {
+            let key = so.ty.strip_array().clone();
+            prop_assert!(
+                table.lookup(&key, k).is_some(),
+                "layout reports {so:?} at offset {k} but the table lookup misses"
+            );
+        }
+    }
+
+    /// Table lookups of the allocation element type at element boundaries
+    /// always succeed (with unbounded or wide bounds) — pointers that walk
+    /// an array of T never produce spurious type errors.
+    #[test]
+    fn array_walk_never_type_errors((reg, ty) in arb_registry(), i in 0u64..16) {
+        let size = reg.size_of(&ty).unwrap();
+        let table = TypeLayout::build(&reg, &ty).unwrap();
+        let m = table.lookup(&ty, i * size);
+        prop_assert!(m.is_some());
+    }
+
+    /// A `double` lookup at offset 1 (misaligned, mid-scalar) never matches
+    /// unless the first byte genuinely contains a char-ish sub-object (the
+    /// char coercion); it must never match through padding.
+    #[test]
+    fn misaligned_double_rarely_matches((reg, ty) in arb_registry()) {
+        let table = TypeLayout::build(&reg, &ty).unwrap();
+        if let Some(m) = table.lookup(&Type::double(), 1) {
+            // Only the char coercion can justify this match.
+            prop_assert_eq!(m.kind, effective_types::MatchKind::CharCoercion);
+        }
+    }
+
+    /// Char (byte) access succeeds at every offset of every type.
+    #[test]
+    fn char_access_always_allowed((reg, ty) in arb_registry(), k in 0u64..64) {
+        let size = reg.size_of(&ty).unwrap();
+        let table = TypeLayout::build(&reg, &ty).unwrap();
+        prop_assert!(table.lookup(&Type::char_(), k % size.max(1)).is_some());
+    }
+
+    /// sizeof is linear over arrays.
+    #[test]
+    fn sizeof_array_is_linear(n in 1u64..1000) {
+        let reg = TypeRegistry::new();
+        let t = Type::array(Type::int(), n);
+        prop_assert_eq!(reg.size_of(&t).unwrap(), 4 * n);
+    }
+
+    /// Struct member offsets are monotonically non-decreasing and aligned.
+    #[test]
+    fn member_offsets_are_aligned((reg, ty) in arb_registry()) {
+        let tag = ty.record_tag().unwrap();
+        let layout = reg.layout(tag).unwrap();
+        let mut prev_end = 0;
+        for m in &layout.members {
+            let align = reg.align_of(&m.ty).unwrap();
+            prop_assert_eq!(m.offset % align, 0, "member {} misaligned", m.name);
+            prop_assert!(m.offset >= prev_end, "member {} overlaps its predecessor", m.name);
+            prev_end = m.offset + m.size;
+        }
+        prop_assert!(layout.size >= prev_end);
+        prop_assert_eq!(layout.size % layout.align, 0);
+    }
+
+    /// RelBounds intersection is commutative, idempotent and narrowing.
+    #[test]
+    fn relbounds_intersection_properties(a_lo in -64i64..64, a_w in 0i64..64, b_lo in -64i64..64, b_w in 0i64..64) {
+        let a = RelBounds::new(a_lo, a_lo + a_w);
+        let b = RelBounds::new(b_lo, b_lo + b_w);
+        prop_assert_eq!(a.intersect(&b), b.intersect(&a));
+        prop_assert_eq!(a.intersect(&a), a);
+        let i = a.intersect(&b);
+        prop_assert!(i.width() <= a.width());
+        prop_assert!(i.width() <= b.width());
+    }
+}

@@ -1,0 +1,38 @@
+//! # instrument
+//!
+//! Dynamic type-check instrumentation passes for the EffectiveSan
+//! reproduction — the paper's Figure 3 schema and its reduced variants,
+//! plus the instrumentation shapes of the baseline sanitizers the paper
+//! compares against, all expressed as rewrites of the `minic` typed IR.
+//!
+//! * [`SanitizerKind`] enumerates every tool (EffectiveSan full / -bounds /
+//!   -type, AddressSanitizer, LowFat, SoftBound, TypeSan, HexType, CETS,
+//!   and the uninstrumented baseline);
+//! * [`instrument_program`] rewrites a compiled program for a given tool;
+//! * [`PassConfig`] exposes the individual knobs for ablation experiments.
+//!
+//! ## Example
+//!
+//! ```
+//! use instrument::{instrument_program, SanitizerKind};
+//!
+//! let program = minic::compile(
+//!     "int sum(int *a, int n) {
+//!          int s = 0;
+//!          for (int i = 0; i < n; i++) { s += a[i]; }
+//!          return s;
+//!      }",
+//! )
+//! .unwrap();
+//! let instrumented = instrument_program(&program, SanitizerKind::EffectiveFull);
+//! assert!(instrumented.check_count() > 0);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod config;
+pub mod pass;
+
+pub use config::{InputCheck, PassConfig, SanitizerKind};
+pub use pass::{instrument_function, instrument_program, instrument_program_with};

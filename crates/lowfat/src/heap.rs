@@ -1,0 +1,496 @@
+//! The low-fat allocator: heap, stack, global and legacy allocations over
+//! the simulated address space.
+//!
+//! The allocator reproduces the behaviour EffectiveSan depends on
+//! (paper §5):
+//!
+//! * every low-fat allocation is placed in the region of its size class and
+//!   aligned to that size class, so `base()` and `size()` are O(1) pointer
+//!   arithmetic;
+//! * replacement functions exist for heap (`lowfat_malloc`/`lowfat_free`),
+//!   stack and global objects;
+//! * freed objects can be held in a *quarantine* that delays reuse
+//!   (the AddressSanitizer-style mitigation for reuse-after-free the paper
+//!   notes is "also applicable to EffectiveSan");
+//! * allocations from uninstrumented code / custom memory allocators come
+//!   from a separate legacy region and carry no meta data (legacy
+//!   pointers).
+
+use std::collections::{HashMap, VecDeque};
+
+use serde::{Deserialize, Serialize};
+
+use crate::ptr::Ptr;
+use crate::size_classes::{
+    class_for_size, class_size, is_low_fat, lowfat_base, lowfat_size, region_base,
+    FIRST_CLASS_REGION, GLOBAL_REGION, LEGACY_REGION, NUM_CLASSES, REGION_SIZE, STACK_REGION,
+};
+
+/// What kind of storage an allocation request is for.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AllocKind {
+    /// Heap allocation (`malloc`, `new`, `new[]`).
+    Heap,
+    /// Stack allocation of an address-taken local (the NDSS'17 low-fat
+    /// stack allocator).
+    Stack,
+    /// Global/static object.
+    Global,
+    /// Allocation made by uninstrumented code or a custom memory allocator;
+    /// deliberately *not* low-fat, so it exercises the legacy-pointer path.
+    Legacy,
+}
+
+/// Errors reported by [`LowFatAllocator::free`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FreeError {
+    /// The pointer is not the base of a live allocation (wild free or
+    /// double free at the allocator level).
+    NotAllocated,
+    /// The pointer is null (freeing null is a no-op in C; the allocator
+    /// reports it so callers can decide).
+    Null,
+}
+
+impl std::fmt::Display for FreeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FreeError::NotAllocated => write!(f, "pointer is not a live allocation base"),
+            FreeError::Null => write!(f, "attempt to free a null pointer"),
+        }
+    }
+}
+
+impl std::error::Error for FreeError {}
+
+/// Allocator configuration.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct AllocatorConfig {
+    /// Maximum number of freed blocks held in quarantine before they become
+    /// reusable.  Zero disables the quarantine (the EffectiveSan default;
+    /// reuse-after-free detection then relies on type mismatch alone).
+    pub quarantine_blocks: usize,
+}
+
+impl Default for AllocatorConfig {
+    fn default() -> Self {
+        AllocatorConfig {
+            quarantine_blocks: 0,
+        }
+    }
+}
+
+/// A snapshot of allocator statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AllocatorStats {
+    /// Number of successful allocations, by any kind.
+    pub allocations: u64,
+    /// Number of frees.
+    pub frees: u64,
+    /// Bytes currently live (rounded to size classes for low-fat
+    /// allocations).
+    pub live_bytes: u64,
+    /// Peak of `live_bytes` over the allocator's lifetime (Figure 9).
+    pub peak_live_bytes: u64,
+    /// Bytes requested by callers (before size-class rounding); the ratio
+    /// `live_bytes / requested_live_bytes` measures low-fat fragmentation.
+    pub requested_live_bytes: u64,
+    /// Number of heap allocations.
+    pub heap_allocations: u64,
+    /// Number of stack allocations.
+    pub stack_allocations: u64,
+    /// Number of global allocations.
+    pub global_allocations: u64,
+    /// Number of legacy (non-low-fat) allocations.
+    pub legacy_allocations: u64,
+    /// Blocks currently sitting in quarantine.
+    pub quarantined_blocks: u64,
+}
+
+/// A mark delimiting a stack frame; see [`LowFatAllocator::stack_frame_begin`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FrameMark(usize);
+
+#[derive(Debug, Default)]
+struct ClassState {
+    /// Next never-allocated address in the class region (bump pointer).
+    bump: u64,
+    /// Free list of reusable bases.
+    free: Vec<u64>,
+}
+
+/// The low-fat allocator.
+#[derive(Debug)]
+pub struct LowFatAllocator {
+    config: AllocatorConfig,
+    classes: Vec<ClassState>,
+    legacy_bump: u64,
+    global_bump: u64,
+    stack_bump: u64,
+    /// Live allocations: base address → (rounded size, requested size, kind).
+    live: HashMap<u64, (u64, u64, AllocKind)>,
+    /// FIFO quarantine of freed low-fat blocks: (class index, base).
+    quarantine: VecDeque<(usize, u64)>,
+    /// Stack allocation bases in allocation order (LIFO discipline).
+    stack_objects: Vec<u64>,
+    stats: AllocatorStats,
+}
+
+impl Default for LowFatAllocator {
+    fn default() -> Self {
+        Self::new(AllocatorConfig::default())
+    }
+}
+
+impl LowFatAllocator {
+    /// Create an allocator with the given configuration.
+    pub fn new(config: AllocatorConfig) -> Self {
+        LowFatAllocator {
+            config,
+            classes: (0..NUM_CLASSES).map(|_| ClassState::default()).collect(),
+            legacy_bump: region_base(LEGACY_REGION) + 4096,
+            global_bump: region_base(GLOBAL_REGION) + 4096,
+            stack_bump: region_base(STACK_REGION) + 4096,
+            live: HashMap::new(),
+            quarantine: VecDeque::new(),
+            stack_objects: Vec::new(),
+            stats: AllocatorStats::default(),
+        }
+    }
+
+    /// Current statistics snapshot.
+    pub fn stats(&self) -> AllocatorStats {
+        self.stats
+    }
+
+    /// The allocator configuration.
+    pub fn config(&self) -> AllocatorConfig {
+        self.config
+    }
+
+    /// `size(p)`: the allocation size encoded by a low-fat pointer, `None`
+    /// for legacy pointers.
+    pub fn size(&self, ptr: Ptr) -> Option<u64> {
+        lowfat_size(ptr.addr())
+    }
+
+    /// `base(p)`: the allocation base encoded by a low-fat pointer, `None`
+    /// for legacy pointers.
+    pub fn base(&self, ptr: Ptr) -> Option<Ptr> {
+        lowfat_base(ptr.addr()).map(Ptr)
+    }
+
+    /// Is the pointer a low-fat pointer (points into a size-class region)?
+    pub fn is_low_fat(&self, ptr: Ptr) -> bool {
+        is_low_fat(ptr.addr())
+    }
+
+    /// Is `ptr` the base of a currently live allocation?
+    pub fn is_live_base(&self, ptr: Ptr) -> bool {
+        self.live.contains_key(&ptr.addr())
+    }
+
+    /// The (rounded, requested) sizes and kind of the live allocation based
+    /// at `ptr`, if any.
+    pub fn allocation(&self, ptr: Ptr) -> Option<(u64, u64, AllocKind)> {
+        self.live.get(&ptr.addr()).copied()
+    }
+
+    /// Allocate `size` bytes of the given kind.
+    ///
+    /// Heap/stack/global requests are served low-fat whenever the size fits
+    /// the largest size class; oversized requests and all
+    /// [`AllocKind::Legacy`] requests fall back to the legacy region.
+    /// Zero-sized requests are rounded up to one byte, as `malloc(0)`
+    /// implementations commonly do.
+    pub fn alloc(&mut self, size: u64, kind: AllocKind) -> Ptr {
+        let request = size.max(1);
+        let ptr = match kind {
+            AllocKind::Legacy => self.alloc_legacy(request),
+            _ => match class_for_size(request) {
+                Some(class) => self.alloc_class(class),
+                None => self.alloc_legacy(request),
+            },
+        };
+        let rounded = lowfat_size(ptr.addr()).unwrap_or(request);
+        self.live.insert(ptr.addr(), (rounded, request, kind));
+        self.stats.allocations += 1;
+        self.stats.live_bytes += rounded;
+        self.stats.requested_live_bytes += request;
+        self.stats.peak_live_bytes = self.stats.peak_live_bytes.max(self.stats.live_bytes);
+        match kind {
+            AllocKind::Heap => self.stats.heap_allocations += 1,
+            AllocKind::Stack => {
+                self.stats.stack_allocations += 1;
+                self.stack_objects.push(ptr.addr());
+            }
+            AllocKind::Global => self.stats.global_allocations += 1,
+            AllocKind::Legacy => self.stats.legacy_allocations += 1,
+        }
+        ptr
+    }
+
+    /// Free a previously allocated object.  `ptr` must be the allocation
+    /// base (interior pointers are rejected, like `free` in practice).
+    ///
+    /// Returns the rounded size of the freed block.
+    pub fn free(&mut self, ptr: Ptr) -> Result<u64, FreeError> {
+        if ptr.is_null() {
+            return Err(FreeError::Null);
+        }
+        let (rounded, request, _kind) = self
+            .live
+            .remove(&ptr.addr())
+            .ok_or(FreeError::NotAllocated)?;
+        self.stats.frees += 1;
+        self.stats.live_bytes = self.stats.live_bytes.saturating_sub(rounded);
+        self.stats.requested_live_bytes =
+            self.stats.requested_live_bytes.saturating_sub(request);
+        if let Some(size) = lowfat_size(ptr.addr()) {
+            let class = class_for_size(size).expect("lowfat size is always a class size");
+            if self.config.quarantine_blocks > 0 {
+                self.quarantine.push_back((class, ptr.addr()));
+                while self.quarantine.len() > self.config.quarantine_blocks {
+                    if let Some((c, base)) = self.quarantine.pop_front() {
+                        self.classes[c].free.push(base);
+                    }
+                }
+                self.stats.quarantined_blocks = self.quarantine.len() as u64;
+            } else {
+                self.classes[class].free.push(ptr.addr());
+            }
+        }
+        // Legacy blocks are never reused (bump-only), mirroring how little
+        // control instrumentation has over foreign allocators.
+        Ok(rounded)
+    }
+
+    /// Begin a stack frame; allocations of kind [`AllocKind::Stack`] made
+    /// after this call are released together by
+    /// [`stack_frame_end`](Self::stack_frame_end).
+    pub fn stack_frame_begin(&mut self) -> FrameMark {
+        FrameMark(self.stack_objects.len())
+    }
+
+    /// End a stack frame, freeing every stack allocation made since `mark`.
+    pub fn stack_frame_end(&mut self, mark: FrameMark) {
+        while self.stack_objects.len() > mark.0 {
+            let base = self.stack_objects.pop().expect("length checked");
+            // A stack object may have already been freed explicitly (e.g.
+            // by buggy code); ignore such cases here, the runtime's FREE
+            // typing catches the semantic error.
+            let _ = self.free(Ptr(base));
+        }
+    }
+
+    /// Address of the start of the non-low-fat machine stack area (used by
+    /// the VM for frame-local spill slots that never escape).
+    pub fn machine_stack_base(&self) -> Ptr {
+        Ptr(region_base(STACK_REGION) + REGION_SIZE / 2)
+    }
+
+    fn alloc_class(&mut self, class: usize) -> Ptr {
+        let size = class_size(class);
+        let state = &mut self.classes[class];
+        if let Some(base) = state.free.pop() {
+            return Ptr(base);
+        }
+        let region_start = region_base(FIRST_CLASS_REGION + class as u64);
+        if state.bump == 0 {
+            // The first object of a region is placed one size-class unit in,
+            // so that `base()` of the region start itself never aliases an
+            // allocation.
+            state.bump = region_start + size;
+        }
+        let base = state.bump;
+        state.bump += size;
+        assert!(
+            state.bump <= region_start + REGION_SIZE,
+            "low-fat region for class {class} exhausted"
+        );
+        Ptr(base)
+    }
+
+    fn alloc_legacy(&mut self, size: u64) -> Ptr {
+        let base = (self.legacy_bump + 15) & !15;
+        self.legacy_bump = base + size;
+        Ptr(base)
+    }
+
+    /// Allocate a global object (convenience wrapper used by program
+    /// loading; identical to `alloc(size, AllocKind::Global)` except that
+    /// oversized globals stay in the dedicated global region rather than
+    /// the legacy region, so they remain low-fat-addressable for tests).
+    pub fn alloc_global(&mut self, size: u64) -> Ptr {
+        if class_for_size(size.max(1)).is_some() {
+            self.alloc(size, AllocKind::Global)
+        } else {
+            let base = (self.global_bump + 15) & !15;
+            self.global_bump = base + size;
+            self.live
+                .insert(base, (size, size, AllocKind::Global));
+            self.stats.allocations += 1;
+            self.stats.global_allocations += 1;
+            self.stats.live_bytes += size;
+            self.stats.requested_live_bytes += size;
+            self.stats.peak_live_bytes = self.stats.peak_live_bytes.max(self.stats.live_bytes);
+            Ptr(base)
+        }
+    }
+
+    /// Reserve `size` bytes of raw machine-stack space (spill slots).  These
+    /// are not low-fat objects and are not tracked as allocations.
+    pub fn bump_machine_stack(&mut self, size: u64) -> Ptr {
+        let base = (self.stack_bump + 15) & !15;
+        self.stack_bump = base + size;
+        Ptr(base)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heap_allocations_are_size_class_aligned() {
+        let mut a = LowFatAllocator::default();
+        for req in [1u64, 16, 17, 100, 4000, 1 << 20] {
+            let p = a.alloc(req, AllocKind::Heap);
+            let size = a.size(p).expect("low-fat");
+            assert!(size >= req);
+            assert_eq!(p.addr() % size, 0, "allocation not size-aligned");
+            assert_eq!(a.base(p.add(size / 2)), Some(p), "base() from interior");
+            assert_eq!(a.size(p.add(size - 1)), Some(size));
+        }
+    }
+
+    #[test]
+    fn different_sizes_live_in_different_regions() {
+        let mut a = LowFatAllocator::default();
+        let small = a.alloc(16, AllocKind::Heap);
+        let large = a.alloc(4096, AllocKind::Heap);
+        assert_ne!(
+            crate::size_classes::region_of(small.addr()),
+            crate::size_classes::region_of(large.addr())
+        );
+    }
+
+    #[test]
+    fn free_and_reuse() {
+        let mut a = LowFatAllocator::default();
+        let p = a.alloc(64, AllocKind::Heap);
+        assert!(a.is_live_base(p));
+        let freed = a.free(p).unwrap();
+        assert_eq!(freed, 64);
+        assert!(!a.is_live_base(p));
+        // Without quarantine the block is immediately reusable.
+        let q = a.alloc(64, AllocKind::Heap);
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn double_free_is_detected_at_the_allocator_level() {
+        let mut a = LowFatAllocator::default();
+        let p = a.alloc(32, AllocKind::Heap);
+        a.free(p).unwrap();
+        assert_eq!(a.free(p), Err(FreeError::NotAllocated));
+        assert_eq!(a.free(Ptr::NULL), Err(FreeError::Null));
+        assert_eq!(a.free(p.add(8)), Err(FreeError::NotAllocated));
+    }
+
+    #[test]
+    fn quarantine_delays_reuse() {
+        let mut a = LowFatAllocator::new(AllocatorConfig {
+            quarantine_blocks: 1,
+        });
+        let p = a.alloc(64, AllocKind::Heap);
+        a.free(p).unwrap();
+        let q = a.alloc(64, AllocKind::Heap);
+        assert_ne!(p, q, "quarantined block must not be reused immediately");
+        // Freeing a second block pushes the quarantine past its limit; the
+        // original block drains and becomes reusable.
+        a.free(q).unwrap();
+        let r = a.alloc(64, AllocKind::Heap);
+        assert_eq!(p, r, "drained block should be reused");
+        assert!(a.stats().quarantined_blocks <= 1);
+    }
+
+    #[test]
+    fn legacy_allocations_have_no_low_fat_metadata() {
+        let mut a = LowFatAllocator::default();
+        let p = a.alloc(100, AllocKind::Legacy);
+        assert!(!a.is_low_fat(p));
+        assert_eq!(a.base(p), None);
+        assert_eq!(a.size(p), None);
+        assert!(a.is_live_base(p));
+        // Oversized heap requests also fall back to legacy.
+        let huge = a.alloc((1 << 30) + 1, AllocKind::Heap);
+        assert!(!a.is_low_fat(huge));
+    }
+
+    #[test]
+    fn stack_frames_free_lifo() {
+        let mut a = LowFatAllocator::default();
+        let outer = a.stack_frame_begin();
+        let x = a.alloc(32, AllocKind::Stack);
+        let inner = a.stack_frame_begin();
+        let y = a.alloc(32, AllocKind::Stack);
+        assert!(a.is_live_base(x) && a.is_live_base(y));
+        a.stack_frame_end(inner);
+        assert!(a.is_live_base(x));
+        assert!(!a.is_live_base(y));
+        a.stack_frame_end(outer);
+        assert!(!a.is_live_base(x));
+    }
+
+    #[test]
+    fn stats_track_live_and_peak_bytes() {
+        let mut a = LowFatAllocator::default();
+        let p = a.alloc(100, AllocKind::Heap); // rounds to 128
+        let q = a.alloc(16, AllocKind::Heap);
+        let stats = a.stats();
+        assert_eq!(stats.allocations, 2);
+        assert_eq!(stats.live_bytes, 128 + 16);
+        assert_eq!(stats.requested_live_bytes, 116);
+        a.free(p).unwrap();
+        a.free(q).unwrap();
+        let stats = a.stats();
+        assert_eq!(stats.live_bytes, 0);
+        assert_eq!(stats.peak_live_bytes, 144);
+        assert_eq!(stats.frees, 2);
+    }
+
+    #[test]
+    fn global_allocations_are_low_fat_when_reasonably_sized() {
+        let mut a = LowFatAllocator::default();
+        let g = a.alloc_global(4096);
+        assert!(a.is_low_fat(g));
+        assert_eq!(a.stats().global_allocations, 1);
+        // Gigantic globals still get an address (non-low-fat).
+        let big = a.alloc_global((1 << 30) + 64);
+        assert!(!a.is_low_fat(big));
+    }
+
+    #[test]
+    fn machine_stack_is_not_low_fat() {
+        let mut a = LowFatAllocator::default();
+        let s = a.bump_machine_stack(256);
+        assert!(!a.is_low_fat(s));
+        assert!(!a.is_low_fat(a.machine_stack_base()));
+    }
+
+    #[test]
+    fn distinct_allocations_never_overlap() {
+        let mut a = LowFatAllocator::default();
+        let mut ranges: Vec<(u64, u64)> = Vec::new();
+        for i in 0..200u64 {
+            let size = 16 + (i % 7) * 24;
+            let p = a.alloc(size, AllocKind::Heap);
+            let rounded = a.size(p).unwrap();
+            for &(lo, hi) in &ranges {
+                assert!(p.addr() + rounded <= lo || p.addr() >= hi, "overlap");
+            }
+            ranges.push((p.addr(), p.addr() + rounded));
+        }
+    }
+}

@@ -1,0 +1,320 @@
+//! The sparse simulated memory backing the 64-bit address space.
+//!
+//! Real EffectiveSan relies on the operating system to lazily map the huge
+//! low-fat regions.  Here we reproduce that with a sparse page store: memory
+//! is materialised in fixed-size pages on first write, reads of untouched
+//! memory return zero (as freshly mapped pages do), and the number of
+//! materialised pages gives the resident-set-size figure used by the
+//! Figure 9 memory experiment.
+
+use std::collections::HashMap;
+
+use crate::ptr::Ptr;
+
+/// log2 of the page size.
+const PAGE_SHIFT: u32 = 14;
+/// Size of a simulated page (16 KiB — fine enough that META headers and
+/// size-class rounding show up in the resident-set figure).
+pub const PAGE_SIZE: u64 = 1 << PAGE_SHIFT;
+
+/// The sparse simulated memory.
+#[derive(Debug, Default)]
+pub struct Memory {
+    pages: HashMap<u64, Box<[u8]>>,
+    peak_pages: usize,
+}
+
+impl Memory {
+    /// An empty address space.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of currently materialised pages.
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Peak number of materialised pages over the lifetime of the memory.
+    pub fn peak_pages(&self) -> usize {
+        self.peak_pages.max(self.pages.len())
+    }
+
+    /// Current resident set size in bytes.
+    pub fn resident_bytes(&self) -> u64 {
+        self.resident_pages() as u64 * PAGE_SIZE
+    }
+
+    /// Peak resident set size in bytes (the Figure 9 metric).
+    pub fn peak_bytes(&self) -> u64 {
+        self.peak_pages() as u64 * PAGE_SIZE
+    }
+
+    /// Release the pages covering `[addr, addr + len)`, returning the
+    /// memory to the simulated OS.  Only whole pages fully inside the range
+    /// are released (mirroring `madvise(MADV_DONTNEED)` granularity).
+    pub fn release(&mut self, addr: Ptr, len: u64) {
+        if len == 0 {
+            return;
+        }
+        let start = addr.addr().div_ceil(PAGE_SIZE);
+        let end = (addr.addr() + len) >> PAGE_SHIFT;
+        for page in start..end {
+            self.pages.remove(&page);
+        }
+    }
+
+    /// Read `buf.len()` bytes starting at `addr`.
+    pub fn read(&self, addr: Ptr, buf: &mut [u8]) {
+        let mut a = addr.addr();
+        for byte in buf.iter_mut() {
+            let page = a >> PAGE_SHIFT;
+            let off = (a & (PAGE_SIZE - 1)) as usize;
+            *byte = match self.pages.get(&page) {
+                Some(data) => data[off],
+                None => 0,
+            };
+            a = a.wrapping_add(1);
+        }
+    }
+
+    /// Write `buf` starting at `addr`, materialising pages as needed.
+    pub fn write(&mut self, addr: Ptr, buf: &[u8]) {
+        let mut a = addr.addr();
+        let mut i = 0;
+        while i < buf.len() {
+            let page = a >> PAGE_SHIFT;
+            let off = (a & (PAGE_SIZE - 1)) as usize;
+            let chunk = ((PAGE_SIZE as usize) - off).min(buf.len() - i);
+            let data = self.page_mut(page);
+            data[off..off + chunk].copy_from_slice(&buf[i..i + chunk]);
+            i += chunk;
+            a = a.wrapping_add(chunk as u64);
+        }
+    }
+
+    /// Fill `[addr, addr + len)` with `value`.
+    pub fn fill(&mut self, addr: Ptr, len: u64, value: u8) {
+        let mut a = addr.addr();
+        let mut remaining = len;
+        while remaining > 0 {
+            let page = a >> PAGE_SHIFT;
+            let off = (a & (PAGE_SIZE - 1)) as usize;
+            let chunk = ((PAGE_SIZE - off as u64).min(remaining)) as usize;
+            let data = self.page_mut(page);
+            data[off..off + chunk].fill(value);
+            remaining -= chunk as u64;
+            a = a.wrapping_add(chunk as u64);
+        }
+    }
+
+    /// Copy `len` bytes from `src` to `dst` (handles overlap like `memmove`).
+    pub fn copy(&mut self, dst: Ptr, src: Ptr, len: u64) {
+        let mut buf = vec![0u8; len as usize];
+        self.read(src, &mut buf);
+        self.write(dst, &buf);
+    }
+
+    /// Read an unsigned 64-bit little-endian word.
+    pub fn read_u64(&self, addr: Ptr) -> u64 {
+        let mut b = [0u8; 8];
+        self.read(addr, &mut b);
+        u64::from_le_bytes(b)
+    }
+
+    /// Write an unsigned 64-bit little-endian word.
+    pub fn write_u64(&mut self, addr: Ptr, value: u64) {
+        self.write(addr, &value.to_le_bytes());
+    }
+
+    /// Read an unsigned 32-bit little-endian word.
+    pub fn read_u32(&self, addr: Ptr) -> u32 {
+        let mut b = [0u8; 4];
+        self.read(addr, &mut b);
+        u32::from_le_bytes(b)
+    }
+
+    /// Write an unsigned 32-bit little-endian word.
+    pub fn write_u32(&mut self, addr: Ptr, value: u32) {
+        self.write(addr, &value.to_le_bytes());
+    }
+
+    /// Read an unsigned 16-bit little-endian word.
+    pub fn read_u16(&self, addr: Ptr) -> u16 {
+        let mut b = [0u8; 2];
+        self.read(addr, &mut b);
+        u16::from_le_bytes(b)
+    }
+
+    /// Write an unsigned 16-bit little-endian word.
+    pub fn write_u16(&mut self, addr: Ptr, value: u16) {
+        self.write(addr, &value.to_le_bytes());
+    }
+
+    /// Read a byte.
+    pub fn read_u8(&self, addr: Ptr) -> u8 {
+        let mut b = [0u8; 1];
+        self.read(addr, &mut b);
+        b[0]
+    }
+
+    /// Write a byte.
+    pub fn write_u8(&mut self, addr: Ptr, value: u8) {
+        self.write(addr, &[value]);
+    }
+
+    /// Read an IEEE-754 double.
+    pub fn read_f64(&self, addr: Ptr) -> f64 {
+        f64::from_bits(self.read_u64(addr))
+    }
+
+    /// Write an IEEE-754 double.
+    pub fn write_f64(&mut self, addr: Ptr, value: f64) {
+        self.write_u64(addr, value.to_bits());
+    }
+
+    /// Read an IEEE-754 float.
+    pub fn read_f32(&self, addr: Ptr) -> f32 {
+        f32::from_bits(self.read_u32(addr))
+    }
+
+    /// Write an IEEE-754 float.
+    pub fn write_f32(&mut self, addr: Ptr, value: f32) {
+        self.write_u32(addr, value.to_bits());
+    }
+
+    /// Read a little-endian unsigned integer of `size` ∈ {1, 2, 4, 8} bytes.
+    pub fn read_uint(&self, addr: Ptr, size: u64) -> u64 {
+        match size {
+            1 => self.read_u8(addr) as u64,
+            2 => self.read_u16(addr) as u64,
+            4 => self.read_u32(addr) as u64,
+            8 => self.read_u64(addr),
+            _ => {
+                let mut b = vec![0u8; size as usize];
+                self.read(addr, &mut b);
+                let mut v = 0u64;
+                for (i, byte) in b.iter().enumerate().take(8) {
+                    v |= (*byte as u64) << (8 * i);
+                }
+                v
+            }
+        }
+    }
+
+    /// Write a little-endian unsigned integer of `size` ∈ {1, 2, 4, 8} bytes.
+    pub fn write_uint(&mut self, addr: Ptr, size: u64, value: u64) {
+        match size {
+            1 => self.write_u8(addr, value as u8),
+            2 => self.write_u16(addr, value as u16),
+            4 => self.write_u32(addr, value as u32),
+            8 => self.write_u64(addr, value),
+            _ => {
+                let bytes = value.to_le_bytes();
+                let n = (size as usize).min(8);
+                self.write(addr, &bytes[..n]);
+                if size as usize > 8 {
+                    self.fill(addr.add(8), size - 8, 0);
+                }
+            }
+        }
+    }
+
+    fn page_mut(&mut self, page: u64) -> &mut [u8] {
+        self.pages
+            .entry(page)
+            .or_insert_with(|| vec![0u8; PAGE_SIZE as usize].into_boxed_slice());
+        // Keep the stored high-water mark fresh so `release()` cannot erase
+        // it before `peak_pages()` is next read.
+        if self.pages.len() > self.peak_pages {
+            self.peak_pages = self.pages.len();
+        }
+        self.pages.get_mut(&page).expect("page just inserted").as_mut()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn untouched_memory_reads_zero() {
+        let mem = Memory::new();
+        assert_eq!(mem.read_u64(Ptr(0x5000_0000_1234)), 0);
+        assert_eq!(mem.resident_pages(), 0);
+    }
+
+    #[test]
+    fn read_back_what_was_written() {
+        let mut mem = Memory::new();
+        let p = Ptr(0x1_0000_0040);
+        mem.write_u64(p, 0xdead_beef_cafe_f00d);
+        assert_eq!(mem.read_u64(p), 0xdead_beef_cafe_f00d);
+        mem.write_u32(p.add(8), 42);
+        assert_eq!(mem.read_u32(p.add(8)), 42);
+        mem.write_u8(p.add(12), 7);
+        assert_eq!(mem.read_u8(p.add(12)), 7);
+        mem.write_f64(p.add(16), 3.5);
+        assert_eq!(mem.read_f64(p.add(16)), 3.5);
+        mem.write_f32(p.add(24), -1.25);
+        assert_eq!(mem.read_f32(p.add(24)), -1.25);
+    }
+
+    #[test]
+    fn writes_spanning_page_boundaries() {
+        let mut mem = Memory::new();
+        let p = Ptr(PAGE_SIZE - 4);
+        let data = [1u8, 2, 3, 4, 5, 6, 7, 8];
+        mem.write(p, &data);
+        let mut back = [0u8; 8];
+        mem.read(p, &mut back);
+        assert_eq!(back, data);
+        assert_eq!(mem.resident_pages(), 2);
+    }
+
+    #[test]
+    fn fill_and_copy() {
+        let mut mem = Memory::new();
+        let a = Ptr(0x2_0000_0000);
+        let b = Ptr(0x2_0000_1000);
+        mem.fill(a, 64, 0xAB);
+        assert_eq!(mem.read_u8(a.add(63)), 0xAB);
+        mem.copy(b, a, 64);
+        assert_eq!(mem.read_u8(b.add(63)), 0xAB);
+        // Overlapping copy behaves like memmove.
+        mem.copy(a.add(8), a, 32);
+        assert_eq!(mem.read_u8(a.add(39)), 0xAB);
+    }
+
+    #[test]
+    fn variable_width_integers() {
+        let mut mem = Memory::new();
+        let p = Ptr(0x3_0000_0000);
+        for size in [1u64, 2, 4, 8] {
+            let v = 0x1122_3344_5566_7788u64 & (u64::MAX >> (64 - 8 * size));
+            mem.write_uint(p, size, v);
+            assert_eq!(mem.read_uint(p, size), v, "width {size}");
+        }
+    }
+
+    #[test]
+    fn peak_pages_survives_release() {
+        let mut mem = Memory::new();
+        for i in 0..10u64 {
+            mem.write_u64(Ptr(i * PAGE_SIZE), 1);
+        }
+        assert_eq!(mem.resident_pages(), 10);
+        mem.release(Ptr(0), 10 * PAGE_SIZE);
+        assert_eq!(mem.resident_pages(), 0);
+        assert_eq!(mem.peak_pages(), 10);
+        assert_eq!(mem.peak_bytes(), 10 * PAGE_SIZE);
+    }
+
+    #[test]
+    fn release_only_touches_whole_pages() {
+        let mut mem = Memory::new();
+        mem.write_u64(Ptr(100), 7);
+        mem.release(Ptr(50), 200); // partial page: not released
+        assert_eq!(mem.read_u64(Ptr(100)), 7);
+    }
+}

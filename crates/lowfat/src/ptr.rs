@@ -1,0 +1,107 @@
+//! Simulated 64-bit pointers.
+//!
+//! The low-fat scheme encodes all of its meta data in the *numeric value* of
+//! a pointer, so a pointer in this crate is simply a 64-bit address into the
+//! simulated address space ([`crate::Memory`]).  A thin newtype keeps
+//! addresses from being confused with ordinary integers in the VM and the
+//! runtime.
+
+use std::fmt;
+
+/// A simulated 64-bit pointer (an address in the simulated address space).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Ptr(pub u64);
+
+impl Ptr {
+    /// The null pointer.
+    pub const NULL: Ptr = Ptr(0);
+
+    /// The raw address.
+    pub fn addr(self) -> u64 {
+        self.0
+    }
+
+    /// Is this the null pointer?
+    pub fn is_null(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Pointer arithmetic in bytes (wrapping, like hardware).
+    pub fn offset(self, delta: i64) -> Ptr {
+        Ptr(self.0.wrapping_add(delta as u64))
+    }
+
+    /// Unsigned byte offset addition.
+    pub fn add(self, delta: u64) -> Ptr {
+        Ptr(self.0.wrapping_add(delta))
+    }
+
+    /// Byte difference `self - other`.
+    pub fn diff(self, other: Ptr) -> i64 {
+        self.0.wrapping_sub(other.0) as i64
+    }
+
+    /// Round the address down to a multiple of `align` (power of two).
+    pub fn align_down(self, align: u64) -> Ptr {
+        debug_assert!(align.is_power_of_two());
+        Ptr(self.0 & !(align - 1))
+    }
+
+    /// Round the address up to a multiple of `align` (power of two).
+    pub fn align_up(self, align: u64) -> Ptr {
+        debug_assert!(align.is_power_of_two());
+        Ptr(self.0.checked_add(align - 1).unwrap_or(u64::MAX) & !(align - 1))
+    }
+}
+
+impl fmt::Display for Ptr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl From<u64> for Ptr {
+    fn from(addr: u64) -> Self {
+        Ptr(addr)
+    }
+}
+
+impl From<Ptr> for u64 {
+    fn from(p: Ptr) -> Self {
+        p.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_is_zero() {
+        assert!(Ptr::NULL.is_null());
+        assert!(!Ptr(1).is_null());
+        assert_eq!(Ptr::default(), Ptr::NULL);
+    }
+
+    #[test]
+    fn arithmetic_wraps_like_hardware() {
+        let p = Ptr(0x1000);
+        assert_eq!(p.offset(16), Ptr(0x1010));
+        assert_eq!(p.offset(-16), Ptr(0xff0));
+        assert_eq!(p.add(4), Ptr(0x1004));
+        assert_eq!(Ptr(8).diff(Ptr(16)), -8);
+        assert_eq!(Ptr(u64::MAX).add(1), Ptr(0));
+    }
+
+    #[test]
+    fn alignment_helpers() {
+        assert_eq!(Ptr(0x1234).align_down(16), Ptr(0x1230));
+        assert_eq!(Ptr(0x1234).align_up(16), Ptr(0x1240));
+        assert_eq!(Ptr(0x1230).align_up(16), Ptr(0x1230));
+    }
+
+    #[test]
+    fn display_is_hex() {
+        assert_eq!(Ptr(0xdead).to_string(), "0xdead");
+    }
+}

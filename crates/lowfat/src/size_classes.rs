@@ -1,0 +1,188 @@
+//! Low-fat size classes and the region layout of the simulated address
+//! space.
+//!
+//! The low-fat pointer encoding of Duck & Yap (CC'16 / NDSS'17) arranges
+//! allocations into large, contiguous *regions*, one per allocation size
+//! class, and guarantees every allocation is aligned to its size class.
+//! Both meta-data operations then become O(1) arithmetic on the pointer
+//! value alone:
+//!
+//! * `size(p)`  — read the size-class table indexed by `p / REGION_SIZE`;
+//! * `base(p)`  — round `p` down to a multiple of `size(p)`.
+//!
+//! We reproduce this layout in a simulated 64-bit address space:
+//!
+//! ```text
+//!   region 0            : unmapped (null page, legacy small integers)
+//!   region 1..=N        : low-fat regions, one per size class (powers of
+//!                         two from 16 B to 1 GiB)
+//!   region N+1          : the "legacy" region — allocations made by
+//!                         uninstrumented code / custom memory allocators;
+//!                         base()/size() report no meta data for these
+//!   region N+2          : simulated global/static data (also low-fat)
+//! ```
+//!
+//! Each region is 4 GiB, so region index = `address >> 32`.
+
+/// log2 of the region size (4 GiB regions).
+pub const REGION_SHIFT: u32 = 32;
+
+/// Size of one low-fat region in bytes.
+pub const REGION_SIZE: u64 = 1 << REGION_SHIFT;
+
+/// The smallest size class, in bytes (everything smaller is rounded up).
+pub const MIN_CLASS: u64 = 16;
+
+/// The largest size class, in bytes (1 GiB).  Larger allocations are served
+/// from the legacy region and carry no low-fat meta data, matching the
+/// original allocator's fallback for huge objects.
+pub const MAX_CLASS: u64 = 1 << 30;
+
+/// The low-fat size classes: powers of two from [`MIN_CLASS`] to
+/// [`MAX_CLASS`].
+pub const NUM_CLASSES: usize = 27; // 2^4 ..= 2^30
+
+/// First region index used for low-fat size classes.
+pub const FIRST_CLASS_REGION: u64 = 1;
+
+/// Region index of the legacy (non-low-fat) region.
+pub const LEGACY_REGION: u64 = FIRST_CLASS_REGION + NUM_CLASSES as u64;
+
+/// Region index of the global/static data region.
+pub const GLOBAL_REGION: u64 = LEGACY_REGION + 1;
+
+/// Region index of the simulated machine stack used for spill slots and
+/// non-low-fat frames (escaping stack objects are allocated low-fat
+/// instead, mirroring the NDSS'17 stack allocator).
+pub const STACK_REGION: u64 = GLOBAL_REGION + 1;
+
+/// The size (in bytes) of size class `idx`.
+pub fn class_size(idx: usize) -> u64 {
+    debug_assert!(idx < NUM_CLASSES);
+    MIN_CLASS << idx
+}
+
+/// The size class index whose allocations hold `size` bytes, or `None` when
+/// the request exceeds [`MAX_CLASS`] (served from the legacy region).
+pub fn class_for_size(size: u64) -> Option<usize> {
+    if size > MAX_CLASS {
+        return None;
+    }
+    let size = size.max(MIN_CLASS);
+    let rounded = size.next_power_of_two();
+    let idx = (rounded.trailing_zeros() - MIN_CLASS.trailing_zeros()) as usize;
+    debug_assert!(idx < NUM_CLASSES);
+    Some(idx)
+}
+
+/// The base address of region `region`.
+pub fn region_base(region: u64) -> u64 {
+    region << REGION_SHIFT
+}
+
+/// The region index containing address `addr`.
+pub fn region_of(addr: u64) -> u64 {
+    addr >> REGION_SHIFT
+}
+
+/// Is `addr` inside a low-fat (size-class) region?
+pub fn is_low_fat(addr: u64) -> bool {
+    let region = region_of(addr);
+    (FIRST_CLASS_REGION..FIRST_CLASS_REGION + NUM_CLASSES as u64).contains(&region)
+}
+
+/// The `size(p)` operation of the low-fat encoding: the allocation size of
+/// the object containing `addr`, or `None` for legacy pointers
+/// ("`size(q) = SIZE_MAX`" in the paper).
+pub fn lowfat_size(addr: u64) -> Option<u64> {
+    if !is_low_fat(addr) {
+        return None;
+    }
+    let class = (region_of(addr) - FIRST_CLASS_REGION) as usize;
+    Some(class_size(class))
+}
+
+/// The `base(p)` operation of the low-fat encoding: the base address of the
+/// allocation containing `addr`, or `None` for legacy pointers
+/// ("`base(q) = NULL`" in the paper).
+pub fn lowfat_base(addr: u64) -> Option<u64> {
+    let size = lowfat_size(addr)?;
+    Some(addr & !(size - 1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_sizes_are_powers_of_two_in_range() {
+        for idx in 0..NUM_CLASSES {
+            let size = class_size(idx);
+            assert!(size.is_power_of_two());
+            assert!((MIN_CLASS..=MAX_CLASS).contains(&size));
+        }
+        assert_eq!(class_size(0), 16);
+        assert_eq!(class_size(NUM_CLASSES - 1), MAX_CLASS);
+    }
+
+    #[test]
+    fn class_for_size_rounds_up() {
+        assert_eq!(class_for_size(1), Some(0));
+        assert_eq!(class_for_size(16), Some(0));
+        assert_eq!(class_for_size(17), Some(1));
+        assert_eq!(class_for_size(32), Some(1));
+        assert_eq!(class_for_size(33), Some(2));
+        assert_eq!(class_for_size(100), Some(3));
+        assert_eq!(class_for_size(MAX_CLASS), Some(NUM_CLASSES - 1));
+        assert_eq!(class_for_size(MAX_CLASS + 1), None);
+    }
+
+    #[test]
+    fn every_class_fits_its_requests() {
+        for req in [1u64, 15, 16, 17, 100, 4096, 1 << 20, MAX_CLASS] {
+            let idx = class_for_size(req).unwrap();
+            assert!(class_size(idx) >= req, "class too small for {req}");
+            if idx > 0 {
+                assert!(class_size(idx - 1) < req.max(MIN_CLASS + 1), "class not tight for {req}");
+            }
+        }
+    }
+
+    #[test]
+    fn regions_partition_the_address_space() {
+        assert!(LEGACY_REGION > NUM_CLASSES as u64);
+        assert!(GLOBAL_REGION > LEGACY_REGION);
+        assert!(STACK_REGION > GLOBAL_REGION);
+        assert_eq!(region_of(region_base(5) + 123), 5);
+    }
+
+    #[test]
+    fn lowfat_size_and_base_follow_the_encoding() {
+        // A pointer into region 3 (class 3 = 128 bytes).
+        let base = region_base(FIRST_CLASS_REGION + 3) + 7 * 128;
+        let p = base + 57;
+        assert!(is_low_fat(p));
+        assert_eq!(lowfat_size(p), Some(128));
+        assert_eq!(lowfat_base(p), Some(base));
+    }
+
+    #[test]
+    fn legacy_pointers_have_no_metadata() {
+        let legacy = region_base(LEGACY_REGION) + 4096;
+        assert!(!is_low_fat(legacy));
+        assert_eq!(lowfat_size(legacy), None);
+        assert_eq!(lowfat_base(legacy), None);
+        // Null and small integers are legacy too.
+        assert!(!is_low_fat(0));
+        assert!(!is_low_fat(42));
+    }
+
+    #[test]
+    fn paper_example_str_allocation() {
+        // str = lowfat_malloc(sizeof(char[32])): size(str+10) == 32 and
+        // base(str+10) == str.  Class for 32 bytes is class 1.
+        let str_base = region_base(FIRST_CLASS_REGION + 1) + 10 * 32;
+        assert_eq!(lowfat_size(str_base + 10), Some(32));
+        assert_eq!(lowfat_base(str_base + 10), Some(str_base));
+    }
+}

@@ -1,0 +1,109 @@
+//! Property-based tests for the low-fat allocator and simulated memory.
+
+use proptest::prelude::*;
+
+use lowfat::size_classes::{class_for_size, class_size, MAX_CLASS};
+use lowfat::{AllocKind, AllocatorConfig, LowFatAllocator, Memory, Ptr};
+
+proptest! {
+    /// base()/size() recover the allocation from ANY interior pointer.
+    #[test]
+    fn base_and_size_from_any_interior_pointer(sizes in prop::collection::vec(1u64..100_000, 1..40), probe in 0u64..100_000) {
+        let mut alloc = LowFatAllocator::default();
+        for &s in &sizes {
+            let p = alloc.alloc(s, AllocKind::Heap);
+            let rounded = alloc.size(p).unwrap();
+            prop_assert!(rounded >= s);
+            let interior = p.add(probe % rounded);
+            prop_assert_eq!(alloc.base(interior), Some(p));
+            prop_assert_eq!(alloc.size(interior), Some(rounded));
+        }
+    }
+
+    /// Allocations of the same size class never overlap, and freeing makes
+    /// blocks reusable without ever handing out overlapping live blocks.
+    #[test]
+    fn no_two_live_allocations_overlap(ops in prop::collection::vec((1u64..4096, prop::bool::ANY), 1..200)) {
+        let mut alloc = LowFatAllocator::default();
+        let mut live: Vec<(u64, u64)> = Vec::new();
+        for (size, do_free) in ops {
+            let p = alloc.alloc(size, AllocKind::Heap);
+            let rounded = alloc.size(p).unwrap();
+            for &(lo, hi) in &live {
+                prop_assert!(p.addr() + rounded <= lo || p.addr() >= hi);
+            }
+            if do_free {
+                alloc.free(p).unwrap();
+            } else {
+                live.push((p.addr(), p.addr() + rounded));
+            }
+        }
+    }
+
+    /// The size-class function is monotone and always covers the request.
+    #[test]
+    fn size_class_covers_request(size in 1u64..MAX_CLASS) {
+        let idx = class_for_size(size).unwrap();
+        prop_assert!(class_size(idx) >= size);
+        if idx > 0 {
+            prop_assert!(class_size(idx - 1) < size.max(17));
+        }
+    }
+
+    /// Memory: what is written is read back, independent of page boundaries.
+    #[test]
+    fn memory_roundtrip(addr in 0u64..1u64 << 40, data in prop::collection::vec(any::<u8>(), 1..256)) {
+        let mut mem = Memory::new();
+        mem.write(Ptr(addr), &data);
+        let mut back = vec![0u8; data.len()];
+        mem.read(Ptr(addr), &mut back);
+        prop_assert_eq!(back, data);
+    }
+
+    /// Quarantine never hands back a block before `quarantine_blocks`
+    /// further frees have happened.
+    #[test]
+    fn quarantine_delays_reuse(qlen in 1usize..8, rounds in 1usize..20) {
+        let mut alloc = LowFatAllocator::new(AllocatorConfig { quarantine_blocks: qlen });
+        let first = alloc.alloc(64, AllocKind::Heap);
+        alloc.free(first).unwrap();
+        let mut reused_at = None;
+        for i in 0..rounds {
+            let p = alloc.alloc(64, AllocKind::Heap);
+            if p == first {
+                reused_at = Some(i);
+                break;
+            }
+            alloc.free(p).unwrap();
+        }
+        if let Some(i) = reused_at {
+            prop_assert!(i >= qlen, "block left quarantine after only {i} frees (limit {qlen})");
+        }
+    }
+
+    /// Stack frame discipline: ending a frame frees exactly the objects
+    /// allocated inside it.
+    #[test]
+    fn stack_frames_are_lifo(counts in prop::collection::vec(1usize..5, 1..6)) {
+        let mut alloc = LowFatAllocator::default();
+        let mut frames = Vec::new();
+        let mut per_frame: Vec<Vec<Ptr>> = Vec::new();
+        for &n in &counts {
+            frames.push(alloc.stack_frame_begin());
+            let mut objs = Vec::new();
+            for _ in 0..n {
+                objs.push(alloc.alloc(32, AllocKind::Stack));
+            }
+            per_frame.push(objs);
+        }
+        for (mark, objs) in frames.into_iter().zip(per_frame.clone()).rev() {
+            for p in &objs {
+                prop_assert!(alloc.is_live_base(*p));
+            }
+            alloc.stack_frame_end(mark);
+            for p in &objs {
+                prop_assert!(!alloc.is_live_base(*p));
+            }
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! Compilation errors.
+
+use std::fmt;
+
+use crate::token::Loc;
+
+/// What stage produced the error.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// Lexical error.
+    Lex,
+    /// Parse error.
+    Parse,
+    /// Semantic / type error found at compile time.
+    Sema,
+    /// Error while lowering to IR.
+    Lower,
+}
+
+impl fmt::Display for ErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ErrorKind::Lex => write!(f, "lex error"),
+            ErrorKind::Parse => write!(f, "parse error"),
+            ErrorKind::Sema => write!(f, "semantic error"),
+            ErrorKind::Lower => write!(f, "lowering error"),
+        }
+    }
+}
+
+/// A compilation error with location information.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CompileError {
+    /// Which stage failed.
+    pub kind: ErrorKind,
+    /// Human-readable message.
+    pub message: String,
+    /// Source location.
+    pub loc: Loc,
+}
+
+impl CompileError {
+    /// Construct an error.
+    pub fn new(kind: ErrorKind, message: impl Into<String>, loc: Loc) -> Self {
+        CompileError {
+            kind,
+            message: message.into(),
+            loc,
+        }
+    }
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at {}: {}", self.kind, self.loc, self.message)
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_location_and_stage() {
+        let e = CompileError::new(ErrorKind::Parse, "expected `;`", Loc::new(3, 7));
+        assert_eq!(e.to_string(), "parse error at 3:7: expected `;`");
+    }
+}

@@ -1,0 +1,421 @@
+//! The Mini-C lexer.
+
+use crate::error::{CompileError, ErrorKind};
+use crate::token::{Keyword, Loc, Punct, Token, TokenKind};
+
+/// Tokenise a full source string.
+pub fn lex(source: &str) -> Result<Vec<Token>, CompileError> {
+    Lexer::new(source).run()
+}
+
+struct Lexer<'a> {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    col: u32,
+    source: &'a str,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(source: &'a str) -> Self {
+        Lexer {
+            chars: source.chars().collect(),
+            pos: 0,
+            line: 1,
+            col: 1,
+            source,
+        }
+    }
+
+    fn loc(&self) -> Loc {
+        Loc::new(self.line, self.col)
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<char> {
+        self.chars.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn error(&self, msg: impl Into<String>) -> CompileError {
+        CompileError {
+            kind: ErrorKind::Lex,
+            message: msg.into(),
+            loc: self.loc(),
+        }
+    }
+
+    fn run(mut self) -> Result<Vec<Token>, CompileError> {
+        let _ = self.source;
+        let mut tokens = Vec::new();
+        loop {
+            self.skip_whitespace_and_comments()?;
+            let loc = self.loc();
+            let Some(c) = self.peek() else {
+                tokens.push(Token::new(TokenKind::Eof, loc));
+                return Ok(tokens);
+            };
+            let kind = if c.is_ascii_alphabetic() || c == '_' {
+                self.lex_ident()
+            } else if c.is_ascii_digit() {
+                self.lex_number()?
+            } else if c == '"' {
+                self.lex_string()?
+            } else if c == '\'' {
+                self.lex_char()?
+            } else {
+                self.lex_punct()?
+            };
+            tokens.push(Token::new(kind, loc));
+        }
+    }
+
+    fn skip_whitespace_and_comments(&mut self) -> Result<(), CompileError> {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_whitespace() => {
+                    self.bump();
+                }
+                Some('/') if self.peek2() == Some('/') => {
+                    while let Some(c) = self.bump() {
+                        if c == '\n' {
+                            break;
+                        }
+                    }
+                }
+                Some('/') if self.peek2() == Some('*') => {
+                    self.bump();
+                    self.bump();
+                    loop {
+                        match self.bump() {
+                            Some('*') if self.peek() == Some('/') => {
+                                self.bump();
+                                break;
+                            }
+                            Some(_) => {}
+                            None => return Err(self.error("unterminated block comment")),
+                        }
+                    }
+                }
+                // Preprocessor-style lines are tolerated and skipped.
+                Some('#') if self.col == 1 => {
+                    while let Some(c) = self.bump() {
+                        if c == '\n' {
+                            break;
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn lex_ident(&mut self) -> TokenKind {
+        let mut s = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                s.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        match Keyword::from_str(&s) {
+            Some(k) => TokenKind::Keyword(k),
+            None => TokenKind::Ident(s),
+        }
+    }
+
+    fn lex_number(&mut self) -> Result<TokenKind, CompileError> {
+        let mut s = String::new();
+        let mut is_float = false;
+        // Hex literals.
+        if self.peek() == Some('0') && matches!(self.peek2(), Some('x') | Some('X')) {
+            self.bump();
+            self.bump();
+            let mut hex = String::new();
+            while let Some(c) = self.peek() {
+                if c.is_ascii_hexdigit() {
+                    hex.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            let v = i64::from_str_radix(&hex, 16)
+                .map_err(|_| self.error(format!("invalid hex literal 0x{hex}")))?;
+            self.skip_int_suffix();
+            return Ok(TokenKind::Int(v));
+        }
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() {
+                s.push(c);
+                self.bump();
+            } else if c == '.' && !is_float && self.peek2().is_some_and(|d| d.is_ascii_digit()) {
+                is_float = true;
+                s.push(c);
+                self.bump();
+            } else if (c == 'e' || c == 'E')
+                && !s.is_empty()
+                && self
+                    .peek2()
+                    .is_some_and(|d| d.is_ascii_digit() || d == '-' || d == '+')
+            {
+                is_float = true;
+                s.push(c);
+                self.bump();
+                if matches!(self.peek(), Some('-') | Some('+')) {
+                    s.push(self.bump().expect("peeked"));
+                }
+            } else {
+                break;
+            }
+        }
+        if is_float || matches!(self.peek(), Some('f') | Some('F')) {
+            if matches!(self.peek(), Some('f') | Some('F')) {
+                self.bump();
+            }
+            let v: f64 = s
+                .parse()
+                .map_err(|_| self.error(format!("invalid float literal {s}")))?;
+            Ok(TokenKind::Float(v))
+        } else {
+            self.skip_int_suffix();
+            let v: i64 = s
+                .parse()
+                .map_err(|_| self.error(format!("invalid integer literal {s}")))?;
+            Ok(TokenKind::Int(v))
+        }
+    }
+
+    fn skip_int_suffix(&mut self) {
+        while matches!(self.peek(), Some('u') | Some('U') | Some('l') | Some('L')) {
+            self.bump();
+        }
+    }
+
+    fn lex_string(&mut self) -> Result<TokenKind, CompileError> {
+        self.bump(); // opening quote
+        let mut s = String::new();
+        loop {
+            match self.bump() {
+                Some('"') => return Ok(TokenKind::Str(s)),
+                Some('\\') => s.push(self.escape()?),
+                Some(c) => s.push(c),
+                None => return Err(self.error("unterminated string literal")),
+            }
+        }
+    }
+
+    fn lex_char(&mut self) -> Result<TokenKind, CompileError> {
+        self.bump(); // opening quote
+        let c = match self.bump() {
+            Some('\\') => self.escape()?,
+            Some(c) => c,
+            None => return Err(self.error("unterminated character literal")),
+        };
+        if self.bump() != Some('\'') {
+            return Err(self.error("unterminated character literal"));
+        }
+        Ok(TokenKind::Char(c as i64))
+    }
+
+    fn escape(&mut self) -> Result<char, CompileError> {
+        match self.bump() {
+            Some('n') => Ok('\n'),
+            Some('t') => Ok('\t'),
+            Some('r') => Ok('\r'),
+            Some('0') => Ok('\0'),
+            Some('\\') => Ok('\\'),
+            Some('\'') => Ok('\''),
+            Some('"') => Ok('"'),
+            Some(c) => Err(self.error(format!("unknown escape sequence \\{c}"))),
+            None => Err(self.error("unterminated escape sequence")),
+        }
+    }
+
+    fn lex_punct(&mut self) -> Result<TokenKind, CompileError> {
+        use Punct::*;
+        let c = self.bump().expect("caller checked");
+        let two = |lexer: &mut Self, next: char, with: Punct, without: Punct| {
+            if lexer.peek() == Some(next) {
+                lexer.bump();
+                with
+            } else {
+                without
+            }
+        };
+        let p = match c {
+            '(' => LParen,
+            ')' => RParen,
+            '{' => LBrace,
+            '}' => RBrace,
+            '[' => LBracket,
+            ']' => RBracket,
+            ';' => Semi,
+            ',' => Comma,
+            ':' => Colon,
+            '?' => Question,
+            '.' => Dot,
+            '~' => Tilde,
+            '^' => Caret,
+            '+' => {
+                if self.peek() == Some('+') {
+                    self.bump();
+                    PlusPlus
+                } else {
+                    two(self, '=', PlusAssign, Plus)
+                }
+            }
+            '-' => {
+                if self.peek() == Some('>') {
+                    self.bump();
+                    Arrow
+                } else if self.peek() == Some('-') {
+                    self.bump();
+                    MinusMinus
+                } else {
+                    two(self, '=', MinusAssign, Minus)
+                }
+            }
+            '*' => two(self, '=', StarAssign, Star),
+            '/' => two(self, '=', SlashAssign, Slash),
+            '%' => Percent,
+            '&' => two(self, '&', AndAnd, Amp),
+            '|' => two(self, '|', OrOr, Pipe),
+            '!' => two(self, '=', Ne, Bang),
+            '=' => two(self, '=', Eq, Assign),
+            '<' => {
+                if self.peek() == Some('<') {
+                    self.bump();
+                    Shl
+                } else {
+                    two(self, '=', Le, Lt)
+                }
+            }
+            '>' => {
+                if self.peek() == Some('>') {
+                    self.bump();
+                    Shr
+                } else {
+                    two(self, '=', Ge, Gt)
+                }
+            }
+            other => return Err(self.error(format!("unexpected character `{other}`"))),
+        };
+        Ok(TokenKind::Punct(p))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lex_keywords_and_identifiers() {
+        let ks = kinds("int foo struct S");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Keyword(Keyword::Int),
+                TokenKind::Ident("foo".to_string()),
+                TokenKind::Keyword(Keyword::Struct),
+                TokenKind::Ident("S".to_string()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_numbers() {
+        assert_eq!(
+            kinds("42 0x1f 3.5 1e3 2.5e-2 7f"),
+            vec![
+                TokenKind::Int(42),
+                TokenKind::Int(31),
+                TokenKind::Float(3.5),
+                TokenKind::Float(1000.0),
+                TokenKind::Float(0.025),
+                TokenKind::Float(7.0),
+                TokenKind::Eof,
+            ]
+        );
+        assert_eq!(kinds("100ul")[0], TokenKind::Int(100));
+    }
+
+    #[test]
+    fn lex_strings_and_chars() {
+        assert_eq!(
+            kinds(r#""hello\n" 'a' '\0'"#),
+            vec![
+                TokenKind::Str("hello\n".to_string()),
+                TokenKind::Char('a' as i64),
+                TokenKind::Char(0),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_operators() {
+        use Punct::*;
+        assert_eq!(
+            kinds("-> ++ -- == != <= >= && || << >> += -="),
+            vec![
+                TokenKind::Punct(Arrow),
+                TokenKind::Punct(PlusPlus),
+                TokenKind::Punct(MinusMinus),
+                TokenKind::Punct(Eq),
+                TokenKind::Punct(Ne),
+                TokenKind::Punct(Le),
+                TokenKind::Punct(Ge),
+                TokenKind::Punct(AndAnd),
+                TokenKind::Punct(OrOr),
+                TokenKind::Punct(Shl),
+                TokenKind::Punct(Shr),
+                TokenKind::Punct(PlusAssign),
+                TokenKind::Punct(MinusAssign),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_and_preprocessor_lines_are_skipped() {
+        let src = "#include <stdio.h>\n// line comment\nint /* block */ x;";
+        let ks = kinds(src);
+        assert_eq!(ks.len(), 4); // int, x, ;, EOF
+    }
+
+    #[test]
+    fn locations_are_tracked() {
+        let toks = lex("int\n  x;").unwrap();
+        assert_eq!(toks[0].loc, Loc::new(1, 1));
+        assert_eq!(toks[1].loc, Loc::new(2, 3));
+    }
+
+    #[test]
+    fn lex_errors_are_reported() {
+        assert!(lex("int @").is_err());
+        assert!(lex("\"unterminated").is_err());
+        assert!(lex("/* unterminated").is_err());
+    }
+}

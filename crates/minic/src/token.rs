@@ -1,0 +1,201 @@
+//! Tokens and source locations for the Mini-C/C++ frontend.
+
+use std::fmt;
+
+/// A position in the source text (1-based line and column).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct Loc {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number.
+    pub col: u32,
+}
+
+impl Loc {
+    /// Construct a location.
+    pub fn new(line: u32, col: u32) -> Self {
+        Loc { line, col }
+    }
+}
+
+impl fmt::Display for Loc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Keywords recognised by the lexer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum Keyword {
+    Void,
+    Bool,
+    Char,
+    Short,
+    Int,
+    Long,
+    Float,
+    Double,
+    Unsigned,
+    Signed,
+    Const,
+    Static,
+    Struct,
+    Class,
+    Union,
+    Enum,
+    Virtual,
+    Public,
+    If,
+    Else,
+    While,
+    For,
+    Do,
+    Return,
+    Break,
+    Continue,
+    Sizeof,
+    New,
+    Delete,
+    True,
+    False,
+    Null,
+}
+
+impl Keyword {
+    /// Look up a keyword from an identifier spelling.
+    pub fn from_str(s: &str) -> Option<Keyword> {
+        Some(match s {
+            "void" => Keyword::Void,
+            "bool" => Keyword::Bool,
+            "char" => Keyword::Char,
+            "short" => Keyword::Short,
+            "int" => Keyword::Int,
+            "long" => Keyword::Long,
+            "float" => Keyword::Float,
+            "double" => Keyword::Double,
+            "unsigned" => Keyword::Unsigned,
+            "signed" => Keyword::Signed,
+            "const" => Keyword::Const,
+            "static" => Keyword::Static,
+            "struct" => Keyword::Struct,
+            "class" => Keyword::Class,
+            "union" => Keyword::Union,
+            "enum" => Keyword::Enum,
+            "virtual" => Keyword::Virtual,
+            "public" => Keyword::Public,
+            "if" => Keyword::If,
+            "else" => Keyword::Else,
+            "while" => Keyword::While,
+            "for" => Keyword::For,
+            "do" => Keyword::Do,
+            "return" => Keyword::Return,
+            "break" => Keyword::Break,
+            "continue" => Keyword::Continue,
+            "sizeof" => Keyword::Sizeof,
+            "new" => Keyword::New,
+            "delete" => Keyword::Delete,
+            "true" => Keyword::True,
+            "false" => Keyword::False,
+            "NULL" | "nullptr" => Keyword::Null,
+            _ => return None,
+        })
+    }
+}
+
+/// Punctuation and operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum Punct {
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Semi,
+    Comma,
+    Colon,
+    Question,
+    Dot,
+    Arrow,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Amp,
+    Pipe,
+    Caret,
+    Tilde,
+    Bang,
+    Assign,
+    PlusAssign,
+    MinusAssign,
+    StarAssign,
+    SlashAssign,
+    Eq,
+    Ne,
+    Lt,
+    Gt,
+    Le,
+    Ge,
+    AndAnd,
+    OrOr,
+    Shl,
+    Shr,
+    PlusPlus,
+    MinusMinus,
+}
+
+/// A lexed token.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TokenKind {
+    /// An identifier.
+    Ident(String),
+    /// A keyword.
+    Keyword(Keyword),
+    /// An integer literal.
+    Int(i64),
+    /// A floating-point literal.
+    Float(f64),
+    /// A character literal (value of the character).
+    Char(i64),
+    /// A string literal (contents, unescaped).
+    Str(String),
+    /// Punctuation or an operator.
+    Punct(Punct),
+    /// End of input.
+    Eof,
+}
+
+/// A token with its source location.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Token {
+    /// What the token is.
+    pub kind: TokenKind,
+    /// Where it starts.
+    pub loc: Loc,
+}
+
+impl Token {
+    /// Construct a token.
+    pub fn new(kind: TokenKind, loc: Loc) -> Self {
+        Token { kind, loc }
+    }
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "identifier `{s}`"),
+            TokenKind::Keyword(k) => write!(f, "keyword `{k:?}`"),
+            TokenKind::Int(v) => write!(f, "integer literal {v}"),
+            TokenKind::Float(v) => write!(f, "float literal {v}"),
+            TokenKind::Char(v) => write!(f, "char literal {v}"),
+            TokenKind::Str(s) => write!(f, "string literal {s:?}"),
+            TokenKind::Punct(p) => write!(f, "`{p:?}`"),
+            TokenKind::Eof => write!(f, "end of input"),
+        }
+    }
+}

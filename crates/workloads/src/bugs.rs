@@ -1,0 +1,401 @@
+//! The seeded-bug catalogue.
+//!
+//! SPEC2006 sources are proprietary, so each issue class the paper reports
+//! (§6.1) is reproduced here as a small, self-contained Mini-C snippet that
+//! performs the same kind of type/memory abuse.  Workloads pull snippets
+//! from this catalogue so the "#Issues-found" column of Figure 7 and the
+//! issue taxonomy table can be regenerated on synthetic code.
+
+use effective_runtime::ErrorKind;
+use serde::Serialize;
+
+/// A seeded bug: the source fragment plus what EffectiveSan is expected to
+/// report for it.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize)]
+pub struct SeededBug {
+    /// Stable identifier (used in tables).
+    pub id: &'static str,
+    /// Which SPEC2006 finding this models (paper §6.1 / §6.3).
+    pub models: &'static str,
+    /// The error class EffectiveSan reports.
+    pub expected: ErrorKind,
+    /// Mini-C declarations needed by the snippet (structs, helpers).
+    pub decls: &'static str,
+    /// Name of the entry function (`void <entry>(void)`).
+    pub entry: &'static str,
+    /// Whether specialised cast checkers (TypeSan/HexType) also detect it.
+    pub detected_by_cast_checkers: bool,
+    /// Whether AddressSanitizer-style tools also detect it.
+    pub detected_by_asan: bool,
+}
+
+/// The full catalogue.
+pub fn catalogue() -> Vec<SeededBug> {
+    vec![
+        SeededBug {
+            id: "use-after-free",
+            models: "perlbench use-after-free (also reported by ASan [32])",
+            expected: ErrorKind::UseAfterFree,
+            decls: r#"
+struct uaf_obj { int tag; int payload[4]; };
+int uaf_read(struct uaf_obj *o) { return o->payload[0]; }
+void bug_use_after_free(void) {
+    struct uaf_obj *o = (struct uaf_obj *)malloc(sizeof(struct uaf_obj));
+    o->payload[0] = 42;
+    free(o);
+    uaf_read(o);
+}
+"#,
+            entry: "bug_use_after_free",
+            detected_by_cast_checkers: false,
+            detected_by_asan: true,
+        },
+        SeededBug {
+            id: "double-free",
+            models: "double free (reduced to a type error on FREE)",
+            expected: ErrorKind::DoubleFree,
+            decls: r#"
+void bug_double_free(void) {
+    int *p = (int *)malloc(16 * sizeof(int));
+    free(p);
+    free(p);
+}
+"#,
+            entry: "bug_double_free",
+            detected_by_cast_checkers: false,
+            detected_by_asan: true,
+        },
+        SeededBug {
+            id: "reuse-after-free",
+            models: "perlbench reusing memory as a different type (reported as a type error against the new owner's type)",
+            expected: ErrorKind::TypeConfusion,
+            decls: r#"
+struct ra_str { char text[24]; };
+struct ra_num { double vals[3]; };
+int ra_read(struct ra_str *s) { return s->text[0]; }
+void bug_reuse_after_free(void) {
+    struct ra_str *s = (struct ra_str *)malloc(sizeof(struct ra_str));
+    s->text[0] = 65;
+    free(s);
+    struct ra_num *n = (struct ra_num *)malloc(sizeof(struct ra_num));
+    n->vals[0] = 1.5;
+    ra_read(s);
+    free(n);
+}
+"#,
+            entry: "bug_reuse_after_free",
+            detected_by_cast_checkers: false,
+            detected_by_asan: false,
+        },
+        SeededBug {
+            id: "object-overflow",
+            models: "h264ref object bounds overflow (also reported by ASan [32])",
+            expected: ErrorKind::ObjectBoundsOverflow,
+            decls: r#"
+void bug_object_overflow(void) {
+    int *frame = (int *)malloc(64 * sizeof(int));
+    long acc = 0;
+    for (int i = 0; i < 65; i++) { acc += frame[i]; }
+    free(frame);
+}
+"#,
+            entry: "bug_object_overflow",
+            detected_by_cast_checkers: false,
+            detected_by_asan: true,
+        },
+        SeededBug {
+            id: "subobject-overflow-field",
+            models: "h264ref overflow of the blc_size field of InputParameters",
+            expected: ErrorKind::SubObjectBoundsOverflow,
+            decls: r#"
+struct InputParameters { int blc_size[4]; int other[8]; };
+void bug_subobject_overflow_field(void) {
+    struct InputParameters *ip =
+        (struct InputParameters *)malloc(sizeof(struct InputParameters));
+    int *b = ip->blc_size;
+    long acc = 0;
+    for (int i = 0; i < 5; i++) { acc += b[i]; }
+    free(ip);
+}
+"#,
+            entry: "bug_subobject_overflow_field",
+            detected_by_cast_checkers: false,
+            detected_by_asan: false,
+        },
+        SeededBug {
+            id: "subobject-overflow-padding",
+            models: "gcc overflow of the mode field into structure padding (missed by MPX [31])",
+            expected: ErrorKind::SubObjectBoundsOverflow,
+            decls: r#"
+struct rtx_const { char kind; char mode; long value; };
+void bug_subobject_overflow_padding(void) {
+    struct rtx_const *r = (struct rtx_const *)malloc(sizeof(struct rtx_const));
+    char *mode = &r->mode;
+    mode[1] = 1;
+    mode[2] = 2;
+    free(r);
+}
+"#,
+            entry: "bug_subobject_overflow_padding",
+            detected_by_cast_checkers: false,
+            detected_by_asan: false,
+        },
+        SeededBug {
+            id: "subobject-underflow",
+            models: "soplex underflow of the themem1 field of UnitVector",
+            expected: ErrorKind::SubObjectBoundsOverflow,
+            decls: r#"
+struct UnitVector { double setup; double themem1[2]; };
+void bug_subobject_underflow(void) {
+    struct UnitVector *u = (struct UnitVector *)malloc(sizeof(struct UnitVector));
+    double *m = u->themem1;
+    double x = m[0 - 1];
+    u->setup = x;
+    free(u);
+}
+"#,
+            entry: "bug_subobject_underflow",
+            detected_by_cast_checkers: false,
+            detected_by_asan: false,
+        },
+        SeededBug {
+            id: "bad-downcast",
+            models: "xalancbmk bad downcast: Grammar really a DTDGrammar cast to SchemaGrammar",
+            expected: ErrorKind::TypeConfusion,
+            decls: r#"
+class Grammar { virtual int gtype(); int gkind; };
+class SchemaGrammar : public Grammar { int schema_info; };
+class DTDGrammar : public Grammar { int dtd_info; };
+Grammar *next_element(void) {
+    DTDGrammar *d = new DTDGrammar;
+    d->gkind = 2;
+    d->dtd_info = 7;
+    return (Grammar *)d;
+}
+void bug_bad_downcast(void) {
+    Grammar *g = next_element();
+    SchemaGrammar *sg = (SchemaGrammar *)g;
+    int x = sg->schema_info;
+    sg->gkind = x;
+}
+"#,
+            entry: "bug_bad_downcast",
+            detected_by_cast_checkers: true,
+            detected_by_asan: false,
+        },
+        SeededBug {
+            id: "container-cast",
+            models: "casting T to a container struct S { T t; ... } (stdlib++/CaVer-style)",
+            expected: ErrorKind::TypeConfusion,
+            decls: r#"
+struct wrapped_int { int inner; int extra[7]; };
+int container_read(struct wrapped_int *w) { return w->extra[3]; }
+void bug_container_cast(void) {
+    int *raw = (int *)malloc(sizeof(int));
+    raw[0] = 5;
+    struct wrapped_int *w = (struct wrapped_int *)raw;
+    container_read(w);
+    free(raw);
+}
+"#,
+            entry: "bug_container_cast",
+            detected_by_cast_checkers: false,
+            detected_by_asan: false,
+        },
+        SeededBug {
+            id: "prefix-inheritance",
+            models: "perlbench/povray ad hoc inheritance via common struct prefixes (TBAA hazard)",
+            expected: ErrorKind::TypeConfusion,
+            decls: r#"
+struct PBase { int x; float y; };
+struct PDerived { int x; float y; char z; };
+int prefix_read(struct PBase *b) { return b->x; }
+void bug_prefix_inheritance(void) {
+    struct PDerived *d = (struct PDerived *)malloc(sizeof(struct PDerived));
+    d->x = 3;
+    d->z = 1;
+    prefix_read((struct PBase *)d);
+}
+"#,
+            entry: "bug_prefix_inheritance",
+            detected_by_cast_checkers: false,
+            detected_by_asan: false,
+        },
+        SeededBug {
+            id: "hash-as-int-array",
+            models: "gcc/sphinx3 casting objects to int[] to compute hashes/checksums",
+            expected: ErrorKind::TypeConfusion,
+            decls: r#"
+struct HashedThing { double a; double b; float c; };
+long int_array_hash(int *words, int n) {
+    long h = 0;
+    for (int i = 0; i < n; i++) { h = h * 31 + words[i]; }
+    return h;
+}
+void bug_hash_as_int_array(void) {
+    struct HashedThing *t = (struct HashedThing *)malloc(sizeof(struct HashedThing));
+    t->a = 1.0;
+    t->b = 2.0;
+    int_array_hash((int *)t, 5);
+    free(t);
+}
+"#,
+            entry: "bug_hash_as_int_array",
+            detected_by_cast_checkers: false,
+            detected_by_asan: false,
+        },
+        SeededBug {
+            id: "fundamental-confusion",
+            models: "bzip2/lbm confusing fundamental types (double read as long)",
+            expected: ErrorKind::TypeConfusion,
+            decls: r#"
+long fundamental_read(long *p) { return p[0]; }
+void bug_fundamental_confusion(void) {
+    double *d = (double *)malloc(4 * sizeof(double));
+    d[0] = 3.25;
+    fundamental_read((long *)d);
+    free(d);
+}
+"#,
+            entry: "bug_fundamental_confusion",
+            detected_by_cast_checkers: false,
+            detected_by_asan: false,
+        },
+        SeededBug {
+            id: "pointer-level-confusion",
+            models: "perlbench confusing T* with T**",
+            expected: ErrorKind::TypeConfusion,
+            decls: r#"
+struct sv { int refcount; int flags; };
+int deref_level(struct sv **pp) { return (*pp)->refcount; }
+void bug_pointer_level_confusion(void) {
+    struct sv *v = (struct sv *)malloc(sizeof(struct sv));
+    v->refcount = 1;
+    deref_level((struct sv **)v);
+    free(v);
+}
+"#,
+            entry: "bug_pointer_level_confusion",
+            detected_by_cast_checkers: false,
+            detected_by_asan: false,
+        },
+        SeededBug {
+            id: "phantom-class",
+            models: "casting between classes/structs with identical layout (phantom classes)",
+            expected: ErrorKind::TypeConfusion,
+            decls: r#"
+struct RealThing { int a; int b; };
+struct PhantomThing { int a; int b; };
+int phantom_read(struct PhantomThing *p) { return p->b; }
+void bug_phantom_class(void) {
+    struct RealThing *r = (struct RealThing *)malloc(sizeof(struct RealThing));
+    r->b = 9;
+    phantom_read((struct PhantomThing *)r);
+    free(r);
+}
+"#,
+            entry: "bug_phantom_class",
+            detected_by_cast_checkers: false,
+            detected_by_asan: false,
+        },
+        SeededBug {
+            id: "cma-internal-type",
+            models: "Firefox XPT_ArenaCalloc-style CMA returning objects typed as the allocator's BLK_HDR",
+            expected: ErrorKind::TypeConfusion,
+            decls: r#"
+struct BLK_HDR { int magic; int blksize; };
+struct XPTMethodDescriptor { int flags; int argc; long argv; };
+struct BLK_HDR *arena_take(void) {
+    struct BLK_HDR *h = (struct BLK_HDR *)malloc(sizeof(struct XPTMethodDescriptor));
+    h->magic = 777;
+    return h;
+}
+int xpt_read(struct XPTMethodDescriptor *m) { return m->argc; }
+void bug_cma_internal_type(void) {
+    struct BLK_HDR *h = arena_take();
+    xpt_read((struct XPTMethodDescriptor *)h);
+    free(h);
+}
+"#,
+            entry: "bug_cma_internal_type",
+            detected_by_cast_checkers: false,
+            detected_by_asan: false,
+        },
+        SeededBug {
+            id: "template-param-cast",
+            models: "Firefox nsTArray_Impl<T*> cast to nsTArray_Impl<void*> (template-parameter confusion)",
+            expected: ErrorKind::TypeConfusion,
+            decls: r#"
+struct ElemA { int a; };
+struct ArrayOfA { struct ElemA **data; int len; };
+struct ArrayOfVoid { long *data; int len; };
+int tmpl_len(struct ArrayOfVoid *v) { return v->len; }
+long tmpl_first(struct ArrayOfVoid *v) { return v->data[0]; }
+void bug_template_param_cast(void) {
+    struct ArrayOfA *arr = (struct ArrayOfA *)malloc(sizeof(struct ArrayOfA));
+    arr->len = 1;
+    arr->data = (struct ElemA **)malloc(4 * sizeof(long));
+    tmpl_first((struct ArrayOfVoid *)arr);
+    free(arr->data);
+    free(arr);
+}
+"#,
+            entry: "bug_template_param_cast",
+            detected_by_cast_checkers: false,
+            detected_by_asan: false,
+        },
+    ]
+}
+
+/// Look up a bug by id.
+pub fn bug(id: &str) -> Option<SeededBug> {
+    catalogue().into_iter().find(|b| b.id == id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalogue_has_distinct_ids_and_entries() {
+        let cat = catalogue();
+        let ids: std::collections::HashSet<_> = cat.iter().map(|b| b.id).collect();
+        assert_eq!(ids.len(), cat.len());
+        assert!(cat.len() >= 15);
+        for b in &cat {
+            assert!(b.decls.contains(b.entry), "{} missing entry fn", b.id);
+        }
+    }
+
+    #[test]
+    fn every_bug_snippet_compiles() {
+        for b in catalogue() {
+            let src = format!(
+                "{}\nint bench_main(int n) {{ {}(); return n; }}\n",
+                b.decls, b.entry
+            );
+            minic::compile(&src).unwrap_or_else(|e| panic!("bug {} failed to compile: {e}", b.id));
+        }
+    }
+
+    #[test]
+    fn bug_lookup_by_id() {
+        assert!(bug("use-after-free").is_some());
+        assert!(bug("bad-downcast").is_some());
+        assert!(bug("nonexistent").is_none());
+    }
+
+    #[test]
+    fn expected_kinds_cover_all_error_classes() {
+        let cat = catalogue();
+        assert!(cat.iter().any(|b| b.expected == ErrorKind::UseAfterFree));
+        assert!(cat.iter().any(|b| b.expected == ErrorKind::DoubleFree));
+        assert!(cat.iter().any(|b| b.expected == ErrorKind::TypeConfusion));
+        assert!(cat
+            .iter()
+            .any(|b| b.expected == ErrorKind::SubObjectBoundsOverflow));
+        assert!(cat
+            .iter()
+            .any(|b| b.expected == ErrorKind::ObjectBoundsOverflow));
+    }
+}

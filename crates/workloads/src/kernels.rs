@@ -1,0 +1,243 @@
+//! Reusable Mini-C source fragments ("kernels") from which the synthetic
+//! SPEC2006-like workloads are composed.
+//!
+//! Each kernel models a dominant memory-access pattern of the real
+//! benchmarks (pointer-chasing lists, hot array loops, float matrices,
+//! hash tables, trees, class hierarchies, string buffers), so that the
+//! instrumented check mix — type checks on input pointers versus bounds
+//! checks in hot loops — resembles the profile reported in Figure 7.
+
+/// Linked-list kernel (perlbench/gcc-style pointer chasing).
+/// Provides `struct node`, `list_build`, `list_length`, `list_sum`,
+/// `list_free`.
+pub const KERNEL_LIST: &str = r#"
+struct node { int value; struct node *next; };
+
+struct node *list_build(int n) {
+    struct node *head = NULL;
+    for (int i = 0; i < n; i++) {
+        struct node *nw = (struct node *)malloc(sizeof(struct node));
+        nw->value = i;
+        nw->next = head;
+        head = nw;
+    }
+    return head;
+}
+
+int list_length(struct node *xs) {
+    int len = 0;
+    while (xs != NULL) { len++; xs = xs->next; }
+    return len;
+}
+
+long list_sum(struct node *xs) {
+    long s = 0;
+    while (xs != NULL) { s += xs->value; xs = xs->next; }
+    return s;
+}
+
+void list_free(struct node *xs) {
+    while (xs != NULL) {
+        struct node *next = xs->next;
+        free(xs);
+        xs = next;
+    }
+}
+"#;
+
+/// Hot integer-array kernel (bzip2/hmmer/h264ref-style).
+/// Provides `array_fill`, `array_sum`, `array_sort` (insertion sort) and
+/// `array_hist`.
+pub const KERNEL_ARRAY: &str = r#"
+void array_fill(int *a, int n) {
+    for (int i = 0; i < n; i++) { a[i] = (i * 2654435761) % 1000; }
+}
+
+long array_sum(int *a, int n) {
+    long s = 0;
+    for (int i = 0; i < n; i++) { s += a[i]; }
+    return s;
+}
+
+void array_sort(int *a, int n) {
+    for (int i = 1; i < n; i++) {
+        int key = a[i];
+        int j = i - 1;
+        while (j >= 0 && a[j] > key) { a[j + 1] = a[j]; j = j - 1; }
+        a[j + 1] = key;
+    }
+}
+
+void array_hist(int *a, int n, int *hist, int buckets) {
+    for (int i = 0; i < n; i++) {
+        int b = a[i] % buckets;
+        if (b < 0) { b = -b; }
+        hist[b] = hist[b] + 1;
+    }
+}
+"#;
+
+/// Floating-point matrix kernel (milc/namd/lbm/dealII-style).
+/// Provides `mat_init`, `mat_mul`, `mat_norm` over flat double arrays.
+pub const KERNEL_MATRIX: &str = r#"
+void mat_init(double *m, int n) {
+    for (int i = 0; i < n * n; i++) { m[i] = (i % 17) * 0.25; }
+}
+
+void mat_mul(double *c, double *a, double *b, int n) {
+    for (int i = 0; i < n; i++) {
+        for (int j = 0; j < n; j++) {
+            double acc = 0.0;
+            for (int k = 0; k < n; k++) { acc += a[i * n + k] * b[k * n + j]; }
+            c[i * n + j] = acc;
+        }
+    }
+}
+
+double mat_norm(double *m, int n) {
+    double s = 0.0;
+    for (int i = 0; i < n * n; i++) { s += m[i] * m[i]; }
+    return s;
+}
+"#;
+
+/// Open-addressing hash-table kernel (gcc/xalancbmk symbol tables).
+/// Provides `struct entry`, `table_insert`, `table_lookup`.
+pub const KERNEL_HASH: &str = r#"
+struct entry { int key; int value; int used; };
+
+void table_insert(struct entry *table, int cap, int key, int value) {
+    int idx = key % cap;
+    if (idx < 0) { idx = -idx; }
+    for (int probe = 0; probe < cap; probe++) {
+        struct entry *e = &table[(idx + probe) % cap];
+        if (e->used == 0 || e->key == key) {
+            e->key = key;
+            e->value = value;
+            e->used = 1;
+            return;
+        }
+    }
+}
+
+int table_lookup(struct entry *table, int cap, int key) {
+    int idx = key % cap;
+    if (idx < 0) { idx = -idx; }
+    for (int probe = 0; probe < cap; probe++) {
+        struct entry *e = &table[(idx + probe) % cap];
+        if (e->used == 0) { return -1; }
+        if (e->key == key) { return e->value; }
+    }
+    return -1;
+}
+"#;
+
+/// Binary-tree kernel (gobmk/astar/omnetpp-style graph wandering).
+/// Provides `struct tnode`, `tree_insert`, `tree_sum`, `tree_free`.
+pub const KERNEL_TREE: &str = r#"
+struct tnode { int key; struct tnode *left; struct tnode *right; };
+
+struct tnode *tree_insert(struct tnode *root, int key) {
+    if (root == NULL) {
+        struct tnode *nw = (struct tnode *)malloc(sizeof(struct tnode));
+        nw->key = key;
+        nw->left = NULL;
+        nw->right = NULL;
+        return nw;
+    }
+    if (key < root->key) { root->left = tree_insert(root->left, key); }
+    else { root->right = tree_insert(root->right, key); }
+    return root;
+}
+
+long tree_sum(struct tnode *root) {
+    if (root == NULL) { return 0; }
+    return root->key + tree_sum(root->left) + tree_sum(root->right);
+}
+
+void tree_free(struct tnode *root) {
+    if (root == NULL) { return; }
+    tree_free(root->left);
+    tree_free(root->right);
+    free(root);
+}
+"#;
+
+/// C++ class-hierarchy kernel (xalancbmk/dealII/omnetpp/povray-style).
+/// Provides a small polymorphic hierarchy and virtual-dispatch-free
+/// processing loops, plus up/down-casts.
+pub const KERNEL_CLASSES: &str = r#"
+class Shape { virtual int area(); int id; int kind; };
+class Circle : public Shape { int radius; };
+class Square : public Shape { int side; };
+
+Shape *make_shape(int kind, int param) {
+    if (kind == 0) {
+        Circle *c = new Circle;
+        c->kind = 0;
+        c->radius = param;
+        return (Shape *)c;
+    }
+    Square *s = new Square;
+    s->kind = 1;
+    s->side = param;
+    return (Shape *)s;
+}
+
+int shape_area(Shape *s) {
+    if (s->kind == 0) {
+        Circle *c = (Circle *)s;
+        return 3 * c->radius * c->radius;
+    }
+    Square *q = (Square *)s;
+    return q->side * q->side;
+}
+"#;
+
+/// String/character-buffer kernel (perlbench/gcc/sphinx3-style).
+/// Provides `buf_append`, `buf_hash`, `buf_reverse` over char buffers.
+pub const KERNEL_STRING: &str = r#"
+int buf_append(char *dst, int pos, char *src, int len) {
+    for (int i = 0; i < len; i++) { dst[pos + i] = src[i]; }
+    return pos + len;
+}
+
+long buf_hash(char *buf, int len) {
+    long h = 5381;
+    for (int i = 0; i < len; i++) { h = h * 33 + buf[i]; }
+    return h;
+}
+
+void buf_reverse(char *buf, int len) {
+    int i = 0;
+    int j = len - 1;
+    while (i < j) {
+        char tmp = buf[i];
+        buf[i] = buf[j];
+        buf[j] = tmp;
+        i++;
+        j = j - 1;
+    }
+}
+"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_kernel_compiles_standalone() {
+        for (name, kernel) in [
+            ("list", KERNEL_LIST),
+            ("array", KERNEL_ARRAY),
+            ("matrix", KERNEL_MATRIX),
+            ("hash", KERNEL_HASH),
+            ("tree", KERNEL_TREE),
+            ("classes", KERNEL_CLASSES),
+            ("string", KERNEL_STRING),
+        ] {
+            let src = format!("{kernel}\nint bench_main(int n) {{ return n; }}\n");
+            minic::compile(&src).unwrap_or_else(|e| panic!("kernel {name} failed: {e}"));
+        }
+    }
+}

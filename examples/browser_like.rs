@@ -1,0 +1,34 @@
+//! Run the Firefox-like browser workload (paper §6.3, Figure 10): seven
+//! browser-benchmark drivers executed concurrently, uninstrumented versus
+//! EffectiveSan (full).
+//!
+//! Run with: `cargo run --release --example browser_like`
+
+use effective_san::{firefox_experiment, Scale};
+
+fn main() {
+    println!("running the Firefox-like workload (7 browser benchmarks, parallel)…\n");
+    let experiment = firefox_experiment(Scale::Small, true);
+
+    println!("{:<14} {:>14} {:>14} {:>12}", "benchmark", "base cost", "EffectiveSan", "overhead");
+    println!("{}", "-".repeat(60));
+    for (name, base, full) in &experiment.benchmarks {
+        println!(
+            "{:<14} {:>14.0} {:>14.0} {:>11.0}%",
+            name,
+            base.cost,
+            full.cost,
+            full.overhead_pct(base)
+        );
+    }
+    println!("{}", "-".repeat(60));
+    println!(
+        "mean overhead {:.0}%   (paper reports {:.0}% overall for Firefox)",
+        experiment.mean_overhead_pct(),
+        experiment.paper_overall_overhead_pct
+    );
+    println!(
+        "issues found in the browser workload: {} (template-parameter casts, CMA typing, …)",
+        experiment.total_issues()
+    );
+}

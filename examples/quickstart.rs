@@ -1,0 +1,65 @@
+//! Quick start: detect a sub-object overflow that AddressSanitizer misses.
+//!
+//! This is the paper's introductory `account` example: an overflow of the
+//! `number` array silently corrupts the adjacent `balance` field unless
+//! sub-object bounds are enforced.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use effective_san::{run_source, RunConfig, SanitizerKind};
+
+const PROGRAM: &str = r#"
+struct account { int number[8]; float balance; };
+
+int deposit(struct account *a, int slot, int amount) {
+    // BUG: `slot` is not validated; slot == 8 lands on `balance`.
+    a->number[slot] = amount;
+    return a->number[slot];
+}
+
+int run(int slot) {
+    struct account *a = (struct account *)malloc(sizeof(struct account));
+    a->balance = 1000.0;
+    int v = deposit(a, slot, 77);
+    free(a);
+    return v;
+}
+"#;
+
+fn main() {
+    println!("== EffectiveSan quickstart: the `account` sub-object overflow ==\n");
+
+    for (label, slot) in [("in-bounds write (slot 3)", 3i64), ("overflow (slot 8)", 8)] {
+        println!("--- {label} ---");
+        for sanitizer in [
+            SanitizerKind::None,
+            SanitizerKind::AddressSanitizer,
+            SanitizerKind::EffectiveFull,
+        ] {
+            let report = run_source(
+                PROGRAM,
+                "run",
+                &[slot],
+                &RunConfig::for_sanitizer(sanitizer),
+            )
+            .expect("program compiles");
+            println!(
+                "{:<22} result={:?}  checks={:<6}  issues: type={} bounds={} uaf={}",
+                sanitizer.name(),
+                report.result,
+                report.total_checks(),
+                report.errors.type_issues(),
+                report.errors.bounds_issues(),
+                report.errors.temporal_issues(),
+            );
+        }
+        println!();
+    }
+
+    println!(
+        "EffectiveSan narrows the pointer's bounds to the `number` sub-object using the\n\
+         object's dynamic type, so the slot-8 write is flagged; AddressSanitizer only\n\
+         guards allocation red-zones and stays silent because the write never leaves\n\
+         the allocation."
+    );
+}

@@ -1,0 +1,50 @@
+//! Run a subset of the synthetic SPEC2006-like workloads under the three
+//! EffectiveSan variants and print a miniature Figure 7 / Figure 8.
+//!
+//! Run with: `cargo run --release --example spec_like`
+
+use effective_san::{spec_experiment, SanitizerKind, Scale};
+
+fn main() {
+    let names = ["perlbench", "gcc", "h264ref", "xalancbmk", "soplex", "lbm"];
+    let sanitizers = [
+        SanitizerKind::None,
+        SanitizerKind::EffectiveFull,
+        SanitizerKind::EffectiveBounds,
+        SanitizerKind::EffectiveType,
+    ];
+    println!("running {} synthetic SPEC-like workloads (scale: small)…\n", names.len());
+    let experiment = spec_experiment(Some(&names), Scale::Small, &sanitizers);
+
+    println!(
+        "{:<12} {:>8} {:>12} {:>12} {:>8} {:>10} {:>10} {:>10}",
+        "benchmark", "paper", "#type", "#bounds", "issues", "full%", "bounds%", "type%"
+    );
+    println!("{:<12} {:>8}", "", "issues");
+    println!("{}", "-".repeat(90));
+    for row in &experiment.rows {
+        let full = row.report(SanitizerKind::EffectiveFull).unwrap();
+        println!(
+            "{:<12} {:>8} {:>12} {:>12} {:>8} {:>9.0}% {:>9.0}% {:>9.0}%",
+            row.name,
+            row.paper_issues,
+            full.checks.type_checks,
+            full.checks.bounds_checks,
+            full.errors.distinct_issues,
+            row.overhead_pct(SanitizerKind::EffectiveFull).unwrap_or(0.0),
+            row.overhead_pct(SanitizerKind::EffectiveBounds).unwrap_or(0.0),
+            row.overhead_pct(SanitizerKind::EffectiveType).unwrap_or(0.0),
+        );
+    }
+    println!("{}", "-".repeat(90));
+    println!(
+        "geometric-mean overhead:  full {:.0}%   bounds {:.0}%   type {:.0}%   (paper: 288% / 115% / 49%)",
+        experiment.mean_overhead_pct(SanitizerKind::EffectiveFull),
+        experiment.mean_overhead_pct(SanitizerKind::EffectiveBounds),
+        experiment.mean_overhead_pct(SanitizerKind::EffectiveType),
+    );
+    println!(
+        "memory overhead (full): {:.0}%   (paper: ~12%)",
+        experiment.mean_memory_overhead_pct(SanitizerKind::EffectiveFull)
+    );
+}

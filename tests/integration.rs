@@ -1,0 +1,187 @@
+//! Cross-crate integration tests: frontend → instrumentation → VM →
+//! runtime → reporting, exercised through the `effective-san` façade.
+
+use effective_san::{
+    capability_matrix, run_matrix, run_source, spec_experiment, ErrorKind, RunConfig,
+    SanitizerKind, Scale,
+};
+
+/// Figure 4's `length`/`sum` pair, end-to-end: the instrumented program
+/// computes the right answers, type checks scale as described (O(N) for the
+/// list walk, O(1) for the array sum), and no false positives appear.
+#[test]
+fn figure4_programs_run_correctly_with_expected_check_profile() {
+    let src = "
+        struct node { int value; struct node *next; };
+        int length(struct node *xs) {
+            int len = 0;
+            while (xs != NULL) { len++; xs = xs->next; }
+            return len;
+        }
+        int sum(int *a, int len) {
+            int s = 0;
+            for (int i = 0; i < len; i++) { s += a[i]; }
+            return s;
+        }
+        int run(int n) {
+            struct node *head = NULL;
+            for (int i = 0; i < n; i++) {
+                struct node *nw = (struct node *)malloc(sizeof(struct node));
+                nw->value = i;
+                nw->next = head;
+                head = nw;
+            }
+            int *arr = (int *)malloc(n * sizeof(int));
+            for (int i = 0; i < n; i++) { arr[i] = i; }
+            int result = length(head) * 100000 + sum(arr, n);
+            free(arr);
+            return result;
+        }";
+    let report = run_source(
+        src,
+        "run",
+        &[64],
+        &RunConfig::for_sanitizer(SanitizerKind::EffectiveFull),
+    )
+    .unwrap();
+    assert_eq!(report.result, Some(64 * 100000 + (0..64).sum::<i64>()));
+    assert_eq!(report.errors.distinct_issues, 0);
+    // The list walk re-checks the loaded pointer every iteration, so type
+    // checks grow with N; the array sum adds only a constant number.
+    assert!(report.checks.type_checks >= 64);
+    assert!(report.checks.bounds_checks >= 128);
+}
+
+/// The three EffectiveSan variants and the uninstrumented baseline all
+/// compute identical results while detecting strictly more or fewer issues
+/// according to their coverage.
+#[test]
+fn variants_agree_on_results_and_order_by_coverage() {
+    let src = "
+        struct S { int a[4]; float f; };
+        struct T { double d; };
+        int reader(struct T *t) { return (int)t->d; }
+        int run(int n) {
+            long acc = 0;
+            for (int i = 0; i < n; i++) {
+                struct S *s = (struct S *)malloc(sizeof(struct S));
+                s->a[0] = i;
+                acc += s->a[0];
+                if (i == n / 2) {
+                    // type confusion + sub-object overflow, once
+                    reader((struct T *)s);
+                    acc += s->a[4];
+                }
+                free(s);
+            }
+            return (int)acc;
+        }";
+    let program = effective_san::compile(src).unwrap();
+    let reports = run_matrix(
+        &program,
+        "run",
+        &[20],
+        &[
+            SanitizerKind::None,
+            SanitizerKind::EffectiveType,
+            SanitizerKind::EffectiveBounds,
+            SanitizerKind::EffectiveFull,
+        ],
+        &RunConfig::default(),
+    );
+    let results: Vec<_> = reports.iter().map(|r| r.result).collect();
+    assert!(results.iter().all(|r| *r == results[0]));
+
+    let by_kind = |k: SanitizerKind| reports.iter().find(|r| r.sanitizer == k).unwrap();
+    // Full detects both the type error and the sub-object overflow.
+    let full = by_kind(SanitizerKind::EffectiveFull);
+    assert!(full.errors.type_issues() >= 1);
+    assert!(full.errors.bounds_issues() >= 1);
+    // The type-only variant sees the explicit cast.
+    let ty = by_kind(SanitizerKind::EffectiveType);
+    assert!(ty.errors.type_issues() >= 1);
+    assert_eq!(ty.errors.bounds_issues(), 0);
+    // The bounds-only variant sees no type errors.
+    let bounds = by_kind(SanitizerKind::EffectiveBounds);
+    assert_eq!(bounds.errors.type_issues(), 0);
+    // Uninstrumented detects nothing.
+    assert_eq!(by_kind(SanitizerKind::None).errors.distinct_issues, 0);
+}
+
+/// The capability matrix reproduces Figure 1's qualitative shape.
+#[test]
+fn capability_matrix_reproduces_figure1() {
+    use effective_san::{Coverage, ErrorColumn};
+    let rows = capability_matrix(&[
+        SanitizerKind::EffectiveFull,
+        SanitizerKind::LowFat,
+        SanitizerKind::SoftBound,
+    ]);
+    let eff = &rows[0];
+    assert_eq!(eff.coverage_for(ErrorColumn::Types), Coverage::Full);
+    assert_eq!(eff.coverage_for(ErrorColumn::Bounds), Coverage::Full);
+    // LowFat: allocation bounds only — no type or temporal coverage.
+    let lowfat = &rows[1];
+    assert_eq!(lowfat.coverage_for(ErrorColumn::Types), Coverage::None);
+    assert_ne!(lowfat.coverage_for(ErrorColumn::Bounds), Coverage::None);
+    assert_eq!(lowfat.coverage_for(ErrorColumn::UseAfterFree), Coverage::None);
+    // SoftBound narrows to sub-objects, so it catches more bounds probes
+    // than nothing at all.
+    let softbound = &rows[2];
+    assert_ne!(softbound.coverage_for(ErrorColumn::Bounds), Coverage::None);
+}
+
+/// A small slice of the Figure 7 experiment: clean benchmarks report zero
+/// issues, the seeded ones report the expected classes, and the legacy
+/// pointer fraction stays small.
+#[test]
+fn spec_slice_reproduces_issue_profile() {
+    let experiment = spec_experiment(
+        Some(&["gobmk", "perlbench", "soplex"]),
+        Scale::Test,
+        &[SanitizerKind::None, SanitizerKind::EffectiveFull],
+    );
+    let row = |name: &str| {
+        experiment
+            .rows
+            .iter()
+            .find(|r| r.name == name)
+            .unwrap()
+            .report(SanitizerKind::EffectiveFull)
+            .unwrap()
+    };
+    assert_eq!(row("gobmk").errors.distinct_issues, 0);
+    let perl = row("perlbench");
+    assert!(perl.errors.issues_of(ErrorKind::UseAfterFree) >= 1);
+    assert!(perl.errors.issues_of(ErrorKind::DoubleFree) >= 1);
+    assert!(perl.errors.type_issues() >= 2);
+    let soplex = row("soplex");
+    assert!(soplex.errors.issues_of(ErrorKind::SubObjectBoundsOverflow) >= 1);
+    // High coverage: only a small fraction of checks are on legacy pointers.
+    assert!(perl.legacy_check_fraction < 0.25);
+}
+
+/// Baseline sanitizers run the same workloads without false positives on
+/// clean code.
+#[test]
+fn baselines_are_quiet_on_clean_code() {
+    let src = "
+        int run(int n) {
+            int *a = (int *)malloc(n * sizeof(int));
+            long s = 0;
+            for (int i = 0; i < n; i++) { a[i] = i; s += a[i]; }
+            free(a);
+            return (int)s;
+        }";
+    for kind in [
+        SanitizerKind::AddressSanitizer,
+        SanitizerKind::LowFat,
+        SanitizerKind::SoftBound,
+        SanitizerKind::TypeSan,
+        SanitizerKind::Cets,
+    ] {
+        let report = run_source(src, "run", &[50], &RunConfig::for_sanitizer(kind)).unwrap();
+        assert_eq!(report.result, Some((0..50).sum::<i64>()), "{kind}");
+        assert_eq!(report.errors.distinct_issues, 0, "{kind} false positive");
+    }
+}
