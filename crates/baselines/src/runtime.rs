@@ -303,7 +303,10 @@ impl BaselineRuntime {
             "out of bounds",
             0,
             location,
-            format!("access of {size} byte(s) outside {:#x}..{:#x}", bounds.lo, bounds.hi),
+            format!(
+                "access of {size} byte(s) outside {:#x}..{:#x}",
+                bounds.lo, bounds.hi
+            ),
         );
         false
     }
@@ -464,10 +467,7 @@ mod tests {
         assert_eq!(asan.reporter().stats().temporal_issues(), 1);
         // Double free is detected too.
         asan.on_free(Ptr(0x2000), &loc());
-        assert_eq!(
-            asan.reporter().stats().issues_of(ErrorKind::DoubleFree),
-            1
-        );
+        assert_eq!(asan.reporter().stats().issues_of(ErrorKind::DoubleFree), 1);
     }
 
     #[test]

@@ -33,7 +33,12 @@ fn bench_runtime(c: &mut Criterion) {
     c.bench_function("lowfat_base_size", |b| {
         let mut alloc = LowFatAllocator::default();
         let p = alloc.alloc(64, AllocKind::Heap);
-        b.iter(|| (alloc.base(std::hint::black_box(p.add(17))), alloc.size(p.add(17))))
+        b.iter(|| {
+            (
+                alloc.base(std::hint::black_box(p.add(17))),
+                alloc.size(p.add(17)),
+            )
+        })
     });
 
     let loc: Arc<str> = Arc::from("bench");

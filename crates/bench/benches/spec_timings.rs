@@ -6,9 +6,9 @@
 use std::sync::Arc;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use effective_san::{instrument, SanitizerKind, Scale};
 use effective_san::vm::{Value, Vm, VmConfig};
 use effective_san::workloads::SpecBenchmark;
+use effective_san::{instrument, SanitizerKind, Scale};
 
 fn bench_spec(c: &mut Criterion) {
     let mut group = c.benchmark_group("spec_slice");
@@ -36,7 +36,8 @@ fn bench_spec(c: &mut Criterion) {
                                 ..Default::default()
                             },
                         );
-                        vm.run("bench_main", &[Value::Int(Scale::Test.n())]).unwrap()
+                        vm.run("bench_main", &[Value::Int(Scale::Test.n())])
+                            .unwrap()
                     })
                 },
             );

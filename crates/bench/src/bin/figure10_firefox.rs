@@ -7,7 +7,10 @@ fn main() {
     let scale = bench::scale_from_env();
     println!("Figure 10 — Firefox-like browser benchmarks (scale {scale:?})\n");
     let experiment = firefox_experiment(scale, true);
-    println!("{:<14} {:>14} {:>14} {:>12}", "benchmark", "base cost", "EffectiveSan", "relative");
+    println!(
+        "{:<14} {:>14} {:>14} {:>12}",
+        "benchmark", "base cost", "EffectiveSan", "relative"
+    );
     bench::rule(60);
     for (name, base, full) in &experiment.benchmarks {
         println!(

@@ -6,7 +6,11 @@ use effective_san::{spec_experiment, SanitizerKind};
 fn main() {
     let scale = bench::scale_from_env();
     println!("Figure 7 — SPEC2006-like summary (scale {scale:?}; paper values in parentheses)\n");
-    let experiment = spec_experiment(None, scale, &[SanitizerKind::None, SanitizerKind::EffectiveFull]);
+    let experiment = spec_experiment(
+        None,
+        scale,
+        &[SanitizerKind::None, SanitizerKind::EffectiveFull],
+    );
 
     println!(
         "{:<12} {:>6} {:>16} {:>16} {:>18} {:>14}",

@@ -26,9 +26,12 @@ fn main() {
             "{:<12} {:>14.0} {:>11.0}% {:>11.0}% {:>11.0}% {:>14.1}",
             row.name,
             base.cost,
-            row.overhead_pct(SanitizerKind::EffectiveFull).unwrap_or(0.0),
-            row.overhead_pct(SanitizerKind::EffectiveBounds).unwrap_or(0.0),
-            row.overhead_pct(SanitizerKind::EffectiveType).unwrap_or(0.0),
+            row.overhead_pct(SanitizerKind::EffectiveFull)
+                .unwrap_or(0.0),
+            row.overhead_pct(SanitizerKind::EffectiveBounds)
+                .unwrap_or(0.0),
+            row.overhead_pct(SanitizerKind::EffectiveType)
+                .unwrap_or(0.0),
             full.wall_time.as_secs_f64() * 1000.0,
         );
     }

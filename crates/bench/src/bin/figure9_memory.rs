@@ -6,7 +6,11 @@ use effective_san::{spec_experiment, SanitizerKind};
 fn main() {
     let scale = bench::scale_from_env();
     println!("Figure 9 — memory usage (scale {scale:?}, peak simulated RSS)\n");
-    let experiment = spec_experiment(None, scale, &[SanitizerKind::None, SanitizerKind::EffectiveFull]);
+    let experiment = spec_experiment(
+        None,
+        scale,
+        &[SanitizerKind::None, SanitizerKind::EffectiveFull],
+    );
     println!(
         "{:<12} {:>18} {:>18} {:>12}",
         "benchmark", "uninstrumented", "EffectiveSan", "overhead"
@@ -20,7 +24,8 @@ fn main() {
             row.name,
             base.peak_memory_bytes / 1024,
             full.peak_memory_bytes / 1024,
-            row.memory_overhead_pct(SanitizerKind::EffectiveFull).unwrap_or(0.0),
+            row.memory_overhead_pct(SanitizerKind::EffectiveFull)
+                .unwrap_or(0.0),
         );
     }
     bench::rule(66);

@@ -1,8 +1,8 @@
 //! Regenerate the §6.1/§6.3 issue taxonomy: which error classes were found
 //! in which benchmark, versus the paper's findings.
 
-use effective_san::{issue_breakdown, spec_experiment, SanitizerKind};
 use effective_san::workloads::SpecBenchmark;
+use effective_san::{issue_breakdown, spec_experiment, SanitizerKind};
 
 fn main() {
     let scale = bench::scale_from_env();
@@ -10,7 +10,10 @@ fn main() {
     let experiment = spec_experiment(None, scale, &[SanitizerKind::EffectiveFull]);
     let breakdown = issue_breakdown(&experiment, SanitizerKind::EffectiveFull);
 
-    println!("{:<12} {:>8} {:>10}  {}", "benchmark", "paper", "measured", "classes found");
+    println!(
+        "{:<12} {:>8} {:>10}  classes found",
+        "benchmark", "paper", "measured"
+    );
     bench::rule(100);
     for bench_def in SpecBenchmark::all() {
         let classes = breakdown.get(bench_def.name).cloned().unwrap_or_default();
@@ -29,9 +32,7 @@ fn main() {
         );
     }
     bench::rule(100);
-    println!(
-        "\nSeeded-bug catalogue (what each class models in the paper):"
-    );
+    println!("\nSeeded-bug catalogue (what each class models in the paper):");
     for bug in effective_san::workloads::catalogue() {
         println!("  {:<26} {}", bug.id, bug.models);
     }

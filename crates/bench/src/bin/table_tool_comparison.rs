@@ -8,7 +8,10 @@ fn main() {
     // The subset keeps the comparison fast while covering C, C++ and both
     // check-heavy and allocation-heavy profiles.
     let names = ["perlbench", "gcc", "h264ref", "xalancbmk", "dealII", "lbm"];
-    println!("§6.2 tool comparison (scale {scale:?}, workloads: {})\n", names.join(", "));
+    println!(
+        "§6.2 tool comparison (scale {scale:?}, workloads: {})\n",
+        names.join(", ")
+    );
     let comparison = effective_san::tool_comparison(&names, scale);
     println!("{:<22} {:>14} {:>18}", "tool", "overhead", "dynamic checks");
     bench::rule(58);

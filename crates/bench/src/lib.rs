@@ -20,7 +20,11 @@ use effective_san::Scale;
 /// Resolve the workload scale from the `SCALE` environment variable
 /// (`test`, `small` or `ref`; defaults to `small`).
 pub fn scale_from_env() -> Scale {
-    match std::env::var("SCALE").unwrap_or_default().to_lowercase().as_str() {
+    match std::env::var("SCALE")
+        .unwrap_or_default()
+        .to_lowercase()
+        .as_str()
+    {
         "test" => Scale::Test,
         "ref" | "reference" => Scale::Reference,
         _ => Scale::Small,

@@ -163,8 +163,7 @@ pub fn capability_matrix(sanitizers: &[SanitizerKind]) -> Vec<CapabilityRow> {
             let mut detail = Vec::new();
             let mut coverage = Vec::new();
             for column in ErrorColumn::all() {
-                let relevant: Vec<&Probe> =
-                    probes.iter().filter(|p| p.column == column).collect();
+                let relevant: Vec<&Probe> = probes.iter().filter(|p| p.column == column).collect();
                 let mut detected = 0usize;
                 for probe in &relevant {
                     let report = run_source(
@@ -227,7 +226,10 @@ mod tests {
         let eff = row(SanitizerKind::EffectiveFull);
         assert_eq!(eff.coverage_for(ErrorColumn::Types), Coverage::Full);
         assert_eq!(eff.coverage_for(ErrorColumn::Bounds), Coverage::Full);
-        assert_eq!(eff.coverage_for(ErrorColumn::UseAfterFree), Coverage::Partial);
+        assert_eq!(
+            eff.coverage_for(ErrorColumn::UseAfterFree),
+            Coverage::Partial
+        );
 
         // AddressSanitizer: no type coverage, partial bounds (misses
         // sub-object overflows), partial UAF.
@@ -240,7 +242,10 @@ mod tests {
         let typesan = row(SanitizerKind::TypeSan);
         assert_eq!(typesan.coverage_for(ErrorColumn::Types), Coverage::Partial);
         assert_eq!(typesan.coverage_for(ErrorColumn::Bounds), Coverage::None);
-        assert_eq!(typesan.coverage_for(ErrorColumn::UseAfterFree), Coverage::None);
+        assert_eq!(
+            typesan.coverage_for(ErrorColumn::UseAfterFree),
+            Coverage::None
+        );
 
         // CETS: temporal only.
         let cets = row(SanitizerKind::Cets);

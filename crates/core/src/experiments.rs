@@ -12,9 +12,7 @@ use instrument::SanitizerKind;
 use serde::Serialize;
 use workloads::{FirefoxWorkload, Scale, SpecBenchmark, BROWSER_BENCHMARKS};
 
-use crate::pipeline::{
-    geometric_mean_overhead, run_program, RunConfig, RunReport,
-};
+use crate::pipeline::{geometric_mean_overhead, run_program, RunConfig, RunReport};
 
 /// Results for one SPEC-like benchmark under several sanitizers.
 #[derive(Clone, Debug, Serialize)]
@@ -313,16 +311,28 @@ mod tests {
         // Clean benchmark: no issues.  Buggy benchmarks: issues found.
         let mcf = &experiment.rows[0];
         assert_eq!(
-            mcf.report(SanitizerKind::EffectiveFull).unwrap().errors.distinct_issues,
+            mcf.report(SanitizerKind::EffectiveFull)
+                .unwrap()
+                .errors
+                .distinct_issues,
             0
         );
         let h264 = &experiment.rows[1];
         assert!(
-            h264.report(SanitizerKind::EffectiveFull).unwrap().errors.bounds_issues() >= 2
+            h264.report(SanitizerKind::EffectiveFull)
+                .unwrap()
+                .errors
+                .bounds_issues()
+                >= 2
         );
         let xalanc = &experiment.rows[2];
         assert!(
-            xalanc.report(SanitizerKind::EffectiveFull).unwrap().errors.type_issues() >= 2
+            xalanc
+                .report(SanitizerKind::EffectiveFull)
+                .unwrap()
+                .errors
+                .type_issues()
+                >= 2
         );
 
         // Overheads ordered: full >= bounds >= type >= 0 on average.
@@ -335,7 +345,7 @@ mod tests {
 
         // Memory overhead of full instrumentation is modest (Figure 9).
         let mem = experiment.mean_memory_overhead_pct(SanitizerKind::EffectiveFull);
-        assert!(mem >= 0.0 && mem < 150.0, "memory overhead {mem:.0}%");
+        assert!((0.0..150.0).contains(&mem), "memory overhead {mem:.0}%");
     }
 
     #[test]

@@ -93,11 +93,7 @@ pub struct RunReport {
 impl RunReport {
     /// Total dynamic checks performed by the active sanitizer.
     pub fn total_checks(&self) -> u64 {
-        self.checks.total_checks()
-            + self
-                .baseline_checks
-                .map(|b| b.total_checks())
-                .unwrap_or(0)
+        self.checks.total_checks() + self.baseline_checks.map(|b| b.total_checks()).unwrap_or(0)
     }
 
     /// Overhead of this run relative to a baseline run, in percent, using
@@ -134,12 +130,7 @@ pub fn instrument(program: &Program, sanitizer: SanitizerKind) -> Program {
 /// Run a compiled (uninstrumented) program under the given configuration:
 /// the program is instrumented, executed in the VM, and a [`RunReport`] is
 /// produced.
-pub fn run_program(
-    program: &Program,
-    entry: &str,
-    args: &[i64],
-    config: &RunConfig,
-) -> RunReport {
+pub fn run_program(program: &Program, entry: &str, args: &[i64], config: &RunConfig) -> RunReport {
     let instrumented = instrument_program(program, config.sanitizer);
     let static_checks = instrumented.check_count();
     let vm_config = VmConfig {

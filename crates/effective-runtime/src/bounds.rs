@@ -27,7 +27,9 @@ impl Bounds {
         hi: u64::MAX,
     };
 
-    /// The empty bounds: every access fails.
+    /// The empty bounds: every access of one or more bytes fails.  (A
+    /// degenerate zero-size access exactly at `lo` still passes, like a
+    /// past-the-end pointer that is compared but never dereferenced.)
     pub const EMPTY: Bounds = Bounds { lo: 1, hi: 1 };
 
     /// Bounds covering `[lo, hi)`.
@@ -93,7 +95,10 @@ mod tests {
 
     #[test]
     fn empty_bounds_admit_nothing() {
-        assert!(!Bounds::EMPTY.contains_access(Ptr(1), 0).then_some(false).unwrap_or(false));
+        // A zero-size access is degenerate: it passes exactly at the
+        // boundary point and nowhere else.
+        assert!(Bounds::EMPTY.contains_access(Ptr(1), 0));
+        assert!(!Bounds::EMPTY.contains_access(Ptr(0), 0));
         assert!(!Bounds::EMPTY.contains_access(Ptr(1), 1));
         assert_eq!(Bounds::EMPTY.width(), 0);
     }

@@ -173,7 +173,10 @@ impl TypeCheckRuntime {
     pub fn dynamic_type_of(&self, ptr: Ptr) -> Option<&Type> {
         let base = self.allocator.base(ptr)?;
         let id = self.memory.read_u64(base) as u32;
-        self.types_by_id.get(id as usize).map(|(t, _)| t).filter(|_| id != 0)
+        self.types_by_id
+            .get(id as usize)
+            .map(|(t, _)| t)
+            .filter(|_| id != 0)
     }
 
     /// The allocation bounds (excluding the META header) of the object that
@@ -447,10 +450,16 @@ impl TypeCheckRuntime {
             }
             None => {
                 self.stats.failed_type_checks += 1;
-                let detail = format!(
-                    "no sub-object of type `{static_ty}` at offset {k} of `{alloc_ty}`"
+                let detail =
+                    format!("no sub-object of type `{static_ty}` at offset {k} of `{alloc_ty}`");
+                self.report(
+                    failure_kind,
+                    static_ty,
+                    &alloc_ty,
+                    layout.normalize_offset(k),
+                    location,
+                    detail,
                 );
-                self.report(failure_kind, static_ty, &alloc_ty, layout.normalize_offset(k), location, detail);
                 Bounds::WIDE
             }
         }
@@ -458,7 +467,10 @@ impl TypeCheckRuntime {
 
     fn classify_bounds_failure(&self, ptr: Ptr, escape: bool) -> (ErrorKind, Type, u64) {
         if escape {
-            let dyn_ty = self.dynamic_type_of(ptr).cloned().unwrap_or_else(Type::void);
+            let dyn_ty = self
+                .dynamic_type_of(ptr)
+                .cloned()
+                .unwrap_or_else(Type::void);
             return (ErrorKind::EscapeBoundsOverflow, dyn_ty, 0);
         }
         match self.allocation_bounds(ptr) {
@@ -591,8 +603,8 @@ mod tests {
         // A pointer to number[0] with static type int[]:
         let b = rt.type_check(p, &Type::int(), &loc("account"));
         assert_eq!(b.width(), 32); // int[8], not the whole struct
-        // number[8] === balance: inside the allocation, outside the
-        // sub-object bounds.
+                                   // number[8] === balance: inside the allocation, outside the
+                                   // sub-object bounds.
         let overflow = p.add(32);
         assert!(!rt.bounds_check(overflow, 4, b, &loc("account"), false));
         let stats = rt.reporter().stats();
@@ -609,7 +621,9 @@ mod tests {
         let wild = p.add(400);
         assert!(!rt.bounds_check(wild, 4, b, &loc("arr"), false));
         assert_eq!(
-            rt.reporter().stats().issues_of(ErrorKind::ObjectBoundsOverflow),
+            rt.reporter()
+                .stats()
+                .issues_of(ErrorKind::ObjectBoundsOverflow),
             1
         );
     }
@@ -635,7 +649,10 @@ mod tests {
         rt.type_free(p, &loc("free"));
         // The allocator reuses the block for a float array.
         let q = rt.type_malloc(24, &Type::float(), AllocKind::Heap);
-        assert_eq!(p, q, "block should be reused for this test to be meaningful");
+        assert_eq!(
+            p, q,
+            "block should be reused for this test to be meaningful"
+        );
         // The dangling pointer is now typed float[], not S: error.
         let b = rt.type_check(p, &Type::struct_("S"), &loc("reuse"));
         assert!(b.is_wide());
@@ -760,7 +777,9 @@ mod tests {
         let b = rt.type_check(p, &Type::int(), &loc("esc"));
         assert!(!rt.bounds_check(p.add(64), 8, b, &loc("esc"), true));
         assert_eq!(
-            rt.reporter().stats().issues_of(ErrorKind::EscapeBoundsOverflow),
+            rt.reporter()
+                .stats()
+                .issues_of(ErrorKind::EscapeBoundsOverflow),
             1
         );
     }
@@ -798,8 +817,12 @@ mod tests {
         let frame = rt.allocator.stack_frame_begin();
         let s = rt.type_malloc(24, &Type::struct_("S"), AllocKind::Stack);
         let g = rt.type_malloc(8 * 24, &Type::struct_("S"), AllocKind::Global);
-        assert!(!rt.type_check(s, &Type::struct_("S"), &loc("stack")).is_wide());
-        assert!(!rt.type_check(g.add(24), &Type::struct_("S"), &loc("global")).is_wide());
+        assert!(!rt
+            .type_check(s, &Type::struct_("S"), &loc("stack"))
+            .is_wide());
+        assert!(!rt
+            .type_check(g.add(24), &Type::struct_("S"), &loc("global"))
+            .is_wide());
         assert_eq!(rt.stats().failed_type_checks, 0);
         rt.allocator.stack_frame_end(frame);
     }

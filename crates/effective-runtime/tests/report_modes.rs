@@ -1,0 +1,174 @@
+//! Tests for `ReportMode` semantics (logging / counting / abort-after-N)
+//! and the `FREE` type on use-after-free, asserting exact `ErrorStats`
+//! counts end-to-end through `TypeCheckRuntime`.
+
+use std::sync::Arc;
+
+use effective_runtime::{ErrorKind, ReportMode, ReporterConfig, RuntimeConfig, TypeCheckRuntime};
+use effective_types::{FieldDef, RecordDef, Type, TypeRegistry};
+use lowfat::{AllocKind, AllocatorConfig};
+
+fn registry() -> Arc<TypeRegistry> {
+    let mut reg = TypeRegistry::new();
+    reg.define(RecordDef::struct_(
+        "S",
+        vec![
+            FieldDef::new("a", Type::array(Type::int(), 3)),
+            FieldDef::new("s", Type::char_ptr()),
+        ],
+    ))
+    .unwrap();
+    Arc::new(reg)
+}
+
+fn runtime_with(reporter: ReporterConfig) -> TypeCheckRuntime {
+    TypeCheckRuntime::new(
+        registry(),
+        RuntimeConfig {
+            reporter,
+            allocator: AllocatorConfig::default(),
+        },
+    )
+}
+
+fn loc(s: &str) -> Arc<str> {
+    Arc::from(s)
+}
+
+#[test]
+fn logging_mode_keeps_one_record_per_distinct_issue() {
+    let mut rt = runtime_with(ReporterConfig {
+        mode: ReportMode::Log,
+        abort_after: None,
+    });
+    let p = rt.type_malloc(24, &Type::struct_("S"), AllocKind::Heap);
+    // The same failing check from the same offset, three times: one bucket.
+    for _ in 0..3 {
+        rt.type_check(p, &Type::double(), &loc("site-a"));
+    }
+    // A different static type at the same offset: a second bucket.
+    rt.type_check(p, &Type::struct_("missing"), &loc("site-b"));
+
+    let stats = rt.reporter().stats();
+    assert_eq!(stats.total_events, 4);
+    assert_eq!(stats.distinct_issues, 2);
+    assert_eq!(stats.events_of(ErrorKind::TypeConfusion), 4);
+    assert_eq!(stats.issues_of(ErrorKind::TypeConfusion), 2);
+    assert_eq!(stats.type_issues(), 2);
+    assert_eq!(stats.bounds_issues(), 0);
+    assert_eq!(stats.temporal_issues(), 0);
+    // Log mode retains exactly one record per distinct issue.
+    assert_eq!(rt.reporter().records().len(), 2);
+    assert!(rt
+        .reporter()
+        .records()
+        .iter()
+        .all(|r| r.kind == ErrorKind::TypeConfusion));
+}
+
+#[test]
+fn counting_mode_counts_identically_but_keeps_no_records() {
+    let run = |mode: ReportMode| {
+        let mut rt = runtime_with(ReporterConfig {
+            mode,
+            abort_after: None,
+        });
+        let p = rt.type_malloc(24, &Type::struct_("S"), AllocKind::Heap);
+        for _ in 0..3 {
+            rt.type_check(p, &Type::double(), &loc("site"));
+        }
+        rt.type_free(p, &loc("free"));
+        rt.type_check(p, &Type::struct_("S"), &loc("uaf"));
+        rt
+    };
+
+    let logged = run(ReportMode::Log);
+    let counted = run(ReportMode::Count);
+
+    // The statistics are identical across modes...
+    assert_eq!(logged.reporter().stats(), counted.reporter().stats());
+    assert_eq!(counted.reporter().stats().total_events, 4);
+    assert_eq!(counted.reporter().stats().distinct_issues, 2);
+    // ...but only logging mode retains records.
+    assert_eq!(logged.reporter().records().len(), 2);
+    assert!(counted.reporter().records().is_empty());
+}
+
+#[test]
+fn abort_after_n_halts_the_runtime_at_exactly_n_events() {
+    let mut rt = runtime_with(ReporterConfig {
+        mode: ReportMode::Log,
+        abort_after: Some(3),
+    });
+    let p = rt.type_malloc(24, &Type::struct_("S"), AllocKind::Heap);
+    // Each failing check is one event (all land in the same bucket, which
+    // must NOT matter: abort-after counts events, not distinct issues).
+    rt.type_check(p, &Type::double(), &loc("e1"));
+    assert!(!rt.halted(), "1 event < limit 3");
+    rt.type_check(p, &Type::double(), &loc("e1"));
+    assert!(!rt.halted(), "2 events < limit 3");
+    rt.type_check(p, &Type::double(), &loc("e1"));
+    assert!(rt.halted(), "3rd event reaches the limit");
+    assert_eq!(rt.reporter().stats().total_events, 3);
+    assert_eq!(rt.reporter().stats().distinct_issues, 1);
+}
+
+#[test]
+fn successful_checks_never_count_toward_abort() {
+    let mut rt = runtime_with(ReporterConfig {
+        mode: ReportMode::Count,
+        abort_after: Some(1),
+    });
+    let p = rt.type_malloc(24, &Type::struct_("S"), AllocKind::Heap);
+    for _ in 0..100 {
+        rt.type_check(p, &Type::struct_("S"), &loc("ok"));
+    }
+    assert!(!rt.halted());
+    assert_eq!(rt.reporter().stats().total_events, 0);
+    // The very first error trips the limit.
+    rt.type_check(p, &Type::double(), &loc("bad"));
+    assert!(rt.halted());
+}
+
+#[test]
+fn use_after_free_binds_the_free_type_with_exact_counts() {
+    let mut rt = runtime_with(ReporterConfig::default());
+    let p = rt.type_malloc(24, &Type::struct_("S"), AllocKind::Heap);
+    assert_eq!(rt.dynamic_type_of(p), Some(&Type::struct_("S")));
+    assert!(rt.type_free(p, &loc("free")));
+    // The dynamic type is now the special FREE type.
+    assert_eq!(rt.dynamic_type_of(p), Some(&Type::Free));
+
+    // Every use of the dangling pointer is a UseAfterFree event; identical
+    // sites share one bucket.
+    for _ in 0..5 {
+        assert!(rt.type_check(p, &Type::struct_("S"), &loc("uaf")).is_wide());
+    }
+    let stats = rt.reporter().stats();
+    assert_eq!(stats.events_of(ErrorKind::UseAfterFree), 5);
+    assert_eq!(stats.issues_of(ErrorKind::UseAfterFree), 1);
+    assert_eq!(stats.temporal_issues(), 1);
+    assert_eq!(stats.type_issues(), 0, "UAF is temporal, not a type issue");
+
+    // Freeing again is a DoubleFree on the FREE-typed object.
+    assert!(!rt.type_free(p, &loc("free2")));
+    let stats = rt.reporter().stats();
+    assert_eq!(stats.issues_of(ErrorKind::DoubleFree), 1);
+    assert_eq!(stats.temporal_issues(), 2);
+    assert_eq!(stats.total_events, 6);
+    assert_eq!(stats.distinct_issues, 2);
+}
+
+#[test]
+fn uaf_at_different_offsets_opens_distinct_issues() {
+    let mut rt = runtime_with(ReporterConfig::default());
+    let p = rt.type_malloc(24, &Type::struct_("S"), AllocKind::Heap);
+    rt.type_free(p, &loc("free"));
+    // Offsets are part of the bucket key, so probing two different fields
+    // of the freed object reports two distinct issues.
+    rt.type_check(p, &Type::int(), &loc("field-a"));
+    rt.type_check(p.add(16), &Type::char_ptr(), &loc("field-s"));
+    let stats = rt.reporter().stats();
+    assert_eq!(stats.events_of(ErrorKind::UseAfterFree), 2);
+    assert_eq!(stats.issues_of(ErrorKind::UseAfterFree), 2);
+}

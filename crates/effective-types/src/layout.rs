@@ -148,7 +148,7 @@ fn collect(
             // Rule (d): the pointer also designates the containing array
             // itself whenever it sits on an element boundary (and is not
             // past the end, which rules (a)/(b) already cover).
-            if k % esize == 0 && k > 0 && k < size {
+            if k.is_multiple_of(esize) && k > 0 && k < size {
                 out.push(SubObject::new(ty.clone(), k));
             }
             // Rule (c): recurse into the element the offset falls in.
@@ -345,7 +345,7 @@ mod tests {
         let l = layout_at(&reg, &arr, 16).unwrap();
         assert!(contains(&l, &arr, 16)); // rule (b) for the array
         assert!(contains(&l, &Type::int(), 4)); // end of the last element
-        // Nothing beyond the end.
+                                                // Nothing beyond the end.
         assert!(layout_at(&reg, &arr, 17).unwrap().is_empty());
     }
 

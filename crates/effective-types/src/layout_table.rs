@@ -552,7 +552,9 @@ mod tests {
         let reg = paper_registry();
         let table = TypeLayout::build(&reg, &Type::struct_("T")).unwrap();
         let q = reg.offset_of("T", "t").unwrap() + 8;
-        assert!(table.lookup(&Type::incomplete_array(Type::int()), q).is_some());
+        assert!(table
+            .lookup(&Type::incomplete_array(Type::int()), q)
+            .is_some());
         assert!(table.lookup(&Type::double(), q).is_none());
     }
 
@@ -660,7 +662,9 @@ mod tests {
         // (no transitive coercion through void*).
         assert!(table.lookup(&Type::ptr(Type::float()), 8).is_none());
         // And `T*` vs `T**` confusion (perlbench, §6.1) is still an error.
-        assert!(table.lookup(&Type::ptr(Type::ptr(Type::int())), 8).is_none());
+        assert!(table
+            .lookup(&Type::ptr(Type::ptr(Type::int())), 8)
+            .is_none());
     }
 
     #[test]

@@ -59,7 +59,6 @@ pub mod types;
 pub use layout::{layout_at, layout_at_with, type_bounds, LayoutOptions, SubObject};
 pub use layout_table::{LayoutMatch, LayoutTable, MatchKind, RelBounds, TypeLayout};
 pub use registry::{
-    BaseDef, FieldDef, MemberLayout, MemberOrigin, RecordDef, RecordLayout, TypeError,
-    TypeRegistry,
+    BaseDef, FieldDef, MemberLayout, MemberOrigin, RecordDef, RecordLayout, TypeError, TypeRegistry,
 };
 pub use types::{FunctionType, Primitive, RecordKind, Type};

@@ -247,12 +247,9 @@ impl RecordLayout {
 
     /// Iterate over the direct base-class sub-objects.
     pub fn bases(&self) -> impl Iterator<Item = &MemberLayout> {
-        self.members.iter().filter(|m| {
-            matches!(
-                m.origin,
-                MemberOrigin::Base | MemberOrigin::VirtualBase
-            )
-        })
+        self.members
+            .iter()
+            .filter(|m| matches!(m.origin, MemberOrigin::Base | MemberOrigin::VirtualBase))
     }
 }
 
@@ -389,19 +386,15 @@ impl TypeRegistry {
         let mut flexible_element = None;
 
         let place = |members: &mut Vec<MemberLayout>,
-                         size: &mut u64,
-                         align: &mut u64,
-                         name: String,
-                         ty: Type,
-                         msize: u64,
-                         malign: u64,
-                         origin: MemberOrigin,
-                         is_union: bool| {
-            let offset = if is_union {
-                0
-            } else {
-                round_up(*size, malign)
-            };
+                     size: &mut u64,
+                     align: &mut u64,
+                     name: String,
+                     ty: Type,
+                     msize: u64,
+                     malign: u64,
+                     origin: MemberOrigin,
+                     is_union: bool| {
+            let offset = if is_union { 0 } else { round_up(*size, malign) };
             members.push(MemberLayout {
                 name,
                 ty,
@@ -483,10 +476,12 @@ impl TypeRegistry {
             match &field.ty {
                 Type::IncompleteArray(elem) if is_last && !is_union => {
                     // Flexible array member: treated as a one-element array.
-                    let esize = self.size_of(elem).map_err(|_| TypeError::IncompleteMember {
-                        record: def.tag.clone(),
-                        member: field.name.clone(),
-                    })?;
+                    let esize = self
+                        .size_of(elem)
+                        .map_err(|_| TypeError::IncompleteMember {
+                            record: def.tag.clone(),
+                            member: field.name.clone(),
+                        })?;
                     let ealign = self.align_of(elem)?;
                     let fam_ty = Type::Array(elem.clone(), 1);
                     place(
@@ -649,7 +644,10 @@ mod tests {
         reg.define(RecordDef::class(
             "Base",
             vec![],
-            vec![FieldDef::new("x", Type::int()), FieldDef::new("y", Type::float())],
+            vec![
+                FieldDef::new("x", Type::int()),
+                FieldDef::new("y", Type::float()),
+            ],
             false,
         ))
         .unwrap();

@@ -488,10 +488,7 @@ mod tests {
 
     #[test]
     fn decay_converts_arrays_and_functions_to_pointers() {
-        assert_eq!(
-            Type::array(Type::int(), 8).decay(),
-            Type::ptr(Type::int())
-        );
+        assert_eq!(Type::array(Type::int(), 8).decay(), Type::ptr(Type::int()));
         let f = Type::function(Type::void(), vec![], false);
         assert!(f.decay().is_pointer());
         assert_eq!(Type::int().decay(), Type::int());
@@ -515,7 +512,10 @@ mod tests {
     fn pointee_and_element_accessors() {
         assert_eq!(Type::ptr(Type::int()).pointee(), Some(&Type::int()));
         assert_eq!(Type::int().pointee(), None);
-        assert_eq!(Type::array(Type::char_(), 3).element(), Some(&Type::char_()));
+        assert_eq!(
+            Type::array(Type::char_(), 3).element(),
+            Some(&Type::char_())
+        );
         assert_eq!(Type::array(Type::char_(), 3).array_len(), Some(3));
         assert_eq!(Type::incomplete_array(Type::char_()).array_len(), None);
         assert_eq!(Type::struct_("S").record_tag(), Some("S"));

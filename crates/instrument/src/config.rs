@@ -232,7 +232,10 @@ mod tests {
 
         let bounds = SanitizerKind::EffectiveBounds.config();
         assert_eq!(bounds.input_check, InputCheck::BoundsGet);
-        assert!(!bounds.narrow_fields, "bounds variant protects object bounds only");
+        assert!(
+            !bounds.narrow_fields,
+            "bounds variant protects object bounds only"
+        );
 
         let ty = SanitizerKind::EffectiveType.config();
         assert_eq!(ty.input_check, InputCheck::None);
@@ -244,7 +247,11 @@ mod tests {
     fn cast_only_tools_are_class_restricted() {
         assert!(SanitizerKind::TypeSan.config().cast_check_classes_only);
         assert!(SanitizerKind::HexType.config().cast_check_classes_only);
-        assert!(!SanitizerKind::EffectiveType.config().cast_check_classes_only);
+        assert!(
+            !SanitizerKind::EffectiveType
+                .config()
+                .cast_check_classes_only
+        );
     }
 
     #[test]

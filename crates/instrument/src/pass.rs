@@ -297,8 +297,8 @@ impl<'a> Cx<'a> {
                 explicit,
             } => {
                 self.out.push(instr.clone());
-                let pointer_result = to_ty.is_pointer()
-                    && matches!(kind, CastKind::Bit | CastKind::IntToPtr);
+                let pointer_result =
+                    to_ty.is_pointer() && matches!(kind, CastKind::Bit | CastKind::IntToPtr);
                 if !pointer_result {
                     return;
                 }
@@ -382,11 +382,7 @@ impl<'a> Cx<'a> {
                         Builtin::Memcpy | Builtin::Memmove | Builtin::Memset | Builtin::Strlen
                     )
                 {
-                    let ptr_args: Vec<Slot> = args
-                        .iter()
-                        .take(2)
-                        .copied()
-                        .collect();
+                    let ptr_args: Vec<Slot> = args.iter().take(2).copied().collect();
                     for a in ptr_args {
                         self.emit_escape_guard(a, 1, "builtin-arg");
                     }
@@ -546,6 +542,9 @@ fn remove_redundant_checks(func: &mut Function) {
     }
 
     let mut seen: HashSet<(Slot, Slot, u64, bool)> = HashSet::new();
+    // `region_start` is one entry longer than the body (jumps may target
+    // one-past-the-end), so iterate the body's indices, not the markers.
+    #[allow(clippy::needless_range_loop)]
     for i in 0..func.body.len() {
         if region_start[i] || func.body[i].is_terminator() {
             seen.clear();
@@ -640,7 +639,10 @@ mod tests {
         let length = p.function("length").unwrap();
         assert_eq!(count(length, |i| matches!(i, Instr::TypeCheck { .. })), 0);
         assert!(count(length, |i| matches!(i, Instr::BoundsGet { .. })) >= 1);
-        assert_eq!(count(length, |i| matches!(i, Instr::BoundsNarrow { .. })), 0);
+        assert_eq!(
+            count(length, |i| matches!(i, Instr::BoundsNarrow { .. })),
+            0
+        );
         assert!(count(length, |i| matches!(i, Instr::BoundsCheck { .. })) >= 1);
     }
 

@@ -64,20 +64,13 @@ impl std::fmt::Display for FreeError {
 impl std::error::Error for FreeError {}
 
 /// Allocator configuration.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
 pub struct AllocatorConfig {
     /// Maximum number of freed blocks held in quarantine before they become
-    /// reusable.  Zero disables the quarantine (the EffectiveSan default;
-    /// reuse-after-free detection then relies on type mismatch alone).
+    /// reusable.  Zero (the default) disables the quarantine (the
+    /// EffectiveSan default; reuse-after-free detection then relies on type
+    /// mismatch alone).
     pub quarantine_blocks: usize,
-}
-
-impl Default for AllocatorConfig {
-    fn default() -> Self {
-        AllocatorConfig {
-            quarantine_blocks: 0,
-        }
-    }
 }
 
 /// A snapshot of allocator statistics.
@@ -244,8 +237,7 @@ impl LowFatAllocator {
             .ok_or(FreeError::NotAllocated)?;
         self.stats.frees += 1;
         self.stats.live_bytes = self.stats.live_bytes.saturating_sub(rounded);
-        self.stats.requested_live_bytes =
-            self.stats.requested_live_bytes.saturating_sub(request);
+        self.stats.requested_live_bytes = self.stats.requested_live_bytes.saturating_sub(request);
         if let Some(size) = lowfat_size(ptr.addr()) {
             let class = class_for_size(size).expect("lowfat size is always a class size");
             if self.config.quarantine_blocks > 0 {
@@ -327,8 +319,7 @@ impl LowFatAllocator {
         } else {
             let base = (self.global_bump + 15) & !15;
             self.global_bump = base + size;
-            self.live
-                .insert(base, (size, size, AllocKind::Global));
+            self.live.insert(base, (size, size, AllocKind::Global));
             self.stats.allocations += 1;
             self.stats.global_allocations += 1;
             self.stats.live_bytes += size;

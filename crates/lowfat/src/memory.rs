@@ -229,7 +229,10 @@ impl Memory {
         if self.pages.len() > self.peak_pages {
             self.peak_pages = self.pages.len();
         }
-        self.pages.get_mut(&page).expect("page just inserted").as_mut()
+        self.pages
+            .get_mut(&page)
+            .expect("page just inserted")
+            .as_mut()
     }
 }
 

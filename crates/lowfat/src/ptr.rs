@@ -32,6 +32,9 @@ impl Ptr {
     }
 
     /// Unsigned byte offset addition.
+    // Deliberately named after raw-pointer `add`; this is wrapping byte
+    // arithmetic, not the checked semantics `ops::Add` would suggest.
+    #[allow(clippy::should_implement_trait)]
     pub fn add(self, delta: u64) -> Ptr {
         Ptr(self.0.wrapping_add(delta))
     }
@@ -50,7 +53,7 @@ impl Ptr {
     /// Round the address up to a multiple of `align` (power of two).
     pub fn align_up(self, align: u64) -> Ptr {
         debug_assert!(align.is_power_of_two());
-        Ptr(self.0.checked_add(align - 1).unwrap_or(u64::MAX) & !(align - 1))
+        Ptr(self.0.saturating_add(align - 1) & !(align - 1))
     }
 }
 

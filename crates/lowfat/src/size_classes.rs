@@ -143,12 +143,18 @@ mod tests {
             let idx = class_for_size(req).unwrap();
             assert!(class_size(idx) >= req, "class too small for {req}");
             if idx > 0 {
-                assert!(class_size(idx - 1) < req.max(MIN_CLASS + 1), "class not tight for {req}");
+                assert!(
+                    class_size(idx - 1) < req.max(MIN_CLASS + 1),
+                    "class not tight for {req}"
+                );
             }
         }
     }
 
     #[test]
+    // The region indices are consts, but the orderings are the layout
+    // invariants this module promises; keep them spelled out.
+    #[allow(clippy::assertions_on_constants)]
     fn regions_partition_the_address_space() {
         assert!(LEGACY_REGION > NUM_CLASSES as u64);
         assert!(GLOBAL_REGION > LEGACY_REGION);

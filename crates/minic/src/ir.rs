@@ -458,7 +458,10 @@ impl Function {
 
     /// Count instructions, excluding `Nop`s.
     pub fn instruction_count(&self) -> usize {
-        self.body.iter().filter(|i| !matches!(i, Instr::Nop)).count()
+        self.body
+            .iter()
+            .filter(|i| !matches!(i, Instr::Nop))
+            .count()
     }
 
     /// Count instrumentation (check) instructions.

@@ -134,7 +134,7 @@ impl<'a> Lexer<'a> {
                 break;
             }
         }
-        match Keyword::from_str(&s) {
+        match Keyword::from_ident(&s) {
             Some(k) => TokenKind::Keyword(k),
             None => TokenKind::Ident(s),
         }

@@ -68,13 +68,9 @@ pub fn lower(unit: &Unit, source_lines: usize) -> Result<Program, CompileError> 
     let mut functions = HashMap::new();
     let mut string_counter = 0usize;
     for f in &unit.functions {
-        let lowered = FunctionLowerer::new(
-            &registry,
-            &signatures,
-            &mut globals,
-            &mut string_counter,
-        )
-        .lower_function(f)?;
+        let lowered =
+            FunctionLowerer::new(&registry, &signatures, &mut globals, &mut string_counter)
+                .lower_function(f)?;
         functions.insert(f.name.clone(), lowered);
     }
 
@@ -473,9 +469,7 @@ impl<'a> FunctionLowerer<'a> {
         init: Option<&Expr>,
         loc: Loc,
     ) -> Result<(), CompileError> {
-        let needs_alloca = self.address_taken.contains(name)
-            || ty.is_array()
-            || ty.is_record();
+        let needs_alloca = self.address_taken.contains(name) || ty.is_array() || ty.is_record();
         if needs_alloca {
             let (elem_ty, count) = match ty {
                 Type::Array(e, n) => (e.as_ref().clone(), *n),
@@ -648,7 +642,11 @@ impl<'a> FunctionLowerer<'a> {
                             Ok((ptr, Type::ptr(ty)))
                         } else {
                             let dst = self.new_slot();
-                            self.emit(Instr::Load { dst, ptr, ty: ty.clone() });
+                            self.emit(Instr::Load {
+                                dst,
+                                ptr,
+                                ty: ty.clone(),
+                            });
                             Ok((dst, ty))
                         }
                     }
@@ -694,11 +692,7 @@ impl<'a> FunctionLowerer<'a> {
                         self.emit(Instr::Copy { dst: slot, src: v });
                     }
                     LValue::Mem(ptr, ty) => {
-                        self.emit(Instr::Store {
-                            ptr,
-                            src: v,
-                            ty,
-                        });
+                        self.emit(Instr::Store { ptr, src: v, ty });
                     }
                 }
                 Ok((v, lv_ty))
@@ -709,8 +703,17 @@ impl<'a> FunctionLowerer<'a> {
                 expr,
                 loc,
             } => {
-                let expect = ty.pointee().map(|p| p.clone());
+                let expect = ty.pointee().cloned();
                 let (s, from_ty) = self.lower_expr_expect(expr, expect.as_ref())?;
+                // C constraint: cast operands must be scalar (a record
+                // rvalue cannot be cast to a pointer or arithmetic type,
+                // and nothing can be cast to a record by value).
+                if !ty.is_void() && (from_ty.is_record() || ty.is_record()) {
+                    return Err(self.err(
+                        format!("invalid cast from `{from_ty}` to `{ty}`: operands must be scalar"),
+                        *loc,
+                    ));
+                }
                 let kind = cast_kind(&from_ty, ty);
                 let dst = self.new_slot();
                 self.emit(Instr::Cast {
@@ -979,7 +982,10 @@ impl<'a> FunctionLowerer<'a> {
         if from == to {
             return Ok(slot);
         }
-        if from.is_float() != to.is_float() && to.is_scalar() && from.is_scalar() && !to.is_pointer()
+        if from.is_float() != to.is_float()
+            && to.is_scalar()
+            && from.is_scalar()
+            && !to.is_pointer()
         {
             return Ok(self.emit_numeric_cast(slot, from, to));
         }
@@ -1224,21 +1230,13 @@ impl<'a> FunctionLowerer<'a> {
                 });
                 Ok(LValue::Mem(dst, field_ty))
             }
-            other => Err(self.err(
-                "expression is not an lvalue",
-                other.loc(),
-            )),
+            other => Err(self.err("expression is not an lvalue", other.loc())),
         }
     }
 
     /// Resolve a field by name, searching base classes (fields of embedded
     /// bases are accessible through the derived class, as in C++).
-    fn resolve_field(
-        &self,
-        tag: &str,
-        field: &str,
-        loc: Loc,
-    ) -> Result<(u64, Type), CompileError> {
+    fn resolve_field(&self, tag: &str, field: &str, loc: Loc) -> Result<(u64, Type), CompileError> {
         let layout = self
             .registry
             .layout(tag)
@@ -1254,10 +1252,7 @@ impl<'a> FunctionLowerer<'a> {
                 }
             }
         }
-        Err(self.err(
-            format!("record `{tag}` has no member named `{field}`"),
-            loc,
-        ))
+        Err(self.err(format!("record `{tag}` has no member named `{field}`"), loc))
     }
 }
 
@@ -1301,11 +1296,7 @@ fn collect_address_taken(stmts: &[Stmt], out: &mut HashSet<String>) {
                     walk_expr(a, out);
                 }
             }
-            Expr::New { count, .. } => {
-                if let Some(c) = count {
-                    walk_expr(c, out);
-                }
-            }
+            Expr::New { count: Some(c), .. } => walk_expr(c, out),
             Expr::Delete { expr, .. } => walk_expr(expr, out),
             Expr::Conditional {
                 cond,
@@ -1322,11 +1313,7 @@ fn collect_address_taken(stmts: &[Stmt], out: &mut HashSet<String>) {
     }
     for s in stmts {
         match s {
-            Stmt::Decl { init, .. } => {
-                if let Some(e) = init {
-                    walk_expr(e, out);
-                }
-            }
+            Stmt::Decl { init: Some(e), .. } => walk_expr(e, out),
             Stmt::Expr(e) => walk_expr(e, out),
             Stmt::If {
                 cond,
@@ -1464,12 +1451,28 @@ mod tests {
         let news = f
             .body
             .iter()
-            .filter(|i| matches!(i, Instr::CallBuiltin { builtin: Builtin::New, .. }))
+            .filter(|i| {
+                matches!(
+                    i,
+                    Instr::CallBuiltin {
+                        builtin: Builtin::New,
+                        ..
+                    }
+                )
+            })
             .count();
         let deletes = f
             .body
             .iter()
-            .filter(|i| matches!(i, Instr::CallBuiltin { builtin: Builtin::Delete, .. }))
+            .filter(|i| {
+                matches!(
+                    i,
+                    Instr::CallBuiltin {
+                        builtin: Builtin::Delete,
+                        ..
+                    }
+                )
+            })
             .count();
         assert_eq!(news, 2);
         assert_eq!(deletes, 2);

@@ -255,9 +255,7 @@ impl Parser {
             }
             let n = match self.bump() {
                 TokenKind::Int(v) if v >= 0 => v as u64,
-                other => {
-                    return Err(self.error(format!("expected array length, found {other}")))
-                }
+                other => return Err(self.error(format!("expected array length, found {other}"))),
             };
             self.expect_punct(Punct::RBracket)?;
             dims.push(n);
@@ -794,16 +792,18 @@ impl Parser {
         })
     }
 
+    /// The binary operator at the cursor, if it binds at least as tightly
+    /// as `min_prec`.
+    fn peek_binop(&self, min_prec: u8) -> Option<(BinOp, u8)> {
+        match self.peek() {
+            TokenKind::Punct(p) => Self::binop_for(*p).filter(|&(_, prec)| prec >= min_prec),
+            _ => None,
+        }
+    }
+
     fn parse_binary(&mut self, min_prec: u8) -> Result<Expr, CompileError> {
         let mut lhs = self.parse_unary()?;
-        loop {
-            let (op, prec) = match self.peek() {
-                TokenKind::Punct(p) => match Self::binop_for(*p) {
-                    Some(x) if x.1 >= min_prec => x,
-                    _ => break,
-                },
-                _ => break,
-            };
+        while let Some((op, prec)) = self.peek_binop(min_prec) {
             let loc = self.loc();
             self.bump();
             let rhs = self.parse_binary(prec + 1)?;
@@ -1189,14 +1189,20 @@ mod tests {
         // The bare-identifier cast `(T *)p` parses as a cast, not a
         // multiplication, because `T` is a known record tag.
         match &body[2] {
-            Stmt::Decl { init: Some(Expr::Cast { ty, style, .. }), .. } => {
+            Stmt::Decl {
+                init: Some(Expr::Cast { ty, style, .. }),
+                ..
+            } => {
                 assert_eq!(*ty, Type::ptr(Type::struct_("T")));
                 assert_eq!(*style, CastStyle::CStyle);
             }
             other => panic!("expected cast initialiser, got {other:?}"),
         }
         match &body[3] {
-            Stmt::Decl { init: Some(Expr::Cast { style, .. }), .. } => {
+            Stmt::Decl {
+                init: Some(Expr::Cast { style, .. }),
+                ..
+            } => {
                 assert_eq!(*style, CastStyle::Static);
             }
             other => panic!("expected static_cast, got {other:?}"),
@@ -1218,11 +1224,17 @@ mod tests {
         let body = &unit.functions[0].body;
         assert!(matches!(
             body[0],
-            Stmt::Decl { init: Some(Expr::New { count: None, .. }), .. }
+            Stmt::Decl {
+                init: Some(Expr::New { count: None, .. }),
+                ..
+            }
         ));
         assert!(matches!(
             body[1],
-            Stmt::Decl { init: Some(Expr::New { count: Some(_), .. }), .. }
+            Stmt::Decl {
+                init: Some(Expr::New { count: Some(_), .. }),
+                ..
+            }
         ));
     }
 

@@ -64,7 +64,7 @@ pub enum Keyword {
 
 impl Keyword {
     /// Look up a keyword from an identifier spelling.
-    pub fn from_str(s: &str) -> Option<Keyword> {
+    pub fn from_ident(s: &str) -> Option<Keyword> {
         Some(match s {
             "void" => Keyword::Void,
             "bool" => Keyword::Bool,

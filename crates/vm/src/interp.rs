@@ -223,9 +223,8 @@ impl Vm {
             SanitizerKind::Cets => Some(BaselineKind::Cets),
             _ => None,
         };
-        let mut baseline = baseline_kind.map(|k| {
-            BaselineRuntime::new(k, program.registry.clone(), ReporterConfig::default())
-        });
+        let mut baseline = baseline_kind
+            .map(|k| BaselineRuntime::new(k, program.registry.clone(), ReporterConfig::default()));
 
         // Allocate and initialise globals.
         let mut globals = HashMap::new();
@@ -413,8 +412,7 @@ impl Vm {
                 } => {
                     let b = slots[*base as usize].as_ptr();
                     let i = slots[*index as usize].as_int();
-                    slots[*dst as usize] =
-                        Value::Ptr(b.offset(i.wrapping_mul(*elem_size as i64)));
+                    slots[*dst as usize] = Value::Ptr(b.offset(i.wrapping_mul(*elem_size as i64)));
                 }
                 Instr::Cast {
                     dst,
@@ -765,7 +763,8 @@ impl Vm {
                     }
                     bytes.push(b);
                 }
-                self.output.push(String::from_utf8_lossy(&bytes).into_owned());
+                self.output
+                    .push(String::from_utf8_lossy(&bytes).into_owned());
                 Ok(Value::Int(0))
             }
             Builtin::Rand => {
@@ -890,7 +889,12 @@ mod tests {
         );
         vm.run("run", &[Value::Int(8)]).unwrap();
         assert_eq!(
-            vm.baseline.as_ref().unwrap().reporter().stats().bounds_issues(),
+            vm.baseline
+                .as_ref()
+                .unwrap()
+                .reporter()
+                .stats()
+                .bounds_issues(),
             0
         );
     }
@@ -1004,7 +1008,10 @@ mod tests {
         let src = "int run(int a) { return 10 / a; }";
         let program = Arc::new(minic::compile(src).unwrap());
         let mut vm = Vm::new(program.clone(), VmConfig::default());
-        assert_eq!(vm.run("run", &[Value::Int(0)]), Err(VmError::DivisionByZero));
+        assert_eq!(
+            vm.run("run", &[Value::Int(0)]),
+            Err(VmError::DivisionByZero)
+        );
         let mut vm = Vm::new(program, VmConfig::default());
         assert!(matches!(
             vm.run("nope", &[]),

@@ -374,10 +374,7 @@ mod tests {
         let program = minic::compile(&src).unwrap();
         for bench in BROWSER_BENCHMARKS {
             let entry = FirefoxWorkload::entry(bench);
-            assert!(
-                program.function(&entry).is_some(),
-                "missing entry {entry}"
-            );
+            assert!(program.function(&entry).is_some(), "missing entry {entry}");
         }
         assert!(program.function("bench_main").is_some());
     }

@@ -439,7 +439,11 @@ impl SpecBenchmark {
                 2,
                 &["hash-as-int-array"],
                 &[KERNEL_ARRAY, KERNEL_STRING, KERNEL_MATRIX],
-                &["drive_array(n * 6)", "drive_string(n * 4)", "drive_matrix(n)"],
+                &[
+                    "drive_array(n * 6)",
+                    "drive_string(n * 4)",
+                    "drive_matrix(n)",
+                ],
             ),
         ]
     }
@@ -456,10 +460,7 @@ impl SpecBenchmark {
 
     /// The seeded bugs included in this benchmark's source.
     pub fn seeded_bugs(&self) -> Vec<bugs::SeededBug> {
-        self.bug_ids
-            .iter()
-            .filter_map(|id| bugs::bug(id))
-            .collect()
+        self.bug_ids.iter().filter_map(|id| bugs::bug(id)).collect()
     }
 
     /// Generate the benchmark's Mini-C/C++ source.
@@ -530,7 +531,15 @@ mod tests {
 
     #[test]
     fn clean_benchmarks_have_no_seeded_bugs() {
-        for name in ["mcf", "gobmk", "hmmer", "sjeng", "libquantum", "omnetpp", "astar"] {
+        for name in [
+            "mcf",
+            "gobmk",
+            "hmmer",
+            "sjeng",
+            "libquantum",
+            "omnetpp",
+            "astar",
+        ] {
             let b = SpecBenchmark::by_name(name).unwrap();
             assert!(b.bug_ids.is_empty(), "{name} should be clean");
             assert_eq!(b.paper_issues, 0);
@@ -558,7 +567,9 @@ mod tests {
 
     #[test]
     fn source_embeds_bug_entries_and_driver_calls() {
-        let src = SpecBenchmark::by_name("perlbench").unwrap().source(Scale::Test);
+        let src = SpecBenchmark::by_name("perlbench")
+            .unwrap()
+            .source(Scale::Test);
         assert!(src.contains("bug_use_after_free();"));
         assert!(src.contains("drive_list(n)"));
         assert!(src.contains("bench_main"));

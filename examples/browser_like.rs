@@ -10,7 +10,10 @@ fn main() {
     println!("running the Firefox-like workload (7 browser benchmarks, parallel)…\n");
     let experiment = firefox_experiment(Scale::Small, true);
 
-    println!("{:<14} {:>14} {:>14} {:>12}", "benchmark", "base cost", "EffectiveSan", "overhead");
+    println!(
+        "{:<14} {:>14} {:>14} {:>12}",
+        "benchmark", "base cost", "EffectiveSan", "overhead"
+    );
     println!("{}", "-".repeat(60));
     for (name, base, full) in &experiment.benchmarks {
         println!(

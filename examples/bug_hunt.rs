@@ -18,7 +18,7 @@ fn main() {
         SanitizerKind::Cets,
     ];
 
-    println!("{:<28} {:<28} {}", "seeded bug", "paper finding", "detected by");
+    println!("{:<28} {:<28} detected by", "seeded bug", "paper finding");
     println!("{}", "-".repeat(100));
 
     for bug in effective_san::workloads::catalogue() {
@@ -28,13 +28,8 @@ fn main() {
         );
         let mut detectors = Vec::new();
         for &tool in &tools {
-            let report = run_source(
-                &source,
-                "probe_main",
-                &[1],
-                &RunConfig::for_sanitizer(tool),
-            )
-            .expect("probe compiles");
+            let report = run_source(&source, "probe_main", &[1], &RunConfig::for_sanitizer(tool))
+                .expect("probe compiles");
             if report.errors.distinct_issues > 0 {
                 detectors.push(tool.name());
             }

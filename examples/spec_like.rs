@@ -13,7 +13,10 @@ fn main() {
         SanitizerKind::EffectiveBounds,
         SanitizerKind::EffectiveType,
     ];
-    println!("running {} synthetic SPEC-like workloads (scale: small)…\n", names.len());
+    println!(
+        "running {} synthetic SPEC-like workloads (scale: small)…\n",
+        names.len()
+    );
     let experiment = spec_experiment(Some(&names), Scale::Small, &sanitizers);
 
     println!(
@@ -31,9 +34,12 @@ fn main() {
             full.checks.type_checks,
             full.checks.bounds_checks,
             full.errors.distinct_issues,
-            row.overhead_pct(SanitizerKind::EffectiveFull).unwrap_or(0.0),
-            row.overhead_pct(SanitizerKind::EffectiveBounds).unwrap_or(0.0),
-            row.overhead_pct(SanitizerKind::EffectiveType).unwrap_or(0.0),
+            row.overhead_pct(SanitizerKind::EffectiveFull)
+                .unwrap_or(0.0),
+            row.overhead_pct(SanitizerKind::EffectiveBounds)
+                .unwrap_or(0.0),
+            row.overhead_pct(SanitizerKind::EffectiveType)
+                .unwrap_or(0.0),
         );
     }
     println!("{}", "-".repeat(90));

@@ -1,0 +1,143 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the subset of the criterion 0.5 API the `bench` crate uses:
+//! [`Criterion::bench_function`], benchmark groups with
+//! [`BenchmarkGroup::bench_with_input`], [`BenchmarkId`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros. Each benchmark is
+//! warmed up and then timed for a fixed number of iterations; the mean
+//! ns/iter is printed to stdout. No statistics, plots, or baselines.
+
+use std::fmt::Display;
+use std::hint::black_box;
+use std::time::Instant;
+
+const WARMUP_ITERS: u64 = 3;
+const DEFAULT_SAMPLE_ITERS: u64 = 30;
+
+/// Passed to benchmark closures; [`Bencher::iter`] times the routine.
+pub struct Bencher {
+    iters: u64,
+    nanos_per_iter: f64,
+}
+
+impl Bencher {
+    /// Run `routine` repeatedly and record the mean time per iteration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        for _ in 0..WARMUP_ITERS {
+            black_box(routine());
+        }
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.nanos_per_iter = start.elapsed().as_nanos() as f64 / self.iters as f64;
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_iters: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_iters: DEFAULT_SAMPLE_ITERS,
+        }
+    }
+}
+
+impl Criterion {
+    fn run_one(&self, label: &str, iters: u64, f: &mut dyn FnMut(&mut Bencher)) {
+        let mut b = Bencher {
+            iters,
+            nanos_per_iter: 0.0,
+        };
+        f(&mut b);
+        println!("{label:<48} {:>14.1} ns/iter", b.nanos_per_iter);
+    }
+
+    /// Time a named routine.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        self.run_one(name, self.sample_iters, &mut f);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group {name}:");
+        BenchmarkGroup {
+            criterion: self,
+            sample_iters: None,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    sample_iters: Option<u64>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the per-benchmark iteration count (criterion's sample size).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_iters = Some(n as u64);
+        self
+    }
+
+    /// Time a routine parameterised by `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let iters = self.sample_iters.unwrap_or(self.criterion.sample_iters);
+        let label = format!("  {id}");
+        self.criterion.run_one(&label, iters, &mut |b| f(b, input));
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// A two-part benchmark identifier (`function/parameter`).
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Build an id from a function name and a parameter display.
+    pub fn new<F: Display, P: Display>(function: F, parameter: P) -> Self {
+        BenchmarkId {
+            label: format!("{function}/{parameter}"),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Bundle benchmark functions under one group entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups (use with `harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

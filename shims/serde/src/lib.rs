@@ -1,0 +1,14 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The repository derives `Serialize` / `Deserialize` on many types but
+//! never actually serializes anything (there is no `serde_json` or other
+//! format crate in the tree), so the traits here are empty markers and the
+//! derive macros expand to nothing. See `shims/README.md`.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}

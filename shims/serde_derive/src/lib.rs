@@ -1,0 +1,19 @@
+//! No-op `Serialize` / `Deserialize` derives for the offline serde shim.
+//!
+//! Expanding to an empty token stream is deliberate: nothing in the
+//! workspace requires the marker traits as bounds, so emitting impls
+//! (which would need full generics handling) buys nothing.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and expands to nothing.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and expands to nothing.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -124,7 +124,10 @@ fn capability_matrix_reproduces_figure1() {
     let lowfat = &rows[1];
     assert_eq!(lowfat.coverage_for(ErrorColumn::Types), Coverage::None);
     assert_ne!(lowfat.coverage_for(ErrorColumn::Bounds), Coverage::None);
-    assert_eq!(lowfat.coverage_for(ErrorColumn::UseAfterFree), Coverage::None);
+    assert_eq!(
+        lowfat.coverage_for(ErrorColumn::UseAfterFree),
+        Coverage::None
+    );
     // SoftBound narrows to sub-objects, so it catches more bounds probes
     // than nothing at all.
     let softbound = &rows[2];
