@@ -193,6 +193,7 @@ impl BaselineRuntime {
                         "void",
                         "freed object",
                         0,
+                        None,
                         location,
                         "double free detected by baseline".to_string(),
                     );
@@ -222,6 +223,7 @@ impl BaselineRuntime {
                         "access",
                         "poisoned (freed) memory",
                         ptr.addr() - base,
+                        None,
                         location,
                         "heap-use-after-free".to_string(),
                     );
@@ -237,6 +239,7 @@ impl BaselineRuntime {
                             "access",
                             "red-zone",
                             ptr.addr() - base,
+                            Some(Bounds::new(base, base + info.size)),
                             location,
                             "heap-buffer-overflow".to_string(),
                         );
@@ -252,6 +255,7 @@ impl BaselineRuntime {
                         "access",
                         "deallocated object",
                         ptr.addr() - base,
+                        None,
                         location,
                         "temporal safety violation".to_string(),
                     );
@@ -302,6 +306,7 @@ impl BaselineRuntime {
             "access",
             "out of bounds",
             0,
+            Some(bounds),
             location,
             format!(
                 "access of {size} byte(s) outside {:#x}..{:#x}",
@@ -339,6 +344,7 @@ impl BaselineRuntime {
             &target.to_string(),
             &alloc_ty.to_string(),
             0,
+            None,
             location,
             "bad cast detected by class-hierarchy checker".to_string(),
         );
@@ -386,12 +392,14 @@ impl BaselineRuntime {
         })
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn report(
         &mut self,
         kind: ErrorKind,
         static_type: &str,
         dynamic_type: &str,
         offset: u64,
+        bounds: Option<Bounds>,
         location: &Arc<str>,
         detail: String,
     ) {
@@ -400,6 +408,7 @@ impl BaselineRuntime {
             static_type: static_type.to_string(),
             dynamic_type: dynamic_type.to_string(),
             offset,
+            bounds,
             location: location.clone(),
             detail,
         });

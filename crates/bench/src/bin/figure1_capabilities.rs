@@ -4,7 +4,7 @@ use effective_san::{capability_matrix, ErrorColumn, SanitizerKind};
 
 fn main() {
     println!("Figure 1 — sanitizer capabilities (measured on the seeded-bug probes)\n");
-    let rows = capability_matrix(&SanitizerKind::all());
+    let rows = capability_matrix(&SanitizerKind::ALL);
     println!(
         "{:<22} {:>10} {:>10} {:>10}    (detected/total per column)",
         "Sanitizer", "Types", "Bounds", "UAF"

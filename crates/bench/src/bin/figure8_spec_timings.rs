@@ -1,46 +1,62 @@
-//! Regenerate Figure 8: per-benchmark overheads of the three EffectiveSan
-//! variants relative to the uninstrumented baseline.
+//! Regenerate Figure 8: per-benchmark overheads of sanitizer backends
+//! relative to the uninstrumented baseline.
+//!
+//! By default the three EffectiveSan variants are compared (the figure's
+//! shape).  Pass backend names to time a different set, e.g.
+//! `figure8_spec_timings EffectiveSan asan SoftBound` (any spelling the
+//! `san-api` registry accepts); the uninstrumented baseline is always run
+//! as the reference.
 
-use effective_san::{spec_experiment, SanitizerKind};
+use effective_san::{sanitizers_with_baseline, spec_experiment, SanitizerKind};
 
 fn main() {
     let scale = bench::scale_from_env();
+    // Deduplicate and prepend the uninstrumented reference; fall back to
+    // the figure's three EffectiveSan variants when no (non-baseline)
+    // backend was requested.
+    let sanitizers = sanitizers_with_baseline(&bench::backends_from_args());
+    let mut variants: Vec<SanitizerKind> = sanitizers.iter().copied().skip(1).collect();
+    if variants.is_empty() {
+        variants = vec![
+            SanitizerKind::EffectiveFull,
+            SanitizerKind::EffectiveBounds,
+            SanitizerKind::EffectiveType,
+        ];
+    }
+    let sanitizers = sanitizers_with_baseline(&variants);
+
     println!("Figure 8 — SPEC2006-like timings (scale {scale:?}, cost-model overheads)\n");
-    let sanitizers = [
-        SanitizerKind::None,
-        SanitizerKind::EffectiveFull,
-        SanitizerKind::EffectiveBounds,
-        SanitizerKind::EffectiveType,
-    ];
     let experiment = spec_experiment(None, scale, &sanitizers);
 
-    println!(
-        "{:<12} {:>14} {:>12} {:>12} {:>12} {:>14}",
-        "benchmark", "base cost", "full %", "bounds %", "type %", "wall (full) ms"
-    );
-    bench::rule(84);
+    print!("{:<12} {:>14}", "benchmark", "base cost");
+    for kind in &variants {
+        print!(" {:>19}", format!("{} %", kind.name()));
+    }
+    println!(" {:>14}", "wall ms");
+    let width = 28 + 20 * variants.len() + 15;
+    bench::rule(width);
     for row in &experiment.rows {
         let base = row.report(SanitizerKind::None).unwrap();
-        let full = row.report(SanitizerKind::EffectiveFull).unwrap();
-        println!(
-            "{:<12} {:>14.0} {:>11.0}% {:>11.0}% {:>11.0}% {:>14.1}",
-            row.name,
-            base.cost,
-            row.overhead_pct(SanitizerKind::EffectiveFull)
-                .unwrap_or(0.0),
-            row.overhead_pct(SanitizerKind::EffectiveBounds)
-                .unwrap_or(0.0),
-            row.overhead_pct(SanitizerKind::EffectiveType)
-                .unwrap_or(0.0),
-            full.wall_time.as_secs_f64() * 1000.0,
+        print!("{:<12} {:>14.0}", row.name, base.cost);
+        for kind in &variants {
+            print!(" {:>18.0}%", row.overhead_pct(*kind).unwrap_or(0.0));
+        }
+        let wall = variants
+            .first()
+            .and_then(|k| row.report(*k))
+            .map(|r| r.wall_time.as_secs_f64() * 1000.0)
+            .unwrap_or(0.0);
+        println!(" {:>14.1}", wall);
+    }
+    bench::rule(width);
+    print!("geometric mean:");
+    for kind in &variants {
+        print!(
+            "   {} {:.0}%",
+            kind.name(),
+            experiment.mean_overhead_pct(*kind)
         );
     }
-    bench::rule(84);
-    println!(
-        "geometric mean:    full {:>6.0}%   bounds {:>6.0}%   type {:>6.0}%",
-        experiment.mean_overhead_pct(SanitizerKind::EffectiveFull),
-        experiment.mean_overhead_pct(SanitizerKind::EffectiveBounds),
-        experiment.mean_overhead_pct(SanitizerKind::EffectiveType),
-    );
+    println!();
     println!("paper:             full   288%   bounds   115%   type    49%");
 }

@@ -1,10 +1,21 @@
 //! Regenerate the §6.2 tool comparison: overhead and total dynamic checks
 //! of every sanitizer on the same workload subset.
+//!
+//! Pass backend names to restrict the comparison, e.g.
+//! `table_tool_comparison EffectiveSan asan LowFat` (any spelling the
+//! `san-api` registry accepts).  With no arguments every registered
+//! backend is compared.
 
 use effective_san::SanitizerKind;
 
 fn main() {
     let scale = bench::scale_from_env();
+    let selected = bench::backends_from_args();
+    let sanitizers = if selected.is_empty() {
+        SanitizerKind::ALL.to_vec()
+    } else {
+        selected
+    };
     // The subset keeps the comparison fast while covering C, C++ and both
     // check-heavy and allocation-heavy profiles.
     let names = ["perlbench", "gcc", "h264ref", "xalancbmk", "dealII", "lbm"];
@@ -12,7 +23,7 @@ fn main() {
         "§6.2 tool comparison (scale {scale:?}, workloads: {})\n",
         names.join(", ")
     );
-    let comparison = effective_san::tool_comparison(&names, scale);
+    let comparison = effective_san::tool_comparison_with(&names, scale, &sanitizers);
     println!("{:<22} {:>14} {:>18}", "tool", "overhead", "dynamic checks");
     bench::rule(58);
     for (kind, overhead, checks) in &comparison.tools {

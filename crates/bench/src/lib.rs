@@ -15,7 +15,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
-use effective_san::Scale;
+use effective_san::{SanitizerKind, Scale};
 
 /// Resolve the workload scale from the `SCALE` environment variable
 /// (`test`, `small` or `ref`; defaults to `small`).
@@ -29,6 +29,23 @@ pub fn scale_from_env() -> Scale {
         "ref" | "reference" => Scale::Reference,
         _ => Scale::Small,
     }
+}
+
+/// Parse sanitizer backend names from the command line (every spelling
+/// `SanitizerKind`'s `FromStr` accepts: registry names, `asan`, `full`,
+/// `bounds`, …).  Returns an empty list when no arguments were given; on
+/// an unknown name, prints the error (which lists the registered
+/// backends) and exits with status 2.
+pub fn backends_from_args() -> Vec<SanitizerKind> {
+    std::env::args()
+        .skip(1)
+        .map(|arg| {
+            arg.parse().unwrap_or_else(|e| {
+                eprintln!("{e}");
+                std::process::exit(2);
+            })
+        })
+        .collect()
 }
 
 /// Print a horizontal rule of the given width.

@@ -250,21 +250,48 @@ pub struct ToolComparison {
     pub tools: Vec<(SanitizerKind, f64, u64)>,
 }
 
-/// Run the tool comparison over the given benchmark names.
+/// Run the tool comparison over the given benchmark names, for every
+/// registered backend.
 pub fn tool_comparison(names: &[&str], scale: Scale) -> ToolComparison {
-    let sanitizers = SanitizerKind::all();
-    let experiment = spec_experiment(Some(names), scale, &sanitizers);
-    let mut tools = Vec::new();
-    for kind in sanitizers {
-        if kind == SanitizerKind::None {
-            continue;
+    tool_comparison_with(names, scale, &SanitizerKind::ALL)
+}
+
+/// The given sanitizers, deduplicated, with the uninstrumented baseline
+/// prepended as the overhead reference — the canonical run list for
+/// overhead experiments (used by [`tool_comparison_with`] and the bench
+/// binaries' backend-name CLIs).
+pub fn sanitizers_with_baseline(sanitizers: &[SanitizerKind]) -> Vec<SanitizerKind> {
+    let mut kinds = vec![SanitizerKind::None];
+    for &kind in sanitizers {
+        if kind != SanitizerKind::None && !kinds.contains(&kind) {
+            kinds.push(kind);
         }
-        tools.push((
-            kind,
-            experiment.mean_overhead_pct(kind),
-            experiment.total_checks(kind),
-        ));
     }
+    kinds
+}
+
+/// Run the tool comparison restricted to the given backends (e.g. names
+/// parsed from a bench binary's command line).  The uninstrumented
+/// baseline is always run as the overhead reference but never listed as a
+/// tool.
+pub fn tool_comparison_with(
+    names: &[&str],
+    scale: Scale,
+    sanitizers: &[SanitizerKind],
+) -> ToolComparison {
+    let kinds = sanitizers_with_baseline(sanitizers);
+    let experiment = spec_experiment(Some(names), scale, &kinds);
+    let tools = kinds
+        .into_iter()
+        .skip(1)
+        .map(|kind| {
+            (
+                kind,
+                experiment.mean_overhead_pct(kind),
+                experiment.total_checks(kind),
+            )
+        })
+        .collect();
     ToolComparison { tools }
 }
 

@@ -14,7 +14,7 @@
 //!
 //! This crate is the façade over the full reproduction:
 //!
-//! * [`compile`] / [`instrument`] / [`run_program`] / [`run_source`] — the
+//! * [`compile`] / [`instrument()`] / [`run_program`] / [`run_source`] — the
 //!   compile → instrument → execute pipeline over the `minic` substrate;
 //! * [`RunReport`] — check counts, issues found, cost and memory figures
 //!   for one run;
@@ -22,8 +22,10 @@
 //! * [`spec_experiment`] / [`firefox_experiment`] / [`tool_comparison`] —
 //!   the Figure 7–10 and §6.2 experiments over the synthetic workloads;
 //! * re-exports of the underlying crates (`effective-types`, `lowfat`,
-//!   `effective-runtime`, `minic`, `instrument`, `vm`, `baselines`,
-//!   `workloads`) for direct use.
+//!   `effective-runtime`, `san-api`, `minic`, `instrument`, `vm`,
+//!   `baselines`, `workloads`) for direct use — in particular the
+//!   [`san_api::Sanitizer`] backend trait and its registry, through which
+//!   every run constructs its sanitizer by kind or by name.
 //!
 //! ## Quick start
 //!
@@ -55,8 +57,9 @@ pub mod pipeline;
 
 pub use capability::{capability_matrix, CapabilityRow, Coverage, ErrorColumn};
 pub use experiments::{
-    firefox_experiment, issue_breakdown, spec_experiment, tool_comparison, FirefoxExperiment,
-    SpecExperiment, SpecRow, ToolComparison,
+    firefox_experiment, issue_breakdown, sanitizers_with_baseline, spec_experiment,
+    tool_comparison, tool_comparison_with, FirefoxExperiment, SpecExperiment, SpecRow,
+    ToolComparison,
 };
 pub use pipeline::{
     compile, geometric_mean_overhead, instrument, run_matrix, run_program, run_source, RunConfig,
@@ -68,9 +71,10 @@ pub use baselines;
 pub use effective_runtime;
 pub use effective_runtime::{ErrorKind, ReportMode};
 pub use effective_types;
-pub use instrument::SanitizerKind;
 pub use lowfat;
 pub use minic;
+pub use san_api;
+pub use san_api::{Diagnostic, SanStats, Sanitizer, SanitizerKind};
 pub use vm;
 pub use vm::CostModel;
 pub use workloads;

@@ -9,11 +9,11 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use baselines::BaselineStats;
-use effective_runtime::{CheckStats, ErrorStats, ReportMode, ReporterConfig, RuntimeConfig};
+use effective_runtime::{ErrorStats, ReportMode, ReporterConfig, RuntimeConfig};
 use instrument::{instrument_program, SanitizerKind};
 use lowfat::AllocatorConfig;
 use minic::{CompileError, Program};
+use san_api::{Diagnostic, SanStats};
 use serde::Serialize;
 use vm::{CostModel, ExecStats, Value, Vm, VmConfig, VmError};
 
@@ -71,12 +71,14 @@ pub struct RunReport {
     pub vm_error: Option<String>,
     /// VM event counters.
     pub exec: ExecStats,
-    /// EffectiveSan runtime check counters.
-    pub checks: CheckStats,
-    /// Baseline sanitizer check counters, when a baseline was active.
-    pub baseline_checks: Option<BaselineStats>,
-    /// Issues found, as reported by the *active* sanitizer.
+    /// Unified dynamic-check counters of the active backend.
+    pub checks: SanStats,
+    /// Issues found, as reported by the active backend.
     pub errors: ErrorStats,
+    /// The distinct issues, rendered as structured diagnostics by the
+    /// backend's [`san_api::Sanitizer::finish`] hook (empty in counting
+    /// mode).
+    pub diagnostics: Vec<Diagnostic>,
     /// Wall-clock execution time of the interpreter.
     pub wall_time: Duration,
     /// Deterministic cost estimate (see [`CostModel`]).
@@ -93,7 +95,7 @@ pub struct RunReport {
 impl RunReport {
     /// Total dynamic checks performed by the active sanitizer.
     pub fn total_checks(&self) -> u64 {
-        self.checks.total_checks() + self.baseline_checks.map(|b| b.total_checks()).unwrap_or(0)
+        self.checks.total_checks()
     }
 
     /// Overhead of this run relative to a baseline run, in percent, using
@@ -161,21 +163,12 @@ pub fn run_program(program: &Program, entry: &str, args: &[i64], config: &RunCon
     };
 
     let exec = vm.stats();
-    let checks = vm.runtime.stats();
-    let baseline_checks = vm.baseline.as_ref().map(|b| b.stats());
-    // Attribute detected issues to the *active* sanitizer only.
-    let errors = match config.sanitizer {
-        SanitizerKind::None => ErrorStats::default(),
-        k if k.is_effective() => vm.runtime.reporter().stats().clone(),
-        _ => vm
-            .baseline
-            .as_ref()
-            .map(|b| b.reporter().stats().clone())
-            .unwrap_or_default(),
-    };
-    let cost = config
-        .cost_model
-        .cost(&exec, &checks, baseline_checks.as_ref());
+    let checks = vm.backend().stats();
+    // The backend attributes issues to the active tool itself — no
+    // per-kind merging here.
+    let errors = vm.backend().error_stats();
+    let diagnostics = vm.backend_mut().finish();
+    let cost = config.cost_model.cost(&exec, &checks);
     let legacy_check_fraction = if checks.type_checks > 0 {
         checks.legacy_type_checks as f64 / checks.type_checks as f64
     } else {
@@ -188,8 +181,8 @@ pub fn run_program(program: &Program, entry: &str, args: &[i64], config: &RunCon
         vm_error,
         exec,
         checks,
-        baseline_checks,
         errors,
+        diagnostics,
         wall_time,
         cost,
         peak_memory_bytes: vm.peak_memory_bytes(),
@@ -349,8 +342,14 @@ mod tests {
             &RunConfig::for_sanitizer(SanitizerKind::AddressSanitizer),
         )
         .unwrap();
-        assert!(report.baseline_checks.is_some());
+        assert!(report.checks.access_checks >= 1);
         assert!(report.errors.issues_of(ErrorKind::UseAfterFree) >= 1);
+        let uaf = report
+            .diagnostics
+            .iter()
+            .find(|d| d.kind == ErrorKind::UseAfterFree)
+            .expect("UAF diagnostic rendered");
+        assert_eq!(uaf.observed, "poisoned (freed) memory");
     }
 
     #[test]

@@ -13,6 +13,8 @@ use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
+use crate::bounds::Bounds;
+
 /// The class of a detected issue.
 ///
 /// The classes correspond to the columns of Figure 1 and the issue
@@ -107,6 +109,9 @@ pub struct ErrorRecord {
     pub dynamic_type: String,
     /// Byte offset of the access within the allocation (normalised).
     pub offset: u64,
+    /// The bounds the failing check compared against, when it had concrete
+    /// (non-wide) bounds at hand.
+    pub bounds: Option<Bounds>,
     /// Source location / instrumentation-site label.
     pub location: Arc<str>,
     /// Free-form detail.
@@ -283,6 +288,7 @@ mod tests {
             static_type: "int".to_string(),
             dynamic_type: "struct S".to_string(),
             offset,
+            bounds: None,
             location: Arc::from("test.c:1"),
             detail: String::new(),
         }

@@ -241,6 +241,7 @@ impl TypeCheckRuntime {
                 &Type::void(),
                 &Type::Free,
                 0,
+                None,
                 location,
                 "object freed twice".to_string(),
             );
@@ -259,6 +260,7 @@ impl TypeCheckRuntime {
                 &Type::void(),
                 &dyn_ty,
                 off,
+                None,
                 location,
                 "free() of an interior pointer".to_string(),
             );
@@ -357,6 +359,7 @@ impl TypeCheckRuntime {
             &Type::void(),
             &dyn_ty,
             offset,
+            Some(bounds),
             location,
             format!(
                 "access of {access_size} byte(s) at {ptr} outside bounds {:#x}..{:#x}",
@@ -406,6 +409,7 @@ impl TypeCheckRuntime {
                 static_ty,
                 &Type::Free,
                 ptr.diff(obj_base).unsigned_abs(),
+                Some(alloc_bounds),
                 location,
                 "pointer to deallocated object".to_string(),
             );
@@ -422,6 +426,7 @@ impl TypeCheckRuntime {
                 static_ty,
                 &alloc_ty,
                 delta.unsigned_abs(),
+                Some(alloc_bounds),
                 location,
                 "pointer underflows the allocation base".to_string(),
             );
@@ -457,6 +462,7 @@ impl TypeCheckRuntime {
                     static_ty,
                     &alloc_ty,
                     layout.normalize_offset(k),
+                    Some(alloc_bounds),
                     location,
                     detail,
                 );
@@ -497,12 +503,14 @@ impl TypeCheckRuntime {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn report(
         &mut self,
         kind: ErrorKind,
         static_ty: &Type,
         dynamic_ty: &Type,
         offset: u64,
+        bounds: Option<Bounds>,
         location: &Arc<str>,
         detail: String,
     ) {
@@ -511,6 +519,7 @@ impl TypeCheckRuntime {
             static_type: static_ty.to_string(),
             dynamic_type: dynamic_ty.to_string(),
             offset,
+            bounds,
             location: location.clone(),
             detail,
         });

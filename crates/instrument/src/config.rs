@@ -1,264 +1,8 @@
-//! Sanitizer kinds and the instrumentation configuration they map to.
+//! Sanitizer kinds and pass configurations, re-exported from `san-api`.
 //!
-//! The paper evaluates EffectiveSan in three variants (§6.2) and compares
-//! against a set of existing sanitizers (Figure 1).  This module describes
-//! every tool as a configuration of the same generic instrumentation pass
-//! (`crate::pass`), so that all tools can be run on identical workloads and
-//! the capability matrix / overhead comparison can be regenerated.
+//! [`SanitizerKind`] and [`PassConfig`] moved to the `san-api` crate so the
+//! backend registry, the instrumentation pass and the VM all share one
+//! definition; this module re-exports them for compatibility with existing
+//! `instrument::config` imports.
 
-use serde::{Deserialize, Serialize};
-
-/// What kind of check guards *input pointers* (Fig. 3 rules (a)–(d)).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
-pub enum InputCheck {
-    /// No input-pointer instrumentation.
-    None,
-    /// Full dynamic type check (`type_check`) — EffectiveSan.
-    TypeCheck,
-    /// Allocation-bounds query (`bounds_get`) — EffectiveSan-bounds,
-    /// SoftBound/LowFat-style tools.
-    BoundsGet,
-}
-
-/// Which sanitizer a program is instrumented for.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
-pub enum SanitizerKind {
-    /// No instrumentation (the uninstrumented baseline of Figures 8–10).
-    None,
-    /// EffectiveSan with full instrumentation.
-    EffectiveFull,
-    /// EffectiveSan-bounds: object-bounds checking only (§6.2).
-    EffectiveBounds,
-    /// EffectiveSan-type: cast checking only (§6.2).
-    EffectiveType,
-    /// AddressSanitizer-style red-zones + shadow memory + quarantine.
-    AddressSanitizer,
-    /// LowFat allocation-bounds checking.
-    LowFat,
-    /// SoftBound-style per-pointer bounds with sub-object narrowing.
-    SoftBound,
-    /// TypeSan/CaVer-style C++ class cast checking.
-    TypeSan,
-    /// HexType-style cast checking (extends TypeSan to more cast kinds).
-    HexType,
-    /// CETS-style identifier-based temporal checking.
-    Cets,
-}
-
-impl SanitizerKind {
-    /// All kinds, in the order used by report tables.
-    pub fn all() -> [SanitizerKind; 10] {
-        [
-            SanitizerKind::None,
-            SanitizerKind::EffectiveFull,
-            SanitizerKind::EffectiveBounds,
-            SanitizerKind::EffectiveType,
-            SanitizerKind::AddressSanitizer,
-            SanitizerKind::LowFat,
-            SanitizerKind::SoftBound,
-            SanitizerKind::TypeSan,
-            SanitizerKind::HexType,
-            SanitizerKind::Cets,
-        ]
-    }
-
-    /// Short display name matching the paper's tables.
-    pub fn name(self) -> &'static str {
-        match self {
-            SanitizerKind::None => "uninstrumented",
-            SanitizerKind::EffectiveFull => "EffectiveSan",
-            SanitizerKind::EffectiveBounds => "EffectiveSan-bounds",
-            SanitizerKind::EffectiveType => "EffectiveSan-type",
-            SanitizerKind::AddressSanitizer => "AddressSanitizer",
-            SanitizerKind::LowFat => "LowFat",
-            SanitizerKind::SoftBound => "SoftBound",
-            SanitizerKind::TypeSan => "TypeSan",
-            SanitizerKind::HexType => "HexType",
-            SanitizerKind::Cets => "CETS",
-        }
-    }
-
-    /// Is this one of the three EffectiveSan variants?
-    pub fn is_effective(self) -> bool {
-        matches!(
-            self,
-            SanitizerKind::EffectiveFull
-                | SanitizerKind::EffectiveBounds
-                | SanitizerKind::EffectiveType
-        )
-    }
-
-    /// The instrumentation configuration for this sanitizer.
-    pub fn config(self) -> PassConfig {
-        match self {
-            SanitizerKind::None => PassConfig {
-                input_check: InputCheck::None,
-                ..PassConfig::disabled()
-            },
-            SanitizerKind::EffectiveFull => PassConfig {
-                input_check: InputCheck::TypeCheck,
-                narrow_fields: true,
-                bounds_check_accesses: true,
-                bounds_check_escapes: true,
-                optimize: true,
-                ..PassConfig::disabled()
-            },
-            SanitizerKind::EffectiveBounds => PassConfig {
-                input_check: InputCheck::BoundsGet,
-                bounds_check_accesses: true,
-                bounds_check_escapes: true,
-                optimize: true,
-                ..PassConfig::disabled()
-            },
-            SanitizerKind::EffectiveType => PassConfig {
-                cast_check_explicit: true,
-                optimize: true,
-                ..PassConfig::disabled()
-            },
-            SanitizerKind::AddressSanitizer => PassConfig {
-                access_check: true,
-                ..PassConfig::disabled()
-            },
-            SanitizerKind::LowFat => PassConfig {
-                input_check: InputCheck::BoundsGet,
-                bounds_check_accesses: true,
-                bounds_check_escapes: true,
-                optimize: true,
-                ..PassConfig::disabled()
-            },
-            SanitizerKind::SoftBound => PassConfig {
-                input_check: InputCheck::BoundsGet,
-                narrow_fields: true,
-                bounds_check_accesses: true,
-                optimize: true,
-                ..PassConfig::disabled()
-            },
-            SanitizerKind::TypeSan => PassConfig {
-                cast_check_explicit: true,
-                cast_check_classes_only: true,
-                ..PassConfig::disabled()
-            },
-            SanitizerKind::HexType => PassConfig {
-                cast_check_explicit: true,
-                cast_check_classes_only: true,
-                ..PassConfig::disabled()
-            },
-            SanitizerKind::Cets => PassConfig {
-                access_check: true,
-                ..PassConfig::disabled()
-            },
-        }
-    }
-}
-
-impl std::fmt::Display for SanitizerKind {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(self.name())
-    }
-}
-
-/// Configuration of the generic instrumentation pass.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
-pub struct PassConfig {
-    /// Check inserted for input pointers (Fig. 3 (a)–(d)).
-    pub input_check: InputCheck,
-    /// Instrument every *explicit* pointer cast with a `cast_check`,
-    /// regardless of whether the result is used (EffectiveSan-type,
-    /// TypeSan, HexType).
-    pub cast_check_explicit: bool,
-    /// Restrict cast checks to casts whose target is a class/struct pointer
-    /// (TypeSan/CaVer/HexType only understand C++ class hierarchies).
-    pub cast_check_classes_only: bool,
-    /// Narrow bounds at field accesses (Fig. 3(e)).
-    pub narrow_fields: bool,
-    /// Bounds-check loads and stores (Fig. 3(g)).
-    pub bounds_check_accesses: bool,
-    /// Bounds-check pointer escapes (stores of pointers, pointer call
-    /// arguments) (Fig. 3(g)).
-    pub bounds_check_escapes: bool,
-    /// Insert per-access checks with no propagated bounds (AddressSanitizer
-    /// / CETS style).
-    pub access_check: bool,
-    /// Run the redundant-check optimizations described in §6.
-    pub optimize: bool,
-}
-
-impl PassConfig {
-    /// A configuration with every feature disabled.
-    pub fn disabled() -> Self {
-        PassConfig {
-            input_check: InputCheck::None,
-            cast_check_explicit: false,
-            cast_check_classes_only: false,
-            narrow_fields: false,
-            bounds_check_accesses: false,
-            bounds_check_escapes: false,
-            access_check: false,
-            optimize: false,
-        }
-    }
-
-    /// Does this configuration insert any instrumentation at all?
-    pub fn is_enabled(&self) -> bool {
-        self.input_check != InputCheck::None
-            || self.cast_check_explicit
-            || self.access_check
-            || self.bounds_check_accesses
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn every_kind_has_a_distinct_name() {
-        let names: std::collections::HashSet<_> =
-            SanitizerKind::all().iter().map(|k| k.name()).collect();
-        assert_eq!(names.len(), SanitizerKind::all().len());
-    }
-
-    #[test]
-    fn uninstrumented_config_is_disabled() {
-        assert!(!SanitizerKind::None.config().is_enabled());
-        assert!(SanitizerKind::EffectiveFull.config().is_enabled());
-    }
-
-    #[test]
-    fn effective_variants_match_the_paper() {
-        let full = SanitizerKind::EffectiveFull.config();
-        assert_eq!(full.input_check, InputCheck::TypeCheck);
-        assert!(full.narrow_fields && full.bounds_check_accesses && full.bounds_check_escapes);
-
-        let bounds = SanitizerKind::EffectiveBounds.config();
-        assert_eq!(bounds.input_check, InputCheck::BoundsGet);
-        assert!(
-            !bounds.narrow_fields,
-            "bounds variant protects object bounds only"
-        );
-
-        let ty = SanitizerKind::EffectiveType.config();
-        assert_eq!(ty.input_check, InputCheck::None);
-        assert!(ty.cast_check_explicit);
-        assert!(!ty.bounds_check_accesses);
-    }
-
-    #[test]
-    fn cast_only_tools_are_class_restricted() {
-        assert!(SanitizerKind::TypeSan.config().cast_check_classes_only);
-        assert!(SanitizerKind::HexType.config().cast_check_classes_only);
-        assert!(
-            !SanitizerKind::EffectiveType
-                .config()
-                .cast_check_classes_only
-        );
-    }
-
-    #[test]
-    fn is_effective_classifies_variants() {
-        assert!(SanitizerKind::EffectiveFull.is_effective());
-        assert!(SanitizerKind::EffectiveType.is_effective());
-        assert!(!SanitizerKind::AddressSanitizer.is_effective());
-        assert!(!SanitizerKind::None.is_effective());
-    }
-}
+pub use san_api::{InputCheck, ParseSanitizerKindError, PassConfig, SanitizerKind};

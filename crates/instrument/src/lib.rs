@@ -34,5 +34,5 @@
 pub mod config;
 pub mod pass;
 
-pub use config::{InputCheck, PassConfig, SanitizerKind};
+pub use config::{InputCheck, ParseSanitizerKindError, PassConfig, SanitizerKind};
 pub use pass::{instrument_function, instrument_program, instrument_program_with};

@@ -1,0 +1,394 @@
+//! The concrete backend implementations behind the registry: the three
+//! EffectiveSan variants (plus the uninstrumented baseline) wrapping
+//! [`TypeCheckRuntime`], and the six comparison tools wrapping
+//! [`BaselineRuntime`] over the same typed-allocator substrate.
+
+use std::sync::Arc;
+
+use baselines::BaselineRuntime;
+use effective_runtime::{Bounds, ErrorStats, RuntimeConfig, TypeCheckRuntime};
+use effective_types::{Type, TypeRegistry};
+use lowfat::{AllocKind, FrameMark, Memory, Ptr};
+
+use crate::backend::{SanStats, Sanitizer};
+use crate::diagnostic::Diagnostic;
+use crate::kind::SanitizerKind;
+
+/// Backend for the EffectiveSan variants (full / bounds / type) and the
+/// uninstrumented baseline: a thin adapter over [`TypeCheckRuntime`].
+///
+/// For [`SanitizerKind::None`] the runtime still provides the typed
+/// allocator and simulated memory — the program must execute identically —
+/// but the backend reports no findings (the uninstrumented run of
+/// Figures 8–10 by definition detects nothing).
+#[derive(Debug)]
+pub struct EffectiveBackend {
+    kind: SanitizerKind,
+    runtime: TypeCheckRuntime,
+}
+
+impl EffectiveBackend {
+    /// Create a backend of the given EffectiveSan variant (or
+    /// [`SanitizerKind::None`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kind` is one of the baseline comparison tools; those are
+    /// built by [`BaselineBackend::new`].
+    pub fn new(kind: SanitizerKind, types: Arc<TypeRegistry>, config: RuntimeConfig) -> Self {
+        assert!(
+            kind.baseline_kind().is_none(),
+            "{kind} is a baseline tool, not an EffectiveSan variant"
+        );
+        EffectiveBackend {
+            kind,
+            runtime: TypeCheckRuntime::new(types, config),
+        }
+    }
+
+    /// The wrapped runtime (e.g. for micro-benchmarks poking at internals).
+    pub fn runtime(&self) -> &TypeCheckRuntime {
+        &self.runtime
+    }
+
+    fn reports(&self) -> bool {
+        self.kind != SanitizerKind::None
+    }
+}
+
+impl Sanitizer for EffectiveBackend {
+    fn kind(&self) -> SanitizerKind {
+        self.kind
+    }
+
+    fn memory(&self) -> &Memory {
+        &self.runtime.memory
+    }
+
+    fn memory_mut(&mut self) -> &mut Memory {
+        &mut self.runtime.memory
+    }
+
+    fn stack_frame_begin(&mut self) -> FrameMark {
+        self.runtime.allocator.stack_frame_begin()
+    }
+
+    fn stack_frame_end(&mut self, mark: FrameMark) {
+        self.runtime.allocator.stack_frame_end(mark);
+    }
+
+    fn on_alloc(&mut self, size: u64, elem: &Type, kind: AllocKind) -> Ptr {
+        self.runtime.type_malloc(size, elem, kind)
+    }
+
+    fn on_free(&mut self, ptr: Ptr, location: &Arc<str>) {
+        self.runtime.type_free(ptr, location);
+    }
+
+    fn on_realloc(&mut self, ptr: Ptr, new_size: u64, elem: &Type, location: &Arc<str>) -> Ptr {
+        self.runtime
+            .type_realloc(ptr, new_size, elem, AllocKind::Heap, location)
+    }
+
+    fn type_check(&mut self, ptr: Ptr, static_ty: &Type, location: &Arc<str>) -> Bounds {
+        self.runtime.type_check(ptr, static_ty, location)
+    }
+
+    fn cast_check(&mut self, ptr: Ptr, static_ty: &Type, location: &Arc<str>) -> Bounds {
+        self.runtime.cast_check(ptr, static_ty, location)
+    }
+
+    fn bounds_get(&mut self, ptr: Ptr) -> Bounds {
+        self.runtime.bounds_get(ptr)
+    }
+
+    fn bounds_narrow(&mut self, bounds: Bounds, field: Bounds) -> Bounds {
+        self.runtime.bounds_narrow(bounds, field)
+    }
+
+    fn bounds_check(
+        &mut self,
+        ptr: Ptr,
+        size: u64,
+        bounds: Bounds,
+        location: &Arc<str>,
+        escape: bool,
+    ) -> bool {
+        self.runtime
+            .bounds_check(ptr, size, bounds, location, escape)
+    }
+
+    fn access_check(&mut self, _ptr: Ptr, _size: u64, _write: bool, _location: &Arc<str>) -> bool {
+        // EffectiveSan has no shadow-memory per-access check; bounds are
+        // propagated instead (§4).
+        true
+    }
+
+    fn stats(&self) -> SanStats {
+        SanStats::from(self.runtime.stats())
+    }
+
+    fn halted(&self) -> bool {
+        self.reports() && self.runtime.halted()
+    }
+
+    fn error_stats(&self) -> ErrorStats {
+        if self.reports() {
+            self.runtime.reporter().stats().clone()
+        } else {
+            ErrorStats::default()
+        }
+    }
+
+    fn finish(&mut self) -> Vec<Diagnostic> {
+        if self.reports() {
+            self.runtime
+                .reporter()
+                .records()
+                .iter()
+                .map(Diagnostic::from)
+                .collect()
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+/// Backend for the comparison tools (§6.2): a [`BaselineRuntime`] carrying
+/// the tool's own meta data, paired with a [`TypeCheckRuntime`] that acts
+/// purely as the typed-allocator / simulated-memory substrate (its checks
+/// are never consulted and its findings are never reported).
+#[derive(Debug)]
+pub struct BaselineBackend {
+    kind: SanitizerKind,
+    runtime: TypeCheckRuntime,
+    baseline: BaselineRuntime,
+}
+
+impl BaselineBackend {
+    /// Create a backend for one of the baseline comparison tools.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kind` is not a baseline tool (see
+    /// [`SanitizerKind::baseline_kind`]).
+    pub fn new(kind: SanitizerKind, types: Arc<TypeRegistry>, config: RuntimeConfig) -> Self {
+        let baseline_kind = kind
+            .baseline_kind()
+            .unwrap_or_else(|| panic!("{kind} is not a baseline comparison tool"));
+        BaselineBackend {
+            kind,
+            runtime: TypeCheckRuntime::new(types.clone(), config),
+            baseline: BaselineRuntime::new(baseline_kind, types, config.reporter),
+        }
+    }
+
+    /// The wrapped baseline runtime.
+    pub fn baseline(&self) -> &BaselineRuntime {
+        &self.baseline
+    }
+}
+
+impl Sanitizer for BaselineBackend {
+    fn kind(&self) -> SanitizerKind {
+        self.kind
+    }
+
+    fn memory(&self) -> &Memory {
+        &self.runtime.memory
+    }
+
+    fn memory_mut(&mut self) -> &mut Memory {
+        &mut self.runtime.memory
+    }
+
+    fn stack_frame_begin(&mut self) -> FrameMark {
+        self.runtime.allocator.stack_frame_begin()
+    }
+
+    fn stack_frame_end(&mut self, mark: FrameMark) {
+        self.runtime.allocator.stack_frame_end(mark);
+    }
+
+    fn on_alloc(&mut self, size: u64, elem: &Type, kind: AllocKind) -> Ptr {
+        let ptr = self.runtime.type_malloc(size, elem, kind);
+        if kind != AllocKind::Legacy {
+            self.baseline.on_alloc(ptr, size, Some(elem));
+        }
+        ptr
+    }
+
+    fn on_free(&mut self, ptr: Ptr, location: &Arc<str>) {
+        self.baseline.on_free(ptr, location);
+        self.runtime.type_free(ptr, location);
+    }
+
+    fn on_realloc(&mut self, ptr: Ptr, new_size: u64, elem: &Type, location: &Arc<str>) -> Ptr {
+        self.baseline.on_free(ptr, location);
+        let new = self
+            .runtime
+            .type_realloc(ptr, new_size, elem, AllocKind::Heap, location);
+        self.baseline.on_alloc(new, new_size, Some(elem));
+        new
+    }
+
+    fn type_check(&mut self, _ptr: Ptr, _static_ty: &Type, _location: &Arc<str>) -> Bounds {
+        // No comparison tool binds dynamic types to allocations, so the
+        // full type check degrades to wide bounds (conservative pass).
+        Bounds::WIDE
+    }
+
+    fn cast_check(&mut self, ptr: Ptr, static_ty: &Type, location: &Arc<str>) -> Bounds {
+        // Class-hierarchy checkers produce a verdict, not bounds: report
+        // through the baseline and return wide bounds uniformly.
+        self.baseline.cast_check(ptr, static_ty, location);
+        Bounds::WIDE
+    }
+
+    fn bounds_get(&mut self, ptr: Ptr) -> Bounds {
+        self.baseline.bounds_get(ptr)
+    }
+
+    fn bounds_narrow(&mut self, bounds: Bounds, field: Bounds) -> Bounds {
+        self.baseline.bounds_narrow(bounds, field)
+    }
+
+    fn bounds_check(
+        &mut self,
+        ptr: Ptr,
+        size: u64,
+        bounds: Bounds,
+        location: &Arc<str>,
+        escape: bool,
+    ) -> bool {
+        self.baseline
+            .bounds_check(ptr, size, bounds, location, escape)
+    }
+
+    fn access_check(&mut self, ptr: Ptr, size: u64, write: bool, location: &Arc<str>) -> bool {
+        self.baseline.access_check(ptr, size, write, location)
+    }
+
+    fn stats(&self) -> SanStats {
+        let mut stats = SanStats::from(self.runtime.stats());
+        stats.merge_baseline(&self.baseline.stats());
+        stats
+    }
+
+    fn halted(&self) -> bool {
+        // Only the tool's own reporter decides abort-after-N: the substrate
+        // runtime's findings are never consulted (see the struct docs).
+        self.baseline.reporter().halted()
+    }
+
+    fn error_stats(&self) -> ErrorStats {
+        self.baseline.reporter().stats().clone()
+    }
+
+    fn finish(&mut self) -> Vec<Diagnostic> {
+        self.baseline
+            .reporter()
+            .records()
+            .iter()
+            .map(Diagnostic::from)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use effective_runtime::ErrorKind;
+
+    fn types() -> Arc<TypeRegistry> {
+        Arc::new(TypeRegistry::new())
+    }
+
+    fn loc() -> Arc<str> {
+        Arc::from("test")
+    }
+
+    #[test]
+    fn uninstrumented_backend_allocates_but_never_reports() {
+        let mut backend =
+            EffectiveBackend::new(SanitizerKind::None, types(), RuntimeConfig::default());
+        let p = backend.on_alloc(64, &Type::int(), AllocKind::Heap);
+        backend.on_free(p, &loc());
+        backend.on_free(p, &loc()); // double free — invisible to `None`
+        assert_eq!(backend.error_stats().distinct_issues, 0);
+        assert!(backend.finish().is_empty());
+        assert!(!backend.halted());
+    }
+
+    #[test]
+    fn effective_backend_reports_through_the_trait() {
+        let mut backend = EffectiveBackend::new(
+            SanitizerKind::EffectiveFull,
+            types(),
+            RuntimeConfig::default(),
+        );
+        let p = backend.on_alloc(64, &Type::int(), AllocKind::Heap);
+        let b = backend.type_check(p, &Type::int(), &loc());
+        assert_eq!(b.width(), 64);
+        assert!(!backend.bounds_check(p.add(64), 4, b, &loc(), false));
+        assert_eq!(backend.error_stats().bounds_issues(), 1);
+        let diags = backend.finish();
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].kind, ErrorKind::ObjectBoundsOverflow);
+        assert_eq!(diags[0].bounds, Some(b));
+        assert_eq!(backend.stats().type_checks, 1);
+        assert_eq!(backend.stats().bounds_checks, 1);
+    }
+
+    #[test]
+    fn baseline_backend_routes_checks_to_the_tool() {
+        let mut backend = BaselineBackend::new(
+            SanitizerKind::AddressSanitizer,
+            types(),
+            RuntimeConfig::default(),
+        );
+        let p = backend.on_alloc(32, &Type::int(), AllocKind::Heap);
+        // In bounds: fine.  One past the end: lands in the red-zone.
+        assert!(backend.access_check(p, 4, false, &loc()));
+        assert!(!backend.access_check(p.add(32), 4, true, &loc()));
+        assert_eq!(backend.error_stats().bounds_issues(), 1);
+        assert_eq!(backend.finish().len(), 1);
+        // The substrate's reporter is not consulted.
+        assert_eq!(backend.stats().access_checks, 2);
+        // type_check is a conservative no-op for baseline tools.
+        assert!(backend.type_check(p, &Type::float(), &loc()).is_wide());
+        assert_eq!(backend.error_stats().type_issues(), 0);
+    }
+
+    #[test]
+    fn baseline_backend_cast_check_returns_wide_bounds() {
+        let mut backend =
+            BaselineBackend::new(SanitizerKind::TypeSan, types(), RuntimeConfig::default());
+        let p = backend.on_alloc(16, &Type::int(), AllocKind::Heap);
+        let b = backend.cast_check(p, &Type::int(), &loc());
+        assert!(b.is_wide());
+        assert_eq!(backend.stats().cast_checks, 1);
+    }
+
+    #[test]
+    fn legacy_allocations_are_invisible_to_baselines() {
+        let mut backend =
+            BaselineBackend::new(SanitizerKind::LowFat, types(), RuntimeConfig::default());
+        let p = backend.on_alloc(128, &Type::int(), AllocKind::Legacy);
+        assert!(backend.bounds_get(p).is_wide());
+        let q = backend.on_alloc(128, &Type::int(), AllocKind::Heap);
+        assert_eq!(backend.bounds_get(q), Bounds::from_base_size(q, 128));
+    }
+
+    #[test]
+    fn realloc_moves_baseline_meta_data() {
+        let mut backend =
+            BaselineBackend::new(SanitizerKind::SoftBound, types(), RuntimeConfig::default());
+        let p = backend.on_alloc(16, &Type::int(), AllocKind::Heap);
+        let q = backend.on_realloc(p, 64, &Type::int(), &loc());
+        assert_eq!(backend.bounds_get(q), Bounds::from_base_size(q, 64));
+        // The old block is gone from the tool's records (spatial tools drop
+        // freed allocations).
+        assert!(p == q || backend.bounds_get(p).is_wide());
+    }
+}

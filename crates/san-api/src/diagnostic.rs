@@ -1,0 +1,114 @@
+//! Structured diagnostics returned by [`crate::Sanitizer::finish`].
+//!
+//! Every backend — EffectiveSan variants and baseline tools alike — renders
+//! its findings into the same [`Diagnostic`] shape, so reports can be
+//! compared across tools without knowing which runtime produced them.
+//! This replaces the previous ad-hoc merging of `ErrorStats` and
+//! `BaselineStats` at the pipeline layer.
+
+use std::fmt;
+use std::sync::Arc;
+
+use effective_runtime::{Bounds, ErrorKind, ErrorRecord};
+use serde::Serialize;
+
+/// One distinct issue found during an instrumented run.
+///
+/// Mirrors the fields of the paper's error reports (§6.1): the issue class,
+/// the static type the program used (`expected`), the object's dynamic
+/// type (`observed`), the offset into the allocation, and — where the
+/// failing check knew them — the bounds that were violated.
+#[derive(Clone, Debug, PartialEq, Serialize)]
+pub struct Diagnostic {
+    /// The issue class (Figure 1 column taxonomy).
+    pub kind: ErrorKind,
+    /// The static type the program declared at the access/cast site.
+    pub expected: String,
+    /// The dynamic (allocation) type actually bound to the object.
+    pub observed: String,
+    /// Byte offset of the access within the allocation (normalised).
+    pub offset: u64,
+    /// The bounds the access was checked against, when the failing check
+    /// had concrete (non-wide) bounds at hand.
+    pub bounds: Option<Bounds>,
+    /// Source location / instrumentation-site label.
+    pub location: Arc<str>,
+    /// Free-form detail from the reporting runtime.
+    pub detail: String,
+}
+
+impl From<&ErrorRecord> for Diagnostic {
+    fn from(record: &ErrorRecord) -> Self {
+        Diagnostic {
+            kind: record.kind,
+            expected: record.static_type.clone(),
+            observed: record.dynamic_type.clone(),
+            offset: record.offset,
+            bounds: record.bounds,
+            location: record.location.clone(),
+            detail: record.detail.clone(),
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: expected `{}`, observed `{}` at offset {} ({})",
+            self.kind, self.expected, self.observed, self.offset, self.location
+        )?;
+        if let Some(b) = self.bounds {
+            write!(f, " bounds {:#x}..{:#x}", b.lo, b.hi)?;
+        }
+        if !self.detail.is_empty() {
+            write!(f, " — {}", self.detail)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversion_preserves_fields() {
+        let record = ErrorRecord {
+            kind: ErrorKind::SubObjectBoundsOverflow,
+            static_type: "int".to_string(),
+            dynamic_type: "struct account".to_string(),
+            offset: 32,
+            bounds: Some(Bounds::new(0x1000, 0x1020)),
+            location: Arc::from("account.c:4"),
+            detail: "overflow into `balance`".to_string(),
+        };
+        let d = Diagnostic::from(&record);
+        assert_eq!(d.kind, ErrorKind::SubObjectBoundsOverflow);
+        assert_eq!(d.expected, "int");
+        assert_eq!(d.observed, "struct account");
+        assert_eq!(d.offset, 32);
+        assert_eq!(d.bounds, Some(Bounds::new(0x1000, 0x1020)));
+        let rendered = d.to_string();
+        assert!(rendered.contains("subobject-bounds-overflow"));
+        assert!(rendered.contains("struct account"));
+        assert!(rendered.contains("0x1000"));
+    }
+
+    #[test]
+    fn display_without_bounds_or_detail_is_compact() {
+        let d = Diagnostic {
+            kind: ErrorKind::UseAfterFree,
+            expected: "struct S".to_string(),
+            observed: "FREE".to_string(),
+            offset: 0,
+            bounds: None,
+            location: Arc::from("uaf.c:9"),
+            detail: String::new(),
+        };
+        let rendered = d.to_string();
+        assert!(rendered.contains("use-after-free"));
+        assert!(!rendered.contains("bounds"));
+        assert!(!rendered.contains("—"));
+    }
+}

@@ -1,0 +1,61 @@
+//! # san-api
+//!
+//! The unified sanitizer backend API of the EffectiveSan reproduction.
+//!
+//! The paper evaluates one tool against a family of others —
+//! AddressSanitizer, LowFat, SoftBound, TypeSan, HexType, CETS (Figure 1,
+//! §6.2) — all running the same workloads.  This crate makes that
+//! comparison architectural rather than ad hoc:
+//!
+//! * [`Sanitizer`] — the complete instrumentation-hook surface
+//!   (allocation lifecycle, type/cast checks, bounds propagation,
+//!   per-access checks, reporting) every backend implements;
+//! * [`SanStats`] / [`Diagnostic`] — unified counters and structured
+//!   findings, comparable across tools;
+//! * [`SanitizerKind`] — the registry key, with `FromStr`/`Display` so
+//!   backends are selectable by name from CLIs and configs;
+//! * [`registry()`]/[`build()`]/[`build_by_name`] — the string-keyed backend
+//!   registry producing `Box<dyn Sanitizer>`;
+//! * [`PassConfig`] — the per-tool instrumentation configuration consumed
+//!   by the `instrument` crate.
+//!
+//! The VM dispatches every check instruction through a single
+//! `Box<dyn Sanitizer>`; adding a new tool is one `Sanitizer` impl plus a
+//! registry entry, with no interpreter changes.
+//!
+//! ## Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use effective_runtime::RuntimeConfig;
+//! use effective_types::{Type, TypeRegistry};
+//! use lowfat::AllocKind;
+//! use san_api::SanitizerKind;
+//!
+//! let types = Arc::new(TypeRegistry::new());
+//! let mut backend =
+//!     san_api::build_by_name("EffectiveSan", types, RuntimeConfig::default()).unwrap();
+//! assert_eq!(backend.kind(), SanitizerKind::EffectiveFull);
+//!
+//! let loc: Arc<str> = Arc::from("example");
+//! let p = backend.on_alloc(100 * 4, &Type::int(), AllocKind::Heap);
+//! let bounds = backend.type_check(p, &Type::int(), &loc);
+//! assert_eq!(bounds.width(), 400);
+//! assert!(backend.type_check(p, &Type::float(), &loc).is_wide());
+//! assert_eq!(backend.finish().len(), 1); // the bad float access
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod backend;
+pub mod backends;
+pub mod diagnostic;
+pub mod kind;
+pub mod registry;
+
+pub use backend::{SanStats, Sanitizer};
+pub use backends::{BaselineBackend, EffectiveBackend};
+pub use diagnostic::Diagnostic;
+pub use kind::{InputCheck, ParseSanitizerKindError, PassConfig, SanitizerKind};
+pub use registry::{build, build_by_name, registry, BackendEntry};

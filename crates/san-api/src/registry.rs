@@ -1,0 +1,110 @@
+//! The string-keyed backend registry.
+//!
+//! Every sanitizer the reproduction models — the three EffectiveSan
+//! variants, the uninstrumented baseline, and the six comparison tools of
+//! §6.2 — is registered here under its stable [`SanitizerKind::name`].
+//! Pipelines, bench binaries and workloads construct backends by kind or
+//! by name instead of hard-wiring runtime types, so adding a backend means
+//! adding one registry entry (plus its [`Sanitizer`] impl).
+
+use std::sync::Arc;
+
+use effective_runtime::RuntimeConfig;
+use effective_types::TypeRegistry;
+
+use crate::backend::Sanitizer;
+use crate::backends::{BaselineBackend, EffectiveBackend};
+use crate::kind::{ParseSanitizerKindError, SanitizerKind};
+
+/// One registered backend: a kind plus its constructor.
+#[derive(Clone, Copy, Debug)]
+pub struct BackendEntry {
+    kind: SanitizerKind,
+}
+
+impl BackendEntry {
+    /// The backend's kind (the registry key).
+    pub fn kind(&self) -> SanitizerKind {
+        self.kind
+    }
+
+    /// The backend's stable name (parses back via `FromStr`).
+    pub fn name(&self) -> &'static str {
+        self.kind.name()
+    }
+
+    /// Construct the backend over the given type registry.
+    pub fn build(&self, types: Arc<TypeRegistry>, config: RuntimeConfig) -> Box<dyn Sanitizer> {
+        build(self.kind, types, config)
+    }
+}
+
+/// Every registered backend, in report-table order.
+pub fn registry() -> Vec<BackendEntry> {
+    SanitizerKind::ALL
+        .into_iter()
+        .map(|kind| BackendEntry { kind })
+        .collect()
+}
+
+/// Construct the backend for `kind` over the given type registry.
+pub fn build(
+    kind: SanitizerKind,
+    types: Arc<TypeRegistry>,
+    config: RuntimeConfig,
+) -> Box<dyn Sanitizer> {
+    if kind.baseline_kind().is_some() {
+        Box::new(BaselineBackend::new(kind, types, config))
+    } else {
+        Box::new(EffectiveBackend::new(kind, types, config))
+    }
+}
+
+/// Construct a backend by name (see [`SanitizerKind`]'s `FromStr` for the
+/// accepted spellings).
+pub fn build_by_name(
+    name: &str,
+    types: Arc<TypeRegistry>,
+    config: RuntimeConfig,
+) -> Result<Box<dyn Sanitizer>, ParseSanitizerKindError> {
+    let kind: SanitizerKind = name.parse()?;
+    Ok(build(kind, types, config))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn types() -> Arc<TypeRegistry> {
+        Arc::new(TypeRegistry::new())
+    }
+
+    #[test]
+    fn registry_covers_every_kind_exactly_once() {
+        let entries = registry();
+        assert_eq!(entries.len(), SanitizerKind::ALL.len());
+        for (entry, kind) in entries.iter().zip(SanitizerKind::ALL) {
+            assert_eq!(entry.kind(), kind);
+            assert_eq!(entry.name(), kind.name());
+        }
+    }
+
+    #[test]
+    fn every_entry_builds_a_backend_of_its_kind() {
+        for entry in registry() {
+            let backend = entry.build(types(), RuntimeConfig::default());
+            assert_eq!(backend.kind(), entry.kind());
+            assert!(!backend.halted());
+            assert_eq!(backend.stats().total_checks(), 0);
+        }
+    }
+
+    #[test]
+    fn build_by_name_accepts_canonical_names_and_aliases() {
+        let backend = build_by_name("EffectiveSan", types(), RuntimeConfig::default()).unwrap();
+        assert_eq!(backend.kind(), SanitizerKind::EffectiveFull);
+        let backend = build_by_name("asan", types(), RuntimeConfig::default()).unwrap();
+        assert_eq!(backend.kind(), SanitizerKind::AddressSanitizer);
+        assert!(build_by_name("valgrind", types(), RuntimeConfig::default()).is_err());
+    }
+}

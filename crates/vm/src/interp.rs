@@ -1,22 +1,22 @@
 //! The IR interpreter.
 //!
 //! The VM executes instrumented `minic` programs against the simulated
-//! low-fat address space, dispatching the check instructions either to the
-//! EffectiveSan runtime (`effective-runtime`) or to a baseline sanitizer
-//! runtime (`baselines`), and counting every event needed by the paper's
-//! performance experiments (instructions, loads/stores, allocations and the
-//! per-check counters kept by the runtimes themselves).
+//! low-fat address space, dispatching every check instruction through a
+//! single [`san_api::Sanitizer`] backend (an EffectiveSan variant or one of
+//! the paper's comparison tools, constructed from the `san-api` registry),
+//! and counting every event needed by the paper's performance experiments
+//! (instructions, loads/stores, allocations and the per-check counters
+//! kept by the backend itself).
 
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use baselines::{BaselineKind, BaselineRuntime};
-use effective_runtime::{Bounds, ReporterConfig, RuntimeConfig, TypeCheckRuntime};
+use effective_runtime::{Bounds, RuntimeConfig};
 use effective_types::Type;
-use instrument::SanitizerKind;
 use lowfat::{AllocKind, Ptr};
 use minic::ast::{BinOp, UnOp};
 use minic::ir::{Builtin, CastKind, Const, Function, Instr, Program};
+use san_api::{SanStats, Sanitizer, SanitizerKind};
 use serde::{Deserialize, Serialize};
 
 use crate::value::Value;
@@ -162,13 +162,8 @@ impl Default for CostModel {
 
 impl CostModel {
     /// Estimated cost of an execution, combining VM event counts with the
-    /// check counters of the active runtime(s).
-    pub fn cost(
-        &self,
-        exec: &ExecStats,
-        checks: &effective_runtime::CheckStats,
-        baseline: Option<&baselines::BaselineStats>,
-    ) -> f64 {
+    /// unified check counters of the active backend.
+    pub fn cost(&self, exec: &ExecStats, checks: &SanStats) -> f64 {
         let mut c = 0.0;
         c += exec.instructions as f64 * self.instruction;
         c += (exec.loads + exec.stores) as f64 * self.memory_access;
@@ -179,14 +174,8 @@ impl CostModel {
         c += checks.bounds_gets as f64 * self.bounds_get;
         c += checks.bounds_checks as f64 * self.bounds_check;
         c += checks.bounds_narrows as f64 * self.bounds_narrow;
+        c += checks.access_checks as f64 * self.access_check;
         c += checks.typed_allocations as f64 * self.typed_allocation_extra;
-        if let Some(b) = baseline {
-            c += b.access_checks as f64 * self.access_check;
-            c += b.bounds_gets as f64 * self.bounds_get;
-            c += b.bounds_checks as f64 * self.bounds_check;
-            c += b.bounds_narrows as f64 * self.bounds_narrow;
-            c += b.cast_checks as f64 * self.cast_check;
-        }
         c
     }
 }
@@ -195,13 +184,12 @@ impl CostModel {
 #[derive(Debug)]
 pub struct Vm {
     program: Arc<Program>,
-    kind: SanitizerKind,
-    /// The EffectiveSan runtime (always present: it also provides the typed
-    /// allocator and the simulated memory for baseline/uninstrumented runs).
-    pub runtime: TypeCheckRuntime,
-    /// The baseline sanitizer runtime, when the program was instrumented
-    /// for one of the comparison tools.
-    pub baseline: Option<BaselineRuntime>,
+    /// The sanitizer backend every check instruction and allocation event
+    /// dispatches through — an EffectiveSan variant or a baseline tool,
+    /// constructed from the `san-api` registry.  The backend also owns the
+    /// simulated memory and the typed allocator, even for uninstrumented
+    /// runs.
+    backend: Box<dyn Sanitizer>,
     globals: HashMap<String, Ptr>,
     stats: ExecStats,
     output: Vec<String>,
@@ -212,39 +200,34 @@ pub struct Vm {
 
 impl Vm {
     /// Create a VM for an (instrumented) program and allocate its globals.
+    /// The backend is built from the `san-api` registry according to
+    /// [`VmConfig::sanitizer`].
     pub fn new(program: Arc<Program>, config: VmConfig) -> Self {
-        let mut runtime = TypeCheckRuntime::new(program.registry.clone(), config.runtime);
-        let baseline_kind = match config.sanitizer {
-            SanitizerKind::AddressSanitizer => Some(BaselineKind::AddressSanitizer),
-            SanitizerKind::LowFat => Some(BaselineKind::LowFat),
-            SanitizerKind::SoftBound => Some(BaselineKind::SoftBound),
-            SanitizerKind::TypeSan => Some(BaselineKind::TypeSan),
-            SanitizerKind::HexType => Some(BaselineKind::HexType),
-            SanitizerKind::Cets => Some(BaselineKind::Cets),
-            _ => None,
-        };
-        let mut baseline = baseline_kind
-            .map(|k| BaselineRuntime::new(k, program.registry.clone(), ReporterConfig::default()));
+        let backend = san_api::build(config.sanitizer, program.registry.clone(), config.runtime);
+        Vm::with_backend(program, backend, config)
+    }
 
+    /// Create a VM over an explicit backend (e.g. one built by name via
+    /// [`san_api::build_by_name`]); `config.sanitizer` is ignored.
+    pub fn with_backend(
+        program: Arc<Program>,
+        mut backend: Box<dyn Sanitizer>,
+        config: VmConfig,
+    ) -> Self {
         // Allocate and initialise globals.
         let mut globals = HashMap::new();
         for g in &program.globals {
             let elem = g.ty.strip_array().clone();
-            let ptr = runtime.type_malloc(g.size, &elem, AllocKind::Global);
+            let ptr = backend.on_alloc(g.size, &elem, AllocKind::Global);
             if let Some(init) = &g.init {
-                runtime.memory.write(ptr, init);
-            }
-            if let Some(b) = baseline.as_mut() {
-                b.on_alloc(ptr, g.size, Some(&elem));
+                backend.memory_mut().write(ptr, init);
             }
             globals.insert(g.name.clone(), ptr);
         }
 
         Vm {
             program,
-            kind: config.sanitizer,
-            runtime,
-            baseline,
+            backend,
             globals,
             stats: ExecStats::default(),
             output: Vec::new(),
@@ -256,7 +239,18 @@ impl Vm {
 
     /// Which sanitizer this VM dispatches checks to.
     pub fn sanitizer(&self) -> SanitizerKind {
-        self.kind
+        self.backend.kind()
+    }
+
+    /// The active sanitizer backend (stats, error reports, memory).
+    pub fn backend(&self) -> &dyn Sanitizer {
+        self.backend.as_ref()
+    }
+
+    /// Mutable access to the active sanitizer backend (e.g. to drain
+    /// diagnostics via [`Sanitizer::finish`]).
+    pub fn backend_mut(&mut self) -> &mut dyn Sanitizer {
+        self.backend.as_mut()
     }
 
     /// Execution statistics.
@@ -272,7 +266,7 @@ impl Vm {
     /// Peak resident memory of the simulated address space, in bytes
     /// (Figure 9 metric).
     pub fn peak_memory_bytes(&self) -> u64 {
-        self.runtime.memory.peak_bytes()
+        self.backend.memory().peak_bytes()
     }
 
     /// The address of a global variable, if defined.
@@ -302,14 +296,14 @@ impl Vm {
         }
         self.stats.calls += 1;
 
-        let frame_mark = self.runtime.allocator.stack_frame_begin();
+        let frame_mark = self.backend.stack_frame_begin();
         let mut slots: Vec<Value> = vec![Value::default(); func.num_slots];
         for (param, value) in func.params.iter().zip(args) {
             slots[param.slot as usize] = value;
         }
 
         let result = self.exec_body(&func, &mut slots, depth);
-        self.runtime.allocator.stack_frame_end(frame_mark);
+        self.backend.stack_frame_end(frame_mark);
         result
     }
 
@@ -376,10 +370,7 @@ impl Vm {
                     let elem_size = self.program.registry.size_of(ty).unwrap_or(1).max(1);
                     let size = elem_size * count.max(&1);
                     self.stats.allocations += 1;
-                    let ptr = self.runtime.type_malloc(size, ty, AllocKind::Stack);
-                    if let Some(b) = self.baseline.as_mut() {
-                        b.on_alloc(ptr, size, Some(ty));
-                    }
+                    let ptr = self.backend.on_alloc(size, ty, AllocKind::Stack);
                     slots[*dst as usize] = Value::Ptr(ptr);
                 }
                 Instr::GlobalAddr { dst, name } => {
@@ -475,32 +466,23 @@ impl Vm {
                 // ----- checks -----
                 Instr::TypeCheck { dst, ptr, ty, loc } => {
                     let p = slots[*ptr as usize].as_ptr();
-                    let b = self.runtime.type_check(p, ty, loc);
+                    let b = self.backend.type_check(p, ty, loc);
                     slots[*dst as usize] = Value::Bounds(b);
-                    if self.runtime.halted() {
+                    if self.backend.halted() {
                         return Err(VmError::Halted);
                     }
                 }
                 Instr::CastCheck { dst, ptr, ty, loc } => {
                     let p = slots[*ptr as usize].as_ptr();
-                    let b = match (&mut self.baseline, self.kind) {
-                        (Some(b), SanitizerKind::TypeSan | SanitizerKind::HexType) => {
-                            b.cast_check(p, ty, loc);
-                            Bounds::WIDE
-                        }
-                        _ => self.runtime.cast_check(p, ty, loc),
-                    };
+                    let b = self.backend.cast_check(p, ty, loc);
                     slots[*dst as usize] = Value::Bounds(b);
-                    if self.runtime.halted() {
+                    if self.backend.halted() {
                         return Err(VmError::Halted);
                     }
                 }
                 Instr::BoundsGet { dst, ptr } => {
                     let p = slots[*ptr as usize].as_ptr();
-                    let b = match &mut self.baseline {
-                        Some(b) => b.bounds_get(p),
-                        None => self.runtime.bounds_get(p),
-                    };
+                    let b = self.backend.bounds_get(p);
                     slots[*dst as usize] = Value::Bounds(b);
                 }
                 Instr::BoundsNarrow {
@@ -512,10 +494,7 @@ impl Vm {
                     let b = slots[*bounds as usize].as_bounds();
                     let base = slots[*field_base as usize].as_ptr();
                     let field = Bounds::from_base_size(base, *size);
-                    let narrowed = match &mut self.baseline {
-                        Some(bl) => bl.bounds_narrow(b, field),
-                        None => self.runtime.bounds_narrow(b, field),
-                    };
+                    let narrowed = self.backend.bounds_narrow(b, field);
                     slots[*dst as usize] = Value::Bounds(narrowed);
                 }
                 Instr::BoundsCheck {
@@ -527,15 +506,8 @@ impl Vm {
                 } => {
                     let p = slots[*ptr as usize].as_ptr();
                     let b = slots[*bounds as usize].as_bounds();
-                    match &mut self.baseline {
-                        Some(bl) => {
-                            bl.bounds_check(p, *size, b, loc, *escape);
-                        }
-                        None => {
-                            self.runtime.bounds_check(p, *size, b, loc, *escape);
-                        }
-                    }
-                    if self.runtime.halted() {
+                    self.backend.bounds_check(p, *size, b, loc, *escape);
+                    if self.backend.halted() {
                         return Err(VmError::Halted);
                     }
                 }
@@ -546,8 +518,9 @@ impl Vm {
                     loc,
                 } => {
                     let p = slots[*ptr as usize].as_ptr();
-                    if let Some(b) = self.baseline.as_mut() {
-                        b.access_check(p, *size, *write, loc);
+                    self.backend.access_check(p, *size, *write, loc);
+                    if self.backend.halted() {
+                        return Err(VmError::Halted);
                     }
                 }
                 Instr::WideBounds { dst } => {
@@ -613,7 +586,7 @@ impl Vm {
     }
 
     fn load_typed(&self, addr: Ptr, ty: &Type) -> Value {
-        let mem = &self.runtime.memory;
+        let mem = self.backend.memory();
         if ty.is_pointer() {
             return Value::Ptr(Ptr(mem.read_u64(addr)));
         }
@@ -633,7 +606,7 @@ impl Vm {
     }
 
     fn store_typed(&mut self, addr: Ptr, ty: &Type, value: Value) {
-        let mem = &mut self.runtime.memory;
+        let mem = self.backend.memory_mut();
         if ty.is_pointer() {
             mem.write_u64(addr, value.as_ptr().addr());
             return;
@@ -664,10 +637,7 @@ impl Vm {
                 let size = arg(0).as_int().max(0) as u64;
                 let ty = alloc_ty.cloned().unwrap_or_else(Type::char_);
                 self.stats.allocations += 1;
-                let p = self.runtime.type_malloc(size, &ty, AllocKind::Heap);
-                if let Some(b) = self.baseline.as_mut() {
-                    b.on_alloc(p, size, Some(&ty));
-                }
+                let p = self.backend.on_alloc(size, &ty, AllocKind::Heap);
                 Ok(Value::Ptr(p))
             }
             Builtin::Calloc => {
@@ -676,11 +646,8 @@ impl Vm {
                 let size = n.saturating_mul(sz);
                 let ty = alloc_ty.cloned().unwrap_or_else(Type::char_);
                 self.stats.allocations += 1;
-                let p = self.runtime.type_malloc(size, &ty, AllocKind::Heap);
-                self.runtime.memory.fill(p, size, 0);
-                if let Some(b) = self.baseline.as_mut() {
-                    b.on_alloc(p, size, Some(&ty));
-                }
+                let p = self.backend.on_alloc(size, &ty, AllocKind::Heap);
+                self.backend.memory_mut().fill(p, size, 0);
                 Ok(Value::Ptr(p))
             }
             Builtin::Realloc => {
@@ -689,24 +656,13 @@ impl Vm {
                 let ty = alloc_ty.cloned().unwrap_or_else(Type::char_);
                 self.stats.allocations += 1;
                 self.stats.frees += 1;
-                if let Some(b) = self.baseline.as_mut() {
-                    b.on_free(old, &loc);
-                }
-                let p = self
-                    .runtime
-                    .type_realloc(old, size, &ty, AllocKind::Heap, &loc);
-                if let Some(b) = self.baseline.as_mut() {
-                    b.on_alloc(p, size, Some(&ty));
-                }
+                let p = self.backend.on_realloc(old, size, &ty, &loc);
                 Ok(Value::Ptr(p))
             }
             Builtin::Free | Builtin::Delete => {
                 let p = arg(0).as_ptr();
                 self.stats.frees += 1;
-                if let Some(b) = self.baseline.as_mut() {
-                    b.on_free(p, &loc);
-                }
-                self.runtime.type_free(p, &loc);
+                self.backend.on_free(p, &loc);
                 Ok(Value::Int(0))
             }
             Builtin::CmaAlloc => {
@@ -715,7 +671,7 @@ impl Vm {
                 self.stats.allocations += 1;
                 // Custom memory allocators are uninstrumented: the object is
                 // legacy and invisible to every sanitizer.
-                let p = self.runtime.type_malloc(size, &ty, AllocKind::Legacy);
+                let p = self.backend.on_alloc(size, &ty, AllocKind::Legacy);
                 Ok(Value::Ptr(p))
             }
             Builtin::CmaFree => Ok(Value::Int(0)),
@@ -725,7 +681,7 @@ impl Vm {
                 let n = arg(2).as_int().max(0) as u64;
                 self.stats.loads += 1;
                 self.stats.stores += 1;
-                self.runtime.memory.copy(dst, src, n);
+                self.backend.memory_mut().copy(dst, src, n);
                 Ok(Value::Ptr(dst))
             }
             Builtin::Memset => {
@@ -733,13 +689,13 @@ impl Vm {
                 let byte = arg(1).as_int() as u8;
                 let n = arg(2).as_int().max(0) as u64;
                 self.stats.stores += 1;
-                self.runtime.memory.fill(dst, n, byte);
+                self.backend.memory_mut().fill(dst, n, byte);
                 Ok(Value::Ptr(dst))
             }
             Builtin::Strlen => {
                 let p = arg(0).as_ptr();
                 let mut len = 0u64;
-                while len < 1 << 20 && self.runtime.memory.read_u8(p.add(len)) != 0 {
+                while len < 1 << 20 && self.backend.memory().read_u8(p.add(len)) != 0 {
                     len += 1;
                 }
                 self.stats.loads += 1;
@@ -757,7 +713,7 @@ impl Vm {
                 let p = arg(0).as_ptr();
                 let mut bytes = Vec::new();
                 for i in 0..4096u64 {
-                    let b = self.runtime.memory.read_u8(p.add(i));
+                    let b = self.backend.memory().read_u8(p.add(i));
                     if b == 0 {
                         break;
                     }
@@ -823,9 +779,9 @@ mod tests {
         let (v, vm) = run_with(src, SanitizerKind::EffectiveFull, "run", &[Value::Int(100)]);
         assert_eq!(v, Value::Int(4950));
         // No false positives on a correct program.
-        assert_eq!(vm.runtime.reporter().stats().distinct_issues, 0);
-        assert!(vm.runtime.stats().type_checks >= 1);
-        assert!(vm.runtime.stats().bounds_checks >= 200);
+        assert_eq!(vm.backend().error_stats().distinct_issues, 0);
+        assert!(vm.backend().stats().type_checks >= 1);
+        assert!(vm.backend().stats().bounds_checks >= 200);
     }
 
     #[test]
@@ -846,10 +802,10 @@ mod tests {
              }";
         let (v, vm) = run_with(src, SanitizerKind::EffectiveFull, "run", &[Value::Int(50)]);
         assert_eq!(v, Value::Int(50));
-        assert_eq!(vm.runtime.reporter().stats().distinct_issues, 0);
+        assert_eq!(vm.backend().error_stats().distinct_issues, 0);
         // The loop type-checks the pointer loaded from memory each
         // iteration: O(N) dynamic type checks (Figure 4 discussion).
-        assert!(vm.runtime.stats().type_checks as i64 >= 50);
+        assert!(vm.backend().stats().type_checks as i64 >= 50);
     }
 
     #[test]
@@ -867,13 +823,12 @@ mod tests {
              }";
         // In-bounds write: no issue.
         let (_, vm) = run_with(src, SanitizerKind::EffectiveFull, "run", &[Value::Int(3)]);
-        assert_eq!(vm.runtime.reporter().stats().distinct_issues, 0);
+        assert_eq!(vm.backend().error_stats().distinct_issues, 0);
         // Out-of-bounds index 8 lands on `balance`: sub-object overflow.
         let (_, vm) = run_with(src, SanitizerKind::EffectiveFull, "run", &[Value::Int(8)]);
         assert_eq!(
-            vm.runtime
-                .reporter()
-                .stats()
+            vm.backend()
+                .error_stats()
                 .issues_of(ErrorKind::SubObjectBoundsOverflow),
             1
         );
@@ -888,15 +843,7 @@ mod tests {
             },
         );
         vm.run("run", &[Value::Int(8)]).unwrap();
-        assert_eq!(
-            vm.baseline
-                .as_ref()
-                .unwrap()
-                .reporter()
-                .stats()
-                .bounds_issues(),
-            0
-        );
+        assert_eq!(vm.backend().error_stats().bounds_issues(), 0);
     }
 
     #[test]
@@ -915,7 +862,7 @@ mod tests {
                  return v;
              }";
         let (_, vm) = run_with(src, SanitizerKind::EffectiveFull, "run", &[]);
-        let stats = vm.runtime.reporter().stats();
+        let stats = vm.backend().error_stats();
         assert!(stats.issues_of(ErrorKind::UseAfterFree) >= 1);
         assert_eq!(stats.issues_of(ErrorKind::DoubleFree), 1);
     }
@@ -937,13 +884,13 @@ mod tests {
              }";
         // EffectiveSan-full: the unused cast is NOT checked...
         let (_, vm) = run_with(src, SanitizerKind::EffectiveFull, "run", &[]);
-        assert_eq!(vm.runtime.reporter().stats().type_issues(), 0);
+        assert_eq!(vm.backend().error_stats().type_issues(), 0);
         // ...but the used one is.  (S contains ints/floats, T wants chars —
         // the char coercion makes the byte access legal, so use a pointer
         // use that genuinely mismatches below.)
         let (_, vm) = run_with(src, SanitizerKind::EffectiveType, "use_it", &[]);
         // The type variant checks the explicit cast regardless of use.
-        assert!(vm.runtime.stats().cast_checks >= 1);
+        assert!(vm.backend().stats().cast_checks >= 1);
     }
 
     #[test]
@@ -955,7 +902,7 @@ mod tests {
              }";
         let (v, vm) = run_with(src, SanitizerKind::EffectiveFull, "run", &[]);
         assert_eq!(v, Value::Int(49));
-        assert_eq!(vm.runtime.reporter().stats().distinct_issues, 0);
+        assert_eq!(vm.backend().error_stats().distinct_issues, 0);
     }
 
     #[test]
@@ -969,8 +916,8 @@ mod tests {
              }";
         let (v, vm) = run_with(src, SanitizerKind::EffectiveFull, "run", &[]);
         assert_eq!(v, Value::Int(3));
-        assert_eq!(vm.runtime.reporter().stats().distinct_issues, 0);
-        assert!(vm.runtime.stats().legacy_type_checks >= 1);
+        assert_eq!(vm.backend().error_stats().distinct_issues, 0);
+        assert!(vm.backend().stats().legacy_type_checks >= 1);
     }
 
     #[test]
@@ -1046,11 +993,7 @@ mod tests {
                 },
             );
             vm.run("run", &[Value::Int(1000)]).unwrap();
-            let cost = model.cost(
-                &vm.stats(),
-                &vm.runtime.stats(),
-                vm.baseline.as_ref().map(|b| b.stats()).as_ref(),
-            );
+            let cost = model.cost(&vm.stats(), &vm.backend().stats());
             costs.insert(kind, cost);
         }
         let base = costs[&SanitizerKind::None];

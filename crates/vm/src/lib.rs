@@ -5,12 +5,13 @@
 //!
 //! The VM stands in for native execution of EffectiveSan-instrumented
 //! binaries (see `DESIGN.md`): it executes the typed IR, dispatches the
-//! check instructions inserted by the `instrument` crate to either the
-//! EffectiveSan runtime or a baseline sanitizer runtime, and records the
-//! event counts (instructions, loads/stores, checks, allocations, peak
-//! memory) that the paper's performance figures are built from.  A
-//! deterministic [`CostModel`] turns those counts into comparable "time"
-//! estimates so relative overheads do not depend on interpreter details.
+//! check instructions inserted by the `instrument` crate through a single
+//! [`san_api::Sanitizer`] backend (an EffectiveSan variant or a baseline
+//! comparison tool from the `san-api` registry), and records the event
+//! counts (instructions, loads/stores, checks, allocations, peak memory)
+//! that the paper's performance figures are built from.  A deterministic
+//! [`CostModel`] turns those counts into comparable "time" estimates so
+//! relative overheads do not depend on interpreter details.
 //!
 //! ## Example
 //!
@@ -32,7 +33,7 @@
 //! let instrumented = instrument_program(&program, SanitizerKind::EffectiveFull);
 //! let mut vm = Vm::new(Arc::new(instrumented), VmConfig::default());
 //! assert_eq!(vm.run("run", &[Value::Int(10)]).unwrap(), Value::Int(45));
-//! assert_eq!(vm.runtime.reporter().stats().distinct_issues, 0);
+//! assert_eq!(vm.backend().error_stats().distinct_issues, 0);
 //! ```
 
 #![warn(missing_docs)]
