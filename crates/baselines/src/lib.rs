@@ -1,8 +1,8 @@
 //! # baselines
 //!
 //! Simplified re-implementations of the sanitizers EffectiveSan is compared
-//! against in the paper (Figure 1 and §6.2): AddressSanitizer, LowFat,
-//! SoftBound, TypeSan/CaVer, HexType and CETS.
+//! against in the paper (Figure 1 and §6.2): AddressSanitizer, Valgrind
+//! Memcheck, LowFat, SoftBound, Intel MPX, TypeSan/CaVer, HexType and CETS.
 //!
 //! Each baseline runs as an alternative *runtime backend* for the same VM
 //! and the same instrumented workloads, so the capability matrix
@@ -18,4 +18,7 @@
 
 pub mod runtime;
 
-pub use runtime::{BaselineKind, BaselineRuntime, BaselineStats, ASAN_QUARANTINE, REDZONE};
+pub use runtime::{
+    BaselineKind, BaselineRuntime, BaselineStats, ASAN_QUARANTINE, MEMCHECK_FREELIST_BLOCKS,
+    MPX_BOUNDS_REGISTERS, REDZONE,
+};

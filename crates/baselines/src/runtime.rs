@@ -8,7 +8,9 @@
 //! | Tool            | Detects                                             | Misses (by design)                           |
 //! |-----------------|-----------------------------------------------------|----------------------------------------------|
 //! | AddressSanitizer| contiguous object overflows into red-zones, UAF while the block is quarantined | sub-object overflows, overflows that skip red-zones, reuse-after-free after quarantine |
+//! | Memcheck        | accesses to unaddressable (never-allocated or freed) low-fat memory, incl. far out-of-bounds and long-lived UAF | sub-object overflows, overflows into a live neighbour, accesses after the address is reused |
 //! | LowFat/SoftBound| allocation-bounds overflows (SoftBound additionally narrows to fields) | type confusion, temporal errors |
+//! | MPX             | allocation-bounds overflows (bounds held in a 4-entry register file, spills to the bound table) | sub-object overflows, type confusion, temporal errors |
 //! | TypeSan/HexType | bad C++ class downcasts at explicit cast sites       | non-class casts, implicit casts, bounds, UAF |
 //! | CETS            | use-after-free / double-free                         | spatial and type errors |
 
@@ -17,6 +19,7 @@ use std::sync::Arc;
 
 use effective_runtime::{Bounds, ErrorKind, ErrorRecord, ErrorReporter, ReporterConfig};
 use effective_types::{Type, TypeRegistry};
+use lowfat::size_classes::is_low_fat;
 use lowfat::Ptr;
 use serde::{Deserialize, Serialize};
 
@@ -26,10 +29,17 @@ pub enum BaselineKind {
     /// AddressSanitizer: shadow-memory/red-zone spatial checks + quarantine
     /// temporal checks.
     AddressSanitizer,
+    /// Valgrind Memcheck: pure shadow memory tracking byte addressability;
+    /// freed blocks stay unaddressable until their address range is reused.
+    Memcheck,
     /// LowFat: allocation-bounds checks from pointer meta data.
     LowFat,
     /// SoftBound: per-pointer bounds with sub-object narrowing.
     SoftBound,
+    /// Intel MPX: allocation-bounds checks through a 4-entry bounds
+    /// register file; misses spill to the in-memory bound table (the
+    /// paper's ~200% hardware reference point).
+    Mpx,
     /// TypeSan / CaVer: C++ class downcast checking.
     TypeSan,
     /// HexType: TypeSan extended to further cast kinds.
@@ -43,8 +53,10 @@ impl BaselineKind {
     pub fn name(self) -> &'static str {
         match self {
             BaselineKind::AddressSanitizer => "AddressSanitizer",
+            BaselineKind::Memcheck => "Memcheck",
             BaselineKind::LowFat => "LowFat",
             BaselineKind::SoftBound => "SoftBound",
+            BaselineKind::Mpx => "MPX",
             BaselineKind::TypeSan => "TypeSan",
             BaselineKind::HexType => "HexType",
             BaselineKind::Cets => "CETS",
@@ -59,6 +71,18 @@ pub const REDZONE: u64 = 16;
 /// Number of freed blocks AddressSanitizer keeps poisoned (quarantined)
 /// before recycling their meta data.
 pub const ASAN_QUARANTINE: usize = 64;
+
+/// Number of freed blocks Memcheck's freelist delays from reuse (Valgrind's
+/// `--freelist-vol`, expressed in blocks rather than bytes).  Much larger
+/// than [`ASAN_QUARANTINE`], which is why Memcheck keeps catching
+/// use-after-free long after AddressSanitizer's quarantine has drained.
+pub const MEMCHECK_FREELIST_BLOCKS: usize = 256;
+
+/// Number of hardware bounds registers in the Intel MPX model (`BND0`–
+/// `BND3`).  Bounds for more than this many simultaneously hot pointers
+/// spill to the in-memory bound table; every miss costs a `BNDLDX`-style
+/// table load, counted in [`BaselineStats::bounds_table_loads`].
+pub const MPX_BOUNDS_REGISTERS: usize = 4;
 
 #[derive(Clone, Debug)]
 struct AllocationInfo {
@@ -80,6 +104,9 @@ pub struct BaselineStats {
     pub bounds_checks: u64,
     /// Bounds narrowing operations performed.
     pub bounds_narrows: u64,
+    /// Bound-table loads performed on bounds-register-file misses (the MPX
+    /// `BNDLDX` spills behind the paper's ~200% reference point).
+    pub bounds_table_loads: u64,
     /// Cast checks performed.
     pub cast_checks: u64,
     /// Allocations registered.
@@ -106,6 +133,9 @@ pub struct BaselineRuntime {
     /// CETS lock table: allocation id → still-valid flag (ids are never
     /// reused, so a missing id means the object is gone).
     valid_ids: HashMap<u64, bool>,
+    /// MPX bounds register file: bases of the allocations whose bounds are
+    /// currently register-resident, LRU order (most recent last).
+    mpx_regs: Vec<u64>,
     next_id: u64,
     reporter: ErrorReporter,
     stats: BaselineStats,
@@ -120,6 +150,7 @@ impl BaselineRuntime {
             allocations: BTreeMap::new(),
             quarantine: VecDeque::new(),
             valid_ids: HashMap::new(),
+            mpx_regs: Vec::new(),
             next_id: 1,
             reporter: ErrorReporter::new(config),
             stats: BaselineStats::default(),
@@ -177,16 +208,23 @@ impl BaselineRuntime {
                             self.allocations.remove(&old);
                         }
                     }
-                } else if matches!(self.kind, BaselineKind::LowFat | BaselineKind::SoftBound) {
-                    // Spatial-only tools drop the record entirely.
+                } else if matches!(
+                    self.kind,
+                    BaselineKind::LowFat | BaselineKind::SoftBound | BaselineKind::Mpx
+                ) {
+                    // Spatial-only tools drop the record entirely (MPX does
+                    // not invalidate bound-table entries on free either).
                     self.allocations.remove(&base.addr());
                 }
+                // Memcheck keeps the freed record indefinitely: the bytes
+                // stay marked unaddressable until a new allocation reuses
+                // the address range.
             }
             Some(_) => {
                 // Double free: detected by the temporal tools.
                 if matches!(
                     self.kind,
-                    BaselineKind::AddressSanitizer | BaselineKind::Cets
+                    BaselineKind::AddressSanitizer | BaselineKind::Memcheck | BaselineKind::Cets
                 ) {
                     self.report(
                         ErrorKind::DoubleFree,
@@ -207,9 +245,12 @@ impl BaselineRuntime {
     // Checks (dispatched from the VM's check instructions)
     // ------------------------------------------------------------------
 
-    /// AddressSanitizer / CETS per-access check.
+    /// AddressSanitizer / Memcheck / CETS per-access check.
     pub fn access_check(&mut self, ptr: Ptr, size: u64, _write: bool, location: &Arc<str>) -> bool {
         self.stats.access_checks += 1;
+        if self.kind == BaselineKind::Memcheck {
+            return self.memcheck_access(ptr, size, location);
+        }
         let Some((base, info)) = self.containing_allocation(ptr) else {
             // Unknown memory (globals without registration, wild pointers
             // that skipped every red-zone): no detection.
@@ -268,13 +309,95 @@ impl BaselineRuntime {
         }
     }
 
-    /// LowFat / SoftBound allocation-bounds query.
+    /// Valgrind-style addressability check: every byte of the access must
+    /// fall inside a *live* tracked allocation.  Bytes of freed blocks stay
+    /// unaddressable until the address is reused; bytes never allocated are
+    /// unaddressable outright (which is how Memcheck catches far
+    /// out-of-bounds accesses that skip AddressSanitizer's red-zones).
+    /// Non-low-fat memory (legacy/custom-allocator arenas, oversized
+    /// globals, machine stack) is conservatively addressable — Memcheck
+    /// sees the underlying mapping, not the foreign allocator on top of it.
+    fn memcheck_access(&mut self, ptr: Ptr, size: u64, location: &Arc<str>) -> bool {
+        if !is_low_fat(ptr.addr()) {
+            return true;
+        }
+        // Walk the access byte range across tracked allocations: an access
+        // spanning from one live allocation straight into a live neighbour
+        // is every-byte-addressable and therefore silent (the documented
+        // "overflow into a live neighbour" miss); the first byte covered by
+        // a freed block or by no allocation at all is reported.
+        let mut addr = ptr.addr();
+        let end = addr.saturating_add(size.max(1));
+        while addr < end {
+            let record = self
+                .allocations
+                .range(..=addr)
+                .next_back()
+                .map(|(base, info)| (*base, base + info.size, info.freed))
+                .filter(|&(_, alloc_end, _)| addr < alloc_end);
+            match record {
+                Some((base, _, true)) => {
+                    self.report(
+                        ErrorKind::UseAfterFree,
+                        "access",
+                        "freed (unaddressable) memory",
+                        addr - base,
+                        None,
+                        location,
+                        "invalid read/write of freed block".to_string(),
+                    );
+                    return false;
+                }
+                Some((_, alloc_end, false)) => {
+                    // Live: skip to the first byte past this allocation.
+                    addr = alloc_end;
+                }
+                None => {
+                    self.report(
+                        ErrorKind::ObjectBoundsOverflow,
+                        "access",
+                        "unaddressable memory",
+                        0,
+                        None,
+                        location,
+                        "invalid read/write of unaddressable memory".to_string(),
+                    );
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// LowFat / SoftBound / MPX allocation-bounds query.  The MPX model
+    /// additionally charges a bound-table load whenever the allocation's
+    /// bounds are not resident in the 4-entry register file.
     pub fn bounds_get(&mut self, ptr: Ptr) -> Bounds {
         self.stats.bounds_gets += 1;
         match self.containing_allocation(ptr) {
-            Some((base, info)) if !info.freed => Bounds::new(base, base + info.size),
+            Some((base, info)) if !info.freed => {
+                if self.kind == BaselineKind::Mpx {
+                    self.mpx_bounds_load(base);
+                }
+                Bounds::new(base, base + info.size)
+            }
             _ => Bounds::WIDE,
         }
+    }
+
+    /// Touch the MPX bounds register file for the allocation based at
+    /// `base`: a hit refreshes the LRU order, a miss evicts the least
+    /// recently used register and counts one `BNDLDX` bound-table load.
+    fn mpx_bounds_load(&mut self, base: u64) {
+        if let Some(pos) = self.mpx_regs.iter().position(|&b| b == base) {
+            self.mpx_regs.remove(pos);
+        } else {
+            self.stats.bounds_table_loads += 1;
+            if self.mpx_regs.len() >= MPX_BOUNDS_REGISTERS {
+                self.mpx_regs.remove(0);
+            }
+        }
+        self.mpx_regs.push(base);
     }
 
     /// Bounds check against previously computed bounds.
@@ -545,6 +668,104 @@ mod tests {
         assert!(ts.cast_check(Ptr(0x6000), &Type::class("DTDGrammar"), &loc()));
         // Non-class casts are ignored entirely.
         assert!(ts.cast_check(Ptr(0x6000), &Type::int(), &loc()));
+    }
+
+    #[test]
+    fn memcheck_detects_far_oob_that_skips_red_zones() {
+        use lowfat::size_classes::{region_base, FIRST_CLASS_REGION, LEGACY_REGION};
+        let mut mc = rt(BaselineKind::Memcheck);
+        // A 40-byte allocation in the 64-byte class region.
+        let base = Ptr(region_base(FIRST_CLASS_REGION + 2) + 64);
+        mc.on_alloc(base, 40, None);
+        assert!(mc.access_check(base.add(16), 4, false, &loc()));
+        // Just past the requested size: unaddressable.
+        assert!(!mc.access_check(base.add(40), 4, false, &loc()));
+        // Far past any red-zone: still unaddressable (ASan would miss this).
+        assert!(!mc.access_check(base.add(40 + REDZONE + 512), 4, true, &loc()));
+        assert!(mc.reporter().stats().bounds_issues() >= 1);
+        // Non-low-fat (legacy arena) memory is conservatively addressable.
+        assert!(mc.access_check(Ptr(region_base(LEGACY_REGION) + 0x1000), 4, false, &loc()));
+    }
+
+    #[test]
+    fn memcheck_misses_overflow_into_a_live_neighbour() {
+        use lowfat::size_classes::{region_base, FIRST_CLASS_REGION};
+        let mut mc = rt(BaselineKind::Memcheck);
+        let region = region_base(FIRST_CLASS_REGION + 2);
+        let a = Ptr(region + 64);
+        let b = Ptr(region + 128);
+        mc.on_alloc(a, 64, None);
+        mc.on_alloc(b, 64, None);
+        // The access spans A's end into live B: every byte is addressable,
+        // so (like real Memcheck) nothing is reported.
+        assert!(mc.access_check(a.add(60), 8, false, &loc()));
+        assert_eq!(mc.reporter().stats().distinct_issues, 0);
+        // Once B is freed the same access hits unaddressable bytes again.
+        mc.on_free(b, &loc());
+        assert!(!mc.access_check(a.add(60), 8, false, &loc()));
+        assert_eq!(mc.reporter().stats().temporal_issues(), 1);
+    }
+
+    #[test]
+    fn memcheck_uaf_outlives_the_asan_quarantine() {
+        use lowfat::size_classes::{region_base, FIRST_CLASS_REGION};
+        let mut mc = rt(BaselineKind::Memcheck);
+        let region = region_base(FIRST_CLASS_REGION + 2);
+        for i in 0..(ASAN_QUARANTINE as u64 + 10) {
+            let b = Ptr(region + (i + 1) * 64);
+            mc.on_alloc(b, 64, None);
+            mc.on_free(b, &loc());
+        }
+        // The earliest freed block is still unaddressable — Memcheck's
+        // freed marks never expire the way ASan's quarantine does.
+        assert!(!mc.access_check(Ptr(region + 64), 4, false, &loc()));
+        assert_eq!(mc.reporter().stats().temporal_issues(), 1);
+        // Double free is detected too.
+        mc.on_free(Ptr(region + 64), &loc());
+        assert_eq!(mc.reporter().stats().issues_of(ErrorKind::DoubleFree), 1);
+        // Reuse makes the range addressable again (and the UAF invisible).
+        mc.on_alloc(Ptr(region + 64), 64, None);
+        assert!(mc.access_check(Ptr(region + 64), 4, false, &loc()));
+    }
+
+    #[test]
+    fn mpx_register_file_spills_to_the_bound_table() {
+        use lowfat::size_classes::{region_base, FIRST_CLASS_REGION};
+        let mut mpx = rt(BaselineKind::Mpx);
+        let region = region_base(FIRST_CLASS_REGION);
+        let bases: Vec<Ptr> = (1..=6).map(|i| Ptr(region + i * 16)).collect();
+        for &b in &bases {
+            mpx.on_alloc(b, 16, None);
+        }
+        // First touch of each of the six pointers misses the 4 registers.
+        for &b in &bases {
+            assert_eq!(mpx.bounds_get(b), Bounds::new(b.addr(), b.addr() + 16));
+        }
+        assert_eq!(mpx.stats().bounds_table_loads, 6);
+        // The four most recently used stay register-resident.
+        for &b in &bases[2..] {
+            mpx.bounds_get(b);
+        }
+        assert_eq!(mpx.stats().bounds_table_loads, 6);
+        // An evicted pointer has to be re-loaded from the bound table.
+        mpx.bounds_get(bases[0]);
+        assert_eq!(mpx.stats().bounds_table_loads, 7);
+    }
+
+    #[test]
+    fn mpx_is_spatial_only_like_lowfat() {
+        use lowfat::size_classes::{region_base, FIRST_CLASS_REGION};
+        let mut mpx = rt(BaselineKind::Mpx);
+        let base = Ptr(region_base(FIRST_CLASS_REGION + 2) + 64);
+        mpx.on_alloc(base, 64, None);
+        let b = mpx.bounds_get(base);
+        assert!(!mpx.bounds_check(base.add(64), 4, b, &loc(), false));
+        // Frees drop the record (bound tables are not invalidated): no
+        // temporal detection.
+        mpx.on_free(base, &loc());
+        assert!(mpx.bounds_get(base).is_wide());
+        assert!(mpx.access_check(base, 4, false, &loc()));
+        assert_eq!(mpx.reporter().stats().temporal_issues(), 0);
     }
 
     #[test]

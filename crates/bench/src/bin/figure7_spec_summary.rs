@@ -1,15 +1,28 @@
 //! Regenerate Figure 7: per-benchmark check counts and issues found for the
 //! SPEC2006-like suite under full EffectiveSan instrumentation.
+//!
+//! Pass a backend name (or set `SAN_BACKENDS`) to summarise a different
+//! backend, e.g. `figure7_spec_summary EffectiveSan-escapes-off`; the
+//! uninstrumented baseline is always run alongside.  `SAN_PARALLEL=0`
+//! disables the per-backend threads of the sweep.
 
-use effective_san::{spec_experiment, SanitizerKind};
+use effective_san::{sanitizers_with_baseline, spec_experiment, SanitizerKind};
 
 fn main() {
     let scale = bench::scale_from_env();
-    println!("Figure 7 — SPEC2006-like summary (scale {scale:?}; paper values in parentheses)\n");
+    let parallelism = bench::parallelism_from_env();
+    let focus = bench::backends_from_args()
+        .into_iter()
+        .find(|&k| k != SanitizerKind::None)
+        .unwrap_or(SanitizerKind::EffectiveFull);
+    println!(
+        "Figure 7 — SPEC2006-like summary under {focus} (scale {scale:?}; paper values in parentheses)\n"
+    );
     let experiment = spec_experiment(
         None,
         scale,
-        &[SanitizerKind::None, SanitizerKind::EffectiveFull],
+        &sanitizers_with_baseline(&[focus]),
+        parallelism,
     );
 
     println!(
@@ -21,7 +34,7 @@ fn main() {
     let mut total_bounds = 0u64;
     let mut total_issues = 0u64;
     for row in &experiment.rows {
-        let full = row.report(SanitizerKind::EffectiveFull).unwrap();
+        let full = row.report(focus).unwrap();
         total_type += full.checks.type_checks;
         total_bounds += full.checks.bounds_checks;
         total_issues += full.errors.distinct_issues;

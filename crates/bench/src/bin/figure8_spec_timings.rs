@@ -2,15 +2,17 @@
 //! relative to the uninstrumented baseline.
 //!
 //! By default the three EffectiveSan variants are compared (the figure's
-//! shape).  Pass backend names to time a different set, e.g.
+//! shape).  Pass backend names — or set the `SAN_BACKENDS` environment
+//! variable — to time a different set, e.g.
 //! `figure8_spec_timings EffectiveSan asan SoftBound` (any spelling the
 //! `san-api` registry accepts); the uninstrumented baseline is always run
-//! as the reference.
+//! as the reference.  `SAN_PARALLEL=0` disables the per-backend threads.
 
 use effective_san::{sanitizers_with_baseline, spec_experiment, SanitizerKind};
 
 fn main() {
     let scale = bench::scale_from_env();
+    let parallelism = bench::parallelism_from_env();
     // Deduplicate and prepend the uninstrumented reference; fall back to
     // the figure's three EffectiveSan variants when no (non-baseline)
     // backend was requested.
@@ -26,7 +28,7 @@ fn main() {
     let sanitizers = sanitizers_with_baseline(&variants);
 
     println!("Figure 8 — SPEC2006-like timings (scale {scale:?}, cost-model overheads)\n");
-    let experiment = spec_experiment(None, scale, &sanitizers);
+    let experiment = spec_experiment(None, scale, &sanitizers, parallelism);
 
     print!("{:<12} {:>14}", "benchmark", "base cost");
     for kind in &variants {

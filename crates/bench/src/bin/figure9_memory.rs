@@ -10,6 +10,7 @@ fn main() {
         None,
         scale,
         &[SanitizerKind::None, SanitizerKind::EffectiveFull],
+        bench::parallelism_from_env(),
     );
     println!(
         "{:<12} {:>18} {:>18} {:>12}",

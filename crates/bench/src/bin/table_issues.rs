@@ -7,7 +7,12 @@ use effective_san::{issue_breakdown, spec_experiment, SanitizerKind};
 fn main() {
     let scale = bench::scale_from_env();
     println!("§6.1 issue taxonomy (scale {scale:?})\n");
-    let experiment = spec_experiment(None, scale, &[SanitizerKind::EffectiveFull]);
+    let experiment = spec_experiment(
+        None,
+        scale,
+        &[SanitizerKind::EffectiveFull],
+        bench::parallelism_from_env(),
+    );
     let breakdown = issue_breakdown(&experiment, SanitizerKind::EffectiveFull);
 
     println!(

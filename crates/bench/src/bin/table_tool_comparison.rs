@@ -1,18 +1,21 @@
 //! Regenerate the §6.2 tool comparison: overhead and total dynamic checks
 //! of every sanitizer on the same workload subset.
 //!
-//! Pass backend names to restrict the comparison, e.g.
-//! `table_tool_comparison EffectiveSan asan LowFat` (any spelling the
-//! `san-api` registry accepts).  With no arguments every registered
-//! backend is compared.
+//! Pass backend names — or set the `SAN_BACKENDS` environment variable —
+//! to restrict the comparison, e.g.
+//! `table_tool_comparison EffectiveSan asan LowFat mpx` (any spelling the
+//! `san-api` registry accepts).  With neither, every registered backend is
+//! compared.  Each benchmark compiles once and its backends run on scoped
+//! threads; `SAN_PARALLEL=0` falls back to a sequential sweep.
 
 use effective_san::SanitizerKind;
 
 fn main() {
     let scale = bench::scale_from_env();
+    let parallelism = bench::parallelism_from_env();
     let selected = bench::backends_from_args();
     let sanitizers = if selected.is_empty() {
-        SanitizerKind::ALL.to_vec()
+        effective_san::default_backends()
     } else {
         selected
     };
@@ -23,7 +26,7 @@ fn main() {
         "§6.2 tool comparison (scale {scale:?}, workloads: {})\n",
         names.join(", ")
     );
-    let comparison = effective_san::tool_comparison_with(&names, scale, &sanitizers);
+    let comparison = effective_san::tool_comparison_with(&names, scale, &sanitizers, parallelism);
     println!("{:<22} {:>14} {:>18}", "tool", "overhead", "dynamic checks");
     bench::rule(58);
     for (kind, overhead, checks) in &comparison.tools {

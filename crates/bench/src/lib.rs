@@ -15,7 +15,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
-use effective_san::{SanitizerKind, Scale};
+use effective_san::{Parallelism, SanitizerKind, Scale};
 
 /// Resolve the workload scale from the `SCALE` environment variable
 /// (`test`, `small` or `ref`; defaults to `small`).
@@ -33,11 +33,13 @@ pub fn scale_from_env() -> Scale {
 
 /// Parse sanitizer backend names from the command line (every spelling
 /// `SanitizerKind`'s `FromStr` accepts: registry names, `asan`, `full`,
-/// `bounds`, …).  Returns an empty list when no arguments were given; on
-/// an unknown name, prints the error (which lists the registered
-/// backends) and exits with status 2.
+/// `bounds`, `memcheck`, `mpx`, `escapes-off`, …), falling back to the
+/// `SAN_BACKENDS` environment variable when no arguments were given.
+/// Returns an empty list when neither selects anything; on an unknown
+/// name, prints the error (which lists the registered backends) and exits
+/// with status 2.
 pub fn backends_from_args() -> Vec<SanitizerKind> {
-    std::env::args()
+    let from_args: Vec<SanitizerKind> = std::env::args()
         .skip(1)
         .map(|arg| {
             arg.parse().unwrap_or_else(|e| {
@@ -45,7 +47,24 @@ pub fn backends_from_args() -> Vec<SanitizerKind> {
                 std::process::exit(2);
             })
         })
-        .collect()
+        .collect();
+    if !from_args.is_empty() {
+        return from_args;
+    }
+    match std::env::var("SAN_BACKENDS") {
+        Ok(list) => effective_san::parse_backend_list(&list).unwrap_or_else(|e| {
+            eprintln!("invalid SAN_BACKENDS value `{list}`: {e}");
+            std::process::exit(2);
+        }),
+        Err(_) => Vec::new(),
+    }
+}
+
+/// Resolve the sweep execution mode from the `SAN_PARALLEL` environment
+/// variable (`0`/`false`/`off`/`no`/`sequential` disable the per-backend
+/// threads; the default is parallel).
+pub fn parallelism_from_env() -> Parallelism {
+    Parallelism::from_env()
 }
 
 /// Print a horizontal rule of the given width.

@@ -9,10 +9,89 @@
 use std::collections::BTreeMap;
 
 use instrument::SanitizerKind;
+use san_api::ParseSanitizerKindError;
 use serde::Serialize;
 use workloads::{FirefoxWorkload, Scale, SpecBenchmark, BROWSER_BENCHMARKS};
 
 use crate::pipeline::{geometric_mean_overhead, run_program, RunConfig, RunReport};
+
+/// How a (benchmark × backend) sweep is executed.
+///
+/// Every backend owns its own simulated address space (a self-contained
+/// `Box<dyn Sanitizer>`), so the per-backend runs of one benchmark are
+/// independent and can fan out across scoped threads — the pattern
+/// [`firefox_experiment`] established.  Results are identical either way
+/// (see the `parallel_sweep` integration test); `Parallel` only changes
+/// wall-clock time.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize)]
+pub enum Parallelism {
+    /// Run every backend of every benchmark on the calling thread.
+    Sequential,
+    /// Run each backend of a benchmark on its own scoped thread.
+    #[default]
+    Parallel,
+}
+
+impl Parallelism {
+    /// Does this mode fan out across threads?
+    pub fn is_parallel(self) -> bool {
+        matches!(self, Parallelism::Parallel)
+    }
+
+    /// Resolve the mode from the `SAN_PARALLEL` environment variable:
+    /// `0`, `false`, `off`, `no` or `sequential` select
+    /// [`Parallelism::Sequential`]; anything else (including unset) selects
+    /// [`Parallelism::Parallel`].
+    pub fn from_env() -> Self {
+        match std::env::var("SAN_PARALLEL")
+            .unwrap_or_default()
+            .to_lowercase()
+            .as_str()
+        {
+            "0" | "false" | "off" | "no" | "sequential" => Parallelism::Sequential,
+            _ => Parallelism::Parallel,
+        }
+    }
+}
+
+/// Parse a comma/whitespace-separated list of backend names (any spelling
+/// [`SanitizerKind`]'s `FromStr` accepts).  Duplicates are kept in order of
+/// first appearance; empty segments are skipped.
+pub fn parse_backend_list(list: &str) -> Result<Vec<SanitizerKind>, ParseSanitizerKindError> {
+    let mut kinds = Vec::new();
+    for name in list.split([',', ' ', '\t']).filter(|s| !s.is_empty()) {
+        let kind: SanitizerKind = name.parse()?;
+        if !kinds.contains(&kind) {
+            kinds.push(kind);
+        }
+    }
+    Ok(kinds)
+}
+
+/// The backend set selected by the `SAN_BACKENDS` environment variable, or
+/// `None` when the variable is unset or empty.
+///
+/// # Panics
+///
+/// Panics when the variable names an unknown backend (the message lists the
+/// registered names) — a typo in the environment should be loud, not
+/// silently widen the sweep to every backend.
+pub fn backends_from_env() -> Option<Vec<SanitizerKind>> {
+    let list = std::env::var("SAN_BACKENDS").ok()?;
+    let kinds = parse_backend_list(&list)
+        .unwrap_or_else(|e| panic!("invalid SAN_BACKENDS value `{list}`: {e}"));
+    if kinds.is_empty() {
+        None
+    } else {
+        Some(kinds)
+    }
+}
+
+/// The default backend set for sweeps: `SAN_BACKENDS` when set, every
+/// registered backend ([`SanitizerKind::ALL`]) otherwise.
+pub fn default_backends() -> Vec<SanitizerKind> {
+    backends_from_env().unwrap_or_else(|| SanitizerKind::ALL.to_vec())
+}
 
 /// Results for one SPEC-like benchmark under several sanitizers.
 #[derive(Clone, Debug, Serialize)]
@@ -111,15 +190,34 @@ impl SpecExperiment {
 
 /// Run the named benchmarks (or all 19 when `names` is `None`) at `scale`
 /// under every sanitizer in `sanitizers`.
+///
+/// Each benchmark is compiled once; with [`Parallelism::Parallel`] its
+/// per-backend runs then execute on one scoped thread per backend (every
+/// backend owns an isolated simulated address space).  Reports are
+/// returned in the order of `sanitizers` either way, and are identical to
+/// a sequential run.
+///
+/// # Panics
+///
+/// Panics on an unknown benchmark name (a misspelled name used to be
+/// silently dropped, turning the experiment into a sweep over nothing).
 pub fn spec_experiment(
     names: Option<&[&str]>,
     scale: Scale,
     sanitizers: &[SanitizerKind],
+    parallelism: Parallelism,
 ) -> SpecExperiment {
     let benches: Vec<SpecBenchmark> = match names {
         Some(names) => names
             .iter()
-            .filter_map(|n| SpecBenchmark::by_name(n))
+            .map(|n| {
+                SpecBenchmark::by_name(n).unwrap_or_else(|| {
+                    panic!(
+                        "unknown SPEC-like benchmark `{n}` (known: {})",
+                        SpecBenchmark::names().join(", ")
+                    )
+                })
+            })
             .collect(),
         None => SpecBenchmark::all(),
     };
@@ -129,17 +227,28 @@ pub fn spec_experiment(
             let source = bench.source(scale);
             let program = minic::compile(&source)
                 .unwrap_or_else(|e| panic!("workload {} failed to compile: {e}", bench.name));
-            let reports = sanitizers
-                .iter()
-                .map(|&kind| {
-                    run_program(
-                        &program,
-                        "bench_main",
-                        &[scale.n()],
-                        &RunConfig::for_sanitizer(kind),
-                    )
+            let run_one = |kind: SanitizerKind| {
+                run_program(
+                    &program,
+                    "bench_main",
+                    &[scale.n()],
+                    &RunConfig::for_sanitizer(kind),
+                )
+            };
+            let reports: Vec<RunReport> = if parallelism.is_parallel() {
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = sanitizers
+                        .iter()
+                        .map(|&kind| scope.spawn(move || run_one(kind)))
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("backend sweep thread panicked"))
+                        .collect()
                 })
-                .collect();
+            } else {
+                sanitizers.iter().map(|&kind| run_one(kind)).collect()
+            };
             SpecRow {
                 name: bench.name.to_string(),
                 cpp: bench.cpp,
@@ -250,10 +359,11 @@ pub struct ToolComparison {
     pub tools: Vec<(SanitizerKind, f64, u64)>,
 }
 
-/// Run the tool comparison over the given benchmark names, for every
-/// registered backend.
+/// Run the tool comparison over the given benchmark names, for the default
+/// backend set (`SAN_BACKENDS` when set, every registered backend
+/// otherwise), fanning the (benchmark × backend) matrix out across threads.
 pub fn tool_comparison(names: &[&str], scale: Scale) -> ToolComparison {
-    tool_comparison_with(names, scale, &SanitizerKind::ALL)
+    tool_comparison_with(names, scale, &default_backends(), Parallelism::Parallel)
 }
 
 /// The given sanitizers, deduplicated, with the uninstrumented baseline
@@ -278,9 +388,10 @@ pub fn tool_comparison_with(
     names: &[&str],
     scale: Scale,
     sanitizers: &[SanitizerKind],
+    parallelism: Parallelism,
 ) -> ToolComparison {
     let kinds = sanitizers_with_baseline(sanitizers);
-    let experiment = spec_experiment(Some(names), scale, &kinds);
+    let experiment = spec_experiment(Some(names), scale, &kinds, parallelism);
     let tools = kinds
         .into_iter()
         .skip(1)
@@ -332,6 +443,7 @@ mod tests {
                 SanitizerKind::EffectiveBounds,
                 SanitizerKind::EffectiveType,
             ],
+            Parallelism::Parallel,
         );
         assert_eq!(experiment.rows.len(), 3);
 
@@ -391,11 +503,62 @@ mod tests {
             Some(&["soplex"]),
             Scale::Test,
             &[SanitizerKind::None, SanitizerKind::EffectiveFull],
+            Parallelism::Sequential,
         );
         let breakdown = issue_breakdown(&experiment, SanitizerKind::EffectiveFull);
         let soplex = breakdown.get("soplex").unwrap();
         assert!(soplex
             .iter()
             .any(|(k, n)| k == "subobject-bounds-overflow" && *n >= 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown SPEC-like benchmark `mcff`")]
+    fn misspelled_benchmark_names_panic_instead_of_vanishing() {
+        spec_experiment(
+            Some(&["mcff"]),
+            Scale::Test,
+            &[SanitizerKind::None],
+            Parallelism::Sequential,
+        );
+    }
+
+    #[test]
+    fn parse_backend_list_accepts_separators_aliases_and_dedupes() {
+        let kinds = parse_backend_list("EffectiveSan, asan Memcheck\tmpx,asan").unwrap();
+        assert_eq!(
+            kinds,
+            vec![
+                SanitizerKind::EffectiveFull,
+                SanitizerKind::AddressSanitizer,
+                SanitizerKind::Memcheck,
+                SanitizerKind::Mpx,
+            ]
+        );
+        assert_eq!(parse_backend_list("").unwrap(), vec![]);
+        assert_eq!(parse_backend_list(" ,, ").unwrap(), vec![]);
+        let err = parse_backend_list("asan,notatool").unwrap_err();
+        assert!(err.to_string().contains("notatool"));
+    }
+
+    #[test]
+    fn default_backends_honours_the_environment() {
+        // Computed from the same environment read, so this holds both in a
+        // plain run (ALL) and in the CI job that sets SAN_BACKENDS.
+        let expected = match std::env::var("SAN_BACKENDS") {
+            Ok(list) if !parse_backend_list(&list).unwrap().is_empty() => {
+                parse_backend_list(&list).unwrap()
+            }
+            _ => SanitizerKind::ALL.to_vec(),
+        };
+        assert_eq!(default_backends(), expected);
+        assert!(!default_backends().is_empty());
+    }
+
+    #[test]
+    fn parallelism_defaults_to_parallel() {
+        assert_eq!(Parallelism::default(), Parallelism::Parallel);
+        assert!(Parallelism::Parallel.is_parallel());
+        assert!(!Parallelism::Sequential.is_parallel());
     }
 }

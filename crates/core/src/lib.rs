@@ -57,9 +57,9 @@ pub mod pipeline;
 
 pub use capability::{capability_matrix, CapabilityRow, Coverage, ErrorColumn};
 pub use experiments::{
-    firefox_experiment, issue_breakdown, sanitizers_with_baseline, spec_experiment,
-    tool_comparison, tool_comparison_with, FirefoxExperiment, SpecExperiment, SpecRow,
-    ToolComparison,
+    backends_from_env, default_backends, firefox_experiment, issue_breakdown, parse_backend_list,
+    sanitizers_with_baseline, spec_experiment, tool_comparison, tool_comparison_with,
+    FirefoxExperiment, Parallelism, SpecExperiment, SpecRow, ToolComparison,
 };
 pub use pipeline::{
     compile, geometric_mean_overhead, instrument, run_matrix, run_program, run_source, RunConfig,

@@ -51,9 +51,13 @@ impl Default for RunConfig {
 
 impl RunConfig {
     /// A configuration for the given sanitizer with defaults otherwise.
+    /// The substrate allocator quarantine follows the tool's own allocator
+    /// ([`SanitizerKind::default_quarantine_blocks`]): AddressSanitizer's
+    /// bounded quarantine, Memcheck's larger freelist, none for the rest.
     pub fn for_sanitizer(sanitizer: SanitizerKind) -> Self {
         RunConfig {
             sanitizer,
+            quarantine_blocks: sanitizer.default_quarantine_blocks(),
             ..Default::default()
         }
     }

@@ -720,6 +720,65 @@ mod tests {
     }
 
     #[test]
+    fn escapes_off_drops_only_the_escape_checks() {
+        let src = "struct node { struct node *next; };
+             void link(struct node *a, struct node *b) { a->next = b; }";
+        let p = minic::compile(src).unwrap();
+        let full = instrument_program(&p, SanitizerKind::EffectiveFull);
+        let off = instrument_program(&p, SanitizerKind::EffectiveEscapesOff);
+        let f_full = full.function("link").unwrap();
+        let f_off = off.function("link").unwrap();
+        // The ablation keeps type checks and dereference bounds checks...
+        assert_eq!(
+            count(f_off, |i| matches!(i, Instr::TypeCheck { .. })),
+            count(f_full, |i| matches!(i, Instr::TypeCheck { .. }))
+        );
+        assert!(
+            count(f_off, |i| matches!(
+                i,
+                Instr::BoundsCheck { escape: false, .. }
+            )) >= 1
+        );
+        // ...but emits no pointer-escape checks at all.
+        assert!(
+            count(f_full, |i| matches!(
+                i,
+                Instr::BoundsCheck { escape: true, .. }
+            )) >= 1
+        );
+        assert_eq!(
+            count(f_off, |i| matches!(
+                i,
+                Instr::BoundsCheck { escape: true, .. }
+            )),
+            0
+        );
+    }
+
+    #[test]
+    fn mpx_pass_checks_accesses_without_narrowing() {
+        let p = instrument_program(&figure4_program(), SanitizerKind::Mpx);
+        let length = p.function("length").unwrap();
+        assert!(count(length, |i| matches!(i, Instr::BoundsGet { .. })) >= 1);
+        assert!(count(length, |i| matches!(i, Instr::BoundsCheck { .. })) >= 1);
+        assert_eq!(
+            count(length, |i| matches!(i, Instr::BoundsNarrow { .. })),
+            0,
+            "MPX does not narrow to sub-objects"
+        );
+        assert_eq!(count(length, |i| matches!(i, Instr::TypeCheck { .. })), 0);
+    }
+
+    #[test]
+    fn memcheck_pass_is_access_check_only_like_asan() {
+        let p = instrument_program(&figure4_program(), SanitizerKind::Memcheck);
+        let sum = p.function("sum").unwrap();
+        assert!(count(sum, |i| matches!(i, Instr::AccessCheck { .. })) >= 1);
+        assert_eq!(count(sum, |i| matches!(i, Instr::TypeCheck { .. })), 0);
+        assert_eq!(count(sum, |i| matches!(i, Instr::BoundsCheck { .. })), 0);
+    }
+
+    #[test]
     fn same_type_casts_are_not_checked() {
         // (T*) cast of something already T*: the check can never fail and
         // is optimized away; bounds are just forwarded.

@@ -34,6 +34,9 @@ pub struct SanStats {
     pub bounds_narrows: u64,
     /// Number of `bounds_get` calls.
     pub bounds_gets: u64,
+    /// Bound-table loads on bounds-register-file misses (the Intel-MPX
+    /// model's `BNDLDX` spills; zero for software tools).
+    pub bounds_table_loads: u64,
     /// Number of `cast_check` calls.
     pub cast_checks: u64,
     /// Per-access (shadow-memory / temporal) checks performed.
@@ -68,6 +71,7 @@ impl SanStats {
         self.bounds_gets += b.bounds_gets;
         self.bounds_checks += b.bounds_checks;
         self.bounds_narrows += b.bounds_narrows;
+        self.bounds_table_loads += b.bounds_table_loads;
         self.cast_checks += b.cast_checks;
     }
 }
@@ -82,6 +86,7 @@ impl From<CheckStats> for SanStats {
             failed_bounds_checks: c.failed_bounds_checks,
             bounds_narrows: c.bounds_narrows,
             bounds_gets: c.bounds_gets,
+            bounds_table_loads: 0,
             cast_checks: c.cast_checks,
             access_checks: 0,
             typed_allocations: c.typed_allocations,
@@ -295,12 +300,14 @@ mod tests {
             bounds_gets: 1,
             bounds_checks: 2,
             bounds_narrows: 3,
+            bounds_table_loads: 5,
             cast_checks: 4,
             allocations: 2,
             frees: 1,
         });
         assert_eq!(s.access_checks, 10);
         assert_eq!(s.cast_checks, 4);
+        assert_eq!(s.bounds_table_loads, 5);
         // Allocation events are counted once, by the substrate.
         assert_eq!(s.allocations, 2);
         assert_eq!(s.frees, 0);

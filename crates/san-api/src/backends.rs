@@ -1,7 +1,9 @@
-//! The concrete backend implementations behind the registry: the three
-//! EffectiveSan variants (plus the uninstrumented baseline) wrapping
-//! [`TypeCheckRuntime`], and the six comparison tools wrapping
-//! [`BaselineRuntime`] over the same typed-allocator substrate.
+//! The concrete backend implementations behind the registry: the
+//! EffectiveSan variants (full / bounds / type / escapes-off, plus the
+//! uninstrumented baseline) wrapping [`TypeCheckRuntime`], and the eight
+//! comparison tools (ASan, Memcheck, LowFat, SoftBound, MPX, TypeSan,
+//! HexType, CETS) wrapping [`BaselineRuntime`] over the same
+//! typed-allocator substrate.
 
 use std::sync::Arc;
 
@@ -14,8 +16,9 @@ use crate::backend::{SanStats, Sanitizer};
 use crate::diagnostic::Diagnostic;
 use crate::kind::SanitizerKind;
 
-/// Backend for the EffectiveSan variants (full / bounds / type) and the
-/// uninstrumented baseline: a thin adapter over [`TypeCheckRuntime`].
+/// Backend for the EffectiveSan variants (full / bounds / type /
+/// escapes-off) and the uninstrumented baseline: a thin adapter over
+/// [`TypeCheckRuntime`].
 ///
 /// For [`SanitizerKind::None`] the runtime still provides the typed
 /// allocator and simulated memory — the program must execute identically —
@@ -368,6 +371,52 @@ mod tests {
         let b = backend.cast_check(p, &Type::int(), &loc());
         assert!(b.is_wide());
         assert_eq!(backend.stats().cast_checks, 1);
+    }
+
+    #[test]
+    fn memcheck_backend_reports_unaddressable_accesses() {
+        let mut backend =
+            BaselineBackend::new(SanitizerKind::Memcheck, types(), RuntimeConfig::default());
+        let p = backend.on_alloc(32, &Type::int(), AllocKind::Heap);
+        assert!(backend.access_check(p, 4, false, &loc()));
+        // Far past any red-zone: the bytes were never allocated, so the
+        // pure shadow-memory checker still reports.
+        assert!(!backend.access_check(p.add(32 + 400), 4, true, &loc()));
+        assert_eq!(backend.error_stats().bounds_issues(), 1);
+        // Freed memory stays unaddressable.
+        backend.on_free(p, &loc());
+        assert!(!backend.access_check(p, 4, false, &loc()));
+        assert_eq!(backend.error_stats().temporal_issues(), 1);
+    }
+
+    #[test]
+    fn mpx_backend_counts_bound_table_loads() {
+        let mut backend =
+            BaselineBackend::new(SanitizerKind::Mpx, types(), RuntimeConfig::default());
+        let ptrs: Vec<_> = (0..6)
+            .map(|_| backend.on_alloc(16, &Type::int(), AllocKind::Heap))
+            .collect();
+        for &p in &ptrs {
+            assert!(!backend.bounds_get(p).is_wide());
+        }
+        // Six distinct pointers through four registers: every first touch
+        // spills to the bound table.
+        assert_eq!(backend.stats().bounds_table_loads, 6);
+        assert_eq!(backend.stats().bounds_gets, 6);
+    }
+
+    #[test]
+    fn escapes_off_backend_is_an_effective_variant() {
+        let mut backend = EffectiveBackend::new(
+            SanitizerKind::EffectiveEscapesOff,
+            types(),
+            RuntimeConfig::default(),
+        );
+        assert_eq!(backend.kind(), SanitizerKind::EffectiveEscapesOff);
+        // Full type checking is still active.
+        let p = backend.on_alloc(64, &Type::int(), AllocKind::Heap);
+        assert!(backend.type_check(p, &Type::float(), &loc()).is_wide());
+        assert_eq!(backend.error_stats().type_issues(), 1);
     }
 
     #[test]

@@ -37,12 +37,21 @@ pub enum SanitizerKind {
     EffectiveBounds,
     /// EffectiveSan-type: cast checking only (§6.2).
     EffectiveType,
+    /// EffectiveSan with escape bounds checking disabled — the ablation
+    /// that keeps full type/bounds checking on dereferences but drops the
+    /// Fig. 3(g) checks on pointer stores, arguments and returns.
+    EffectiveEscapesOff,
     /// AddressSanitizer-style red-zones + shadow memory + quarantine.
     AddressSanitizer,
+    /// Valgrind/Memcheck-style pure shadow-memory addressability checking.
+    Memcheck,
     /// LowFat allocation-bounds checking.
     LowFat,
     /// SoftBound-style per-pointer bounds with sub-object narrowing.
     SoftBound,
+    /// Intel-MPX model: allocation-bounds checks through a 4-entry bounds
+    /// register file (the paper's ~200% hardware reference point).
+    Mpx,
     /// TypeSan/CaVer-style C++ class cast checking.
     TypeSan,
     /// HexType-style cast checking (extends TypeSan to more cast kinds).
@@ -53,14 +62,17 @@ pub enum SanitizerKind {
 
 impl SanitizerKind {
     /// All kinds, in the order used by report tables.
-    pub const ALL: [SanitizerKind; 10] = [
+    pub const ALL: [SanitizerKind; 13] = [
         SanitizerKind::None,
         SanitizerKind::EffectiveFull,
         SanitizerKind::EffectiveBounds,
         SanitizerKind::EffectiveType,
+        SanitizerKind::EffectiveEscapesOff,
         SanitizerKind::AddressSanitizer,
+        SanitizerKind::Memcheck,
         SanitizerKind::LowFat,
         SanitizerKind::SoftBound,
+        SanitizerKind::Mpx,
         SanitizerKind::TypeSan,
         SanitizerKind::HexType,
         SanitizerKind::Cets,
@@ -74,22 +86,27 @@ impl SanitizerKind {
             SanitizerKind::EffectiveFull => "EffectiveSan",
             SanitizerKind::EffectiveBounds => "EffectiveSan-bounds",
             SanitizerKind::EffectiveType => "EffectiveSan-type",
+            SanitizerKind::EffectiveEscapesOff => "EffectiveSan-escapes-off",
             SanitizerKind::AddressSanitizer => "AddressSanitizer",
+            SanitizerKind::Memcheck => "Memcheck",
             SanitizerKind::LowFat => "LowFat",
             SanitizerKind::SoftBound => "SoftBound",
+            SanitizerKind::Mpx => "MPX",
             SanitizerKind::TypeSan => "TypeSan",
             SanitizerKind::HexType => "HexType",
             SanitizerKind::Cets => "CETS",
         }
     }
 
-    /// Is this one of the three EffectiveSan variants?
+    /// Is this one of the EffectiveSan variants (full, bounds, type, or the
+    /// escapes-off ablation)?
     pub fn is_effective(self) -> bool {
         matches!(
             self,
             SanitizerKind::EffectiveFull
                 | SanitizerKind::EffectiveBounds
                 | SanitizerKind::EffectiveType
+                | SanitizerKind::EffectiveEscapesOff
         )
     }
 
@@ -98,12 +115,27 @@ impl SanitizerKind {
     pub fn baseline_kind(self) -> Option<BaselineKind> {
         match self {
             SanitizerKind::AddressSanitizer => Some(BaselineKind::AddressSanitizer),
+            SanitizerKind::Memcheck => Some(BaselineKind::Memcheck),
             SanitizerKind::LowFat => Some(BaselineKind::LowFat),
             SanitizerKind::SoftBound => Some(BaselineKind::SoftBound),
+            SanitizerKind::Mpx => Some(BaselineKind::Mpx),
             SanitizerKind::TypeSan => Some(BaselineKind::TypeSan),
             SanitizerKind::HexType => Some(BaselineKind::HexType),
             SanitizerKind::Cets => Some(BaselineKind::Cets),
             _ => None,
+        }
+    }
+
+    /// The substrate allocator quarantine (freed blocks whose reuse is
+    /// delayed) this tool runs with by default: AddressSanitizer's bounded
+    /// quarantine, Memcheck's much larger freelist, and no quarantine for
+    /// everything else (the EffectiveSan default — reuse-after-free
+    /// detection then relies on the type mismatch alone, §5).
+    pub fn default_quarantine_blocks(self) -> usize {
+        match self {
+            SanitizerKind::AddressSanitizer => baselines::ASAN_QUARANTINE,
+            SanitizerKind::Memcheck => baselines::MEMCHECK_FREELIST_BLOCKS,
+            _ => 0,
         }
     }
 
@@ -134,7 +166,15 @@ impl SanitizerKind {
                 optimize: true,
                 ..PassConfig::disabled()
             },
+            SanitizerKind::EffectiveEscapesOff => PassConfig {
+                bounds_check_escapes: false,
+                ..SanitizerKind::EffectiveFull.config()
+            },
             SanitizerKind::AddressSanitizer => PassConfig {
+                access_check: true,
+                ..PassConfig::disabled()
+            },
+            SanitizerKind::Memcheck => PassConfig {
                 access_check: true,
                 ..PassConfig::disabled()
             },
@@ -150,6 +190,16 @@ impl SanitizerKind {
                 narrow_fields: true,
                 bounds_check_accesses: true,
                 optimize: true,
+                ..PassConfig::disabled()
+            },
+            SanitizerKind::Mpx => PassConfig {
+                // MPX checks dereferences against allocation bounds but
+                // does not narrow to fields, and its compiler pass performs
+                // none of the §6 redundant-check optimizations — together
+                // with the bound-table spills this is what puts it near the
+                // paper's ~200% reference point despite hardware support.
+                input_check: InputCheck::BoundsGet,
+                bounds_check_accesses: true,
                 ..PassConfig::disabled()
             },
             SanitizerKind::TypeSan => PassConfig {
@@ -212,9 +262,14 @@ impl FromStr for SanitizerKind {
             }
             "effectivesan-bounds" | "effective-bounds" | "bounds" => SanitizerKind::EffectiveBounds,
             "effectivesan-type" | "effective-type" | "type" => SanitizerKind::EffectiveType,
+            "effectivesan-escapes-off" | "effective-escapes-off" | "escapes-off" | "no-escapes" => {
+                SanitizerKind::EffectiveEscapesOff
+            }
             "addresssanitizer" | "asan" => SanitizerKind::AddressSanitizer,
+            "memcheck" | "valgrind" => SanitizerKind::Memcheck,
             "lowfat" | "low-fat" => SanitizerKind::LowFat,
             "softbound" => SanitizerKind::SoftBound,
+            "mpx" | "intel-mpx" | "intelmpx" => SanitizerKind::Mpx,
             "typesan" | "caver" => SanitizerKind::TypeSan,
             "hextype" => SanitizerKind::HexType,
             "cets" => SanitizerKind::Cets,
@@ -291,7 +346,7 @@ mod tests {
 
     #[test]
     fn all_covers_every_kind() {
-        assert_eq!(SanitizerKind::ALL.len(), 10);
+        assert_eq!(SanitizerKind::ALL.len(), 13);
     }
 
     #[test]
@@ -327,9 +382,22 @@ mod tests {
             "none".parse::<SanitizerKind>().unwrap(),
             SanitizerKind::None
         );
-        let err = "mpx".parse::<SanitizerKind>().unwrap_err();
-        assert!(err.to_string().contains("mpx"));
+        assert_eq!(
+            "valgrind".parse::<SanitizerKind>().unwrap(),
+            SanitizerKind::Memcheck
+        );
+        assert_eq!(
+            "intel-mpx".parse::<SanitizerKind>().unwrap(),
+            SanitizerKind::Mpx
+        );
+        assert_eq!(
+            "escapes-off".parse::<SanitizerKind>().unwrap(),
+            SanitizerKind::EffectiveEscapesOff
+        );
+        let err = "dataflowsan".parse::<SanitizerKind>().unwrap_err();
+        assert!(err.to_string().contains("dataflowsan"));
         assert!(err.to_string().contains("EffectiveSan"));
+        assert!(err.to_string().contains("Memcheck"));
     }
 
     #[test]
@@ -342,8 +410,57 @@ mod tests {
             SanitizerKind::Cets.baseline_kind(),
             Some(BaselineKind::Cets)
         );
+        assert_eq!(
+            SanitizerKind::Memcheck.baseline_kind(),
+            Some(BaselineKind::Memcheck)
+        );
+        assert_eq!(SanitizerKind::Mpx.baseline_kind(), Some(BaselineKind::Mpx));
         assert_eq!(SanitizerKind::EffectiveFull.baseline_kind(), None);
+        assert_eq!(SanitizerKind::EffectiveEscapesOff.baseline_kind(), None);
         assert_eq!(SanitizerKind::None.baseline_kind(), None);
+    }
+
+    #[test]
+    fn escapes_off_is_full_minus_escape_checks() {
+        let full = SanitizerKind::EffectiveFull.config();
+        let off = SanitizerKind::EffectiveEscapesOff.config();
+        assert!(!off.bounds_check_escapes);
+        assert_eq!(
+            PassConfig {
+                bounds_check_escapes: true,
+                ..off
+            },
+            full
+        );
+        assert!(SanitizerKind::EffectiveEscapesOff.is_effective());
+    }
+
+    #[test]
+    fn mpx_checks_allocation_bounds_without_narrowing_or_optimizing() {
+        let mpx = SanitizerKind::Mpx.config();
+        assert_eq!(mpx.input_check, InputCheck::BoundsGet);
+        assert!(mpx.bounds_check_accesses);
+        assert!(!mpx.narrow_fields);
+        assert!(!mpx.bounds_check_escapes);
+        assert!(!mpx.optimize, "MPX's pass does not optimize checks");
+    }
+
+    #[test]
+    fn quarantine_defaults_follow_the_tools_allocators() {
+        assert_eq!(
+            SanitizerKind::AddressSanitizer.default_quarantine_blocks(),
+            baselines::ASAN_QUARANTINE
+        );
+        assert_eq!(
+            SanitizerKind::Memcheck.default_quarantine_blocks(),
+            baselines::MEMCHECK_FREELIST_BLOCKS
+        );
+        assert!(
+            SanitizerKind::Memcheck.default_quarantine_blocks()
+                > SanitizerKind::AddressSanitizer.default_quarantine_blocks()
+        );
+        assert_eq!(SanitizerKind::EffectiveFull.default_quarantine_blocks(), 0);
+        assert_eq!(SanitizerKind::Cets.default_quarantine_blocks(), 0);
     }
 
     #[test]

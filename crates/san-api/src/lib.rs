@@ -3,9 +3,10 @@
 //! The unified sanitizer backend API of the EffectiveSan reproduction.
 //!
 //! The paper evaluates one tool against a family of others —
-//! AddressSanitizer, LowFat, SoftBound, TypeSan, HexType, CETS (Figure 1,
-//! §6.2) — all running the same workloads.  This crate makes that
-//! comparison architectural rather than ad hoc:
+//! AddressSanitizer, Valgrind Memcheck, LowFat, SoftBound, Intel MPX,
+//! TypeSan, HexType, CETS (Figure 1, §6.2) — all running the same
+//! workloads.  This crate makes that comparison architectural rather than
+//! ad hoc:
 //!
 //! * [`Sanitizer`] — the complete instrumentation-hook surface
 //!   (allocation lifecycle, type/cast checks, bounds propagation,

@@ -1,8 +1,10 @@
 //! The string-keyed backend registry.
 //!
-//! Every sanitizer the reproduction models — the three EffectiveSan
-//! variants, the uninstrumented baseline, and the six comparison tools of
-//! §6.2 — is registered here under its stable [`SanitizerKind::name`].
+//! Every sanitizer the reproduction models — the four EffectiveSan
+//! variants (full / bounds / type / escapes-off), the uninstrumented
+//! baseline, and the eight comparison tools (ASan, Memcheck, LowFat,
+//! SoftBound, MPX, TypeSan, HexType, CETS) — is registered here under its
+//! stable [`SanitizerKind::name`].
 //! Pipelines, bench binaries and workloads construct backends by kind or
 //! by name instead of hard-wiring runtime types, so adding a backend means
 //! adding one registry entry (plus its [`Sanitizer`] impl).
@@ -105,6 +107,10 @@ mod tests {
         assert_eq!(backend.kind(), SanitizerKind::EffectiveFull);
         let backend = build_by_name("asan", types(), RuntimeConfig::default()).unwrap();
         assert_eq!(backend.kind(), SanitizerKind::AddressSanitizer);
-        assert!(build_by_name("valgrind", types(), RuntimeConfig::default()).is_err());
+        let backend = build_by_name("valgrind", types(), RuntimeConfig::default()).unwrap();
+        assert_eq!(backend.kind(), SanitizerKind::Memcheck);
+        let backend = build_by_name("mpx", types(), RuntimeConfig::default()).unwrap();
+        assert_eq!(backend.kind(), SanitizerKind::Mpx);
+        assert!(build_by_name("dataflowsan", types(), RuntimeConfig::default()).is_err());
     }
 }

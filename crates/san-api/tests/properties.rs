@@ -1,7 +1,10 @@
 //! Property tests for the backend-uniform bounds contract: for **every**
-//! backend in the registry, `bounds_narrow` never widens bounds, and
-//! bounds narrowed to in-allocation field ranges stay inside the
-//! allocation (paper Fig. 3(e): narrowing is interval intersection).
+//! backend in the registry — all 13 of them, including the Memcheck, MPX
+//! and EffectiveSan-escapes-off additions — `bounds_narrow` never widens
+//! bounds, and bounds narrowed to in-allocation field ranges stay inside
+//! the allocation (paper Fig. 3(e): narrowing is interval intersection).
+//! The registry name round-trip (`Display` → `FromStr`) is property-tested
+//! over the same set, so by-name backend selection covers every kind.
 
 use std::sync::Arc;
 
@@ -9,10 +12,27 @@ use effective_runtime::{Bounds, RuntimeConfig};
 use effective_types::{Type, TypeRegistry};
 use lowfat::AllocKind;
 use proptest::prelude::*;
-use san_api::registry;
+use san_api::{registry, SanitizerKind};
 
 fn types() -> Arc<TypeRegistry> {
     Arc::new(TypeRegistry::new())
+}
+
+/// The registry-driven properties below iterate `registry()`; this pins
+/// down that the iteration really includes the three backends added on top
+/// of the original ten, so their bounds behaviour cannot silently drop out
+/// of the property coverage.
+#[test]
+fn property_coverage_includes_the_three_new_backends() {
+    let kinds: Vec<SanitizerKind> = registry().iter().map(|e| e.kind()).collect();
+    assert_eq!(kinds.len(), 13);
+    for kind in [
+        SanitizerKind::Memcheck,
+        SanitizerKind::Mpx,
+        SanitizerKind::EffectiveEscapesOff,
+    ] {
+        assert!(kinds.contains(&kind), "{kind} missing from the registry");
+    }
 }
 
 /// Is `inner` contained in `outer`, treating empty ranges as contained
@@ -92,6 +112,25 @@ proptest! {
             );
             prop_assert!(within(renarrowed, alloc), "{}: escaped allocation", entry.name());
         }
+    }
+
+    /// Every registered backend's display name parses back to the same
+    /// kind regardless of casing — the registry-key contract that
+    /// `SAN_BACKENDS` and the bench CLIs rely on, covering all 13 kinds
+    /// (including Memcheck, MPX and the escapes-off ablation).
+    #[test]
+    fn registry_names_round_trip(idx in 0usize..13) {
+        let kind = SanitizerKind::ALL[idx];
+        let rendered = kind.to_string();
+        prop_assert_eq!(rendered.parse::<SanitizerKind>().unwrap(), kind);
+        prop_assert_eq!(
+            rendered.to_uppercase().parse::<SanitizerKind>().unwrap(),
+            kind
+        );
+        prop_assert_eq!(
+            rendered.to_lowercase().parse::<SanitizerKind>().unwrap(),
+            kind
+        );
     }
 
     /// The bounds a backend hands out for a live tracked allocation never

@@ -124,6 +124,9 @@ pub struct CostModel {
     pub bounds_check: f64,
     /// Cost of a `bounds_narrow`.
     pub bounds_narrow: f64,
+    /// Cost of a bound-table load on a bounds-register-file miss (the
+    /// Intel-MPX model's `BNDLDX`, a two-level table walk).
+    pub bounds_table_load: f64,
     /// Cost of a baseline per-access (shadow-memory) check.
     pub access_check: f64,
     /// Cost of an allocation.
@@ -152,6 +155,7 @@ impl Default for CostModel {
             bounds_get: 16.0,
             bounds_check: 6.0,
             bounds_narrow: 3.0,
+            bounds_table_load: 30.0,
             access_check: 6.0,
             allocation: 80.0,
             typed_allocation_extra: 60.0,
@@ -174,6 +178,7 @@ impl CostModel {
         c += checks.bounds_gets as f64 * self.bounds_get;
         c += checks.bounds_checks as f64 * self.bounds_check;
         c += checks.bounds_narrows as f64 * self.bounds_narrow;
+        c += checks.bounds_table_loads as f64 * self.bounds_table_load;
         c += checks.access_checks as f64 * self.access_check;
         c += checks.typed_allocations as f64 * self.typed_allocation_extra;
         c

@@ -3,7 +3,7 @@
 //!
 //! Run with: `cargo run --release --example spec_like`
 
-use effective_san::{spec_experiment, SanitizerKind, Scale};
+use effective_san::{spec_experiment, Parallelism, SanitizerKind, Scale};
 
 fn main() {
     let names = ["perlbench", "gcc", "h264ref", "xalancbmk", "soplex", "lbm"];
@@ -17,7 +17,12 @@ fn main() {
         "running {} synthetic SPEC-like workloads (scale: small)…\n",
         names.len()
     );
-    let experiment = spec_experiment(Some(&names), Scale::Small, &sanitizers);
+    let experiment = spec_experiment(
+        Some(&names),
+        Scale::Small,
+        &sanitizers,
+        Parallelism::Parallel,
+    );
 
     println!(
         "{:<12} {:>8} {:>12} {:>12} {:>8} {:>10} {:>10} {:>10}",

@@ -2,7 +2,7 @@
 //! runtime → reporting, exercised through the `effective-san` façade.
 
 use effective_san::{
-    capability_matrix, run_matrix, run_source, spec_experiment, ErrorKind, RunConfig,
+    capability_matrix, run_matrix, run_source, spec_experiment, ErrorKind, Parallelism, RunConfig,
     SanitizerKind, Scale,
 };
 
@@ -143,6 +143,7 @@ fn spec_slice_reproduces_issue_profile() {
         Some(&["gobmk", "perlbench", "soplex"]),
         Scale::Test,
         &[SanitizerKind::None, SanitizerKind::EffectiveFull],
+        Parallelism::Parallel,
     );
     let row = |name: &str| {
         experiment
@@ -162,6 +163,28 @@ fn spec_slice_reproduces_issue_profile() {
     assert!(soplex.errors.issues_of(ErrorKind::SubObjectBoundsOverflow) >= 1);
     // High coverage: only a small fraction of checks are on legacy pointers.
     assert!(perl.legacy_check_fraction < 0.25);
+}
+
+/// Clean benchmarks must stay clean under *every* registered backend — the
+/// no-false-positives contract holds on real workloads, not just on the
+/// conformance suite's toy program.
+#[test]
+fn clean_benchmarks_stay_clean_under_every_backend() {
+    let experiment = spec_experiment(
+        Some(&["mcf", "gobmk"]),
+        Scale::Test,
+        &SanitizerKind::ALL,
+        Parallelism::Parallel,
+    );
+    for row in &experiment.rows {
+        for report in &row.reports {
+            assert_eq!(
+                report.errors.distinct_issues, 0,
+                "{} false positive on clean benchmark {}: {:?}",
+                report.sanitizer, row.name, report.diagnostics
+            );
+        }
+    }
 }
 
 /// Baseline sanitizers run the same workloads without false positives on

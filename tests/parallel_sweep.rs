@@ -1,0 +1,93 @@
+//! Determinism contract of the parallel (benchmark × backend) sweep:
+//! fanning the backends of a benchmark out across scoped threads must
+//! produce results indistinguishable from the sequential run — identical
+//! `SanStats`, error statistics, structured diagnostics, program results,
+//! cost-model estimates and memory figures — for **every** backend in the
+//! registry.  Only wall-clock time may differ.
+
+use effective_san::{spec_experiment, Parallelism, SanitizerKind, Scale};
+
+/// Benchmarks chosen to cover a clean C workload plus the seeded C and C++
+/// bug profiles, so the comparison exercises diagnostics, not just counters.
+const BENCHMARKS: [&str; 2] = ["h264ref", "xalancbmk"];
+
+#[test]
+fn parallel_sweep_is_byte_identical_to_sequential_for_every_backend() {
+    let sequential = spec_experiment(
+        Some(&BENCHMARKS),
+        Scale::Test,
+        &SanitizerKind::ALL,
+        Parallelism::Sequential,
+    );
+    let parallel = spec_experiment(
+        Some(&BENCHMARKS),
+        Scale::Test,
+        &SanitizerKind::ALL,
+        Parallelism::Parallel,
+    );
+
+    assert_eq!(sequential.rows.len(), parallel.rows.len());
+    for (seq_row, par_row) in sequential.rows.iter().zip(&parallel.rows) {
+        assert_eq!(seq_row.name, par_row.name);
+        assert_eq!(seq_row.reports.len(), SanitizerKind::ALL.len());
+        assert_eq!(par_row.reports.len(), SanitizerKind::ALL.len());
+        for (seq, par) in seq_row.reports.iter().zip(&par_row.reports) {
+            let ctx = format!("{} under {}", seq_row.name, seq.sanitizer);
+            assert_eq!(seq.sanitizer, par.sanitizer, "report order differs");
+            assert_eq!(seq.result, par.result, "{ctx}: program result");
+            assert_eq!(seq.vm_error, par.vm_error, "{ctx}: vm error");
+            assert_eq!(seq.exec, par.exec, "{ctx}: VM event counters");
+            assert_eq!(seq.checks, par.checks, "{ctx}: SanStats");
+            assert_eq!(seq.errors, par.errors, "{ctx}: error statistics");
+            assert_eq!(seq.diagnostics, par.diagnostics, "{ctx}: diagnostics");
+            assert_eq!(seq.cost, par.cost, "{ctx}: cost estimate");
+            assert_eq!(
+                seq.peak_memory_bytes, par.peak_memory_bytes,
+                "{ctx}: peak memory"
+            );
+            assert_eq!(seq.static_checks, par.static_checks, "{ctx}: static checks");
+            assert_eq!(
+                seq.legacy_check_fraction, par.legacy_check_fraction,
+                "{ctx}: legacy fraction"
+            );
+        }
+    }
+}
+
+/// The same sweep through the `SAN_BACKENDS`-aware default set: exercises
+/// the env-var selection path end to end (CI runs the suite once with a
+/// non-default subset), and keeps parallel == sequential there too.
+#[test]
+fn env_selected_backend_sweep_is_deterministic() {
+    let backends = effective_san::default_backends();
+    assert!(!backends.is_empty());
+    let sequential = spec_experiment(
+        Some(&["mcf"]),
+        Scale::Test,
+        &backends,
+        Parallelism::Sequential,
+    );
+    let parallel = spec_experiment(
+        Some(&["mcf"]),
+        Scale::Test,
+        &backends,
+        Parallelism::Parallel,
+    );
+    let seq_row = &sequential.rows[0];
+    let par_row = &parallel.rows[0];
+    assert_eq!(seq_row.reports.len(), backends.len());
+    for (seq, par, &kind) in seq_row
+        .reports
+        .iter()
+        .zip(&par_row.reports)
+        .zip(&backends)
+        .map(|((a, b), c)| (a, b, c))
+    {
+        assert_eq!(seq.sanitizer, kind);
+        assert_eq!(par.sanitizer, kind);
+        assert_eq!(seq.checks, par.checks, "{kind}: SanStats");
+        assert_eq!(seq.errors, par.errors, "{kind}: error statistics");
+        assert_eq!(seq.diagnostics, par.diagnostics, "{kind}: diagnostics");
+        assert_eq!(seq.result, par.result, "{kind}: program result");
+    }
+}
