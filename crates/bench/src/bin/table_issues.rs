@@ -1,43 +1,63 @@
 //! Regenerate the §6.1/§6.3 issue taxonomy: which error classes were found
 //! in which benchmark, versus the paper's findings.
+//!
+//! With `--json`, renders `RunReport.diagnostics` per issue instead — the
+//! structured kind / expected / observed / offset / bounds fields — as a
+//! JSON array on stdout (the sweep subsystem's hand-rolled encoder; the
+//! serde shim is a no-op).  Backend-name arguments select exactly which
+//! backends run and are reported (default: EffectiveSan); in table mode
+//! each backend gets its own taxonomy table.
 
 use effective_san::workloads::SpecBenchmark;
 use effective_san::{issue_breakdown, spec_experiment, SanitizerKind};
 
 fn main() {
     let scale = bench::scale_from_env();
-    println!("§6.1 issue taxonomy (scale {scale:?})\n");
-    let experiment = spec_experiment(
-        None,
-        scale,
-        &[SanitizerKind::EffectiveFull],
-        bench::parallelism_from_env(),
-    );
-    let breakdown = issue_breakdown(&experiment, SanitizerKind::EffectiveFull);
+    let json = std::env::args().skip(1).any(|a| a == "--json");
+    let backends = {
+        // Everything but `--json` is a backend name, as in the other bins.
+        let named: Vec<String> = std::env::args().skip(1).filter(|a| a != "--json").collect();
+        if named.is_empty() {
+            vec![SanitizerKind::EffectiveFull]
+        } else {
+            bench::parse_backend_names(&named)
+        }
+    };
+    let experiment = spec_experiment(None, scale, &backends, bench::parallelism_from_env());
 
-    println!(
-        "{:<12} {:>8} {:>10}  classes found",
-        "benchmark", "paper", "measured"
-    );
-    bench::rule(100);
-    for bench_def in SpecBenchmark::all() {
-        let classes = breakdown.get(bench_def.name).cloned().unwrap_or_default();
-        let measured: u64 = classes.iter().map(|(_, n)| n).sum();
-        let rendered: Vec<String> = classes
-            .iter()
-            .filter(|(_, n)| *n > 0)
-            .map(|(k, n)| format!("{k}={n}"))
-            .collect();
-        println!(
-            "{:<12} {:>8} {:>10}  {}",
-            bench_def.name,
-            bench_def.paper_issues,
-            measured,
-            rendered.join(", ")
-        );
+    if json {
+        println!("{}", sweep::json::experiment_issues_json(&experiment, None));
+        return;
     }
-    bench::rule(100);
-    println!("\nSeeded-bug catalogue (what each class models in the paper):");
+
+    println!("§6.1 issue taxonomy (scale {scale:?})\n");
+    for &backend in &backends {
+        let breakdown = issue_breakdown(&experiment, backend);
+        println!(
+            "{:<12} {:>8} {:>10}  classes found under {}",
+            "benchmark", "paper", "measured", backend
+        );
+        bench::rule(100);
+        for bench_def in SpecBenchmark::all() {
+            let classes = breakdown.get(bench_def.name).cloned().unwrap_or_default();
+            let measured: u64 = classes.iter().map(|(_, n)| n).sum();
+            let rendered: Vec<String> = classes
+                .iter()
+                .filter(|(_, n)| *n > 0)
+                .map(|(k, n)| format!("{k}={n}"))
+                .collect();
+            println!(
+                "{:<12} {:>8} {:>10}  {}",
+                bench_def.name,
+                bench_def.paper_issues,
+                measured,
+                rendered.join(", ")
+            );
+        }
+        bench::rule(100);
+        println!();
+    }
+    println!("Seeded-bug catalogue (what each class models in the paper):");
     for bug in effective_san::workloads::catalogue() {
         println!("  {:<26} {}", bug.id, bug.models);
     }

@@ -31,25 +31,41 @@ pub fn scale_from_env() -> Scale {
     }
 }
 
-/// Parse sanitizer backend names from the command line (every spelling
-/// `SanitizerKind`'s `FromStr` accepts: registry names, `asan`, `full`,
-/// `bounds`, `memcheck`, `mpx`, `escapes-off`, …), falling back to the
+/// Parse explicit backend names (every spelling `SanitizerKind`'s
+/// `FromStr` accepts: registry names, `asan`, `full`, `bounds`,
+/// `memcheck`, `mpx`, `escapes-off`, …).  On an unknown name, prints the
+/// error (which lists the registered backends) and exits with status 2;
+/// a duplicated backend — even under two spellings — is likewise rejected
+/// rather than silently run twice.
+pub fn parse_backend_names(names: &[String]) -> Vec<SanitizerKind> {
+    let mut kinds: Vec<SanitizerKind> = Vec::new();
+    for arg in names {
+        let kind: SanitizerKind = arg.parse().unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(2);
+        });
+        if kinds.contains(&kind) {
+            let err = effective_san::BackendListError::Duplicate {
+                name: arg.clone(),
+                kind,
+            };
+            eprintln!("{err}");
+            std::process::exit(2);
+        }
+        kinds.push(kind);
+    }
+    kinds
+}
+
+/// Parse sanitizer backend names from the command line
+/// ([`parse_backend_names`] over the arguments), falling back to the
 /// `SAN_BACKENDS` environment variable when no arguments were given.
-/// Returns an empty list when neither selects anything; on an unknown
-/// name, prints the error (which lists the registered backends) and exits
-/// with status 2.
+/// Returns an empty list when neither selects anything; unknown or
+/// duplicated names print the error and exit with status 2.
 pub fn backends_from_args() -> Vec<SanitizerKind> {
-    let from_args: Vec<SanitizerKind> = std::env::args()
-        .skip(1)
-        .map(|arg| {
-            arg.parse().unwrap_or_else(|e| {
-                eprintln!("{e}");
-                std::process::exit(2);
-            })
-        })
-        .collect();
-    if !from_args.is_empty() {
-        return from_args;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if !args.is_empty() {
+        return parse_backend_names(&args);
     }
     match std::env::var("SAN_BACKENDS") {
         Ok(list) => effective_san::parse_backend_list(&list).unwrap_or_else(|e| {
@@ -61,8 +77,9 @@ pub fn backends_from_args() -> Vec<SanitizerKind> {
 }
 
 /// Resolve the sweep execution mode from the `SAN_PARALLEL` environment
-/// variable (`0`/`false`/`off`/`no`/`sequential` disable the per-backend
-/// threads; the default is parallel).
+/// variable (`sequential`/`off`/… disable the per-backend threads; the
+/// default is parallel).  An unrecognised value panics with the accepted
+/// spellings rather than silently selecting a mode.
 pub fn parallelism_from_env() -> Parallelism {
     Parallelism::from_env()
 }

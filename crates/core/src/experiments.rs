@@ -38,32 +38,129 @@ impl Parallelism {
         matches!(self, Parallelism::Parallel)
     }
 
-    /// Resolve the mode from the `SAN_PARALLEL` environment variable:
-    /// `0`, `false`, `off`, `no` or `sequential` select
-    /// [`Parallelism::Sequential`]; anything else (including unset) selects
-    /// [`Parallelism::Parallel`].
+    /// Resolve the mode from the `SAN_PARALLEL` environment variable.
+    /// Unset or empty selects the default ([`Parallelism::Parallel`]);
+    /// any other value must be one of the spellings [`Parallelism`]'s
+    /// `FromStr` accepts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseParallelismError`] — naming the bad value and the
+    /// accepted forms — when the variable is set to an unknown spelling.
+    /// (Unknown values used to silently select `Parallel`, which made a
+    /// typo like `SAN_PARALLEL=sequental` benchmark the wrong mode.)
+    pub fn try_from_env() -> Result<Self, ParseParallelismError> {
+        match std::env::var("SAN_PARALLEL") {
+            Ok(value) if !value.is_empty() => value.parse(),
+            _ => Ok(Parallelism::default()),
+        }
+    }
+
+    /// [`Parallelism::try_from_env`], panicking with the descriptive parse
+    /// error on an invalid value — a typo in the environment should be
+    /// loud, not silently benchmark the wrong mode.
     pub fn from_env() -> Self {
-        match std::env::var("SAN_PARALLEL")
-            .unwrap_or_default()
-            .to_lowercase()
-            .as_str()
-        {
-            "0" | "false" | "off" | "no" | "sequential" => Parallelism::Sequential,
-            _ => Parallelism::Parallel,
+        Self::try_from_env().unwrap_or_else(|e| panic!("invalid SAN_PARALLEL value: {e}"))
+    }
+}
+
+/// Error returned when a string names no [`Parallelism`] mode.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseParallelismError {
+    /// The value that failed to parse.
+    pub value: String,
+}
+
+impl std::fmt::Display for ParseParallelismError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown parallelism `{}` (accepted: `parallel`/`1`/`true`/`on`/`yes` or \
+             `sequential`/`seq`/`0`/`false`/`off`/`no`, case-insensitive)",
+            self.value
+        )
+    }
+}
+
+impl std::error::Error for ParseParallelismError {}
+
+impl std::str::FromStr for Parallelism {
+    type Err = ParseParallelismError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_lowercase().as_str() {
+            "0" | "false" | "off" | "no" | "seq" | "sequential" => Ok(Parallelism::Sequential),
+            "1" | "true" | "on" | "yes" | "parallel" => Ok(Parallelism::Parallel),
+            _ => Err(ParseParallelismError {
+                value: s.to_string(),
+            }),
         }
     }
 }
 
+/// Error returned by [`parse_backend_list`]: either a name that matches no
+/// registered backend, or the same backend selected twice.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BackendListError {
+    /// A segment of the list named no registered backend.
+    Unknown(ParseSanitizerKindError),
+    /// The same backend appeared twice (possibly under two spellings).
+    Duplicate {
+        /// The spelling of the second occurrence.
+        name: String,
+        /// The backend both spellings resolve to.
+        kind: SanitizerKind,
+    },
+}
+
+impl std::fmt::Display for BackendListError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BackendListError::Unknown(e) => e.fmt(f),
+            BackendListError::Duplicate { name, kind } => write!(
+                f,
+                "duplicate backend `{name}`: `{kind}` is already selected \
+                 (each backend runs once per sweep; drop the repeated name)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BackendListError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BackendListError::Unknown(e) => Some(e),
+            BackendListError::Duplicate { .. } => None,
+        }
+    }
+}
+
+impl From<ParseSanitizerKindError> for BackendListError {
+    fn from(e: ParseSanitizerKindError) -> Self {
+        BackendListError::Unknown(e)
+    }
+}
+
 /// Parse a comma/whitespace-separated list of backend names (any spelling
-/// [`SanitizerKind`]'s `FromStr` accepts).  Duplicates are kept in order of
-/// first appearance; empty segments are skipped.
-pub fn parse_backend_list(list: &str) -> Result<Vec<SanitizerKind>, ParseSanitizerKindError> {
+/// [`SanitizerKind`]'s `FromStr` accepts).  Empty segments are skipped.
+///
+/// # Errors
+///
+/// Returns [`BackendListError`] on an unknown name or when the same backend
+/// is named twice — a duplicate used to be silently dropped, which hid the
+/// fact that e.g. `SAN_BACKENDS="asan,AddressSanitizer"` runs one backend,
+/// not two.
+pub fn parse_backend_list(list: &str) -> Result<Vec<SanitizerKind>, BackendListError> {
     let mut kinds = Vec::new();
     for name in list.split([',', ' ', '\t']).filter(|s| !s.is_empty()) {
         let kind: SanitizerKind = name.parse()?;
-        if !kinds.contains(&kind) {
-            kinds.push(kind);
+        if kinds.contains(&kind) {
+            return Err(BackendListError::Duplicate {
+                name: name.to_string(),
+                kind,
+            });
         }
+        kinds.push(kind);
     }
     Ok(kinds)
 }
@@ -94,7 +191,7 @@ pub fn default_backends() -> Vec<SanitizerKind> {
 }
 
 /// Results for one SPEC-like benchmark under several sanitizers.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug, PartialEq, Serialize)]
 pub struct SpecRow {
     /// Benchmark name.
     pub name: String,
@@ -524,8 +621,8 @@ mod tests {
     }
 
     #[test]
-    fn parse_backend_list_accepts_separators_aliases_and_dedupes() {
-        let kinds = parse_backend_list("EffectiveSan, asan Memcheck\tmpx,asan").unwrap();
+    fn parse_backend_list_accepts_separators_and_aliases() {
+        let kinds = parse_backend_list("EffectiveSan, asan Memcheck\tmpx").unwrap();
         assert_eq!(
             kinds,
             vec![
@@ -539,6 +636,37 @@ mod tests {
         assert_eq!(parse_backend_list(" ,, ").unwrap(), vec![]);
         let err = parse_backend_list("asan,notatool").unwrap_err();
         assert!(err.to_string().contains("notatool"));
+    }
+
+    #[test]
+    fn parse_backend_list_rejects_duplicates_even_across_aliases() {
+        let err = parse_backend_list("EffectiveSan,asan,AddressSanitizer").unwrap_err();
+        assert_eq!(
+            err,
+            BackendListError::Duplicate {
+                name: "AddressSanitizer".to_string(),
+                kind: SanitizerKind::AddressSanitizer,
+            }
+        );
+        let rendered = err.to_string();
+        assert!(rendered.contains("duplicate backend `AddressSanitizer`"));
+        assert!(rendered.contains("once per sweep"));
+    }
+
+    #[test]
+    fn parallelism_parses_named_forms_and_rejects_typos() {
+        assert_eq!("parallel".parse::<Parallelism>(), Ok(Parallelism::Parallel));
+        assert_eq!("ON".parse::<Parallelism>(), Ok(Parallelism::Parallel));
+        assert_eq!(
+            "sequential".parse::<Parallelism>(),
+            Ok(Parallelism::Sequential)
+        );
+        assert_eq!(" off ".parse::<Parallelism>(), Ok(Parallelism::Sequential));
+        let err = "sequental".parse::<Parallelism>().unwrap_err();
+        let rendered = err.to_string();
+        assert!(rendered.contains("sequental"));
+        assert!(rendered.contains("`parallel`"));
+        assert!(rendered.contains("`sequential`"));
     }
 
     #[test]

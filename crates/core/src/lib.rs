@@ -59,7 +59,8 @@ pub use capability::{capability_matrix, CapabilityRow, Coverage, ErrorColumn};
 pub use experiments::{
     backends_from_env, default_backends, firefox_experiment, issue_breakdown, parse_backend_list,
     sanitizers_with_baseline, spec_experiment, tool_comparison, tool_comparison_with,
-    FirefoxExperiment, Parallelism, SpecExperiment, SpecRow, ToolComparison,
+    BackendListError, FirefoxExperiment, Parallelism, ParseParallelismError, SpecExperiment,
+    SpecRow, ToolComparison,
 };
 pub use pipeline::{
     compile, geometric_mean_overhead, instrument, run_matrix, run_program, run_source, RunConfig,

@@ -64,7 +64,7 @@ impl RunConfig {
 }
 
 /// The outcome of one instrumented execution.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug, PartialEq, Serialize)]
 pub struct RunReport {
     /// The sanitizer used.
     pub sanitizer: SanitizerKind,

@@ -98,6 +98,42 @@ impl fmt::Display for ErrorKind {
     }
 }
 
+/// Error returned when a string does not name an [`ErrorKind`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseErrorKindError {
+    /// The string that failed to parse.
+    pub name: String,
+}
+
+impl fmt::Display for ParseErrorKindError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown error kind `{}` (known: {})",
+            self.name,
+            ErrorKind::all().map(|k| k.name()).join(", ")
+        )
+    }
+}
+
+impl std::error::Error for ParseErrorKindError {}
+
+impl std::str::FromStr for ErrorKind {
+    type Err = ParseErrorKindError;
+
+    /// Parse the stable [`ErrorKind::name`] spelling back into the kind
+    /// (exact match; `name().parse()` round-trips).  Used by the sweep
+    /// wire format to decode diagnostics sent between processes.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        ErrorKind::all()
+            .into_iter()
+            .find(|k| k.name() == s)
+            .ok_or_else(|| ParseErrorKindError {
+                name: s.to_string(),
+            })
+    }
+}
+
 /// A single logged issue.
 #[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ErrorRecord {

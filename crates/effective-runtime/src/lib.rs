@@ -52,5 +52,8 @@ pub mod errors;
 pub mod runtime;
 
 pub use bounds::Bounds;
-pub use errors::{ErrorKind, ErrorRecord, ErrorReporter, ErrorStats, ReportMode, ReporterConfig};
+pub use errors::{
+    ErrorKind, ErrorRecord, ErrorReporter, ErrorStats, ParseErrorKindError, ReportMode,
+    ReporterConfig,
+};
 pub use runtime::{CheckStats, RuntimeConfig, TypeCheckRuntime, META_SIZE};

@@ -1,0 +1,284 @@
+//! The `sweep` CLI: drive the paper's (benchmark × backend) experiments
+//! sharded across worker OS processes, and optionally verify the merged
+//! results against the in-process thread-parallel run.
+//!
+//! ```text
+//! sweep [--workers N] [--strategy static|queue] [--benchmarks a,b,c]
+//!       [--backends list] [--scale test|small|ref] [--experiment spec|tools]
+//!       [--max-attempts N] [--check] [--json]
+//! ```
+//!
+//! Workers are this same binary re-executed with `SAN_WORKER=1` (no
+//! separate install needed), unless `SWEEP_WORKER_BIN` points at a
+//! `sweep_worker` binary.  Backend selection falls back to the
+//! `SAN_BACKENDS` environment variable and in-worker threading honours
+//! `SAN_PARALLEL`, exactly like the in-process bench binaries.
+//!
+//! `--check` re-runs the same matrix in-process (thread-parallel) and
+//! diffs every merged field except wall time, exiting nonzero on any
+//! difference — CI runs this as the sharded-vs-parallel gate.
+
+use effective_san::{
+    default_backends, parse_backend_list, spec_experiment, Parallelism, SanitizerKind,
+};
+use sweep::coordinator::{ShardStrategy, SweepConfig, WorkerLaunch};
+use sweep::{diff_experiments, sharded_spec_experiment, sharded_tool_comparison};
+use workloads::Scale;
+
+struct Options {
+    workers: usize,
+    strategy: ShardStrategy,
+    benchmarks: Option<Vec<String>>,
+    backends: Vec<SanitizerKind>,
+    scale: Scale,
+    experiment: String,
+    max_attempts: usize,
+    check: bool,
+    json: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: sweep [--workers N] [--strategy static|queue] [--benchmarks a,b,c] \
+         [--backends list] [--scale test|small|ref] [--experiment spec|tools] \
+         [--max-attempts N] [--check] [--json]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_options() -> Options {
+    let mut opts = Options {
+        workers: std::thread::available_parallelism().map_or(2, |n| n.get().min(4)),
+        strategy: ShardStrategy::default(),
+        benchmarks: None,
+        backends: default_backends(),
+        scale: Scale::Small,
+        experiment: "spec".to_string(),
+        max_attempts: 3,
+        check: false,
+        json: false,
+    };
+    let mut args = std::env::args().skip(1);
+    let value = |args: &mut dyn Iterator<Item = String>, flag: &str| -> String {
+        args.next().unwrap_or_else(|| {
+            eprintln!("sweep: {flag} needs a value");
+            usage();
+        })
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workers" => {
+                opts.workers = value(&mut args, "--workers").parse().unwrap_or_else(|e| {
+                    eprintln!("sweep: bad --workers value: {e}");
+                    usage();
+                })
+            }
+            "--strategy" => {
+                opts.strategy = value(&mut args, "--strategy").parse().unwrap_or_else(|e| {
+                    eprintln!("sweep: {e}");
+                    usage();
+                })
+            }
+            "--benchmarks" => {
+                opts.benchmarks = Some(
+                    value(&mut args, "--benchmarks")
+                        .split(',')
+                        .filter(|s| !s.is_empty())
+                        .map(|s| s.to_string())
+                        .collect(),
+                )
+            }
+            "--backends" => {
+                opts.backends =
+                    parse_backend_list(&value(&mut args, "--backends")).unwrap_or_else(|e| {
+                        eprintln!("sweep: {e}");
+                        usage();
+                    })
+            }
+            "--scale" => {
+                opts.scale = match value(&mut args, "--scale").as_str() {
+                    "test" => Scale::Test,
+                    "small" => Scale::Small,
+                    "ref" | "reference" => Scale::Reference,
+                    other => {
+                        eprintln!("sweep: unknown scale `{other}` (test, small, ref)");
+                        usage();
+                    }
+                }
+            }
+            "--experiment" => {
+                opts.experiment = value(&mut args, "--experiment");
+                if opts.experiment != "spec" && opts.experiment != "tools" {
+                    eprintln!(
+                        "sweep: unknown experiment `{}` (spec, tools)",
+                        opts.experiment
+                    );
+                    usage();
+                }
+            }
+            "--max-attempts" => {
+                opts.max_attempts = value(&mut args, "--max-attempts")
+                    .parse()
+                    .unwrap_or_else(|e| {
+                        eprintln!("sweep: bad --max-attempts value: {e}");
+                        usage();
+                    })
+            }
+            "--check" => opts.check = true,
+            "--json" => opts.json = true,
+            _ => {
+                eprintln!("sweep: unknown argument `{arg}`");
+                usage();
+            }
+        }
+    }
+    opts
+}
+
+fn main() {
+    // Worker mode: the coordinator re-executed us with SAN_WORKER set.
+    if std::env::var_os(sweep::worker::WORKER_ENV).is_some() {
+        std::process::exit(sweep::worker::run_stdio());
+    }
+
+    let opts = parse_options();
+    let config = SweepConfig {
+        workers: opts.workers,
+        strategy: opts.strategy,
+        max_attempts: opts.max_attempts,
+        scale: opts.scale,
+        parallelism: Parallelism::from_env(),
+        // Honours SWEEP_WORKER_BIN and a sibling sweep_worker binary,
+        // falling back to SAN_WORKER=1 re-exec of this binary.
+        worker: WorkerLaunch::detect(),
+        worker_env: Vec::new(),
+    };
+    let names: Option<Vec<&str>> = opts
+        .benchmarks
+        .as_ref()
+        .map(|b| b.iter().map(|s| s.as_str()).collect());
+
+    if opts.experiment == "tools" {
+        if opts.json {
+            // Diagnostics JSON is a spec-experiment export; ignoring the
+            // flag here would silently drop a requested output.
+            eprintln!("sweep: --json is only supported with --experiment spec");
+            std::process::exit(2);
+        }
+        let names: Vec<&str> = names.unwrap_or_else(|| vec!["mcf", "h264ref", "xalancbmk"]);
+        let comparison =
+            sharded_tool_comparison(&names, &opts.backends, &config).unwrap_or_else(|e| {
+                eprintln!("sweep: {e}");
+                std::process::exit(1);
+            });
+        println!(
+            "§6.2 tool comparison, sharded across {} workers ({:?})",
+            config.workers, config.strategy
+        );
+        println!(
+            "{:<26} {:>12} {:>16}",
+            "tool", "overhead %", "dynamic checks"
+        );
+        for (kind, overhead, checks) in &comparison.tools {
+            println!("{:<26} {:>12.1} {:>16}", kind.name(), overhead, checks);
+        }
+        if opts.check {
+            let in_process = effective_san::tool_comparison_with(
+                &names,
+                opts.scale,
+                &opts.backends,
+                Parallelism::Parallel,
+            );
+            let mut diffs = Vec::new();
+            if comparison.tools.len() != in_process.tools.len() {
+                diffs.push(format!(
+                    "tool counts differ: {} vs {}",
+                    comparison.tools.len(),
+                    in_process.tools.len()
+                ));
+            }
+            for ((kind_a, overhead_a, checks_a), (kind_b, overhead_b, checks_b)) in
+                comparison.tools.iter().zip(&in_process.tools)
+            {
+                if kind_a != kind_b
+                    || overhead_a.to_bits() != overhead_b.to_bits()
+                    || checks_a != checks_b
+                {
+                    diffs.push(format!("{kind_a} vs {kind_b}: comparison rows differ"));
+                }
+            }
+            if diffs.is_empty() {
+                eprintln!(
+                    "check: sharded tool comparison == in-process across {} tools",
+                    comparison.tools.len()
+                );
+            } else {
+                eprintln!("check FAILED: {} differences", diffs.len());
+                for diff in diffs {
+                    eprintln!("  {diff}");
+                }
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    let sharded = sharded_spec_experiment(names.as_deref(), &opts.backends, &config)
+        .unwrap_or_else(|e| {
+            eprintln!("sweep: {e}");
+            std::process::exit(1);
+        });
+
+    if opts.json {
+        println!("{}", sweep::json::experiment_issues_json(&sharded, None));
+    } else {
+        println!(
+            "spec experiment at {:?}, {} benchmarks × {} backends, {} workers ({:?})",
+            opts.scale,
+            sharded.rows.len(),
+            opts.backends.len(),
+            config.workers,
+            config.strategy
+        );
+        println!(
+            "{:<12} {:<26} {:>14} {:>14} {:>8}",
+            "benchmark", "backend", "cost", "checks", "issues"
+        );
+        for row in &sharded.rows {
+            for report in &row.reports {
+                println!(
+                    "{:<12} {:<26} {:>14.0} {:>14} {:>8}",
+                    row.name,
+                    report.sanitizer.name(),
+                    report.cost,
+                    report.total_checks(),
+                    report.errors.distinct_issues
+                );
+            }
+        }
+    }
+
+    if opts.check {
+        let names: Vec<&str> = sharded.rows.iter().map(|r| r.name.as_str()).collect();
+        let in_process = spec_experiment(
+            Some(&names),
+            opts.scale,
+            &opts.backends,
+            Parallelism::Parallel,
+        );
+        let diffs = diff_experiments(&sharded, &in_process);
+        if diffs.is_empty() {
+            eprintln!(
+                "check: sharded == in-process parallel across {} rows × {} backends",
+                sharded.rows.len(),
+                opts.backends.len()
+            );
+        } else {
+            eprintln!("check FAILED: {} differences", diffs.len());
+            for diff in diffs {
+                eprintln!("  {diff}");
+            }
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,7 @@
+//! The sweep worker process: serves the coordinator/worker wire protocol
+//! on stdin/stdout until told `done`.  Spawned by the sweep coordinator;
+//! of no use interactively.
+
+fn main() {
+    std::process::exit(sweep::worker::run_stdio());
+}

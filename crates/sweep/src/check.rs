@@ -1,0 +1,88 @@
+//! Comparing two sweep results field by field — the machinery behind the
+//! `sweep --check` CLI mode and the `tests/sharded_sweep.rs` contract.
+//!
+//! Everything a [`effective_san::RunReport`] carries is compared except
+//! wall-clock time, which legitimately differs between processes; `cost`
+//! and the other `f64` fields are compared bit for bit.
+
+use effective_san::{RunReport, SpecExperiment};
+
+/// Compare two reports; pushes one human-readable line per differing
+/// field, prefixed with `context`.
+pub fn diff_reports(context: &str, a: &RunReport, b: &RunReport, diffs: &mut Vec<String>) {
+    let mut diff = |field: &str, same: bool| {
+        if !same {
+            diffs.push(format!("{context}: {field} differs"));
+        }
+    };
+    diff("sanitizer", a.sanitizer == b.sanitizer);
+    diff("result", a.result == b.result);
+    diff("vm_error", a.vm_error == b.vm_error);
+    diff("exec", a.exec == b.exec);
+    diff("checks", a.checks == b.checks);
+    diff("errors", a.errors == b.errors);
+    diff("diagnostics", a.diagnostics == b.diagnostics);
+    diff("cost", a.cost.to_bits() == b.cost.to_bits());
+    diff(
+        "peak_memory_bytes",
+        a.peak_memory_bytes == b.peak_memory_bytes,
+    );
+    diff(
+        "legacy_check_fraction",
+        a.legacy_check_fraction.to_bits() == b.legacy_check_fraction.to_bits(),
+    );
+    diff("static_checks", a.static_checks == b.static_checks);
+}
+
+/// Compare two experiments row by row and report by report.  Returns the
+/// list of differences; empty means byte-identical (modulo wall time).
+pub fn diff_experiments(a: &SpecExperiment, b: &SpecExperiment) -> Vec<String> {
+    let mut diffs = Vec::new();
+    if a.sanitizers != b.sanitizers {
+        diffs.push("sanitizer lists differ".to_string());
+    }
+    if a.rows.len() != b.rows.len() {
+        diffs.push(format!(
+            "row counts differ: {} vs {}",
+            a.rows.len(),
+            b.rows.len()
+        ));
+        return diffs;
+    }
+    for (row_a, row_b) in a.rows.iter().zip(&b.rows) {
+        if row_a.name != row_b.name {
+            diffs.push(format!(
+                "row order differs: `{}` vs `{}`",
+                row_a.name, row_b.name
+            ));
+            continue;
+        }
+        if row_a.source_lines != row_b.source_lines {
+            diffs.push(format!("{}: source_lines differs", row_a.name));
+        }
+        // Wire-carried row metadata: a codec slip here would otherwise be
+        // invisible, since fragments only ever agree with each other.
+        if row_a.cpp != row_b.cpp
+            || row_a.paper_issues != row_b.paper_issues
+            || row_a.paper_kilo_sloc.to_bits() != row_b.paper_kilo_sloc.to_bits()
+            || row_a.paper_type_checks_b.to_bits() != row_b.paper_type_checks_b.to_bits()
+            || row_a.paper_bounds_checks_b.to_bits() != row_b.paper_bounds_checks_b.to_bits()
+        {
+            diffs.push(format!("{}: row metadata differs", row_a.name));
+        }
+        if row_a.reports.len() != row_b.reports.len() {
+            diffs.push(format!(
+                "{}: report counts differ: {} vs {}",
+                row_a.name,
+                row_a.reports.len(),
+                row_b.reports.len()
+            ));
+            continue;
+        }
+        for (rep_a, rep_b) in row_a.reports.iter().zip(&row_b.reports) {
+            let context = format!("{} under {}", row_a.name, rep_a.sanitizer);
+            diff_reports(&context, rep_a, rep_b, &mut diffs);
+        }
+    }
+    diffs
+}

@@ -1,0 +1,555 @@
+//! The coordinator side: shard planning, worker-process pools, scheduling
+//! (static chunking or a shared work queue), crash recovery, and merging.
+//!
+//! The coordinator spawns `workers` OS processes, performs the
+//! [`crate::wire::HANDSHAKE`], and feeds each process shards over stdin.
+//! A worker that crashes, exits nonzero, or garbles the protocol is
+//! killed and replaced, and its in-flight shard is re-run on the fresh
+//! process; after [`SweepConfig::max_attempts`] failed attempts the whole
+//! sweep aborts with a structured [`SweepError::ShardExhausted`].
+
+use std::collections::VecDeque;
+use std::io::{BufReader, Write};
+use std::path::PathBuf;
+use std::process::{Child, ChildStdin, ChildStdout, Command as ProcessCommand, Stdio};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+use effective_san::{sanitizers_with_baseline, Parallelism, SpecExperiment, ToolComparison};
+use san_api::SanitizerKind;
+use workloads::{Scale, SpecBenchmark};
+
+use crate::shard::{merge_experiment, plan_shards, MergeError, Shard};
+use crate::wire::{self, Command, IoLines, LineSource, Reply, ShardSpec, WireError};
+
+/// How the coordinator hands shards to workers.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ShardStrategy {
+    /// Shards are assigned to workers round-robin up front; each worker
+    /// runs exactly its own partition (retries stay on the same slot,
+    /// on a fresh process).
+    Static,
+    /// Idle workers pull the next shard from a shared queue — the default,
+    /// since it rides out skew in per-shard cost.
+    #[default]
+    WorkQueue,
+}
+
+impl std::str::FromStr for ShardStrategy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_lowercase().as_str() {
+            "static" => Ok(ShardStrategy::Static),
+            "queue" | "work-queue" | "workqueue" => Ok(ShardStrategy::WorkQueue),
+            other => Err(format!(
+                "unknown shard strategy `{other}` (accepted: `static`, `queue`)"
+            )),
+        }
+    }
+}
+
+/// How worker processes are launched.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WorkerLaunch {
+    /// Spawn the given executable (the `sweep_worker` bin).
+    Bin(PathBuf),
+    /// Re-exec the current executable with `SAN_WORKER=1`; only correct
+    /// for binaries that check [`crate::worker::WORKER_ENV`] on startup,
+    /// like the `sweep` CLI.
+    ReExec,
+}
+
+impl WorkerLaunch {
+    /// Resolve the launch mode from the environment: an explicit
+    /// `SWEEP_WORKER_BIN` path wins; otherwise a `sweep_worker` binary
+    /// next to the current executable; otherwise re-exec.
+    pub fn detect() -> WorkerLaunch {
+        if let Ok(path) = std::env::var("SWEEP_WORKER_BIN") {
+            return WorkerLaunch::Bin(PathBuf::from(path));
+        }
+        if let Ok(exe) = std::env::current_exe() {
+            if let Some(dir) = exe.parent() {
+                let sibling = dir.join(format!("sweep_worker{}", std::env::consts::EXE_SUFFIX));
+                if sibling.exists() {
+                    return WorkerLaunch::Bin(sibling);
+                }
+            }
+        }
+        WorkerLaunch::ReExec
+    }
+
+    fn command(&self, env: &[(String, String)]) -> Result<ProcessCommand, SweepError> {
+        let mut cmd = match self {
+            WorkerLaunch::Bin(path) => ProcessCommand::new(path),
+            WorkerLaunch::ReExec => {
+                let exe = std::env::current_exe().map_err(|e| SweepError::Spawn {
+                    message: format!("cannot locate current executable: {e}"),
+                })?;
+                let mut cmd = ProcessCommand::new(exe);
+                cmd.env(crate::worker::WORKER_ENV, "1");
+                cmd
+            }
+        };
+        for (key, value) in env {
+            cmd.env(key, value);
+        }
+        cmd.stdin(Stdio::piped()).stdout(Stdio::piped());
+        Ok(cmd)
+    }
+}
+
+/// Configuration of a sharded sweep.
+#[derive(Clone, Debug)]
+pub struct SweepConfig {
+    /// Number of worker processes.
+    pub workers: usize,
+    /// Shard scheduling mode.
+    pub strategy: ShardStrategy,
+    /// Attempts per shard before the sweep aborts (spawn failures and
+    /// worker crashes both consume an attempt).
+    pub max_attempts: usize,
+    /// Workload scale.
+    pub scale: Scale,
+    /// In-worker threading for each shard's backend fan-out (workers
+    /// honour `SAN_PARALLEL` through this, like the in-process sweeps).
+    pub parallelism: Parallelism,
+    /// How to launch worker processes.
+    pub worker: WorkerLaunch,
+    /// Extra environment variables set on every worker process (on top of
+    /// the inherited environment) — used by tests to inject failures and
+    /// by callers to forward `SAN_*` overrides explicitly.
+    pub worker_env: Vec<(String, String)>,
+}
+
+impl SweepConfig {
+    /// A configuration with `workers` processes at `scale`, the shared
+    /// work queue, 3 attempts per shard, `SAN_PARALLEL`-resolved in-worker
+    /// threading, and auto-detected worker launch.
+    pub fn new(workers: usize, scale: Scale) -> SweepConfig {
+        SweepConfig {
+            workers,
+            strategy: ShardStrategy::default(),
+            max_attempts: 3,
+            scale,
+            parallelism: Parallelism::from_env(),
+            worker: WorkerLaunch::detect(),
+            worker_env: Vec::new(),
+        }
+    }
+}
+
+/// Errors a sharded sweep can surface.
+#[derive(Clone, Debug)]
+pub enum SweepError {
+    /// A worker process could not be spawned at all.
+    Spawn {
+        /// The rendered failure.
+        message: String,
+    },
+    /// A shard kept failing after being reassigned to fresh workers.
+    ShardExhausted {
+        /// The failing shard's id.
+        shard_id: usize,
+        /// The benchmark the shard runs.
+        benchmark: String,
+        /// How many attempts were made.
+        attempts: usize,
+        /// The last attempt's failure, rendered.
+        last_error: String,
+    },
+    /// Worker results could not be merged back into experiment rows.
+    Merge(MergeError),
+}
+
+impl std::fmt::Display for SweepError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SweepError::Spawn { message } => write!(f, "failed to spawn worker: {message}"),
+            SweepError::ShardExhausted {
+                shard_id,
+                benchmark,
+                attempts,
+                last_error,
+            } => write!(
+                f,
+                "shard {shard_id} (benchmark `{benchmark}`) failed after {attempts} attempts; \
+                 last error: {last_error}"
+            ),
+            SweepError::Merge(e) => write!(f, "merge failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SweepError {}
+
+impl From<MergeError> for SweepError {
+    fn from(e: MergeError) -> Self {
+        SweepError::Merge(e)
+    }
+}
+
+/// One live worker process with its protocol streams.
+struct WorkerProc {
+    child: Child,
+    stdin: ChildStdin,
+    stdout: IoLines<BufReader<ChildStdout>>,
+}
+
+impl WorkerProc {
+    fn spawn(launch: &WorkerLaunch, env: &[(String, String)]) -> Result<WorkerProc, String> {
+        let mut child = launch
+            .command(env)
+            .map_err(|e| e.to_string())?
+            .spawn()
+            .map_err(|e| format!("spawn failed: {e}"))?;
+        let stdin = child.stdin.take().expect("worker stdin piped");
+        let stdout = child.stdout.take().expect("worker stdout piped");
+        let mut proc = WorkerProc {
+            child,
+            stdin,
+            stdout: IoLines::new(BufReader::new(stdout)),
+        };
+        match proc.handshake() {
+            Ok(()) => Ok(proc),
+            Err(e) => {
+                proc.kill();
+                Err(e)
+            }
+        }
+    }
+
+    fn handshake(&mut self) -> Result<(), String> {
+        writeln!(self.stdin, "{}", wire::HANDSHAKE).map_err(|e| format!("handshake write: {e}"))?;
+        self.stdin
+            .flush()
+            .map_err(|e| format!("handshake flush: {e}"))?;
+        match self.stdout.next_line() {
+            Ok(Some(line)) if line == wire::HANDSHAKE => Ok(()),
+            Ok(Some(line)) => Err(WireError::Version { got: line }.to_string()),
+            Ok(None) => Err("worker closed its pipe before the handshake".to_string()),
+            Err(e) => Err(e.to_string()),
+        }
+    }
+
+    /// Send one shard and block until its reply.  Any I/O or protocol
+    /// failure — including the worker dying mid-shard — comes back as a
+    /// rendered error for the retry machinery.
+    fn run_shard(&mut self, spec: &ShardSpec) -> Result<(usize, effective_san::SpecRow), String> {
+        writeln!(
+            self.stdin,
+            "{}",
+            wire::encode_command(&Command::Shard(spec.clone()))
+        )
+        .and_then(|()| self.stdin.flush())
+        .map_err(|e| format!("writing shard to worker: {e}"))?;
+        match wire::decode_reply(&mut self.stdout) {
+            Ok(Reply::Result { id, chunk, row }) if id == spec.id => Ok((chunk, row)),
+            Ok(Reply::Result { id, .. }) => {
+                Err(format!("worker answered shard {id}, expected {}", spec.id))
+            }
+            Ok(Reply::Error { message, .. }) => Err(format!("worker reported: {message}")),
+            Err(e) => Err(self.describe_death(e)),
+        }
+    }
+
+    /// Fold the worker's exit status into a protocol error, so "crashed
+    /// with exit code N" is what reaches retry logs rather than a bare
+    /// unexpected-EOF.  EOF on the pipe can be observed a beat before the
+    /// child becomes reapable, so poll `try_wait` briefly; a worker that
+    /// is genuinely still alive (e.g. it garbled a line but keeps running)
+    /// falls through to the protocol error alone.
+    fn describe_death(&mut self, e: WireError) -> String {
+        for _ in 0..50 {
+            match self.child.try_wait() {
+                Ok(Some(status)) => return format!("worker exited with {status} mid-shard ({e})"),
+                Ok(None) => std::thread::sleep(std::time::Duration::from_millis(2)),
+                Err(_) => break,
+            }
+        }
+        e.to_string()
+    }
+
+    fn shutdown(mut self) {
+        let _ = writeln!(self.stdin, "{}", wire::encode_command(&Command::Done));
+        let _ = self.stdin.flush();
+        drop(self.stdin);
+        let _ = self.child.wait();
+    }
+
+    fn kill(mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+struct PendingShard {
+    shard: Shard,
+    /// `Some(worker)` pins the shard to one worker slot (static mode).
+    preferred: Option<usize>,
+    attempts: usize,
+}
+
+struct Engine<'a> {
+    config: &'a SweepConfig,
+    queue: Mutex<VecDeque<PendingShard>>,
+    results: Mutex<Vec<Option<(String, usize, effective_san::SpecRow)>>>,
+    failure: Mutex<Option<SweepError>>,
+    abort: AtomicBool,
+}
+
+impl Engine<'_> {
+    fn fail(&self, error: SweepError) {
+        let mut failure = self.failure.lock().expect("failure lock");
+        if failure.is_none() {
+            *failure = Some(error);
+        }
+        self.abort.store(true, Ordering::SeqCst);
+    }
+
+    fn next_for(&self, worker: usize) -> Option<PendingShard> {
+        let mut queue = self.queue.lock().expect("queue lock");
+        let idx = queue
+            .iter()
+            .position(|p| p.preferred.is_none_or(|w| w == worker))?;
+        queue.remove(idx)
+    }
+
+    /// One worker slot: owns at most one live process, pulls shards, and
+    /// replaces its process on failure until the shard's attempts run out.
+    fn worker_loop(&self, slot: usize) {
+        let mut proc: Option<WorkerProc> = None;
+        'shards: while !self.abort.load(Ordering::SeqCst) {
+            let Some(mut pending) = self.next_for(slot) else {
+                break;
+            };
+            let spec = ShardSpec {
+                id: pending.shard.id,
+                chunk: pending.shard.chunk,
+                scale: self.config.scale,
+                parallelism: self.config.parallelism,
+                benchmark: pending.shard.benchmark.clone(),
+                backends: pending.shard.backends.clone(),
+            };
+            loop {
+                if self.abort.load(Ordering::SeqCst) {
+                    break 'shards;
+                }
+                let attempt = match proc.as_mut() {
+                    Some(live) => live.run_shard(&spec),
+                    None => match WorkerProc::spawn(&self.config.worker, &self.config.worker_env) {
+                        Ok(live) => proc.insert(live).run_shard(&spec),
+                        Err(e) => Err(e),
+                    },
+                };
+                match attempt {
+                    Ok((chunk, row)) => {
+                        let mut results = self.results.lock().expect("results lock");
+                        results[pending.shard.id] =
+                            Some((pending.shard.benchmark.clone(), chunk, row));
+                        continue 'shards;
+                    }
+                    Err(error) => {
+                        // The process (if any) is in an unknown protocol
+                        // state: replace it before the retry.
+                        if let Some(dead) = proc.take() {
+                            dead.kill();
+                        }
+                        pending.attempts += 1;
+                        if pending.attempts >= self.config.max_attempts {
+                            self.fail(SweepError::ShardExhausted {
+                                shard_id: pending.shard.id,
+                                benchmark: pending.shard.benchmark.clone(),
+                                attempts: pending.attempts,
+                                last_error: error,
+                            });
+                            break 'shards;
+                        }
+                    }
+                }
+            }
+        }
+        if let Some(live) = proc {
+            live.shutdown();
+        }
+    }
+}
+
+/// Resolve the benchmark list for a sweep (`None` = all 19, like
+/// `spec_experiment`), validating names up front so a typo fails before
+/// any process is spawned.
+///
+/// # Panics
+///
+/// Panics on an unknown benchmark name, with the same message shape as
+/// `spec_experiment`.
+fn resolve_benchmarks(names: Option<&[&str]>) -> Vec<String> {
+    match names {
+        Some(names) => names
+            .iter()
+            .map(|n| {
+                SpecBenchmark::by_name(n)
+                    .unwrap_or_else(|| {
+                        panic!(
+                            "unknown SPEC-like benchmark `{n}` (known: {})",
+                            SpecBenchmark::names().join(", ")
+                        )
+                    })
+                    .name
+                    .to_string()
+            })
+            .collect(),
+        None => SpecBenchmark::names()
+            .into_iter()
+            .map(|n| n.to_string())
+            .collect(),
+    }
+}
+
+/// Run the (benchmark × backend) matrix sharded across worker processes
+/// and merge the results into the same [`SpecExperiment`] shape — with the
+/// same bytes — as the in-process `spec_experiment`.
+///
+/// # Errors
+///
+/// [`SweepError::ShardExhausted`] when a shard keeps failing across
+/// [`SweepConfig::max_attempts`] fresh workers; [`SweepError::Merge`] when
+/// the returned fragments do not reassemble (both indicate worker-side
+/// misbehaviour, not data-dependent conditions).
+///
+/// # Panics
+///
+/// Panics on an unknown benchmark name, like `spec_experiment`.
+pub fn sharded_spec_experiment(
+    names: Option<&[&str]>,
+    sanitizers: &[SanitizerKind],
+    config: &SweepConfig,
+) -> Result<SpecExperiment, SweepError> {
+    let benchmarks = resolve_benchmarks(names);
+    let shards = plan_shards(&benchmarks, sanitizers, config.workers);
+    let workers = config.workers.clamp(1, shards.len().max(1));
+
+    let engine = Engine {
+        config,
+        queue: Mutex::new(
+            shards
+                .into_iter()
+                .map(|shard| PendingShard {
+                    preferred: match config.strategy {
+                        ShardStrategy::Static => Some(shard.id % workers),
+                        ShardStrategy::WorkQueue => None,
+                    },
+                    shard,
+                    attempts: 0,
+                })
+                .collect(),
+        ),
+        results: Mutex::new(Vec::new()),
+        failure: Mutex::new(None),
+        abort: AtomicBool::new(false),
+    };
+    {
+        let mut results = engine.results.lock().expect("results lock");
+        results.resize_with(engine.queue.lock().expect("queue lock").len(), || None);
+    }
+
+    std::thread::scope(|scope| {
+        for slot in 0..workers {
+            let engine = &engine;
+            scope.spawn(move || engine.worker_loop(slot));
+        }
+    });
+
+    if let Some(error) = engine.failure.lock().expect("failure lock").take() {
+        return Err(error);
+    }
+    let fragments: Vec<(String, usize, effective_san::SpecRow)> = engine
+        .results
+        .into_inner()
+        .expect("results lock")
+        .into_iter()
+        .flatten()
+        .collect();
+    Ok(merge_experiment(
+        config.scale,
+        &benchmarks,
+        sanitizers,
+        fragments,
+    )?)
+}
+
+/// The §6.2 tool comparison computed from a process-sharded sweep: the
+/// uninstrumented baseline is prepended as the overhead reference, the
+/// sharded experiment runs, and per-tool means are derived from the merged
+/// rows — mirroring `tool_comparison_with`.
+///
+/// # Errors
+///
+/// Propagates [`sharded_spec_experiment`]'s errors.
+pub fn sharded_tool_comparison(
+    names: &[&str],
+    sanitizers: &[SanitizerKind],
+    config: &SweepConfig,
+) -> Result<ToolComparison, SweepError> {
+    let kinds = sanitizers_with_baseline(sanitizers);
+    let experiment = sharded_spec_experiment(Some(names), &kinds, config)?;
+    let tools = kinds
+        .into_iter()
+        .skip(1)
+        .map(|kind| {
+            (
+                kind,
+                experiment.mean_overhead_pct(kind),
+                experiment.total_checks(kind),
+            )
+        })
+        .collect();
+    Ok(ToolComparison { tools })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strategy_parses_both_modes() {
+        assert_eq!("static".parse::<ShardStrategy>(), Ok(ShardStrategy::Static));
+        assert_eq!(
+            "queue".parse::<ShardStrategy>(),
+            Ok(ShardStrategy::WorkQueue)
+        );
+        assert_eq!(
+            "Work-Queue".parse::<ShardStrategy>(),
+            Ok(ShardStrategy::WorkQueue)
+        );
+        let err = "chaos".parse::<ShardStrategy>().unwrap_err();
+        assert!(err.contains("chaos"));
+        assert!(err.contains("static"));
+    }
+
+    #[test]
+    fn spawn_failures_surface_as_shard_exhaustion() {
+        let config = SweepConfig {
+            workers: 1,
+            strategy: ShardStrategy::WorkQueue,
+            max_attempts: 2,
+            scale: Scale::Test,
+            parallelism: Parallelism::Sequential,
+            worker: WorkerLaunch::Bin(PathBuf::from("/nonexistent/sweep_worker")),
+            worker_env: Vec::new(),
+        };
+        let err =
+            sharded_spec_experiment(Some(&["mcf"]), &[SanitizerKind::None], &config).unwrap_err();
+        match err {
+            SweepError::ShardExhausted {
+                attempts,
+                benchmark,
+                ..
+            } => {
+                assert_eq!(attempts, 2);
+                assert_eq!(benchmark, "mcf");
+            }
+            other => panic!("expected ShardExhausted, got {other}"),
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! Hand-rolled JSON rendering of structured diagnostics.
+//!
+//! The workspace's `serde` shim is a no-op, so JSON export — the first
+//! slice of the ROADMAP's diagnostic-driven reporting — shares the sweep
+//! subsystem's hand-rolled encoding layer instead: the same per-issue
+//! fields the wire format carries (kind, expected/observed types, offset,
+//! bounds, location, detail), rendered as JSON for downstream tooling
+//! (`table_issues --json`).
+
+use effective_san::{SpecExperiment, SpecRow};
+use san_api::{Diagnostic, SanitizerKind};
+
+/// Escape a string for a JSON string literal (quotes, backslashes,
+/// control characters).
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render one diagnostic as a JSON object (the wire format's `diag`
+/// fields, JSON-spelled).
+pub fn diagnostic_json(d: &Diagnostic) -> String {
+    let bounds = match d.bounds {
+        Some(b) => format!("{{\"lo\":{},\"hi\":{}}}", b.lo, b.hi),
+        None => "null".to_string(),
+    };
+    format!(
+        "{{\"kind\":\"{}\",\"expected\":\"{}\",\"observed\":\"{}\",\"offset\":{},\
+         \"bounds\":{},\"location\":\"{}\",\"detail\":\"{}\"}}",
+        json_escape(d.kind.name()),
+        json_escape(&d.expected),
+        json_escape(&d.observed),
+        d.offset,
+        bounds,
+        json_escape(&d.location),
+        json_escape(&d.detail),
+    )
+}
+
+/// Render one benchmark row's per-backend diagnostics as a JSON object.
+pub fn row_issues_json(row: &SpecRow) -> String {
+    let reports: Vec<String> = row
+        .reports
+        .iter()
+        .map(|report| {
+            let issues: Vec<String> = report.diagnostics.iter().map(diagnostic_json).collect();
+            format!(
+                "{{\"sanitizer\":\"{}\",\"distinct_issues\":{},\"issues\":[{}]}}",
+                json_escape(report.sanitizer.name()),
+                report.errors.distinct_issues,
+                issues.join(",")
+            )
+        })
+        .collect();
+    format!(
+        "{{\"benchmark\":\"{}\",\"paper_issues\":{},\"reports\":[{}]}}",
+        json_escape(&row.name),
+        row.paper_issues,
+        reports.join(",")
+    )
+}
+
+/// Render a whole experiment's diagnostics as a JSON array, optionally
+/// restricted to one backend's reports.
+pub fn experiment_issues_json(experiment: &SpecExperiment, only: Option<SanitizerKind>) -> String {
+    let rows: Vec<String> = experiment
+        .rows
+        .iter()
+        .map(|row| match only {
+            None => row_issues_json(row),
+            Some(kind) => {
+                let filtered = SpecRow {
+                    reports: row
+                        .reports
+                        .iter()
+                        .filter(|r| r.sanitizer == kind)
+                        .cloned()
+                        .collect(),
+                    ..row.clone()
+                };
+                row_issues_json(&filtered)
+            }
+        })
+        .collect();
+    format!("[{}]", rows.join(","))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use effective_runtime::{Bounds, ErrorKind};
+    use std::sync::Arc;
+
+    #[test]
+    fn diagnostics_render_all_fields() {
+        let d = Diagnostic {
+            kind: ErrorKind::SubObjectBoundsOverflow,
+            expected: "int".to_string(),
+            observed: "struct \"account\"".to_string(),
+            offset: 32,
+            bounds: Some(Bounds::new(0x10, 0x30)),
+            location: Arc::from("account.c:4"),
+            detail: "overflow\ninto `balance`".to_string(),
+        };
+        let json = diagnostic_json(&d);
+        assert!(json.contains("\"kind\":\"subobject-bounds-overflow\""));
+        assert!(json.contains("\\\"account\\\""), "{json}");
+        assert!(json.contains("\"bounds\":{\"lo\":16,\"hi\":48}"));
+        assert!(json.contains("overflow\\ninto"));
+    }
+
+    #[test]
+    fn missing_bounds_render_as_null() {
+        let d = Diagnostic {
+            kind: ErrorKind::UseAfterFree,
+            expected: "struct S".to_string(),
+            observed: "FREE".to_string(),
+            offset: 0,
+            bounds: None,
+            location: Arc::from("uaf.c:9"),
+            detail: String::new(),
+        };
+        assert!(diagnostic_json(&d).contains("\"bounds\":null"));
+    }
+}

@@ -1,0 +1,39 @@
+//! # sweep
+//!
+//! Process-sharded (benchmark × backend) sweeps: the scaling step after
+//! PR 3's thread-parallel matrix, and the on-ramp to multi-machine runs.
+//!
+//! A **coordinator** ([`sharded_spec_experiment`] /
+//! [`sharded_tool_comparison`], or the `sweep` CLI bin) partitions the
+//! matrix into shards ([`shard::plan_shards`]), spawns worker OS processes
+//! (the `sweep_worker` bin, or `SAN_WORKER=1` re-exec), and speaks a
+//! versioned line-oriented protocol ([`wire`]) over their stdin/stdout.
+//! Workers run each shard through the ordinary in-process pipeline and
+//! stream typed results back; the coordinator reassigns the shard of any
+//! crashed or misbehaving worker to a fresh process (bounded by
+//! [`SweepConfig::max_attempts`]) and merges the fragments into the same
+//! `SpecRow`/`SpecExperiment` shapes the in-process sweep produces.
+//!
+//! Because every per-backend run owns an isolated simulated address space,
+//! sharding changes *where* a cell of the matrix executes but never *what*
+//! it produces: `tests/sharded_sweep.rs` asserts merged sharded results are
+//! byte-identical to both the thread-parallel and the sequential runs for
+//! every backend in the registry.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod check;
+pub mod coordinator;
+pub mod json;
+pub mod shard;
+pub mod wire;
+pub mod worker;
+
+pub use check::{diff_experiments, diff_reports};
+pub use coordinator::{
+    sharded_spec_experiment, sharded_tool_comparison, ShardStrategy, SweepConfig, SweepError,
+    WorkerLaunch,
+};
+pub use shard::{merge_experiment, plan_shards, MergeError, Shard};
+pub use wire::{WireError, HANDSHAKE, WIRE_VERSION};

@@ -1,0 +1,239 @@
+//! Partitioning the (benchmark × backend) matrix into shards and merging
+//! worker results back into the in-process [`SpecRow`] shape.
+//!
+//! A shard is one benchmark under a contiguous chunk of the requested
+//! backend list.  When there are at least as many benchmarks as workers
+//! the planner emits one shard per benchmark (each worker compiles its
+//! benchmark once and fans the backends out in-process, exactly like the
+//! thread-parallel sweep).  With fewer benchmarks than workers the backend
+//! axis is split too, so every worker still gets work.
+//!
+//! Merging is pure bookkeeping: fragments are grouped by benchmark,
+//! ordered by chunk index, and their report lists concatenated — the
+//! byte-identical-results contract (`tests/sharded_sweep.rs`) holds
+//! because every per-backend run owns an isolated simulated address space,
+//! so *where* it executes never changes *what* it produces.
+
+use effective_san::{SpecExperiment, SpecRow};
+use san_api::SanitizerKind;
+use workloads::Scale;
+
+/// One planned unit of work: a benchmark × backend-chunk cell.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Shard {
+    /// Dense shard id (index into the plan).
+    pub id: usize,
+    /// The benchmark to run.
+    pub benchmark: String,
+    /// Index of this backend chunk within the benchmark's chunks.
+    pub chunk: usize,
+    /// The contiguous slice of the requested backend list to run.
+    pub backends: Vec<SanitizerKind>,
+}
+
+/// Split `items` into `n` contiguous chunks whose sizes differ by at most
+/// one (earlier chunks take the remainder).
+fn split_chunks<T: Clone>(items: &[T], n: usize) -> Vec<Vec<T>> {
+    let n = n.clamp(1, items.len().max(1));
+    let base = items.len() / n;
+    let rem = items.len() % n;
+    let mut out = Vec::with_capacity(n);
+    let mut start = 0;
+    for i in 0..n {
+        let len = base + usize::from(i < rem);
+        out.push(items[start..start + len].to_vec());
+        start += len;
+    }
+    out
+}
+
+/// Plan the shard list for a sweep of `benchmarks` × `backends` across
+/// `workers` worker processes.
+///
+/// With `benchmarks.len() >= workers` each benchmark becomes one shard
+/// (chunk 0, all backends).  Otherwise each benchmark's backend list is
+/// split into enough contiguous chunks that the plan has at least
+/// `2 × workers` shards (bounded by the number of backends), keeping every
+/// worker busy even for single-benchmark sweeps.
+pub fn plan_shards(
+    benchmarks: &[String],
+    backends: &[SanitizerKind],
+    workers: usize,
+) -> Vec<Shard> {
+    let workers = workers.max(1);
+    let chunks_per_bench = if benchmarks.len() >= workers || benchmarks.is_empty() {
+        1
+    } else {
+        (2 * workers).div_ceil(benchmarks.len())
+    };
+    let mut shards = Vec::new();
+    for benchmark in benchmarks {
+        for (chunk, chunk_backends) in split_chunks(backends, chunks_per_bench)
+            .into_iter()
+            .enumerate()
+        {
+            shards.push(Shard {
+                id: shards.len(),
+                benchmark: benchmark.clone(),
+                chunk,
+                backends: chunk_backends,
+            });
+        }
+    }
+    shards
+}
+
+/// Errors detected while merging shard fragments.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MergeError {
+    /// A benchmark's fragments do not cover the requested backends in
+    /// order (a shard is missing, duplicated, or out of order).
+    Incomplete {
+        /// The benchmark whose fragments were inconsistent.
+        benchmark: String,
+        /// What was expected vs observed, rendered.
+        detail: String,
+    },
+    /// Two fragments of the same benchmark disagree on row metadata.
+    Metadata {
+        /// The benchmark whose fragments disagreed.
+        benchmark: String,
+    },
+}
+
+impl std::fmt::Display for MergeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MergeError::Incomplete { benchmark, detail } => {
+                write!(f, "incomplete merge for benchmark `{benchmark}`: {detail}")
+            }
+            MergeError::Metadata { benchmark } => write!(
+                f,
+                "fragments of benchmark `{benchmark}` disagree on row metadata"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MergeError {}
+
+/// Merge per-shard fragments back into one [`SpecExperiment`].
+///
+/// `fragments` pairs each completed shard's `(benchmark, chunk)` with the
+/// partial [`SpecRow`] its worker produced; order does not matter.  Rows
+/// come out in `benchmarks` order with reports in `sanitizers` order —
+/// i.e. exactly the shape `spec_experiment` produces in-process.
+pub fn merge_experiment(
+    scale: Scale,
+    benchmarks: &[String],
+    sanitizers: &[SanitizerKind],
+    fragments: Vec<(String, usize, SpecRow)>,
+) -> Result<SpecExperiment, MergeError> {
+    let mut rows = Vec::with_capacity(benchmarks.len());
+    for benchmark in benchmarks {
+        let mut parts: Vec<(usize, SpecRow)> = fragments
+            .iter()
+            .filter(|(name, _, _)| name == benchmark)
+            .map(|(_, chunk, row)| (*chunk, row.clone()))
+            .collect();
+        parts.sort_by_key(|(chunk, _)| *chunk);
+        let Some((_, first)) = parts.first() else {
+            return Err(MergeError::Incomplete {
+                benchmark: benchmark.clone(),
+                detail: "no fragments".to_string(),
+            });
+        };
+        let mut merged = SpecRow {
+            reports: Vec::with_capacity(sanitizers.len()),
+            ..first.clone()
+        };
+        for (chunk, (expected_chunk, part)) in parts.into_iter().enumerate() {
+            if chunk != expected_chunk {
+                return Err(MergeError::Incomplete {
+                    benchmark: benchmark.clone(),
+                    detail: format!("expected chunk {chunk}, found chunk {expected_chunk}"),
+                });
+            }
+            if part.name != merged.name
+                || part.cpp != merged.cpp
+                || part.paper_kilo_sloc.to_bits() != merged.paper_kilo_sloc.to_bits()
+                || part.paper_type_checks_b.to_bits() != merged.paper_type_checks_b.to_bits()
+                || part.paper_bounds_checks_b.to_bits() != merged.paper_bounds_checks_b.to_bits()
+                || part.paper_issues != merged.paper_issues
+                || part.source_lines != merged.source_lines
+            {
+                return Err(MergeError::Metadata {
+                    benchmark: benchmark.clone(),
+                });
+            }
+            merged.reports.extend(part.reports);
+        }
+        let merged_kinds: Vec<SanitizerKind> = merged.reports.iter().map(|r| r.sanitizer).collect();
+        if merged_kinds != sanitizers {
+            return Err(MergeError::Incomplete {
+                benchmark: benchmark.clone(),
+                detail: format!(
+                    "merged backend order {:?} != requested {:?}",
+                    merged_kinds, sanitizers
+                ),
+            });
+        }
+        rows.push(merged);
+    }
+    Ok(SpecExperiment {
+        scale,
+        rows,
+        sanitizers: sanitizers.to_vec(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn names(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn many_benchmarks_shard_one_per_benchmark() {
+        let backends = SanitizerKind::ALL.to_vec();
+        let shards = plan_shards(&names(&["a", "b", "c", "d"]), &backends, 2);
+        assert_eq!(shards.len(), 4);
+        assert!(shards.iter().all(|s| s.chunk == 0));
+        assert!(shards.iter().all(|s| s.backends == backends));
+        assert_eq!(
+            shards.iter().map(|s| s.id).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3]
+        );
+    }
+
+    #[test]
+    fn few_benchmarks_split_the_backend_axis() {
+        let backends = SanitizerKind::ALL.to_vec();
+        let shards = plan_shards(&names(&["a"]), &backends, 4);
+        // 2 × 4 workers = 8 chunks over one benchmark.
+        assert_eq!(shards.len(), 8);
+        let recombined: Vec<SanitizerKind> = shards
+            .iter()
+            .flat_map(|s| s.backends.iter().copied())
+            .collect();
+        assert_eq!(recombined, backends, "chunks recombine in order");
+        // Chunk sizes differ by at most one.
+        let sizes: Vec<usize> = shards.iter().map(|s| s.backends.len()).collect();
+        assert!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap() <= 1);
+    }
+
+    #[test]
+    fn merge_rejects_missing_fragments() {
+        let err = merge_experiment(
+            Scale::Test,
+            &names(&["a"]),
+            &[SanitizerKind::None],
+            Vec::new(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, MergeError::Incomplete { .. }));
+        assert!(err.to_string().contains("no fragments"));
+    }
+}

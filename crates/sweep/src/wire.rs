@@ -1,0 +1,855 @@
+//! The versioned, line-oriented wire format spoken between the sweep
+//! coordinator and its worker processes.
+//!
+//! The workspace's `serde` shim is a no-op (nothing in the tree actually
+//! serializes), so the sweep subsystem hand-rolls its own encoding.  The
+//! format is deliberately simple and deterministic:
+//!
+//! * every message is one or more text lines; fields within a line are
+//!   separated by tabs, with `\` / tab / newline / carriage-return escaped
+//!   inside string fields ([`escape`] / [`unescape`]);
+//! * `f64` fields are encoded as the hex of their IEEE-754 bit pattern, so
+//!   decoding reproduces the coordinator-side value *bit for bit* — the
+//!   byte-identical-results contract of `tests/sharded_sweep.rs` depends
+//!   on this;
+//! * map fields ([`ErrorStats`]'s per-kind counters) are emitted in
+//!   [`ErrorKind::all`] order so the same stats always encode to the same
+//!   bytes;
+//! * both sides open with the [`HANDSHAKE`] line, which carries the
+//!   [`WIRE_VERSION`]; a mismatch fails fast with [`WireError::Version`].
+//!
+//! Because the format is hand-rolled it gets its own round-trip property
+//! suite (`crates/sweep/tests/wire_properties.rs`).
+
+use std::collections::HashMap;
+use std::fmt;
+use std::str::FromStr;
+use std::sync::Arc;
+use std::time::Duration;
+
+use effective_runtime::{Bounds, ErrorKind, ErrorStats};
+use effective_san::{Parallelism, RunReport, SpecRow};
+use san_api::{Diagnostic, SanStats, SanitizerKind};
+use vm::ExecStats;
+use workloads::Scale;
+
+/// Version of the wire format; bumped on any incompatible change.
+pub const WIRE_VERSION: u32 = 1;
+
+/// The handshake line both sides send before anything else.
+pub const HANDSHAKE: &str = "effective-san-sweep-wire 1";
+
+/// Errors produced while decoding the wire format.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// The peer's handshake line did not match [`HANDSHAKE`].
+    Version {
+        /// The line actually received.
+        got: String,
+    },
+    /// The stream ended in the middle of a message.
+    UnexpectedEof {
+        /// What the decoder was waiting for.
+        expected: &'static str,
+    },
+    /// A line's tag or field count did not match the expected message.
+    UnexpectedLine {
+        /// What the decoder was waiting for.
+        expected: &'static str,
+        /// The line actually received.
+        got: String,
+    },
+    /// A field failed to parse.
+    Field {
+        /// The field's name.
+        field: &'static str,
+        /// The raw field value.
+        value: String,
+        /// Why it failed to parse.
+        reason: String,
+    },
+    /// Reading from the underlying stream failed.
+    Io {
+        /// The rendered I/O error.
+        message: String,
+    },
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Version { got } => {
+                write!(
+                    f,
+                    "wire-format handshake mismatch: expected `{HANDSHAKE}`, got `{got}`"
+                )
+            }
+            WireError::UnexpectedEof { expected } => {
+                write!(f, "unexpected end of stream while expecting {expected}")
+            }
+            WireError::UnexpectedLine { expected, got } => {
+                write!(f, "expected {expected}, got line `{got}`")
+            }
+            WireError::Field {
+                field,
+                value,
+                reason,
+            } => write!(f, "bad field `{field}` value `{value}`: {reason}"),
+            WireError::Io { message } => write!(f, "wire read failed: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// A source of protocol lines; implemented for in-memory slices (tests,
+/// merges) and buffered process pipes (the coordinator and worker loops).
+pub trait LineSource {
+    /// The next line, without its terminator; `None` at end of stream.
+    fn next_line(&mut self) -> Result<Option<String>, WireError>;
+}
+
+/// [`LineSource`] over an in-memory slice of lines.
+pub struct SliceLines<'a> {
+    lines: &'a [String],
+    pos: usize,
+}
+
+impl<'a> SliceLines<'a> {
+    /// A source yielding `lines` in order.
+    pub fn new(lines: &'a [String]) -> Self {
+        SliceLines { lines, pos: 0 }
+    }
+}
+
+impl LineSource for SliceLines<'_> {
+    fn next_line(&mut self) -> Result<Option<String>, WireError> {
+        let line = self.lines.get(self.pos).cloned();
+        if line.is_some() {
+            self.pos += 1;
+        }
+        Ok(line)
+    }
+}
+
+/// [`LineSource`] over a buffered reader (a worker's stdin or the
+/// coordinator's view of a worker's stdout).
+pub struct IoLines<R: std::io::BufRead> {
+    reader: R,
+}
+
+impl<R: std::io::BufRead> IoLines<R> {
+    /// Wrap a buffered reader.
+    pub fn new(reader: R) -> Self {
+        IoLines { reader }
+    }
+}
+
+impl<R: std::io::BufRead> LineSource for IoLines<R> {
+    fn next_line(&mut self) -> Result<Option<String>, WireError> {
+        let mut line = String::new();
+        match self.reader.read_line(&mut line) {
+            Ok(0) => Ok(None),
+            Ok(_) => {
+                while line.ends_with('\n') || line.ends_with('\r') {
+                    line.pop();
+                }
+                Ok(Some(line))
+            }
+            Err(e) => Err(WireError::Io {
+                message: e.to_string(),
+            }),
+        }
+    }
+}
+
+fn next_required<S: LineSource>(src: &mut S, expected: &'static str) -> Result<String, WireError> {
+    src.next_line()?
+        .ok_or(WireError::UnexpectedEof { expected })
+}
+
+/// Escape a string field: `\` → `\\`, tab → `\t`, newline → `\n`,
+/// carriage return → `\r`.  The result contains neither tabs nor line
+/// terminators, so it is safe inside a tab-separated protocol line.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\t' => out.push_str("\\t"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Reverse [`escape`].  Errors on a dangling backslash or unknown escape.
+pub fn unescape(s: &str) -> Result<String, WireError> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('\\') => out.push('\\'),
+            Some('t') => out.push('\t'),
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            other => {
+                return Err(WireError::Field {
+                    field: "string",
+                    value: s.to_string(),
+                    reason: match other {
+                        Some(c) => format!("unknown escape `\\{c}`"),
+                        None => "dangling backslash".to_string(),
+                    },
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Encode an `f64` as the zero-padded hex of its bit pattern (exact,
+/// bit-for-bit round trip — `format!`/`parse` would lose the payload of
+/// NaNs and the last bits of some finite values).
+pub fn encode_f64(v: f64) -> String {
+    format!("{:016x}", v.to_bits())
+}
+
+/// Decode an [`encode_f64`] field.
+pub fn decode_f64(field: &'static str, s: &str) -> Result<f64, WireError> {
+    u64::from_str_radix(s, 16)
+        .map(f64::from_bits)
+        .map_err(|e| WireError::Field {
+            field,
+            value: s.to_string(),
+            reason: e.to_string(),
+        })
+}
+
+fn parse_num<T: FromStr>(field: &'static str, s: &str) -> Result<T, WireError>
+where
+    T::Err: fmt::Display,
+{
+    s.parse().map_err(|e: T::Err| WireError::Field {
+        field,
+        value: s.to_string(),
+        reason: e.to_string(),
+    })
+}
+
+fn encode_opt_i64(v: Option<i64>) -> String {
+    match v {
+        Some(v) => v.to_string(),
+        None => "-".to_string(),
+    }
+}
+
+fn decode_opt_i64(field: &'static str, s: &str) -> Result<Option<i64>, WireError> {
+    if s == "-" {
+        Ok(None)
+    } else {
+        parse_num(field, s).map(Some)
+    }
+}
+
+fn encode_opt_str(v: Option<&str>) -> String {
+    match v {
+        // The `=` prefix distinguishes `Some("-")` from `None`.
+        Some(s) => format!("={}", escape(s)),
+        None => "-".to_string(),
+    }
+}
+
+fn decode_opt_str(field: &'static str, s: &str) -> Result<Option<String>, WireError> {
+    match s.strip_prefix('=') {
+        Some(rest) => Ok(Some(unescape(rest)?)),
+        None if s == "-" => Ok(None),
+        None => Err(WireError::Field {
+            field,
+            value: s.to_string(),
+            reason: "expected `-` or `=`-prefixed string".to_string(),
+        }),
+    }
+}
+
+fn encode_opt_bounds(b: Option<Bounds>) -> String {
+    match b {
+        Some(b) => format!("{}..{}", b.lo, b.hi),
+        None => "-".to_string(),
+    }
+}
+
+fn decode_opt_bounds(field: &'static str, s: &str) -> Result<Option<Bounds>, WireError> {
+    if s == "-" {
+        return Ok(None);
+    }
+    let (lo, hi) = s.split_once("..").ok_or_else(|| WireError::Field {
+        field,
+        value: s.to_string(),
+        reason: "expected `-` or `<lo>..<hi>`".to_string(),
+    })?;
+    Ok(Some(Bounds {
+        lo: parse_num(field, lo)?,
+        hi: parse_num(field, hi)?,
+    }))
+}
+
+/// The stable wire name of a workload scale.
+pub fn scale_name(scale: Scale) -> &'static str {
+    match scale {
+        Scale::Test => "test",
+        Scale::Small => "small",
+        Scale::Reference => "reference",
+    }
+}
+
+/// Parse a [`scale_name`] spelling.
+pub fn parse_scale(s: &str) -> Result<Scale, WireError> {
+    match s {
+        "test" => Ok(Scale::Test),
+        "small" => Ok(Scale::Small),
+        "reference" => Ok(Scale::Reference),
+        _ => Err(WireError::Field {
+            field: "scale",
+            value: s.to_string(),
+            reason: "expected `test`, `small` or `reference`".to_string(),
+        }),
+    }
+}
+
+fn parallelism_name(p: Parallelism) -> &'static str {
+    if p.is_parallel() {
+        "parallel"
+    } else {
+        "sequential"
+    }
+}
+
+fn split_fields<'l>(
+    line: &'l str,
+    tag: &'static str,
+    count: usize,
+) -> Result<Vec<&'l str>, WireError> {
+    let fields: Vec<&str> = line.split('\t').collect();
+    if fields.first() != Some(&tag) || fields.len() != count + 1 {
+        return Err(WireError::UnexpectedLine {
+            expected: tag,
+            got: line.to_string(),
+        });
+    }
+    Ok(fields[1..].to_vec())
+}
+
+/// One unit of work the coordinator hands a worker: one benchmark run
+/// under a contiguous chunk of the requested backend list.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ShardSpec {
+    /// Coordinator-assigned shard id (index into the shard plan).
+    pub id: usize,
+    /// Index of this backend chunk within the benchmark's chunks.
+    pub chunk: usize,
+    /// Workload scale to run at.
+    pub scale: Scale,
+    /// In-worker threading mode for the backend fan-out.
+    pub parallelism: Parallelism,
+    /// The benchmark to run.
+    pub benchmark: String,
+    /// The backends to run it under, in order.
+    pub backends: Vec<SanitizerKind>,
+}
+
+/// A coordinator → worker message.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Command {
+    /// Run a shard and reply with its result.
+    Shard(ShardSpec),
+    /// No more work; exit cleanly.
+    Done,
+}
+
+/// Encode a [`Command`] as one protocol line.
+pub fn encode_command(cmd: &Command) -> String {
+    match cmd {
+        Command::Done => "done".to_string(),
+        Command::Shard(spec) => {
+            let backends: Vec<&str> = spec.backends.iter().map(|k| k.name()).collect();
+            format!(
+                "shard\t{}\t{}\t{}\t{}\t{}\t{}",
+                spec.id,
+                spec.chunk,
+                scale_name(spec.scale),
+                parallelism_name(spec.parallelism),
+                escape(&spec.benchmark),
+                backends.join(",")
+            )
+        }
+    }
+}
+
+/// Decode the next [`Command`]; `None` at end of stream (treated as
+/// `done` by workers, so a dying coordinator never wedges a worker).
+pub fn decode_command<S: LineSource>(src: &mut S) -> Result<Option<Command>, WireError> {
+    let Some(line) = src.next_line()? else {
+        return Ok(None);
+    };
+    if line == "done" {
+        return Ok(Some(Command::Done));
+    }
+    let f = split_fields(&line, "shard", 6)?;
+    let mut backends = Vec::new();
+    for name in f[5].split(',').filter(|s| !s.is_empty()) {
+        backends.push(
+            name.parse::<SanitizerKind>()
+                .map_err(|e| WireError::Field {
+                    field: "backends",
+                    value: name.to_string(),
+                    reason: e.to_string(),
+                })?,
+        );
+    }
+    Ok(Some(Command::Shard(ShardSpec {
+        id: parse_num("shard-id", f[0])?,
+        chunk: parse_num("chunk", f[1])?,
+        scale: parse_scale(f[2])?,
+        parallelism: f[3]
+            .parse()
+            .map_err(|e: effective_san::ParseParallelismError| WireError::Field {
+                field: "parallelism",
+                value: f[3].to_string(),
+                reason: e.to_string(),
+            })?,
+        benchmark: unescape(f[4])?,
+        backends,
+    })))
+}
+
+/// A worker → coordinator message.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Reply {
+    /// A shard completed; the row carries the reports for the shard's
+    /// backend chunk only.
+    Result {
+        /// The shard id being answered.
+        id: usize,
+        /// The chunk index (echoed back for merging).
+        chunk: usize,
+        /// The partial row (reports restricted to the shard's backends).
+        row: SpecRow,
+    },
+    /// A shard failed inside the worker in a way the worker could report
+    /// (the shard is retried like a crash, but with a better message).
+    Error {
+        /// The shard id being answered.
+        id: usize,
+        /// The rendered failure.
+        message: String,
+    },
+}
+
+/// Encode a [`Reply`] as protocol lines.
+pub fn encode_reply(reply: &Reply) -> Vec<String> {
+    match reply {
+        Reply::Error { id, message } => {
+            vec![format!("error\t{id}\t{}", escape(message))]
+        }
+        Reply::Result { id, chunk, row } => {
+            let mut out = vec![format!("result\t{id}\t{chunk}")];
+            encode_spec_row(row, &mut out);
+            out.push(format!("end\t{id}"));
+            out
+        }
+    }
+}
+
+/// Decode the next [`Reply`].
+pub fn decode_reply<S: LineSource>(src: &mut S) -> Result<Reply, WireError> {
+    let line = next_required(src, "a `result` or `error` reply")?;
+    if let Ok(f) = split_fields(&line, "error", 2) {
+        return Ok(Reply::Error {
+            id: parse_num("shard-id", f[0])?,
+            message: unescape(f[1])?,
+        });
+    }
+    let f = split_fields(&line, "result", 2)?;
+    let id: usize = parse_num("shard-id", f[0])?;
+    let chunk: usize = parse_num("chunk", f[1])?;
+    let row = decode_spec_row(src)?;
+    let end = next_required(src, "an `end` trailer")?;
+    let f = split_fields(&end, "end", 1)?;
+    let end_id: usize = parse_num("shard-id", f[0])?;
+    if end_id != id {
+        return Err(WireError::UnexpectedLine {
+            expected: "matching `end` trailer",
+            got: end,
+        });
+    }
+    Ok(Reply::Result { id, chunk, row })
+}
+
+/// Append the encoding of a [`SpecRow`] (header line, then one report
+/// block per report).
+pub fn encode_spec_row(row: &SpecRow, out: &mut Vec<String>) {
+    out.push(format!(
+        "row\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
+        escape(&row.name),
+        u8::from(row.cpp),
+        encode_f64(row.paper_kilo_sloc),
+        encode_f64(row.paper_type_checks_b),
+        encode_f64(row.paper_bounds_checks_b),
+        row.paper_issues,
+        row.source_lines,
+        row.reports.len()
+    ));
+    for report in &row.reports {
+        encode_run_report(report, out);
+    }
+}
+
+/// Decode a [`SpecRow`] block.
+pub fn decode_spec_row<S: LineSource>(src: &mut S) -> Result<SpecRow, WireError> {
+    let line = next_required(src, "a `row` header")?;
+    let f = split_fields(&line, "row", 8)?;
+    let n_reports: usize = parse_num("report-count", f[7])?;
+    let mut reports = Vec::with_capacity(n_reports);
+    let row = SpecRow {
+        name: unescape(f[0])?,
+        cpp: f[1] == "1",
+        paper_kilo_sloc: decode_f64("paper-kilo-sloc", f[2])?,
+        paper_type_checks_b: decode_f64("paper-type-checks", f[3])?,
+        paper_bounds_checks_b: decode_f64("paper-bounds-checks", f[4])?,
+        paper_issues: parse_num("paper-issues", f[5])?,
+        source_lines: parse_num("source-lines", f[6])?,
+        reports: Vec::new(),
+    };
+    for _ in 0..n_reports {
+        reports.push(decode_run_report(src)?);
+    }
+    Ok(SpecRow { reports, ..row })
+}
+
+/// Append the encoding of a [`RunReport`] (header, `exec`, `checks`,
+/// `errors` lines, then the per-kind counters and diagnostics).
+pub fn encode_run_report(report: &RunReport, out: &mut Vec<String>) {
+    out.push(format!(
+        "report\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
+        report.sanitizer.name(),
+        encode_opt_i64(report.result),
+        encode_opt_str(report.vm_error.as_deref()),
+        report.wall_time.as_nanos(),
+        encode_f64(report.cost),
+        report.peak_memory_bytes,
+        encode_f64(report.legacy_check_fraction),
+        report.static_checks,
+    ));
+    let e = &report.exec;
+    out.push(format!(
+        "exec\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
+        e.instructions, e.check_instructions, e.loads, e.stores, e.calls, e.allocations, e.frees
+    ));
+    out.push(encode_san_stats(&report.checks));
+    encode_error_stats(&report.errors, out);
+    out.push(format!("diags\t{}", report.diagnostics.len()));
+    for diag in &report.diagnostics {
+        out.push(encode_diagnostic(diag));
+    }
+}
+
+/// Decode a [`RunReport`] block.
+pub fn decode_run_report<S: LineSource>(src: &mut S) -> Result<RunReport, WireError> {
+    let line = next_required(src, "a `report` header")?;
+    let f = split_fields(&line, "report", 8)?;
+    let sanitizer: SanitizerKind =
+        f[0].parse()
+            .map_err(|e: san_api::ParseSanitizerKindError| WireError::Field {
+                field: "sanitizer",
+                value: f[0].to_string(),
+                reason: e.to_string(),
+            })?;
+    let result = decode_opt_i64("result", f[1])?;
+    let vm_error = decode_opt_str("vm-error", f[2])?;
+    let wall_nanos: u64 = parse_num("wall-nanos", f[3])?;
+    let cost = decode_f64("cost", f[4])?;
+    let peak_memory_bytes: u64 = parse_num("peak-memory", f[5])?;
+    let legacy_check_fraction = decode_f64("legacy-fraction", f[6])?;
+    let static_checks: usize = parse_num("static-checks", f[7])?;
+
+    let line = next_required(src, "an `exec` line")?;
+    let f = split_fields(&line, "exec", 7)?;
+    let exec = ExecStats {
+        instructions: parse_num("instructions", f[0])?,
+        check_instructions: parse_num("check-instructions", f[1])?,
+        loads: parse_num("loads", f[2])?,
+        stores: parse_num("stores", f[3])?,
+        calls: parse_num("calls", f[4])?,
+        allocations: parse_num("allocations", f[5])?,
+        frees: parse_num("frees", f[6])?,
+    };
+
+    let line = next_required(src, "a `checks` line")?;
+    let checks = decode_san_stats(&line)?;
+    let errors = decode_error_stats(src)?;
+
+    let line = next_required(src, "a `diags` line")?;
+    let f = split_fields(&line, "diags", 1)?;
+    let n_diags: usize = parse_num("diag-count", f[0])?;
+    let mut diagnostics = Vec::with_capacity(n_diags);
+    for _ in 0..n_diags {
+        let line = next_required(src, "a `diag` line")?;
+        diagnostics.push(decode_diagnostic(&line)?);
+    }
+
+    Ok(RunReport {
+        sanitizer,
+        result,
+        vm_error,
+        exec,
+        checks,
+        errors,
+        diagnostics,
+        wall_time: Duration::from_nanos(wall_nanos),
+        cost,
+        peak_memory_bytes,
+        legacy_check_fraction,
+        static_checks,
+    })
+}
+
+/// Encode [`SanStats`] as one `checks` line (14 counters, field order is
+/// part of the wire format).
+pub fn encode_san_stats(s: &SanStats) -> String {
+    format!(
+        "checks\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
+        s.type_checks,
+        s.legacy_type_checks,
+        s.failed_type_checks,
+        s.bounds_checks,
+        s.failed_bounds_checks,
+        s.bounds_narrows,
+        s.bounds_gets,
+        s.bounds_table_loads,
+        s.cast_checks,
+        s.access_checks,
+        s.typed_allocations,
+        s.typed_frees,
+        s.allocations,
+        s.frees,
+    )
+}
+
+/// Decode a `checks` line back into [`SanStats`].
+pub fn decode_san_stats(line: &str) -> Result<SanStats, WireError> {
+    let f = split_fields(line, "checks", 14)?;
+    Ok(SanStats {
+        type_checks: parse_num("type-checks", f[0])?,
+        legacy_type_checks: parse_num("legacy-type-checks", f[1])?,
+        failed_type_checks: parse_num("failed-type-checks", f[2])?,
+        bounds_checks: parse_num("bounds-checks", f[3])?,
+        failed_bounds_checks: parse_num("failed-bounds-checks", f[4])?,
+        bounds_narrows: parse_num("bounds-narrows", f[5])?,
+        bounds_gets: parse_num("bounds-gets", f[6])?,
+        bounds_table_loads: parse_num("bounds-table-loads", f[7])?,
+        cast_checks: parse_num("cast-checks", f[8])?,
+        access_checks: parse_num("access-checks", f[9])?,
+        typed_allocations: parse_num("typed-allocations", f[10])?,
+        typed_frees: parse_num("typed-frees", f[11])?,
+        allocations: parse_num("allocations", f[12])?,
+        frees: parse_num("frees", f[13])?,
+    })
+}
+
+/// Append the encoding of [`ErrorStats`]: an `errors` header, then the
+/// per-kind event (`evk`) and issue (`isk`) counters in [`ErrorKind::all`]
+/// order (HashMap iteration order must never reach the wire).
+pub fn encode_error_stats(errors: &ErrorStats, out: &mut Vec<String>) {
+    let evk: Vec<(ErrorKind, u64)> = ErrorKind::all()
+        .into_iter()
+        .filter_map(|k| errors.events_by_kind.get(&k).map(|&n| (k, n)))
+        .collect();
+    let isk: Vec<(ErrorKind, u64)> = ErrorKind::all()
+        .into_iter()
+        .filter_map(|k| errors.issues_by_kind.get(&k).map(|&n| (k, n)))
+        .collect();
+    out.push(format!(
+        "errors\t{}\t{}\t{}\t{}",
+        errors.total_events,
+        errors.distinct_issues,
+        evk.len(),
+        isk.len()
+    ));
+    for (kind, n) in evk {
+        out.push(format!("evk\t{}\t{}", kind.name(), n));
+    }
+    for (kind, n) in isk {
+        out.push(format!("isk\t{}\t{}", kind.name(), n));
+    }
+}
+
+fn decode_kind_count(line: &str, tag: &'static str) -> Result<(ErrorKind, u64), WireError> {
+    let f = split_fields(line, tag, 2)?;
+    let kind: ErrorKind =
+        f[0].parse().map_err(
+            |e: effective_runtime::ParseErrorKindError| WireError::Field {
+                field: "error-kind",
+                value: f[0].to_string(),
+                reason: e.to_string(),
+            },
+        )?;
+    Ok((kind, parse_num("count", f[1])?))
+}
+
+/// Decode an [`encode_error_stats`] block.
+pub fn decode_error_stats<S: LineSource>(src: &mut S) -> Result<ErrorStats, WireError> {
+    let line = next_required(src, "an `errors` line")?;
+    let f = split_fields(&line, "errors", 4)?;
+    let total_events: u64 = parse_num("total-events", f[0])?;
+    let distinct_issues: u64 = parse_num("distinct-issues", f[1])?;
+    let n_evk: usize = parse_num("event-kind-count", f[2])?;
+    let n_isk: usize = parse_num("issue-kind-count", f[3])?;
+    let mut events_by_kind = HashMap::new();
+    for _ in 0..n_evk {
+        let line = next_required(src, "an `evk` line")?;
+        let (kind, n) = decode_kind_count(&line, "evk")?;
+        events_by_kind.insert(kind, n);
+    }
+    let mut issues_by_kind = HashMap::new();
+    for _ in 0..n_isk {
+        let line = next_required(src, "an `isk` line")?;
+        let (kind, n) = decode_kind_count(&line, "isk")?;
+        issues_by_kind.insert(kind, n);
+    }
+    Ok(ErrorStats {
+        total_events,
+        distinct_issues,
+        events_by_kind,
+        issues_by_kind,
+    })
+}
+
+/// Encode a [`Diagnostic`] as one `diag` line.
+pub fn encode_diagnostic(d: &Diagnostic) -> String {
+    format!(
+        "diag\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
+        d.kind.name(),
+        escape(&d.expected),
+        escape(&d.observed),
+        d.offset,
+        encode_opt_bounds(d.bounds),
+        escape(&d.location),
+        escape(&d.detail),
+    )
+}
+
+/// Decode an [`encode_diagnostic`] line.
+pub fn decode_diagnostic(line: &str) -> Result<Diagnostic, WireError> {
+    let f = split_fields(line, "diag", 7)?;
+    let kind: ErrorKind =
+        f[0].parse().map_err(
+            |e: effective_runtime::ParseErrorKindError| WireError::Field {
+                field: "error-kind",
+                value: f[0].to_string(),
+                reason: e.to_string(),
+            },
+        )?;
+    Ok(Diagnostic {
+        kind,
+        expected: unescape(f[1])?,
+        observed: unescape(f[2])?,
+        offset: parse_num("offset", f[3])?,
+        bounds: decode_opt_bounds("bounds", f[4])?,
+        location: Arc::from(unescape(f[5])?.as_str()),
+        detail: unescape(f[6])?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_round_trips_hostile_strings() {
+        for s in [
+            "",
+            "plain",
+            "a\tb",
+            "line\nbreak",
+            "back\\slash",
+            "\r\n\t\\",
+            "=-",
+        ] {
+            let escaped = escape(s);
+            assert!(!escaped.contains('\t'));
+            assert!(!escaped.contains('\n'));
+            assert!(!escaped.contains('\r'));
+            assert_eq!(unescape(&escaped).unwrap(), s);
+        }
+        assert!(unescape("dangling\\").is_err());
+        assert!(unescape("bad\\q").is_err());
+    }
+
+    #[test]
+    fn f64_encoding_is_exact_for_odd_values() {
+        for v in [
+            0.0,
+            -0.0,
+            1.5,
+            f64::MAX,
+            f64::MIN_POSITIVE,
+            f64::INFINITY,
+            0.1 + 0.2,
+        ] {
+            let decoded = decode_f64("v", &encode_f64(v)).unwrap();
+            assert_eq!(decoded.to_bits(), v.to_bits());
+        }
+        let nan = decode_f64("v", &encode_f64(f64::NAN)).unwrap();
+        assert!(nan.is_nan());
+    }
+
+    #[test]
+    fn commands_round_trip() {
+        let spec = ShardSpec {
+            id: 7,
+            chunk: 2,
+            scale: Scale::Test,
+            parallelism: Parallelism::Sequential,
+            benchmark: "h264ref".to_string(),
+            backends: vec![SanitizerKind::None, SanitizerKind::Mpx],
+        };
+        let lines = vec![
+            encode_command(&Command::Shard(spec.clone())),
+            encode_command(&Command::Done),
+        ];
+        let mut src = SliceLines::new(&lines);
+        assert_eq!(
+            decode_command(&mut src).unwrap(),
+            Some(Command::Shard(spec))
+        );
+        assert_eq!(decode_command(&mut src).unwrap(), Some(Command::Done));
+        assert_eq!(decode_command(&mut src).unwrap(), None);
+    }
+
+    #[test]
+    fn error_reply_round_trips() {
+        let reply = Reply::Error {
+            id: 3,
+            message: "worker\texploded\non purpose".to_string(),
+        };
+        let lines = encode_reply(&reply);
+        assert_eq!(lines.len(), 1);
+        let mut src = SliceLines::new(&lines);
+        assert_eq!(decode_reply(&mut src).unwrap(), reply);
+    }
+
+    #[test]
+    fn truncated_streams_are_loud() {
+        let lines: Vec<String> = vec!["result\t0\t0".to_string()];
+        let mut src = SliceLines::new(&lines);
+        let err = decode_reply(&mut src).unwrap_err();
+        assert!(matches!(err, WireError::UnexpectedEof { .. }), "{err}");
+    }
+}

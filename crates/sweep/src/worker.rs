@@ -1,0 +1,239 @@
+//! The worker side of the coordinator/worker protocol.
+//!
+//! A worker is an ordinary OS process (the `sweep_worker` bin, or any bin
+//! re-executed with `SAN_WORKER=1` — the `sweep` CLI does this) that
+//! speaks the [`crate::wire`] protocol over stdin/stdout: handshake, then
+//! a loop of `shard` commands answered with `result` blocks, until `done`
+//! or end-of-input.
+//!
+//! Each shard runs through the ordinary in-process sweep
+//! (`effective_san::spec_experiment` restricted to one benchmark and the
+//! shard's backend chunk), so a worker's reports are — by the PR 3
+//! determinism contract — bit-identical to the ones the coordinator would
+//! have produced itself.
+
+use std::io::{BufRead, Write};
+
+use effective_san::spec_experiment;
+
+use crate::wire::{self, Command, IoLines, LineSource, Reply, ShardSpec};
+
+/// Name of the environment variable that switches a cooperating binary
+/// into worker mode (checked by the `sweep` CLI before argument parsing).
+pub const WORKER_ENV: &str = "SAN_WORKER";
+
+/// Test hook: when set to a benchmark name, the worker aborts (exit code
+/// [`CRASH_EXIT_CODE`]) instead of running a shard of that benchmark.  If
+/// [`CRASH_ONCE_PATH_ENV`] is also set, the crash happens only while that
+/// path does not exist (the worker creates it right before dying), so the
+/// coordinator's retry succeeds — the shape of a transient worker failure.
+pub const CRASH_BENCH_ENV: &str = "SWEEP_TEST_CRASH_BENCH";
+
+/// Companion to [`CRASH_BENCH_ENV`]: flag-file path making the crash fire
+/// once instead of on every attempt.
+pub const CRASH_ONCE_PATH_ENV: &str = "SWEEP_TEST_CRASH_ONCE_PATH";
+
+/// Exit code used by the crash test hook (distinct from panics and clean
+/// protocol exits, so tests can assert the failure mode they injected).
+pub const CRASH_EXIT_CODE: i32 = 101;
+
+fn maybe_crash(spec: &ShardSpec) {
+    let Ok(bench) = std::env::var(CRASH_BENCH_ENV) else {
+        return;
+    };
+    if bench != spec.benchmark {
+        return;
+    }
+    match std::env::var(CRASH_ONCE_PATH_ENV) {
+        Ok(path) => {
+            if !std::path::Path::new(&path).exists() {
+                // Leave the flag so the retry survives, then die mid-shard.
+                let _ = std::fs::write(&path, b"crashed");
+                std::process::exit(CRASH_EXIT_CODE);
+            }
+        }
+        Err(_) => std::process::exit(CRASH_EXIT_CODE),
+    }
+}
+
+fn run_shard(spec: &ShardSpec) -> Reply {
+    maybe_crash(spec);
+    // `spec_experiment` panics on unknown benchmarks / compile failures;
+    // catching the panic turns it into a structured `error` reply the
+    // coordinator can surface instead of a bare nonzero exit.
+    let result = std::panic::catch_unwind(|| {
+        spec_experiment(
+            Some(&[spec.benchmark.as_str()]),
+            spec.scale,
+            &spec.backends,
+            spec.parallelism,
+        )
+    });
+    match result {
+        Ok(experiment) => {
+            let row = experiment
+                .rows
+                .into_iter()
+                .next()
+                .expect("one benchmark in, one row out");
+            Reply::Result {
+                id: spec.id,
+                chunk: spec.chunk,
+                row,
+            }
+        }
+        Err(panic) => {
+            let message = panic
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| panic.downcast_ref::<&str>().map(|s| s.to_string()))
+                .unwrap_or_else(|| "worker panicked".to_string());
+            Reply::Error {
+                id: spec.id,
+                message,
+            }
+        }
+    }
+}
+
+/// Serve the worker protocol over the given streams until `done` or
+/// end-of-input.  Returns the process exit code (0 on a clean run, 2 on a
+/// protocol error — which is also printed to stderr).
+pub fn serve<R: BufRead, W: Write>(input: R, mut output: W) -> i32 {
+    let mut lines = IoLines::new(input);
+    if writeln!(output, "{}", wire::HANDSHAKE)
+        .and_then(|()| output.flush())
+        .is_err()
+    {
+        return 2;
+    }
+    match lines.next_line() {
+        Ok(Some(line)) if line == wire::HANDSHAKE => {}
+        Ok(other) => {
+            eprintln!(
+                "sweep_worker: {}",
+                wire::WireError::Version {
+                    got: other.unwrap_or_else(|| "<eof>".to_string()),
+                }
+            );
+            return 2;
+        }
+        Err(e) => {
+            eprintln!("sweep_worker: {e}");
+            return 2;
+        }
+    }
+    loop {
+        let command = match wire::decode_command(&mut lines) {
+            Ok(Some(command)) => command,
+            // A vanished coordinator reads as end-of-input: exit cleanly.
+            Ok(None) => return 0,
+            Err(e) => {
+                eprintln!("sweep_worker: {e}");
+                return 2;
+            }
+        };
+        match command {
+            Command::Done => return 0,
+            Command::Shard(spec) => {
+                let reply = run_shard(&spec);
+                for line in wire::encode_reply(&reply) {
+                    if writeln!(output, "{line}").is_err() {
+                        return 2;
+                    }
+                }
+                if output.flush().is_err() {
+                    return 2;
+                }
+            }
+        }
+    }
+}
+
+/// Serve the worker protocol on this process's stdin/stdout — the entire
+/// body of the `sweep_worker` bin and of `SAN_WORKER=1` re-exec mode.
+pub fn run_stdio() -> i32 {
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    serve(stdin.lock(), stdout.lock())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::SliceLines;
+    use effective_san::Parallelism;
+    use san_api::SanitizerKind;
+    use workloads::Scale;
+
+    #[test]
+    fn serve_answers_a_shard_and_exits_on_done() {
+        let spec = ShardSpec {
+            id: 0,
+            chunk: 0,
+            scale: Scale::Test,
+            parallelism: Parallelism::Sequential,
+            benchmark: "mcf".to_string(),
+            backends: vec![SanitizerKind::None, SanitizerKind::EffectiveFull],
+        };
+        let input = format!(
+            "{}\n{}\n{}\n",
+            wire::HANDSHAKE,
+            wire::encode_command(&Command::Shard(spec)),
+            wire::encode_command(&Command::Done)
+        );
+        let mut output = Vec::new();
+        let code = serve(input.as_bytes(), &mut output);
+        assert_eq!(code, 0);
+
+        let text = String::from_utf8(output).unwrap();
+        let lines: Vec<String> = text.lines().map(|l| l.to_string()).collect();
+        assert_eq!(lines[0], wire::HANDSHAKE);
+        let mut src = SliceLines::new(&lines[1..]);
+        match wire::decode_reply(&mut src).unwrap() {
+            Reply::Result { id, chunk, row } => {
+                assert_eq!((id, chunk), (0, 0));
+                assert_eq!(row.name, "mcf");
+                assert_eq!(row.reports.len(), 2);
+                assert_eq!(row.reports[0].sanitizer, SanitizerKind::None);
+                assert_eq!(row.reports[1].sanitizer, SanitizerKind::EffectiveFull);
+            }
+            other => panic!("expected a result reply, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_benchmarks_become_error_replies_not_crashes() {
+        let spec = ShardSpec {
+            id: 4,
+            chunk: 0,
+            scale: Scale::Test,
+            parallelism: Parallelism::Sequential,
+            benchmark: "no-such-benchmark".to_string(),
+            backends: vec![SanitizerKind::None],
+        };
+        let input = format!(
+            "{}\n{}\ndone\n",
+            wire::HANDSHAKE,
+            wire::encode_command(&Command::Shard(spec))
+        );
+        let mut output = Vec::new();
+        assert_eq!(serve(input.as_bytes(), &mut output), 0);
+        let text = String::from_utf8(output).unwrap();
+        let lines: Vec<String> = text.lines().map(|l| l.to_string()).collect();
+        let mut src = SliceLines::new(&lines[1..]);
+        match wire::decode_reply(&mut src).unwrap() {
+            Reply::Error { id, message } => {
+                assert_eq!(id, 4);
+                assert!(message.contains("no-such-benchmark"), "{message}");
+            }
+            other => panic!("expected an error reply, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_handshake_is_rejected() {
+        let mut output = Vec::new();
+        assert_eq!(serve("not-a-handshake\n".as_bytes(), &mut output), 2);
+    }
+}

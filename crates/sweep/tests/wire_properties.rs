@@ -1,0 +1,274 @@
+//! Round-trip property tests for the hand-rolled sweep wire format.
+//!
+//! The serde shim is a no-op, so nothing checks these encoders but this
+//! suite: every structure the coordinator/worker protocol ships —
+//! [`SanStats`], [`Diagnostic`], [`ErrorStats`], [`RunReport`], [`SpecRow`]
+//! — must survive encode → decode byte-for-byte, under hostile string
+//! contents (tabs, newlines, backslashes, `=`/`-` markers, non-ASCII),
+//! empty diagnostic lists, extreme (`u64::MAX`) offsets and counters, f64
+//! bit patterns including NaNs and infinities, and every one of the 13
+//! registered [`SanitizerKind`] names.
+//!
+//! Struct equality would lie for NaN-carrying `f64` fields, so the
+//! round-trip is asserted on the *encoded bytes*: decode, re-encode, and
+//! compare the two encodings — equality there is exactly bit-identity.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use effective_runtime::{Bounds, ErrorKind, ErrorStats};
+use effective_san::{RunReport, SpecRow};
+use proptest::prelude::*;
+use san_api::{Diagnostic, SanStats, SanitizerKind};
+use sweep::wire::{self, SliceLines};
+use vm::ExecStats;
+
+/// Characters chosen to stress the escaping layer: protocol delimiters,
+/// escape introducers, option markers, and multi-byte code points.
+const PALETTE: [char; 12] = [
+    'a', 'Z', '0', '\t', '\n', '\r', '\\', '=', '-', '.', 'β', '晴',
+];
+
+fn string_strategy() -> impl Strategy<Value = String> {
+    prop::collection::vec(0u64..PALETTE.len() as u64, 0..14)
+        .prop_map(|idx| idx.into_iter().map(|i| PALETTE[i as usize]).collect())
+}
+
+fn kind_strategy() -> impl Strategy<Value = ErrorKind> {
+    (0u64..ErrorKind::all().len() as u64).prop_map(|i| ErrorKind::all()[i as usize])
+}
+
+fn offset_strategy() -> impl Strategy<Value = u64> {
+    prop_oneof![Just(0u64), Just(u64::MAX), any::<u64>()]
+}
+
+fn diagnostic_strategy() -> impl Strategy<Value = Diagnostic> {
+    (
+        (kind_strategy(), string_strategy(), string_strategy()),
+        offset_strategy(),
+        (any::<bool>(), any::<u64>(), any::<u64>()),
+        (string_strategy(), string_strategy()),
+    )
+        .prop_map(
+            |((kind, expected, observed), offset, (has_bounds, lo, hi), (location, detail))| {
+                Diagnostic {
+                    kind,
+                    expected,
+                    observed,
+                    offset,
+                    bounds: has_bounds.then_some(Bounds { lo, hi }),
+                    location: Arc::from(location.as_str()),
+                    detail,
+                }
+            },
+        )
+}
+
+fn san_stats_strategy() -> impl Strategy<Value = SanStats> {
+    prop::collection::vec(offset_strategy(), 14..15).prop_map(|v| SanStats {
+        type_checks: v[0],
+        legacy_type_checks: v[1],
+        failed_type_checks: v[2],
+        bounds_checks: v[3],
+        failed_bounds_checks: v[4],
+        bounds_narrows: v[5],
+        bounds_gets: v[6],
+        bounds_table_loads: v[7],
+        cast_checks: v[8],
+        access_checks: v[9],
+        typed_allocations: v[10],
+        typed_frees: v[11],
+        allocations: v[12],
+        frees: v[13],
+    })
+}
+
+fn error_stats_strategy() -> impl Strategy<Value = ErrorStats> {
+    (
+        (any::<u64>(), any::<u64>()),
+        prop::collection::vec((kind_strategy(), any::<u64>()), 0..8),
+        prop::collection::vec((kind_strategy(), any::<u64>()), 0..8),
+    )
+        .prop_map(|((total_events, distinct_issues), evk, isk)| ErrorStats {
+            total_events,
+            distinct_issues,
+            events_by_kind: evk.into_iter().collect::<HashMap<_, _>>(),
+            issues_by_kind: isk.into_iter().collect::<HashMap<_, _>>(),
+        })
+}
+
+fn report_strategy() -> impl Strategy<Value = RunReport> {
+    (
+        (
+            0u64..SanitizerKind::ALL.len() as u64,
+            (any::<bool>(), any::<i64>()),
+            (any::<bool>(), string_strategy()),
+        ),
+        prop::collection::vec(any::<u64>(), 7..8),
+        san_stats_strategy(),
+        error_stats_strategy(),
+        (
+            prop::collection::vec(diagnostic_strategy(), 0..4),
+            (any::<u64>(), any::<u64>(), any::<u64>()),
+            (any::<u64>(), offset_strategy()),
+        ),
+    )
+        .prop_map(
+            |(
+                (kind_idx, (has_result, result), (has_vm_error, vm_error)),
+                exec,
+                checks,
+                errors,
+                (diagnostics, (wall_nanos, cost_bits, legacy_bits), (peak, static_checks)),
+            )| {
+                RunReport {
+                    sanitizer: SanitizerKind::ALL[kind_idx as usize],
+                    result: has_result.then_some(result),
+                    vm_error: has_vm_error.then_some(vm_error),
+                    exec: ExecStats {
+                        instructions: exec[0],
+                        check_instructions: exec[1],
+                        loads: exec[2],
+                        stores: exec[3],
+                        calls: exec[4],
+                        allocations: exec[5],
+                        frees: exec[6],
+                    },
+                    checks,
+                    errors,
+                    diagnostics,
+                    wall_time: Duration::from_nanos(wall_nanos),
+                    cost: f64::from_bits(cost_bits),
+                    peak_memory_bytes: peak,
+                    legacy_check_fraction: f64::from_bits(legacy_bits),
+                    static_checks: (static_checks % (usize::MAX as u64)) as usize,
+                }
+            },
+        )
+}
+
+fn spec_row_strategy() -> impl Strategy<Value = SpecRow> {
+    (
+        (string_strategy(), any::<bool>()),
+        (any::<u64>(), any::<u64>(), any::<u64>()),
+        (0u32..1000, any::<u64>()),
+        prop::collection::vec(report_strategy(), 0..4),
+    )
+        .prop_map(
+            |((name, cpp), (sloc_bits, tchk_bits, bchk_bits), (paper_issues, lines), reports)| {
+                SpecRow {
+                    name,
+                    cpp,
+                    paper_kilo_sloc: f64::from_bits(sloc_bits),
+                    paper_type_checks_b: f64::from_bits(tchk_bits),
+                    paper_bounds_checks_b: f64::from_bits(bchk_bits),
+                    paper_issues,
+                    source_lines: (lines % (usize::MAX as u64)) as usize,
+                    reports,
+                }
+            },
+        )
+}
+
+proptest! {
+    /// `SanStats` round-trips exactly, including `u64::MAX` counters.
+    #[test]
+    fn san_stats_round_trip(stats in san_stats_strategy()) {
+        let line = wire::encode_san_stats(&stats);
+        let decoded = wire::decode_san_stats(&line).expect("decode");
+        prop_assert_eq!(decoded, stats);
+        prop_assert_eq!(wire::encode_san_stats(&decoded), line);
+    }
+
+    /// `Diagnostic` round-trips exactly under hostile strings, optional
+    /// bounds, and extreme offsets.
+    #[test]
+    fn diagnostic_round_trip(diag in diagnostic_strategy()) {
+        let line = wire::encode_diagnostic(&diag);
+        let decoded = wire::decode_diagnostic(&line).expect("decode");
+        prop_assert_eq!(&decoded, &diag);
+        prop_assert_eq!(wire::encode_diagnostic(&decoded), line);
+    }
+
+    /// `ErrorStats` round-trips exactly; the per-kind maps re-encode to
+    /// the same bytes regardless of `HashMap` iteration order.
+    #[test]
+    fn error_stats_round_trip(errors in error_stats_strategy()) {
+        let mut lines = Vec::new();
+        wire::encode_error_stats(&errors, &mut lines);
+        let mut src = SliceLines::new(&lines);
+        let decoded = wire::decode_error_stats(&mut src).expect("decode");
+        prop_assert_eq!(&decoded, &errors);
+        let mut again = Vec::new();
+        wire::encode_error_stats(&decoded, &mut again);
+        prop_assert_eq!(again, lines);
+    }
+
+    /// Whole `SpecRow` blocks — including empty report lists and empty
+    /// diagnostics — re-encode to byte-identical lines after a decode
+    /// (bit-identity even where NaN `f64`s make struct equality useless).
+    #[test]
+    fn spec_row_round_trip(row in spec_row_strategy()) {
+        let mut lines = Vec::new();
+        wire::encode_spec_row(&row, &mut lines);
+        let mut src = SliceLines::new(&lines);
+        let decoded = wire::decode_spec_row(&mut src).expect("decode");
+        let mut again = Vec::new();
+        wire::encode_spec_row(&decoded, &mut again);
+        prop_assert_eq!(again, lines);
+        prop_assert_eq!(decoded.reports.len(), row.reports.len());
+    }
+}
+
+/// Every one of the 13 registered backend names survives the report
+/// header round trip (the wire spells backends by registry name).
+#[test]
+fn all_thirteen_sanitizer_names_round_trip_in_reports() {
+    assert_eq!(SanitizerKind::ALL.len(), 13);
+    for kind in SanitizerKind::ALL {
+        let report = RunReport {
+            sanitizer: kind,
+            result: Some(7),
+            vm_error: None,
+            exec: ExecStats::default(),
+            checks: SanStats::default(),
+            errors: ErrorStats::default(),
+            diagnostics: Vec::new(),
+            wall_time: Duration::from_nanos(42),
+            cost: 1.5,
+            peak_memory_bytes: 4096,
+            legacy_check_fraction: 0.011,
+            static_checks: 3,
+        };
+        let mut lines = Vec::new();
+        wire::encode_run_report(&report, &mut lines);
+        let mut src = SliceLines::new(&lines);
+        let decoded = wire::decode_run_report(&mut src).expect("decode");
+        assert_eq!(decoded, report, "round trip failed for {kind}");
+    }
+}
+
+/// An empty diagnostics list stays empty (and costs exactly one line).
+#[test]
+fn empty_diagnostics_round_trip() {
+    let report = RunReport {
+        sanitizer: SanitizerKind::None,
+        result: None,
+        vm_error: Some(String::new()),
+        exec: ExecStats::default(),
+        checks: SanStats::default(),
+        errors: ErrorStats::default(),
+        diagnostics: Vec::new(),
+        wall_time: Duration::ZERO,
+        cost: 0.0,
+        peak_memory_bytes: 0,
+        legacy_check_fraction: 0.0,
+        static_checks: 0,
+    };
+    let mut lines = Vec::new();
+    wire::encode_run_report(&report, &mut lines);
+    assert!(lines.contains(&"diags\t0".to_string()));
+    let mut src = SliceLines::new(&lines);
+    assert_eq!(wire::decode_run_report(&mut src).expect("decode"), report);
+}
