@@ -1,9 +1,11 @@
 //! Micro-benchmarks of the layout function and layout hash table — the
-//! data structure every `type_check` depends on (§5).
+//! data structure every `type_check` depends on (§5) — including the
+//! interned (`TypeId`-keyed) lookup against the structural (by-`Type`)
+//! entry point it replaced on the hot path.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use effective_san::effective_types::{
-    layout_at, FieldDef, RecordDef, Type, TypeLayout, TypeRegistry,
+    layout_at, FieldDef, RecordDef, Type, TypeInterner, TypeLayout, TypeRegistry,
 };
 
 fn paper_registry() -> TypeRegistry {
@@ -42,15 +44,32 @@ fn bench_layout(c: &mut Criterion) {
     });
 
     c.bench_function("layout_table_build", |b| {
-        b.iter(|| TypeLayout::build(std::hint::black_box(&reg), &ty).unwrap())
+        b.iter(|| {
+            let mut interner = TypeInterner::new();
+            TypeLayout::build(std::hint::black_box(&reg), &mut interner, &ty).unwrap()
+        })
     });
 
-    let table = TypeLayout::build(&reg, &ty).unwrap();
-    c.bench_function("layout_table_lookup_hit", |b| {
-        b.iter(|| table.lookup(std::hint::black_box(&Type::int()), 8))
+    let mut interner = TypeInterner::new();
+    let table = TypeLayout::build(&reg, &mut interner, &ty).unwrap();
+    let int_id = interner.intern(&Type::int());
+    let double_id = interner.intern(&Type::double());
+
+    // The structural entry point: hashes the `Type` through the interner
+    // map on every probe (the pre-interning cost, minus the key clone).
+    c.bench_function("layout_table_lookup_structural_hit", |b| {
+        b.iter(|| table.lookup(&interner, std::hint::black_box(&Type::int()), 8))
     });
-    c.bench_function("layout_table_lookup_miss", |b| {
-        b.iter(|| table.lookup(std::hint::black_box(&Type::double()), 8))
+    c.bench_function("layout_table_lookup_structural_miss", |b| {
+        b.iter(|| table.lookup(&interner, std::hint::black_box(&Type::double()), 8))
+    });
+
+    // The interned hot path: a `(u32, u64)` hash, no structural hashing.
+    c.bench_function("layout_table_lookup_interned_hit", |b| {
+        b.iter(|| table.lookup_id(&interner, std::hint::black_box(int_id), 8))
+    });
+    c.bench_function("layout_table_lookup_interned_miss", |b| {
+        b.iter(|| table.lookup_id(&interner, std::hint::black_box(double_id), 8))
     });
 }
 

@@ -1,0 +1,165 @@
+//! The perf-trajectory smoke benchmark: a fixed benchmark × backend
+//! subset timed with best-of-N wall clock, written to `BENCH_interp.json`
+//! so interpreter throughput is tracked across PRs.
+//!
+//! The subset is deliberately check-heavy (pointer-chasing, tree walks,
+//! string/DOM-style code) — the paths the O(1) check hot path targets —
+//! plus the uninstrumented baseline for reference.  The benchmark and
+//! backend sets are fixed so the JSON is comparable across revisions;
+//! only `PERF_SMOKE_REPS` (default 3) and the output path (first CLI
+//! argument, default `BENCH_interp.json`) can be overridden.
+//!
+//! Caching and interning change *nothing* observable: the deterministic
+//! cost model (`RunReport::cost`) sees identical check counts with or
+//! without them, so `cost` rows stay bit-comparable across PRs while
+//! `wall_ns` tracks real interpreter speed.  Cache hit rates are reported
+//! so the per-site check cache's effect is visible.
+
+use std::time::Instant;
+
+use effective_san::workloads::SpecBenchmark;
+use effective_san::{minic, run_program, RunConfig, RunReport, SanitizerKind, Scale};
+use sweep::json::json_escape;
+
+/// The fixed benchmark subset (see module docs).
+const BENCHMARKS: &[&str] = &["mcf", "gobmk", "astar", "xalancbmk"];
+
+/// The fixed backend subset: uninstrumented reference, the headline
+/// EffectiveSan-full backend, the reduced-instrumentation variant, and one
+/// baseline comparison tool.
+const BACKENDS: &[SanitizerKind] = &[
+    SanitizerKind::None,
+    SanitizerKind::EffectiveFull,
+    SanitizerKind::EffectiveBounds,
+    SanitizerKind::AddressSanitizer,
+];
+
+struct Row {
+    benchmark: &'static str,
+    backend: SanitizerKind,
+    wall_ns: u128,
+    report: RunReport,
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_interp.json".to_string());
+    let reps: usize = std::env::var("PERF_SMOKE_REPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&r| r > 0)
+        .unwrap_or(3);
+    let scale = Scale::Small;
+
+    let mut rows: Vec<Row> = Vec::new();
+    for &name in BENCHMARKS {
+        let bench = SpecBenchmark::by_name(name)
+            .unwrap_or_else(|| panic!("unknown perf_smoke benchmark `{name}`"));
+        let source = bench.source(scale);
+        let program = minic::compile(&source)
+            .unwrap_or_else(|e| panic!("workload {name} failed to compile: {e}"));
+        for &backend in BACKENDS {
+            let config = RunConfig::for_sanitizer(backend);
+            let mut best: Option<(u128, RunReport)> = None;
+            for _ in 0..reps {
+                let start = Instant::now();
+                let report = run_program(&program, "bench_main", &[scale.n()], &config);
+                let wall_ns = start.elapsed().as_nanos();
+                if best.as_ref().is_none_or(|(b, _)| wall_ns < *b) {
+                    best = Some((wall_ns, report));
+                }
+            }
+            let (wall_ns, report) = best.expect("reps >= 1");
+            rows.push(Row {
+                benchmark: name,
+                backend,
+                wall_ns,
+                report,
+            });
+        }
+    }
+
+    let json = render_json(&rows, reps);
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+
+    print_summary(&rows, reps, &out_path);
+}
+
+fn instructions_of(r: &RunReport) -> u64 {
+    r.exec.instructions + r.exec.check_instructions
+}
+
+fn instructions_per_sec(r: &Row) -> f64 {
+    if r.wall_ns == 0 {
+        return 0.0;
+    }
+    instructions_of(&r.report) as f64 / (r.wall_ns as f64 / 1e9)
+}
+
+fn render_json(rows: &[Row], reps: usize) -> String {
+    let mut body: Vec<String> = Vec::new();
+    for r in rows {
+        let c = &r.report.checks;
+        body.push(format!(
+            "  {{\"benchmark\":\"{}\",\"backend\":\"{}\",\"wall_ns\":{},\
+             \"instructions\":{},\"instructions_per_sec\":{:.1},\
+             \"total_checks\":{},\"check_cache_hits\":{},\"check_cache_misses\":{},\
+             \"check_cache_hit_rate\":{:.6},\"cost\":{:.1},\"distinct_issues\":{}}}",
+            json_escape(r.benchmark),
+            json_escape(r.backend.name()),
+            r.wall_ns,
+            instructions_of(&r.report),
+            instructions_per_sec(r),
+            c.total_checks(),
+            c.check_cache_hits,
+            c.check_cache_misses,
+            c.check_cache_hit_rate(),
+            r.report.cost,
+            r.report.errors.distinct_issues,
+        ));
+    }
+    let full_total: u128 = rows
+        .iter()
+        .filter(|r| r.backend == SanitizerKind::EffectiveFull)
+        .map(|r| r.wall_ns)
+        .sum();
+    let base_total: u128 = rows
+        .iter()
+        .filter(|r| r.backend == SanitizerKind::None)
+        .map(|r| r.wall_ns)
+        .sum();
+    format!(
+        "{{\n\"schema\":\"effective-san-perf-smoke/1\",\n\"scale\":\"small\",\n\
+         \"reps\":{reps},\n\"effective_full_total_wall_ns\":{full_total},\n\
+         \"uninstrumented_total_wall_ns\":{base_total},\n\"rows\":[\n{}\n]\n}}\n",
+        body.join(",\n")
+    )
+}
+
+fn print_summary(rows: &[Row], reps: usize, out_path: &str) {
+    println!("perf_smoke — interpreter throughput (scale Small, best of {reps})\n");
+    println!(
+        "{:<12} {:<22} {:>12} {:>14} {:>10}",
+        "benchmark", "backend", "wall ms", "Minstr/s", "cache hit"
+    );
+    bench::rule(74);
+    for r in rows {
+        let hitrate = r.report.checks.check_cache_hit_rate();
+        println!(
+            "{:<12} {:<22} {:>12.2} {:>14.1} {:>9.1}%",
+            r.benchmark,
+            r.backend.name(),
+            r.wall_ns as f64 / 1e6,
+            instructions_per_sec(r) / 1e6,
+            hitrate * 100.0,
+        );
+    }
+    bench::rule(74);
+    let full: Vec<&Row> = rows
+        .iter()
+        .filter(|r| r.backend == SanitizerKind::EffectiveFull)
+        .collect();
+    let total_ms: f64 = full.iter().map(|r| r.wall_ns as f64 / 1e6).sum();
+    println!("EffectiveSan-full total: {total_ms:.2} ms  (wrote {out_path})");
+}

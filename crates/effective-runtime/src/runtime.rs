@@ -20,10 +20,11 @@
 //! * [`TypeCheckRuntime::cast_check`] — the cast-site check used by the
 //!   EffectiveSan-type variant (§6.2).
 
-use std::collections::HashMap;
 use std::sync::Arc;
 
-use effective_types::{LayoutTable, MatchKind, Type, TypeLayout, TypeRegistry};
+use effective_types::{
+    LayoutMatch, MatchKind, RelBounds, Type, TypeId, TypeInterner, TypeLayout, TypeRegistry,
+};
 use lowfat::{AllocKind, AllocatorConfig, LowFatAllocator, Memory, Ptr};
 use serde::{Deserialize, Serialize};
 
@@ -69,6 +70,12 @@ pub struct CheckStats {
     pub typed_allocations: u64,
     /// Typed frees performed.
     pub typed_frees: u64,
+    /// `type_check`/`cast_check` calls satisfied by the per-site check
+    /// cache (no layout-table walk).
+    pub check_cache_hits: u64,
+    /// `type_check`/`cast_check` calls that walked the layout table (and,
+    /// on success, populated the cache).
+    pub check_cache_misses: u64,
 }
 
 impl CheckStats {
@@ -78,21 +85,138 @@ impl CheckStats {
     }
 }
 
+/// Number of slots in the direct-mapped per-site check cache.  Power of
+/// two; large enough that the working set of (allocation type, static
+/// type, offset) triples of a typical inner loop never conflicts.
+const CHECK_CACHE_SLOTS: usize = 1024;
+
+/// One slot of the per-site check cache: a memoised *successful*
+/// `(allocation TypeId, static TypeId, normalised offset) → LayoutMatch`
+/// layout-table result.
+///
+/// Failed lookups are deliberately never cached: every failing check must
+/// reach the reporter (the abort-after-N and total-event counters are
+/// per-occurrence), so only the all-clear fast path is memoised.
+///
+/// # Invalidation
+///
+/// Entries never go stale because the allocation `TypeId` in the key is
+/// read from the object's `META` header *on every check*: freeing an
+/// object rebinds it to `FREE` (checked before the cache is consulted),
+/// and reallocation/quarantine reuse writes a fresh type id, so a cached
+/// entry for the old binding can no longer be keyed.  Ids are never
+/// reused by the interner, and the mapping id → layout is immutable, so a
+/// matching key always denotes a valid memoisation.
+#[derive(Clone, Copy)]
+struct CheckCacheSlot {
+    alloc_id: u32,
+    static_id: u32,
+    offset: u64,
+    result: LayoutMatch,
+    valid: bool,
+}
+
+impl CheckCacheSlot {
+    const EMPTY: CheckCacheSlot = CheckCacheSlot {
+        alloc_id: 0,
+        static_id: 0,
+        offset: 0,
+        result: LayoutMatch {
+            bounds: RelBounds::UNBOUNDED,
+            kind: MatchKind::Free,
+        },
+        valid: false,
+    };
+}
+
+/// The direct-mapped check cache (see [`CheckCacheSlot`]).
+struct CheckCache {
+    slots: Box<[CheckCacheSlot]>,
+}
+
+impl CheckCache {
+    fn new() -> Self {
+        CheckCache {
+            slots: vec![CheckCacheSlot::EMPTY; CHECK_CACHE_SLOTS].into_boxed_slice(),
+        }
+    }
+
+    fn index(alloc_id: TypeId, static_id: TypeId, offset: u64) -> usize {
+        let key = (alloc_id.raw() as u64) << 32 | static_id.raw() as u64;
+        let h = key
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(offset.wrapping_mul(0xA24B_AED4_963E_E407));
+        (h >> 32) as usize & (CHECK_CACHE_SLOTS - 1)
+    }
+
+    fn get(&self, alloc_id: TypeId, static_id: TypeId, offset: u64) -> Option<LayoutMatch> {
+        let slot = &self.slots[Self::index(alloc_id, static_id, offset)];
+        if slot.valid
+            && slot.alloc_id == alloc_id.raw()
+            && slot.static_id == static_id.raw()
+            && slot.offset == offset
+        {
+            Some(slot.result)
+        } else {
+            None
+        }
+    }
+
+    fn insert(&mut self, alloc_id: TypeId, static_id: TypeId, offset: u64, result: LayoutMatch) {
+        self.slots[Self::index(alloc_id, static_id, offset)] = CheckCacheSlot {
+            alloc_id: alloc_id.raw(),
+            static_id: static_id.raw(),
+            offset,
+            result,
+            valid: true,
+        };
+    }
+
+    fn clear(&mut self) {
+        self.slots.fill(CheckCacheSlot::EMPTY);
+    }
+}
+
+impl std::fmt::Debug for CheckCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let used = self.slots.iter().filter(|s| s.valid).count();
+        write!(f, "CheckCache({used}/{CHECK_CACHE_SLOTS} slots)")
+    }
+}
+
+/// A [`TypeId`]-indexed layout slot: distinguishes "never attempted" from
+/// "attempted but unlayoutable" so failed builds are not retried per
+/// allocation.
+#[derive(Clone, Debug, Default)]
+enum LayoutEntry {
+    /// No build attempted yet (ids interned only as layout keys).
+    #[default]
+    Unbuilt,
+    /// The type cannot be laid out (e.g. `void`, undefined record tags);
+    /// allocations of it behave like legacy allocations.
+    Unlayoutable,
+    /// The built layout table.
+    Built(Arc<TypeLayout>),
+}
+
 /// The EffectiveSan runtime: typed allocation, dynamic type checks, bounds
 /// checks and error reporting over a simulated low-fat address space.
 #[derive(Debug)]
 pub struct TypeCheckRuntime {
     registry: Arc<TypeRegistry>,
-    layout_cache: LayoutTable,
-    type_ids: HashMap<Type, u32>,
-    types_by_id: Vec<(Type, Option<Arc<TypeLayout>>)>,
+    /// Dense type ids: `META` headers store [`TypeId::raw`] values, so the
+    /// hot path maps header word → layout with one vector index.
+    interner: TypeInterner,
+    /// Layout tables indexed by [`TypeId`].
+    layouts: Vec<LayoutEntry>,
+    /// The per-site check cache (see [`CheckCacheSlot`]).
+    check_cache: CheckCache,
     /// The simulated low-fat allocator.
     pub allocator: LowFatAllocator,
     /// The simulated memory backing the address space.
     pub memory: Memory,
     reporter: ErrorReporter,
     stats: CheckStats,
-    free_type_id: u32,
 }
 
 impl TypeCheckRuntime {
@@ -100,18 +224,22 @@ impl TypeCheckRuntime {
     pub fn new(registry: Arc<TypeRegistry>, config: RuntimeConfig) -> Self {
         let mut rt = TypeCheckRuntime {
             registry,
-            layout_cache: LayoutTable::new(),
-            type_ids: HashMap::new(),
-            // Id 0 is reserved for "no type bound" (untyped / foreign
-            // allocations read back zeroed META words).
-            types_by_id: vec![(Type::void(), None)],
+            // The interner pre-seeds the well-known ids; id 0 (`void`)
+            // doubles as "no type bound" — untyped / foreign allocations
+            // read back zeroed META words.
+            interner: TypeInterner::new(),
+            layouts: Vec::new(),
+            check_cache: CheckCache::new(),
             allocator: LowFatAllocator::new(config.allocator),
             memory: Memory::new(),
             reporter: ErrorReporter::new(config.reporter),
             stats: CheckStats::default(),
-            free_type_id: 0,
         };
-        rt.free_type_id = rt.register_type(&Type::Free);
+        // Build layouts for the pre-seeded ids (FREE gets its empty table,
+        // matching the old eager FREE registration).
+        for raw in 0..rt.interner.len() as u32 {
+            rt.build_layout_for(TypeId::from_raw(raw));
+        }
         rt
     }
 
@@ -141,42 +269,93 @@ impl TypeCheckRuntime {
         self.reporter.halted()
     }
 
+    /// Drop every memoised per-site check-cache entry.
+    ///
+    /// Correctness never requires this — `free`/`realloc` invalidate by
+    /// rebinding the `META` type id, which the cache key starts from — but
+    /// tests use it to compare cached and uncached behaviour.
+    pub fn invalidate_check_cache(&mut self) {
+        self.check_cache.clear();
+    }
+
     /// Total number of layout-hash-table entries materialised so far
     /// (type meta data footprint).
     pub fn layout_table_entries(&self) -> usize {
-        self.layout_cache.total_entries()
+        self.layouts
+            .iter()
+            .map(|l| match l {
+                LayoutEntry::Built(t) => t.entry_count(),
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// The type interner backing `META` ids and layout-table keys.
+    pub fn interner(&self) -> &TypeInterner {
+        &self.interner
     }
 
     /// Intern a type, building (and caching) its layout table.
     ///
-    /// Returns a dense id used in `META` headers.  Unknown/record types that
-    /// cannot be laid out (e.g. undefined tags) are registered without a
-    /// layout and behave like legacy allocations.
-    pub fn register_type(&mut self, ty: &Type) -> u32 {
-        let key = ty.strip_array().clone();
-        if let Some(&id) = self.type_ids.get(&key) {
-            return id;
-        }
-        let layout = TypeLayout::build(&self.registry, &key).ok().map(Arc::new);
-        if layout.is_none() && !key.is_free() {
-            // Fall back to the shared layout cache only for layoutable
-            // types; others keep `None`.
-        }
-        let id = self.types_by_id.len() as u32;
-        self.types_by_id.push((key.clone(), layout));
-        self.type_ids.insert(key, id);
+    /// Returns the dense id used in `META` headers.  Unknown/record types
+    /// that cannot be laid out (e.g. undefined tags) are registered without
+    /// a layout and behave like legacy allocations.
+    pub fn register_type(&mut self, ty: &Type) -> TypeId {
+        let id = self.interner.intern(ty);
+        self.build_layout_for(id);
         id
+    }
+
+    /// Pre-intern (and build layouts for) every type a program references,
+    /// so the check hot path never pays a first-touch layout build and the
+    /// `META` ids are assigned densely at load time.
+    pub fn preload_types(&mut self, types: &[Type]) {
+        for ty in types {
+            self.register_type(ty);
+        }
+    }
+
+    /// Build (once) the layout table behind `id`.  Types that cannot be
+    /// laid out are marked [`LayoutEntry::Unlayoutable`] and behave like
+    /// legacy allocations.
+    fn build_layout_for(&mut self, id: TypeId) {
+        if id.index() >= self.layouts.len() {
+            self.layouts.resize(id.index() + 1, LayoutEntry::Unbuilt);
+        }
+        if !matches!(self.layouts[id.index()], LayoutEntry::Unbuilt) {
+            return;
+        }
+        let Some(element) = self.interner.resolve(id).cloned() else {
+            return;
+        };
+        let layout = match TypeLayout::build(&self.registry, &mut self.interner, &element) {
+            Ok(t) => LayoutEntry::Built(Arc::new(t)),
+            Err(_) => LayoutEntry::Unlayoutable,
+        };
+        // Building may have interned new key types; keep the vector dense.
+        if self.interner.len() > self.layouts.len() {
+            self.layouts
+                .resize(self.interner.len(), LayoutEntry::Unbuilt);
+        }
+        self.layouts[id.index()] = layout;
+    }
+
+    fn layout_of(&self, id: TypeId) -> Option<&Arc<TypeLayout>> {
+        match self.layouts.get(id.index()) {
+            Some(LayoutEntry::Built(t)) => Some(t),
+            _ => None,
+        }
     }
 
     /// The dynamic (allocation) type currently bound to the object that
     /// `ptr` points (into), if any.
     pub fn dynamic_type_of(&self, ptr: Ptr) -> Option<&Type> {
         let base = self.allocator.base(ptr)?;
-        let id = self.memory.read_u64(base) as u32;
-        self.types_by_id
-            .get(id as usize)
-            .map(|(t, _)| t)
-            .filter(|_| id != 0)
+        let id = TypeId::from_raw(self.memory.read_u64(base) as u32);
+        if id == TypeId::UNTYPED {
+            return None;
+        }
+        self.interner.resolve(id)
     }
 
     /// The allocation bounds (excluding the META header) of the object that
@@ -184,7 +363,7 @@ impl TypeCheckRuntime {
     pub fn allocation_bounds(&self, ptr: Ptr) -> Option<Bounds> {
         let base = self.allocator.base(ptr)?;
         let id = self.memory.read_u64(base) as u32;
-        if id == 0 || id as usize >= self.types_by_id.len() {
+        if id == 0 || id as usize >= self.interner.len() {
             return None;
         }
         let size = self.memory.read_u64(base.add(8));
@@ -212,7 +391,7 @@ impl TypeCheckRuntime {
             // carry meta data retrievable via base().
             return base;
         }
-        self.memory.write_u64(base, id as u64);
+        self.memory.write_u64(base, id.raw() as u64);
         self.memory.write_u64(base.add(8), size);
         base.add(META_SIZE)
     }
@@ -229,13 +408,13 @@ impl TypeCheckRuntime {
             // Legacy pointer: nothing to check, nothing to do.
             return true;
         };
-        let id = self.memory.read_u64(base) as u32;
+        let id = TypeId::from_raw(self.memory.read_u64(base) as u32);
         let dyn_ty = self
-            .types_by_id
-            .get(id as usize)
-            .map(|(t, _)| t.clone())
+            .interner
+            .resolve(id)
+            .cloned()
             .unwrap_or_else(Type::void);
-        if id == self.free_type_id {
+        if id == TypeId::FREE {
             self.report(
                 ErrorKind::DoubleFree,
                 &Type::void(),
@@ -249,8 +428,10 @@ impl TypeCheckRuntime {
         }
         // Bind the FREE type.  The allocator preserves the META words until
         // the block is reallocated (the memory is simply not zeroed).
-        let free_id = self.free_type_id;
-        self.memory.write_u64(base, free_id as u64);
+        // Rebinding the id is also what invalidates the per-site check
+        // cache for this object: the cache key starts from the META id, so
+        // stale entries for the old binding become unreachable.
+        self.memory.write_u64(base, TypeId::FREE.raw() as u64);
         if ptr != base.add(META_SIZE) {
             // Freeing an interior pointer is itself undefined behaviour;
             // report it as a type error against the dynamic type.
@@ -386,13 +567,10 @@ impl TypeCheckRuntime {
             self.stats.legacy_type_checks += 1;
             return Bounds::WIDE;
         };
-        let id = self.memory.read_u64(base) as u32;
-        let Some((alloc_ty, layout)) = self.types_by_id.get(id as usize).cloned() else {
-            self.stats.legacy_type_checks += 1;
-            return Bounds::WIDE;
-        };
-        if id == 0 {
-            // Low-fat but never typed (foreign allocation): treat as legacy.
+        let id = TypeId::from_raw(self.memory.read_u64(base) as u32);
+        if id == TypeId::UNTYPED || id.index() >= self.interner.len() {
+            // Low-fat but never typed (foreign allocation) or garbage META:
+            // treat as legacy.
             self.stats.legacy_type_checks += 1;
             return Bounds::WIDE;
         }
@@ -401,8 +579,10 @@ impl TypeCheckRuntime {
         let obj_base = base.add(META_SIZE);
         let alloc_bounds = Bounds::from_base_size(obj_base, alloc_size);
 
-        // Use-after-free: the dynamic type is FREE.
-        if id == self.free_type_id {
+        // Use-after-free: the dynamic type is FREE.  Checked before the
+        // check cache is consulted, so a cached entry for a previous
+        // binding of this block can never mask a use-after-free.
+        if id == TypeId::FREE {
             self.stats.failed_type_checks += 1;
             self.report(
                 ErrorKind::UseAfterFree,
@@ -421,6 +601,7 @@ impl TypeCheckRuntime {
         let delta = ptr.diff(obj_base);
         if delta < 0 {
             self.stats.failed_type_checks += 1;
+            let alloc_ty = self.resolve_or_void(id);
             self.report(
                 failure_kind,
                 static_ty,
@@ -434,34 +615,40 @@ impl TypeCheckRuntime {
         }
         let k = delta as u64;
 
-        let Some(layout) = layout else {
+        let Some(layout) = self.layout_of(id) else {
             self.stats.legacy_type_checks += 1;
             return Bounds::WIDE;
         };
+        let layout = layout.clone();
 
-        match layout.lookup(static_ty, k) {
+        // The O(1) hot path: normalise once, intern the static type (a
+        // single hash; repeated checks at a site hit the same id), then
+        // probe the direct-mapped per-site cache before walking the layout
+        // table.  Only successful matches are memoised — failures must
+        // reach the reporter every time.
+        let k_norm = layout.normalize_offset(k);
+        let static_id = self.interner.intern(static_ty);
+        if let Some(m) = self.check_cache.get(id, static_id, k_norm) {
+            self.stats.check_cache_hits += 1;
+            return Self::match_to_bounds(ptr, m, alloc_bounds);
+        }
+        self.stats.check_cache_misses += 1;
+
+        match layout.lookup_id(&self.interner, static_id, k_norm) {
             Some(m) => {
-                let sub = match m.kind {
-                    MatchKind::ContainingArray | MatchKind::ByteAccess => alloc_bounds,
-                    _ if m.bounds.is_unbounded() => alloc_bounds,
-                    _ => Bounds::new(
-                        ptr.addr().wrapping_add(m.bounds.lo as u64),
-                        ptr.addr().wrapping_add(m.bounds.hi as u64),
-                    ),
-                };
-                // Fig. 6 line 20: narrow to the allocation bounds (the
-                // layout table is built for the incomplete type T[]).
-                sub.narrow(alloc_bounds)
+                self.check_cache.insert(id, static_id, k_norm, m);
+                Self::match_to_bounds(ptr, m, alloc_bounds)
             }
             None => {
                 self.stats.failed_type_checks += 1;
+                let alloc_ty = self.resolve_or_void(id);
                 let detail =
                     format!("no sub-object of type `{static_ty}` at offset {k} of `{alloc_ty}`");
                 self.report(
                     failure_kind,
                     static_ty,
                     &alloc_ty,
-                    layout.normalize_offset(k),
+                    k_norm,
                     Some(alloc_bounds),
                     location,
                     detail,
@@ -469,6 +656,28 @@ impl TypeCheckRuntime {
                 Bounds::WIDE
             }
         }
+    }
+
+    /// Convert a (possibly cached) [`LayoutMatch`] into absolute bounds,
+    /// narrowed to the allocation (Fig. 6 line 20: the layout table is
+    /// built for the incomplete type `T[]`).
+    fn match_to_bounds(ptr: Ptr, m: LayoutMatch, alloc_bounds: Bounds) -> Bounds {
+        let sub = match m.kind {
+            MatchKind::ContainingArray | MatchKind::ByteAccess => alloc_bounds,
+            _ if m.bounds.is_unbounded() => alloc_bounds,
+            _ => Bounds::new(
+                ptr.addr().wrapping_add(m.bounds.lo as u64),
+                ptr.addr().wrapping_add(m.bounds.hi as u64),
+            ),
+        };
+        sub.narrow(alloc_bounds)
+    }
+
+    fn resolve_or_void(&self, id: TypeId) -> Type {
+        self.interner
+            .resolve(id)
+            .cloned()
+            .unwrap_or_else(Type::void)
     }
 
     fn classify_bounds_failure(&self, ptr: Ptr, escape: bool) -> (ErrorKind, Type, u64) {
@@ -810,6 +1019,132 @@ mod tests {
         assert_eq!(stats.cast_checks, 1);
         assert_eq!(stats.typed_allocations, 1);
         assert_eq!(stats.total_checks(), 4);
+    }
+
+    #[test]
+    fn check_cache_hits_on_repeated_site_checks() {
+        // The dominant workload pattern: a loop re-checking the same
+        // (allocation type, static type, offset) triple.
+        let mut rt = runtime();
+        let p = rt.type_malloc(100 * 4, &Type::int(), AllocKind::Heap);
+        let expected = Bounds::from_base_size(p, 400);
+        for i in 0..50 {
+            let b = rt.type_check(p, &Type::int(), &loc("loop"));
+            assert_eq!(b, expected, "iteration {i}");
+        }
+        let stats = rt.stats();
+        assert_eq!(stats.check_cache_misses, 1);
+        assert_eq!(stats.check_cache_hits, 49);
+        // Clearing the cache forces a fresh walk with the same outcome.
+        rt.invalidate_check_cache();
+        let b = rt.type_check(p, &Type::int(), &loc("loop"));
+        assert_eq!(b, expected);
+        assert_eq!(rt.stats().check_cache_misses, 2);
+    }
+
+    #[test]
+    fn check_cache_failures_are_never_cached() {
+        let mut rt = runtime();
+        let p = rt.type_malloc(4 * 4, &Type::int(), AllocKind::Heap);
+        for _ in 0..5 {
+            assert!(rt.type_check(p, &Type::float(), &loc("bad")).is_wide());
+        }
+        let stats = rt.stats();
+        // Every failing check misses the cache and reaches the reporter.
+        assert_eq!(stats.check_cache_hits, 0);
+        assert_eq!(stats.check_cache_misses, 5);
+        assert_eq!(stats.failed_type_checks, 5);
+        assert_eq!(rt.reporter().stats().total_events, 5);
+    }
+
+    #[test]
+    fn check_cache_never_masks_use_after_free() {
+        // A hot, cached check site must still detect the free: the FREE
+        // binding is consulted before the cache.
+        let mut rt = runtime();
+        let p = rt.type_malloc(24, &Type::struct_("S"), AllocKind::Heap);
+        for _ in 0..10 {
+            assert!(!rt.type_check(p, &Type::struct_("S"), &loc("hot")).is_wide());
+        }
+        assert_eq!(rt.stats().check_cache_hits, 9);
+        rt.type_free(p, &loc("free"));
+        let b = rt.type_check(p, &Type::struct_("S"), &loc("stale"));
+        assert!(b.is_wide());
+        assert_eq!(rt.reporter().stats().issues_of(ErrorKind::UseAfterFree), 1);
+        // The UAF path bypassed the cache entirely: counters unchanged.
+        assert_eq!(rt.stats().check_cache_hits, 9);
+        assert_eq!(rt.stats().check_cache_misses, 1);
+    }
+
+    #[test]
+    fn check_cache_respects_quarantine_reuse_with_new_type() {
+        // Free + reallocate the same block under a different type: the
+        // META id rebind re-keys the cache, so the stale entry for the old
+        // binding can never be hit.
+        let mut rt = runtime();
+        let p = rt.type_malloc(24, &Type::struct_("S"), AllocKind::Heap);
+        for _ in 0..4 {
+            rt.type_check(p, &Type::struct_("S"), &loc("warm"));
+        }
+        rt.type_free(p, &loc("free"));
+        let q = rt.type_malloc(24, &Type::float(), AllocKind::Heap);
+        assert_eq!(p, q, "block must be reused for this test to bite");
+        // The dangling pointer's checks now key on the float binding and
+        // fail — the warm `struct S` cache entry is unreachable.
+        let b = rt.type_check(p, &Type::struct_("S"), &loc("dangling"));
+        assert!(b.is_wide());
+        assert!(rt.reporter().stats().type_issues() >= 1);
+        // The new owner's checks populate and then hit their own entry.
+        let before = rt.stats().check_cache_hits;
+        rt.type_check(q, &Type::float(), &loc("owner"));
+        rt.type_check(q, &Type::float(), &loc("owner"));
+        assert_eq!(rt.stats().check_cache_hits, before + 1);
+    }
+
+    #[test]
+    fn check_cache_realloc_rebinds_before_reuse() {
+        // type_realloc frees the old block (FREE rebind); checks through
+        // the stale pointer after a warm cache still report.
+        let mut rt = runtime();
+        let p = rt.type_malloc(16, &Type::int(), AllocKind::Heap);
+        for _ in 0..3 {
+            rt.type_check(p, &Type::int(), &loc("warm"));
+        }
+        let q = rt.type_realloc(p, 64, &Type::int(), AllocKind::Heap, &loc("realloc"));
+        assert_ne!(p, q);
+        let b = rt.type_check(p, &Type::int(), &loc("stale"));
+        assert!(b.is_wide());
+        assert_eq!(rt.reporter().stats().issues_of(ErrorKind::UseAfterFree), 1);
+    }
+
+    #[test]
+    fn cast_checks_share_the_site_cache() {
+        let mut rt = runtime();
+        let p = rt.type_malloc(24, &Type::struct_("S"), AllocKind::Heap);
+        rt.type_check(p, &Type::struct_("S"), &loc("a"));
+        // Same (alloc, static, offset) triple through the cast-site entry
+        // point: a hit, because successes are failure-kind independent.
+        rt.cast_check(p, &Type::struct_("S"), &loc("b"));
+        let stats = rt.stats();
+        assert_eq!(stats.check_cache_misses, 1);
+        assert_eq!(stats.check_cache_hits, 1);
+        assert_eq!(stats.cast_checks, 1);
+        assert_eq!(stats.type_checks, 1);
+    }
+
+    #[test]
+    fn preload_types_builds_layouts_upfront_without_stat_noise() {
+        let mut rt = runtime();
+        rt.preload_types(&[Type::struct_("S"), Type::struct_("T"), Type::int()]);
+        let entries = rt.layout_table_entries();
+        assert!(entries > 0);
+        assert_eq!(rt.stats(), CheckStats::default());
+        // Re-registering is idempotent.
+        rt.preload_types(&[Type::struct_("S")]);
+        assert_eq!(rt.layout_table_entries(), entries);
+        // Checks behave identically on preloaded types.
+        let p = rt.type_malloc(24, &Type::struct_("S"), AllocKind::Heap);
+        assert!(!rt.type_check(p, &Type::struct_("S"), &loc("pre")).is_wide());
     }
 
     #[test]

@@ -25,10 +25,19 @@
 //! * unbounded entries for the containing allocation array itself
 //!   (Example 6: `(T, T, 0) ↦ −∞..∞`), later narrowed to the allocation
 //!   bounds by the runtime.
+//!
+//! To keep the probe genuinely O(1), the table is keyed by interned
+//! [`TypeId`]s rather than structural [`Type`] values: a lookup hashes a
+//! `(u32, u64)` pair instead of deep-hashing (and cloning) a type, and the
+//! coercion probes use the fixed ids [`TypeId::CHAR`] / [`TypeId::VOID_PTR`]
+//! with no hashing of the coerced type at all.  A structural reference
+//! implementation (the pre-interning code path) is kept under `#[cfg(test)]`
+//! and property-tested equal to the interned path.
 
 use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
 
+use crate::intern::{TypeId, TypeInterner, TypeTraits};
 use crate::layout::{layout_at, SubObject};
 use crate::registry::{TypeError, TypeRegistry};
 use crate::types::Type;
@@ -137,33 +146,26 @@ impl Candidate {
     }
 }
 
-/// The pre-computed layout table for one allocation element type `T`.
-#[derive(Clone, Debug)]
-pub struct TypeLayout {
-    /// The allocation element type this table describes.
-    pub element: Type,
-    /// `sizeof(T)`; offsets are normalised modulo this.
-    pub size: u64,
-    /// Flexible-array-member element size, if `T` has a FAM.
-    pub fam_element_size: Option<u64>,
-    /// `(static key type, normalised offset) → best candidate`.
+/// The structurally keyed layout entries shared by the interned table and
+/// the `#[cfg(test)]` structural reference implementation.
+struct RawLayout {
+    element: Type,
+    size: u64,
+    fam_element_size: Option<u64>,
     entries: HashMap<(Type, u64), Candidate>,
-    /// Number of distinct `(S, k)` entries (for statistics / Example 6
-    /// style dumps).
-    entry_count: usize,
 }
 
-impl TypeLayout {
-    /// Build the layout table for allocation element type `element`.
-    pub fn build(registry: &TypeRegistry, element: &Type) -> Result<Self, TypeError> {
+impl RawLayout {
+    /// Build the structural entry map for allocation element type
+    /// `element` (the pre-interning build path, unchanged).
+    fn build(registry: &TypeRegistry, element: &Type) -> Result<Self, TypeError> {
         let element = element.strip_array().clone();
         if element.is_free() {
-            return Ok(TypeLayout {
+            return Ok(RawLayout {
                 element,
                 size: 1,
                 fam_element_size: None,
                 entries: HashMap::new(),
-                entry_count: 0,
             });
         }
         let size = registry.size_of(&element)?;
@@ -189,7 +191,7 @@ impl TypeLayout {
             }
             let subobjects = layout_at(registry, &element, k)?;
             for so in &subobjects {
-                insert_candidates(registry, &mut entries, &element, k, so, size)?;
+                insert_candidates(registry, &mut entries, k, so)?;
             }
         }
 
@@ -209,7 +211,7 @@ impl TypeLayout {
                 let k = size + inner;
                 let subobjects = layout_at(registry, fam_elem, inner)?;
                 for so in &subobjects {
-                    insert_candidates(registry, &mut entries, &element, k, so, size + fam_size)?;
+                    insert_candidates(registry, &mut entries, k, so)?;
                 }
                 // The FAM array itself: matched by the element static type
                 // with unbounded upper bounds.
@@ -238,11 +240,74 @@ impl TypeLayout {
             },
         );
 
-        let entry_count = entries.len();
-        Ok(TypeLayout {
+        Ok(RawLayout {
             element,
             size,
             fam_element_size,
+            entries,
+        })
+    }
+
+    #[cfg(test)]
+    fn normalize_offset(&self, k: u64) -> u64 {
+        normalize_offset(self.size, self.fam_element_size, k)
+    }
+}
+
+/// The §5 offset normalisation shared by the interned table and the
+/// structural reference implementation.
+fn normalize_offset(size: u64, fam_element_size: Option<u64>, k: u64) -> u64 {
+    if size == 0 {
+        return 0;
+    }
+    if k < size {
+        return k;
+    }
+    match fam_element_size {
+        Some(u) if u > 0 => ((k - size) % u) + size,
+        // `k == sizeof(T)` is an element boundary of the effective `T[N]`
+        // allocation type: it designates the start of the next element
+        // exactly like offset 0 does (and the end-of-object case is
+        // recovered by the runtime's narrowing to allocation bounds).
+        _ => k % size,
+    }
+}
+
+/// The pre-computed layout table for one allocation element type `T`,
+/// keyed by interned [`TypeId`]s.
+#[derive(Clone, Debug)]
+pub struct TypeLayout {
+    /// The allocation element type this table describes.
+    pub element: Type,
+    /// `sizeof(T)`; offsets are normalised modulo this.
+    pub size: u64,
+    /// Flexible-array-member element size, if `T` has a FAM.
+    pub fam_element_size: Option<u64>,
+    /// `(interned static key type, normalised offset) → best candidate`.
+    entries: HashMap<(TypeId, u64), Candidate>,
+    /// Number of distinct `(S, k)` entries (for statistics / Example 6
+    /// style dumps).
+    entry_count: usize,
+}
+
+impl TypeLayout {
+    /// Build the layout table for allocation element type `element`,
+    /// interning every static key type into `interner`.
+    pub fn build(
+        registry: &TypeRegistry,
+        interner: &mut TypeInterner,
+        element: &Type,
+    ) -> Result<Self, TypeError> {
+        let raw = RawLayout::build(registry, element)?;
+        let mut entries = HashMap::with_capacity(raw.entries.len());
+        for ((ty, k), cand) in raw.entries {
+            entries.insert((interner.intern(&ty), k), cand);
+        }
+        let entry_count = entries.len();
+        Ok(TypeLayout {
+            element: raw.element,
+            size: raw.size,
+            fam_element_size: raw.fam_element_size,
             entries,
             entry_count,
         })
@@ -256,22 +321,11 @@ impl TypeLayout {
     /// Normalise an offset into the range covered by the table:
     /// `k mod sizeof(T)` ordinarily, or the FAM normalisation
     /// `((k − sizeof(T)) mod sizeof(U)) + sizeof(T)` for offsets past the
-    /// end of a FAM structure (§5).
+    /// end of a FAM structure (§5).  Idempotent, so callers may normalise
+    /// once (e.g. for a cache key) and pass the result to
+    /// [`lookup_id`](Self::lookup_id).
     pub fn normalize_offset(&self, k: u64) -> u64 {
-        if self.size == 0 {
-            return 0;
-        }
-        if k < self.size {
-            return k;
-        }
-        match self.fam_element_size {
-            Some(u) if u > 0 => ((k - self.size) % u) + self.size,
-            // `k == sizeof(T)` is an element boundary of the effective
-            // `T[N]` allocation type: it designates the start of the next
-            // element exactly like offset 0 does (and the end-of-object case
-            // is recovered by the runtime's narrowing to allocation bounds).
-            _ => k % self.size,
-        }
+        normalize_offset(self.size, self.fam_element_size, k)
     }
 
     /// Look up the static type `static_ty` at (unnormalised) offset `k`.
@@ -279,25 +333,52 @@ impl TypeLayout {
     /// Returns `None` when no sub-object of a compatible type exists at the
     /// offset — a type error.  The static type is canonicalised with
     /// [`Type::strip_array`], matching the paper's convention that static
-    /// types are incomplete arrays.
-    pub fn lookup(&self, static_ty: &Type, k: u64) -> Option<LayoutMatch> {
+    /// types are incomplete arrays.  This entry point resolves the type's
+    /// id through the interner (one structural hash, no clone); hot paths
+    /// that already hold a [`TypeId`] should call
+    /// [`lookup_id`](Self::lookup_id) instead.
+    pub fn lookup(&self, interner: &TypeInterner, static_ty: &Type, k: u64) -> Option<LayoutMatch> {
+        let key_ty = static_ty.strip_array();
+        self.lookup_inner(interner.get(key_ty), TypeTraits::of(key_ty), k)
+    }
+
+    /// Look up an already interned static type id at (unnormalised or
+    /// pre-normalised) offset `k` — the O(1) hot path: no structural
+    /// hashing, no cloning.
+    pub fn lookup_id(
+        &self,
+        interner: &TypeInterner,
+        static_id: TypeId,
+        k: u64,
+    ) -> Option<LayoutMatch> {
+        self.lookup_inner(Some(static_id), interner.traits(static_id), k)
+    }
+
+    fn lookup_inner(
+        &self,
+        static_id: Option<TypeId>,
+        traits: TypeTraits,
+        k: u64,
+    ) -> Option<LayoutMatch> {
         if self.element.is_free() {
             return None;
         }
         let k = self.normalize_offset(k);
-        let key_ty = static_ty.strip_array().clone();
 
-        // 1. Exact lookup.
-        if let Some(c) = self.entries.get(&(key_ty.clone(), k)) {
-            let kind = if c.bounds.is_unbounded() {
-                MatchKind::ContainingArray
-            } else {
-                MatchKind::Exact
-            };
-            return Some(LayoutMatch {
-                bounds: c.bounds,
-                kind,
-            });
+        // 1. Exact lookup (only possible when the static type has ever been
+        //    interned; a never-interned type cannot key an entry).
+        if let Some(id) = static_id {
+            if let Some(c) = self.entries.get(&(id, k)) {
+                let kind = if c.bounds.is_unbounded() {
+                    MatchKind::ContainingArray
+                } else {
+                    MatchKind::Exact
+                };
+                return Some(LayoutMatch {
+                    bounds: c.bounds,
+                    kind,
+                });
+            }
         }
 
         // 2. `void * ⇄ S *` coercion: a static pointer type matches an
@@ -305,8 +386,8 @@ impl TypeLayout {
         //    pointer sub-object (the latter is handled by wildcard entries
         //    inserted at build time; the guard below keeps `T*` from
         //    matching `U*` transitively).
-        if key_ty.is_pointer() && !key_ty.is_void_pointer() {
-            if let Some(c) = self.entries.get(&(Type::void_ptr(), k)) {
+        if traits.is_pointer() && !traits.is_void_pointer() {
+            if let Some(c) = self.entries.get(&(TypeId::VOID_PTR, k)) {
                 if !c.pointer_wildcard {
                     return Some(LayoutMatch {
                         bounds: c.bounds,
@@ -318,8 +399,8 @@ impl TypeLayout {
 
         // 3. `char[] → S[]` coercion: the paper's second hash-table lookup
         //    `(T, char, k)`.
-        if !key_ty.is_character() {
-            if let Some(c) = self.entries.get(&(Type::char_(), k)) {
+        if !traits.is_character() {
+            if let Some(c) = self.entries.get(&(TypeId::CHAR, k)) {
                 return Some(LayoutMatch {
                     bounds: c.bounds,
                     kind: MatchKind::CharCoercion,
@@ -329,7 +410,7 @@ impl TypeLayout {
 
         // 4. `S → char[]` direction: character-typed access to any object is
         //    byte access bounded by the containing allocation.
-        if key_ty.is_character() || key_ty.is_void() {
+        if traits.is_character() || traits.is_void() {
             return Some(LayoutMatch {
                 bounds: RelBounds::UNBOUNDED,
                 kind: MatchKind::ByteAccess,
@@ -341,7 +422,7 @@ impl TypeLayout {
 
     /// Dump the table entries, sorted, in the `(T, S, k) ↦ lo..hi` style of
     /// Example 6.  Intended for debugging and documentation tests.
-    pub fn dump(&self) -> Vec<String> {
+    pub fn dump(&self, interner: &TypeInterner) -> Vec<String> {
         let mut rows: Vec<String> = self
             .entries
             .iter()
@@ -351,7 +432,11 @@ impl TypeLayout {
                 } else {
                     format!("{}..{}", c.bounds.lo, c.bounds.hi)
                 };
-                format!("({}, {}, {}) -> {}", self.element, s, k, bounds)
+                let sname = interner
+                    .resolve(*s)
+                    .map(|t| t.to_string())
+                    .unwrap_or_else(|| s.to_string());
+                format!("({}, {}, {}) -> {}", self.element, sname, k, bounds)
             })
             .collect();
         rows.sort();
@@ -375,10 +460,8 @@ fn offer(entries: &mut HashMap<(Type, u64), Candidate>, key: (Type, u64), cand: 
 fn insert_candidates(
     registry: &TypeRegistry,
     entries: &mut HashMap<(Type, u64), Candidate>,
-    _element: &Type,
     k: u64,
     so: &SubObject,
-    _alloc_span: u64,
 ) -> Result<(), TypeError> {
     let (lo, hi) = so.relative_bounds(registry)?;
     let is_end = so.is_end_pointer(registry);
@@ -443,15 +526,18 @@ fn collect_interesting_offsets(
     Ok(())
 }
 
-/// A cache of [`TypeLayout`] tables keyed by allocation element type.
+/// A cache of [`TypeLayout`] tables keyed by interned allocation element
+/// type id.
 ///
 /// The paper generates type meta data per compiled module and deduplicates
-/// via weak symbols; here the cache plays the same role.  The cache is not
-/// synchronised — the runtime wraps it in a lock (the table itself is
-/// immutable once built, matching "the type meta data is constant").
+/// via weak symbols; here the cache plays the same role for library users
+/// building layouts outside a runtime.  (`TypeCheckRuntime` itself embeds
+/// a denser `TypeId`-indexed vector on its hot path rather than this map.)
+/// The cache is not synchronised; the table itself is immutable once
+/// built, matching "the type meta data is constant".
 #[derive(Debug, Default)]
 pub struct LayoutTable {
-    cache: HashMap<Type, Arc<TypeLayout>>,
+    cache: HashMap<TypeId, Arc<TypeLayout>>,
 }
 
 impl LayoutTable {
@@ -476,19 +562,103 @@ impl LayoutTable {
     }
 
     /// Get (building and caching if necessary) the layout for the given
-    /// allocation element type.
+    /// allocation element type, interning it first.
     pub fn layout_for(
         &mut self,
         registry: &TypeRegistry,
+        interner: &mut TypeInterner,
         element: &Type,
     ) -> Result<Arc<TypeLayout>, TypeError> {
-        let key = element.strip_array().clone();
-        if let Some(t) = self.cache.get(&key) {
+        let id = interner.intern(element);
+        self.layout_for_id(registry, interner, id)
+    }
+
+    /// Get (building and caching if necessary) the layout for an already
+    /// interned allocation element type id.
+    pub fn layout_for_id(
+        &mut self,
+        registry: &TypeRegistry,
+        interner: &mut TypeInterner,
+        id: TypeId,
+    ) -> Result<Arc<TypeLayout>, TypeError> {
+        if let Some(t) = self.cache.get(&id) {
             return Ok(t.clone());
         }
-        let built = Arc::new(TypeLayout::build(registry, &key)?);
-        self.cache.insert(key, built.clone());
+        let element = interner
+            .resolve(id)
+            .cloned()
+            .ok_or(TypeError::UnresolvedTypeId(id.raw()))?;
+        let built = Arc::new(TypeLayout::build(registry, interner, &element)?);
+        self.cache.insert(id, built.clone());
         Ok(built)
+    }
+}
+
+/// The structural reference implementation of the layout table: entries
+/// keyed by `(Type, u64)` with deep structural hashing and per-lookup key
+/// cloning — the exact pre-interning code path, kept as the oracle for the
+/// interned-lookup property tests.
+#[cfg(test)]
+pub(crate) struct StructuralTypeLayout {
+    raw: RawLayout,
+}
+
+#[cfg(test)]
+impl StructuralTypeLayout {
+    pub(crate) fn build(registry: &TypeRegistry, element: &Type) -> Result<Self, TypeError> {
+        Ok(StructuralTypeLayout {
+            raw: RawLayout::build(registry, element)?,
+        })
+    }
+
+    /// The original structural lookup, verbatim.
+    pub(crate) fn lookup(&self, static_ty: &Type, k: u64) -> Option<LayoutMatch> {
+        if self.raw.element.is_free() {
+            return None;
+        }
+        let k = self.raw.normalize_offset(k);
+        let key_ty = static_ty.strip_array().clone();
+
+        if let Some(c) = self.raw.entries.get(&(key_ty.clone(), k)) {
+            let kind = if c.bounds.is_unbounded() {
+                MatchKind::ContainingArray
+            } else {
+                MatchKind::Exact
+            };
+            return Some(LayoutMatch {
+                bounds: c.bounds,
+                kind,
+            });
+        }
+
+        if key_ty.is_pointer() && !key_ty.is_void_pointer() {
+            if let Some(c) = self.raw.entries.get(&(Type::void_ptr(), k)) {
+                if !c.pointer_wildcard {
+                    return Some(LayoutMatch {
+                        bounds: c.bounds,
+                        kind: MatchKind::VoidPointerCoercion,
+                    });
+                }
+            }
+        }
+
+        if !key_ty.is_character() {
+            if let Some(c) = self.raw.entries.get(&(Type::char_(), k)) {
+                return Some(LayoutMatch {
+                    bounds: c.bounds,
+                    kind: MatchKind::CharCoercion,
+                });
+            }
+        }
+
+        if key_ty.is_character() || key_ty.is_void() {
+            return Some(LayoutMatch {
+                bounds: RelBounds::UNBOUNDED,
+                kind: MatchKind::ByteAccess,
+            });
+        }
+
+        None
     }
 }
 
@@ -518,30 +688,38 @@ mod tests {
         reg
     }
 
+    fn build(reg: &TypeRegistry, ty: &Type) -> (TypeInterner, TypeLayout) {
+        let mut interner = TypeInterner::new();
+        let table = TypeLayout::build(reg, &mut interner, ty).unwrap();
+        (interner, table)
+    }
+
     #[test]
     fn example6_entries_exist() {
         let reg = paper_registry();
-        let table = TypeLayout::build(&reg, &Type::struct_("T")).unwrap();
+        let (interner, table) = build(&reg, &Type::struct_("T"));
         // (T, T, 0) ↦ −∞..∞
-        let m = table.lookup(&Type::struct_("T"), 0).unwrap();
+        let m = table.lookup(&interner, &Type::struct_("T"), 0).unwrap();
         assert!(m.bounds.is_unbounded());
         assert_eq!(m.kind, MatchKind::ContainingArray);
         // (T, float, 0) ↦ 0..4
-        let m = table.lookup(&Type::float(), 0).unwrap();
+        let m = table.lookup(&interner, &Type::float(), 0).unwrap();
         assert_eq!(m.bounds, RelBounds::new(0, 4));
         assert_eq!(m.kind, MatchKind::Exact);
         // (T, S, off(t)) ↦ 0..24 (paper: 0..20 with its illustrative layout)
         let toff = reg.offset_of("T", "t").unwrap();
-        let m = table.lookup(&Type::struct_("S"), toff).unwrap();
+        let m = table.lookup(&interner, &Type::struct_("S"), toff).unwrap();
         assert_eq!(m.bounds, RelBounds::new(0, 24));
         // (T, int, off(t)) prefers the int[3] sub-object: 0..12.
-        let m = table.lookup(&Type::int(), toff).unwrap();
+        let m = table.lookup(&interner, &Type::int(), toff).unwrap();
         assert_eq!(m.bounds, RelBounds::new(0, 12));
         // (T, int, off(t)+8) ↦ −8..4 (the a[2] position).
-        let m = table.lookup(&Type::int(), toff + 8).unwrap();
+        let m = table.lookup(&interner, &Type::int(), toff + 8).unwrap();
         assert_eq!(m.bounds, RelBounds::new(-8, 4));
         // (T, char*, off(t)+16) ↦ 0..8.
-        let m = table.lookup(&Type::char_ptr(), toff + 16).unwrap();
+        let m = table
+            .lookup(&interner, &Type::char_ptr(), toff + 16)
+            .unwrap();
         assert_eq!(m.bounds, RelBounds::new(0, 8));
     }
 
@@ -550,23 +728,40 @@ mod tests {
         // Example 5: q = p + offsetof(t)+8; type_check(q, int[]) matches the
         // int[3] sub-object; type_check(q, double[]) fails.
         let reg = paper_registry();
-        let table = TypeLayout::build(&reg, &Type::struct_("T")).unwrap();
+        let (interner, table) = build(&reg, &Type::struct_("T"));
         let q = reg.offset_of("T", "t").unwrap() + 8;
         assert!(table
-            .lookup(&Type::incomplete_array(Type::int()), q)
+            .lookup(&interner, &Type::incomplete_array(Type::int()), q)
             .is_some());
-        assert!(table.lookup(&Type::double(), q).is_none());
+        assert!(table.lookup(&interner, &Type::double(), q).is_none());
+    }
+
+    #[test]
+    fn lookup_by_id_matches_lookup_by_type() {
+        let reg = paper_registry();
+        let mut interner = TypeInterner::new();
+        let table = TypeLayout::build(&reg, &mut interner, &Type::struct_("T")).unwrap();
+        let int_id = interner.intern(&Type::int());
+        for k in 0..=40u64 {
+            assert_eq!(
+                table.lookup_id(&interner, int_id, k),
+                table.lookup(&interner, &Type::int(), k),
+                "offset {k}"
+            );
+        }
     }
 
     #[test]
     fn offsets_are_normalised_modulo_element_size() {
         let reg = paper_registry();
-        let table = TypeLayout::build(&reg, &Type::struct_("T")).unwrap();
+        let (interner, table) = build(&reg, &Type::struct_("T"));
         let size = reg.size_of(&Type::struct_("T")).unwrap();
         let toff = reg.offset_of("T", "t").unwrap();
         // Element 3 of a T[] allocation, field t: same result as element 0.
-        let m1 = table.lookup(&Type::struct_("S"), toff).unwrap();
-        let m2 = table.lookup(&Type::struct_("S"), 3 * size + toff).unwrap();
+        let m1 = table.lookup(&interner, &Type::struct_("S"), toff).unwrap();
+        let m2 = table
+            .lookup(&interner, &Type::struct_("S"), 3 * size + toff)
+            .unwrap();
         assert_eq!(m1, m2);
     }
 
@@ -583,8 +778,8 @@ mod tests {
             ],
         ))
         .unwrap();
-        let table = TypeLayout::build(&reg, &Type::union_("U")).unwrap();
-        let m = table.lookup(&Type::float(), 0).unwrap();
+        let (interner, table) = build(&reg, &Type::union_("U"));
+        let m = table.lookup(&interner, &Type::float(), 0).unwrap();
         assert_eq!(m.bounds, RelBounds::new(0, 80));
     }
 
@@ -602,10 +797,10 @@ mod tests {
             ],
         ))
         .unwrap();
-        let table = TypeLayout::build(&reg, &Type::struct_("Two")).unwrap();
+        let (interner, table) = build(&reg, &Type::struct_("Two"));
         // Offset 4: end of x, start of y.  Non-end candidate (y: 0..4) wins
         // over end candidate (x: -4..0).
-        let m = table.lookup(&Type::int(), 4).unwrap();
+        let m = table.lookup(&interner, &Type::int(), 4).unwrap();
         assert_eq!(m.bounds, RelBounds::new(0, 4));
     }
 
@@ -614,14 +809,14 @@ mod tests {
         // malloc'd int arrays: type_check(p, int[]) must succeed for any
         // element offset, with bounds narrowed to the allocation later.
         let reg = TypeRegistry::new();
-        let table = TypeLayout::build(&reg, &Type::int()).unwrap();
+        let (interner, table) = build(&reg, &Type::int());
         for k in [0u64, 4, 400, 4000] {
-            let m = table.lookup(&Type::int(), k).unwrap();
+            let m = table.lookup(&interner, &Type::int(), k).unwrap();
             assert!(m.bounds.is_unbounded());
         }
         // Misaligned access or wrong type is still an error.
-        assert!(table.lookup(&Type::int(), 2).is_none());
-        assert!(table.lookup(&Type::float(), 0).is_none());
+        assert!(table.lookup(&interner, &Type::int(), 2).is_none());
+        assert!(table.lookup(&interner, &Type::float(), 0).is_none());
     }
 
     #[test]
@@ -629,14 +824,15 @@ mod tests {
         let reg = paper_registry();
         // Static char access to a struct T object: byte access, unbounded
         // (narrowed to allocation by the runtime).
-        let table = TypeLayout::build(&reg, &Type::struct_("T")).unwrap();
-        let m = table.lookup(&Type::char_(), 5).unwrap();
+        let (interner, table) = build(&reg, &Type::struct_("T"));
+        let m = table.lookup(&interner, &Type::char_(), 5).unwrap();
         assert_eq!(m.kind, MatchKind::ByteAccess);
 
         // Static float access to a char buffer allocation: matched via the
-        // char coercion (second lookup).
-        let table = TypeLayout::build(&reg, &Type::char_()).unwrap();
-        let m = table.lookup(&Type::float(), 0).unwrap();
+        // char coercion (second lookup).  `float` was never interned — the
+        // coercion must still fire.
+        let (interner, table) = build(&reg, &Type::char_());
+        let m = table.lookup(&interner, &Type::float(), 0).unwrap();
         assert_eq!(m.kind, MatchKind::CharCoercion);
     }
 
@@ -651,19 +847,23 @@ mod tests {
             ],
         ))
         .unwrap();
-        let table = TypeLayout::build(&reg, &Type::struct_("Holder")).unwrap();
+        let (interner, table) = build(&reg, &Type::struct_("Holder"));
         // A static `float *` matches the exact `void *` member...
-        let m = table.lookup(&Type::ptr(Type::float()), 0).unwrap();
+        let m = table
+            .lookup(&interner, &Type::ptr(Type::float()), 0)
+            .unwrap();
         assert_eq!(m.kind, MatchKind::VoidPointerCoercion);
         // ...a static `void *` matches the `int *` member...
-        let m = table.lookup(&Type::void_ptr(), 8).unwrap();
+        let m = table.lookup(&interner, &Type::void_ptr(), 8).unwrap();
         assert_eq!(m.kind, MatchKind::Exact);
         // ...but a static `float *` does NOT match the `int *` member
         // (no transitive coercion through void*).
-        assert!(table.lookup(&Type::ptr(Type::float()), 8).is_none());
+        assert!(table
+            .lookup(&interner, &Type::ptr(Type::float()), 8)
+            .is_none());
         // And `T*` vs `T**` confusion (perlbench, §6.1) is still an error.
         assert!(table
-            .lookup(&Type::ptr(Type::ptr(Type::int())), 8)
+            .lookup(&interner, &Type::ptr(Type::ptr(Type::int())), 8)
             .is_none());
     }
 
@@ -678,49 +878,59 @@ mod tests {
             ],
         ))
         .unwrap();
-        let table = TypeLayout::build(&reg, &Type::struct_("Packet")).unwrap();
+        let (interner, table) = build(&reg, &Type::struct_("Packet"));
         assert_eq!(table.fam_element_size, Some(4));
         // sizeof(Packet) == 8 (len + data[1]).  Offset 16 is data[3]; it
         // normalises to 8 + ((16-8) mod 4) = 8 and matches int.
-        let m = table.lookup(&Type::int(), 16).unwrap();
+        let m = table.lookup(&interner, &Type::int(), 16).unwrap();
         assert!(m.bounds.is_unbounded() || m.bounds.width() >= 4);
         // Non-FAM types keep plain modulo normalisation.
-        let plain = TypeLayout::build(&reg, &Type::int()).unwrap();
+        let (_, plain) = build(&reg, &Type::int());
         assert_eq!(plain.normalize_offset(13), 13 % 4);
     }
 
     #[test]
     fn free_allocation_type_never_matches() {
         let reg = TypeRegistry::new();
-        let table = TypeLayout::build(&reg, &Type::Free).unwrap();
-        assert!(table.lookup(&Type::int(), 0).is_none());
-        assert!(table.lookup(&Type::char_(), 0).is_none());
-        assert!(table.lookup(&Type::Free, 0).is_none());
+        let (interner, table) = build(&reg, &Type::Free);
+        assert!(table.lookup(&interner, &Type::int(), 0).is_none());
+        assert!(table.lookup(&interner, &Type::char_(), 0).is_none());
+        assert!(table.lookup(&interner, &Type::Free, 0).is_none());
     }
 
     #[test]
     fn cache_reuses_built_tables() {
         let reg = paper_registry();
+        let mut interner = TypeInterner::new();
         let mut cache = LayoutTable::new();
-        let a = cache.layout_for(&reg, &Type::struct_("T")).unwrap();
-        let b = cache.layout_for(&reg, &Type::struct_("T")).unwrap();
+        let a = cache
+            .layout_for(&reg, &mut interner, &Type::struct_("T"))
+            .unwrap();
+        let b = cache
+            .layout_for(&reg, &mut interner, &Type::struct_("T"))
+            .unwrap();
         assert!(Arc::ptr_eq(&a, &b));
         assert_eq!(cache.len(), 1);
         // Arrays of T share the same element table.
         let c = cache
-            .layout_for(&reg, &Type::array(Type::struct_("T"), 100))
+            .layout_for(&reg, &mut interner, &Type::array(Type::struct_("T"), 100))
             .unwrap();
         assert!(Arc::ptr_eq(&a, &c));
         assert!(cache.total_entries() > 0);
+        // The id-keyed entry point resolves to the same table.
+        let id = interner.get(&Type::struct_("T")).unwrap();
+        let d = cache.layout_for_id(&reg, &mut interner, id).unwrap();
+        assert!(Arc::ptr_eq(&a, &d));
     }
 
     #[test]
     fn dump_is_sorted_and_human_readable() {
         let reg = paper_registry();
-        let table = TypeLayout::build(&reg, &Type::struct_("T")).unwrap();
-        let dump = table.dump();
+        let (interner, table) = build(&reg, &Type::struct_("T"));
+        let dump = table.dump(&interner);
         assert!(!dump.is_empty());
         assert!(dump.iter().any(|row| row.contains("-inf..inf")));
+        assert!(dump.iter().any(|row| row.contains("struct S")));
         let mut sorted = dump.clone();
         sorted.sort();
         assert_eq!(dump, sorted);
@@ -734,5 +944,122 @@ mod tests {
         assert_eq!(a.width(), 12);
         assert!(RelBounds::UNBOUNDED.is_unbounded());
         assert_eq!(RelBounds::UNBOUNDED.intersect(&b), b);
+    }
+
+    mod interned_equals_structural {
+        //! The satellite property suite: for arbitrary registry types,
+        //! static types and offsets, the interned `(TypeId, u64)` lookup
+        //! returns exactly the same [`LayoutMatch`] as the structural
+        //! reference path.
+
+        use super::*;
+        use proptest::prelude::*;
+
+        fn registry() -> TypeRegistry {
+            let mut reg = paper_registry();
+            reg.define(RecordDef::union_(
+                "U",
+                vec![
+                    FieldDef::new("f", Type::array(Type::float(), 4)),
+                    FieldDef::new("p", Type::ptr(Type::int())),
+                ],
+            ))
+            .unwrap();
+            reg.define(RecordDef::struct_(
+                "Packet",
+                vec![
+                    FieldDef::new("len", Type::int()),
+                    FieldDef::new("tail", Type::incomplete_array(Type::short())),
+                ],
+            ))
+            .unwrap();
+            reg
+        }
+
+        /// Every allocation / static type shape the suites exercise:
+        /// primitives, pointers (incl. `void*`/`char*`), records, unions,
+        /// FAM structs, arrays, incomplete arrays, and `FREE`.
+        fn type_pool() -> Vec<Type> {
+            vec![
+                Type::void(),
+                Type::char_(),
+                Type::short(),
+                Type::int(),
+                Type::long(),
+                Type::float(),
+                Type::double(),
+                Type::void_ptr(),
+                Type::char_ptr(),
+                Type::ptr(Type::int()),
+                Type::ptr(Type::ptr(Type::int())),
+                Type::ptr(Type::struct_("S")),
+                Type::struct_("S"),
+                Type::struct_("T"),
+                Type::union_("U"),
+                Type::struct_("Packet"),
+                Type::array(Type::int(), 3),
+                Type::array(Type::struct_("S"), 2),
+                Type::incomplete_array(Type::float()),
+                Type::Free,
+            ]
+        }
+
+        proptest! {
+            #[test]
+            fn interned_lookup_equals_structural_reference(
+                alloc_idx in 0usize..20,
+                static_idx in 0usize..20,
+                k in 0u64..200,
+            ) {
+                let reg = registry();
+                let pool = type_pool();
+                let alloc_ty = &pool[alloc_idx];
+                let static_ty = &pool[static_idx];
+
+                let mut interner = TypeInterner::new();
+                let structural = StructuralTypeLayout::build(&reg, alloc_ty);
+                let table = TypeLayout::build(&reg, &mut interner, alloc_ty);
+                let (structural, table) = match (structural, table) {
+                    (Ok(s), Ok(t)) => (s, t),
+                    // Unlayoutable allocation types (`void`): both paths
+                    // must fail with the same error.
+                    (Err(a), Err(b)) => {
+                        prop_assert_eq!(a, b);
+                        return Ok(());
+                    }
+                    (a, b) => {
+                        return Err(TestCaseError::new(format!(
+                            "build divergence for {}: structural ok={} vs interned ok={}",
+                            alloc_ty,
+                            a.is_ok(),
+                            b.is_ok()
+                        )))
+                    }
+                };
+
+                // The convenience (by-type) entry point...
+                prop_assert_eq!(
+                    table.lookup(&interner, static_ty, k),
+                    structural.lookup(static_ty, k),
+                    "lookup({}, {}, {})", alloc_ty, static_ty, k
+                );
+                // ...and the id-keyed hot path, with the static type
+                // interned the way the runtime does it.
+                let sid = interner.intern(static_ty);
+                prop_assert_eq!(
+                    table.lookup_id(&interner, sid, k),
+                    structural.lookup(static_ty, k),
+                    "lookup_id({}, {}, {})", alloc_ty, static_ty, k
+                );
+                // Normalisation is idempotent, so pre-normalised cache keys
+                // see the same result.
+                let k_norm = table.normalize_offset(k);
+                prop_assert_eq!(
+                    table.lookup_id(&interner, sid, k_norm),
+                    structural.lookup(static_ty, k),
+                    "lookup_id normalised ({}, {}, {})", alloc_ty, static_ty, k
+                );
+            }
+        }
     }
 }

@@ -17,7 +17,10 @@
 //!   allocation type and byte offset to the set of valid sub-objects;
 //! * [`TypeLayout`] / [`LayoutTable`] — the O(1) layout hash table of §5
 //!   with offset normalisation, tie-breaking and the `char[]` / `void *`
-//!   coercion rules.
+//!   coercion rules;
+//! * [`TypeInterner`] / [`TypeId`] — the interning layer that keys the
+//!   layout tables by dense ids, so a lookup hashes a `(u32, u64)` pair
+//!   instead of deep-hashing (and cloning) a structural type.
 //!
 //! Everything here is pure data and pure functions; the runtime that binds
 //! types to allocations lives in the `effective-runtime` crate.
@@ -25,7 +28,7 @@
 //! ## Example
 //!
 //! ```
-//! use effective_types::{FieldDef, RecordDef, Type, TypeLayout, TypeRegistry};
+//! use effective_types::{FieldDef, RecordDef, Type, TypeInterner, TypeLayout, TypeRegistry};
 //!
 //! // struct account { int number[8]; float balance; };
 //! let mut registry = TypeRegistry::new();
@@ -39,23 +42,28 @@
 //!     ))
 //!     .unwrap();
 //!
-//! let table = TypeLayout::build(&registry, &Type::struct_("account")).unwrap();
+//! let mut interner = TypeInterner::new();
+//! let table = TypeLayout::build(&registry, &mut interner, &Type::struct_("account")).unwrap();
 //! // An `int` access inside `number` is fine...
-//! assert!(table.lookup(&Type::int(), 4).is_some());
+//! assert!(table.lookup(&interner, &Type::int(), 4).is_some());
 //! // ...and the bounds for the `number` array stop before `balance`, so an
-//! // overflow from `number` into `balance` is flagged.
-//! let m = table.lookup(&Type::int(), 0).unwrap();
+//! // overflow from `number` into `balance` is flagged.  Hot paths intern
+//! // the static type once and probe by dense id.
+//! let int_id = interner.intern(&Type::int());
+//! let m = table.lookup_id(&interner, int_id, 0).unwrap();
 //! assert_eq!(m.bounds.hi, 32);
 //! ```
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod intern;
 pub mod layout;
 pub mod layout_table;
 pub mod registry;
 pub mod types;
 
+pub use intern::{TypeId, TypeInterner, TypeTraits};
 pub use layout::{layout_at, layout_at_with, type_bounds, LayoutOptions, SubObject};
 pub use layout_table::{LayoutMatch, LayoutTable, MatchKind, RelBounds, TypeLayout};
 pub use registry::{

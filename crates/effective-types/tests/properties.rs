@@ -4,8 +4,16 @@
 use proptest::prelude::*;
 
 use effective_types::{
-    layout_at, FieldDef, RecordDef, RelBounds, SubObject, Type, TypeLayout, TypeRegistry,
+    layout_at, FieldDef, RecordDef, RelBounds, SubObject, Type, TypeInterner, TypeLayout,
+    TypeRegistry,
 };
+
+/// Build a table together with the interner its keys live in.
+fn build(reg: &TypeRegistry, ty: &Type) -> (TypeInterner, TypeLayout) {
+    let mut interner = TypeInterner::new();
+    let table = TypeLayout::build(reg, &mut interner, ty).unwrap();
+    (interner, table)
+}
 
 /// A small pool of scalar types used to build random records.
 fn arb_scalar() -> impl Strategy<Value = Type> {
@@ -106,11 +114,11 @@ proptest! {
     fn table_is_complete_wrt_layout_function((reg, ty) in arb_registry(), k in 0u64..128) {
         let size = reg.size_of(&ty).unwrap();
         let k = k % size.max(1);
-        let table = TypeLayout::build(&reg, &ty).unwrap();
+        let (interner, table) = build(&reg, &ty);
         for so in layout_at(&reg, &ty, k).unwrap() {
             let key = so.ty.strip_array().clone();
             prop_assert!(
-                table.lookup(&key, k).is_some(),
+                table.lookup(&interner, &key, k).is_some(),
                 "layout reports {so:?} at offset {k} but the table lookup misses"
             );
         }
@@ -122,8 +130,8 @@ proptest! {
     #[test]
     fn array_walk_never_type_errors((reg, ty) in arb_registry(), i in 0u64..16) {
         let size = reg.size_of(&ty).unwrap();
-        let table = TypeLayout::build(&reg, &ty).unwrap();
-        let m = table.lookup(&ty, i * size);
+        let (interner, table) = build(&reg, &ty);
+        let m = table.lookup(&interner, &ty, i * size);
         prop_assert!(m.is_some());
     }
 
@@ -132,8 +140,8 @@ proptest! {
     /// char coercion); it must never match through padding.
     #[test]
     fn misaligned_double_rarely_matches((reg, ty) in arb_registry()) {
-        let table = TypeLayout::build(&reg, &ty).unwrap();
-        if let Some(m) = table.lookup(&Type::double(), 1) {
+        let (interner, table) = build(&reg, &ty);
+        if let Some(m) = table.lookup(&interner, &Type::double(), 1) {
             // Only the char coercion can justify this match.
             prop_assert_eq!(m.kind, effective_types::MatchKind::CharCoercion);
         }
@@ -143,8 +151,10 @@ proptest! {
     #[test]
     fn char_access_always_allowed((reg, ty) in arb_registry(), k in 0u64..64) {
         let size = reg.size_of(&ty).unwrap();
-        let table = TypeLayout::build(&reg, &ty).unwrap();
-        prop_assert!(table.lookup(&Type::char_(), k % size.max(1)).is_some());
+        let (interner, table) = build(&reg, &ty);
+        prop_assert!(table
+            .lookup(&interner, &Type::char_(), k % size.max(1))
+            .is_some());
     }
 
     /// sizeof is linear over arrays.

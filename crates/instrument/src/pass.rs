@@ -41,7 +41,7 @@ pub fn instrument_program_with(program: &Program, config: PassConfig) -> Program
     }
     let registry = out.registry.clone();
     for func in out.functions.values_mut() {
-        instrument_function(func, &registry, &config);
+        instrument_function(std::sync::Arc::make_mut(func), &registry, &config);
     }
     out
 }

@@ -485,6 +485,11 @@ pub struct Global {
 }
 
 /// A lowered program (translation unit).
+///
+/// Functions are stored behind [`Arc`] so an interpreter can resolve a
+/// callee with a reference-count bump instead of deep-cloning the body on
+/// every call; instrumentation passes rewrite in place via
+/// [`Arc::make_mut`].
 #[derive(Clone, Debug)]
 pub struct Program {
     /// The type registry collected from record definitions.
@@ -492,7 +497,7 @@ pub struct Program {
     /// Global variables (including materialised string literals).
     pub globals: Vec<Global>,
     /// Functions by name.
-    pub functions: HashMap<String, Function>,
+    pub functions: HashMap<String, Arc<Function>>,
     /// Number of source lines the program was compiled from (the
     /// `kilo-sLOC` column of Figure 7).
     pub source_lines: usize,
@@ -501,7 +506,7 @@ pub struct Program {
 impl Program {
     /// Look up a function.
     pub fn function(&self, name: &str) -> Option<&Function> {
-        self.functions.get(name)
+        self.functions.get(name).map(|f| f.as_ref())
     }
 
     /// Total instruction count across all functions (excluding `Nop`s).
@@ -512,6 +517,44 @@ impl Program {
     /// Total check-instruction count across all functions.
     pub fn check_count(&self) -> usize {
         self.functions.values().map(|f| f.check_count()).sum()
+    }
+
+    /// Every type the program can hand to the runtime — allocation element
+    /// types (`Alloca`, allocation builtins, globals) and the static types
+    /// of check instructions — in a deterministic order, deduplicated.
+    ///
+    /// Used to pre-intern type meta data at load time
+    /// (`Sanitizer::preload_types`), so the check hot path never pays a
+    /// first-touch layout build.  Determinism matters: `META` ids are
+    /// assigned in this order, and parallel/sequential/sharded runs of the
+    /// same program must produce identical simulated memory.
+    pub fn referenced_types(&self) -> Vec<Type> {
+        let mut seen = std::collections::HashSet::new();
+        let mut out = Vec::new();
+        let mut add = |ty: &Type| {
+            if seen.insert(ty.clone()) {
+                out.push(ty.clone());
+            }
+        };
+        for g in &self.globals {
+            add(&g.ty);
+        }
+        let mut names: Vec<&String> = self.functions.keys().collect();
+        names.sort();
+        for name in names {
+            for instr in &self.functions[name].body {
+                match instr {
+                    Instr::Alloca { ty, .. } => add(ty),
+                    Instr::CallBuiltin {
+                        alloc_ty: Some(ty), ..
+                    } => add(ty),
+                    Instr::TypeCheck { ty, .. } => add(ty),
+                    Instr::CastCheck { ty, .. } => add(ty),
+                    _ => {}
+                }
+            }
+        }
+        out
     }
 }
 
@@ -574,6 +617,79 @@ mod tests {
         assert!(t.is_check());
         assert!(Instr::Return { value: None }.is_terminator());
         assert_eq!(Instr::Nop.dst(), None);
+    }
+
+    #[test]
+    fn referenced_types_are_deterministic_and_deduped() {
+        let mut functions = HashMap::new();
+        functions.insert(
+            "b".to_string(),
+            Arc::new(Function {
+                name: "b".to_string(),
+                params: vec![],
+                ret: Type::void(),
+                num_slots: 2,
+                body: vec![
+                    Instr::Alloca {
+                        dst: 0,
+                        ty: Type::int(),
+                        count: 1,
+                    },
+                    Instr::TypeCheck {
+                        dst: 1,
+                        ptr: 0,
+                        ty: Type::struct_("S"),
+                        loc: Arc::from("b:1"),
+                    },
+                ],
+            }),
+        );
+        functions.insert(
+            "a".to_string(),
+            Arc::new(Function {
+                name: "a".to_string(),
+                params: vec![],
+                ret: Type::void(),
+                num_slots: 2,
+                body: vec![
+                    Instr::Alloca {
+                        dst: 0,
+                        ty: Type::struct_("S"),
+                        count: 1,
+                    },
+                    Instr::CastCheck {
+                        dst: 1,
+                        ptr: 0,
+                        ty: Type::int(),
+                        loc: Arc::from("a:1"),
+                    },
+                ],
+            }),
+        );
+        let program = Program {
+            registry: Arc::new(TypeRegistry::new()),
+            globals: vec![Global {
+                name: "g".to_string(),
+                ty: Type::array(Type::float(), 4),
+                size: 16,
+                init: None,
+            }],
+            functions,
+            source_lines: 0,
+        };
+        let tys = program.referenced_types();
+        // Globals first, then functions in sorted-name order; no
+        // duplicates even across instruction kinds.
+        assert_eq!(
+            tys,
+            vec![
+                Type::array(Type::float(), 4),
+                Type::struct_("S"),
+                Type::int(),
+            ]
+        );
+        // HashMap iteration order never leaks: repeated calls agree.
+        assert_eq!(program.referenced_types(), tys);
     }
 
     #[test]

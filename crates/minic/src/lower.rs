@@ -71,7 +71,7 @@ pub fn lower(unit: &Unit, source_lines: usize) -> Result<Program, CompileError> 
         let lowered =
             FunctionLowerer::new(&registry, &signatures, &mut globals, &mut string_counter)
                 .lower_function(f)?;
-        functions.insert(f.name.clone(), lowered);
+        functions.insert(f.name.clone(), Arc::new(lowered));
     }
 
     Ok(Program {

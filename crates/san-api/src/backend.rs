@@ -49,6 +49,11 @@ pub struct SanStats {
     pub allocations: u64,
     /// Frees registered with the backend.
     pub frees: u64,
+    /// `type_check`/`cast_check` calls satisfied by the per-site check
+    /// cache (no layout-table walk; zero for tools without one).
+    pub check_cache_hits: u64,
+    /// `type_check`/`cast_check` calls that walked the layout table.
+    pub check_cache_misses: u64,
 }
 
 impl SanStats {
@@ -60,6 +65,17 @@ impl SanStats {
             + self.bounds_gets
             + self.cast_checks
             + self.access_checks
+    }
+
+    /// Fraction of `type_check`/`cast_check` calls served by the per-site
+    /// check cache (0.0 when no cacheable check ran).
+    pub fn check_cache_hit_rate(&self) -> f64 {
+        let total = self.check_cache_hits + self.check_cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.check_cache_hits as f64 / total as f64
+        }
     }
 
     /// Add the baseline tool's *check* counters on top (used by backends
@@ -93,6 +109,8 @@ impl From<CheckStats> for SanStats {
             typed_frees: c.typed_frees,
             allocations: c.typed_allocations,
             frees: c.typed_frees,
+            check_cache_hits: c.check_cache_hits,
+            check_cache_misses: c.check_cache_misses,
         }
     }
 }
@@ -171,6 +189,13 @@ pub trait Sanitizer: std::fmt::Debug {
     // ------------------------------------------------------------------
     // Allocation lifecycle (Fig. 6 lines 1-7)
     // ------------------------------------------------------------------
+
+    /// Pre-intern every type a program references before execution starts,
+    /// so hot-path checks never pay first-touch meta-data construction
+    /// (layout-table builds, id assignment).  Purely a warm-up: observable
+    /// behaviour and statistics must be identical with or without it.
+    /// Tools that keep no type meta data ignore it (the default).
+    fn preload_types(&mut self, _types: &[Type]) {}
 
     /// Allocate `size` bytes with element type `elem`, binding whatever
     /// meta data this tool keeps, and return the object pointer.

@@ -80,6 +80,10 @@ impl Sanitizer for EffectiveBackend {
         self.runtime.allocator.stack_frame_end(mark);
     }
 
+    fn preload_types(&mut self, types: &[Type]) {
+        self.runtime.preload_types(types);
+    }
+
     fn on_alloc(&mut self, size: u64, elem: &Type, kind: AllocKind) -> Ptr {
         self.runtime.type_malloc(size, elem, kind)
     }

@@ -34,10 +34,10 @@ use vm::ExecStats;
 use workloads::Scale;
 
 /// Version of the wire format; bumped on any incompatible change.
-pub const WIRE_VERSION: u32 = 1;
+pub const WIRE_VERSION: u32 = 2;
 
 /// The handshake line both sides send before anything else.
-pub const HANDSHAKE: &str = "effective-san-sweep-wire 1";
+pub const HANDSHAKE: &str = "effective-san-sweep-wire 2";
 
 /// Errors produced while decoding the wire format.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -620,11 +620,11 @@ pub fn decode_run_report<S: LineSource>(src: &mut S) -> Result<RunReport, WireEr
     })
 }
 
-/// Encode [`SanStats`] as one `checks` line (14 counters, field order is
+/// Encode [`SanStats`] as one `checks` line (16 counters, field order is
 /// part of the wire format).
 pub fn encode_san_stats(s: &SanStats) -> String {
     format!(
-        "checks\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
+        "checks\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
         s.type_checks,
         s.legacy_type_checks,
         s.failed_type_checks,
@@ -639,12 +639,14 @@ pub fn encode_san_stats(s: &SanStats) -> String {
         s.typed_frees,
         s.allocations,
         s.frees,
+        s.check_cache_hits,
+        s.check_cache_misses,
     )
 }
 
 /// Decode a `checks` line back into [`SanStats`].
 pub fn decode_san_stats(line: &str) -> Result<SanStats, WireError> {
-    let f = split_fields(line, "checks", 14)?;
+    let f = split_fields(line, "checks", 16)?;
     Ok(SanStats {
         type_checks: parse_num("type-checks", f[0])?,
         legacy_type_checks: parse_num("legacy-type-checks", f[1])?,
@@ -660,6 +662,8 @@ pub fn decode_san_stats(line: &str) -> Result<SanStats, WireError> {
         typed_frees: parse_num("typed-frees", f[11])?,
         allocations: parse_num("allocations", f[12])?,
         frees: parse_num("frees", f[13])?,
+        check_cache_hits: parse_num("check-cache-hits", f[14])?,
+        check_cache_misses: parse_num("check-cache-misses", f[15])?,
     })
 }
 

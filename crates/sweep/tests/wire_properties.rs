@@ -66,7 +66,7 @@ fn diagnostic_strategy() -> impl Strategy<Value = Diagnostic> {
 }
 
 fn san_stats_strategy() -> impl Strategy<Value = SanStats> {
-    prop::collection::vec(offset_strategy(), 14..15).prop_map(|v| SanStats {
+    prop::collection::vec(offset_strategy(), 16..17).prop_map(|v| SanStats {
         type_checks: v[0],
         legacy_type_checks: v[1],
         failed_type_checks: v[2],
@@ -81,6 +81,8 @@ fn san_stats_strategy() -> impl Strategy<Value = SanStats> {
         typed_frees: v[11],
         allocations: v[12],
         frees: v[13],
+        check_cache_hits: v[14],
+        check_cache_misses: v[15],
     })
 }
 

@@ -201,6 +201,10 @@ pub struct Vm {
     rng: u64,
     max_instructions: u64,
     max_call_depth: usize,
+    /// Scratch stack for call arguments: callers push argument values and
+    /// callees drain them into their frame slots, so no `Vec<Value>` is
+    /// allocated per `Call` (frames nest, so a stack discipline suffices).
+    arg_scratch: Vec<Value>,
 }
 
 impl Vm {
@@ -219,6 +223,11 @@ impl Vm {
         mut backend: Box<dyn Sanitizer>,
         config: VmConfig,
     ) -> Self {
+        // Pre-intern every type the program references so the check hot
+        // path never pays first-touch meta-data construction (a no-op for
+        // tools without type meta data).
+        backend.preload_types(&program.referenced_types());
+
         // Allocate and initialise globals.
         let mut globals = HashMap::new();
         for g in &program.globals {
@@ -239,6 +248,7 @@ impl Vm {
             rng: config.seed.max(1),
             max_instructions: config.max_instructions,
             max_call_depth: config.max_call_depth,
+            arg_scratch: Vec::with_capacity(64),
         }
     }
 
@@ -281,31 +291,36 @@ impl Vm {
 
     /// Run `entry(args…)` to completion.
     pub fn run(&mut self, entry: &str, args: &[Value]) -> Result<Value, VmError> {
-        self.call(entry, args.to_vec(), 0)
+        self.arg_scratch.clear();
+        self.arg_scratch.extend_from_slice(args);
+        self.call(entry, 0, 0)
     }
 
-    fn call(&mut self, name: &str, args: Vec<Value>, depth: usize) -> Result<Value, VmError> {
+    /// Call `name` with the arguments sitting at `arg_base..` on the
+    /// scratch stack; consumes them (truncating back to `arg_base`) in
+    /// every path.  The callee is resolved with an `Arc` bump — the
+    /// function body is never cloned.
+    fn call(&mut self, name: &str, arg_base: usize, depth: usize) -> Result<Value, VmError> {
         if depth > self.max_call_depth {
+            self.arg_scratch.truncate(arg_base);
             return Err(VmError::StackOverflow);
         }
-        let func: Arc<Function> = {
-            let f = self
-                .program
-                .functions
-                .get(name)
-                .ok_or_else(|| VmError::UndefinedFunction(name.to_string()))?;
-            Arc::new(f.clone())
+        let Some(func): Option<Arc<Function>> = self.program.functions.get(name).cloned() else {
+            self.arg_scratch.truncate(arg_base);
+            return Err(VmError::UndefinedFunction(name.to_string()));
         };
-        if func.params.len() != args.len() {
+        if func.params.len() != self.arg_scratch.len() - arg_base {
+            self.arg_scratch.truncate(arg_base);
             return Err(VmError::ArityMismatch(name.to_string()));
         }
         self.stats.calls += 1;
 
         let frame_mark = self.backend.stack_frame_begin();
         let mut slots: Vec<Value> = vec![Value::default(); func.num_slots];
-        for (param, value) in func.params.iter().zip(args) {
-            slots[param.slot as usize] = value;
+        for (param, i) in func.params.iter().zip(arg_base..) {
+            slots[param.slot as usize] = self.arg_scratch[i];
         }
+        self.arg_scratch.truncate(arg_base);
 
         let result = self.exec_body(&func, &mut slots, depth);
         self.backend.stack_frame_end(frame_mark);
@@ -433,8 +448,10 @@ impl Vm {
                 Instr::Call {
                     dst, callee, args, ..
                 } => {
-                    let argv: Vec<Value> = args.iter().map(|a| slots[*a as usize]).collect();
-                    let result = self.call(callee, argv, depth + 1)?;
+                    let arg_base = self.arg_scratch.len();
+                    self.arg_scratch
+                        .extend(args.iter().map(|a| slots[*a as usize]));
+                    let result = self.call(callee, arg_base, depth + 1)?;
                     if let Some(d) = dst {
                         slots[*d as usize] = result;
                     }
@@ -446,8 +463,20 @@ impl Vm {
                     alloc_ty,
                     ..
                 } => {
-                    let argv: Vec<Value> = args.iter().map(|a| slots[*a as usize]).collect();
-                    let result = self.call_builtin(*builtin, &argv, alloc_ty.as_ref())?;
+                    // Builtins read at most their first few arguments, so a
+                    // fixed stack buffer replaces the per-call `Vec` on the
+                    // hot path; oversized argument lists (which lowering
+                    // never emits today) still materialise fully.
+                    let mut argv = [Value::default(); 4];
+                    let result = if args.len() <= argv.len() {
+                        for (slot, arg) in argv.iter_mut().zip(args.iter()) {
+                            *slot = slots[*arg as usize];
+                        }
+                        self.call_builtin(*builtin, &argv[..args.len()], alloc_ty.as_ref())?
+                    } else {
+                        let argv: Vec<Value> = args.iter().map(|a| slots[*a as usize]).collect();
+                        self.call_builtin(*builtin, &argv, alloc_ty.as_ref())?
+                    };
                     if let Some(d) = dst {
                         slots[*d as usize] = result;
                     }
