@@ -235,11 +235,13 @@ impl TypeCheckRuntime {
             reporter: ErrorReporter::new(config.reporter),
             stats: CheckStats::default(),
         };
-        // Build layouts for the pre-seeded ids (FREE gets its empty table,
-        // matching the old eager FREE registration).
-        for raw in 0..rt.interner.len() as u32 {
-            rt.build_layout_for(TypeId::from_raw(raw));
-        }
+        // Build FREE's (empty) layout eagerly: freed blocks' META words
+        // carry `TypeId::FREE` and must always be trusted (matching the
+        // old eager FREE registration).  The other well-known ids (void,
+        // char, void*) stay interned-only until a program actually
+        // allocates them — a garbage META word equal to one of them must
+        // classify as legacy, exactly like any other never-registered id.
+        rt.build_layout_for(TypeId::FREE);
         rt
     }
 
@@ -306,12 +308,22 @@ impl TypeCheckRuntime {
         id
     }
 
-    /// Pre-intern (and build layouts for) every type a program references,
-    /// so the check hot path never pays a first-touch layout build and the
-    /// `META` ids are assigned densely at load time.
-    pub fn preload_types(&mut self, types: &[Type]) {
-        for ty in types {
+    /// Pre-intern every type a program references, so the check hot path
+    /// never pays a first-touch layout build and the `META` ids are
+    /// assigned densely at load time.
+    ///
+    /// Only `alloc_types` (types that can label memory) get layout tables
+    /// built; `check_types` (static types of check sites) are pure
+    /// layout-table *keys* and are interned without building a table —
+    /// exactly what the lazy path would do, so the metadata footprint
+    /// ([`layout_table_entries`](Self::layout_table_entries)) is the same
+    /// with or without preloading.
+    pub fn preload_types(&mut self, alloc_types: &[Type], check_types: &[Type]) {
+        for ty in alloc_types {
             self.register_type(ty);
+        }
+        for ty in check_types {
+            self.interner.intern(ty);
         }
     }
 
@@ -340,11 +352,20 @@ impl TypeCheckRuntime {
         self.layouts[id.index()] = layout;
     }
 
-    fn layout_of(&self, id: TypeId) -> Option<&Arc<TypeLayout>> {
-        match self.layouts.get(id.index()) {
-            Some(LayoutEntry::Built(t)) => Some(t),
-            _ => None,
-        }
+    /// Is `id` a type id that was actually registered as an allocation
+    /// type (a [`LayoutEntry::Built`]/[`LayoutEntry::Unlayoutable`] slot)?
+    ///
+    /// Only such ids are trusted when read back from a `META` header.
+    /// Ids that are merely interned (static key types absorbed during
+    /// layout builds or checks) never label an allocation, and treating
+    /// them as typed would make the garbage-META classification depend on
+    /// how much has been interned so far.
+    fn is_allocation_type_id(&self, id: TypeId) -> bool {
+        id != TypeId::UNTYPED
+            && matches!(
+                self.layouts.get(id.index()),
+                Some(LayoutEntry::Built(_) | LayoutEntry::Unlayoutable)
+            )
     }
 
     /// The dynamic (allocation) type currently bound to the object that
@@ -352,7 +373,7 @@ impl TypeCheckRuntime {
     pub fn dynamic_type_of(&self, ptr: Ptr) -> Option<&Type> {
         let base = self.allocator.base(ptr)?;
         let id = TypeId::from_raw(self.memory.read_u64(base) as u32);
-        if id == TypeId::UNTYPED {
+        if !self.is_allocation_type_id(id) {
             return None;
         }
         self.interner.resolve(id)
@@ -362,8 +383,8 @@ impl TypeCheckRuntime {
     /// `ptr` points into, if it is a typed low-fat allocation.
     pub fn allocation_bounds(&self, ptr: Ptr) -> Option<Bounds> {
         let base = self.allocator.base(ptr)?;
-        let id = self.memory.read_u64(base) as u32;
-        if id == 0 || id as usize >= self.interner.len() {
+        let id = TypeId::from_raw(self.memory.read_u64(base) as u32);
+        if !self.is_allocation_type_id(id) {
             return None;
         }
         let size = self.memory.read_u64(base.add(8));
@@ -409,11 +430,15 @@ impl TypeCheckRuntime {
             return true;
         };
         let id = TypeId::from_raw(self.memory.read_u64(base) as u32);
-        let dyn_ty = self
-            .interner
-            .resolve(id)
-            .cloned()
-            .unwrap_or_else(Type::void);
+        // Resolve the dynamic type for diagnostics under the same validity
+        // rule as every other META reader: ids that were never registered
+        // as allocation types (garbage, or interned-only key types) report
+        // as `void` regardless of interning state.
+        let dyn_ty = if self.is_allocation_type_id(id) {
+            self.resolve_or_void(id)
+        } else {
+            Type::void()
+        };
         if id == TypeId::FREE {
             self.report(
                 ErrorKind::DoubleFree,
@@ -568,12 +593,23 @@ impl TypeCheckRuntime {
             return Bounds::WIDE;
         };
         let id = TypeId::from_raw(self.memory.read_u64(base) as u32);
-        if id == TypeId::UNTYPED || id.index() >= self.interner.len() {
-            // Low-fat but never typed (foreign allocation) or garbage META:
-            // treat as legacy.
-            self.stats.legacy_type_checks += 1;
-            return Bounds::WIDE;
-        }
+        // One layouts-vec probe yields both the META-validity verdict and
+        // the layout table.  Validity is judged against the set of
+        // *registered allocation* type ids (a Built/Unlayoutable slot, see
+        // [`is_allocation_type_id`](Self::is_allocation_type_id)), not
+        // merely interned ids — the interner also absorbs static key types
+        // mid-run, so "interned" is time-dependent while "registered" is
+        // fixed once the program's types are preloaded.
+        let layout = match self.layouts.get(id.index()) {
+            Some(LayoutEntry::Built(t)) if id != TypeId::UNTYPED => Some(t.clone()),
+            Some(LayoutEntry::Unlayoutable) if id != TypeId::UNTYPED => None,
+            _ => {
+                // Low-fat but never typed (foreign allocation, zeroed
+                // META) or garbage META: treat as legacy.
+                self.stats.legacy_type_checks += 1;
+                return Bounds::WIDE;
+            }
+        };
 
         let alloc_size = self.memory.read_u64(base.add(8));
         let obj_base = base.add(META_SIZE);
@@ -615,11 +651,12 @@ impl TypeCheckRuntime {
         }
         let k = delta as u64;
 
-        let Some(layout) = self.layout_of(id) else {
+        let Some(layout) = layout else {
+            // Registered but unlayoutable allocation type: behaves like a
+            // legacy allocation.
             self.stats.legacy_type_checks += 1;
             return Bounds::WIDE;
         };
-        let layout = layout.clone();
 
         // The O(1) hot path: normalise once, intern the static type (a
         // single hash; repeated checks at a site hit the same id), then
@@ -1135,16 +1172,55 @@ mod tests {
     #[test]
     fn preload_types_builds_layouts_upfront_without_stat_noise() {
         let mut rt = runtime();
-        rt.preload_types(&[Type::struct_("S"), Type::struct_("T"), Type::int()]);
+        rt.preload_types(&[Type::struct_("S"), Type::struct_("T"), Type::int()], &[]);
         let entries = rt.layout_table_entries();
         assert!(entries > 0);
         assert_eq!(rt.stats(), CheckStats::default());
         // Re-registering is idempotent.
-        rt.preload_types(&[Type::struct_("S")]);
+        rt.preload_types(&[Type::struct_("S")], &[]);
         assert_eq!(rt.layout_table_entries(), entries);
+        // Check static types are interned as keys only: no table is built
+        // for them, so the metadata footprint does not grow (the lazy path
+        // would never build one either).
+        rt.preload_types(&[], &[Type::double(), Type::ptr(Type::double())]);
+        assert_eq!(rt.layout_table_entries(), entries);
+        assert!(rt.interner().get(&Type::double()).is_some());
         // Checks behave identically on preloaded types.
         let p = rt.type_malloc(24, &Type::struct_("S"), AllocKind::Heap);
         assert!(!rt.type_check(p, &Type::struct_("S"), &loc("pre")).is_wide());
+    }
+
+    #[test]
+    fn garbage_meta_ids_are_legacy_even_when_interned() {
+        let mut rt = runtime();
+        // A check-only static type: interned (it has an id) but never
+        // registered as an allocation type (no layout slot).
+        rt.preload_types(&[], &[Type::double()]);
+        let key_id = rt.interner().get(&Type::double()).unwrap();
+        let p = rt.type_malloc(16, &Type::int(), AllocKind::Heap);
+        let base = rt.allocator.base(p).unwrap();
+        // A buggy program scribbles the key-only id into the META header:
+        // it must classify as legacy (garbage META), not as a typed
+        // allocation — and that classification must not depend on how many
+        // types happen to have been interned by the time of the check.
+        rt.memory.write_u64(base, key_id.raw() as u64);
+        assert!(rt.type_check(p, &Type::int(), &loc("garbage")).is_wide());
+        assert_eq!(rt.stats().legacy_type_checks, 1);
+        assert_eq!(rt.stats().failed_type_checks, 0);
+        assert!(rt.dynamic_type_of(p).is_none());
+        assert!(rt.allocation_bounds(p).is_none());
+        // The well-known CHAR/VOID_PTR ids are pre-interned but likewise
+        // untrusted until a char / void* allocation actually registers
+        // them — garbage must not read back as a typed char buffer.
+        rt.memory.write_u64(base, TypeId::CHAR.raw() as u64);
+        assert!(rt
+            .type_check(p, &Type::int(), &loc("garbage-char"))
+            .is_wide());
+        assert_eq!(rt.stats().legacy_type_checks, 2);
+        assert!(rt.dynamic_type_of(p).is_none());
+        // A real char allocation registers CHAR and is typed as usual.
+        let c = rt.type_malloc(8, &Type::char_(), AllocKind::Heap);
+        assert_eq!(rt.dynamic_type_of(c), Some(&Type::char_()));
     }
 
     #[test]

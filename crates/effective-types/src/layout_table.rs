@@ -299,8 +299,15 @@ impl TypeLayout {
         element: &Type,
     ) -> Result<Self, TypeError> {
         let raw = RawLayout::build(registry, element)?;
-        let mut entries = HashMap::with_capacity(raw.entries.len());
-        for ((ty, k), cand) in raw.entries {
+        // Intern key types in a deterministic order: `raw.entries` is a
+        // HashMap whose iteration order varies per instance and per
+        // process, and interning order assigns `TypeId`s — which are
+        // observable (META header words in simulated memory, check-cache
+        // slot indices, and hence wire-carried cache statistics).
+        let mut raw_entries: Vec<((Type, u64), Candidate)> = raw.entries.into_iter().collect();
+        raw_entries.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        let mut entries = HashMap::with_capacity(raw_entries.len());
+        for ((ty, k), cand) in raw_entries {
             entries.insert((interner.intern(&ty), k), cand);
         }
         let entry_count = entries.len();
@@ -921,6 +928,30 @@ mod tests {
         let id = interner.get(&Type::struct_("T")).unwrap();
         let d = cache.layout_for_id(&reg, &mut interner, id).unwrap();
         assert!(Arc::ptr_eq(&a, &d));
+    }
+
+    #[test]
+    fn interning_order_is_deterministic_across_builds() {
+        // Building the same layout table into two fresh interners must
+        // assign identical ids: `TypeId`s are observable (META header
+        // words, check-cache keys), so the build must not leak HashMap
+        // iteration order (which varies per map instance and per process).
+        let reg = paper_registry();
+        for ty in [
+            Type::struct_("T"),
+            Type::struct_("S"),
+            Type::array(Type::struct_("T"), 4),
+        ] {
+            let (a, _) = build(&reg, &ty);
+            for _ in 0..8 {
+                let (b, _) = build(&reg, &ty);
+                assert_eq!(a.len(), b.len());
+                for raw in 0..a.len() as u32 {
+                    let id = TypeId::from_raw(raw);
+                    assert_eq!(a.resolve(id), b.resolve(id), "id {id} for {ty}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -110,7 +110,7 @@ impl Primitive {
 }
 
 /// The kind of a record (aggregate) type.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum RecordKind {
     /// A C `struct` (or C++ `struct`).
     Struct,
@@ -138,7 +138,7 @@ impl RecordKind {
 /// The paper treats virtual function tables as "arrays of generic functions"
 /// (§6, "Limitations"); [`FunctionType::generic`] builds that generic
 /// function type.
-#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct FunctionType {
     /// Return type.
     pub ret: Type,
@@ -163,8 +163,11 @@ impl FunctionType {
 ///
 /// `Type` is cheap to clone: compound types share their component types via
 /// [`Arc`].  Equality is structural for everything except records, which are
-/// compared by tag (nominal equivalence), matching the paper.
-#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+/// compared by tag (nominal equivalence), matching the paper.  The `Ord` is
+/// an arbitrary but *stable* structural order, used to make hash-map
+/// traversals deterministic wherever the visit order is observable (e.g.
+/// the interning order of layout-table key types).
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Type {
     /// A fundamental type.
     Prim(Primitive),

@@ -521,41 +521,68 @@ impl Program {
 
     /// Every type the program can hand to the runtime — allocation element
     /// types (`Alloca`, allocation builtins, globals) and the static types
-    /// of check instructions — in a deterministic order, deduplicated.
+    /// of check instructions — in a deterministic order, deduplicated
+    /// across both lists (a type that is both an allocation and a check
+    /// type appears only in `alloc`).
     ///
     /// Used to pre-intern type meta data at load time
     /// (`Sanitizer::preload_types`), so the check hot path never pays a
-    /// first-touch layout build.  Determinism matters: `META` ids are
-    /// assigned in this order, and parallel/sequential/sharded runs of the
-    /// same program must produce identical simulated memory.
-    pub fn referenced_types(&self) -> Vec<Type> {
+    /// first-touch layout build.  Allocation and check types are kept
+    /// apart because only the former get layout tables built; the latter
+    /// are interned as layout-table keys only.  Determinism matters:
+    /// `META` ids are assigned in this order, and
+    /// parallel/sequential/sharded runs of the same program must produce
+    /// identical simulated memory.
+    pub fn referenced_types(&self) -> ReferencedTypes {
         let mut seen = std::collections::HashSet::new();
-        let mut out = Vec::new();
-        let mut add = |ty: &Type| {
+        let mut alloc = Vec::new();
+        let mut checks = Vec::new();
+        let mut add = |out: &mut Vec<Type>, ty: &Type| {
             if seen.insert(ty.clone()) {
                 out.push(ty.clone());
             }
         };
         for g in &self.globals {
-            add(&g.ty);
+            add(&mut alloc, &g.ty);
         }
         let mut names: Vec<&String> = self.functions.keys().collect();
         names.sort();
-        for name in names {
-            for instr in &self.functions[name].body {
+        for name in &names {
+            for instr in &self.functions[*name].body {
                 match instr {
-                    Instr::Alloca { ty, .. } => add(ty),
+                    Instr::Alloca { ty, .. } => add(&mut alloc, ty),
                     Instr::CallBuiltin {
                         alloc_ty: Some(ty), ..
-                    } => add(ty),
-                    Instr::TypeCheck { ty, .. } => add(ty),
-                    Instr::CastCheck { ty, .. } => add(ty),
+                    } => add(&mut alloc, ty),
                     _ => {}
                 }
             }
         }
-        out
+        for name in &names {
+            for instr in &self.functions[*name].body {
+                match instr {
+                    Instr::TypeCheck { ty, .. } | Instr::CastCheck { ty, .. } => {
+                        add(&mut checks, ty)
+                    }
+                    _ => {}
+                }
+            }
+        }
+        ReferencedTypes { alloc, checks }
     }
+}
+
+/// The types a program references, split by role (see
+/// [`Program::referenced_types`]).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ReferencedTypes {
+    /// Allocation element types: globals, `Alloca`, allocation builtins.
+    /// These can label memory and need layout tables.
+    pub alloc: Vec<Type>,
+    /// Static types of check instructions that never occur as allocation
+    /// types: pure layout-table keys, interned but with no table of their
+    /// own.
+    pub checks: Vec<Type>,
 }
 
 impl fmt::Display for Program {
@@ -660,7 +687,7 @@ mod tests {
                     Instr::CastCheck {
                         dst: 1,
                         ptr: 0,
-                        ty: Type::int(),
+                        ty: Type::double(),
                         loc: Arc::from("a:1"),
                     },
                 ],
@@ -678,16 +705,19 @@ mod tests {
             source_lines: 0,
         };
         let tys = program.referenced_types();
-        // Globals first, then functions in sorted-name order; no
-        // duplicates even across instruction kinds.
+        // Allocation types: globals first, then functions in sorted-name
+        // order; no duplicates.
         assert_eq!(
-            tys,
+            tys.alloc,
             vec![
                 Type::array(Type::float(), 4),
                 Type::struct_("S"),
                 Type::int(),
             ]
         );
+        // Check static types that also occur as allocation types stay in
+        // the alloc list only; `double` is check-only.
+        assert_eq!(tys.checks, vec![Type::double()]);
         // HashMap iteration order never leaks: repeated calls agree.
         assert_eq!(program.referenced_types(), tys);
     }

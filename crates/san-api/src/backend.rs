@@ -192,10 +192,16 @@ pub trait Sanitizer: std::fmt::Debug {
 
     /// Pre-intern every type a program references before execution starts,
     /// so hot-path checks never pay first-touch meta-data construction
-    /// (layout-table builds, id assignment).  Purely a warm-up: observable
-    /// behaviour and statistics must be identical with or without it.
-    /// Tools that keep no type meta data ignore it (the default).
-    fn preload_types(&mut self, _types: &[Type]) {}
+    /// (layout-table builds, id assignment).  `alloc_types` are allocation
+    /// element types (globals, `Alloca`, allocation builtins) and may get
+    /// layout tables built; `check_types` are the static types of check
+    /// sites and must only be interned as layout-table keys, exactly as
+    /// the lazy path would.  Purely a warm-up: dynamic check behaviour and
+    /// statistics must be identical with or without it.  (The type
+    /// meta-data footprint may still cover allocation types on paths a
+    /// given run never executes.)  Tools that keep no type meta data
+    /// ignore it (the default).
+    fn preload_types(&mut self, _alloc_types: &[Type], _check_types: &[Type]) {}
 
     /// Allocate `size` bytes with element type `elem`, binding whatever
     /// meta data this tool keeps, and return the object pointer.

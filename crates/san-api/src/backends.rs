@@ -80,8 +80,8 @@ impl Sanitizer for EffectiveBackend {
         self.runtime.allocator.stack_frame_end(mark);
     }
 
-    fn preload_types(&mut self, types: &[Type]) {
-        self.runtime.preload_types(types);
+    fn preload_types(&mut self, alloc_types: &[Type], check_types: &[Type]) {
+        self.runtime.preload_types(alloc_types, check_types);
     }
 
     fn on_alloc(&mut self, size: u64, elem: &Type, kind: AllocKind) -> Ptr {

@@ -226,7 +226,8 @@ impl Vm {
         // Pre-intern every type the program references so the check hot
         // path never pays first-touch meta-data construction (a no-op for
         // tools without type meta data).
-        backend.preload_types(&program.referenced_types());
+        let referenced = program.referenced_types();
+        backend.preload_types(&referenced.alloc, &referenced.checks);
 
         // Allocate and initialise globals.
         let mut globals = HashMap::new();
