@@ -9,6 +9,12 @@
 //! only `PERF_SMOKE_REPS` (default 3) and the output path (first CLI
 //! argument, default `BENCH_interp.json`) can be overridden.
 //!
+//! `perf_smoke --compare old.json new.json` diffs two such files and
+//! prints a warning for any cell whose `instructions_per_sec` dropped by
+//! more than 15%.  It always exits 0 (timing on shared CI runners is
+//! noisy, so the comparison is advisory, never gating); only unreadable
+//! or malformed input exits non-zero.
+//!
 //! Caching and interning change *nothing* observable: the deterministic
 //! cost model (`RunReport::cost`) sees identical check counts with or
 //! without them, so `cost` rows stay bit-comparable across PRs while
@@ -42,8 +48,17 @@ struct Row {
 }
 
 fn main() {
-    let out_path = std::env::args()
-        .nth(1)
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--compare") {
+        let (Some(old), Some(new)) = (args.get(1), args.get(2)) else {
+            eprintln!("usage: perf_smoke --compare <old.json> <new.json>");
+            std::process::exit(2);
+        };
+        std::process::exit(compare(old, new));
+    }
+    let out_path = args
+        .first()
+        .cloned()
         .unwrap_or_else(|| "BENCH_interp.json".to_string());
     let reps: usize = std::env::var("PERF_SMOKE_REPS")
         .ok()
@@ -86,6 +101,104 @@ fn main() {
     print_summary(&rows, reps, &out_path);
 }
 
+/// Relative throughput drop that triggers a warning in `--compare` mode.
+/// Wall-clock noise on shared CI runners sits well under this.
+const REGRESSION_THRESHOLD: f64 = 0.15;
+
+/// `--compare old.json new.json`: warn (exit 0 — advisory, never gating)
+/// when any benchmark × backend cell lost more than
+/// [`REGRESSION_THRESHOLD`] of its `instructions_per_sec`.  Exits 2 only
+/// when a file cannot be read or parsed, so CI notices a broken setup.
+fn compare(old_path: &str, new_path: &str) -> i32 {
+    let (old, new) = match (parse_rows(old_path), parse_rows(new_path)) {
+        (Ok(o), Ok(n)) => (o, n),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("perf_smoke --compare: {e}");
+            return 2;
+        }
+    };
+    let mut warned = false;
+    println!("perf_smoke — throughput comparison ({old_path} -> {new_path})\n");
+    println!(
+        "{:<12} {:<22} {:>12} {:>12} {:>9}",
+        "benchmark", "backend", "old Mi/s", "new Mi/s", "delta"
+    );
+    bench::rule(72);
+    for (key, old_ips) in &old {
+        let Some(new_ips) = new.get(key) else {
+            println!("{:<12} {:<22} missing from {new_path}", key.0, key.1);
+            warned = true;
+            continue;
+        };
+        let delta = (new_ips - old_ips) / old_ips.max(1.0);
+        let flag = if delta < -REGRESSION_THRESHOLD {
+            warned = true;
+            "  <-- WARNING: regression"
+        } else {
+            ""
+        };
+        println!(
+            "{:<12} {:<22} {:>12.1} {:>12.1} {:>+8.1}%{flag}",
+            key.0,
+            key.1,
+            old_ips / 1e6,
+            new_ips / 1e6,
+            delta * 100.0,
+        );
+    }
+    bench::rule(72);
+    if warned {
+        println!(
+            "WARNING: at least one cell regressed by more than {:.0}% \
+             instructions/sec (advisory only — timing on shared runners is noisy; \
+             rerun locally with PERF_SMOKE_REPS=5 before acting on this)",
+            REGRESSION_THRESHOLD * 100.0
+        );
+    } else {
+        println!(
+            "no cell regressed by more than {:.0}%",
+            REGRESSION_THRESHOLD * 100.0
+        );
+    }
+    0
+}
+
+/// Extract `(benchmark, backend) -> instructions_per_sec` from a
+/// `BENCH_interp.json`.  The file is machine-written one row per line
+/// (see [`render_json`]), so a line scan is sufficient and avoids a JSON
+/// parser dependency.
+fn parse_rows(path: &str) -> Result<std::collections::BTreeMap<(String, String), f64>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let mut rows = std::collections::BTreeMap::new();
+    for line in text.lines() {
+        let Some(benchmark) = str_field(line, "benchmark") else {
+            continue;
+        };
+        let backend = str_field(line, "backend")
+            .ok_or_else(|| format!("{path}: row without backend: {line}"))?;
+        let ips = num_field(line, "instructions_per_sec")
+            .ok_or_else(|| format!("{path}: row without instructions_per_sec: {line}"))?;
+        rows.insert((benchmark, backend), ips);
+    }
+    if rows.is_empty() {
+        return Err(format!("{path}: no benchmark rows found"));
+    }
+    Ok(rows)
+}
+
+fn str_field(line: &str, key: &str) -> Option<String> {
+    let rest = &line[line.find(&format!("\"{key}\":\""))? + key.len() + 4..];
+    Some(rest[..rest.find('"')?].to_string())
+}
+
+fn num_field(line: &str, key: &str) -> Option<f64> {
+    let rest = &line[line.find(&format!("\"{key}\":"))? + key.len() + 3..];
+    let end = rest
+        .find(|c: char| c != '-' && c != '.' && !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
 fn instructions_of(r: &RunReport) -> u64 {
     r.exec.instructions + r.exec.check_instructions
 }
@@ -105,7 +218,8 @@ fn render_json(rows: &[Row], reps: usize) -> String {
             "  {{\"benchmark\":\"{}\",\"backend\":\"{}\",\"wall_ns\":{},\
              \"instructions\":{},\"instructions_per_sec\":{:.1},\
              \"total_checks\":{},\"check_cache_hits\":{},\"check_cache_misses\":{},\
-             \"check_cache_hit_rate\":{:.6},\"cost\":{:.1},\"distinct_issues\":{}}}",
+             \"check_cache_hit_rate\":{:.6},\"cost\":{:.1},\"distinct_issues\":{},\
+             \"tier_promotions\":{},\"fast_calls\":{}}}",
             json_escape(r.benchmark),
             json_escape(r.backend.name()),
             r.wall_ns,
@@ -117,6 +231,8 @@ fn render_json(rows: &[Row], reps: usize) -> String {
             c.check_cache_hit_rate(),
             r.report.cost,
             r.report.errors.distinct_issues,
+            r.report.exec.tier_promotions,
+            r.report.exec.fast_calls,
         ));
     }
     let full_total: u128 = rows

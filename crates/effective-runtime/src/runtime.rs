@@ -308,6 +308,21 @@ impl TypeCheckRuntime {
         id
     }
 
+    /// Intern a check-site static type without building a layout table —
+    /// the id form expected by [`type_check_id`](Self::type_check_id) and
+    /// [`cast_check_id`](Self::cast_check_id).  Exactly what the lazy check
+    /// path would do on first touch; idempotent after
+    /// [`preload_types`](Self::preload_types).
+    pub fn intern_type(&mut self, ty: &Type) -> TypeId {
+        self.interner.intern(ty)
+    }
+
+    /// Resolve an interned id back to its type (for reporting and for
+    /// tools that need the structural type).
+    pub fn resolve_type(&self, id: TypeId) -> Option<&Type> {
+        self.interner.resolve(id)
+    }
+
     /// Pre-intern every type a program references, so the check hot path
     /// never pays a first-touch layout build and the `META` ids are
     /// assigned densely at load time.
@@ -406,7 +421,12 @@ impl TypeCheckRuntime {
             return self.allocator.alloc(size.max(1), AllocKind::Legacy);
         }
         let id = self.register_type(elem);
-        let base = self.allocator.alloc(META_SIZE + size.max(1), kind);
+        // Saturate: a huge requested size must fall through to the legacy
+        // region (or a failing allocation), not overflow the META header
+        // addition.
+        let base = self
+            .allocator
+            .alloc(size.max(1).saturating_add(META_SIZE), kind);
         if !self.allocator.is_low_fat(base) {
             // Oversized allocation fell back to the legacy region; it cannot
             // carry meta data retrievable via base().
@@ -508,16 +528,31 @@ impl TypeCheckRuntime {
     ///
     /// Legacy pointers and failed checks return [`Bounds::WIDE`].
     pub fn type_check(&mut self, ptr: Ptr, static_ty: &Type, location: &Arc<str>) -> Bounds {
+        let id = self.interner.intern(static_ty);
+        self.type_check_id(ptr, id, location)
+    }
+
+    /// The id-based entry point of [`type_check`](Self::type_check): the
+    /// static type was interned once ahead of time (see
+    /// [`intern_type`](Self::intern_type)), so the hot path performs no
+    /// structural type hashing at all.
+    pub fn type_check_id(&mut self, ptr: Ptr, static_id: TypeId, location: &Arc<str>) -> Bounds {
         self.stats.type_checks += 1;
-        self.check_against_dynamic_type(ptr, static_ty, location, ErrorKind::TypeConfusion)
+        self.check_against_dynamic_type(ptr, static_id, location, ErrorKind::TypeConfusion)
     }
 
     /// The cast-site variant of [`type_check`](Self::type_check) used by
     /// EffectiveSan-type: identical logic, but failures are classified as
     /// [`ErrorKind::BadCast`] and counted separately.
     pub fn cast_check(&mut self, ptr: Ptr, static_ty: &Type, location: &Arc<str>) -> Bounds {
+        let id = self.interner.intern(static_ty);
+        self.cast_check_id(ptr, id, location)
+    }
+
+    /// The id-based entry point of [`cast_check`](Self::cast_check).
+    pub fn cast_check_id(&mut self, ptr: Ptr, static_id: TypeId, location: &Arc<str>) -> Bounds {
         self.stats.cast_checks += 1;
-        self.check_against_dynamic_type(ptr, static_ty, location, ErrorKind::BadCast)
+        self.check_against_dynamic_type(ptr, static_id, location, ErrorKind::BadCast)
     }
 
     /// The `bounds_get(ptr)` function used by the EffectiveSan-bounds
@@ -582,7 +617,7 @@ impl TypeCheckRuntime {
     fn check_against_dynamic_type(
         &mut self,
         ptr: Ptr,
-        static_ty: &Type,
+        static_id: TypeId,
         location: &Arc<str>,
         failure_kind: ErrorKind,
     ) -> Bounds {
@@ -620,9 +655,10 @@ impl TypeCheckRuntime {
         // binding of this block can never mask a use-after-free.
         if id == TypeId::FREE {
             self.stats.failed_type_checks += 1;
+            let static_ty = self.resolve_or_void(static_id);
             self.report(
                 ErrorKind::UseAfterFree,
-                static_ty,
+                &static_ty,
                 &Type::Free,
                 ptr.diff(obj_base).unsigned_abs(),
                 Some(alloc_bounds),
@@ -638,9 +674,10 @@ impl TypeCheckRuntime {
         if delta < 0 {
             self.stats.failed_type_checks += 1;
             let alloc_ty = self.resolve_or_void(id);
+            let static_ty = self.resolve_or_void(static_id);
             self.report(
                 failure_kind,
-                static_ty,
+                &static_ty,
                 &alloc_ty,
                 delta.unsigned_abs(),
                 Some(alloc_bounds),
@@ -658,13 +695,12 @@ impl TypeCheckRuntime {
             return Bounds::WIDE;
         };
 
-        // The O(1) hot path: normalise once, intern the static type (a
-        // single hash; repeated checks at a site hit the same id), then
-        // probe the direct-mapped per-site cache before walking the layout
-        // table.  Only successful matches are memoised — failures must
-        // reach the reporter every time.
+        // The O(1) hot path: normalise once, then probe the direct-mapped
+        // per-site cache before walking the layout table — the static type
+        // arrives pre-interned, so not even a single hash remains here.
+        // Only successful matches are memoised — failures must reach the
+        // reporter every time.
         let k_norm = layout.normalize_offset(k);
-        let static_id = self.interner.intern(static_ty);
         if let Some(m) = self.check_cache.get(id, static_id, k_norm) {
             self.stats.check_cache_hits += 1;
             return Self::match_to_bounds(ptr, m, alloc_bounds);
@@ -679,11 +715,12 @@ impl TypeCheckRuntime {
             None => {
                 self.stats.failed_type_checks += 1;
                 let alloc_ty = self.resolve_or_void(id);
+                let static_ty = self.resolve_or_void(static_id);
                 let detail =
                     format!("no sub-object of type `{static_ty}` at offset {k} of `{alloc_ty}`");
                 self.report(
                     failure_kind,
-                    static_ty,
+                    &static_ty,
                     &alloc_ty,
                     k_norm,
                     Some(alloc_bounds),

@@ -19,8 +19,8 @@
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
-use effective_types::{Type, TypeRegistry};
-use minic::ir::{Builtin, CastKind, Function, Instr, Program, Slot};
+use effective_types::{Type, TypeInterner, TypeRegistry};
+use minic::ir::{Builtin, CastKind, Const, Function, Instr, Program, Slot};
 
 use crate::config::{InputCheck, PassConfig, SanitizerKind};
 
@@ -40,22 +40,44 @@ pub fn instrument_program_with(program: &Program, config: PassConfig) -> Program
         return out;
     }
     let registry = out.registry.clone();
-    for func in out.functions.values_mut() {
-        instrument_function(std::sync::Arc::make_mut(func), &registry, &config);
+    // One interner per program: the emitted check instructions carry
+    // `TypeId`s resolved here, once, so the ids must be deterministic —
+    // visit functions in name order, not `HashMap` order.
+    let mut interner = TypeInterner::new();
+    let mut names: Vec<String> = out.functions.keys().cloned().collect();
+    names.sort_unstable();
+    for name in &names {
+        let func = out.functions.get_mut(name).expect("function exists");
+        instrument_function(
+            std::sync::Arc::make_mut(func),
+            &registry,
+            &config,
+            &mut interner,
+        );
     }
     out
 }
 
-/// Instrument a single function in place.
-pub fn instrument_function(func: &mut Function, registry: &TypeRegistry, config: &PassConfig) {
+/// Instrument a single function in place.  `interner` assigns the
+/// program-wide [`effective_types::TypeId`]s carried by the emitted check
+/// instructions.
+pub fn instrument_function(
+    func: &mut Function,
+    registry: &TypeRegistry,
+    config: &PassConfig,
+    interner: &mut TypeInterner,
+) {
     let used = used_pointer_slots(func);
+    let const_lens = builtin_const_lens(func);
     let old_body = std::mem::take(&mut func.body);
 
     let mut cx = Cx {
         func,
         registry,
         config,
+        interner,
         used,
+        const_lens,
         bounds_of: HashMap::new(),
         out: Vec::new(),
         label: 0,
@@ -128,7 +150,10 @@ struct Cx<'a> {
     func: &'a mut Function,
     registry: &'a TypeRegistry,
     config: &'a PassConfig,
+    interner: &'a mut TypeInterner,
     used: HashSet<Slot>,
+    /// Resolved constant byte lengths of mem-builtin calls, by old index.
+    const_lens: HashMap<usize, u64>,
     bounds_of: HashMap<Slot, Slot>,
     out: Vec<Instr>,
     label: usize,
@@ -169,6 +194,7 @@ impl<'a> Cx<'a> {
             InputCheck::TypeCheck => Some(Instr::TypeCheck {
                 dst,
                 ptr,
+                ty_id: self.interner.intern(pointee),
                 ty: pointee.clone(),
                 loc: self.loc(what),
             }),
@@ -232,7 +258,7 @@ impl<'a> Cx<'a> {
         });
     }
 
-    fn rewrite(&mut self, instr: &Instr, _index: usize) {
+    fn rewrite(&mut self, instr: &Instr, index: usize) {
         match instr {
             // ----- rule (g): dereferences -----
             Instr::Load { dst, ptr, ty } => {
@@ -313,6 +339,7 @@ impl<'a> Cx<'a> {
                         self.out.push(Instr::CastCheck {
                             dst: b,
                             ptr: *dst,
+                            ty_id: self.interner.intern(&pointee),
                             ty: pointee,
                             loc,
                         });
@@ -375,16 +402,33 @@ impl<'a> Cx<'a> {
             } => {
                 // memcpy/memset-style builtins dereference their pointer
                 // arguments inside the runtime; bounds-check them here like
-                // any other use.
-                if self.config.bounds_check_escapes
-                    && matches!(
-                        builtin,
-                        Builtin::Memcpy | Builtin::Memmove | Builtin::Memset | Builtin::Strlen
-                    )
-                {
-                    let ptr_args: Vec<Slot> = args.iter().take(2).copied().collect();
-                    for a in ptr_args {
-                        self.emit_escape_guard(a, 1, "builtin-arg");
+                // any other use.  Only the actually-pointer-typed arguments
+                // are guarded (memset's second argument is the fill byte),
+                // and when the length operand is a compile-time constant the
+                // guard covers the full `[p, p+n)` range instead of one byte.
+                let derefs = matches!(
+                    builtin,
+                    Builtin::Memcpy | Builtin::Memmove | Builtin::Memset | Builtin::Strlen
+                );
+                if derefs && (self.config.bounds_check_escapes || self.config.access_check) {
+                    let size = self.const_lens.get(&index).copied().unwrap_or(1).max(1);
+                    let ptr_args: Vec<Slot> =
+                        args.iter().take(builtin.pointer_args()).copied().collect();
+                    for (i, a) in ptr_args.into_iter().enumerate() {
+                        self.emit_escape_guard(a, size, "builtin-arg");
+                        if self.config.access_check {
+                            // Interceptor-style range check: ASan, Memcheck
+                            // and CETS hook the libc mem functions
+                            // themselves, so they see the whole range.
+                            let write = i == 0 && !matches!(builtin, Builtin::Strlen);
+                            let loc = self.loc("builtin-arg");
+                            self.out.push(Instr::AccessCheck {
+                                ptr: a,
+                                size,
+                                write,
+                                loc,
+                            });
+                        }
                     }
                 }
                 self.out.push(instr.clone());
@@ -444,6 +488,67 @@ impl<'a> Cx<'a> {
     }
 }
 
+/// Resolve the byte length of each `memcpy`/`memmove`/`memset` call whose
+/// length operand is a compile-time constant reaching the call on every
+/// path, keyed by the call's body index.
+///
+/// The backward scan is deliberately conservative: it gives up at the
+/// first redefinition that is not a plain constant, at terminators, and as
+/// soon as a jump target sits between the candidate definition and the
+/// call (another path could reach the call with a different length).
+fn builtin_const_lens(func: &Function) -> HashMap<usize, u64> {
+    let mut jump_target = vec![false; func.body.len() + 1];
+    for instr in &func.body {
+        match instr {
+            Instr::Jump { target } => jump_target[*target] = true,
+            Instr::Branch {
+                then_target,
+                else_target,
+                ..
+            } => {
+                jump_target[*then_target] = true;
+                jump_target[*else_target] = true;
+            }
+            _ => {}
+        }
+    }
+    let mut lens = HashMap::new();
+    for (i, instr) in func.body.iter().enumerate() {
+        let Instr::CallBuiltin { builtin, args, .. } = instr else {
+            continue;
+        };
+        if !matches!(
+            builtin,
+            Builtin::Memcpy | Builtin::Memmove | Builtin::Memset
+        ) {
+            continue;
+        }
+        let Some(&len_slot) = args.get(2) else {
+            continue;
+        };
+        for j in (0..i).rev() {
+            if jump_target[j + 1] {
+                break;
+            }
+            let def = &func.body[j];
+            if def.is_terminator() {
+                break;
+            }
+            if def.dst() == Some(len_slot) {
+                if let Instr::Const {
+                    value: Const::Int(n),
+                    ..
+                } = def
+                {
+                    lens.insert(i, (*n).max(0) as u64);
+                }
+                break;
+            }
+        }
+    }
+    lens
+}
+
 /// Compute the set of slots holding pointers that are *used* — dereferenced,
 /// used as the base of a derived pointer that is used, or escaping (stored,
 /// passed, returned).  Only these attract rule (a)–(d) checks.
@@ -469,20 +574,10 @@ fn used_pointer_slots(func: &Function) -> HashSet<Slot> {
                 }
             }
             Instr::CallBuiltin { builtin, args, .. } => {
-                if matches!(
-                    builtin,
-                    Builtin::Memcpy
-                        | Builtin::Memmove
-                        | Builtin::Memset
-                        | Builtin::Strlen
-                        | Builtin::Free
-                        | Builtin::Delete
-                        | Builtin::Realloc
-                        | Builtin::CmaFree
-                ) {
-                    for a in args.iter().take(2) {
-                        used.insert(*a);
-                    }
+                // Only the pointer-typed arguments count as pointer uses:
+                // memset's fill byte and realloc's size are plain integers.
+                for a in args.iter().take(builtin.pointer_args()) {
+                    used.insert(*a);
                 }
             }
             // NOTE: returning a pointer is *not* counted as a use on its

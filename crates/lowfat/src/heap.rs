@@ -208,8 +208,8 @@ impl LowFatAllocator {
         let rounded = lowfat_size(ptr.addr()).unwrap_or(request);
         self.live.insert(ptr.addr(), (rounded, request, kind));
         self.stats.allocations += 1;
-        self.stats.live_bytes += rounded;
-        self.stats.requested_live_bytes += request;
+        self.stats.live_bytes = self.stats.live_bytes.saturating_add(rounded);
+        self.stats.requested_live_bytes = self.stats.requested_live_bytes.saturating_add(request);
         self.stats.peak_live_bytes = self.stats.peak_live_bytes.max(self.stats.live_bytes);
         match kind {
             AllocKind::Heap => self.stats.heap_allocations += 1,
@@ -304,8 +304,10 @@ impl LowFatAllocator {
     }
 
     fn alloc_legacy(&mut self, size: u64) -> Ptr {
-        let base = (self.legacy_bump + 15) & !15;
-        self.legacy_bump = base + size;
+        // Saturate: an absurd (attacker-controlled) size must exhaust the
+        // region, not overflow the bump pointer.
+        let base = self.legacy_bump.saturating_add(15) & !15;
+        self.legacy_bump = base.saturating_add(size);
         Ptr(base)
     }
 

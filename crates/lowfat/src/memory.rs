@@ -8,6 +8,7 @@
 //! Figure 9 memory experiment.
 
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 
 use crate::ptr::Ptr;
 
@@ -17,10 +18,38 @@ const PAGE_SHIFT: u32 = 14;
 /// size-class rounding show up in the resident-set figure).
 pub const PAGE_SIZE: u64 = 1 << PAGE_SHIFT;
 
+/// A cheap hasher for page ids (the splitmix64 finaliser).  Page lookups
+/// sit on the interpreter's load/store path, where the default SipHash is
+/// measurable; page ids are full 64-bit values under our control, so a
+/// statistically strong integer mix is sufficient and far cheaper.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PageIdHasher(u64);
+
+impl Hasher for PageIdHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        // Only reached via non-u64 keys (never by the page map); keep a
+        // simple FNV-style fold for completeness.
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    fn write_u64(&mut self, x: u64) {
+        self.0 = x;
+    }
+
+    fn finish(&self) -> u64 {
+        let mut z = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
 /// The sparse simulated memory.
 #[derive(Debug, Default)]
 pub struct Memory {
-    pages: HashMap<u64, Box<[u8]>>,
+    pages: HashMap<u64, Box<[u8]>, BuildHasherDefault<PageIdHasher>>,
     peak_pages: usize,
 }
 
@@ -65,8 +94,21 @@ impl Memory {
     }
 
     /// Read `buf.len()` bytes starting at `addr`.
+    #[inline]
     pub fn read(&self, addr: Ptr, buf: &mut [u8]) {
-        let mut a = addr.addr();
+        let a = addr.addr();
+        let off = (a & (PAGE_SIZE - 1)) as usize;
+        // Fast path: the access stays inside one page (every word-sized
+        // load/store the interpreter issues, bar the rare straddler), so a
+        // single page lookup covers it.
+        if off + buf.len() <= PAGE_SIZE as usize {
+            match self.pages.get(&(a >> PAGE_SHIFT)) {
+                Some(data) => buf.copy_from_slice(&data[off..off + buf.len()]),
+                None => buf.fill(0),
+            }
+            return;
+        }
+        let mut a = a;
         for byte in buf.iter_mut() {
             let page = a >> PAGE_SHIFT;
             let off = (a & (PAGE_SIZE - 1)) as usize;
@@ -79,8 +121,16 @@ impl Memory {
     }
 
     /// Write `buf` starting at `addr`, materialising pages as needed.
+    #[inline]
     pub fn write(&mut self, addr: Ptr, buf: &[u8]) {
-        let mut a = addr.addr();
+        let a = addr.addr();
+        let off = (a & (PAGE_SIZE - 1)) as usize;
+        if off + buf.len() <= PAGE_SIZE as usize {
+            let data = self.page_mut(a >> PAGE_SHIFT);
+            data[off..off + buf.len()].copy_from_slice(buf);
+            return;
+        }
+        let mut a = a;
         let mut i = 0;
         while i < buf.len() {
             let page = a >> PAGE_SHIFT;
@@ -116,6 +166,7 @@ impl Memory {
     }
 
     /// Read an unsigned 64-bit little-endian word.
+    #[inline]
     pub fn read_u64(&self, addr: Ptr) -> u64 {
         let mut b = [0u8; 8];
         self.read(addr, &mut b);
@@ -123,6 +174,7 @@ impl Memory {
     }
 
     /// Write an unsigned 64-bit little-endian word.
+    #[inline]
     pub fn write_u64(&mut self, addr: Ptr, value: u64) {
         self.write(addr, &value.to_le_bytes());
     }
@@ -221,17 +273,19 @@ impl Memory {
     }
 
     fn page_mut(&mut self, page: u64) -> &mut [u8] {
+        // Keep the stored high-water mark fresh so `release()` cannot erase
+        // it before `peak_pages()` is next read.  The closure only runs on
+        // insertion, at which point the map holds `next_len` pages.
+        let next_len = self.pages.len() + 1;
+        let peak = &mut self.peak_pages;
         self.pages
             .entry(page)
-            .or_insert_with(|| vec![0u8; PAGE_SIZE as usize].into_boxed_slice());
-        // Keep the stored high-water mark fresh so `release()` cannot erase
-        // it before `peak_pages()` is next read.
-        if self.pages.len() > self.peak_pages {
-            self.peak_pages = self.pages.len();
-        }
-        self.pages
-            .get_mut(&page)
-            .expect("page just inserted")
+            .or_insert_with(|| {
+                if next_len > *peak {
+                    *peak = next_len;
+                }
+                vec![0u8; PAGE_SIZE as usize].into_boxed_slice()
+            })
             .as_mut()
     }
 }

@@ -13,7 +13,7 @@ use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
 
-use effective_types::{Type, TypeRegistry};
+use effective_types::{Type, TypeId, TypeRegistry};
 
 use crate::ast::{BinOp, UnOp};
 
@@ -115,6 +115,23 @@ impl Builtin {
             self,
             Builtin::Malloc | Builtin::Calloc | Builtin::Realloc | Builtin::New | Builtin::CmaAlloc
         )
+    }
+
+    /// How many leading arguments are pointers into the simulated address
+    /// space.  `memset(dst, byte, n)`'s second argument is the fill byte and
+    /// `realloc(ptr, size)`'s second argument is a size — neither is a
+    /// pointer, so instrumentation must not guard (or track) them as such.
+    pub fn pointer_args(self) -> usize {
+        match self {
+            Builtin::Memcpy | Builtin::Memmove => 2,
+            Builtin::Memset
+            | Builtin::Strlen
+            | Builtin::Free
+            | Builtin::Delete
+            | Builtin::Realloc
+            | Builtin::CmaFree => 1,
+            _ => 0,
+        }
     }
 }
 
@@ -304,6 +321,9 @@ pub enum Instr {
         ptr: Slot,
         /// The static (incomplete) type to check against.
         ty: Type,
+        /// The same type, interned once at instrument time so the check
+        /// hot path never hashes a structural [`Type`].
+        ty_id: TypeId,
         /// Instrumentation-site label.
         loc: Arc<str>,
     },
@@ -316,6 +336,8 @@ pub enum Instr {
         ptr: Slot,
         /// The cast target type.
         ty: Type,
+        /// The same type, interned once at instrument time.
+        ty_id: TypeId,
         /// Instrumentation-site label.
         loc: Arc<str>,
     },
@@ -639,6 +661,7 @@ mod tests {
             dst: 1,
             ptr: 0,
             ty: Type::int(),
+            ty_id: TypeId::UNTYPED,
             loc: Arc::from("x"),
         };
         assert!(t.is_check());
@@ -666,6 +689,7 @@ mod tests {
                         dst: 1,
                         ptr: 0,
                         ty: Type::struct_("S"),
+                        ty_id: TypeId::UNTYPED,
                         loc: Arc::from("b:1"),
                     },
                 ],
@@ -688,6 +712,7 @@ mod tests {
                         dst: 1,
                         ptr: 0,
                         ty: Type::double(),
+                        ty_id: TypeId::UNTYPED,
                         loc: Arc::from("a:1"),
                     },
                 ],

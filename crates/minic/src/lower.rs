@@ -926,6 +926,20 @@ impl<'a> FunctionLowerer<'a> {
 
         // Numeric operands: promote to float if either side is float.
         let float = lty.is_float() || rty.is_float();
+        // Bitwise and shift operators are integer-only in C; the VM has no
+        // float evaluation for them, so reject here instead of letting the
+        // interpreter silently produce 0.
+        if float
+            && matches!(
+                op,
+                BinOp::Shl | BinOp::Shr | BinOp::BitAnd | BinOp::BitOr | BinOp::BitXor
+            )
+        {
+            return Err(self.err(
+                format!("invalid operands to `{op:?}`: bitwise and shift operators require integer operands"),
+                loc,
+            ));
+        }
         let (l, r) = if float {
             let l = if lty.is_float() {
                 l
@@ -1581,6 +1595,28 @@ mod tests {
         assert!(lower(&unit, 1).is_err());
         let unit = parse("void f() { continue; }").unwrap();
         assert!(lower(&unit, 1).is_err());
+    }
+
+    #[test]
+    fn bitwise_and_shift_operators_reject_float_operands() {
+        for expr in ["x << 2", "x >> 1", "x & 3", "x | 3", "x ^ 3", "2 << x"] {
+            let src = format!("int f(float x) {{ return (int)({expr}); }}");
+            let unit = parse(&src).unwrap();
+            let err = lower(&unit, 1).expect_err(&format!("`{expr}` must not lower"));
+            assert!(
+                err.to_string().contains("integer operands"),
+                "unexpected message for `{expr}`: {err}"
+            );
+        }
+        // Integer operands are still fine, and so are the logical
+        // operators, which short-circuit over truthiness instead.
+        for src in [
+            "int f(int x) { return (x << 2) | (x & 3) ^ (x >> 1); }",
+            "int f(float x) { return x && 1.5 || !x; }",
+        ] {
+            let unit = parse(src).unwrap();
+            assert!(lower(&unit, 1).is_ok(), "`{src}` must lower");
+        }
     }
 
     #[test]

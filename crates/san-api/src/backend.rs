@@ -4,7 +4,7 @@
 use std::sync::Arc;
 
 use effective_runtime::{Bounds, CheckStats, ErrorStats};
-use effective_types::Type;
+use effective_types::{Type, TypeId};
 use lowfat::{AllocKind, FrameMark, Memory, Ptr};
 use serde::{Deserialize, Serialize};
 
@@ -221,17 +221,26 @@ pub trait Sanitizer: std::fmt::Debug {
     // Checks (dispatched from the instrumented program)
     // ------------------------------------------------------------------
 
-    /// Verify `ptr` against static type `static_ty` and return the matching
-    /// sub-object's bounds; wide bounds on legacy pointers or failure
-    /// (§4, Fig. 6 lines 9–24).  Tools without dynamic type information
-    /// return wide bounds and never report.
-    fn type_check(&mut self, ptr: Ptr, static_ty: &Type, location: &Arc<str>) -> Bounds;
+    /// Intern a check-site static type into this tool's id space, returning
+    /// the [`TypeId`] that [`type_check`](Self::type_check) and
+    /// [`cast_check`](Self::cast_check) expect.  Called once per check site
+    /// at program-load time (never on the hot path); tools that keep no
+    /// type meta data may return [`TypeId::UNTYPED`].
+    fn intern_check_type(&mut self, ty: &Type) -> TypeId;
+
+    /// Verify `ptr` against the interned static type `static_ty` and return
+    /// the matching sub-object's bounds; wide bounds on legacy pointers or
+    /// failure (§4, Fig. 6 lines 9–24).  The id comes from
+    /// [`intern_check_type`](Self::intern_check_type), so the hot path
+    /// never hashes a structural [`Type`].  Tools without dynamic type
+    /// information return wide bounds and never report.
+    fn type_check(&mut self, ptr: Ptr, static_ty: TypeId, location: &Arc<str>) -> Bounds;
 
     /// The cast-site check (§6.2): like [`type_check`](Self::type_check)
     /// but failures classify as bad casts.  Always returns [`Bounds`];
     /// class-hierarchy checkers that only produce a verdict return wide
     /// bounds.
-    fn cast_check(&mut self, ptr: Ptr, static_ty: &Type, location: &Arc<str>) -> Bounds;
+    fn cast_check(&mut self, ptr: Ptr, static_ty: TypeId, location: &Arc<str>) -> Bounds;
 
     /// The allocation bounds of the object `ptr` points into, from this
     /// tool's meta data; wide bounds when untracked (§6.2, LowFat §2.3).

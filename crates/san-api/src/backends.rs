@@ -9,7 +9,7 @@ use std::sync::Arc;
 
 use baselines::BaselineRuntime;
 use effective_runtime::{Bounds, ErrorStats, RuntimeConfig, TypeCheckRuntime};
-use effective_types::{Type, TypeRegistry};
+use effective_types::{Type, TypeId, TypeRegistry};
 use lowfat::{AllocKind, FrameMark, Memory, Ptr};
 
 use crate::backend::{SanStats, Sanitizer};
@@ -97,12 +97,16 @@ impl Sanitizer for EffectiveBackend {
             .type_realloc(ptr, new_size, elem, AllocKind::Heap, location)
     }
 
-    fn type_check(&mut self, ptr: Ptr, static_ty: &Type, location: &Arc<str>) -> Bounds {
-        self.runtime.type_check(ptr, static_ty, location)
+    fn intern_check_type(&mut self, ty: &Type) -> TypeId {
+        self.runtime.intern_type(ty)
     }
 
-    fn cast_check(&mut self, ptr: Ptr, static_ty: &Type, location: &Arc<str>) -> Bounds {
-        self.runtime.cast_check(ptr, static_ty, location)
+    fn type_check(&mut self, ptr: Ptr, static_ty: TypeId, location: &Arc<str>) -> Bounds {
+        self.runtime.type_check_id(ptr, static_ty, location)
+    }
+
+    fn cast_check(&mut self, ptr: Ptr, static_ty: TypeId, location: &Arc<str>) -> Bounds {
+        self.runtime.cast_check_id(ptr, static_ty, location)
     }
 
     fn bounds_get(&mut self, ptr: Ptr) -> Bounds {
@@ -239,16 +243,24 @@ impl Sanitizer for BaselineBackend {
         new
     }
 
-    fn type_check(&mut self, _ptr: Ptr, _static_ty: &Type, _location: &Arc<str>) -> Bounds {
+    fn intern_check_type(&mut self, ty: &Type) -> TypeId {
+        // The substrate runtime's interner doubles as the id space for the
+        // class-hierarchy checkers, which still need the structural type.
+        self.runtime.intern_type(ty)
+    }
+
+    fn type_check(&mut self, _ptr: Ptr, _static_ty: TypeId, _location: &Arc<str>) -> Bounds {
         // No comparison tool binds dynamic types to allocations, so the
         // full type check degrades to wide bounds (conservative pass).
         Bounds::WIDE
     }
 
-    fn cast_check(&mut self, ptr: Ptr, static_ty: &Type, location: &Arc<str>) -> Bounds {
+    fn cast_check(&mut self, ptr: Ptr, static_ty: TypeId, location: &Arc<str>) -> Bounds {
         // Class-hierarchy checkers produce a verdict, not bounds: report
         // through the baseline and return wide bounds uniformly.
-        self.baseline.cast_check(ptr, static_ty, location);
+        let fallback = Type::void();
+        let ty = self.runtime.resolve_type(static_ty).unwrap_or(&fallback);
+        self.baseline.cast_check(ptr, ty, location);
         Bounds::WIDE
     }
 
@@ -335,7 +347,8 @@ mod tests {
             RuntimeConfig::default(),
         );
         let p = backend.on_alloc(64, &Type::int(), AllocKind::Heap);
-        let b = backend.type_check(p, &Type::int(), &loc());
+        let int_id = backend.intern_check_type(&Type::int());
+        let b = backend.type_check(p, int_id, &loc());
         assert_eq!(b.width(), 64);
         assert!(!backend.bounds_check(p.add(64), 4, b, &loc(), false));
         assert_eq!(backend.error_stats().bounds_issues(), 1);
@@ -363,7 +376,8 @@ mod tests {
         // The substrate's reporter is not consulted.
         assert_eq!(backend.stats().access_checks, 2);
         // type_check is a conservative no-op for baseline tools.
-        assert!(backend.type_check(p, &Type::float(), &loc()).is_wide());
+        let float_id = backend.intern_check_type(&Type::float());
+        assert!(backend.type_check(p, float_id, &loc()).is_wide());
         assert_eq!(backend.error_stats().type_issues(), 0);
     }
 
@@ -372,7 +386,8 @@ mod tests {
         let mut backend =
             BaselineBackend::new(SanitizerKind::TypeSan, types(), RuntimeConfig::default());
         let p = backend.on_alloc(16, &Type::int(), AllocKind::Heap);
-        let b = backend.cast_check(p, &Type::int(), &loc());
+        let int_id = backend.intern_check_type(&Type::int());
+        let b = backend.cast_check(p, int_id, &loc());
         assert!(b.is_wide());
         assert_eq!(backend.stats().cast_checks, 1);
     }
@@ -419,7 +434,8 @@ mod tests {
         assert_eq!(backend.kind(), SanitizerKind::EffectiveEscapesOff);
         // Full type checking is still active.
         let p = backend.on_alloc(64, &Type::int(), AllocKind::Heap);
-        assert!(backend.type_check(p, &Type::float(), &loc()).is_wide());
+        let float_id = backend.intern_check_type(&Type::float());
+        assert!(backend.type_check(p, float_id, &loc()).is_wide());
         assert_eq!(backend.error_stats().type_issues(), 1);
     }
 

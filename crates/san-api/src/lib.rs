@@ -40,9 +40,13 @@
 //!
 //! let loc: Arc<str> = Arc::from("example");
 //! let p = backend.on_alloc(100 * 4, &Type::int(), AllocKind::Heap);
-//! let bounds = backend.type_check(p, &Type::int(), &loc);
+//! // Check-site types are interned once at program-load time; the checks
+//! // themselves only carry the resulting ids.
+//! let int_id = backend.intern_check_type(&Type::int());
+//! let float_id = backend.intern_check_type(&Type::float());
+//! let bounds = backend.type_check(p, int_id, &loc);
 //! assert_eq!(bounds.width(), 400);
-//! assert!(backend.type_check(p, &Type::float(), &loc).is_wide());
+//! assert!(backend.type_check(p, float_id, &loc).is_wide());
 //! assert_eq!(backend.finish().len(), 1); // the bad float access
 //! ```
 

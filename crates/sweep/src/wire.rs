@@ -34,10 +34,12 @@ use vm::ExecStats;
 use workloads::Scale;
 
 /// Version of the wire format; bumped on any incompatible change.
-pub const WIRE_VERSION: u32 = 2;
+/// Version 3 widened the `exec` line with the tiered-execution counters
+/// (`tier_promotions`, `fast_calls`).
+pub const WIRE_VERSION: u32 = 3;
 
 /// The handshake line both sides send before anything else.
-pub const HANDSHAKE: &str = "effective-san-sweep-wire 2";
+pub const HANDSHAKE: &str = "effective-san-sweep-wire 3";
 
 /// Errors produced while decoding the wire format.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -549,8 +551,16 @@ pub fn encode_run_report(report: &RunReport, out: &mut Vec<String>) {
     ));
     let e = &report.exec;
     out.push(format!(
-        "exec\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
-        e.instructions, e.check_instructions, e.loads, e.stores, e.calls, e.allocations, e.frees
+        "exec\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
+        e.instructions,
+        e.check_instructions,
+        e.loads,
+        e.stores,
+        e.calls,
+        e.allocations,
+        e.frees,
+        e.tier_promotions,
+        e.fast_calls
     ));
     out.push(encode_san_stats(&report.checks));
     encode_error_stats(&report.errors, out);
@@ -580,7 +590,7 @@ pub fn decode_run_report<S: LineSource>(src: &mut S) -> Result<RunReport, WireEr
     let static_checks: usize = parse_num("static-checks", f[7])?;
 
     let line = next_required(src, "an `exec` line")?;
-    let f = split_fields(&line, "exec", 7)?;
+    let f = split_fields(&line, "exec", 9)?;
     let exec = ExecStats {
         instructions: parse_num("instructions", f[0])?,
         check_instructions: parse_num("check-instructions", f[1])?,
@@ -589,6 +599,8 @@ pub fn decode_run_report<S: LineSource>(src: &mut S) -> Result<RunReport, WireEr
         calls: parse_num("calls", f[4])?,
         allocations: parse_num("allocations", f[5])?,
         frees: parse_num("frees", f[6])?,
+        tier_promotions: parse_num("tier-promotions", f[7])?,
+        fast_calls: parse_num("fast-calls", f[8])?,
     };
 
     let line = next_required(src, "a `checks` line")?;

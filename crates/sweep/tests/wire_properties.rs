@@ -107,7 +107,7 @@ fn report_strategy() -> impl Strategy<Value = RunReport> {
             (any::<bool>(), any::<i64>()),
             (any::<bool>(), string_strategy()),
         ),
-        prop::collection::vec(any::<u64>(), 7..8),
+        prop::collection::vec(any::<u64>(), 9..10),
         san_stats_strategy(),
         error_stats_strategy(),
         (
@@ -136,6 +136,8 @@ fn report_strategy() -> impl Strategy<Value = RunReport> {
                         calls: exec[4],
                         allocations: exec[5],
                         frees: exec[6],
+                        tier_promotions: exec[7],
+                        fast_calls: exec[8],
                     },
                     checks,
                     errors,

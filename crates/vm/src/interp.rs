@@ -12,13 +12,14 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use effective_runtime::{Bounds, RuntimeConfig};
-use effective_types::Type;
+use effective_types::{Type, TypeId};
 use lowfat::{AllocKind, Ptr};
 use minic::ast::{BinOp, UnOp};
 use minic::ir::{Builtin, CastKind, Const, Function, Instr, Program};
 use san_api::{SanStats, Sanitizer, SanitizerKind};
 use serde::{Deserialize, Serialize};
 
+use crate::tier::{FastFunction, FastInstr, LoadKind, NO_INDEX};
 use crate::value::Value;
 
 /// Errors raised during execution.
@@ -71,6 +72,14 @@ pub struct VmConfig {
     pub max_call_depth: usize,
     /// Seed for the `rand()` builtin.
     pub seed: u64,
+    /// Promote a function to the fast tier once it has been called this
+    /// many times (`u32::MAX` disables tiered execution entirely,
+    /// including on-stack replacement).
+    pub promote_after_calls: u32,
+    /// Promote mid-execution (on-stack replacement) once a single slow
+    /// activation has taken this many backward jumps (`u32::MAX` disables
+    /// OSR only).  Catches hot loops inside functions called once.
+    pub osr_after_backjumps: u32,
 }
 
 impl Default for VmConfig {
@@ -81,6 +90,8 @@ impl Default for VmConfig {
             max_instructions: 500_000_000,
             max_call_depth: 4096,
             seed: 0x5eed_0001,
+            promote_after_calls: 2,
+            osr_after_backjumps: 64,
         }
     }
 }
@@ -102,6 +113,10 @@ pub struct ExecStats {
     pub allocations: u64,
     /// Frees performed.
     pub frees: u64,
+    /// Functions promoted to the fast tier (translation events).
+    pub tier_promotions: u64,
+    /// Calls dispatched to the fast tier.
+    pub fast_calls: u64,
 }
 
 /// The deterministic cost model used alongside wall-clock time for the
@@ -185,6 +200,16 @@ impl CostModel {
     }
 }
 
+/// A function-table entry: the slow-tier body (the semantic oracle), the
+/// fast-tier body once promoted, and the hotness counter driving
+/// promotion.
+#[derive(Debug)]
+struct FuncEntry {
+    slow: Arc<Function>,
+    fast: Option<Arc<FastFunction>>,
+    calls: u32,
+}
+
 /// The virtual machine.
 #[derive(Debug)]
 pub struct Vm {
@@ -205,6 +230,16 @@ pub struct Vm {
     /// callees drain them into their frame slots, so no `Vec<Value>` is
     /// allocated per `Call` (frames nest, so a stack discipline suffices).
     arg_scratch: Vec<Value>,
+    /// Function table in deterministic (sorted-name) order; the fast tier
+    /// calls by index so the hot path never hashes a callee name.
+    funcs: Vec<FuncEntry>,
+    /// Name → function-table index.
+    func_index: HashMap<String, u32>,
+    /// Instrument-time check-type id → backend type id, built once at
+    /// load time so check dispatch never hashes a structural type.
+    check_type_map: Vec<TypeId>,
+    promote_after_calls: u32,
+    osr_after_backjumps: u32,
 }
 
 impl Vm {
@@ -240,6 +275,40 @@ impl Vm {
             globals.insert(g.name.clone(), ptr);
         }
 
+        // Build the function table in deterministic (sorted-name) order
+        // and intern every check-site static type into the backend's id
+        // space — after this, neither tier hashes a type or a callee name
+        // while executing.
+        let mut names: Vec<&String> = program.functions.keys().collect();
+        names.sort();
+        let mut funcs = Vec::with_capacity(names.len());
+        let mut func_index = HashMap::with_capacity(names.len());
+        let mut check_type_map: Vec<TypeId> = Vec::new();
+        for name in names {
+            let func = program
+                .functions
+                .get(name)
+                .expect("function exists")
+                .clone();
+            for instr in &func.body {
+                if let Instr::TypeCheck { ty, ty_id, .. } | Instr::CastCheck { ty, ty_id, .. } =
+                    instr
+                {
+                    let idx = ty_id.index();
+                    if check_type_map.len() <= idx {
+                        check_type_map.resize(idx + 1, TypeId::UNTYPED);
+                    }
+                    check_type_map[idx] = backend.intern_check_type(ty);
+                }
+            }
+            func_index.insert(name.clone(), funcs.len() as u32);
+            funcs.push(FuncEntry {
+                slow: func,
+                fast: None,
+                calls: 0,
+            });
+        }
+
         Vm {
             program,
             backend,
@@ -250,6 +319,11 @@ impl Vm {
             max_instructions: config.max_instructions,
             max_call_depth: config.max_call_depth,
             arg_scratch: Vec::with_capacity(64),
+            funcs,
+            func_index,
+            check_type_map,
+            promote_after_calls: config.promote_after_calls,
+            osr_after_backjumps: config.osr_after_backjumps,
         }
     }
 
@@ -299,20 +373,42 @@ impl Vm {
 
     /// Call `name` with the arguments sitting at `arg_base..` on the
     /// scratch stack; consumes them (truncating back to `arg_base`) in
-    /// every path.  The callee is resolved with an `Arc` bump — the
-    /// function body is never cloned.
+    /// every path.  Only name-based entry points (`run`, calls to
+    /// functions absent at translation time) pay the name hash — calls
+    /// between known functions go through [`Vm::call_indexed`].
     fn call(&mut self, name: &str, arg_base: usize, depth: usize) -> Result<Value, VmError> {
         if depth > self.max_call_depth {
             self.arg_scratch.truncate(arg_base);
             return Err(VmError::StackOverflow);
         }
-        let Some(func): Option<Arc<Function>> = self.program.functions.get(name).cloned() else {
+        let Some(&idx) = self.func_index.get(name) else {
             self.arg_scratch.truncate(arg_base);
             return Err(VmError::UndefinedFunction(name.to_string()));
         };
+        self.call_indexed(idx, arg_base, depth)
+    }
+
+    /// Call the function at table index `idx`, bumping its hotness
+    /// counter and promoting it to the fast tier at the threshold.  The
+    /// callee is resolved with an `Arc` bump — the function body is never
+    /// cloned.
+    fn call_indexed(&mut self, idx: u32, arg_base: usize, depth: usize) -> Result<Value, VmError> {
+        if depth > self.max_call_depth {
+            self.arg_scratch.truncate(arg_base);
+            return Err(VmError::StackOverflow);
+        }
+        let entry = &mut self.funcs[idx as usize];
+        entry.calls = entry.calls.saturating_add(1);
+        let want_promote = self.promote_after_calls != u32::MAX
+            && entry.fast.is_none()
+            && entry.calls >= self.promote_after_calls;
+        let func = entry.slow.clone();
         if func.params.len() != self.arg_scratch.len() - arg_base {
             self.arg_scratch.truncate(arg_base);
-            return Err(VmError::ArityMismatch(name.to_string()));
+            return Err(VmError::ArityMismatch(func.name.clone()));
+        }
+        if want_promote {
+            self.promote(idx);
         }
         self.stats.calls += 1;
 
@@ -323,9 +419,32 @@ impl Vm {
         }
         self.arg_scratch.truncate(arg_base);
 
-        let result = self.exec_body(&func, &mut slots, depth);
+        let result = match self.funcs[idx as usize].fast.clone() {
+            Some(fast) => {
+                self.stats.fast_calls += 1;
+                self.exec_fast(&fast, &mut slots, depth, 0)
+            }
+            None => self.exec_body(&func, &mut slots, depth, idx),
+        };
         self.backend.stack_frame_end(frame_mark);
         result
+    }
+
+    /// Translate the function at table index `idx` into its fast form.
+    fn promote(&mut self, idx: u32) {
+        if self.funcs[idx as usize].fast.is_some() {
+            return;
+        }
+        let slow = self.funcs[idx as usize].slow.clone();
+        let fast = FastFunction::translate(
+            &slow,
+            &self.program.registry,
+            &self.globals,
+            &self.func_index,
+            &self.check_type_map,
+        );
+        self.stats.tier_promotions += 1;
+        self.funcs[idx as usize].fast = Some(Arc::new(fast));
     }
 
     fn exec_body(
@@ -333,9 +452,18 @@ impl Vm {
         func: &Function,
         slots: &mut [Value],
         depth: usize,
+        func_idx: u32,
     ) -> Result<Value, VmError> {
         let body = &func.body;
         let mut pc: usize = 0;
+        // On-stack replacement: count backward jumps and switch this
+        // activation to the fast tier mid-flight once the function is
+        // clearly loop-hot (first call of a kernel that loops millions of
+        // times would otherwise run cold for its entire first activation).
+        let osr_enabled = func_idx != u32::MAX
+            && self.promote_after_calls != u32::MAX
+            && self.osr_after_backjumps != u32::MAX;
+        let mut backjumps: u32 = 0;
         loop {
             if pc >= body.len() {
                 return Ok(Value::Int(0));
@@ -389,7 +517,10 @@ impl Vm {
                 }
                 Instr::Alloca { dst, ty, count } => {
                     let elem_size = self.program.registry.size_of(ty).unwrap_or(1).max(1);
-                    let size = elem_size * count.max(&1);
+                    // Saturate: a huge (attacker-controlled) element count
+                    // must degrade into a failing allocation, not an
+                    // interpreter panic on multiply overflow.
+                    let size = elem_size.saturating_mul(*count.max(&1));
                     self.stats.allocations += 1;
                     let ptr = self.backend.on_alloc(size, ty, AllocKind::Stack);
                     slots[*dst as usize] = Value::Ptr(ptr);
@@ -482,34 +613,71 @@ impl Vm {
                         slots[*d as usize] = result;
                     }
                 }
-                Instr::Jump { target } => pc = *target,
+                Instr::Jump { target } => {
+                    if *target < pc {
+                        backjumps += 1;
+                        if osr_enabled && backjumps >= self.osr_after_backjumps {
+                            self.promote(func_idx);
+                            if let Some(fast) = self.funcs[func_idx as usize].fast.clone() {
+                                let entry = fast.pc_map[*target] as usize;
+                                return self.exec_fast(&fast, slots, depth, entry);
+                            }
+                        }
+                    }
+                    pc = *target;
+                }
                 Instr::Branch {
                     cond,
                     then_target,
                     else_target,
                 } => {
-                    pc = if slots[*cond as usize].is_truthy() {
+                    let t = if slots[*cond as usize].is_truthy() {
                         *then_target
                     } else {
                         *else_target
                     };
+                    if t < pc {
+                        backjumps += 1;
+                        if osr_enabled && backjumps >= self.osr_after_backjumps {
+                            self.promote(func_idx);
+                            if let Some(fast) = self.funcs[func_idx as usize].fast.clone() {
+                                let entry = fast.pc_map[t] as usize;
+                                return self.exec_fast(&fast, slots, depth, entry);
+                            }
+                        }
+                    }
+                    pc = t;
                 }
                 Instr::Return { value } => {
                     return Ok(value.map(|v| slots[v as usize]).unwrap_or(Value::Int(0)));
                 }
 
                 // ----- checks -----
-                Instr::TypeCheck { dst, ptr, ty, loc } => {
+                Instr::TypeCheck {
+                    dst,
+                    ptr,
+                    ty_id,
+                    loc,
+                    ..
+                } => {
                     let p = slots[*ptr as usize].as_ptr();
-                    let b = self.backend.type_check(p, ty, loc);
+                    let id = self.backend_type_id(*ty_id);
+                    let b = self.backend.type_check(p, id, loc);
                     slots[*dst as usize] = Value::Bounds(b);
                     if self.backend.halted() {
                         return Err(VmError::Halted);
                     }
                 }
-                Instr::CastCheck { dst, ptr, ty, loc } => {
+                Instr::CastCheck {
+                    dst,
+                    ptr,
+                    ty_id,
+                    loc,
+                    ..
+                } => {
                     let p = slots[*ptr as usize].as_ptr();
-                    let b = self.backend.cast_check(p, ty, loc);
+                    let id = self.backend_type_id(*ty_id);
+                    let b = self.backend.cast_check(p, id, loc);
                     slots[*dst as usize] = Value::Bounds(b);
                     if self.backend.halted() {
                         return Err(VmError::Halted);
@@ -565,6 +733,667 @@ impl Vm {
         }
     }
 
+    /// Map an instrument-time check-type id to the backend's id space.
+    #[inline]
+    fn backend_type_id(&self, ty_id: TypeId) -> TypeId {
+        self.check_type_map
+            .get(ty_id.index())
+            .copied()
+            .unwrap_or(TypeId::UNTYPED)
+    }
+
+    /// Execute a fast-tier function body starting at fast-tier pc
+    /// `entry` (0 for a call, a mapped jump target for OSR).
+    ///
+    /// Every arm replicates the slow tier's event order exactly —
+    /// count, budget test, effect, halt test — including inside fused
+    /// superinstructions, so all statistics and diagnostics are
+    /// bit-identical between tiers.
+    // `tick!()` decrements the budget register after the limit test; arms
+    // that return or reload the register immediately afterwards leave that
+    // final decrement dead, which is expected.
+    #[allow(unused_assignments)]
+    fn exec_fast(
+        &mut self,
+        func: &FastFunction,
+        slots: &mut [Value],
+        depth: usize,
+        entry: usize,
+    ) -> Result<Value, VmError> {
+        let body = &func.body;
+        let mut pc: usize = entry;
+        // The instruction budget, kept in a register so the per-dispatch
+        // limit test is a decrement instead of two counter loads and an
+        // add.  `left == 0` exactly when the slow tier's
+        // `instructions + check_instructions > max_instructions` would
+        // fire on the next counted event; reloaded after nested calls,
+        // which consume budget of their own.
+        let mut left = self
+            .max_instructions
+            .saturating_sub(self.stats.instructions + self.stats.check_instructions);
+        // Event counts accumulate in registers and flush to `self.stats`
+        // at every exit and around nested calls, keeping the dispatch
+        // loop free of memory traffic on its own counters.
+        let mut n_instr: u64 = 0;
+        let mut n_check: u64 = 0;
+        macro_rules! flush {
+            () => {
+                self.stats.instructions += n_instr;
+                self.stats.check_instructions += n_check;
+                n_instr = 0;
+                n_check = 0;
+            };
+        }
+        macro_rules! fail {
+            ($e:expr) => {{
+                flush!();
+                return Err($e);
+            }};
+        }
+        macro_rules! tick {
+            () => {
+                n_instr += 1;
+                if left == 0 {
+                    fail!(VmError::InstructionLimit);
+                }
+                left -= 1;
+            };
+        }
+        macro_rules! tick_check {
+            () => {
+                n_check += 1;
+                if left == 0 {
+                    fail!(VmError::InstructionLimit);
+                }
+                left -= 1;
+            };
+        }
+        macro_rules! halted {
+            () => {
+                if self.backend.halted() {
+                    fail!(VmError::Halted);
+                }
+            };
+        }
+        loop {
+            if pc >= body.len() {
+                flush!();
+                return Ok(Value::Int(0));
+            }
+            let cur = pc;
+            pc += 1;
+            match body[cur] {
+                FastInstr::Nop => {
+                    tick!();
+                }
+                FastInstr::ConstInt { dst, value } => {
+                    tick!();
+                    slots[dst as usize] = Value::Int(value);
+                }
+                FastInstr::ConstFloat { dst, value } => {
+                    tick!();
+                    slots[dst as usize] = Value::Float(value);
+                }
+                FastInstr::ConstNull { dst } => {
+                    tick!();
+                    slots[dst as usize] = Value::Ptr(Ptr::NULL);
+                }
+                FastInstr::Copy { dst, src } => {
+                    tick!();
+                    slots[dst as usize] = slots[src as usize];
+                }
+                FastInstr::Bin {
+                    dst,
+                    op,
+                    lhs,
+                    rhs,
+                    float,
+                } => {
+                    tick!();
+                    let l = slots[lhs as usize];
+                    let r = slots[rhs as usize];
+                    slots[dst as usize] = match self.eval_bin(op, l, r, float) {
+                        Ok(v) => v,
+                        Err(e) => fail!(e),
+                    };
+                }
+                FastInstr::Un {
+                    dst,
+                    op,
+                    src,
+                    float,
+                } => {
+                    tick!();
+                    let v = slots[src as usize];
+                    slots[dst as usize] = match (op, float) {
+                        (UnOp::Neg, true) => Value::Float(-v.as_float()),
+                        (UnOp::Neg, false) => Value::Int(v.as_int().wrapping_neg()),
+                        (UnOp::Not, _) => Value::Int(i64::from(!v.is_truthy())),
+                        (UnOp::BitNot, _) => Value::Int(!v.as_int()),
+                    };
+                }
+                FastInstr::Alloca { dst, ty, size } => {
+                    tick!();
+                    self.stats.allocations += 1;
+                    let ptr =
+                        self.backend
+                            .on_alloc(size, &func.types[ty as usize], AllocKind::Stack);
+                    slots[dst as usize] = Value::Ptr(ptr);
+                }
+                FastInstr::GlobalAddr { dst, ptr } => {
+                    tick!();
+                    slots[dst as usize] = Value::Ptr(ptr);
+                }
+                FastInstr::Load { dst, ptr, kind } => {
+                    tick!();
+                    self.stats.loads += 1;
+                    let addr = slots[ptr as usize].as_ptr();
+                    slots[dst as usize] = self.load_kinded(addr, kind);
+                }
+                FastInstr::Store { ptr, src, kind } => {
+                    tick!();
+                    self.stats.stores += 1;
+                    let addr = slots[ptr as usize].as_ptr();
+                    let value = slots[src as usize];
+                    self.store_kinded(addr, kind, value);
+                }
+                FastInstr::FieldAddr { dst, base, offset } => {
+                    tick!();
+                    let b = slots[base as usize].as_ptr();
+                    slots[dst as usize] = Value::Ptr(b.add(offset));
+                }
+                FastInstr::PtrAdd {
+                    dst,
+                    base,
+                    index,
+                    elem_size,
+                } => {
+                    tick!();
+                    let b = slots[base as usize].as_ptr();
+                    let i = slots[index as usize].as_int();
+                    slots[dst as usize] = Value::Ptr(b.offset(i.wrapping_mul(elem_size as i64)));
+                }
+                FastInstr::CastPtr { dst, src } => {
+                    tick!();
+                    slots[dst as usize] = Value::Ptr(slots[src as usize].as_ptr());
+                }
+                FastInstr::CastPtrToInt { dst, src } => {
+                    tick!();
+                    slots[dst as usize] = Value::Int(slots[src as usize].as_ptr().addr() as i64);
+                }
+                FastInstr::CastFloat { dst, src } => {
+                    tick!();
+                    slots[dst as usize] = Value::Float(slots[src as usize].as_float());
+                }
+                FastInstr::CastInt { dst, src } => {
+                    tick!();
+                    slots[dst as usize] = Value::Int(slots[src as usize].as_int());
+                }
+                FastInstr::Call { dst, callee, args } => {
+                    tick!();
+                    let arg_base = self.arg_scratch.len();
+                    let window =
+                        &func.args[args.start as usize..args.start as usize + args.len as usize];
+                    for &s in window {
+                        let v = slots[s as usize];
+                        self.arg_scratch.push(v);
+                    }
+                    flush!();
+                    let result = self.call_indexed(callee, arg_base, depth + 1)?;
+                    left = self
+                        .max_instructions
+                        .saturating_sub(self.stats.instructions + self.stats.check_instructions);
+                    if dst != NO_INDEX {
+                        slots[dst as usize] = result;
+                    }
+                }
+                FastInstr::CallUnknown { dst, name, args } => {
+                    tick!();
+                    let arg_base = self.arg_scratch.len();
+                    let window =
+                        &func.args[args.start as usize..args.start as usize + args.len as usize];
+                    for &s in window {
+                        let v = slots[s as usize];
+                        self.arg_scratch.push(v);
+                    }
+                    flush!();
+                    let result = self.call(&func.names[name as usize], arg_base, depth + 1)?;
+                    left = self
+                        .max_instructions
+                        .saturating_sub(self.stats.instructions + self.stats.check_instructions);
+                    if dst != NO_INDEX {
+                        slots[dst as usize] = result;
+                    }
+                }
+                FastInstr::CallBuiltin {
+                    dst,
+                    builtin,
+                    args,
+                    alloc_ty,
+                } => {
+                    tick!();
+                    let window =
+                        &func.args[args.start as usize..args.start as usize + args.len as usize];
+                    let alloc_ty = if alloc_ty == NO_INDEX {
+                        None
+                    } else {
+                        Some(&func.types[alloc_ty as usize])
+                    };
+                    flush!();
+                    let mut argv = [Value::default(); 4];
+                    let result = if window.len() <= argv.len() {
+                        for (slot, arg) in argv.iter_mut().zip(window.iter()) {
+                            *slot = slots[*arg as usize];
+                        }
+                        self.call_builtin(builtin, &argv[..window.len()], alloc_ty)?
+                    } else {
+                        let argv: Vec<Value> = window.iter().map(|a| slots[*a as usize]).collect();
+                        self.call_builtin(builtin, &argv, alloc_ty)?
+                    };
+                    if dst != NO_INDEX {
+                        slots[dst as usize] = result;
+                    }
+                }
+                FastInstr::Jump { target } => {
+                    tick!();
+                    pc = target as usize;
+                }
+                FastInstr::Branch {
+                    cond,
+                    then_target,
+                    else_target,
+                } => {
+                    tick!();
+                    pc = if slots[cond as usize].is_truthy() {
+                        then_target as usize
+                    } else {
+                        else_target as usize
+                    };
+                }
+                FastInstr::Return { value } => {
+                    tick!();
+                    flush!();
+                    return Ok(if value == NO_INDEX {
+                        Value::Int(0)
+                    } else {
+                        slots[value as usize]
+                    });
+                }
+
+                // ----- checks -----
+                FastInstr::TypeCheck { dst, ptr, ty, site } => {
+                    tick_check!();
+                    let p = slots[ptr as usize].as_ptr();
+                    let b = self.backend.type_check(p, ty, &func.sites[site as usize]);
+                    slots[dst as usize] = Value::Bounds(b);
+                    halted!();
+                }
+                FastInstr::CastCheck { dst, ptr, ty, site } => {
+                    tick_check!();
+                    let p = slots[ptr as usize].as_ptr();
+                    let b = self.backend.cast_check(p, ty, &func.sites[site as usize]);
+                    slots[dst as usize] = Value::Bounds(b);
+                    halted!();
+                }
+                FastInstr::BoundsGet { dst, ptr } => {
+                    tick_check!();
+                    let p = slots[ptr as usize].as_ptr();
+                    let b = self.backend.bounds_get(p);
+                    slots[dst as usize] = Value::Bounds(b);
+                }
+                FastInstr::BoundsNarrow {
+                    dst,
+                    bounds,
+                    field_base,
+                    size,
+                } => {
+                    tick_check!();
+                    let b = slots[bounds as usize].as_bounds();
+                    let base = slots[field_base as usize].as_ptr();
+                    let field = Bounds::from_base_size(base, size);
+                    slots[dst as usize] = Value::Bounds(self.backend.bounds_narrow(b, field));
+                }
+                FastInstr::BoundsCheck {
+                    ptr,
+                    bounds,
+                    size,
+                    escape,
+                    site,
+                } => {
+                    tick_check!();
+                    let p = slots[ptr as usize].as_ptr();
+                    let b = slots[bounds as usize].as_bounds();
+                    self.backend
+                        .bounds_check(p, size, b, &func.sites[site as usize], escape);
+                    halted!();
+                }
+                FastInstr::AccessCheck {
+                    ptr,
+                    size,
+                    write,
+                    site,
+                } => {
+                    tick_check!();
+                    let p = slots[ptr as usize].as_ptr();
+                    self.backend
+                        .access_check(p, size, write, &func.sites[site as usize]);
+                    halted!();
+                }
+                FastInstr::WideBounds { dst } => {
+                    tick_check!();
+                    slots[dst as usize] = Value::Bounds(Bounds::WIDE);
+                }
+
+                // ----- superinstructions -----
+                FastInstr::CheckLoad {
+                    dst,
+                    ptr,
+                    bounds,
+                    check_size,
+                    site,
+                    kind,
+                } => {
+                    tick_check!();
+                    let p = slots[ptr as usize].as_ptr();
+                    let b = slots[bounds as usize].as_bounds();
+                    self.backend
+                        .bounds_check(p, check_size, b, &func.sites[site as usize], false);
+                    halted!();
+                    tick!();
+                    self.stats.loads += 1;
+                    slots[dst as usize] = self.load_kinded(p, kind);
+                }
+                FastInstr::CheckStore {
+                    ptr,
+                    bounds,
+                    src,
+                    check_size,
+                    site,
+                    kind,
+                } => {
+                    tick_check!();
+                    let p = slots[ptr as usize].as_ptr();
+                    let b = slots[bounds as usize].as_bounds();
+                    self.backend
+                        .bounds_check(p, check_size, b, &func.sites[site as usize], false);
+                    halted!();
+                    tick!();
+                    self.stats.stores += 1;
+                    let value = slots[src as usize];
+                    self.store_kinded(p, kind, value);
+                }
+                FastInstr::AccessLoad {
+                    dst,
+                    ptr,
+                    check_size,
+                    site,
+                    kind,
+                } => {
+                    tick_check!();
+                    let p = slots[ptr as usize].as_ptr();
+                    self.backend
+                        .access_check(p, check_size, false, &func.sites[site as usize]);
+                    halted!();
+                    tick!();
+                    self.stats.loads += 1;
+                    slots[dst as usize] = self.load_kinded(p, kind);
+                }
+                FastInstr::AccessStore {
+                    ptr,
+                    src,
+                    check_size,
+                    site,
+                    kind,
+                } => {
+                    tick_check!();
+                    let p = slots[ptr as usize].as_ptr();
+                    self.backend
+                        .access_check(p, check_size, true, &func.sites[site as usize]);
+                    halted!();
+                    tick!();
+                    self.stats.stores += 1;
+                    let value = slots[src as usize];
+                    self.store_kinded(p, kind, value);
+                }
+
+                // ----- superinstructions: plain pairs -----
+                FastInstr::Copy2 {
+                    dst1,
+                    src1,
+                    dst2,
+                    src2,
+                } => {
+                    tick!();
+                    slots[dst1 as usize] = slots[src1 as usize];
+                    tick!();
+                    slots[dst2 as usize] = slots[src2 as usize];
+                }
+                FastInstr::CopyConst {
+                    dst1,
+                    src1,
+                    dst2,
+                    value,
+                } => {
+                    tick!();
+                    slots[dst1 as usize] = slots[src1 as usize];
+                    tick!();
+                    slots[dst2 as usize] = Value::from_const(value);
+                }
+                FastInstr::ConstBin {
+                    const_dst,
+                    value,
+                    dst,
+                    op,
+                    lhs,
+                    rhs,
+                    float,
+                } => {
+                    tick!();
+                    slots[const_dst as usize] = Value::from_const(value);
+                    tick!();
+                    let l = slots[lhs as usize];
+                    let r = slots[rhs as usize];
+                    slots[dst as usize] = match self.eval_bin(op, l, r, float) {
+                        Ok(v) => v,
+                        Err(e) => fail!(e),
+                    };
+                }
+                FastInstr::BinCopy {
+                    dst,
+                    op,
+                    lhs,
+                    rhs,
+                    float,
+                    dst2,
+                    src2,
+                } => {
+                    tick!();
+                    let l = slots[lhs as usize];
+                    let r = slots[rhs as usize];
+                    slots[dst as usize] = match self.eval_bin(op, l, r, float) {
+                        Ok(v) => v,
+                        Err(e) => fail!(e),
+                    };
+                    tick!();
+                    slots[dst2 as usize] = slots[src2 as usize];
+                }
+                FastInstr::CopyBin {
+                    dst1,
+                    src1,
+                    dst,
+                    op,
+                    lhs,
+                    rhs,
+                    float,
+                } => {
+                    tick!();
+                    slots[dst1 as usize] = slots[src1 as usize];
+                    tick!();
+                    let l = slots[lhs as usize];
+                    let r = slots[rhs as usize];
+                    slots[dst as usize] = match self.eval_bin(op, l, r, float) {
+                        Ok(v) => v,
+                        Err(e) => fail!(e),
+                    };
+                }
+                FastInstr::BinBranch {
+                    dst,
+                    op,
+                    lhs,
+                    rhs,
+                    float,
+                    cond,
+                    then_target,
+                    else_target,
+                } => {
+                    tick!();
+                    let l = slots[lhs as usize];
+                    let r = slots[rhs as usize];
+                    slots[dst as usize] = match self.eval_bin(op, l, r, float) {
+                        Ok(v) => v,
+                        Err(e) => fail!(e),
+                    };
+                    tick!();
+                    pc = if slots[cond as usize].is_truthy() {
+                        then_target as usize
+                    } else {
+                        else_target as usize
+                    };
+                }
+                FastInstr::CopyJump { dst, src, target } => {
+                    tick!();
+                    slots[dst as usize] = slots[src as usize];
+                    tick!();
+                    pc = target as usize;
+                }
+                FastInstr::CopyBranch {
+                    dst,
+                    src,
+                    cond,
+                    then_target,
+                    else_target,
+                } => {
+                    tick!();
+                    slots[dst as usize] = slots[src as usize];
+                    tick!();
+                    pc = if slots[cond as usize].is_truthy() {
+                        then_target as usize
+                    } else {
+                        else_target as usize
+                    };
+                }
+                FastInstr::CopyPtrAdd {
+                    dst1,
+                    src1,
+                    dst,
+                    base,
+                    index,
+                    elem_size,
+                } => {
+                    tick!();
+                    slots[dst1 as usize] = slots[src1 as usize];
+                    tick!();
+                    let b = slots[base as usize].as_ptr();
+                    let i = slots[index as usize].as_int();
+                    slots[dst as usize] = Value::Ptr(b.offset(i.wrapping_mul(elem_size as i64)));
+                }
+                FastInstr::PtrAddLoad {
+                    addr,
+                    base,
+                    index,
+                    elem_size,
+                    dst,
+                    kind,
+                } => {
+                    tick!();
+                    let b = slots[base as usize].as_ptr();
+                    let i = slots[index as usize].as_int();
+                    let p = b.offset(i.wrapping_mul(elem_size as i64));
+                    slots[addr as usize] = Value::Ptr(p);
+                    tick!();
+                    self.stats.loads += 1;
+                    slots[dst as usize] = self.load_kinded(p, kind);
+                }
+                FastInstr::LoadCopy {
+                    dst,
+                    ptr,
+                    kind,
+                    dst2,
+                    src2,
+                } => {
+                    tick!();
+                    self.stats.loads += 1;
+                    let addr = slots[ptr as usize].as_ptr();
+                    slots[dst as usize] = self.load_kinded(addr, kind);
+                    tick!();
+                    slots[dst2 as usize] = slots[src2 as usize];
+                }
+                FastInstr::StoreCopy {
+                    ptr,
+                    src,
+                    kind,
+                    dst2,
+                    src2,
+                } => {
+                    tick!();
+                    self.stats.stores += 1;
+                    let addr = slots[ptr as usize].as_ptr();
+                    let value = slots[src as usize];
+                    self.store_kinded(addr, kind, value);
+                    tick!();
+                    slots[dst2 as usize] = slots[src2 as usize];
+                }
+                FastInstr::LoadStore {
+                    dst,
+                    ptr_l,
+                    kind_l,
+                    ptr_s,
+                    src,
+                    kind_s,
+                } => {
+                    tick!();
+                    self.stats.loads += 1;
+                    let addr = slots[ptr_l as usize].as_ptr();
+                    slots[dst as usize] = self.load_kinded(addr, kind_l);
+                    tick!();
+                    self.stats.stores += 1;
+                    let addr = slots[ptr_s as usize].as_ptr();
+                    let value = slots[src as usize];
+                    self.store_kinded(addr, kind_s, value);
+                }
+            }
+        }
+    }
+
+    /// Fast-tier load with a pre-resolved width (mirrors `load_typed`).
+    #[inline(always)]
+    fn load_kinded(&self, addr: Ptr, kind: LoadKind) -> Value {
+        let mem = self.backend.memory();
+        match kind {
+            LoadKind::Ptr => Value::Ptr(Ptr(mem.read_u64(addr))),
+            LoadKind::F32 => Value::Float(mem.read_f32(addr) as f64),
+            LoadKind::F64 => Value::Float(mem.read_f64(addr)),
+            LoadKind::Int(size) => {
+                let raw = mem.read_uint(addr, size as u64);
+                let shift = 64 - (size as u64 * 8);
+                Value::Int(((raw << shift) as i64) >> shift)
+            }
+        }
+    }
+
+    /// Fast-tier store with a pre-resolved width (mirrors `store_typed`).
+    #[inline(always)]
+    fn store_kinded(&mut self, addr: Ptr, kind: LoadKind, value: Value) {
+        let mem = self.backend.memory_mut();
+        match kind {
+            LoadKind::Ptr => mem.write_u64(addr, value.as_ptr().addr()),
+            LoadKind::F32 => mem.write_f32(addr, value.as_float() as f32),
+            LoadKind::F64 => mem.write_f64(addr, value.as_float()),
+            LoadKind::Int(size) => mem.write_uint(addr, size as u64, value.as_int() as u64),
+        }
+    }
+
+    #[inline(always)]
     fn eval_bin(&self, op: BinOp, l: Value, r: Value, float: bool) -> Result<Value, VmError> {
         if float {
             let a = l.as_float();
@@ -1045,5 +1874,28 @@ mod tests {
         let mut a = Vm::new(program.clone(), VmConfig::default());
         let mut b = Vm::new(program, VmConfig::default());
         assert_eq!(a.run("run", &[]).unwrap(), b.run("run", &[]).unwrap());
+    }
+
+    #[test]
+    fn huge_alloca_count_degrades_instead_of_panicking() {
+        // elem_size (8) × count overflows u64: the multiply must saturate
+        // into a failing allocation, not panic the interpreter.
+        let src = "int run(void) {
+                 long a[4611686018427387900];
+                 a[0] = 1;
+                 return (int)a[0];
+             }";
+        let program = minic::compile(src).unwrap();
+        let instrumented = instrument_program(&program, SanitizerKind::EffectiveFull);
+        let mut vm = Vm::new(
+            Arc::new(instrumented),
+            VmConfig {
+                sanitizer: SanitizerKind::EffectiveFull,
+                ..Default::default()
+            },
+        );
+        // The allocation fails (null / wide pointer); whatever the result,
+        // the VM must not panic on the size computation.
+        let _ = vm.run("run", &[]);
     }
 }

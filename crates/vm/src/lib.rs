@@ -40,7 +40,9 @@
 #![forbid(unsafe_code)]
 
 pub mod interp;
+pub mod tier;
 pub mod value;
 
 pub use interp::{CostModel, ExecStats, Vm, VmConfig, VmError};
+pub use tier::{FastConst, FastFunction, FastInstr, LoadKind};
 pub use value::Value;

@@ -1,7 +1,9 @@
 //! Backend-conformance suite: one shared scenario set — OOB read, OOB
 //! write, use-after-free, bad cast, sub-object overflow, a far OOB that
-//! skips AddressSanitizer's red-zone, use-after-free surviving quarantine
-//! exhaustion, and a same-type reuse-after-free — executed across
+//! skips AddressSanitizer's red-zone, a far-OOB `memcpy` caught only by
+//! whole-range guards on the builtin's pointer arguments, use-after-free
+//! surviving quarantine exhaustion, and a same-type reuse-after-free —
+//! executed across
 //! **every** backend in the `san-api` registry, asserting each tool's
 //! expected detect/miss matrix from the paper's tool comparison
 //! (Figure 1, §2.1, §6.2).
@@ -35,7 +37,7 @@ struct Scenario {
     source: &'static str,
 }
 
-const SCENARIOS: [Scenario; 8] = [
+const SCENARIOS: [Scenario; 9] = [
     Scenario {
         name: "oob-write",
         column: Column::Bounds,
@@ -126,6 +128,29 @@ const SCENARIOS: [Scenario; 8] = [
                 return 0;
             }",
     },
+    // A far out-of-bounds memcpy: the destination and source are 64-byte
+    // allocations but the constant length is 256, so the runtime's mem
+    // builtin reads and writes 192 bytes past each block.  The fault
+    // happens inside the builtin, not at a program dereference: it is only
+    // caught by the instrumentation's whole-range guards on the pointer
+    // arguments (the EffectiveSan escape checks, or the
+    // interceptor-style access checks of ASan/Memcheck) — which makes it
+    // the one scenario the escapes-off ablation trades away (§6.2).
+    Scenario {
+        name: "memcpy-far-oob",
+        column: Column::Bounds,
+        effective_kind: Some(ErrorKind::EscapeBoundsOverflow),
+        source: "
+            int run(int n) {
+                int *a = (int *)malloc(16 * sizeof(int));
+                int *b = (int *)malloc(16 * sizeof(int));
+                b[0] = n;
+                memcpy(a, b, 256);
+                free(b);
+                free(a);
+                return 0;
+            }",
+    },
     // Use-after-free surviving quarantine exhaustion: 80 frees push the
     // first freed block out of AddressSanitizer's 64-block quarantine, so
     // its shadow memory is recycled and the access passes.  Tools whose
@@ -179,8 +204,9 @@ const SCENARIOS: [Scenario; 8] = [
 ///
 /// Rows follow Figure 1 and the §2/§6.2 discussion: EffectiveSan-full is
 /// the only tool covering all three columns (the escapes-off ablation
-/// keeps that coverage — it only drops checks on pointer *escapes*, and
-/// every scenario here faults at a dereference); the bounds variant and
+/// keeps that coverage on every scenario that faults at a program
+/// dereference, but loses `memcpy-far-oob`, whose only guards are the
+/// escape checks on the builtin's pointer arguments); the bounds variant and
 /// the LowFat/SoftBound/MPX models cover allocation bounds (SoftBound
 /// additionally narrows sub-objects); AddressSanitizer catches red-zone
 /// overflows and quarantined UAF but neither sub-object errors nor
@@ -213,6 +239,10 @@ fn expected_detect(kind: SanitizerKind, scenario: &str) -> bool {
                 | LowFat
                 | SoftBound
                 | Mpx
+        ),
+        "memcpy-far-oob" => matches!(
+            kind,
+            EffectiveFull | EffectiveBounds | LowFat | AddressSanitizer | Memcheck
         ),
         "use-after-free" => matches!(
             kind,
