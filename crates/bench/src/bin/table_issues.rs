@@ -1,10 +1,12 @@
 //! Regenerate the §6.1/§6.3 issue taxonomy: which error classes were found
 //! in which benchmark, versus the paper's findings.
 //!
-//! With `--json`, renders `RunReport.diagnostics` per issue instead — the
-//! structured kind / expected / observed / offset / bounds fields — as a
-//! JSON array on stdout (the sweep subsystem's hand-rolled encoder; the
-//! serde shim is a no-op).  Backend-name arguments select exactly which
+//! With `--json`, renders the same structured report `sweep --json` and
+//! `sweep --connect --json` emit: an `issues` array of per-diagnostic
+//! kind / expected / observed / offset / bounds fields plus a `locations`
+//! rollup aggregating issue counts per source location across benchmarks
+//! and backends (the sweep subsystem's hand-rolled encoder; the serde
+//! shim is a no-op).  Backend-name arguments select exactly which
 //! backends run and are reported (default: EffectiveSan); in table mode
 //! each backend gets its own taxonomy table.
 
@@ -26,7 +28,7 @@ fn main() {
     let experiment = spec_experiment(None, scale, &backends, bench::parallelism_from_env());
 
     if json {
-        println!("{}", sweep::json::experiment_issues_json(&experiment, None));
+        println!("{}", sweep::json::experiment_report_json(&experiment, None));
         return;
     }
 

@@ -1,29 +1,42 @@
 //! The `sweep` CLI: drive the paper's (benchmark × backend) experiments
-//! sharded across worker OS processes, and optionally verify the merged
-//! results against the in-process thread-parallel run.
+//! sharded across worker OS processes or a TCP worker fleet, run the
+//! long-lived sweep service, or act as its streaming client — and
+//! optionally verify every merged result against the in-process
+//! thread-parallel run.
 //!
 //! ```text
 //! sweep [--workers N] [--strategy static|queue] [--benchmarks a,b,c]
 //!       [--backends list] [--scale test|small|ref] [--experiment spec|tools]
-//!       [--max-attempts N] [--check] [--json]
+//!       [--max-attempts N] [--tcp-workers addr,addr]
+//!       [--shard-timeout-ms N] [--silence-timeout-ms N] [--check] [--json]
+//! sweep serve --listen <addr> --tcp-workers addr,addr
+//!       [--max-attempts N] [--shard-timeout-ms N] [--silence-timeout-ms N]
+//! sweep --connect <addr> [--benchmarks ...] [--backends ...] [--scale ...]
+//!       [--check] [--json]
 //! ```
 //!
 //! Workers are this same binary re-executed with `SAN_WORKER=1` (no
 //! separate install needed), unless `SWEEP_WORKER_BIN` points at a
-//! `sweep_worker` binary.  Backend selection falls back to the
-//! `SAN_BACKENDS` environment variable and in-worker threading honours
-//! `SAN_PARALLEL`, exactly like the in-process bench binaries.
+//! `sweep_worker` binary, or `--tcp-workers` names listening
+//! `sweep_worker --listen` processes.  Backend selection falls back to
+//! the `SAN_BACKENDS` environment variable and in-worker threading
+//! honours `SAN_PARALLEL`, exactly like the in-process bench binaries.
 //!
 //! `--check` re-runs the same matrix in-process (thread-parallel) and
-//! diffs every merged field except wall time, exiting nonzero on any
-//! difference — CI runs this as the sharded-vs-parallel gate.
+//! diffs every merged/streamed field except wall time, exiting nonzero on
+//! any difference — CI runs this as the sharded-vs-parallel and
+//! service-vs-parallel gate.
+
+use std::time::Duration;
 
 use effective_san::{
     default_backends, parse_backend_list, spec_experiment, Parallelism, SanitizerKind,
+    SpecExperiment,
 };
 use sweep::coordinator::{ShardStrategy, SweepConfig, WorkerLaunch};
-use sweep::{diff_experiments, sharded_spec_experiment, sharded_tool_comparison};
-use workloads::Scale;
+use sweep::serve::{serve_forever, ServeOptions};
+use sweep::{client_sweep, diff_experiments, sharded_spec_experiment, sharded_tool_comparison};
+use workloads::{Scale, SpecBenchmark};
 
 struct Options {
     workers: usize,
@@ -33,6 +46,12 @@ struct Options {
     scale: Scale,
     experiment: String,
     max_attempts: usize,
+    tcp_workers: Option<Vec<String>>,
+    shard_timeout: Option<Duration>,
+    silence_timeout: Option<Duration>,
+    listen: Option<String>,
+    connect: Option<String>,
+    serve: bool,
     check: bool,
     json: bool,
 }
@@ -41,7 +60,10 @@ fn usage() -> ! {
     eprintln!(
         "usage: sweep [--workers N] [--strategy static|queue] [--benchmarks a,b,c] \
          [--backends list] [--scale test|small|ref] [--experiment spec|tools] \
-         [--max-attempts N] [--check] [--json]"
+         [--max-attempts N] [--tcp-workers addr,addr] [--shard-timeout-ms N] \
+         [--silence-timeout-ms N] [--check] [--json]\n\
+         \x20      sweep serve --listen <addr> --tcp-workers addr,addr [...]\n\
+         \x20      sweep --connect <addr> [--benchmarks ...] [--backends ...] [--check] [--json]"
     );
     std::process::exit(2);
 }
@@ -55,15 +77,31 @@ fn parse_options() -> Options {
         scale: Scale::Small,
         experiment: "spec".to_string(),
         max_attempts: 3,
+        tcp_workers: None,
+        shard_timeout: None,
+        silence_timeout: None,
+        listen: None,
+        connect: None,
+        serve: false,
         check: false,
         json: false,
     };
-    let mut args = std::env::args().skip(1);
+    let mut args = std::env::args().skip(1).peekable();
+    if args.peek().map(String::as_str) == Some("serve") {
+        args.next();
+        opts.serve = true;
+    }
     let value = |args: &mut dyn Iterator<Item = String>, flag: &str| -> String {
         args.next().unwrap_or_else(|| {
             eprintln!("sweep: {flag} needs a value");
             usage();
         })
+    };
+    let ms_value = |args: &mut dyn Iterator<Item = String>, flag: &str| -> Duration {
+        Duration::from_millis(value(args, flag).parse().unwrap_or_else(|e| {
+            eprintln!("sweep: bad {flag} value: {e}");
+            usage();
+        }))
     };
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -124,6 +162,23 @@ fn parse_options() -> Options {
                         usage();
                     })
             }
+            "--tcp-workers" => {
+                opts.tcp_workers = Some(
+                    value(&mut args, "--tcp-workers")
+                        .split(',')
+                        .filter(|s| !s.is_empty())
+                        .map(|s| s.to_string())
+                        .collect(),
+                )
+            }
+            "--shard-timeout-ms" => {
+                opts.shard_timeout = Some(ms_value(&mut args, "--shard-timeout-ms"))
+            }
+            "--silence-timeout-ms" => {
+                opts.silence_timeout = Some(ms_value(&mut args, "--silence-timeout-ms"))
+            }
+            "--listen" => opts.listen = Some(value(&mut args, "--listen")),
+            "--connect" => opts.connect = Some(value(&mut args, "--connect")),
             "--check" => opts.check = true,
             "--json" => opts.json = true,
             _ => {
@@ -135,6 +190,118 @@ fn parse_options() -> Options {
     opts
 }
 
+/// Diff an experiment obtained remotely (sharded or streamed) against the
+/// in-process thread-parallel run, exiting nonzero on any difference.
+fn check_against_in_process(remote: &SpecExperiment, backends: &[SanitizerKind], scale: Scale) {
+    let names: Vec<&str> = remote.rows.iter().map(|r| r.name.as_str()).collect();
+    let in_process = spec_experiment(Some(&names), scale, backends, Parallelism::Parallel);
+    let diffs = diff_experiments(remote, &in_process);
+    if diffs.is_empty() {
+        eprintln!(
+            "check: remote == in-process parallel across {} rows × {} backends",
+            remote.rows.len(),
+            backends.len()
+        );
+    } else {
+        eprintln!("check FAILED: {} differences", diffs.len());
+        for diff in diffs {
+            eprintln!("  {diff}");
+        }
+        std::process::exit(1);
+    }
+}
+
+fn print_spec_table_header() {
+    println!(
+        "{:<12} {:<26} {:>14} {:>14} {:>8}",
+        "benchmark", "backend", "cost", "checks", "issues"
+    );
+}
+
+fn print_spec_row(row: &effective_san::SpecRow) {
+    for report in &row.reports {
+        println!(
+            "{:<12} {:<26} {:>14.0} {:>14} {:>8}",
+            row.name,
+            report.sanitizer.name(),
+            report.cost,
+            report.total_checks(),
+            report.errors.distinct_issues
+        );
+    }
+}
+
+/// `sweep serve`: run the daemon until killed.
+fn run_serve(opts: Options) -> ! {
+    let Some(listen) = opts.listen else {
+        eprintln!("sweep: serve needs --listen <addr>");
+        usage();
+    };
+    let Some(workers) = opts.tcp_workers else {
+        eprintln!("sweep: serve needs --tcp-workers addr[,addr...]");
+        usage();
+    };
+    let mut options = ServeOptions::new(listen, workers);
+    options.max_attempts = opts.max_attempts;
+    if opts.shard_timeout.is_some() {
+        options.shard_timeout = opts.shard_timeout;
+    }
+    if opts.silence_timeout.is_some() {
+        options.silence_timeout = opts.silence_timeout;
+    }
+    match serve_forever(options) {
+        Ok(()) => std::process::exit(0),
+        Err(e) => {
+            eprintln!("sweep: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// `sweep --connect`: submit a sweep to a daemon and render the streamed
+/// rows (incrementally for the table view; buffered for `--json`, whose
+/// location rollup needs the whole experiment).
+fn run_connect(addr: &str, opts: Options) -> ! {
+    let benchmarks = match &opts.benchmarks {
+        Some(names) => names.clone(),
+        None => SpecBenchmark::names()
+            .into_iter()
+            .map(|n| n.to_string())
+            .collect(),
+    };
+    let request = sweep::SweepRequest {
+        scale: opts.scale,
+        parallelism: Parallelism::from_env(),
+        benchmarks,
+        backends: opts.backends.clone(),
+    };
+    if !opts.json {
+        println!(
+            "spec experiment at {:?}, {} benchmarks × {} backends, streamed from {addr}",
+            opts.scale,
+            request.benchmarks.len(),
+            request.backends.len()
+        );
+        print_spec_table_header();
+    }
+    let streamed = client_sweep(addr, &request, |_, row| {
+        if !opts.json {
+            print_spec_row(row);
+        }
+    })
+    .unwrap_or_else(|e| {
+        eprintln!("sweep: {e}");
+        std::process::exit(1);
+    });
+    if opts.json {
+        println!("{}", sweep::json::experiment_report_json(&streamed, None));
+    }
+    if opts.check {
+        check_against_in_process(&streamed, &opts.backends, opts.scale);
+    }
+    std::process::exit(0);
+}
+
 fn main() {
     // Worker mode: the coordinator re-executed us with SAN_WORKER set.
     if std::env::var_os(sweep::worker::WORKER_ENV).is_some() {
@@ -142,16 +309,33 @@ fn main() {
     }
 
     let opts = parse_options();
+    if opts.serve {
+        run_serve(opts);
+    }
+    if let Some(addr) = opts.connect.clone() {
+        run_connect(&addr, opts);
+    }
+
+    let worker = match &opts.tcp_workers {
+        Some(addrs) => WorkerLaunch::Tcp(addrs.clone()),
+        // Honours SWEEP_WORKER_BIN and a sibling sweep_worker binary,
+        // falling back to SAN_WORKER=1 re-exec of this binary; rejects a
+        // nonexistent SWEEP_WORKER_BIN before anything is spawned.
+        None => WorkerLaunch::detect().unwrap_or_else(|e| {
+            eprintln!("sweep: {e}");
+            std::process::exit(2);
+        }),
+    };
     let config = SweepConfig {
         workers: opts.workers,
         strategy: opts.strategy,
         max_attempts: opts.max_attempts,
         scale: opts.scale,
         parallelism: Parallelism::from_env(),
-        // Honours SWEEP_WORKER_BIN and a sibling sweep_worker binary,
-        // falling back to SAN_WORKER=1 re-exec of this binary.
-        worker: WorkerLaunch::detect(),
+        worker,
         worker_env: Vec::new(),
+        shard_timeout: opts.shard_timeout,
+        silence_timeout: opts.silence_timeout,
     };
     let names: Option<Vec<&str>> = opts
         .benchmarks
@@ -230,7 +414,7 @@ fn main() {
         });
 
     if opts.json {
-        println!("{}", sweep::json::experiment_issues_json(&sharded, None));
+        println!("{}", sweep::json::experiment_report_json(&sharded, None));
     } else {
         println!(
             "spec experiment at {:?}, {} benchmarks × {} backends, {} workers ({:?})",
@@ -240,45 +424,13 @@ fn main() {
             config.workers,
             config.strategy
         );
-        println!(
-            "{:<12} {:<26} {:>14} {:>14} {:>8}",
-            "benchmark", "backend", "cost", "checks", "issues"
-        );
+        print_spec_table_header();
         for row in &sharded.rows {
-            for report in &row.reports {
-                println!(
-                    "{:<12} {:<26} {:>14.0} {:>14} {:>8}",
-                    row.name,
-                    report.sanitizer.name(),
-                    report.cost,
-                    report.total_checks(),
-                    report.errors.distinct_issues
-                );
-            }
+            print_spec_row(row);
         }
     }
 
     if opts.check {
-        let names: Vec<&str> = sharded.rows.iter().map(|r| r.name.as_str()).collect();
-        let in_process = spec_experiment(
-            Some(&names),
-            opts.scale,
-            &opts.backends,
-            Parallelism::Parallel,
-        );
-        let diffs = diff_experiments(&sharded, &in_process);
-        if diffs.is_empty() {
-            eprintln!(
-                "check: sharded == in-process parallel across {} rows × {} backends",
-                sharded.rows.len(),
-                opts.backends.len()
-            );
-        } else {
-            eprintln!("check FAILED: {} differences", diffs.len());
-            for diff in diffs {
-                eprintln!("  {diff}");
-            }
-            std::process::exit(1);
-        }
+        check_against_in_process(&sharded, &opts.backends, opts.scale);
     }
 }

@@ -1,7 +1,20 @@
-//! The sweep worker process: serves the coordinator/worker wire protocol
-//! on stdin/stdout until told `done`.  Spawned by the sweep coordinator;
-//! of no use interactively.
+//! The sweep worker process.  With no arguments it serves the
+//! coordinator/worker wire protocol on stdin/stdout until told `done`
+//! (spawned by the sweep coordinator; of no use interactively).  With
+//! `--listen <addr>` it binds a TCP socket, prints `listening <addr>`
+//! (resolved port included, so `:0` is scriptable), and serves
+//! coordinator connections one at a time — the fleet member behind
+//! `WorkerLaunch::Tcp` and `sweep serve`.
 
 fn main() {
-    std::process::exit(sweep::worker::run_stdio());
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.as_slice() {
+        [] => sweep::worker::run_stdio(),
+        [flag, addr] if flag == "--listen" => sweep::worker::run_listener(addr),
+        _ => {
+            eprintln!("usage: sweep_worker [--listen <addr>]");
+            2
+        }
+    };
+    std::process::exit(code);
 }

@@ -1,33 +1,41 @@
-//! The coordinator side: shard planning, worker-process pools, scheduling
-//! (static chunking or a shared work queue), crash recovery, and merging.
+//! The coordinator side: shard planning, worker pools (child processes or
+//! a TCP fleet), scheduling (static chunking or a shared work queue),
+//! crash/timeout recovery, and merging.
 //!
-//! The coordinator spawns `workers` OS processes, performs the
-//! [`crate::wire::HANDSHAKE`], and feeds each process shards over stdin.
-//! A worker that crashes, exits nonzero, or garbles the protocol is
-//! killed and replaced, and its in-flight shard is re-run on the fresh
-//! process; after [`SweepConfig::max_attempts`] failed attempts the whole
-//! sweep aborts with a structured [`SweepError::ShardExhausted`].
+//! The coordinator owns `workers` worker sessions — spawned child
+//! processes fed over stdio pipes, or connections to `sweep_worker
+//! --listen` processes over TCP ([`WorkerLaunch::Tcp`]) — performs the
+//! versioned handshake, and feeds each one shards.  A worker that crashes,
+//! exits nonzero, garbles the protocol, goes silent past the heartbeat
+//! deadline, or holds a shard past [`SweepConfig::shard_timeout`] is torn
+//! down and its shard re-queued on the shared queue; after
+//! [`SweepConfig::max_attempts`] failed attempts the whole sweep aborts
+//! with a structured [`SweepError::ShardExhausted`] (or
+//! [`SweepError::ShardTimedOut`] when the final failure was the budget
+//! expiring).  A TCP address that stops accepting connections retires its
+//! slot — remaining shards redistribute across the surviving fleet.
 
 use std::collections::VecDeque;
-use std::io::{BufReader, Write};
 use std::path::PathBuf;
-use std::process::{Child, ChildStdin, ChildStdout, Command as ProcessCommand, Stdio};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::process::{Command as ProcessCommand, Stdio};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Duration;
 
 use effective_san::{sanitizers_with_baseline, Parallelism, SpecExperiment, ToolComparison};
 use san_api::SanitizerKind;
 use workloads::{Scale, SpecBenchmark};
 
+use crate::net::{AttemptError, PipeTransport, TcpTransport, WorkerConn};
 use crate::shard::{merge_experiment, plan_shards, MergeError, Shard};
-use crate::wire::{self, Command, IoLines, LineSource, Reply, ShardSpec, WireError};
+use crate::wire::ShardSpec;
 
 /// How the coordinator hands shards to workers.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum ShardStrategy {
     /// Shards are assigned to workers round-robin up front; each worker
     /// runs exactly its own partition (retries stay on the same slot,
-    /// on a fresh process).
+    /// on a fresh process, unless the slot itself dies).
     Static,
     /// Idle workers pull the next shard from a shared queue — the default,
     /// since it rides out skew in per-shard cost.
@@ -49,7 +57,7 @@ impl std::str::FromStr for ShardStrategy {
     }
 }
 
-/// How worker processes are launched.
+/// How worker sessions are established.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum WorkerLaunch {
     /// Spawn the given executable (the `sweep_worker` bin).
@@ -58,38 +66,77 @@ pub enum WorkerLaunch {
     /// for binaries that check [`crate::worker::WORKER_ENV`] on startup,
     /// like the `sweep` CLI.
     ReExec,
+    /// Connect to listening `sweep_worker --listen` processes over TCP,
+    /// one worker slot per address (the slot count is the fleet size;
+    /// [`SweepConfig::workers`] is ignored in this mode).
+    Tcp(Vec<String>),
 }
 
 impl WorkerLaunch {
     /// Resolve the launch mode from the environment: an explicit
     /// `SWEEP_WORKER_BIN` path wins; otherwise a `sweep_worker` binary
     /// next to the current executable; otherwise re-exec.
-    pub fn detect() -> WorkerLaunch {
+    ///
+    /// # Errors
+    ///
+    /// [`SweepError::Config`] when `SWEEP_WORKER_BIN` names a path that
+    /// does not exist — failing here, at config time, instead of
+    /// consuming [`SweepConfig::max_attempts`] spawn failures per shard.
+    pub fn detect() -> Result<WorkerLaunch, SweepError> {
         if let Ok(path) = std::env::var("SWEEP_WORKER_BIN") {
-            return WorkerLaunch::Bin(PathBuf::from(path));
+            let path = PathBuf::from(path);
+            if !path.exists() {
+                return Err(SweepError::Config {
+                    message: format!(
+                        "SWEEP_WORKER_BIN points at `{}`, which does not exist",
+                        path.display()
+                    ),
+                });
+            }
+            return Ok(WorkerLaunch::Bin(path));
         }
         if let Ok(exe) = std::env::current_exe() {
             if let Some(dir) = exe.parent() {
                 let sibling = dir.join(format!("sweep_worker{}", std::env::consts::EXE_SUFFIX));
                 if sibling.exists() {
-                    return WorkerLaunch::Bin(sibling);
+                    return Ok(WorkerLaunch::Bin(sibling));
                 }
             }
         }
-        WorkerLaunch::ReExec
+        Ok(WorkerLaunch::ReExec)
     }
 
-    fn command(&self, env: &[(String, String)]) -> Result<ProcessCommand, SweepError> {
+    /// Validate the launch mode without spawning anything, so a sweep
+    /// fails before any process exists when the config cannot work.
+    ///
+    /// # Errors
+    ///
+    /// [`SweepError::Config`] for a nonexistent worker binary or an empty
+    /// TCP address list.
+    pub fn validate(&self) -> Result<(), SweepError> {
+        match self {
+            WorkerLaunch::Bin(path) if !path.exists() => Err(SweepError::Config {
+                message: format!("worker binary `{}` does not exist", path.display()),
+            }),
+            WorkerLaunch::Tcp(addrs) if addrs.is_empty() => Err(SweepError::Config {
+                message: "WorkerLaunch::Tcp needs at least one worker address".to_string(),
+            }),
+            _ => Ok(()),
+        }
+    }
+
+    fn command(&self, env: &[(String, String)]) -> Result<ProcessCommand, String> {
         let mut cmd = match self {
             WorkerLaunch::Bin(path) => ProcessCommand::new(path),
             WorkerLaunch::ReExec => {
-                let exe = std::env::current_exe().map_err(|e| SweepError::Spawn {
-                    message: format!("cannot locate current executable: {e}"),
-                })?;
-                let mut cmd = ProcessCommand::new(exe);
+                let mut cmd = ProcessCommand::new(
+                    std::env::current_exe()
+                        .map_err(|e| format!("cannot locate current executable: {e}"))?,
+                );
                 cmd.env(crate::worker::WORKER_ENV, "1");
                 cmd
             }
+            WorkerLaunch::Tcp(_) => unreachable!("TCP workers are connected, not spawned"),
         };
         for (key, value) in env {
             cmd.env(key, value);
@@ -97,17 +144,44 @@ impl WorkerLaunch {
         cmd.stdin(Stdio::piped()).stdout(Stdio::piped());
         Ok(cmd)
     }
+
+    /// Establish a worker session for slot `slot`: spawn-and-handshake for
+    /// pipe modes, connect-and-handshake for TCP (slot i maps to address
+    /// i mod fleet size, so each address backs one slot).
+    fn establish(
+        &self,
+        slot: usize,
+        env: &[(String, String)],
+        silence: Option<Duration>,
+    ) -> Result<WorkerConn, String> {
+        match self {
+            WorkerLaunch::Tcp(addrs) => {
+                let addr = &addrs[slot % addrs.len()];
+                let transport = TcpTransport::connect(addr, Some(Duration::from_secs(10)))
+                    .map_err(|e| e.to_string())?;
+                WorkerConn::establish(Box::new(transport), silence)
+            }
+            _ => {
+                let child = self
+                    .command(env)?
+                    .spawn()
+                    .map_err(|e| format!("spawn failed: {e}"))?;
+                WorkerConn::establish(Box::new(PipeTransport::new(child)), silence)
+            }
+        }
+    }
 }
 
 /// Configuration of a sharded sweep.
 #[derive(Clone, Debug)]
 pub struct SweepConfig {
-    /// Number of worker processes.
+    /// Number of worker processes (ignored for [`WorkerLaunch::Tcp`],
+    /// where the address list is the fleet).
     pub workers: usize,
     /// Shard scheduling mode.
     pub strategy: ShardStrategy,
-    /// Attempts per shard before the sweep aborts (spawn failures and
-    /// worker crashes both consume an attempt).
+    /// Attempts per shard before the sweep aborts (spawn failures, worker
+    /// crashes and timeouts all consume an attempt).
     pub max_attempts: usize,
     /// Workload scale.
     pub scale: Scale,
@@ -120,12 +194,28 @@ pub struct SweepConfig {
     /// the inherited environment) — used by tests to inject failures and
     /// by callers to forward `SAN_*` overrides explicitly.
     pub worker_env: Vec<(String, String)>,
+    /// Overall budget for one shard attempt: a worker still holding a
+    /// shard past this is torn down and the shard re-queued (consuming an
+    /// attempt).  Heartbeats do **not** extend it.  `None` = unbounded,
+    /// the pre-service behaviour.
+    pub shard_timeout: Option<Duration>,
+    /// Per-read silence deadline: a worker that sends *nothing* — not
+    /// even a heartbeat — for this long counts as dead.  Heartbeats reset
+    /// it.  `None` = wait forever (fine for pipes, where worker death is
+    /// observable as EOF; TCP callers should set it).
+    pub silence_timeout: Option<Duration>,
 }
 
 impl SweepConfig {
     /// A configuration with `workers` processes at `scale`, the shared
     /// work queue, 3 attempts per shard, `SAN_PARALLEL`-resolved in-worker
-    /// threading, and auto-detected worker launch.
+    /// threading, auto-detected worker launch, and no deadlines.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `SWEEP_WORKER_BIN` names a nonexistent path (the
+    /// config-time rejection [`WorkerLaunch::detect`] performs); CLIs that
+    /// want a clean exit should call `detect()` themselves.
     pub fn new(workers: usize, scale: Scale) -> SweepConfig {
         SweepConfig {
             workers,
@@ -133,8 +223,10 @@ impl SweepConfig {
             max_attempts: 3,
             scale,
             parallelism: Parallelism::from_env(),
-            worker: WorkerLaunch::detect(),
+            worker: WorkerLaunch::detect().unwrap_or_else(|e| panic!("{e}")),
             worker_env: Vec::new(),
+            shard_timeout: None,
+            silence_timeout: None,
         }
     }
 }
@@ -142,7 +234,14 @@ impl SweepConfig {
 /// Errors a sharded sweep can surface.
 #[derive(Clone, Debug)]
 pub enum SweepError {
-    /// A worker process could not be spawned at all.
+    /// The sweep configuration cannot work (nonexistent worker binary,
+    /// empty TCP fleet) — detected before any worker is started.
+    Config {
+        /// The rendered problem.
+        message: String,
+    },
+    /// A worker process could not be spawned at all, or every TCP worker
+    /// became unreachable while work remained.
     Spawn {
         /// The rendered failure.
         message: String,
@@ -158,6 +257,19 @@ pub enum SweepError {
         /// The last attempt's failure, rendered.
         last_error: String,
     },
+    /// A shard kept blowing the [`SweepConfig::shard_timeout`] budget —
+    /// the last of its attempts ended with the deadline expiring, not a
+    /// crash.
+    ShardTimedOut {
+        /// The failing shard's id.
+        shard_id: usize,
+        /// The benchmark the shard runs.
+        benchmark: String,
+        /// How many attempts were made.
+        attempts: usize,
+        /// The per-attempt budget that kept expiring.
+        timeout: Duration,
+    },
     /// Worker results could not be merged back into experiment rows.
     Merge(MergeError),
 }
@@ -165,6 +277,7 @@ pub enum SweepError {
 impl std::fmt::Display for SweepError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
+            SweepError::Config { message } => write!(f, "invalid sweep config: {message}"),
             SweepError::Spawn { message } => write!(f, "failed to spawn worker: {message}"),
             SweepError::ShardExhausted {
                 shard_id,
@@ -175,6 +288,17 @@ impl std::fmt::Display for SweepError {
                 f,
                 "shard {shard_id} (benchmark `{benchmark}`) failed after {attempts} attempts; \
                  last error: {last_error}"
+            ),
+            SweepError::ShardTimedOut {
+                shard_id,
+                benchmark,
+                attempts,
+                timeout,
+            } => write!(
+                f,
+                "shard {shard_id} (benchmark `{benchmark}`) timed out after {attempts} attempts \
+                 of {}ms each",
+                timeout.as_millis()
             ),
             SweepError::Merge(e) => write!(f, "merge failed: {e}"),
         }
@@ -189,100 +313,6 @@ impl From<MergeError> for SweepError {
     }
 }
 
-/// One live worker process with its protocol streams.
-struct WorkerProc {
-    child: Child,
-    stdin: ChildStdin,
-    stdout: IoLines<BufReader<ChildStdout>>,
-}
-
-impl WorkerProc {
-    fn spawn(launch: &WorkerLaunch, env: &[(String, String)]) -> Result<WorkerProc, String> {
-        let mut child = launch
-            .command(env)
-            .map_err(|e| e.to_string())?
-            .spawn()
-            .map_err(|e| format!("spawn failed: {e}"))?;
-        let stdin = child.stdin.take().expect("worker stdin piped");
-        let stdout = child.stdout.take().expect("worker stdout piped");
-        let mut proc = WorkerProc {
-            child,
-            stdin,
-            stdout: IoLines::new(BufReader::new(stdout)),
-        };
-        match proc.handshake() {
-            Ok(()) => Ok(proc),
-            Err(e) => {
-                proc.kill();
-                Err(e)
-            }
-        }
-    }
-
-    fn handshake(&mut self) -> Result<(), String> {
-        writeln!(self.stdin, "{}", wire::HANDSHAKE).map_err(|e| format!("handshake write: {e}"))?;
-        self.stdin
-            .flush()
-            .map_err(|e| format!("handshake flush: {e}"))?;
-        match self.stdout.next_line() {
-            Ok(Some(line)) if line == wire::HANDSHAKE => Ok(()),
-            Ok(Some(line)) => Err(WireError::Version { got: line }.to_string()),
-            Ok(None) => Err("worker closed its pipe before the handshake".to_string()),
-            Err(e) => Err(e.to_string()),
-        }
-    }
-
-    /// Send one shard and block until its reply.  Any I/O or protocol
-    /// failure — including the worker dying mid-shard — comes back as a
-    /// rendered error for the retry machinery.
-    fn run_shard(&mut self, spec: &ShardSpec) -> Result<(usize, effective_san::SpecRow), String> {
-        writeln!(
-            self.stdin,
-            "{}",
-            wire::encode_command(&Command::Shard(spec.clone()))
-        )
-        .and_then(|()| self.stdin.flush())
-        .map_err(|e| format!("writing shard to worker: {e}"))?;
-        match wire::decode_reply(&mut self.stdout) {
-            Ok(Reply::Result { id, chunk, row }) if id == spec.id => Ok((chunk, row)),
-            Ok(Reply::Result { id, .. }) => {
-                Err(format!("worker answered shard {id}, expected {}", spec.id))
-            }
-            Ok(Reply::Error { message, .. }) => Err(format!("worker reported: {message}")),
-            Err(e) => Err(self.describe_death(e)),
-        }
-    }
-
-    /// Fold the worker's exit status into a protocol error, so "crashed
-    /// with exit code N" is what reaches retry logs rather than a bare
-    /// unexpected-EOF.  EOF on the pipe can be observed a beat before the
-    /// child becomes reapable, so poll `try_wait` briefly; a worker that
-    /// is genuinely still alive (e.g. it garbled a line but keeps running)
-    /// falls through to the protocol error alone.
-    fn describe_death(&mut self, e: WireError) -> String {
-        for _ in 0..50 {
-            match self.child.try_wait() {
-                Ok(Some(status)) => return format!("worker exited with {status} mid-shard ({e})"),
-                Ok(None) => std::thread::sleep(std::time::Duration::from_millis(2)),
-                Err(_) => break,
-            }
-        }
-        e.to_string()
-    }
-
-    fn shutdown(mut self) {
-        let _ = writeln!(self.stdin, "{}", wire::encode_command(&Command::Done));
-        let _ = self.stdin.flush();
-        drop(self.stdin);
-        let _ = self.child.wait();
-    }
-
-    fn kill(mut self) {
-        let _ = self.child.kill();
-        let _ = self.child.wait();
-    }
-}
-
 struct PendingShard {
     shard: Shard,
     /// `Some(worker)` pins the shard to one worker slot (static mode).
@@ -293,6 +323,13 @@ struct PendingShard {
 struct Engine<'a> {
     config: &'a SweepConfig,
     queue: Mutex<VecDeque<PendingShard>>,
+    /// Shards popped from the queue but neither completed nor re-queued
+    /// yet: idle slots must not exit while this is nonzero, because a
+    /// failing slot may re-queue its shard for someone else to pick up.
+    in_flight: AtomicUsize,
+    /// Slots still able to run work; a TCP slot whose address stops
+    /// accepting connections retires itself and decrements this.
+    live_slots: AtomicUsize,
     results: Mutex<Vec<Option<(String, usize, effective_san::SpecRow)>>>,
     failure: Mutex<Option<SweepError>>,
     abort: AtomicBool,
@@ -307,21 +344,68 @@ impl Engine<'_> {
         self.abort.store(true, Ordering::SeqCst);
     }
 
+    /// Pop the next shard this slot may run; increments `in_flight` under
+    /// the queue lock so "queue empty + nothing in flight" is an exact
+    /// termination condition.
     fn next_for(&self, worker: usize) -> Option<PendingShard> {
         let mut queue = self.queue.lock().expect("queue lock");
         let idx = queue
             .iter()
             .position(|p| p.preferred.is_none_or(|w| w == worker))?;
-        queue.remove(idx)
+        let pending = queue.remove(idx);
+        if pending.is_some() {
+            self.in_flight.fetch_add(1, Ordering::SeqCst);
+        }
+        pending
     }
 
-    /// One worker slot: owns at most one live process, pulls shards, and
-    /// replaces its process on failure until the shard's attempts run out.
+    /// Put a failed shard back for any eligible slot, then release the
+    /// in-flight hold (in that order, so idle slots never observe "empty
+    /// queue, nothing in flight" while the shard is limbo).
+    fn requeue(&self, pending: PendingShard) {
+        self.queue.lock().expect("queue lock").push_back(pending);
+        self.in_flight.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    fn terminal(&self, pending: &PendingShard, failure: AttemptError) -> SweepError {
+        match failure {
+            AttemptError::TimedOut(timeout) => SweepError::ShardTimedOut {
+                shard_id: pending.shard.id,
+                benchmark: pending.shard.benchmark.clone(),
+                attempts: pending.attempts,
+                timeout,
+            },
+            other => SweepError::ShardExhausted {
+                shard_id: pending.shard.id,
+                benchmark: pending.shard.benchmark.clone(),
+                attempts: pending.attempts,
+                last_error: other.message(),
+            },
+        }
+    }
+
+    /// One worker slot: owns at most one live session, pulls shards, and
+    /// replaces its session on failure.  Failed shards go back on the
+    /// shared queue (consuming an attempt); a TCP slot whose address is
+    /// unreachable retires so surviving slots absorb its work.
     fn worker_loop(&self, slot: usize) {
-        let mut proc: Option<WorkerProc> = None;
-        'shards: while !self.abort.load(Ordering::SeqCst) {
-            let Some(mut pending) = self.next_for(slot) else {
+        let mut conn: Option<WorkerConn> = None;
+        'shards: loop {
+            if self.abort.load(Ordering::SeqCst) {
                 break;
+            }
+            let Some(mut pending) = self.next_for(slot) else {
+                // All pushes happen before in-flight drops, so "nothing
+                // in flight and the queue is empty" is authoritative;
+                // anything else (work in flight that may be re-queued, or
+                // queued work pinned to another slot) is worth waiting on.
+                if self.in_flight.load(Ordering::SeqCst) == 0
+                    && self.queue.lock().expect("queue lock").is_empty()
+                {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(1));
+                continue;
             };
             let spec = ShardSpec {
                 id: pending.shard.id,
@@ -331,45 +415,70 @@ impl Engine<'_> {
                 benchmark: pending.shard.benchmark.clone(),
                 backends: pending.shard.backends.clone(),
             };
-            loop {
-                if self.abort.load(Ordering::SeqCst) {
-                    break 'shards;
+            let attempt = match conn.as_mut() {
+                Some(live) => live.run_shard(
+                    &spec,
+                    self.config.shard_timeout,
+                    self.config.silence_timeout,
+                ),
+                None => match self.config.worker.establish(
+                    slot,
+                    &self.config.worker_env,
+                    self.config.silence_timeout,
+                ) {
+                    Ok(live) => conn.insert(live).run_shard(
+                        &spec,
+                        self.config.shard_timeout,
+                        self.config.silence_timeout,
+                    ),
+                    Err(e) => Err(AttemptError::Spawn(e)),
+                },
+            };
+            match attempt {
+                Ok((chunk, row)) => {
+                    let mut results = self.results.lock().expect("results lock");
+                    results[pending.shard.id] = Some((pending.shard.benchmark.clone(), chunk, row));
+                    drop(results);
+                    self.in_flight.fetch_sub(1, Ordering::SeqCst);
                 }
-                let attempt = match proc.as_mut() {
-                    Some(live) => live.run_shard(&spec),
-                    None => match WorkerProc::spawn(&self.config.worker, &self.config.worker_env) {
-                        Ok(live) => proc.insert(live).run_shard(&spec),
-                        Err(e) => Err(e),
-                    },
-                };
-                match attempt {
-                    Ok((chunk, row)) => {
-                        let mut results = self.results.lock().expect("results lock");
-                        results[pending.shard.id] =
-                            Some((pending.shard.benchmark.clone(), chunk, row));
-                        continue 'shards;
+                Err(failure) => {
+                    // The session (if any) is in an unknown protocol
+                    // state: replace it before anyone retries.
+                    if let Some(dead) = conn.take() {
+                        dead.kill();
                     }
-                    Err(error) => {
-                        // The process (if any) is in an unknown protocol
-                        // state: replace it before the retry.
-                        if let Some(dead) = proc.take() {
-                            dead.kill();
-                        }
-                        pending.attempts += 1;
-                        if pending.attempts >= self.config.max_attempts {
-                            self.fail(SweepError::ShardExhausted {
-                                shard_id: pending.shard.id,
-                                benchmark: pending.shard.benchmark.clone(),
-                                attempts: pending.attempts,
-                                last_error: error,
+                    pending.attempts += 1;
+                    if pending.attempts >= self.config.max_attempts {
+                        self.fail(self.terminal(&pending, failure));
+                        self.in_flight.fetch_sub(1, Ordering::SeqCst);
+                        break 'shards;
+                    }
+                    // A TCP address that refuses connections is gone for
+                    // good as far as this sweep is concerned: unpin the
+                    // shard, retire the slot, let the survivors absorb it.
+                    let slot_dead = matches!(failure, AttemptError::Spawn(_))
+                        && matches!(self.config.worker, WorkerLaunch::Tcp(_));
+                    if slot_dead {
+                        pending.preferred = None;
+                    }
+                    let last_error = failure.message();
+                    self.requeue(pending);
+                    if slot_dead {
+                        let live = self.live_slots.fetch_sub(1, Ordering::SeqCst) - 1;
+                        if live == 0 {
+                            self.fail(SweepError::Spawn {
+                                message: format!(
+                                    "every TCP worker became unreachable with work remaining; \
+                                     last error: {last_error}"
+                                ),
                             });
-                            break 'shards;
                         }
+                        break 'shards;
                     }
                 }
             }
         }
-        if let Some(live) = proc {
+        if let Some(live) = conn {
             live.shutdown();
         }
     }
@@ -407,15 +516,19 @@ fn resolve_benchmarks(names: Option<&[&str]>) -> Vec<String> {
 }
 
 /// Run the (benchmark × backend) matrix sharded across worker processes
-/// and merge the results into the same [`SpecExperiment`] shape — with the
-/// same bytes — as the in-process `spec_experiment`.
+/// (or a TCP worker fleet) and merge the results into the same
+/// [`SpecExperiment`] shape — with the same bytes — as the in-process
+/// `spec_experiment`.
 ///
 /// # Errors
 ///
-/// [`SweepError::ShardExhausted`] when a shard keeps failing across
-/// [`SweepConfig::max_attempts`] fresh workers; [`SweepError::Merge`] when
-/// the returned fragments do not reassemble (both indicate worker-side
-/// misbehaviour, not data-dependent conditions).
+/// [`SweepError::Config`] when the launch mode cannot work (checked
+/// before anything is spawned); [`SweepError::ShardExhausted`] /
+/// [`SweepError::ShardTimedOut`] when a shard keeps failing across
+/// [`SweepConfig::max_attempts`] fresh workers; [`SweepError::Spawn`]
+/// when the whole TCP fleet becomes unreachable; [`SweepError::Merge`]
+/// when the returned fragments do not reassemble (worker-side
+/// misbehaviour, not a data-dependent condition).
 ///
 /// # Panics
 ///
@@ -425,9 +538,14 @@ pub fn sharded_spec_experiment(
     sanitizers: &[SanitizerKind],
     config: &SweepConfig,
 ) -> Result<SpecExperiment, SweepError> {
+    config.worker.validate()?;
     let benchmarks = resolve_benchmarks(names);
-    let shards = plan_shards(&benchmarks, sanitizers, config.workers);
-    let workers = config.workers.clamp(1, shards.len().max(1));
+    let slots = match &config.worker {
+        WorkerLaunch::Tcp(addrs) => addrs.len(),
+        _ => config.workers,
+    };
+    let shards = plan_shards(&benchmarks, sanitizers, slots);
+    let workers = slots.clamp(1, shards.len().max(1));
 
     let engine = Engine {
         config,
@@ -444,6 +562,8 @@ pub fn sharded_spec_experiment(
                 })
                 .collect(),
         ),
+        in_flight: AtomicUsize::new(0),
+        live_slots: AtomicUsize::new(workers),
         results: Mutex::new(Vec::new()),
         failure: Mutex::new(None),
         abort: AtomicBool::new(false),
@@ -527,17 +647,63 @@ mod tests {
         assert!(err.contains("static"));
     }
 
-    #[test]
-    fn spawn_failures_surface_as_shard_exhaustion() {
-        let config = SweepConfig {
+    fn test_config(worker: WorkerLaunch) -> SweepConfig {
+        SweepConfig {
             workers: 1,
             strategy: ShardStrategy::WorkQueue,
             max_attempts: 2,
             scale: Scale::Test,
             parallelism: Parallelism::Sequential,
-            worker: WorkerLaunch::Bin(PathBuf::from("/nonexistent/sweep_worker")),
+            worker,
             worker_env: Vec::new(),
-        };
+            shard_timeout: None,
+            silence_timeout: None,
+        }
+    }
+
+    #[test]
+    fn nonexistent_worker_bin_is_rejected_at_config_time() {
+        // No spawning, no per-shard attempts: the sweep refuses up front.
+        let config = test_config(WorkerLaunch::Bin(PathBuf::from(
+            "/nonexistent/sweep_worker",
+        )));
+        let err =
+            sharded_spec_experiment(Some(&["mcf"]), &[SanitizerKind::None], &config).unwrap_err();
+        match err {
+            SweepError::Config { ref message } => {
+                assert!(message.contains("/nonexistent/sweep_worker"), "{message}");
+            }
+            other => panic!("expected Config, got {other}"),
+        }
+    }
+
+    #[test]
+    fn nonexistent_sweep_worker_bin_env_fails_detect() {
+        // `detect` is env-driven; validate the same rule through the
+        // lower-level `validate` to stay hermetic (no global env writes
+        // in a threaded test binary).
+        let err = WorkerLaunch::Bin(PathBuf::from("/nonexistent/from-env"))
+            .validate()
+            .unwrap_err();
+        assert!(matches!(err, SweepError::Config { .. }), "{err}");
+    }
+
+    #[test]
+    fn empty_tcp_fleet_is_rejected_at_config_time() {
+        let config = test_config(WorkerLaunch::Tcp(Vec::new()));
+        let err =
+            sharded_spec_experiment(Some(&["mcf"]), &[SanitizerKind::None], &config).unwrap_err();
+        assert!(matches!(err, SweepError::Config { .. }), "{err}");
+    }
+
+    #[test]
+    fn runtime_spawn_failures_surface_as_shard_exhaustion() {
+        // A path that exists but is not executable passes config-time
+        // validation and fails at spawn — consuming attempts like any
+        // other per-shard failure.
+        let config = test_config(WorkerLaunch::Bin(
+            PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("Cargo.toml"),
+        ));
         let err =
             sharded_spec_experiment(Some(&["mcf"]), &[SanitizerKind::None], &config).unwrap_err();
         match err {
@@ -550,6 +716,29 @@ mod tests {
                 assert_eq!(benchmark, "mcf");
             }
             other => panic!("expected ShardExhausted, got {other}"),
+        }
+    }
+
+    #[test]
+    fn unreachable_tcp_fleet_fails_instead_of_hanging() {
+        // Port 1 on localhost refuses connections: both slots retire and
+        // the sweep aborts with a fleet-level error (or exhaustion if the
+        // shard burns its attempts first).
+        let config = SweepConfig {
+            max_attempts: 4,
+            ..test_config(WorkerLaunch::Tcp(vec![
+                "127.0.0.1:1".to_string(),
+                "127.0.0.1:1".to_string(),
+            ]))
+        };
+        let err =
+            sharded_spec_experiment(Some(&["mcf"]), &[SanitizerKind::None], &config).unwrap_err();
+        match err {
+            SweepError::Spawn { ref message } => {
+                assert!(message.contains("unreachable"), "{message}");
+            }
+            SweepError::ShardExhausted { .. } => {}
+            other => panic!("expected Spawn or ShardExhausted, got {other}"),
         }
     }
 }

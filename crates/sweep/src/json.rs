@@ -7,6 +7,8 @@
 //! bounds, location, detail), rendered as JSON for downstream tooling
 //! (`table_issues --json`).
 
+use std::collections::{BTreeMap, BTreeSet};
+
 use effective_san::{SpecExperiment, SpecRow};
 use san_api::{Diagnostic, SanitizerKind};
 
@@ -96,6 +98,74 @@ pub fn experiment_issues_json(experiment: &SpecExperiment, only: Option<Sanitize
     format!("[{}]", rows.join(","))
 }
 
+/// Aggregate an experiment's diagnostics by source location: one JSON
+/// object per `(location, kind)` pair, with the total occurrence count
+/// and the (sorted, deduplicated) benchmarks and backends that flagged
+/// it — the ROADMAP's "source-location aggregation across runs", computed
+/// from the same rows the per-issue export walks, so it rides streamed
+/// results unchanged.
+pub fn location_rollup_json(experiment: &SpecExperiment, only: Option<SanitizerKind>) -> String {
+    #[derive(Default)]
+    struct Site {
+        count: usize,
+        benchmarks: BTreeSet<String>,
+        sanitizers: BTreeSet<&'static str>,
+    }
+    let mut sites: BTreeMap<(String, &'static str), Site> = BTreeMap::new();
+    for row in &experiment.rows {
+        for report in &row.reports {
+            if only.is_some_and(|kind| report.sanitizer != kind) {
+                continue;
+            }
+            for d in &report.diagnostics {
+                let site = sites
+                    .entry((d.location.to_string(), d.kind.name()))
+                    .or_default();
+                site.count += 1;
+                site.benchmarks.insert(row.name.clone());
+                site.sanitizers.insert(report.sanitizer.name());
+            }
+        }
+    }
+    let entries: Vec<String> = sites
+        .into_iter()
+        .map(|((location, kind), site)| {
+            let benchmarks: Vec<String> = site
+                .benchmarks
+                .iter()
+                .map(|b| format!("\"{}\"", json_escape(b)))
+                .collect();
+            let sanitizers: Vec<String> = site
+                .sanitizers
+                .iter()
+                .map(|s| format!("\"{}\"", json_escape(s)))
+                .collect();
+            format!(
+                "{{\"location\":\"{}\",\"kind\":\"{}\",\"count\":{},\
+                 \"benchmarks\":[{}],\"sanitizers\":[{}]}}",
+                json_escape(&location),
+                json_escape(kind),
+                site.count,
+                benchmarks.join(","),
+                sanitizers.join(",")
+            )
+        })
+        .collect();
+    format!("[{}]", entries.join(","))
+}
+
+/// The combined diagnostics report both `table_issues --json` and the
+/// `sweep` CLI (`--json`, in-process or `--connect`-streamed) emit:
+/// per-issue detail under `"issues"`, the cross-run source-location
+/// rollup under `"locations"`.
+pub fn experiment_report_json(experiment: &SpecExperiment, only: Option<SanitizerKind>) -> String {
+    format!(
+        "{{\"issues\":{},\"locations\":{}}}",
+        experiment_issues_json(experiment, only),
+        location_rollup_json(experiment, only)
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -118,6 +188,95 @@ mod tests {
         assert!(json.contains("\\\"account\\\""), "{json}");
         assert!(json.contains("\"bounds\":{\"lo\":16,\"hi\":48}"));
         assert!(json.contains("overflow\\ninto"));
+    }
+
+    #[test]
+    fn location_rollup_aggregates_across_rows_and_backends() {
+        use effective_san::RunReport;
+        use std::time::Duration;
+        use workloads::Scale;
+
+        let diag = |kind: ErrorKind, location: &str| Diagnostic {
+            kind,
+            expected: "int".to_string(),
+            observed: "char".to_string(),
+            offset: 0,
+            bounds: None,
+            location: Arc::from(location),
+            detail: String::new(),
+        };
+        let report = |kind: SanitizerKind, diagnostics: Vec<Diagnostic>| RunReport {
+            sanitizer: kind,
+            result: Some(0),
+            vm_error: None,
+            exec: Default::default(),
+            checks: Default::default(),
+            errors: Default::default(),
+            diagnostics,
+            wall_time: Duration::ZERO,
+            cost: 0.0,
+            peak_memory_bytes: 0,
+            legacy_check_fraction: 0.0,
+            static_checks: 0,
+        };
+        let row = |name: &str, reports: Vec<RunReport>| SpecRow {
+            name: name.to_string(),
+            cpp: false,
+            paper_kilo_sloc: 0.0,
+            paper_type_checks_b: 0.0,
+            paper_bounds_checks_b: 0.0,
+            paper_issues: 0,
+            source_lines: 0,
+            reports,
+        };
+        let experiment = SpecExperiment {
+            scale: Scale::Test,
+            sanitizers: vec![
+                SanitizerKind::EffectiveFull,
+                SanitizerKind::AddressSanitizer,
+            ],
+            rows: vec![
+                row(
+                    "mcf",
+                    vec![
+                        report(
+                            SanitizerKind::EffectiveFull,
+                            vec![
+                                diag(ErrorKind::UseAfterFree, "mcf.c:10"),
+                                diag(ErrorKind::UseAfterFree, "mcf.c:10"),
+                            ],
+                        ),
+                        report(
+                            SanitizerKind::AddressSanitizer,
+                            vec![diag(ErrorKind::UseAfterFree, "mcf.c:10")],
+                        ),
+                    ],
+                ),
+                row(
+                    "soplex",
+                    vec![report(
+                        SanitizerKind::EffectiveFull,
+                        vec![diag(ErrorKind::UseAfterFree, "mcf.c:10")],
+                    )],
+                ),
+            ],
+        };
+        let rollup = location_rollup_json(&experiment, None);
+        // One site, four hits, both benchmarks and both backends listed.
+        assert!(rollup.contains("\"location\":\"mcf.c:10\""), "{rollup}");
+        assert!(rollup.contains("\"count\":4"), "{rollup}");
+        assert!(
+            rollup.contains("\"benchmarks\":[\"mcf\",\"soplex\"]"),
+            "{rollup}"
+        );
+        assert_eq!(rollup.matches("\"location\"").count(), 1, "{rollup}");
+
+        let only = location_rollup_json(&experiment, Some(SanitizerKind::AddressSanitizer));
+        assert!(only.contains("\"count\":1"), "{only}");
+
+        let report_json = experiment_report_json(&experiment, None);
+        assert!(report_json.starts_with("{\"issues\":["), "{report_json}");
+        assert!(report_json.contains("\"locations\":["), "{report_json}");
     }
 
     #[test]

@@ -26,6 +26,8 @@
 pub mod check;
 pub mod coordinator;
 pub mod json;
+pub mod net;
+pub mod serve;
 pub mod shard;
 pub mod wire;
 pub mod worker;
@@ -35,5 +37,6 @@ pub use coordinator::{
     sharded_spec_experiment, sharded_tool_comparison, ShardStrategy, SweepConfig, SweepError,
     WorkerLaunch,
 };
+pub use net::{client_sweep, ClientError};
 pub use shard::{merge_experiment, plan_shards, MergeError, Shard};
-pub use wire::{WireError, HANDSHAKE, WIRE_VERSION};
+pub use wire::{SweepRequest, WireError, HANDSHAKE, WIRE_VERSION};

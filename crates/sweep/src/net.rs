@@ -1,0 +1,653 @@
+//! Network-capable transports for the coordinator↔worker protocol, plus
+//! the streaming client of the `sweep serve` daemon.
+//!
+//! PR 4 made the wire format line-oriented over *any* byte stream exactly
+//! so the process-sharded sweep could later hop machines; this module is
+//! that hop.  A [`Transport`] carries protocol lines over either a worker
+//! process's stdio pipes ([`PipeTransport`]) or a TCP socket
+//! ([`TcpTransport`]), and a [`WorkerConn`] layers the v4 handshake
+//! (version check + [`wire::Hello`] capabilities), heartbeat-aware read
+//! deadlines, and shard execution on top — the coordinator and the
+//! `sweep serve` daemon drive workers through the same type.
+//!
+//! Reads are pumped through a dedicated thread per connection
+//! ([`LinePump`]) so deadlines work uniformly: blocking pipe reads have no
+//! native timeout, and socket timeouts would tear lines apart mid-read.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{Shutdown, TcpStream, ToSocketAddrs};
+use std::process::{Child, ChildStdin};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+use effective_san::{SpecExperiment, SpecRow};
+
+use crate::wire::{self, Hello, LineSource, Reply, ShardSpec, SweepRequest, WireError};
+
+/// Default cadence of worker heartbeats, overridable with the
+/// `SWEEP_HEARTBEAT_MS` environment variable (workers read it at serve
+/// time, so the coordinator and the fleet can be tuned independently).
+pub const DEFAULT_HEARTBEAT_MS: u64 = 500;
+
+/// Name of the heartbeat-cadence environment variable.
+pub const HEARTBEAT_ENV: &str = "SWEEP_HEARTBEAT_MS";
+
+/// The heartbeat cadence resolved from [`HEARTBEAT_ENV`] (milliseconds;
+/// unset, empty or unparsable values select [`DEFAULT_HEARTBEAT_MS`]).
+pub fn heartbeat_interval() -> Duration {
+    let ms = std::env::var(HEARTBEAT_ENV)
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .filter(|&ms| ms > 0)
+        .unwrap_or(DEFAULT_HEARTBEAT_MS);
+    Duration::from_millis(ms)
+}
+
+/// A reader thread pumping protocol lines into a channel, so the consumer
+/// can apply per-read deadlines with `recv_timeout` regardless of whether
+/// the underlying stream is a pipe or a socket.
+pub struct LinePump {
+    rx: mpsc::Receiver<Result<Option<String>, WireError>>,
+    finished: bool,
+}
+
+impl LinePump {
+    /// Spawn the pump thread over a buffered reader.  The thread exits at
+    /// end of stream, on a read error, or when the pump is dropped.
+    pub fn spawn<R: BufRead + Send + 'static>(mut reader: R) -> LinePump {
+        let (tx, rx) = mpsc::channel();
+        std::thread::Builder::new()
+            .name("sweep-line-pump".to_string())
+            .spawn(move || loop {
+                let mut line = String::new();
+                match reader.read_line(&mut line) {
+                    Ok(0) => {
+                        let _ = tx.send(Ok(None));
+                        break;
+                    }
+                    Ok(_) => {
+                        while line.ends_with('\n') || line.ends_with('\r') {
+                            line.pop();
+                        }
+                        if tx.send(Ok(Some(line))).is_err() {
+                            break;
+                        }
+                    }
+                    Err(e) => {
+                        let _ = tx.send(Err(WireError::Io {
+                            message: e.to_string(),
+                        }));
+                        break;
+                    }
+                }
+            })
+            .expect("spawn line-pump thread");
+        LinePump {
+            rx,
+            finished: false,
+        }
+    }
+
+    /// The next line; `None` at end of stream, [`WireError::Timeout`] when
+    /// no line arrives within `timeout` (`None` = wait forever).
+    pub fn recv(&mut self, timeout: Option<Duration>) -> Result<Option<String>, WireError> {
+        if self.finished {
+            return Ok(None);
+        }
+        let received = match timeout {
+            None => self.rx.recv().map_err(|_| None),
+            Some(t) => self.rx.recv_timeout(t).map_err(|e| match e {
+                mpsc::RecvTimeoutError::Timeout => Some(t),
+                mpsc::RecvTimeoutError::Disconnected => None,
+            }),
+        };
+        match received {
+            Ok(Ok(Some(line))) => Ok(Some(line)),
+            Ok(Ok(None)) | Err(None) => {
+                // EOF, or the pump thread is gone: the stream is over.
+                self.finished = true;
+                Ok(None)
+            }
+            Ok(Err(e)) => {
+                self.finished = true;
+                Err(e)
+            }
+            Err(Some(t)) => Err(WireError::Timeout {
+                waited_ms: t.as_millis() as u64,
+            }),
+        }
+    }
+}
+
+/// A bidirectional line carrier for one protocol peer.
+pub trait Transport: Send {
+    /// Send one line (terminator added, flushed).
+    fn send_line(&mut self, line: &str) -> Result<(), WireError>;
+    /// Receive one line within `timeout` (`None` = block); `Ok(None)` at
+    /// end of stream.
+    fn recv_line(&mut self, timeout: Option<Duration>) -> Result<Option<String>, WireError>;
+    /// Fold peer-specific post-mortem detail (a child's exit status, the
+    /// peer address) into an error description for the retry log.
+    fn describe_death(&mut self, error: &WireError) -> String;
+    /// Tear the connection down hard (kill the child / drop the socket).
+    fn kill(&mut self);
+    /// Close politely after a `done` command (wait for a child to exit,
+    /// shut a socket down).
+    fn finish(&mut self);
+}
+
+/// [`Transport`] over a worker child process's stdio pipes.
+pub struct PipeTransport {
+    child: Child,
+    stdin: Option<ChildStdin>,
+    pump: LinePump,
+}
+
+impl PipeTransport {
+    /// Wrap a spawned worker whose stdin/stdout are piped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the child's stdin or stdout was not piped.
+    pub fn new(mut child: Child) -> PipeTransport {
+        let stdin = child.stdin.take().expect("worker stdin piped");
+        let stdout = child.stdout.take().expect("worker stdout piped");
+        PipeTransport {
+            child,
+            stdin: Some(stdin),
+            pump: LinePump::spawn(BufReader::new(stdout)),
+        }
+    }
+}
+
+impl Transport for PipeTransport {
+    fn send_line(&mut self, line: &str) -> Result<(), WireError> {
+        let Some(stdin) = self.stdin.as_mut() else {
+            return Err(WireError::Io {
+                message: "worker stdin already closed".to_string(),
+            });
+        };
+        writeln!(stdin, "{line}")
+            .and_then(|()| stdin.flush())
+            .map_err(|e| WireError::Io {
+                message: e.to_string(),
+            })
+    }
+
+    fn recv_line(&mut self, timeout: Option<Duration>) -> Result<Option<String>, WireError> {
+        self.pump.recv(timeout)
+    }
+
+    /// EOF on the pipe can be observed a beat before the child becomes
+    /// reapable, so poll `try_wait` briefly; a child that is genuinely
+    /// still alive (e.g. it garbled a line but keeps running) falls
+    /// through to the protocol error alone.
+    fn describe_death(&mut self, error: &WireError) -> String {
+        for _ in 0..50 {
+            match self.child.try_wait() {
+                Ok(Some(status)) => {
+                    return format!("worker exited with {status} mid-shard ({error})")
+                }
+                Ok(None) => std::thread::sleep(Duration::from_millis(2)),
+                Err(_) => break,
+            }
+        }
+        error.to_string()
+    }
+
+    fn kill(&mut self) {
+        self.stdin = None;
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+
+    fn finish(&mut self) {
+        self.stdin = None;
+        let _ = self.child.wait();
+    }
+}
+
+/// [`Transport`] over a TCP connection to a `sweep_worker --listen`
+/// process (or any peer speaking the protocol).
+pub struct TcpTransport {
+    stream: TcpStream,
+    pump: LinePump,
+    peer: String,
+}
+
+impl TcpTransport {
+    /// Connect to `addr` within `timeout` and wrap the stream.
+    pub fn connect(addr: &str, timeout: Option<Duration>) -> Result<TcpTransport, WireError> {
+        let io_err = |e: std::io::Error| WireError::Io {
+            message: format!("connecting to {addr}: {e}"),
+        };
+        let stream = match timeout {
+            None => TcpStream::connect(addr).map_err(io_err)?,
+            Some(t) => {
+                let resolved = addr
+                    .to_socket_addrs()
+                    .map_err(io_err)?
+                    .next()
+                    .ok_or_else(|| WireError::Io {
+                        message: format!("address `{addr}` resolved to nothing"),
+                    })?;
+                TcpStream::connect_timeout(&resolved, t).map_err(io_err)?
+            }
+        };
+        TcpTransport::from_stream(stream, addr.to_string())
+    }
+
+    /// Wrap an already established stream (the daemon's accepted worker
+    /// and client connections go through here).
+    pub fn from_stream(stream: TcpStream, peer: String) -> Result<TcpTransport, WireError> {
+        let reader = stream.try_clone().map_err(|e| WireError::Io {
+            message: format!("cloning stream to {peer}: {e}"),
+        })?;
+        Ok(TcpTransport {
+            stream,
+            pump: LinePump::spawn(BufReader::new(reader)),
+            peer,
+        })
+    }
+}
+
+impl Transport for TcpTransport {
+    fn send_line(&mut self, line: &str) -> Result<(), WireError> {
+        writeln!(self.stream, "{line}")
+            .and_then(|()| self.stream.flush())
+            .map_err(|e| WireError::Io {
+                message: format!("writing to {}: {e}", self.peer),
+            })
+    }
+
+    fn recv_line(&mut self, timeout: Option<Duration>) -> Result<Option<String>, WireError> {
+        self.pump.recv(timeout)
+    }
+
+    fn describe_death(&mut self, error: &WireError) -> String {
+        format!("connection to {}: {error}", self.peer)
+    }
+
+    fn kill(&mut self) {
+        let _ = self.stream.shutdown(Shutdown::Both);
+    }
+
+    fn finish(&mut self) {
+        let _ = self.stream.shutdown(Shutdown::Both);
+    }
+}
+
+impl Drop for TcpTransport {
+    fn drop(&mut self) {
+        // Unblock the pump thread; a clone of the stream keeps the read
+        // half open even after this handle is gone.
+        let _ = self.stream.shutdown(Shutdown::Both);
+    }
+}
+
+/// Why one attempt at running a shard on a worker failed — the retry
+/// machinery treats the classes differently (a dead TCP address retires
+/// its slot, a shard timeout has its own terminal error).
+#[derive(Clone, Debug)]
+pub enum AttemptError {
+    /// The worker could not be spawned / connected at all.
+    Spawn(String),
+    /// The shard's overall deadline ([`crate::SweepConfig::shard_timeout`])
+    /// expired with the worker still holding it.
+    TimedOut(Duration),
+    /// The worker died, went silent, garbled the protocol, or reported a
+    /// structured error.
+    Failed(String),
+}
+
+impl AttemptError {
+    /// The rendered failure, for retry logs and terminal errors.
+    pub fn message(&self) -> String {
+        match self {
+            AttemptError::Spawn(m) | AttemptError::Failed(m) => m.clone(),
+            AttemptError::TimedOut(t) => {
+                format!("shard timed out after {}ms", t.as_millis())
+            }
+        }
+    }
+}
+
+/// A [`LineSource`] over a transport that enforces two deadlines and
+/// skips heartbeat lines: `deadline` is the absolute instant the whole
+/// message must be complete by (the shard budget — heartbeats do *not*
+/// extend it), `silence` is the per-line gap after which a worker that
+/// sends nothing at all counts as dead (heartbeats *do* reset it).
+pub struct DeadlineLines<'t> {
+    transport: &'t mut dyn Transport,
+    deadline: Option<Instant>,
+    silence: Option<Duration>,
+}
+
+impl<'t> DeadlineLines<'t> {
+    /// Wrap `transport` with the given deadlines (either may be `None`).
+    pub fn new(
+        transport: &'t mut dyn Transport,
+        deadline: Option<Instant>,
+        silence: Option<Duration>,
+    ) -> Self {
+        DeadlineLines {
+            transport,
+            deadline,
+            silence,
+        }
+    }
+}
+
+impl LineSource for DeadlineLines<'_> {
+    fn next_line(&mut self) -> Result<Option<String>, WireError> {
+        loop {
+            let remaining = self
+                .deadline
+                .map(|d| d.saturating_duration_since(Instant::now()));
+            if remaining == Some(Duration::ZERO) {
+                return Err(WireError::Timeout { waited_ms: 0 });
+            }
+            let per_read = match (remaining, self.silence) {
+                (None, None) => None,
+                (Some(r), None) => Some(r),
+                (None, Some(s)) => Some(s),
+                (Some(r), Some(s)) => Some(r.min(s)),
+            };
+            match self.transport.recv_line(per_read)? {
+                Some(line) if wire::is_heartbeat(&line) => continue,
+                other => return Ok(other),
+            }
+        }
+    }
+}
+
+/// A live protocol session with one worker: transport + the capabilities
+/// it advertised in its [`Hello`].  Both the in-process coordinator and
+/// the `sweep serve` daemon drive workers through this type.
+pub struct WorkerConn {
+    transport: Box<dyn Transport>,
+    /// The worker's capability advertisement (backend list, core count).
+    pub hello: Hello,
+}
+
+impl WorkerConn {
+    /// Perform the v4 handshake on a fresh transport: exchange handshake
+    /// lines (rejecting version skew loudly) and read the worker's
+    /// [`Hello`].  `silence` bounds each read, so a wedged peer cannot
+    /// hang the caller.
+    pub fn establish(
+        mut transport: Box<dyn Transport>,
+        silence: Option<Duration>,
+    ) -> Result<WorkerConn, String> {
+        let result = (|| -> Result<Hello, String> {
+            transport
+                .send_line(wire::HANDSHAKE)
+                .map_err(|e| format!("handshake write: {e}"))?;
+            let mut lines = DeadlineLines::new(transport.as_mut(), None, silence);
+            match lines.next_line() {
+                Ok(Some(line)) => wire::check_handshake(&line).map_err(|e| e.to_string())?,
+                Ok(None) => return Err("worker closed the stream before the handshake".to_string()),
+                Err(e) => return Err(e.to_string()),
+            }
+            match lines.next_line() {
+                Ok(Some(line)) => wire::decode_hello(&line).map_err(|e| e.to_string()),
+                Ok(None) => Err("worker closed the stream before its hello".to_string()),
+                Err(e) => Err(e.to_string()),
+            }
+        })();
+        match result {
+            Ok(hello) => Ok(WorkerConn { transport, hello }),
+            Err(e) => {
+                transport.kill();
+                Err(e)
+            }
+        }
+    }
+
+    /// Send one shard and block until its reply, under the configured
+    /// deadlines.  Any failure — I/O, protocol, worker death, silence, or
+    /// the shard budget expiring — comes back as a classified
+    /// [`AttemptError`] for the retry machinery.
+    pub fn run_shard(
+        &mut self,
+        spec: &ShardSpec,
+        shard_timeout: Option<Duration>,
+        silence: Option<Duration>,
+    ) -> Result<(usize, SpecRow), AttemptError> {
+        self.transport
+            .send_line(&wire::encode_command(&wire::Command::Shard(spec.clone())))
+            .map_err(|e| AttemptError::Failed(format!("writing shard to worker: {e}")))?;
+        let started = Instant::now();
+        let deadline = shard_timeout.map(|t| started + t);
+        let mut lines = DeadlineLines::new(self.transport.as_mut(), deadline, silence);
+        match wire::decode_reply(&mut lines) {
+            Ok(Reply::Result { id, chunk, row }) if id == spec.id => Ok((chunk, row)),
+            Ok(Reply::Result { id, .. }) => Err(AttemptError::Failed(format!(
+                "worker answered shard {id}, expected {}",
+                spec.id
+            ))),
+            Ok(Reply::Error { message, .. }) => {
+                Err(AttemptError::Failed(format!("worker reported: {message}")))
+            }
+            Err(WireError::Timeout { .. }) => {
+                if let Some(t) = shard_timeout {
+                    if started.elapsed() >= t {
+                        return Err(AttemptError::TimedOut(t));
+                    }
+                }
+                let waited = silence.unwrap_or(Duration::ZERO);
+                Err(AttemptError::Failed(format!(
+                    "worker went silent: no line (not even a heartbeat) within {}ms",
+                    waited.as_millis()
+                )))
+            }
+            Err(e) => Err(AttemptError::Failed(self.transport.describe_death(&e))),
+        }
+    }
+
+    /// Tear the session down hard (the worker is in an unknown state).
+    pub fn kill(mut self) {
+        self.transport.kill();
+    }
+
+    /// Close politely: send `done`, then let the transport wind down.
+    pub fn shutdown(mut self) {
+        let _ = self
+            .transport
+            .send_line(&wire::encode_command(&wire::Command::Done));
+        self.transport.finish();
+    }
+}
+
+/// Errors surfaced by the [`client_sweep`] streaming client.
+#[derive(Clone, Debug)]
+pub enum ClientError {
+    /// Connecting or speaking the protocol failed.
+    Wire(WireError),
+    /// The daemon rejected or aborted the sweep.
+    Service(String),
+    /// The stream ended without delivering every promised row.
+    Incomplete(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Wire(e) => write!(f, "{e}"),
+            ClientError::Service(m) => write!(f, "sweep service failed: {m}"),
+            ClientError::Incomplete(m) => write!(f, "incomplete stream: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> Self {
+        ClientError::Wire(e)
+    }
+}
+
+/// Submit a sweep to a `sweep serve` daemon at `addr` and reassemble the
+/// streamed rows into the canonical [`SpecExperiment`] shape.
+///
+/// `on_row` fires for every row as it arrives (in completion order, with
+/// its index in the request's benchmark order), so callers can render
+/// incrementally; the returned experiment has rows in request order and
+/// is byte-identical to the in-process run by the service's SLA.
+///
+/// # Errors
+///
+/// [`ClientError::Wire`] on connection/protocol failures,
+/// [`ClientError::Service`] when the daemon rejects or aborts the sweep,
+/// [`ClientError::Incomplete`] if the stream closes early.
+pub fn client_sweep<F: FnMut(usize, &SpecRow)>(
+    addr: &str,
+    request: &SweepRequest,
+    mut on_row: F,
+) -> Result<SpecExperiment, ClientError> {
+    let mut transport = TcpTransport::connect(addr, Some(Duration::from_secs(30)))?;
+    transport.send_line(wire::HANDSHAKE)?;
+    match transport.recv_line(None)? {
+        Some(line) => wire::check_handshake(&line)?,
+        None => {
+            return Err(ClientError::Incomplete(
+                "daemon closed the connection before the handshake".to_string(),
+            ))
+        }
+    }
+    for line in wire::encode_request(request) {
+        transport.send_line(&line)?;
+    }
+    let accepted = {
+        let Some(line) = transport.recv_line(None)? else {
+            return Err(ClientError::Incomplete(
+                "daemon closed the connection before accepting the request".to_string(),
+            ));
+        };
+        if line.starts_with("sfail\t") {
+            let lines = vec![line];
+            let mut src = wire::SliceLines::new(&lines);
+            match wire::decode_service_event(&mut src)? {
+                wire::ServiceEvent::Failed { message } => {
+                    return Err(ClientError::Service(message))
+                }
+                _ => unreachable!("sfail lines decode to Failed"),
+            }
+        }
+        wire::decode_accepted(&line)?
+    };
+    let mut rows: Vec<Option<SpecRow>> = vec![None; accepted];
+    let mut lines = DeadlineLines::new(&mut transport, None, None);
+    loop {
+        match wire::decode_service_event(&mut lines)? {
+            wire::ServiceEvent::Row { index, row } => {
+                if index >= accepted {
+                    return Err(ClientError::Incomplete(format!(
+                        "row index {index} out of range (accepted {accepted} rows)"
+                    )));
+                }
+                on_row(index, &row);
+                rows[index] = Some(row);
+            }
+            wire::ServiceEvent::Failed { message } => return Err(ClientError::Service(message)),
+            wire::ServiceEvent::Done { .. } => break,
+        }
+    }
+    let mut out = Vec::with_capacity(accepted);
+    for (index, row) in rows.into_iter().enumerate() {
+        match row {
+            Some(row) => out.push(row),
+            None => {
+                return Err(ClientError::Incomplete(format!(
+                    "daemon finished without streaming row {index}"
+                )))
+            }
+        }
+    }
+    Ok(SpecExperiment {
+        scale: request.scale,
+        rows: out,
+        sanitizers: request.backends.clone(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    #[test]
+    fn line_pump_times_out_then_delivers() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let writer = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().expect("accept");
+            std::thread::sleep(Duration::from_millis(120));
+            writeln!(stream, "late-line").expect("write");
+        });
+        let mut transport = TcpTransport::connect(&addr.to_string(), Some(Duration::from_secs(5)))
+            .expect("connect");
+        let err = transport
+            .recv_line(Some(Duration::from_millis(10)))
+            .expect_err("first read must time out");
+        assert!(matches!(err, WireError::Timeout { .. }), "{err}");
+        let line = transport
+            .recv_line(Some(Duration::from_secs(5)))
+            .expect("second read");
+        assert_eq!(line.as_deref(), Some("late-line"));
+        writer.join().expect("writer thread");
+    }
+
+    #[test]
+    fn establish_rejects_version_skew_with_a_diagnosable_message() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let imposter = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().expect("accept");
+            // A stale v2 worker: right greeting shape, wrong version.
+            writeln!(stream, "effective-san-sweep-wire 2").expect("write");
+            let mut sink = String::new();
+            let _ = BufReader::new(stream).read_line(&mut sink);
+        });
+        let transport = TcpTransport::connect(&addr.to_string(), Some(Duration::from_secs(5)))
+            .expect("connect");
+        let err = WorkerConn::establish(Box::new(transport), Some(Duration::from_secs(5)))
+            .err()
+            .expect("a v2 worker must be rejected");
+        assert!(err.contains("version 2"), "{err}");
+        assert!(err.contains(&wire::WIRE_VERSION.to_string()), "{err}");
+        imposter.join().expect("imposter thread");
+    }
+
+    #[test]
+    fn deadline_lines_skip_heartbeats_but_not_the_budget() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let chatterbox = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().expect("accept");
+            // Heartbeats forever, never a data line.
+            for seq in 0..200u64 {
+                if writeln!(stream, "{}", wire::encode_heartbeat(seq)).is_err() {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        });
+        let mut transport = TcpTransport::connect(&addr.to_string(), Some(Duration::from_secs(5)))
+            .expect("connect");
+        let deadline = Instant::now() + Duration::from_millis(100);
+        let mut lines =
+            DeadlineLines::new(&mut transport, Some(deadline), Some(Duration::from_secs(5)));
+        let started = Instant::now();
+        let err = lines.next_line().expect_err("budget must expire");
+        assert!(matches!(err, WireError::Timeout { .. }), "{err}");
+        assert!(
+            started.elapsed() >= Duration::from_millis(90),
+            "deadline fired early: {:?}",
+            started.elapsed()
+        );
+        drop(transport);
+        chatterbox.join().expect("chatterbox thread");
+    }
+}

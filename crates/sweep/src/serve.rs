@@ -1,0 +1,483 @@
+//! The `sweep serve` daemon: a long-running coordinator that accepts
+//! sweep requests from many concurrent clients over TCP and schedules
+//! their shards across a registered `sweep_worker --listen` fleet.
+//!
+//! Architecture: one fleet thread per worker address holds (and on
+//! failure re-establishes) a persistent [`WorkerConn`]; one client thread
+//! per accepted connection decodes a [`wire::SweepRequest`], plans its
+//! shards with the same [`crate::shard::plan_shards`] the in-process
+//! coordinator uses, and pushes them onto a **global** work queue all
+//! requests share.  Idle fleet threads pull from that queue
+//! (work-stealing), with **result affinity**: the first worker to run a
+//! chunk of a `(request, benchmark)` pair claims the pair, and its
+//! remaining chunks prefer that worker — stolen only when a thief has
+//! nothing else to do, which moves the claim wholesale.
+//!
+//! Rows stream back to each client incrementally: as soon as every chunk
+//! of one benchmark has arrived, the fragments are merged (the same
+//! [`crate::shard::merge_experiment`] path as in-process sharding) and
+//! the row goes out as an `srow` event tagged with its request-order
+//! index — the byte-identical-merge SLA, kept one row at a time.  A
+//! failed shard is re-queued under the request's `max_attempts` budget; a
+//! shard that exhausts it fails only its own request (`sfail`), never the
+//! daemon.  A dead or silent worker's connection is torn down and
+//! re-established by its fleet thread; a client that disconnects
+//! mid-stream has its request cancelled and its queued shards dropped.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::io::{BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::mpsc;
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+use effective_san::{Parallelism, SpecRow};
+use workloads::{Scale, SpecBenchmark};
+
+use crate::net::{AttemptError, TcpTransport, WorkerConn};
+use crate::shard::{merge_experiment, plan_shards, Shard};
+use crate::wire::{self, IoLines, LineSource, ServiceEvent, ShardSpec};
+
+/// Configuration of a [`serve_forever`] daemon.
+#[derive(Clone, Debug)]
+pub struct ServeOptions {
+    /// Address to accept client connections on (`host:port`; port `0`
+    /// binds an ephemeral port, printed in the `serving` line).
+    pub listen: String,
+    /// Worker fleet addresses (each a `sweep_worker --listen` process).
+    pub workers: Vec<String>,
+    /// Attempts per shard before its request fails.
+    pub max_attempts: usize,
+    /// Per-attempt budget for one shard (heartbeats do not extend it).
+    pub shard_timeout: Option<Duration>,
+    /// Per-read silence deadline on worker connections; heartbeats reset
+    /// it, so it catches dead peers, not slow shards.
+    pub silence_timeout: Option<Duration>,
+}
+
+impl ServeOptions {
+    /// Defaults for a daemon at `listen` over `workers`: 3 attempts per
+    /// shard, no shard budget, a 10s silence deadline (workers heartbeat
+    /// every [`crate::net::DEFAULT_HEARTBEAT_MS`]ms while busy, so only a
+    /// dead peer can go silent that long).
+    pub fn new(listen: String, workers: Vec<String>) -> ServeOptions {
+        ServeOptions {
+            listen,
+            workers,
+            max_attempts: 3,
+            shard_timeout: None,
+            silence_timeout: Some(Duration::from_secs(10)),
+        }
+    }
+}
+
+/// One schedulable unit on the global queue: a shard of one request.
+struct Job {
+    req_id: u64,
+    scale: Scale,
+    parallelism: Parallelism,
+    shard: Shard,
+    attempts: usize,
+}
+
+/// What a fleet thread reports back to a request's client thread.
+enum JobOutcome {
+    /// One chunk's fragment, ready for per-benchmark merging.
+    Fragment {
+        benchmark: String,
+        chunk: usize,
+        row: SpecRow,
+    },
+    /// A shard ran out of attempts; the whole request fails.
+    Exhausted { benchmark: String, message: String },
+}
+
+#[derive(Default)]
+struct Board {
+    queue: VecDeque<Job>,
+    /// `(req_id, benchmark)` → the worker slot that claimed the pair.
+    affinity: HashMap<(u64, String), usize>,
+    /// Live requests' result channels, keyed by request id.
+    requests: HashMap<u64, mpsc::Sender<JobOutcome>>,
+    /// Requests whose client vanished or whose sweep already failed:
+    /// their queued shards are dropped instead of run.
+    cancelled: HashSet<u64>,
+}
+
+/// The queue, its condvar, and the options every thread needs.
+struct Scheduler {
+    board: Mutex<Board>,
+    work_ready: Condvar,
+    options: ServeOptions,
+}
+
+impl Scheduler {
+    /// Pull the next job slot `slot` should run: first a job whose
+    /// `(request, benchmark)` this slot already claimed, then an
+    /// unclaimed one (claiming it), then — with nothing better to do —
+    /// steal a claimed pair wholesale.  Blocks until work arrives.
+    fn next_for(&self, slot: usize) -> Job {
+        let mut board = self.board.lock().expect("board lock");
+        loop {
+            while let Some(idx) = Self::pick(&board, slot) {
+                let job = board.queue.remove(idx).expect("picked index in range");
+                if board.cancelled.contains(&job.req_id) {
+                    continue;
+                }
+                board
+                    .affinity
+                    .insert((job.req_id, job.shard.benchmark.clone()), slot);
+                return job;
+            }
+            board = self
+                .work_ready
+                .wait_timeout(board, Duration::from_millis(200))
+                .expect("board lock")
+                .0;
+        }
+    }
+
+    fn pick(board: &Board, slot: usize) -> Option<usize> {
+        let claim = |job: &Job| {
+            board
+                .affinity
+                .get(&(job.req_id, job.shard.benchmark.clone()))
+                .copied()
+        };
+        board
+            .queue
+            .iter()
+            .position(|job| claim(job) == Some(slot))
+            .or_else(|| board.queue.iter().position(|job| claim(job).is_none()))
+            .or(if board.queue.is_empty() {
+                None
+            } else {
+                Some(0)
+            })
+    }
+
+    /// Deliver a job outcome to its request, if the request still exists.
+    fn deliver(&self, req_id: u64, outcome: JobOutcome) {
+        let board = self.board.lock().expect("board lock");
+        if let Some(tx) = board.requests.get(&req_id) {
+            // A dead receiver means the client thread is gone; its
+            // deregistration will cancel the request.
+            let _ = tx.send(outcome);
+        }
+    }
+
+    fn cancel(&self, req_id: u64) {
+        let mut board = self.board.lock().expect("board lock");
+        board.cancelled.insert(req_id);
+        board.requests.remove(&req_id);
+        board.queue.retain(|job| job.req_id != req_id);
+        board.affinity.retain(|(id, _), _| *id != req_id);
+    }
+
+    /// One fleet thread: own (and re-own) a connection to `addr`, run
+    /// pulled jobs on it, re-queue failures.
+    fn fleet_loop(&self, slot: usize, addr: &str) {
+        let mut conn: Option<WorkerConn> = None;
+        loop {
+            let mut job = self.next_for(slot);
+            let spec = ShardSpec {
+                id: job.shard.id,
+                chunk: job.shard.chunk,
+                scale: job.scale,
+                parallelism: job.parallelism,
+                benchmark: job.shard.benchmark.clone(),
+                backends: job.shard.backends.clone(),
+            };
+            let attempt = match &mut conn {
+                Some(live) => live.run_shard(
+                    &spec,
+                    self.options.shard_timeout,
+                    self.options.silence_timeout,
+                ),
+                None => match TcpTransport::connect(addr, Some(Duration::from_secs(10)))
+                    .map_err(|e| e.to_string())
+                    .and_then(|t| WorkerConn::establish(Box::new(t), self.options.silence_timeout))
+                {
+                    Ok(live) => conn.insert(live).run_shard(
+                        &spec,
+                        self.options.shard_timeout,
+                        self.options.silence_timeout,
+                    ),
+                    Err(e) => Err(AttemptError::Spawn(e)),
+                },
+            };
+            match attempt {
+                Ok((chunk, row)) => self.deliver(
+                    job.req_id,
+                    JobOutcome::Fragment {
+                        benchmark: job.shard.benchmark.clone(),
+                        chunk,
+                        row,
+                    },
+                ),
+                Err(failure) => {
+                    if let Some(dead) = conn.take() {
+                        dead.kill();
+                    }
+                    // Connect failures leave the shard's attempt budget
+                    // alone — the worker may just be restarting, and
+                    // another fleet thread can steal the job meanwhile.
+                    let burned = !matches!(failure, AttemptError::Spawn(_));
+                    if burned {
+                        job.attempts += 1;
+                    }
+                    if job.attempts >= self.options.max_attempts {
+                        self.deliver(
+                            job.req_id,
+                            JobOutcome::Exhausted {
+                                benchmark: job.shard.benchmark.clone(),
+                                message: failure.message(),
+                            },
+                        );
+                    } else {
+                        let mut board = self.board.lock().expect("board lock");
+                        // Shed the claim so any worker may take over.
+                        board
+                            .affinity
+                            .remove(&(job.req_id, job.shard.benchmark.clone()));
+                        board.queue.push_back(job);
+                        drop(board);
+                        self.work_ready.notify_all();
+                        if !burned {
+                            // Do not spin reconnect attempts hot.
+                            std::thread::sleep(Duration::from_millis(200));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// One client connection: handshake, decode the request, enqueue its
+    /// shards, merge and stream rows as benchmarks complete.
+    fn client_loop(&self, stream: TcpStream, req_id: u64) {
+        let mut write_half = match stream.try_clone() {
+            Ok(w) => w,
+            Err(_) => return,
+        };
+        let mut send = |lines: &[String]| -> bool {
+            for line in lines {
+                if writeln!(write_half, "{line}").is_err() {
+                    return false;
+                }
+            }
+            write_half.flush().is_ok()
+        };
+        let mut lines = IoLines::new(BufReader::new(stream));
+        if !send(&[wire::HANDSHAKE.to_string()]) {
+            return;
+        }
+        match lines.next_line() {
+            Ok(Some(line)) if line == wire::HANDSHAKE => {}
+            _ => return, // wrong version or vanished client: nothing to salvage
+        }
+        let request = match wire::decode_request(&mut lines) {
+            Ok(Some(request)) => request,
+            Ok(None) => return,
+            Err(e) => {
+                send(&wire::encode_service_event(&ServiceEvent::Failed {
+                    message: e.to_string(),
+                }));
+                return;
+            }
+        };
+        if let Err(message) = validate(&request) {
+            send(&wire::encode_service_event(&ServiceEvent::Failed {
+                message,
+            }));
+            return;
+        }
+
+        let shards = plan_shards(
+            &request.benchmarks,
+            &request.backends,
+            self.options.workers.len(),
+        );
+        let chunks_per_bench = shards
+            .iter()
+            .filter(|s| s.benchmark == request.benchmarks[0])
+            .count()
+            .max(1);
+        let total_jobs = shards.len();
+        let (tx, rx) = mpsc::channel();
+        {
+            let mut board = self.board.lock().expect("board lock");
+            board.requests.insert(req_id, tx);
+            for shard in shards {
+                board.queue.push_back(Job {
+                    req_id,
+                    scale: request.scale,
+                    parallelism: request.parallelism,
+                    shard,
+                    attempts: 0,
+                });
+            }
+        }
+        self.work_ready.notify_all();
+        if !send(&[wire::encode_accepted(request.benchmarks.len())]) {
+            self.cancel(req_id);
+            return;
+        }
+
+        let index_of: HashMap<&str, usize> = request
+            .benchmarks
+            .iter()
+            .enumerate()
+            .map(|(i, name)| (name.as_str(), i))
+            .collect();
+        let mut fragments: HashMap<String, Vec<(usize, SpecRow)>> = HashMap::new();
+        let mut outcome = Ok(());
+        for _ in 0..total_jobs {
+            let (benchmark, chunk, row) = match rx.recv() {
+                Ok(JobOutcome::Fragment {
+                    benchmark,
+                    chunk,
+                    row,
+                }) => (benchmark, chunk, row),
+                Ok(JobOutcome::Exhausted { benchmark, message }) => {
+                    outcome = Err(format!(
+                        "shard of benchmark `{benchmark}` failed after {} attempts: {message}",
+                        self.options.max_attempts
+                    ));
+                    break;
+                }
+                // Every sender is gone with fragments still owed: the
+                // daemon is shutting down.
+                Err(_) => {
+                    outcome = Err("sweep service shut down mid-request".to_string());
+                    break;
+                }
+            };
+            let parts = fragments.entry(benchmark.clone()).or_default();
+            parts.push((chunk, row));
+            if parts.len() < chunks_per_bench {
+                continue;
+            }
+            // Merge this benchmark's chunks through the same path the
+            // in-process coordinator uses, then stream the row out.
+            let parts = fragments.remove(&benchmark).expect("entry just filled");
+            let merged = merge_experiment(
+                request.scale,
+                std::slice::from_ref(&benchmark),
+                &request.backends,
+                parts
+                    .into_iter()
+                    .map(|(chunk, row)| (benchmark.clone(), chunk, row))
+                    .collect(),
+            );
+            let row = match merged.map(|mut e| e.rows.pop()) {
+                Ok(Some(row)) => row,
+                Ok(None) | Err(_) => {
+                    outcome = Err(format!(
+                        "merging benchmark `{benchmark}` failed: worker fragments disagree"
+                    ));
+                    break;
+                }
+            };
+            let index = index_of[benchmark.as_str()];
+            if !send(&wire::encode_service_event(&ServiceEvent::Row {
+                index,
+                row,
+            })) {
+                // Client hung up mid-stream: stop feeding it.
+                self.cancel(req_id);
+                return;
+            }
+        }
+        match outcome {
+            Ok(()) => {
+                send(&wire::encode_service_event(&ServiceEvent::Done {
+                    rows: request.benchmarks.len(),
+                }));
+            }
+            Err(message) => {
+                send(&wire::encode_service_event(&ServiceEvent::Failed {
+                    message,
+                }));
+            }
+        }
+        self.cancel(req_id);
+    }
+}
+
+/// Reject a request the scheduler could never complete, before accepting
+/// it: unknown benchmarks, an empty benchmark list, no backends.
+fn validate(request: &wire::SweepRequest) -> Result<(), String> {
+    if request.benchmarks.is_empty() {
+        return Err("request names no benchmarks".to_string());
+    }
+    if request.backends.is_empty() {
+        return Err("request names no backends".to_string());
+    }
+    for name in &request.benchmarks {
+        if SpecBenchmark::by_name(name).is_none() {
+            return Err(format!(
+                "unknown SPEC-like benchmark `{name}` (known: {})",
+                SpecBenchmark::names().join(", ")
+            ));
+        }
+    }
+    let mut seen = HashSet::new();
+    for name in &request.benchmarks {
+        if !seen.insert(name.as_str()) {
+            return Err(format!("benchmark `{name}` requested twice"));
+        }
+    }
+    Ok(())
+}
+
+/// Run the sweep service: bind `options.listen`, print `serving <addr>`
+/// (resolved port included) to stdout, spawn the worker fleet threads,
+/// and accept client connections until the process dies.
+///
+/// # Errors
+///
+/// [`crate::SweepError::Config`] when the options are unusable (empty
+/// fleet) or the listen address cannot be bound; once serving, per-request
+/// failures go to their clients as `sfail` events and never tear the
+/// daemon down.
+pub fn serve_forever(options: ServeOptions) -> Result<(), crate::SweepError> {
+    if options.workers.is_empty() {
+        return Err(crate::SweepError::Config {
+            message: "sweep serve needs at least one worker address".to_string(),
+        });
+    }
+    let listener = TcpListener::bind(&options.listen).map_err(|e| crate::SweepError::Config {
+        message: format!("cannot listen on {}: {e}", options.listen),
+    })?;
+    match listener.local_addr() {
+        Ok(local) => println!("serving {local}"),
+        Err(_) => println!("serving {}", options.listen),
+    }
+    let _ = std::io::stdout().flush();
+
+    let scheduler = Scheduler {
+        board: Mutex::new(Board::default()),
+        work_ready: Condvar::new(),
+        options,
+    };
+    std::thread::scope(|scope| {
+        for (slot, addr) in scheduler.options.workers.iter().enumerate() {
+            let scheduler = &scheduler;
+            scope.spawn(move || scheduler.fleet_loop(slot, addr));
+        }
+        let mut next_req_id = 0u64;
+        for stream in listener.incoming() {
+            match stream {
+                Ok(stream) => {
+                    let req_id = next_req_id;
+                    next_req_id += 1;
+                    let scheduler = &scheduler;
+                    scope.spawn(move || scheduler.client_loop(stream, req_id));
+                }
+                Err(e) => eprintln!("sweep serve: accept failed: {e}"),
+            }
+        }
+    });
+    Ok(())
+}

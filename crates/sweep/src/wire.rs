@@ -35,11 +35,34 @@ use workloads::Scale;
 
 /// Version of the wire format; bumped on any incompatible change.
 /// Version 3 widened the `exec` line with the tiered-execution counters
-/// (`tier_promotions`, `fast_calls`).
-pub const WIRE_VERSION: u32 = 3;
+/// (`tier_promotions`, `fast_calls`).  Version 4 added the networked
+/// sweep-service frames: the `hello` capability line workers send after
+/// the handshake, `hb` heartbeats, client `request` blocks, and the
+/// streamed `accepted`/`srow`/`sdone`/`sfail` service replies.
+pub const WIRE_VERSION: u32 = 4;
 
 /// The handshake line both sides send before anything else.
-pub const HANDSHAKE: &str = "effective-san-sweep-wire 3";
+pub const HANDSHAKE: &str = "effective-san-sweep-wire 4";
+
+/// Parse the version number out of a handshake line, if the line is a
+/// handshake at all (`effective-san-sweep-wire <n>`).
+pub fn handshake_version(line: &str) -> Option<u32> {
+    line.strip_prefix("effective-san-sweep-wire ")?.parse().ok()
+}
+
+/// Accept a peer's handshake line, rejecting version skew (and
+/// non-handshake garbage) with a [`WireError::Version`] whose rendering
+/// names both versions — so "a v2 worker connected" is diagnosable from
+/// the error alone.
+pub fn check_handshake(line: &str) -> Result<(), WireError> {
+    if line == HANDSHAKE {
+        Ok(())
+    } else {
+        Err(WireError::Version {
+            got: line.to_string(),
+        })
+    }
+}
 
 /// Errors produced while decoding the wire format.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -75,6 +98,12 @@ pub enum WireError {
         /// The rendered I/O error.
         message: String,
     },
+    /// No line arrived within a read deadline (the peer is silent, not
+    /// demonstrably dead — the retry machinery treats both the same way).
+    Timeout {
+        /// How long the reader waited, in milliseconds.
+        waited_ms: u64,
+    },
 }
 
 impl fmt::Display for WireError {
@@ -84,7 +113,15 @@ impl fmt::Display for WireError {
                 write!(
                     f,
                     "wire-format handshake mismatch: expected `{HANDSHAKE}`, got `{got}`"
-                )
+                )?;
+                if let Some(peer) = handshake_version(got) {
+                    write!(
+                        f,
+                        " — the peer speaks wire version {peer}, this build requires \
+                         version {WIRE_VERSION}; upgrade the older side"
+                    )?;
+                }
+                Ok(())
             }
             WireError::UnexpectedEof { expected } => {
                 write!(f, "unexpected end of stream while expecting {expected}")
@@ -98,6 +135,9 @@ impl fmt::Display for WireError {
                 reason,
             } => write!(f, "bad field `{field}` value `{value}`: {reason}"),
             WireError::Io { message } => write!(f, "wire read failed: {message}"),
+            WireError::Timeout { waited_ms } => {
+                write!(f, "no protocol line arrived within {waited_ms}ms")
+            }
         }
     }
 }
@@ -492,6 +532,195 @@ pub fn decode_reply<S: LineSource>(src: &mut S) -> Result<Reply, WireError> {
         });
     }
     Ok(Reply::Result { id, chunk, row })
+}
+
+/// A worker's capability advertisement, sent right after the handshake
+/// (wire v4): what the coordinator may schedule onto it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Hello {
+    /// Number of CPU cores the worker can fan backends out across.
+    pub cores: usize,
+    /// The sanitizer backends this worker's registry can build.
+    pub backends: Vec<SanitizerKind>,
+}
+
+/// Encode a [`Hello`] as one protocol line.
+pub fn encode_hello(hello: &Hello) -> String {
+    let backends: Vec<&str> = hello.backends.iter().map(|k| k.name()).collect();
+    format!("hello\t{}\t{}", hello.cores, backends.join(","))
+}
+
+/// Decode an [`encode_hello`] line.
+pub fn decode_hello(line: &str) -> Result<Hello, WireError> {
+    let f = split_fields(line, "hello", 2)?;
+    let mut backends = Vec::new();
+    for name in f[1].split(',').filter(|s| !s.is_empty()) {
+        backends.push(
+            name.parse::<SanitizerKind>()
+                .map_err(|e| WireError::Field {
+                    field: "hello-backends",
+                    value: name.to_string(),
+                    reason: e.to_string(),
+                })?,
+        );
+    }
+    Ok(Hello {
+        cores: parse_num("hello-cores", f[0])?,
+        backends,
+    })
+}
+
+/// Encode a heartbeat line.  Workers emit these on a timer while a shard
+/// is executing so a coordinator deadline can tell "slow" from "dead";
+/// decoders skip them wherever they appear between protocol lines.
+pub fn encode_heartbeat(seq: u64) -> String {
+    format!("hb\t{seq}")
+}
+
+/// Whether a line is a heartbeat (and should be skipped by decoders).
+pub fn is_heartbeat(line: &str) -> bool {
+    line == "hb" || line.starts_with("hb\t")
+}
+
+/// A client's sweep request to the `sweep serve` daemon: the same
+/// parameters `sharded_spec_experiment` takes in-process.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SweepRequest {
+    /// Workload scale to run at.
+    pub scale: Scale,
+    /// In-worker threading mode for the backend fan-out.
+    pub parallelism: Parallelism,
+    /// The benchmarks to run, in row order.
+    pub benchmarks: Vec<String>,
+    /// The backends to run each benchmark under, in report order.
+    pub backends: Vec<SanitizerKind>,
+}
+
+/// Encode a [`SweepRequest`] as a header line plus one escaped `bench`
+/// line per benchmark (names may contain arbitrary bytes; commas inside
+/// a name must not split the list).
+pub fn encode_request(request: &SweepRequest) -> Vec<String> {
+    let backends: Vec<&str> = request.backends.iter().map(|k| k.name()).collect();
+    let mut out = vec![format!(
+        "request\t{}\t{}\t{}\t{}",
+        scale_name(request.scale),
+        parallelism_name(request.parallelism),
+        request.benchmarks.len(),
+        backends.join(",")
+    )];
+    for benchmark in &request.benchmarks {
+        out.push(format!("bench\t{}", escape(benchmark)));
+    }
+    out
+}
+
+/// Decode an [`encode_request`] block; `None` at end of stream (a client
+/// that connects and leaves without asking for anything).
+pub fn decode_request<S: LineSource>(src: &mut S) -> Result<Option<SweepRequest>, WireError> {
+    let Some(line) = src.next_line()? else {
+        return Ok(None);
+    };
+    let f = split_fields(&line, "request", 4)?;
+    let scale = parse_scale(f[0])?;
+    let parallelism = f[1]
+        .parse()
+        .map_err(|e: effective_san::ParseParallelismError| WireError::Field {
+            field: "parallelism",
+            value: f[1].to_string(),
+            reason: e.to_string(),
+        })?;
+    let n_bench: usize = parse_num("benchmark-count", f[2])?;
+    let mut backends = Vec::new();
+    for name in f[3].split(',').filter(|s| !s.is_empty()) {
+        backends.push(
+            name.parse::<SanitizerKind>()
+                .map_err(|e| WireError::Field {
+                    field: "backends",
+                    value: name.to_string(),
+                    reason: e.to_string(),
+                })?,
+        );
+    }
+    let mut benchmarks = Vec::with_capacity(n_bench.min(1024));
+    for _ in 0..n_bench {
+        let line = next_required(src, "a `bench` line")?;
+        let f = split_fields(&line, "bench", 1)?;
+        benchmarks.push(unescape(f[0])?);
+    }
+    Ok(Some(SweepRequest {
+        scale,
+        parallelism,
+        benchmarks,
+        backends,
+    }))
+}
+
+/// Encode the daemon's request acknowledgement: how many rows the client
+/// should expect to be streamed.
+pub fn encode_accepted(rows: usize) -> String {
+    format!("accepted\t{rows}")
+}
+
+/// Decode an [`encode_accepted`] line.
+pub fn decode_accepted(line: &str) -> Result<usize, WireError> {
+    let f = split_fields(line, "accepted", 1)?;
+    parse_num("row-count", f[0])
+}
+
+/// One daemon → client message after a request was accepted: merged rows
+/// stream back as they complete, closed by `Done` or `Failed`.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ServiceEvent {
+    /// One fully merged benchmark row, tagged with its index in the
+    /// request's benchmark order (rows complete out of order).
+    Row {
+        /// Index into the request's benchmark list.
+        index: usize,
+        /// The merged row (reports in requested backend order).
+        row: SpecRow,
+    },
+    /// The sweep completed; every row was streamed.
+    Done {
+        /// How many rows were streamed in total.
+        rows: usize,
+    },
+    /// The sweep failed; no further rows will arrive.
+    Failed {
+        /// The rendered failure.
+        message: String,
+    },
+}
+
+/// Encode a [`ServiceEvent`] as protocol lines.
+pub fn encode_service_event(event: &ServiceEvent) -> Vec<String> {
+    match event {
+        ServiceEvent::Done { rows } => vec![format!("sdone\t{rows}")],
+        ServiceEvent::Failed { message } => vec![format!("sfail\t{}", escape(message))],
+        ServiceEvent::Row { index, row } => {
+            let mut out = vec![format!("srow\t{index}")];
+            encode_spec_row(row, &mut out);
+            out
+        }
+    }
+}
+
+/// Decode the next [`ServiceEvent`].
+pub fn decode_service_event<S: LineSource>(src: &mut S) -> Result<ServiceEvent, WireError> {
+    let line = next_required(src, "an `srow`, `sdone` or `sfail` event")?;
+    if let Ok(f) = split_fields(&line, "sdone", 1) {
+        return Ok(ServiceEvent::Done {
+            rows: parse_num("row-count", f[0])?,
+        });
+    }
+    if let Ok(f) = split_fields(&line, "sfail", 1) {
+        return Ok(ServiceEvent::Failed {
+            message: unescape(f[0])?,
+        });
+    }
+    let f = split_fields(&line, "srow", 1)?;
+    let index: usize = parse_num("row-index", f[0])?;
+    let row = decode_spec_row(src)?;
+    Ok(ServiceEvent::Row { index, row })
 }
 
 /// Append the encoding of a [`SpecRow`] (header line, then one report

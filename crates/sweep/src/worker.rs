@@ -12,11 +12,17 @@
 //! determinism contract — bit-identical to the ones the coordinator would
 //! have produced itself.
 
-use std::io::{BufRead, Write};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 use effective_san::spec_experiment;
+use san_api::SanitizerKind;
 
-use crate::wire::{self, Command, IoLines, LineSource, Reply, ShardSpec};
+use crate::net::heartbeat_interval;
+use crate::wire::{self, Command, Hello, IoLines, LineSource, Reply, ShardSpec};
 
 /// Name of the environment variable that switches a cooperating binary
 /// into worker mode (checked by the `sweep` CLI before argument parsing).
@@ -32,6 +38,17 @@ pub const CRASH_BENCH_ENV: &str = "SWEEP_TEST_CRASH_BENCH";
 /// Companion to [`CRASH_BENCH_ENV`]: flag-file path making the crash fire
 /// once instead of on every attempt.
 pub const CRASH_ONCE_PATH_ENV: &str = "SWEEP_TEST_CRASH_ONCE_PATH";
+
+/// Test hook: when set to a benchmark name, the worker hangs forever
+/// (sleeping, without writing anything) instead of running a shard of
+/// that benchmark — the shape of a wedged worker, distinguishable from a
+/// crash only by the coordinator's deadlines.  Combine with
+/// [`HANG_ONCE_PATH_ENV`] for a transient hang.
+pub const HANG_BENCH_ENV: &str = "SWEEP_TEST_HANG_BENCH";
+
+/// Companion to [`HANG_BENCH_ENV`]: flag-file path making the hang fire
+/// once instead of on every attempt.
+pub const HANG_ONCE_PATH_ENV: &str = "SWEEP_TEST_HANG_ONCE_PATH";
 
 /// Exit code used by the crash test hook (distinct from panics and clean
 /// protocol exits, so tests can assert the failure mode they injected).
@@ -56,8 +73,38 @@ fn maybe_crash(spec: &ShardSpec) {
     }
 }
 
+fn maybe_hang(spec: &ShardSpec) {
+    let Ok(bench) = std::env::var(HANG_BENCH_ENV) else {
+        return;
+    };
+    if bench != spec.benchmark {
+        return;
+    }
+    if let Ok(path) = std::env::var(HANG_ONCE_PATH_ENV) {
+        if std::path::Path::new(&path).exists() {
+            return;
+        }
+        let _ = std::fs::write(&path, b"hung");
+    }
+    // Wedge while holding the shard: the coordinator's shard/silence
+    // deadline has to notice — nothing else will, because the process is
+    // alive and (in TCP mode) still heartbeating.
+    loop {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+/// The capability advertisement this worker sends after the handshake.
+fn hello() -> Hello {
+    Hello {
+        cores: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        backends: SanitizerKind::ALL.to_vec(),
+    }
+}
+
 fn run_shard(spec: &ShardSpec) -> Reply {
     maybe_crash(spec);
+    maybe_hang(spec);
     // `spec_experiment` panics on unknown benchmarks / compile failures;
     // catching the panic turns it into a structured `error` reply the
     // coordinator can surface instead of a bare nonzero exit.
@@ -102,6 +149,7 @@ fn run_shard(spec: &ShardSpec) -> Reply {
 pub fn serve<R: BufRead, W: Write>(input: R, mut output: W) -> i32 {
     let mut lines = IoLines::new(input);
     if writeln!(output, "{}", wire::HANDSHAKE)
+        .and_then(|()| writeln!(output, "{}", wire::encode_hello(&hello())))
         .and_then(|()| output.flush())
         .is_err()
     {
@@ -158,6 +206,142 @@ pub fn run_stdio() -> i32 {
     serve(stdin.lock(), stdout.lock())
 }
 
+/// Write a block of protocol lines atomically (one lock, one flush) so a
+/// concurrent heartbeat can interleave between blocks but never inside
+/// one.
+fn send_block(writer: &Mutex<TcpStream>, lines: &[String]) -> bool {
+    let mut stream = writer.lock().expect("worker writer lock");
+    for line in lines {
+        if writeln!(stream, "{line}").is_err() {
+            return false;
+        }
+    }
+    stream.flush().is_ok()
+}
+
+/// Serve one coordinator connection over TCP: the same protocol as
+/// [`serve`], plus periodic heartbeats (cadence from
+/// [`crate::net::HEARTBEAT_ENV`]) emitted while a shard is executing so
+/// the peer's silence deadline can tell a slow shard from a dead worker.
+pub fn serve_tcp(stream: TcpStream) -> i32 {
+    let Ok(write_half) = stream.try_clone() else {
+        return 2;
+    };
+    let writer = Arc::new(Mutex::new(write_half));
+    let mut lines = IoLines::new(BufReader::new(stream));
+    if !send_block(
+        &writer,
+        &[wire::HANDSHAKE.to_string(), wire::encode_hello(&hello())],
+    ) {
+        return 2;
+    }
+    match lines.next_line() {
+        Ok(Some(line)) if line == wire::HANDSHAKE => {}
+        Ok(other) => {
+            eprintln!(
+                "sweep_worker: {}",
+                wire::WireError::Version {
+                    got: other.unwrap_or_else(|| "<eof>".to_string()),
+                }
+            );
+            return 2;
+        }
+        Err(e) => {
+            eprintln!("sweep_worker: {e}");
+            return 2;
+        }
+    }
+
+    // Heartbeat thread: ticks fast, beats at the configured cadence, and
+    // only while a shard is actually in flight (`active`).
+    let running = Arc::new(AtomicBool::new(true));
+    let active = Arc::new(AtomicBool::new(false));
+    let beat = {
+        let writer = Arc::clone(&writer);
+        let running = Arc::clone(&running);
+        let active = Arc::clone(&active);
+        std::thread::spawn(move || {
+            let interval = heartbeat_interval();
+            let mut seq = 0u64;
+            let mut last = Instant::now() - interval;
+            while running.load(Ordering::SeqCst) {
+                if active.load(Ordering::SeqCst) && last.elapsed() >= interval {
+                    if !send_block(&writer, &[wire::encode_heartbeat(seq)]) {
+                        break;
+                    }
+                    seq += 1;
+                    last = Instant::now();
+                }
+                std::thread::sleep(interval.min(Duration::from_millis(25)));
+            }
+        })
+    };
+    let finish = |code: i32| {
+        running.store(false, Ordering::SeqCst);
+        code
+    };
+
+    let code = loop {
+        let command = match wire::decode_command(&mut lines) {
+            Ok(Some(command)) => command,
+            // A vanished coordinator reads as end-of-stream: exit cleanly
+            // (the listener will accept its replacement).
+            Ok(None) => break finish(0),
+            Err(e) => {
+                eprintln!("sweep_worker: {e}");
+                break finish(2);
+            }
+        };
+        match command {
+            Command::Done => break finish(0),
+            Command::Shard(spec) => {
+                active.store(true, Ordering::SeqCst);
+                let reply = run_shard(&spec);
+                active.store(false, Ordering::SeqCst);
+                if !send_block(&writer, &wire::encode_reply(&reply)) {
+                    break finish(2);
+                }
+            }
+        }
+    };
+    let _ = beat.join();
+    code
+}
+
+/// Bind `addr` and serve coordinator connections, forever: the body of
+/// `sweep_worker --listen <addr>`.  Prints `listening <addr>` (with the
+/// resolved port, so `--listen 127.0.0.1:0` is scriptable) to stdout once
+/// ready.  Returns only on a bind failure.
+///
+/// Connections are served concurrently (one thread each): a daemon keeps
+/// its worker connections open while idle, and serially accepting would
+/// leave any second coordinator stuck in the backlog behind it.  Every
+/// shard runs in its own isolated simulated address space, so concurrent
+/// peers never affect each other's bytes.
+pub fn run_listener(addr: &str) -> i32 {
+    let listener = match TcpListener::bind(addr) {
+        Ok(listener) => listener,
+        Err(e) => {
+            eprintln!("sweep_worker: cannot listen on {addr}: {e}");
+            return 2;
+        }
+    };
+    match listener.local_addr() {
+        Ok(local) => println!("listening {local}"),
+        Err(_) => println!("listening {addr}"),
+    }
+    let _ = std::io::stdout().flush();
+    for stream in listener.incoming() {
+        match stream {
+            Ok(stream) => {
+                std::thread::spawn(move || serve_tcp(stream));
+            }
+            Err(e) => eprintln!("sweep_worker: accept failed: {e}"),
+        }
+    }
+    0
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -189,7 +373,10 @@ mod tests {
         let text = String::from_utf8(output).unwrap();
         let lines: Vec<String> = text.lines().map(|l| l.to_string()).collect();
         assert_eq!(lines[0], wire::HANDSHAKE);
-        let mut src = SliceLines::new(&lines[1..]);
+        let advertised = wire::decode_hello(&lines[1]).expect("hello after handshake");
+        assert_eq!(advertised.backends, SanitizerKind::ALL.to_vec());
+        assert!(advertised.cores >= 1);
+        let mut src = SliceLines::new(&lines[2..]);
         match wire::decode_reply(&mut src).unwrap() {
             Reply::Result { id, chunk, row } => {
                 assert_eq!((id, chunk), (0, 0));
@@ -221,7 +408,7 @@ mod tests {
         assert_eq!(serve(input.as_bytes(), &mut output), 0);
         let text = String::from_utf8(output).unwrap();
         let lines: Vec<String> = text.lines().map(|l| l.to_string()).collect();
-        let mut src = SliceLines::new(&lines[1..]);
+        let mut src = SliceLines::new(&lines[2..]);
         match wire::decode_reply(&mut src).unwrap() {
             Reply::Error { id, message } => {
                 assert_eq!(id, 4);

@@ -18,11 +18,12 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use effective_runtime::{Bounds, ErrorKind, ErrorStats};
-use effective_san::{RunReport, SpecRow};
+use effective_san::{Parallelism, RunReport, SpecRow};
 use proptest::prelude::*;
 use san_api::{Diagnostic, SanStats, SanitizerKind};
-use sweep::wire::{self, SliceLines};
+use sweep::wire::{self, Hello, ServiceEvent, SliceLines, SweepRequest, WireError};
 use vm::ExecStats;
+use workloads::Scale;
 
 /// Characters chosen to stress the escaping layer: protocol delimiters,
 /// escape introducers, option markers, and multi-byte code points.
@@ -175,6 +176,50 @@ fn spec_row_strategy() -> impl Strategy<Value = SpecRow> {
         )
 }
 
+fn backends_strategy() -> impl Strategy<Value = Vec<SanitizerKind>> {
+    prop::collection::vec(0u64..SanitizerKind::ALL.len() as u64, 0..6).prop_map(|idx| {
+        idx.into_iter()
+            .map(|i| SanitizerKind::ALL[i as usize])
+            .collect()
+    })
+}
+
+fn request_strategy() -> impl Strategy<Value = SweepRequest> {
+    (
+        prop_oneof![
+            Just(Scale::Test),
+            Just(Scale::Small),
+            Just(Scale::Reference)
+        ],
+        any::<bool>(),
+        prop::collection::vec(string_strategy(), 0..5),
+        backends_strategy(),
+    )
+        .prop_map(|(scale, parallel, benchmarks, backends)| SweepRequest {
+            scale,
+            parallelism: if parallel {
+                Parallelism::Parallel
+            } else {
+                Parallelism::Sequential
+            },
+            benchmarks,
+            backends,
+        })
+}
+
+fn service_event_strategy() -> impl Strategy<Value = ServiceEvent> {
+    prop_oneof![
+        (any::<u64>(), spec_row_strategy()).prop_map(|(index, row)| ServiceEvent::Row {
+            index: (index % (usize::MAX as u64)) as usize,
+            row,
+        }),
+        any::<u64>().prop_map(|rows| ServiceEvent::Done {
+            rows: (rows % (usize::MAX as u64)) as usize,
+        }),
+        string_strategy().prop_map(|message| ServiceEvent::Failed { message }),
+    ]
+}
+
 proptest! {
     /// `SanStats` round-trips exactly, including `u64::MAX` counters.
     #[test]
@@ -222,6 +267,126 @@ proptest! {
         wire::encode_spec_row(&decoded, &mut again);
         prop_assert_eq!(again, lines);
         prop_assert_eq!(decoded.reports.len(), row.reports.len());
+    }
+
+    /// Worker `hello` frames round-trip for any core count and any subset
+    /// of registered backends (order preserved, duplicates allowed).
+    #[test]
+    fn hello_round_trip(cores in any::<u64>(), backends in backends_strategy()) {
+        let hello = Hello {
+            cores: (cores % (usize::MAX as u64)) as usize,
+            backends,
+        };
+        let line = wire::encode_hello(&hello);
+        let decoded = wire::decode_hello(&line).expect("decode");
+        prop_assert_eq!(&decoded, &hello);
+        prop_assert_eq!(wire::encode_hello(&decoded), line);
+    }
+
+    /// Every heartbeat is recognised as one, for any sequence number —
+    /// and no other v4 frame is ever mistaken for a heartbeat.
+    #[test]
+    fn heartbeats_are_recognised_and_unambiguous(seq in any::<u64>(), s in string_strategy()) {
+        prop_assert!(wire::is_heartbeat(&wire::encode_heartbeat(seq)));
+        for frame in [
+            wire::encode_accepted(seq as usize % 1000),
+            format!("sfail\t{}", s),
+            wire::encode_hello(&Hello { cores: 1, backends: Vec::new() }),
+        ] {
+            prop_assert!(!wire::is_heartbeat(&frame), "misread as heartbeat: {}", frame);
+        }
+    }
+
+    /// Client `request` blocks round-trip under hostile benchmark names
+    /// (tabs, newlines, commas-adjacent code points, non-ASCII) and any
+    /// scale / parallelism / backend-list combination.
+    #[test]
+    fn request_round_trip(request in request_strategy()) {
+        let lines = wire::encode_request(&request);
+        let mut src = SliceLines::new(&lines);
+        let decoded = wire::decode_request(&mut src)
+            .expect("decode")
+            .expect("a request block is present, not end-of-stream");
+        prop_assert_eq!(&decoded, &request);
+        prop_assert_eq!(wire::encode_request(&decoded), lines);
+    }
+
+    /// `accepted` acknowledgements round-trip for any row count.
+    #[test]
+    fn accepted_round_trip(rows in any::<u64>()) {
+        let rows = (rows % (usize::MAX as u64)) as usize;
+        let line = wire::encode_accepted(rows);
+        prop_assert_eq!(wire::decode_accepted(&line).expect("decode"), rows);
+    }
+
+    /// Streamed service events — `srow` blocks carrying full `SpecRow`s,
+    /// `sdone`, and `sfail` with hostile messages — re-encode to
+    /// byte-identical lines after a decode (bit-identity covers the NaN
+    /// `f64`s struct equality cannot).
+    #[test]
+    fn service_event_round_trip(event in service_event_strategy()) {
+        let lines = wire::encode_service_event(&event);
+        let mut src = SliceLines::new(&lines);
+        let decoded = wire::decode_service_event(&mut src).expect("decode");
+        prop_assert_eq!(wire::encode_service_event(&decoded), lines);
+    }
+
+    /// Any handshake line that is not *exactly* this build's produces a
+    /// clean `WireError::Version` (never a panic), and when the peer's
+    /// line parses as a different version the rendered error names both
+    /// version numbers so the skew is diagnosable from the message alone.
+    #[test]
+    fn version_skew_is_rejected_diagnosably(version in any::<u32>(), junk in string_strategy()) {
+        let line = if version == wire::WIRE_VERSION {
+            format!("effective-san-sweep-wire {}", u64::from(version) + 1)
+        } else {
+            format!("effective-san-sweep-wire {version}")
+        };
+        let err = wire::check_handshake(&line).expect_err("skewed handshake must be rejected");
+        let is_version = matches!(err, WireError::Version { .. });
+        prop_assert!(is_version, "expected WireError::Version, got {}", err);
+        let rendered = err.to_string();
+        prop_assert!(
+            rendered.contains(&format!("{}", wire::WIRE_VERSION)),
+            "error must name this build's version: {}", rendered
+        );
+        let peer = wire::handshake_version(&line).expect("peer line carries a version");
+        prop_assert!(
+            rendered.contains(&format!("wire version {peer}")),
+            "error must name the peer's version: {}", rendered
+        );
+        // Arbitrary garbage (no version at all) is also a clean rejection.
+        if junk != wire::HANDSHAKE {
+            let err = wire::check_handshake(&junk).expect_err("garbage handshake");
+            let is_version = matches!(err, WireError::Version { .. });
+            prop_assert!(is_version, "expected WireError::Version, got {}", err);
+        }
+    }
+
+    /// Truncating a multi-line frame — a `request` block or an `srow`
+    /// block — at *any* interior point yields a loud `WireError`
+    /// (`UnexpectedEof` once the header has committed to more lines),
+    /// never a panic and never a silently short decode.
+    #[test]
+    fn truncated_frames_fail_loudly(request in request_strategy(), row in spec_row_strategy()) {
+        let lines = wire::encode_request(&request);
+        for keep in 1..lines.len() {
+            let mut src = SliceLines::new(&lines[..keep]);
+            let err = wire::decode_request(&mut src)
+                .expect_err("a truncated request block must not decode");
+            let is_eof = matches!(err, WireError::UnexpectedEof { .. });
+            prop_assert!(is_eof, "expected WireError::UnexpectedEof, got {}", err);
+        }
+
+        let event = ServiceEvent::Row { index: 0, row };
+        let lines = wire::encode_service_event(&event);
+        for keep in 1..lines.len() {
+            let mut src = SliceLines::new(&lines[..keep]);
+            let err = wire::decode_service_event(&mut src)
+                .expect_err("a truncated srow block must not decode");
+            let is_eof = matches!(err, WireError::UnexpectedEof { .. });
+            prop_assert!(is_eof, "expected WireError::UnexpectedEof, got {}", err);
+        }
     }
 }
 

@@ -16,11 +16,12 @@
 //! resolves to the worker binary under test.)
 
 use std::path::PathBuf;
+use std::time::Duration;
 
 use effective_san::{spec_experiment, Parallelism, SpecExperiment};
 use san_api::SanitizerKind;
 use sweep::coordinator::{ShardStrategy, SweepConfig, SweepError, WorkerLaunch};
-use sweep::worker::{CRASH_BENCH_ENV, CRASH_ONCE_PATH_ENV};
+use sweep::worker::{CRASH_BENCH_ENV, CRASH_ONCE_PATH_ENV, HANG_BENCH_ENV, HANG_ONCE_PATH_ENV};
 use sweep::{diff_experiments, sharded_spec_experiment};
 use workloads::Scale;
 
@@ -42,6 +43,8 @@ fn config(workers: usize, strategy: ShardStrategy) -> SweepConfig {
         parallelism: Parallelism::Parallel,
         worker: worker_bin(),
         worker_env: Vec::new(),
+        shard_timeout: None,
+        silence_timeout: None,
     }
 }
 
@@ -173,6 +176,75 @@ fn persistently_crashing_shard_surfaces_a_structured_error() {
             );
         }
         other => panic!("expected ShardExhausted, got: {other}"),
+    }
+}
+
+#[test]
+fn hung_worker_is_timed_out_and_its_shard_recovered() {
+    let flag = std::env::temp_dir().join(format!(
+        "effective-san-sweep-hang-once-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&flag);
+
+    // The first worker handed an `mcf` shard wedges forever while holding
+    // it; only the shard budget can notice (the process is alive, so
+    // there is no EOF).  The worker is torn down, the retry on a fresh
+    // process succeeds, and the merge still comes out clean.
+    let mut config = config(2, ShardStrategy::WorkQueue);
+    config.shard_timeout = Some(Duration::from_secs(5));
+    config.worker_env = vec![
+        (HANG_BENCH_ENV.to_string(), "mcf".to_string()),
+        (
+            HANG_ONCE_PATH_ENV.to_string(),
+            flag.to_string_lossy().into_owned(),
+        ),
+    ];
+    let backends = [SanitizerKind::None, SanitizerKind::EffectiveFull];
+    let benchmarks = ["mcf", "h264ref"];
+    let sharded = sharded_spec_experiment(Some(&benchmarks), &backends, &config)
+        .expect("sweep recovers from a hung worker");
+    assert!(
+        flag.exists(),
+        "the injected hang never fired — the test exercised nothing"
+    );
+    let _ = std::fs::remove_file(&flag);
+
+    let in_process = spec_experiment(
+        Some(&benchmarks),
+        Scale::Test,
+        &backends,
+        Parallelism::Parallel,
+    );
+    assert_identical(
+        "recovered-from-hang sharded vs in-process",
+        &sharded,
+        &in_process,
+    );
+}
+
+#[test]
+fn persistently_hung_shard_surfaces_shard_timed_out() {
+    let mut config = config(1, ShardStrategy::WorkQueue);
+    config.max_attempts = 2;
+    config.shard_timeout = Some(Duration::from_millis(500));
+    // No once-path: every worker given an `mcf` shard hangs forever.
+    config.worker_env = vec![(HANG_BENCH_ENV.to_string(), "mcf".to_string())];
+
+    let err = sharded_spec_experiment(Some(&["mcf"]), &[SanitizerKind::None], &config)
+        .expect_err("a persistently hung shard must fail the sweep, not block it");
+    match err {
+        SweepError::ShardTimedOut {
+            benchmark,
+            attempts,
+            timeout,
+            ..
+        } => {
+            assert_eq!(benchmark, "mcf");
+            assert_eq!(attempts, 2);
+            assert_eq!(timeout, Duration::from_millis(500));
+        }
+        other => panic!("expected ShardTimedOut, got: {other}"),
     }
 }
 
