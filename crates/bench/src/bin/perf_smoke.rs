@@ -219,7 +219,7 @@ fn render_json(rows: &[Row], reps: usize) -> String {
              \"instructions\":{},\"instructions_per_sec\":{:.1},\
              \"total_checks\":{},\"check_cache_hits\":{},\"check_cache_misses\":{},\
              \"check_cache_hit_rate\":{:.6},\"cost\":{:.1},\"distinct_issues\":{},\
-             \"tier_promotions\":{},\"fast_calls\":{}}}",
+             \"tier_promotions\":{},\"fast_calls\":{},\"checks_elided\":{}}}",
             json_escape(r.benchmark),
             json_escape(r.backend.name()),
             r.wall_ns,
@@ -233,6 +233,7 @@ fn render_json(rows: &[Row], reps: usize) -> String {
             r.report.errors.distinct_issues,
             r.report.exec.tier_promotions,
             r.report.exec.fast_calls,
+            r.report.exec.checks_elided,
         ));
     }
     let full_total: u128 = rows
@@ -256,22 +257,23 @@ fn render_json(rows: &[Row], reps: usize) -> String {
 fn print_summary(rows: &[Row], reps: usize, out_path: &str) {
     println!("perf_smoke — interpreter throughput (scale Small, best of {reps})\n");
     println!(
-        "{:<12} {:<22} {:>12} {:>14} {:>10}",
-        "benchmark", "backend", "wall ms", "Minstr/s", "cache hit"
+        "{:<12} {:<22} {:>12} {:>14} {:>10} {:>12}",
+        "benchmark", "backend", "wall ms", "Minstr/s", "cache hit", "elided"
     );
-    bench::rule(74);
+    bench::rule(88);
     for r in rows {
         let hitrate = r.report.checks.check_cache_hit_rate();
         println!(
-            "{:<12} {:<22} {:>12.2} {:>14.1} {:>9.1}%",
+            "{:<12} {:<22} {:>12.2} {:>14.1} {:>9.1}% {:>12}",
             r.benchmark,
             r.backend.name(),
             r.wall_ns as f64 / 1e6,
             instructions_per_sec(r) / 1e6,
             hitrate * 100.0,
+            r.report.exec.checks_elided,
         );
     }
-    bench::rule(74);
+    bench::rule(88);
     let full: Vec<&Row> = rows
         .iter()
         .filter(|r| r.backend == SanitizerKind::EffectiveFull)

@@ -8,10 +8,16 @@
 //! and backends (the sweep subsystem's hand-rolled encoder; the serde
 //! shim is a no-op).  Backend-name arguments select exactly which
 //! backends run and are reported (default: EffectiveSan); in table mode
-//! each backend gets its own taxonomy table.
+//! each backend gets its own taxonomy table followed by a per-issue
+//! table — one line per distinct `(source location, error class)` site
+//! with its occurrence count, the benchmarks that flagged it, and a
+//! representative expected/observed pair (the human-readable face of the
+//! JSON `issues`/`locations` export).
+
+use std::collections::BTreeMap;
 
 use effective_san::workloads::SpecBenchmark;
-use effective_san::{issue_breakdown, spec_experiment, SanitizerKind};
+use effective_san::{issue_breakdown, spec_experiment, SanitizerKind, SpecExperiment};
 
 fn main() {
     let scale = bench::scale_from_env();
@@ -58,9 +64,67 @@ fn main() {
         }
         bench::rule(100);
         println!();
+        print_issue_table(&experiment, backend);
     }
     println!("Seeded-bug catalogue (what each class models in the paper):");
     for bug in effective_san::workloads::catalogue() {
         println!("  {:<26} {}", bug.id, bug.models);
     }
+}
+
+/// One line per distinct `(location, kind)` issue site under `backend`:
+/// how often it fired, which benchmarks flagged it, and a representative
+/// expected/observed pair — the same aggregation as the JSON `locations`
+/// rollup, rendered for humans.
+fn print_issue_table(experiment: &SpecExperiment, backend: SanitizerKind) {
+    struct Site {
+        count: usize,
+        benchmarks: BTreeMap<String, ()>,
+        expected: String,
+        observed: String,
+    }
+    let mut sites: BTreeMap<(String, &'static str), Site> = BTreeMap::new();
+    for row in &experiment.rows {
+        for report in &row.reports {
+            if report.sanitizer != backend {
+                continue;
+            }
+            for d in &report.diagnostics {
+                let site = sites
+                    .entry((d.location.to_string(), d.kind.name()))
+                    .or_insert_with(|| Site {
+                        count: 0,
+                        benchmarks: BTreeMap::new(),
+                        expected: d.expected.clone(),
+                        observed: d.observed.clone(),
+                    });
+                site.count += 1;
+                site.benchmarks.insert(row.name.clone(), ());
+            }
+        }
+    }
+    if sites.is_empty() {
+        println!("per-issue sites under {backend}: none\n");
+        return;
+    }
+    println!("per-issue sites under {backend}");
+    println!(
+        "{:<34} {:<24} {:>6}  {:<18} expected -> observed",
+        "location", "kind", "count", "benchmarks"
+    );
+    bench::rule(118);
+    for ((location, kind), site) in &sites {
+        let benchmarks: Vec<&str> = site.benchmarks.keys().map(String::as_str).collect();
+        println!(
+            "{:<34} {:<24} {:>6}  {:<18} {} -> {}",
+            location,
+            kind,
+            site.count,
+            benchmarks.join(","),
+            site.expected,
+            site.observed
+        );
+    }
+    bench::rule(118);
+    println!();
 }

@@ -23,12 +23,19 @@
 //! daemon.  A dead or silent worker's connection is torn down and
 //! re-established by its fleet thread; a client that disconnects
 //! mid-stream has its request cancelled and its queued shards dropped.
+//!
+//! Fault isolation: a panic in one client or fleet thread fails only the
+//! affected request — fleet threads convert panics into failed shard
+//! attempts, client threads answer theirs with a structured `sfail` —
+//! and the shared board recovers from mutex poisoning instead of letting
+//! one dead thread wedge every other request behind a poisoned lock.
 
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::io::{BufReader, Write};
 use std::net::{TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::Duration;
 
 use effective_san::{Parallelism, SpecRow};
@@ -68,6 +75,19 @@ impl ServeOptions {
             shard_timeout: None,
             silence_timeout: Some(Duration::from_secs(10)),
         }
+    }
+}
+
+/// Render a `catch_unwind` payload for a structured service error (the
+/// standard payloads are `&str` / `String`; anything else gets a generic
+/// description rather than being dropped).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -112,12 +132,22 @@ struct Scheduler {
 }
 
 impl Scheduler {
+    /// Lock the board, recovering from poisoning.  Every board mutation
+    /// is completed before its guard drops (no invariant is ever left
+    /// half-updated across a call that can panic), so a thread that dies
+    /// while holding the lock leaves a consistent board behind — clearing
+    /// the poison keeps the daemon and every other request alive instead
+    /// of cascading one thread's panic into a fleet-wide wedge.
+    fn lock_board(&self) -> MutexGuard<'_, Board> {
+        self.board.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Pull the next job slot `slot` should run: first a job whose
     /// `(request, benchmark)` this slot already claimed, then an
     /// unclaimed one (claiming it), then — with nothing better to do —
     /// steal a claimed pair wholesale.  Blocks until work arrives.
     fn next_for(&self, slot: usize) -> Job {
-        let mut board = self.board.lock().expect("board lock");
+        let mut board = self.lock_board();
         loop {
             while let Some(idx) = Self::pick(&board, slot) {
                 let job = board.queue.remove(idx).expect("picked index in range");
@@ -129,11 +159,13 @@ impl Scheduler {
                     .insert((job.req_id, job.shard.benchmark.clone()), slot);
                 return job;
             }
-            board = self
+            board = match self
                 .work_ready
                 .wait_timeout(board, Duration::from_millis(200))
-                .expect("board lock")
-                .0;
+            {
+                Ok((guard, _)) => guard,
+                Err(poisoned) => poisoned.into_inner().0,
+            };
         }
     }
 
@@ -158,7 +190,7 @@ impl Scheduler {
 
     /// Deliver a job outcome to its request, if the request still exists.
     fn deliver(&self, req_id: u64, outcome: JobOutcome) {
-        let board = self.board.lock().expect("board lock");
+        let board = self.lock_board();
         if let Some(tx) = board.requests.get(&req_id) {
             // A dead receiver means the client thread is gone; its
             // deregistration will cancel the request.
@@ -167,7 +199,7 @@ impl Scheduler {
     }
 
     fn cancel(&self, req_id: u64) {
-        let mut board = self.board.lock().expect("board lock");
+        let mut board = self.lock_board();
         board.cancelled.insert(req_id);
         board.requests.remove(&req_id);
         board.queue.retain(|job| job.req_id != req_id);
@@ -188,7 +220,13 @@ impl Scheduler {
                 benchmark: job.shard.benchmark.clone(),
                 backends: job.shard.backends.clone(),
             };
-            let attempt = match &mut conn {
+            // A panic anywhere in the attempt (connection handling, the
+            // wire decoder, shard plumbing) must not kill this fleet
+            // thread with the job checked out — that would shrink the
+            // fleet forever and wedge the job's request.  Convert it to a
+            // failed attempt so the normal retry/exhaust path fails only
+            // the affected request.
+            let attempt = catch_unwind(AssertUnwindSafe(|| match &mut conn {
                 Some(live) => live.run_shard(
                     &spec,
                     self.options.shard_timeout,
@@ -205,7 +243,13 @@ impl Scheduler {
                     ),
                     Err(e) => Err(AttemptError::Spawn(e)),
                 },
-            };
+            }))
+            .unwrap_or_else(|payload| {
+                Err(AttemptError::Failed(format!(
+                    "fleet thread panicked while running the shard: {}",
+                    panic_message(payload.as_ref())
+                )))
+            });
             match attempt {
                 Ok((chunk, row)) => self.deliver(
                     job.req_id,
@@ -235,7 +279,7 @@ impl Scheduler {
                             },
                         );
                     } else {
-                        let mut board = self.board.lock().expect("board lock");
+                        let mut board = self.lock_board();
                         // Shed the claim so any worker may take over.
                         board
                             .affinity
@@ -306,7 +350,7 @@ impl Scheduler {
         let total_jobs = shards.len();
         let (tx, rx) = mpsc::channel();
         {
-            let mut board = self.board.lock().expect("board lock");
+            let mut board = self.lock_board();
             board.requests.insert(req_id, tx);
             for shard in shards {
                 board.queue.push_back(Job {
@@ -461,9 +505,13 @@ pub fn serve_forever(options: ServeOptions) -> Result<(), crate::SweepError> {
         work_ready: Condvar::new(),
         options,
     };
+    serve_loop(&scheduler, listener);
+    Ok(())
+}
+
+fn serve_loop(scheduler: &Scheduler, listener: TcpListener) {
     std::thread::scope(|scope| {
         for (slot, addr) in scheduler.options.workers.iter().enumerate() {
-            let scheduler = &scheduler;
             scope.spawn(move || scheduler.fleet_loop(slot, addr));
         }
         let mut next_req_id = 0u64;
@@ -472,12 +520,80 @@ pub fn serve_forever(options: ServeOptions) -> Result<(), crate::SweepError> {
                 Ok(stream) => {
                     let req_id = next_req_id;
                     next_req_id += 1;
-                    let scheduler = &scheduler;
-                    scope.spawn(move || scheduler.client_loop(stream, req_id));
+                    scope.spawn(move || {
+                        // A panic while serving one client must fail only
+                        // that request: cancel its shards and, when the
+                        // socket is still writable, tell the client why
+                        // with a structured `sfail` instead of a hangup.
+                        let mut write_half = stream.try_clone().ok();
+                        let outcome = catch_unwind(AssertUnwindSafe(|| {
+                            scheduler.client_loop(stream, req_id)
+                        }));
+                        if let Err(payload) = outcome {
+                            scheduler.cancel(req_id);
+                            if let Some(w) = write_half.as_mut() {
+                                let event = ServiceEvent::Failed {
+                                    message: format!(
+                                        "internal error while serving this request: {}",
+                                        panic_message(payload.as_ref())
+                                    ),
+                                };
+                                for line in wire::encode_service_event(&event) {
+                                    let _ = writeln!(w, "{line}");
+                                }
+                                let _ = w.flush();
+                            }
+                        }
+                    });
                 }
                 Err(e) => eprintln!("sweep serve: accept failed: {e}"),
             }
         }
     });
-    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scheduler() -> Scheduler {
+        Scheduler {
+            board: Mutex::new(Board::default()),
+            work_ready: Condvar::new(),
+            options: ServeOptions::new("127.0.0.1:0".to_string(), vec!["unused".to_string()]),
+        }
+    }
+
+    #[test]
+    fn board_operations_survive_mutex_poisoning() {
+        let s = scheduler();
+        // Poison the lock the way a real bug would: die while holding it.
+        let died = catch_unwind(AssertUnwindSafe(|| {
+            let _guard = s.board.lock().unwrap();
+            panic!("thread died holding the board");
+        }));
+        assert!(died.is_err());
+        assert!(s.board.is_poisoned());
+        // Every scheduler entry point keeps working for other requests
+        // instead of propagating the poison.
+        s.cancel(7);
+        s.deliver(
+            7,
+            JobOutcome::Exhausted {
+                benchmark: "mcf".to_string(),
+                message: "gone".to_string(),
+            },
+        );
+        let board = s.lock_board();
+        assert!(board.cancelled.contains(&7));
+        assert!(board.queue.is_empty());
+    }
+
+    #[test]
+    fn panic_messages_render_standard_payloads() {
+        let formatted = catch_unwind(|| panic!("boom {}", 2)).unwrap_err();
+        assert_eq!(panic_message(formatted.as_ref()), "boom 2");
+        let literal = catch_unwind(|| panic!("just a literal")).unwrap_err();
+        assert_eq!(panic_message(literal.as_ref()), "just a literal");
+    }
 }

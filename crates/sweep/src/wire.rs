@@ -38,11 +38,13 @@ use workloads::Scale;
 /// (`tier_promotions`, `fast_calls`).  Version 4 added the networked
 /// sweep-service frames: the `hello` capability line workers send after
 /// the handshake, `hb` heartbeats, client `request` blocks, and the
-/// streamed `accepted`/`srow`/`sdone`/`sfail` service replies.
-pub const WIRE_VERSION: u32 = 4;
+/// streamed `accepted`/`srow`/`sdone`/`sfail` service replies.  Version 5
+/// widened the `exec` line again with the fast tier's `checks_elided`
+/// counter, so sweep rows carry the check-hoisting effect end to end.
+pub const WIRE_VERSION: u32 = 5;
 
 /// The handshake line both sides send before anything else.
-pub const HANDSHAKE: &str = "effective-san-sweep-wire 4";
+pub const HANDSHAKE: &str = "effective-san-sweep-wire 5";
 
 /// Parse the version number out of a handshake line, if the line is a
 /// handshake at all (`effective-san-sweep-wire <n>`).
@@ -780,7 +782,7 @@ pub fn encode_run_report(report: &RunReport, out: &mut Vec<String>) {
     ));
     let e = &report.exec;
     out.push(format!(
-        "exec\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
+        "exec\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
         e.instructions,
         e.check_instructions,
         e.loads,
@@ -789,7 +791,8 @@ pub fn encode_run_report(report: &RunReport, out: &mut Vec<String>) {
         e.allocations,
         e.frees,
         e.tier_promotions,
-        e.fast_calls
+        e.fast_calls,
+        e.checks_elided
     ));
     out.push(encode_san_stats(&report.checks));
     encode_error_stats(&report.errors, out);
@@ -819,7 +822,7 @@ pub fn decode_run_report<S: LineSource>(src: &mut S) -> Result<RunReport, WireEr
     let static_checks: usize = parse_num("static-checks", f[7])?;
 
     let line = next_required(src, "an `exec` line")?;
-    let f = split_fields(&line, "exec", 9)?;
+    let f = split_fields(&line, "exec", 10)?;
     let exec = ExecStats {
         instructions: parse_num("instructions", f[0])?,
         check_instructions: parse_num("check-instructions", f[1])?,
@@ -830,6 +833,7 @@ pub fn decode_run_report<S: LineSource>(src: &mut S) -> Result<RunReport, WireEr
         frees: parse_num("frees", f[6])?,
         tier_promotions: parse_num("tier-promotions", f[7])?,
         fast_calls: parse_num("fast-calls", f[8])?,
+        checks_elided: parse_num("checks-elided", f[9])?,
     };
 
     let line = next_required(src, "a `checks` line")?;

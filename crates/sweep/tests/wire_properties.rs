@@ -108,7 +108,7 @@ fn report_strategy() -> impl Strategy<Value = RunReport> {
             (any::<bool>(), any::<i64>()),
             (any::<bool>(), string_strategy()),
         ),
-        prop::collection::vec(any::<u64>(), 9..10),
+        prop::collection::vec(any::<u64>(), 10..11),
         san_stats_strategy(),
         error_stats_strategy(),
         (
@@ -139,6 +139,7 @@ fn report_strategy() -> impl Strategy<Value = RunReport> {
                         frees: exec[6],
                         tier_promotions: exec[7],
                         fast_calls: exec[8],
+                        checks_elided: exec[9],
                     },
                     checks,
                     errors,

@@ -79,7 +79,16 @@ pub struct VmConfig {
     /// Promote mid-execution (on-stack replacement) once a single slow
     /// activation has taken this many backward jumps (`u32::MAX` disables
     /// OSR only).  Catches hot loops inside functions called once.
+    ///
+    /// Both thresholds are clamped to at least 1: a threshold of 0 would
+    /// otherwise promote before any profile exists.
     pub osr_after_backjumps: u32,
+    /// Elide checks dominated by a covering check in the same straight-line
+    /// run when translating to the fast tier (the paper's §5.3
+    /// redundant-check elimination).  Also disabled by setting the
+    /// `SAN_NO_HOIST` environment variable to a non-empty value other
+    /// than `0`.
+    pub hoist_checks: bool,
 }
 
 impl Default for VmConfig {
@@ -92,8 +101,18 @@ impl Default for VmConfig {
             seed: 0x5eed_0001,
             promote_after_calls: 2,
             osr_after_backjumps: 64,
+            hoist_checks: true,
         }
     }
+}
+
+/// `SAN_NO_HOIST` set to a non-empty value other than `0` disables the
+/// fast-tier check-elision pass regardless of [`VmConfig::hoist_checks`]
+/// (used by CI to run the differential suite both ways).
+fn hoist_disabled_by_env() -> bool {
+    std::env::var_os("SAN_NO_HOIST")
+        .map(|v| !v.is_empty() && v != "0")
+        .unwrap_or(false)
 }
 
 /// Execution event counters.
@@ -117,6 +136,12 @@ pub struct ExecStats {
     pub tier_promotions: u64,
     /// Calls dispatched to the fast tier.
     pub fast_calls: u64,
+    /// Dominated checks whose backend call the fast tier skipped because
+    /// the dominating check passed (§5.3 redundant-check elimination).
+    /// Every elided site still ticks `check_instructions`, so only the
+    /// backend's `bounds_checks`/`access_checks` counters shrink — by
+    /// exactly this amount.
+    pub checks_elided: u64,
 }
 
 /// The deterministic cost model used alongside wall-clock time for the
@@ -240,6 +265,16 @@ pub struct Vm {
     check_type_map: Vec<TypeId>,
     promote_after_calls: u32,
     osr_after_backjumps: u32,
+    /// Whether fast-tier translation runs the check-elision pass.
+    hoist_checks: bool,
+    /// Per-site check results, indexed by fast-tier site index (sized to
+    /// the largest promoted function's site table).  An elided check reads
+    /// its dominator's entry: `true` means the dominating check passed on
+    /// this very execution of the run, so the dominated check must pass
+    /// too.  Sound because a dominator and its dominated sites sit in one
+    /// straight-line run with no intervening call — nothing can interleave
+    /// between the write and the read, even under recursion.
+    check_guards: Vec<bool>,
 }
 
 impl Vm {
@@ -322,8 +357,12 @@ impl Vm {
             funcs,
             func_index,
             check_type_map,
-            promote_after_calls: config.promote_after_calls,
-            osr_after_backjumps: config.osr_after_backjumps,
+            // A threshold of 0 would promote before any profile exists;
+            // clamp to 1 (`u32::MAX` still means disabled).
+            promote_after_calls: config.promote_after_calls.max(1),
+            osr_after_backjumps: config.osr_after_backjumps.max(1),
+            hoist_checks: config.hoist_checks && !hoist_disabled_by_env(),
+            check_guards: Vec::new(),
         }
     }
 
@@ -442,7 +481,11 @@ impl Vm {
             &self.globals,
             &self.func_index,
             &self.check_type_map,
+            self.hoist_checks,
         );
+        if self.check_guards.len() < fast.sites.len() {
+            self.check_guards.resize(fast.sites.len(), false);
+        }
         self.stats.tier_promotions += 1;
         self.funcs[idx as usize].fast = Some(Arc::new(fast));
     }
@@ -615,7 +658,9 @@ impl Vm {
                 }
                 Instr::Jump { target } => {
                     if *target < pc {
-                        backjumps += 1;
+                        // Saturate: with OSR disabled a long-running loop
+                        // would otherwise wrap (and panic in debug builds).
+                        backjumps = backjumps.saturating_add(1);
                         if osr_enabled && backjumps >= self.osr_after_backjumps {
                             self.promote(func_idx);
                             if let Some(fast) = self.funcs[func_idx as usize].fast.clone() {
@@ -637,7 +682,7 @@ impl Vm {
                         *else_target
                     };
                     if t < pc {
-                        backjumps += 1;
+                        backjumps = backjumps.saturating_add(1);
                         if osr_enabled && backjumps >= self.osr_after_backjumps {
                             self.promote(func_idx);
                             if let Some(fast) = self.funcs[func_idx as usize].fast.clone() {
@@ -776,12 +821,15 @@ impl Vm {
         // loop free of memory traffic on its own counters.
         let mut n_instr: u64 = 0;
         let mut n_check: u64 = 0;
+        let mut n_elided: u64 = 0;
         macro_rules! flush {
             () => {
                 self.stats.instructions += n_instr;
                 self.stats.check_instructions += n_check;
+                self.stats.checks_elided += n_elided;
                 n_instr = 0;
                 n_check = 0;
+                n_elided = 0;
             };
         }
         macro_rules! fail {
@@ -1059,12 +1107,17 @@ impl Vm {
                     size,
                     escape,
                     site,
+                    guard,
                 } => {
                     tick_check!();
                     let p = slots[ptr as usize].as_ptr();
                     let b = slots[bounds as usize].as_bounds();
-                    self.backend
-                        .bounds_check(p, size, b, &func.sites[site as usize], escape);
+                    let ok =
+                        self.backend
+                            .bounds_check(p, size, b, &func.sites[site as usize], escape);
+                    if guard {
+                        self.check_guards[site as usize] = ok;
+                    }
                     halted!();
                 }
                 FastInstr::AccessCheck {
@@ -1072,11 +1125,16 @@ impl Vm {
                     size,
                     write,
                     site,
+                    guard,
                 } => {
                     tick_check!();
                     let p = slots[ptr as usize].as_ptr();
-                    self.backend
+                    let ok = self
+                        .backend
                         .access_check(p, size, write, &func.sites[site as usize]);
+                    if guard {
+                        self.check_guards[site as usize] = ok;
+                    }
                     halted!();
                 }
                 FastInstr::WideBounds { dst } => {
@@ -1092,12 +1150,21 @@ impl Vm {
                     check_size,
                     site,
                     kind,
+                    guard,
                 } => {
                     tick_check!();
                     let p = slots[ptr as usize].as_ptr();
                     let b = slots[bounds as usize].as_bounds();
-                    self.backend
-                        .bounds_check(p, check_size, b, &func.sites[site as usize], false);
+                    let ok = self.backend.bounds_check(
+                        p,
+                        check_size,
+                        b,
+                        &func.sites[site as usize],
+                        false,
+                    );
+                    if guard {
+                        self.check_guards[site as usize] = ok;
+                    }
                     halted!();
                     tick!();
                     self.stats.loads += 1;
@@ -1110,12 +1177,21 @@ impl Vm {
                     check_size,
                     site,
                     kind,
+                    guard,
                 } => {
                     tick_check!();
                     let p = slots[ptr as usize].as_ptr();
                     let b = slots[bounds as usize].as_bounds();
-                    self.backend
-                        .bounds_check(p, check_size, b, &func.sites[site as usize], false);
+                    let ok = self.backend.bounds_check(
+                        p,
+                        check_size,
+                        b,
+                        &func.sites[site as usize],
+                        false,
+                    );
+                    if guard {
+                        self.check_guards[site as usize] = ok;
+                    }
                     halted!();
                     tick!();
                     self.stats.stores += 1;
@@ -1128,11 +1204,16 @@ impl Vm {
                     check_size,
                     site,
                     kind,
+                    guard,
                 } => {
                     tick_check!();
                     let p = slots[ptr as usize].as_ptr();
-                    self.backend
-                        .access_check(p, check_size, false, &func.sites[site as usize]);
+                    let ok =
+                        self.backend
+                            .access_check(p, check_size, false, &func.sites[site as usize]);
+                    if guard {
+                        self.check_guards[site as usize] = ok;
+                    }
                     halted!();
                     tick!();
                     self.stats.loads += 1;
@@ -1144,12 +1225,164 @@ impl Vm {
                     check_size,
                     site,
                     kind,
+                    guard,
                 } => {
                     tick_check!();
                     let p = slots[ptr as usize].as_ptr();
-                    self.backend
-                        .access_check(p, check_size, true, &func.sites[site as usize]);
+                    let ok =
+                        self.backend
+                            .access_check(p, check_size, true, &func.sites[site as usize]);
+                    if guard {
+                        self.check_guards[site as usize] = ok;
+                    }
                     halted!();
+                    tick!();
+                    self.stats.stores += 1;
+                    let value = slots[src as usize];
+                    self.store_kinded(p, kind, value);
+                }
+
+                // ----- dominated checks (check hoisting) -----
+                //
+                // When the dominating check passed on this execution of
+                // the run (guard true), the dominated check must pass too
+                // and its backend call is skipped; the site still ticks
+                // `check_instructions` so budget exhaustion fires at the
+                // same event as the slow tier.  When the dominator failed,
+                // the full check runs here with its own site label, so the
+                // diagnostic stream stays bit-identical.  A skipped check
+                // also skips `halted()`: had the backend halted earlier,
+                // the dominator's own arm would already have returned.
+                FastInstr::ElidedBoundsCheck {
+                    ptr,
+                    bounds,
+                    size,
+                    site,
+                    dom_site,
+                } => {
+                    tick_check!();
+                    if self.check_guards[dom_site as usize] {
+                        n_elided += 1;
+                    } else {
+                        let p = slots[ptr as usize].as_ptr();
+                        let b = slots[bounds as usize].as_bounds();
+                        self.backend
+                            .bounds_check(p, size, b, &func.sites[site as usize], false);
+                        halted!();
+                    }
+                }
+                FastInstr::ElidedAccessCheck {
+                    ptr,
+                    size,
+                    write,
+                    site,
+                    dom_site,
+                } => {
+                    tick_check!();
+                    if self.check_guards[dom_site as usize] {
+                        n_elided += 1;
+                    } else {
+                        let p = slots[ptr as usize].as_ptr();
+                        self.backend
+                            .access_check(p, size, write, &func.sites[site as usize]);
+                        halted!();
+                    }
+                }
+                FastInstr::ElidedCheckLoad {
+                    dst,
+                    ptr,
+                    bounds,
+                    check_size,
+                    site,
+                    dom_site,
+                    kind,
+                } => {
+                    tick_check!();
+                    let p = slots[ptr as usize].as_ptr();
+                    if self.check_guards[dom_site as usize] {
+                        n_elided += 1;
+                    } else {
+                        let b = slots[bounds as usize].as_bounds();
+                        self.backend.bounds_check(
+                            p,
+                            check_size,
+                            b,
+                            &func.sites[site as usize],
+                            false,
+                        );
+                        halted!();
+                    }
+                    tick!();
+                    self.stats.loads += 1;
+                    slots[dst as usize] = self.load_kinded(p, kind);
+                }
+                FastInstr::ElidedCheckStore {
+                    ptr,
+                    bounds,
+                    src,
+                    check_size,
+                    site,
+                    dom_site,
+                    kind,
+                } => {
+                    tick_check!();
+                    let p = slots[ptr as usize].as_ptr();
+                    if self.check_guards[dom_site as usize] {
+                        n_elided += 1;
+                    } else {
+                        let b = slots[bounds as usize].as_bounds();
+                        self.backend.bounds_check(
+                            p,
+                            check_size,
+                            b,
+                            &func.sites[site as usize],
+                            false,
+                        );
+                        halted!();
+                    }
+                    tick!();
+                    self.stats.stores += 1;
+                    let value = slots[src as usize];
+                    self.store_kinded(p, kind, value);
+                }
+                FastInstr::ElidedAccessLoad {
+                    dst,
+                    ptr,
+                    check_size,
+                    site,
+                    dom_site,
+                    kind,
+                } => {
+                    tick_check!();
+                    let p = slots[ptr as usize].as_ptr();
+                    if self.check_guards[dom_site as usize] {
+                        n_elided += 1;
+                    } else {
+                        self.backend
+                            .access_check(p, check_size, false, &func.sites[site as usize]);
+                        halted!();
+                    }
+                    tick!();
+                    self.stats.loads += 1;
+                    slots[dst as usize] = self.load_kinded(p, kind);
+                }
+                FastInstr::ElidedAccessStore {
+                    ptr,
+                    src,
+                    check_size,
+                    site,
+                    dom_site,
+                    kind,
+                } => {
+                    tick_check!();
+                    let p = slots[ptr as usize].as_ptr();
+                    if self.check_guards[dom_site as usize] {
+                        n_elided += 1;
+                    } else {
+                        self.backend
+                            .access_check(p, check_size, true, &func.sites[site as usize]);
+                        halted!();
+                    }
                     tick!();
                     self.stats.stores += 1;
                     let value = slots[src as usize];
@@ -1874,6 +2107,138 @@ mod tests {
         let mut a = Vm::new(program.clone(), VmConfig::default());
         let mut b = Vm::new(program, VmConfig::default());
         assert_eq!(a.run("run", &[]).unwrap(), b.run("run", &[]).unwrap());
+    }
+
+    fn vm_with_tiering(src: &str, kind: SanitizerKind, promote: u32, osr: u32, hoist: bool) -> Vm {
+        let program = minic::compile(src).unwrap();
+        let instrumented = instrument_program(&program, kind);
+        Vm::new(
+            Arc::new(instrumented),
+            VmConfig {
+                sanitizer: kind,
+                promote_after_calls: promote,
+                osr_after_backjumps: osr,
+                hoist_checks: hoist,
+                ..Default::default()
+            },
+        )
+    }
+
+    const LOOPY: &str = "int run(int n) {
+        int s = 0;
+        for (int i = 0; i < n; i++) { s += i; }
+        return s;
+    }";
+
+    #[test]
+    fn promote_threshold_zero_is_clamped_to_first_call() {
+        // 0 would mean "promote before any profile exists"; it behaves
+        // exactly like 1 — promotion on the first call.
+        for threshold in [0, 1] {
+            let mut vm = vm_with_tiering(LOOPY, SanitizerKind::None, threshold, u32::MAX, true);
+            vm.run("run", &[Value::Int(4)]).unwrap();
+            assert_eq!(vm.stats().tier_promotions, 1, "threshold {threshold}");
+            assert_eq!(vm.stats().fast_calls, 1, "threshold {threshold}");
+        }
+    }
+
+    #[test]
+    fn promote_threshold_max_disables_tiering_entirely() {
+        let mut vm = vm_with_tiering(LOOPY, SanitizerKind::None, u32::MAX, 1, true);
+        vm.run("run", &[Value::Int(1000)]).unwrap();
+        // promote=MAX also disables OSR: the loop ran 1000 backward jumps
+        // in the slow tier without promoting.
+        assert_eq!(vm.stats().tier_promotions, 0);
+        assert_eq!(vm.stats().fast_calls, 0);
+    }
+
+    #[test]
+    fn promote_threshold_max_minus_one_is_enabled_but_unreached() {
+        // MAX-1 is a real (unreachable here) threshold, not "disabled":
+        // small call counts stay slow, and nothing wraps or panics.
+        let mut vm = vm_with_tiering(LOOPY, SanitizerKind::None, u32::MAX - 1, u32::MAX, true);
+        for _ in 0..3 {
+            vm.run("run", &[Value::Int(4)]).unwrap();
+        }
+        assert_eq!(vm.stats().tier_promotions, 0);
+    }
+
+    #[test]
+    fn osr_threshold_edges_promote_mid_activation_or_never() {
+        // osr=1 (and the clamped osr=0): the first backward jump of the
+        // first activation promotes, so a single call still reaches the
+        // fast tier.
+        for threshold in [0, 1] {
+            let mut vm = vm_with_tiering(LOOPY, SanitizerKind::None, 1000, threshold, true);
+            vm.run("run", &[Value::Int(100)]).unwrap();
+            assert_eq!(vm.stats().tier_promotions, 1, "osr {threshold}");
+        }
+        // osr=MAX disables OSR only: no promotion from a single hot call.
+        let mut vm = vm_with_tiering(LOOPY, SanitizerKind::None, 1000, u32::MAX, true);
+        vm.run("run", &[Value::Int(100)]).unwrap();
+        assert_eq!(vm.stats().tier_promotions, 0);
+        // osr=MAX-1 is enabled but unreached by a 100-iteration loop.
+        let mut vm = vm_with_tiering(LOOPY, SanitizerKind::None, 1000, u32::MAX - 1, true);
+        vm.run("run", &[Value::Int(100)]).unwrap();
+        assert_eq!(vm.stats().tier_promotions, 0);
+    }
+
+    #[test]
+    fn dominated_checks_are_elided_in_the_fast_tier() {
+        // The loop body re-checks `p->a` three times per iteration (one
+        // store guard, two load guards) over the same pointer, offset and
+        // bounds value: the first check dominates the rest.
+        let src = "struct pair { int a; int b; };
+        int run(int n) {
+            struct pair *p = (struct pair *)malloc(sizeof(struct pair));
+            int s = 0;
+            for (int i = 0; i < n; i++) {
+                p->a = i;
+                s += p->a * p->a;
+            }
+            free(p);
+            return s;
+        }";
+        let mut fast = vm_with_tiering(src, SanitizerKind::EffectiveFull, 1, 1, true);
+        let fast_result = fast.run("run", &[Value::Int(50)]).unwrap();
+        let mut slow = vm_with_tiering(src, SanitizerKind::EffectiveFull, u32::MAX, u32::MAX, true);
+        let slow_result = slow.run("run", &[Value::Int(50)]).unwrap();
+        assert_eq!(fast_result, slow_result);
+        assert!(
+            fast.stats().checks_elided > 0,
+            "no checks elided: {:?}",
+            fast.stats()
+        );
+        // Elision only skips backend calls for the two relaxed counters;
+        // everything else is bit-identical with the slow tier.
+        assert_eq!(
+            fast.backend().stats().bounds_checks + fast.stats().checks_elided,
+            slow.backend().stats().bounds_checks
+        );
+        assert_eq!(
+            fast.stats().check_instructions,
+            slow.stats().check_instructions
+        );
+        assert_eq!(fast.backend().error_stats().distinct_issues, 0);
+    }
+
+    #[test]
+    fn hoisting_can_be_disabled_by_config() {
+        let src = "struct pair { int a; int b; };
+        int run(int n) {
+            struct pair *p = (struct pair *)malloc(sizeof(struct pair));
+            int s = 0;
+            for (int i = 0; i < n; i++) {
+                p->a = i;
+                s += p->a * p->a;
+            }
+            free(p);
+            return s;
+        }";
+        let mut vm = vm_with_tiering(src, SanitizerKind::EffectiveFull, 1, 1, false);
+        vm.run("run", &[Value::Int(50)]).unwrap();
+        assert_eq!(vm.stats().checks_elided, 0);
+        assert!(vm.stats().fast_calls > 0);
     }
 
     #[test]

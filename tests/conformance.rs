@@ -2,8 +2,9 @@
 //! write, use-after-free, bad cast, sub-object overflow, a far OOB that
 //! skips AddressSanitizer's red-zone, a far-OOB `memcpy` caught only by
 //! whole-range guards on the builtin's pointer arguments, use-after-free
-//! surviving quarantine exhaustion, and a same-type reuse-after-free —
-//! executed across
+//! surviving quarantine exhaustion, a use-after-free between two
+//! would-be-dominated checks (pinning the fast tier's hoisting rule),
+//! and a same-type reuse-after-free — executed across
 //! **every** backend in the `san-api` registry, asserting each tool's
 //! expected detect/miss matrix from the paper's tool comparison
 //! (Figure 1, §2.1, §6.2).
@@ -37,7 +38,7 @@ struct Scenario {
     source: &'static str,
 }
 
-const SCENARIOS: [Scenario; 9] = [
+const SCENARIOS: [Scenario; 10] = [
     Scenario {
         name: "oob-write",
         column: Column::Bounds,
@@ -174,6 +175,40 @@ const SCENARIOS: [Scenario; 9] = [
                 return qread(first);
             }",
     },
+    // A use-after-free sandwiched between two accesses that the fast
+    // tier's check-hoisting pass would otherwise consider dominated: the
+    // first `d->a` access checks the pointer, `free(dead)` (with dead ==
+    // d on the final call) rebinds the allocation's META to FREE, and the
+    // second `d->a` access must re-consult the allocator — eliding it as
+    // "covered by the first check" hides the UAF.  The hoisting pass
+    // therefore never elides across a call or free-reaching builtin; this
+    // scenario pins that rule.  The detect column is temporal-tool
+    // territory: ASan/Memcheck see the freed block, CETS invalidates the
+    // identifier.  EffectiveSan's bounds for `d` were (legitimately)
+    // computed at function entry, before the free — the in-function
+    // temporal gap is its documented §2.4-style blind spot, independent
+    // of hoisting.
+    Scenario {
+        name: "uaf-between-dominated-checks",
+        column: Column::Temporal,
+        effective_kind: None,
+        source: "
+            struct duo { int a; int b; };
+            int touch(struct duo *d, struct duo *dead) {
+                d->a = d->a + 1;
+                free(dead);
+                return d->a;
+            }
+            int run(int n) {
+                struct duo *s1 = (struct duo *)malloc(sizeof(struct duo));
+                struct duo *s2 = (struct duo *)malloc(sizeof(struct duo));
+                struct duo *v = (struct duo *)malloc(sizeof(struct duo));
+                v->a = n;
+                touch(v, s1);
+                touch(v, s2);
+                return touch(v, v);
+            }",
+    },
     // Reuse-after-free where the reallocated object has the SAME type:
     // EffectiveSan's own documented blind spot (the new object type-checks
     // fine, §2.4).  Only the tools whose allocators delay reuse
@@ -252,6 +287,7 @@ fn expected_detect(kind: SanitizerKind, scenario: &str) -> bool {
             matches!(kind, EffectiveFull | EffectiveEscapesOff | Memcheck | Cets)
         }
         "same-type-reuse-after-free" => matches!(kind, AddressSanitizer | Memcheck),
+        "uaf-between-dominated-checks" => matches!(kind, AddressSanitizer | Memcheck | Cets),
         "bad-cast" => matches!(
             kind,
             EffectiveFull | EffectiveType | EffectiveEscapesOff | TypeSan | HexType
