@@ -11,9 +11,17 @@
 //!
 //! `perf_smoke --compare old.json new.json` diffs two such files and
 //! prints a warning for any cell whose `instructions_per_sec` dropped by
-//! more than 15%.  It always exits 0 (timing on shared CI runners is
-//! noisy, so the comparison is advisory, never gating); only unreadable
-//! or malformed input exits non-zero.
+//! more than 15%, alongside the per-cell `checks_elided` delta so elision
+//! regressions are visible, not just wall-clock ones.  It always exits 0
+//! (timing on shared CI runners is noisy, so the comparison is advisory,
+//! never gating); only unreadable or malformed input exits non-zero.
+//!
+//! `perf_smoke --profile [out.json]` runs the same matrix once with the
+//! VM's site profiler enabled and prints the top-N hot check sites and
+//! hot functions (per-site hit/miss/elide/guard-fallback counts, per-
+//! function tier residency), optionally writing the merged profile as
+//! JSON.  Profiling is observational — reports stay bit-identical — but
+//! the sampling costs a few percent, so profile runs are never timed.
 //!
 //! Caching and interning change *nothing* observable: the deterministic
 //! cost model (`RunReport::cost`) sees identical check counts with or
@@ -23,8 +31,11 @@
 
 use std::time::Instant;
 
+use effective_san::obs::ProfileReport;
 use effective_san::workloads::SpecBenchmark;
-use effective_san::{minic, run_program, RunConfig, RunReport, SanitizerKind, Scale};
+use effective_san::{
+    minic, run_program, run_program_profiled, RunConfig, RunReport, SanitizerKind, Scale,
+};
 use sweep::json::json_escape;
 
 /// The fixed benchmark subset (see module docs).
@@ -55,6 +66,9 @@ fn main() {
             std::process::exit(2);
         };
         std::process::exit(compare(old, new));
+    }
+    if args.first().map(String::as_str) == Some("--profile") {
+        std::process::exit(profile(args.get(1).map(String::as_str)));
     }
     let out_path = args
         .first()
@@ -101,6 +115,59 @@ fn main() {
     print_summary(&rows, reps, &out_path);
 }
 
+/// How many hot sites / hot functions `--profile` prints.
+const PROFILE_TOP_N: usize = 12;
+
+/// `--profile [out.json]`: run the matrix once with the VM site profiler
+/// on, print the top-[`PROFILE_TOP_N`] hot check sites and functions, and
+/// optionally write the merged profile as JSON.
+fn profile(out_path: Option<&str>) -> i32 {
+    let scale = Scale::Small;
+    let mut merged = ProfileReport::default();
+    for &name in BENCHMARKS {
+        let bench = SpecBenchmark::by_name(name)
+            .unwrap_or_else(|| panic!("unknown perf_smoke benchmark `{name}`"));
+        let source = bench.source(scale);
+        let program = minic::compile(&source)
+            .unwrap_or_else(|e| panic!("workload {name} failed to compile: {e}"));
+        for &backend in BACKENDS {
+            let config = RunConfig {
+                profile: true,
+                ..RunConfig::for_sanitizer(backend)
+            };
+            let (_, prof) = run_program_profiled(&program, "bench_main", &[scale.n()], &config);
+            if let Some(prof) = prof {
+                merged.merge(&prof);
+            }
+        }
+    }
+    println!(
+        "perf_smoke — site/tier profile (scale Small, {} benchmarks × {} backends, top {})\n",
+        BENCHMARKS.len(),
+        BACKENDS.len(),
+        PROFILE_TOP_N
+    );
+    print!("{}", merged.render_table(PROFILE_TOP_N));
+    println!(
+        "\n{} check sites, {} functions, {} tier events",
+        merged.sites.len(),
+        merged.funcs.len(),
+        merged.events.len()
+    );
+    if let Some(path) = out_path {
+        let json = format!(
+            "{{\"schema\":\"effective-san-profile/1\",\"scale\":\"small\",\"profile\":{}}}\n",
+            merged.to_json()
+        );
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("perf_smoke --profile: cannot write {path}: {e}");
+            return 2;
+        }
+        println!("wrote {path}");
+    }
+    0
+}
+
 /// Relative throughput drop that triggers a warning in `--compare` mode.
 /// Wall-clock noise on shared CI runners sits well under this.
 const REGRESSION_THRESHOLD: f64 = 0.15;
@@ -120,17 +187,20 @@ fn compare(old_path: &str, new_path: &str) -> i32 {
     let mut warned = false;
     println!("perf_smoke — throughput comparison ({old_path} -> {new_path})\n");
     println!(
-        "{:<12} {:<22} {:>12} {:>12} {:>9}",
-        "benchmark", "backend", "old Mi/s", "new Mi/s", "delta"
+        "{:<12} {:<22} {:>12} {:>12} {:>9} {:>13}",
+        "benchmark", "backend", "old Mi/s", "new Mi/s", "delta", "elided Δ"
     );
-    bench::rule(72);
-    for (key, old_ips) in &old {
-        let Some(new_ips) = new.get(key) else {
+    bench::rule(86);
+    for (key, cell) in &old {
+        let Some(new_cell) = new.get(key) else {
             println!("{:<12} {:<22} missing from {new_path}", key.0, key.1);
             warned = true;
             continue;
         };
+        let (old_ips, old_elided) = *cell;
+        let (new_ips, new_elided) = *new_cell;
         let delta = (new_ips - old_ips) / old_ips.max(1.0);
+        let elided_delta = new_elided as i64 - old_elided as i64;
         let flag = if delta < -REGRESSION_THRESHOLD {
             warned = true;
             "  <-- WARNING: regression"
@@ -138,15 +208,16 @@ fn compare(old_path: &str, new_path: &str) -> i32 {
             ""
         };
         println!(
-            "{:<12} {:<22} {:>12.1} {:>12.1} {:>+8.1}%{flag}",
+            "{:<12} {:<22} {:>12.1} {:>12.1} {:>+8.1}% {:>+13}{flag}",
             key.0,
             key.1,
             old_ips / 1e6,
             new_ips / 1e6,
             delta * 100.0,
+            elided_delta,
         );
     }
-    bench::rule(72);
+    bench::rule(86);
     if warned {
         println!(
             "WARNING: at least one cell regressed by more than {:.0}% \
@@ -163,11 +234,14 @@ fn compare(old_path: &str, new_path: &str) -> i32 {
     0
 }
 
-/// Extract `(benchmark, backend) -> instructions_per_sec` from a
-/// `BENCH_interp.json`.  The file is machine-written one row per line
-/// (see [`render_json`]), so a line scan is sufficient and avoids a JSON
-/// parser dependency.
-fn parse_rows(path: &str) -> Result<std::collections::BTreeMap<(String, String), f64>, String> {
+/// Extract `(benchmark, backend) -> (instructions_per_sec, checks_elided)`
+/// from a `BENCH_interp.json`.  The file is machine-written one row per
+/// line (see [`render_json`]), so a line scan is sufficient and avoids a
+/// JSON parser dependency.
+#[allow(clippy::type_complexity)]
+fn parse_rows(
+    path: &str,
+) -> Result<std::collections::BTreeMap<(String, String), (f64, u64)>, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let mut rows = std::collections::BTreeMap::new();
     for line in text.lines() {
@@ -178,7 +252,10 @@ fn parse_rows(path: &str) -> Result<std::collections::BTreeMap<(String, String),
             .ok_or_else(|| format!("{path}: row without backend: {line}"))?;
         let ips = num_field(line, "instructions_per_sec")
             .ok_or_else(|| format!("{path}: row without instructions_per_sec: {line}"))?;
-        rows.insert((benchmark, backend), ips);
+        // Rows written before wire v5 lack the field; treat as zero so
+        // old baselines stay comparable.
+        let elided = num_field(line, "checks_elided").unwrap_or(0.0) as u64;
+        rows.insert((benchmark, backend), (ips, elided));
     }
     if rows.is_empty() {
         return Err(format!("{path}: no benchmark rows found"));

@@ -63,8 +63,8 @@ pub use experiments::{
     SpecRow, ToolComparison,
 };
 pub use pipeline::{
-    compile, geometric_mean_overhead, instrument, run_matrix, run_program, run_source, RunConfig,
-    RunReport,
+    compile, geometric_mean_overhead, instrument, run_matrix, run_program, run_program_profiled,
+    run_source, RunConfig, RunReport,
 };
 
 // Re-export the component crates and the most frequently used types.
@@ -74,6 +74,7 @@ pub use effective_runtime::{ErrorKind, ReportMode};
 pub use effective_types;
 pub use lowfat;
 pub use minic;
+pub use obs;
 pub use san_api;
 pub use san_api::{Diagnostic, SanStats, Sanitizer, SanitizerKind};
 pub use vm;

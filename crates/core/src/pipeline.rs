@@ -34,6 +34,9 @@ pub struct RunConfig {
     pub max_instructions: u64,
     /// Cost model for the deterministic time estimate.
     pub cost_model: CostModel,
+    /// Collect the VM's site/tier profile (see [`run_program_profiled`]).
+    /// Off by default; observational only.
+    pub profile: bool,
 }
 
 impl Default for RunConfig {
@@ -45,6 +48,7 @@ impl Default for RunConfig {
             quarantine_blocks: 0,
             max_instructions: 2_000_000_000,
             cost_model: CostModel::default(),
+            profile: false,
         }
     }
 }
@@ -137,6 +141,19 @@ pub fn instrument(program: &Program, sanitizer: SanitizerKind) -> Program {
 /// the program is instrumented, executed in the VM, and a [`RunReport`] is
 /// produced.
 pub fn run_program(program: &Program, entry: &str, args: &[i64], config: &RunConfig) -> RunReport {
+    run_program_profiled(program, entry, args, config).0
+}
+
+/// [`run_program`], additionally returning the VM's site/tier profile when
+/// [`RunConfig::profile`] is set (`None` otherwise).  Profiling is
+/// observational: the returned [`RunReport`] is bit-identical either way
+/// (the tiered differential suite pins this).
+pub fn run_program_profiled(
+    program: &Program,
+    entry: &str,
+    args: &[i64],
+    config: &RunConfig,
+) -> (RunReport, Option<obs::ProfileReport>) {
     let instrumented = instrument_program(program, config.sanitizer);
     let static_checks = instrumented.check_count();
     let vm_config = VmConfig {
@@ -151,6 +168,7 @@ pub fn run_program(program: &Program, entry: &str, args: &[i64], config: &RunCon
             },
         },
         max_instructions: config.max_instructions,
+        profile: config.profile,
         ..Default::default()
     };
     let mut vm = Vm::new(Arc::new(instrumented), vm_config);
@@ -179,7 +197,7 @@ pub fn run_program(program: &Program, entry: &str, args: &[i64], config: &RunCon
         0.0
     };
 
-    RunReport {
+    let report = RunReport {
         sanitizer: config.sanitizer,
         result,
         vm_error,
@@ -192,7 +210,8 @@ pub fn run_program(program: &Program, entry: &str, args: &[i64], config: &RunCon
         peak_memory_bytes: vm.peak_memory_bytes(),
         legacy_check_fraction,
         static_checks,
-    }
+    };
+    (report, vm.profile_report())
 }
 
 /// Compile and run source text in one step.

@@ -1,0 +1,420 @@
+//! Lock-cheap metric primitives: counters, gauges, log2 histograms.
+//!
+//! Everything here records with relaxed atomics — no locks on the hot
+//! path, safe to share across threads behind an `Arc`.  Reads produce
+//! point-in-time [snapshots](HistogramSnapshot) that can be merged and
+//! summarised (`p50`/`p90`/`p99`) deterministically.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Number of histogram buckets: one per power of two of `u64`, plus a
+/// dedicated zero bucket (index 0).  Bucket `i >= 1` holds values in
+/// `[2^(i-1), 2^i)`.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A fresh counter at zero.
+    pub fn new() -> Self {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Increment by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increment by `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// An instantaneous signed value (e.g. shards currently running).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// A fresh gauge at zero.
+    pub fn new() -> Self {
+        Gauge(AtomicI64::new(0))
+    }
+
+    /// Set the value.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adjust by `delta` (may be negative).
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A log2-bucketed histogram of `u64` samples.
+///
+/// `record` is wait-free (a handful of relaxed atomic RMWs); quantiles
+/// are estimated from a [`HistogramSnapshot`] as the upper bound of the
+/// bucket containing the requested rank, clamped to the observed
+/// `[min, max]` range — so estimates are exact for the extremes and
+/// within one power of two elsewhere.
+#[derive(Debug)]
+pub struct Histogram {
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// A fresh, empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// Record one sample.
+    pub fn record(&self, value: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.min.fetch_min(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Point-in-time copy of the histogram state.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            min: self.min.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// Bucket index for a sample: 0 for 0, else `64 - leading_zeros`.
+fn bucket_index(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        (u64::BITS - value.leading_zeros()) as usize
+    }
+}
+
+/// Inclusive upper bound of bucket `i`.
+fn bucket_upper(i: usize) -> u64 {
+    match i {
+        0 => 0,
+        64 => u64::MAX,
+        i => (1u64 << i) - 1,
+    }
+}
+
+/// A plain-data copy of a [`Histogram`]: mergeable, summarisable.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Sum of all samples (wrapping on overflow, like the recorder).
+    pub sum: u64,
+    /// Smallest sample (`u64::MAX` when empty).
+    pub min: u64,
+    /// Largest sample (0 when empty).
+    pub max: u64,
+    /// Per-bucket sample counts (see [`HISTOGRAM_BUCKETS`]).
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+impl HistogramSnapshot {
+    /// An empty snapshot.
+    pub fn empty() -> Self {
+        HistogramSnapshot {
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+            buckets: [0; HISTOGRAM_BUCKETS],
+        }
+    }
+
+    /// Fold `other` into `self`; equivalent to having recorded both
+    /// sample streams into one histogram.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        self.count += other.count;
+        self.sum = self.sum.wrapping_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine += *theirs;
+        }
+    }
+
+    /// Smallest sample, or 0 when empty.
+    pub fn observed_min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Estimate the `q`-quantile (`0.0 ..= 1.0`): the upper bound of
+    /// the bucket holding the rank-`ceil(q * count)` sample, clamped to
+    /// the observed range.  Returns 0 for an empty snapshot.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return bucket_upper(i).clamp(self.observed_min(), self.max);
+            }
+        }
+        self.max
+    }
+
+    /// The five-number summary the wire format carries.
+    pub fn summary(&self) -> HistSummary {
+        HistSummary {
+            count: self.count,
+            min: self.observed_min(),
+            p50: self.quantile(0.50),
+            p90: self.quantile(0.90),
+            p99: self.quantile(0.99),
+            max: self.max,
+        }
+    }
+}
+
+/// Count + min/p50/p90/p99/max of a histogram, as carried on the wire.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HistSummary {
+    /// Number of samples.
+    pub count: u64,
+    /// Smallest sample (0 when empty).
+    pub min: u64,
+    /// Estimated median.
+    pub p50: u64,
+    /// Estimated 90th percentile.
+    pub p90: u64,
+    /// Estimated 99th percentile.
+    pub p99: u64,
+    /// Largest sample.
+    pub max: u64,
+}
+
+/// A name-keyed registry of metrics.
+///
+/// Lookup takes a short-held mutex; the returned `Arc` handles record
+/// lock-free thereafter, so callers resolve names once and cache the
+/// handle.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl Registry {
+    /// A fresh, empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Get or create the counter named `name`.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut map = self.counters.lock().unwrap_or_else(|e| e.into_inner());
+        Arc::clone(map.entry(name.to_string()).or_default())
+    }
+
+    /// Get or create the gauge named `name`.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut map = self.gauges.lock().unwrap_or_else(|e| e.into_inner());
+        Arc::clone(map.entry(name.to_string()).or_default())
+    }
+
+    /// Get or create the histogram named `name`.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut map = self.histograms.lock().unwrap_or_else(|e| e.into_inner());
+        Arc::clone(map.entry(name.to_string()).or_default())
+    }
+
+    /// Render every metric as one JSON object (names sorted, so the
+    /// output is deterministic for a given set of values).
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\"counters\":{");
+        {
+            let map = self.counters.lock().unwrap_or_else(|e| e.into_inner());
+            let mut first = true;
+            for (name, c) in map.iter() {
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                out.push_str(&format!("\"{}\":{}", crate::json_escape(name), c.get()));
+            }
+        }
+        out.push_str("},\"gauges\":{");
+        {
+            let map = self.gauges.lock().unwrap_or_else(|e| e.into_inner());
+            let mut first = true;
+            for (name, g) in map.iter() {
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                out.push_str(&format!("\"{}\":{}", crate::json_escape(name), g.get()));
+            }
+        }
+        out.push_str("},\"histograms\":{");
+        {
+            let map = self.histograms.lock().unwrap_or_else(|e| e.into_inner());
+            let mut first = true;
+            for (name, h) in map.iter() {
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                let s = h.snapshot().summary();
+                out.push_str(&format!(
+                    "\"{}\":{{\"count\":{},\"min\":{},\"p50\":{},\"p90\":{},\"p99\":{},\"max\":{}}}",
+                    crate::json_escape(name),
+                    s.count,
+                    s.min,
+                    s.p50,
+                    s.p90,
+                    s.p99,
+                    s.max
+                ));
+            }
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        let g = Gauge::new();
+        g.set(7);
+        g.add(-3);
+        assert_eq!(g.get(), 4);
+    }
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        assert_eq!(bucket_upper(0), 0);
+        assert_eq!(bucket_upper(2), 3);
+        assert_eq!(bucket_upper(64), u64::MAX);
+    }
+
+    #[test]
+    fn empty_histogram_summary_is_all_zero() {
+        let s = Histogram::new().snapshot().summary();
+        assert_eq!(s, HistSummary::default());
+    }
+
+    #[test]
+    fn quantiles_are_exact_at_the_extremes() {
+        let h = Histogram::new();
+        for v in [3u64, 9, 100, 1000, 40_000] {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 5);
+        assert_eq!(snap.observed_min(), 3);
+        assert_eq!(snap.max, 40_000);
+        assert_eq!(snap.quantile(0.0), 3);
+        assert_eq!(snap.quantile(1.0), 40_000);
+        let p50 = snap.quantile(0.5);
+        assert!((3..=40_000).contains(&p50));
+    }
+
+    #[test]
+    fn merge_is_recording_both_streams() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        let all = Histogram::new();
+        for v in [1u64, 5, 17] {
+            a.record(v);
+            all.record(v);
+        }
+        for v in [2u64, 1024] {
+            b.record(v);
+            all.record(v);
+        }
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged, all.snapshot());
+    }
+
+    #[test]
+    fn registry_handles_are_shared_and_render_sorted() {
+        let r = Registry::new();
+        r.counter("b").add(2);
+        r.counter("a").inc();
+        r.counter("b").inc();
+        r.gauge("running").set(1);
+        r.histogram("lat").record(100);
+        assert_eq!(r.counter("b").get(), 3);
+        let json = r.render_json();
+        let a = json.find("\"a\":1").expect("counter a");
+        let b = json.find("\"b\":3").expect("counter b");
+        assert!(a < b, "names sorted: {json}");
+        assert!(json.contains("\"running\":1"));
+        assert!(json.contains("\"lat\":{\"count\":1"));
+    }
+}

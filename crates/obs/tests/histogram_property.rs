@@ -1,0 +1,87 @@
+//! Property tests for the histogram merge and percentile math.
+//!
+//! The wire format carries `min/p50/p90/p99/max` summaries merged
+//! across workers, so these invariants are load-bearing: quantiles
+//! must stay inside the observed range, be monotone in `q`, and
+//! merging snapshots must be indistinguishable from recording both
+//! sample streams into one histogram.
+
+use obs::{Histogram, HistogramSnapshot};
+use proptest::prelude::*;
+
+fn record_all(samples: &[u64]) -> HistogramSnapshot {
+    let h = Histogram::new();
+    for &s in samples {
+        h.record(s);
+    }
+    h.snapshot()
+}
+
+fn samples_strategy() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(any::<u64>(), 0..64)
+}
+
+proptest! {
+    /// Quantile estimates never leave the observed `[min, max]` range,
+    /// and the extremes are exact.
+    #[test]
+    fn quantiles_stay_in_observed_range(samples in samples_strategy()) {
+        let snap = record_all(&samples);
+        if samples.is_empty() {
+            prop_assert_eq!(snap.quantile(0.5), 0);
+        } else {
+            let min = *samples.iter().min().unwrap();
+            let max = *samples.iter().max().unwrap();
+            prop_assert_eq!(snap.observed_min(), min);
+            prop_assert_eq!(snap.max, max);
+            for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+                let v = snap.quantile(q);
+                prop_assert!(v >= min && v <= max, "q={} -> {} outside [{}, {}]", q, v, min, max);
+            }
+            prop_assert_eq!(snap.quantile(1.0), max);
+        }
+    }
+
+    /// Quantiles are monotone in `q`.
+    #[test]
+    fn quantiles_are_monotone(samples in samples_strategy()) {
+        let snap = record_all(&samples);
+        let mut last = snap.quantile(0.0);
+        for step in 1..=20u32 {
+            let v = snap.quantile(f64::from(step) / 20.0);
+            prop_assert!(v >= last, "quantile dipped: {} -> {}", last, v);
+            last = v;
+        }
+    }
+
+    /// Merging two snapshots equals recording both streams into one
+    /// histogram — counts, sums, extremes, buckets, and therefore every
+    /// quantile.
+    #[test]
+    fn merge_equals_single_stream(a in samples_strategy(), b in samples_strategy()) {
+        let mut merged = record_all(&a);
+        merged.merge(&record_all(&b));
+        let combined: Vec<u64> = a.iter().chain(b.iter()).copied().collect();
+        prop_assert_eq!(merged, record_all(&combined));
+    }
+
+    /// Merge is commutative.
+    #[test]
+    fn merge_is_commutative(a in samples_strategy(), b in samples_strategy()) {
+        let (sa, sb) = (record_all(&a), record_all(&b));
+        let mut ab = sa.clone();
+        ab.merge(&sb);
+        let mut ba = sb;
+        ba.merge(&sa);
+        prop_assert_eq!(ab, ba);
+    }
+
+    /// A summary is internally consistent: count preserved and the
+    /// five numbers ordered.
+    #[test]
+    fn summary_is_ordered(samples in samples_strategy()) {
+        let s = record_all(&samples).summary();
+        prop_assert_eq!(s.count, samples.len() as u64);
+        prop_assert!(s.min <= s.p50 && s.p50 <= s.p90 && s.p90 <= s.p99 && s.p99 <= s.max);
+    }
+}

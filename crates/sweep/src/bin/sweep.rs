@@ -13,6 +13,7 @@
 //!       [--max-attempts N] [--shard-timeout-ms N] [--silence-timeout-ms N]
 //! sweep --connect <addr> [--benchmarks ...] [--backends ...] [--scale ...]
 //!       [--check] [--json]
+//! sweep --connect <addr> --stats [--json]
 //! ```
 //!
 //! Workers are this same binary re-executed with `SAN_WORKER=1` (no
@@ -52,6 +53,7 @@ struct Options {
     listen: Option<String>,
     connect: Option<String>,
     serve: bool,
+    stats: bool,
     check: bool,
     json: bool,
 }
@@ -63,7 +65,8 @@ fn usage() -> ! {
          [--max-attempts N] [--tcp-workers addr,addr] [--shard-timeout-ms N] \
          [--silence-timeout-ms N] [--check] [--json]\n\
          \x20      sweep serve --listen <addr> --tcp-workers addr,addr [...]\n\
-         \x20      sweep --connect <addr> [--benchmarks ...] [--backends ...] [--check] [--json]"
+         \x20      sweep --connect <addr> [--benchmarks ...] [--backends ...] [--check] [--json]\n\
+         \x20      sweep --connect <addr> --stats [--json]"
     );
     std::process::exit(2);
 }
@@ -83,6 +86,7 @@ fn parse_options() -> Options {
         listen: None,
         connect: None,
         serve: false,
+        stats: false,
         check: false,
         json: false,
     };
@@ -179,6 +183,7 @@ fn parse_options() -> Options {
             }
             "--listen" => opts.listen = Some(value(&mut args, "--listen")),
             "--connect" => opts.connect = Some(value(&mut args, "--connect")),
+            "--stats" => opts.stats = true,
             "--check" => opts.check = true,
             "--json" => opts.json = true,
             _ => {
@@ -258,10 +263,71 @@ fn run_serve(opts: Options) -> ! {
     }
 }
 
+/// `sweep --connect <addr> --stats`: query the daemon's live statistics
+/// and render them as a table or (with `--json`) one JSON object.
+fn run_stats(addr: &str, opts: &Options) -> ! {
+    let stats = sweep::client_stats(addr).unwrap_or_else(|e| {
+        eprintln!("sweep: {e}");
+        std::process::exit(1);
+    });
+    if opts.json {
+        println!("{}", sweep::json::service_stats_json(&stats));
+        std::process::exit(0);
+    }
+    println!(
+        "sweep service at {addr}: {} queued jobs, {} clients served, \
+         {} requests ({} failed, {} cancelled)",
+        stats.queued_jobs,
+        stats.clients_total,
+        stats.requests_total,
+        stats.requests_failed,
+        stats.requests_cancelled
+    );
+    println!(
+        "{:<5} {:<22} {:>4} {:>7} {:>6} {:>6} {:>6} {:>20} {:>20}",
+        "slot",
+        "addr",
+        "busy",
+        "queued",
+        "done",
+        "fail",
+        "steal",
+        "hb p50/p99 µs",
+        "shard p50/p99 µs"
+    );
+    for w in &stats.workers {
+        println!(
+            "{:<5} {:<22} {:>4} {:>7} {:>6} {:>6} {:>6} {:>20} {:>20}",
+            w.slot,
+            w.addr,
+            if w.busy { "yes" } else { "no" },
+            w.queued,
+            w.completed,
+            w.failed,
+            w.steals,
+            format!("{}/{}", w.heartbeat_gap_us.p50, w.heartbeat_gap_us.p99),
+            format!("{}/{}", w.shard_latency_us.p50, w.shard_latency_us.p99),
+        );
+    }
+    if !stats.requests.is_empty() {
+        println!("in-flight requests:");
+        for r in &stats.requests {
+            println!(
+                "  request {}: {}/{} jobs done ({} benchmarks)",
+                r.req_id, r.jobs_done, r.jobs_total, r.benchmarks
+            );
+        }
+    }
+    std::process::exit(0);
+}
+
 /// `sweep --connect`: submit a sweep to a daemon and render the streamed
 /// rows (incrementally for the table view; buffered for `--json`, whose
 /// location rollup needs the whole experiment).
 fn run_connect(addr: &str, opts: Options) -> ! {
+    if opts.stats {
+        run_stats(addr, &opts);
+    }
     let benchmarks = match &opts.benchmarks {
         Some(names) => names.clone(),
         None => SpecBenchmark::names()
@@ -311,6 +377,10 @@ fn main() {
     let opts = parse_options();
     if opts.serve {
         run_serve(opts);
+    }
+    if opts.stats && opts.connect.is_none() {
+        eprintln!("sweep: --stats needs --connect <addr>");
+        usage();
     }
     if let Some(addr) = opts.connect.clone() {
         run_connect(&addr, opts);

@@ -19,7 +19,7 @@ use std::collections::VecDeque;
 use std::path::PathBuf;
 use std::process::{Command as ProcessCommand, Stdio};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use effective_san::{sanitizers_with_baseline, Parallelism, SpecExperiment, ToolComparison};
@@ -333,6 +333,11 @@ struct Engine<'a> {
     results: Mutex<Vec<Option<(String, usize, effective_san::SpecRow)>>>,
     failure: Mutex<Option<SweepError>>,
     abort: AtomicBool,
+    /// Per-slot heartbeat arrival-gap histograms (µs), recorded by each
+    /// slot's [`WorkerConn`] while shards run and summarised into the
+    /// sweep tracer at the end of the sweep.  Pure observation: results
+    /// are byte-identical with or without a tracer attached.
+    hb_gaps: Vec<Arc<obs::Histogram>>,
 }
 
 impl Engine<'_> {
@@ -426,11 +431,14 @@ impl Engine<'_> {
                     &self.config.worker_env,
                     self.config.silence_timeout,
                 ) {
-                    Ok(live) => conn.insert(live).run_shard(
-                        &spec,
-                        self.config.shard_timeout,
-                        self.config.silence_timeout,
-                    ),
+                    Ok(mut live) => {
+                        live.observe_heartbeats(self.hb_gaps[slot].clone());
+                        conn.insert(live).run_shard(
+                            &spec,
+                            self.config.shard_timeout,
+                            self.config.silence_timeout,
+                        )
+                    }
                     Err(e) => Err(AttemptError::Spawn(e)),
                 },
             };
@@ -567,6 +575,9 @@ pub fn sharded_spec_experiment(
         results: Mutex::new(Vec::new()),
         failure: Mutex::new(None),
         abort: AtomicBool::new(false),
+        hb_gaps: (0..workers)
+            .map(|_| Arc::new(obs::Histogram::new()))
+            .collect(),
     };
     {
         let mut results = engine.results.lock().expect("results lock");
@@ -579,6 +590,27 @@ pub fn sharded_spec_experiment(
             scope.spawn(move || engine.worker_loop(slot));
         }
     });
+
+    // Summarise each slot's heartbeat arrival gaps into the sweep tracer
+    // (`SWEEP_TRACE`); one event per slot even when no heartbeat arrived,
+    // so a traced run always documents its fleet.
+    let tracer = obs::sweep_tracer();
+    if tracer.enabled() {
+        for (slot, gaps) in engine.hb_gaps.iter().enumerate() {
+            let summary = gaps.snapshot().summary();
+            tracer.event(
+                "sweep_worker_hb",
+                &[
+                    ("slot", slot.into()),
+                    ("gap_count", summary.count.into()),
+                    ("gap_min_us", summary.min.into()),
+                    ("gap_p50_us", summary.p50.into()),
+                    ("gap_p99_us", summary.p99.into()),
+                    ("gap_max_us", summary.max.into()),
+                ],
+            );
+        }
+    }
 
     if let Some(error) = engine.failure.lock().expect("failure lock").take() {
         return Err(error);

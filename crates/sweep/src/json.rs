@@ -166,6 +166,61 @@ pub fn experiment_report_json(experiment: &SpecExperiment, only: Option<Sanitize
     )
 }
 
+fn hist_summary_json(h: &obs::HistSummary) -> String {
+    format!(
+        "{{\"count\":{},\"min\":{},\"p50\":{},\"p90\":{},\"p99\":{},\"max\":{}}}",
+        h.count, h.min, h.p50, h.p90, h.p99, h.max
+    )
+}
+
+/// Render a daemon's live statistics (the `stats` wire frame) as JSON —
+/// the `sweep --connect <addr> --stats --json` output.  Histogram fields
+/// are the same µs summaries the wire carries.
+pub fn service_stats_json(stats: &crate::wire::ServiceStats) -> String {
+    let workers: Vec<String> = stats
+        .workers
+        .iter()
+        .map(|w| {
+            format!(
+                "{{\"slot\":{},\"addr\":\"{}\",\"busy\":{},\"queued\":{},\
+                 \"completed\":{},\"failed\":{},\"steals\":{},\
+                 \"heartbeat_gap_us\":{},\"shard_latency_us\":{}}}",
+                w.slot,
+                json_escape(&w.addr),
+                w.busy,
+                w.queued,
+                w.completed,
+                w.failed,
+                w.steals,
+                hist_summary_json(&w.heartbeat_gap_us),
+                hist_summary_json(&w.shard_latency_us),
+            )
+        })
+        .collect();
+    let requests: Vec<String> = stats
+        .requests
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"req_id\":{},\"benchmarks\":{},\"jobs_total\":{},\"jobs_done\":{}}}",
+                r.req_id, r.benchmarks, r.jobs_total, r.jobs_done
+            )
+        })
+        .collect();
+    format!(
+        "{{\"schema\":\"effective-san-sweep-stats/1\",\"queued_jobs\":{},\
+         \"clients_total\":{},\"requests_total\":{},\"requests_failed\":{},\
+         \"requests_cancelled\":{},\"workers\":[{}],\"requests\":[{}]}}",
+        stats.queued_jobs,
+        stats.clients_total,
+        stats.requests_total,
+        stats.requests_failed,
+        stats.requests_cancelled,
+        workers.join(","),
+        requests.join(",")
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -277,6 +332,49 @@ mod tests {
         let report_json = experiment_report_json(&experiment, None);
         assert!(report_json.starts_with("{\"issues\":["), "{report_json}");
         assert!(report_json.contains("\"locations\":["), "{report_json}");
+    }
+
+    #[test]
+    fn service_stats_render_as_json() {
+        let stats = crate::wire::ServiceStats {
+            queued_jobs: 4,
+            clients_total: 2,
+            requests_total: 1,
+            requests_failed: 0,
+            requests_cancelled: 0,
+            workers: vec![crate::wire::WorkerStats {
+                slot: 0,
+                addr: "127.0.0.1:7601".to_string(),
+                busy: true,
+                queued: 3,
+                completed: 12,
+                failed: 1,
+                steals: 2,
+                heartbeat_gap_us: obs::HistSummary {
+                    count: 5,
+                    min: 490_000,
+                    p50: 524_287,
+                    p90: 524_287,
+                    p99: 524_287,
+                    max: 512_000,
+                },
+                shard_latency_us: obs::HistSummary::default(),
+            }],
+            requests: vec![crate::wire::RequestProgress {
+                req_id: 0,
+                benchmarks: 2,
+                jobs_total: 4,
+                jobs_done: 1,
+            }],
+        };
+        let json = service_stats_json(&stats);
+        assert!(
+            json.contains("\"schema\":\"effective-san-sweep-stats/1\""),
+            "{json}"
+        );
+        assert!(json.contains("\"busy\":true"), "{json}");
+        assert!(json.contains("\"heartbeat_gap_us\":{\"count\":5"), "{json}");
+        assert!(json.contains("\"jobs_done\":1"), "{json}");
     }
 
     #[test]

@@ -37,6 +37,6 @@ pub use coordinator::{
     sharded_spec_experiment, sharded_tool_comparison, ShardStrategy, SweepConfig, SweepError,
     WorkerLaunch,
 };
-pub use net::{client_sweep, ClientError};
+pub use net::{client_stats, client_sweep, ClientError};
 pub use shard::{merge_experiment, plan_shards, MergeError, Shard};
-pub use wire::{SweepRequest, WireError, HANDSHAKE, WIRE_VERSION};
+pub use wire::{ServiceStats, SweepRequest, WireError, HANDSHAKE, WIRE_VERSION};

@@ -17,7 +17,7 @@
 use std::io::{BufRead, BufReader, Write};
 use std::net::{Shutdown, TcpStream, ToSocketAddrs};
 use std::process::{Child, ChildStdin};
-use std::sync::mpsc;
+use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 
 use effective_san::{SpecExperiment, SpecRow};
@@ -312,6 +312,20 @@ impl AttemptError {
     }
 }
 
+/// Observes heartbeat arrival gaps on one connection: heartbeats are
+/// still swallowed by [`DeadlineLines`], but the gap between consecutive
+/// arrivals is recorded (in microseconds) before the line is dropped —
+/// the raw signal behind the `stats` frame's per-worker heartbeat
+/// summaries.  Purely read-only: attaching a probe never changes which
+/// lines a decoder sees.
+pub struct HeartbeatProbe<'a> {
+    /// Gap histogram the observed arrival gaps are recorded into (µs).
+    pub gaps: &'a obs::Histogram,
+    /// Arrival instant of the previous heartbeat on this connection
+    /// (`None` before the first one; reset per shard by the caller).
+    pub last: &'a mut Option<Instant>,
+}
+
 /// A [`LineSource`] over a transport that enforces two deadlines and
 /// skips heartbeat lines: `deadline` is the absolute instant the whole
 /// message must be complete by (the shard budget — heartbeats do *not*
@@ -321,6 +335,7 @@ pub struct DeadlineLines<'t> {
     transport: &'t mut dyn Transport,
     deadline: Option<Instant>,
     silence: Option<Duration>,
+    probe: Option<HeartbeatProbe<'t>>,
 }
 
 impl<'t> DeadlineLines<'t> {
@@ -334,7 +349,14 @@ impl<'t> DeadlineLines<'t> {
             transport,
             deadline,
             silence,
+            probe: None,
         }
+    }
+
+    /// Attach an optional heartbeat-gap probe (builder style).
+    pub fn with_probe(mut self, probe: Option<HeartbeatProbe<'t>>) -> Self {
+        self.probe = probe;
+        self
     }
 }
 
@@ -354,7 +376,17 @@ impl LineSource for DeadlineLines<'_> {
                 (Some(r), Some(s)) => Some(r.min(s)),
             };
             match self.transport.recv_line(per_read)? {
-                Some(line) if wire::is_heartbeat(&line) => continue,
+                Some(line) if wire::is_heartbeat(&line) => {
+                    if let Some(probe) = self.probe.as_mut() {
+                        let now = Instant::now();
+                        if let Some(last) = probe.last.replace(now) {
+                            probe
+                                .gaps
+                                .record(now.duration_since(last).as_micros() as u64);
+                        }
+                    }
+                    continue;
+                }
                 other => return Ok(other),
             }
         }
@@ -368,6 +400,11 @@ pub struct WorkerConn {
     transport: Box<dyn Transport>,
     /// The worker's capability advertisement (backend list, core count).
     pub hello: Hello,
+    /// Heartbeat-gap histogram (µs) shared with the owner's telemetry;
+    /// `None` = gaps are not observed on this connection.
+    hb_gaps: Option<Arc<obs::Histogram>>,
+    /// Arrival instant of the previous heartbeat, reset per shard.
+    last_hb: Option<Instant>,
 }
 
 impl WorkerConn {
@@ -396,12 +433,24 @@ impl WorkerConn {
             }
         })();
         match result {
-            Ok(hello) => Ok(WorkerConn { transport, hello }),
+            Ok(hello) => Ok(WorkerConn {
+                transport,
+                hello,
+                hb_gaps: None,
+                last_hb: None,
+            }),
             Err(e) => {
                 transport.kill();
                 Err(e)
             }
         }
+    }
+
+    /// Record this connection's heartbeat arrival gaps (µs) into `gaps`
+    /// from now on.  Observation is read-only: the reply stream a shard
+    /// decodes is unchanged.
+    pub fn observe_heartbeats(&mut self, gaps: Arc<obs::Histogram>) {
+        self.hb_gaps = Some(gaps);
     }
 
     /// Send one shard and block until its reply, under the configured
@@ -419,7 +468,15 @@ impl WorkerConn {
             .map_err(|e| AttemptError::Failed(format!("writing shard to worker: {e}")))?;
         let started = Instant::now();
         let deadline = shard_timeout.map(|t| started + t);
-        let mut lines = DeadlineLines::new(self.transport.as_mut(), deadline, silence);
+        // Gaps are per-shard: the idle stretch between shards is not a
+        // heartbeat gap, so the previous-arrival marker resets here.
+        self.last_hb = None;
+        let probe = self.hb_gaps.as_deref().map(|gaps| HeartbeatProbe {
+            gaps,
+            last: &mut self.last_hb,
+        });
+        let mut lines =
+            DeadlineLines::new(self.transport.as_mut(), deadline, silence).with_probe(probe);
         match wire::decode_reply(&mut lines) {
             Ok(Reply::Result { id, chunk, row }) if id == spec.id => Ok((chunk, row)),
             Ok(Reply::Result { id, .. }) => Err(AttemptError::Failed(format!(
@@ -572,6 +629,31 @@ pub fn client_sweep<F: FnMut(usize, &SpecRow)>(
     })
 }
 
+/// Query a `sweep serve` daemon's live statistics: handshake, send the
+/// bare [`wire::STATS_REQUEST`] line instead of a request block, decode
+/// the `stats`/`wstat`/`rstat` reply.  Read-only — issuing it never
+/// perturbs the daemon's scheduling or any in-flight request.
+///
+/// # Errors
+///
+/// [`ClientError::Wire`] on connection/protocol failures,
+/// [`ClientError::Incomplete`] when the daemon hangs up early.
+pub fn client_stats(addr: &str) -> Result<wire::ServiceStats, ClientError> {
+    let mut transport = TcpTransport::connect(addr, Some(Duration::from_secs(30)))?;
+    transport.send_line(wire::HANDSHAKE)?;
+    match transport.recv_line(None)? {
+        Some(line) => wire::check_handshake(&line)?,
+        None => {
+            return Err(ClientError::Incomplete(
+                "daemon closed the connection before the handshake".to_string(),
+            ))
+        }
+    }
+    transport.send_line(wire::STATS_REQUEST)?;
+    let mut lines = DeadlineLines::new(&mut transport, None, None);
+    Ok(wire::decode_stats(&mut lines)?)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -618,6 +700,42 @@ mod tests {
         assert!(err.contains("version 2"), "{err}");
         assert!(err.contains(&wire::WIRE_VERSION.to_string()), "{err}");
         imposter.join().expect("imposter thread");
+    }
+
+    #[test]
+    fn heartbeat_probe_records_gaps_without_changing_lines() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let writer = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().expect("accept");
+            for seq in 0..3u64 {
+                writeln!(stream, "{}", wire::encode_heartbeat(seq)).expect("write");
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            writeln!(stream, "data-line").expect("write");
+        });
+        let mut transport = TcpTransport::connect(&addr.to_string(), Some(Duration::from_secs(5)))
+            .expect("connect");
+        let gaps = obs::Histogram::new();
+        let mut last = None;
+        let mut lines = DeadlineLines::new(&mut transport, None, Some(Duration::from_secs(5)))
+            .with_probe(Some(HeartbeatProbe {
+                gaps: &gaps,
+                last: &mut last,
+            }));
+        // The probe must not change what the decoder sees: heartbeats
+        // are still skipped, the data line still comes through.
+        assert_eq!(
+            lines.next_line().expect("line").as_deref(),
+            Some("data-line")
+        );
+        let summary = gaps.snapshot().summary();
+        assert_eq!(summary.count, 2, "3 heartbeats → 2 arrival gaps");
+        assert!(
+            summary.min >= 1_000,
+            "10ms apart → gaps of at least 1ms, got {summary:?}"
+        );
+        writer.join().expect("writer thread");
     }
 
     #[test]

@@ -35,15 +35,16 @@ use std::io::{BufReader, Write};
 use std::net::{TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc;
-use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
-use std::time::Duration;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
 
 use effective_san::{Parallelism, SpecRow};
+use obs::{sweep_tracer, Counter, Gauge, Histogram};
 use workloads::{Scale, SpecBenchmark};
 
 use crate::net::{AttemptError, TcpTransport, WorkerConn};
 use crate::shard::{merge_experiment, plan_shards, Shard};
-use crate::wire::{self, IoLines, LineSource, ServiceEvent, ShardSpec};
+use crate::wire::{self, IoLines, LineSource, ServiceEvent, ShardSpec, WireError};
 
 /// Configuration of a [`serve_forever`] daemon.
 #[derive(Clone, Debug)]
@@ -91,6 +92,23 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
+/// A [`LineSource`] that yields one already-read line, then delegates —
+/// how the first line of a client conversation (peeked to distinguish a
+/// `stats` query from a request block) is handed back to the decoder.
+struct PrependedLine<S> {
+    first: Option<String>,
+    rest: S,
+}
+
+impl<S: LineSource> LineSource for PrependedLine<S> {
+    fn next_line(&mut self) -> Result<Option<String>, WireError> {
+        match self.first.take() {
+            Some(line) => Ok(Some(line)),
+            None => self.rest.next_line(),
+        }
+    }
+}
+
 /// One schedulable unit on the global queue: a shard of one request.
 struct Job {
     req_id: u64,
@@ -112,6 +130,14 @@ enum JobOutcome {
     Exhausted { benchmark: String, message: String },
 }
 
+/// Progress of one live request, maintained alongside its result channel
+/// and surfaced through the `stats` frame.
+struct Progress {
+    benchmarks: u64,
+    jobs_total: u64,
+    jobs_done: u64,
+}
+
 #[derive(Default)]
 struct Board {
     queue: VecDeque<Job>,
@@ -119,19 +145,86 @@ struct Board {
     affinity: HashMap<(u64, String), usize>,
     /// Live requests' result channels, keyed by request id.
     requests: HashMap<u64, mpsc::Sender<JobOutcome>>,
+    /// Live requests' job progress, keyed by request id.
+    progress: HashMap<u64, Progress>,
     /// Requests whose client vanished or whose sweep already failed:
     /// their queued shards are dropped instead of run.
     cancelled: HashSet<u64>,
 }
 
-/// The queue, its condvar, and the options every thread needs.
+/// Lock-cheap live telemetry for one worker slot: every field is an
+/// atomic `obs` primitive, so fleet threads update them without touching
+/// the board lock and the stats snapshot reads them without stalling
+/// anyone.
+struct WorkerTelemetry {
+    /// The worker's address as the daemon dials it.
+    addr: String,
+    /// 1 while the slot is running a shard attempt, 0 while idle.
+    busy: Gauge,
+    /// Shards this slot completed successfully.
+    completed: Counter,
+    /// Shard attempts this slot failed (retries and exhaustions alike).
+    failed: Counter,
+    /// Jobs this slot stole from another slot's claimed pair.
+    steals: Counter,
+    /// Heartbeat arrival gaps on this slot's connection, in µs (shared
+    /// with the slot's [`WorkerConn`] via [`WorkerConn::observe_heartbeats`]).
+    hb_gaps: Arc<Histogram>,
+    /// Per-shard wall latency on this slot, in µs.
+    latency: Histogram,
+}
+
+impl WorkerTelemetry {
+    fn new(addr: &str) -> WorkerTelemetry {
+        WorkerTelemetry {
+            addr: addr.to_string(),
+            busy: Gauge::new(),
+            completed: Counter::new(),
+            failed: Counter::new(),
+            steals: Counter::new(),
+            hb_gaps: Arc::new(Histogram::new()),
+            latency: Histogram::new(),
+        }
+    }
+}
+
+/// The queue, its condvar, the options every thread needs, and the
+/// daemon's live telemetry (all-atomic, read by the `stats` frame).
 struct Scheduler {
     board: Mutex<Board>,
     work_ready: Condvar,
     options: ServeOptions,
+    /// One telemetry block per fleet slot, in slot order.
+    telemetry: Vec<WorkerTelemetry>,
+    /// Client connections accepted since the daemon started.
+    clients_total: Counter,
+    /// Sweep requests accepted since the daemon started.
+    requests_total: Counter,
+    /// Requests that ended in a structured `sfail`.
+    requests_failed: Counter,
+    /// Requests cancelled because their client vanished mid-stream.
+    requests_cancelled: Counter,
 }
 
 impl Scheduler {
+    fn new(options: ServeOptions) -> Scheduler {
+        let telemetry = options
+            .workers
+            .iter()
+            .map(|addr| WorkerTelemetry::new(addr))
+            .collect();
+        Scheduler {
+            board: Mutex::new(Board::default()),
+            work_ready: Condvar::new(),
+            options,
+            telemetry,
+            clients_total: Counter::new(),
+            requests_total: Counter::new(),
+            requests_failed: Counter::new(),
+            requests_cancelled: Counter::new(),
+        }
+    }
+
     /// Lock the board, recovering from poisoning.  Every board mutation
     /// is completed before its guard drops (no invariant is ever left
     /// half-updated across a call that can panic), so a thread that dies
@@ -154,9 +247,23 @@ impl Scheduler {
                 if board.cancelled.contains(&job.req_id) {
                     continue;
                 }
-                board
+                let prior = board
                     .affinity
                     .insert((job.req_id, job.shard.benchmark.clone()), slot);
+                // A pair previously claimed by another slot moves here
+                // wholesale: that is a steal, worth counting and tracing.
+                if let Some(victim) = prior.filter(|&p| p != slot) {
+                    self.telemetry[slot].steals.inc();
+                    sweep_tracer().event(
+                        "serve_steal",
+                        &[
+                            ("req", job.req_id.into()),
+                            ("benchmark", job.shard.benchmark.as_str().into()),
+                            ("from_slot", victim.into()),
+                            ("to_slot", slot.into()),
+                        ],
+                    );
+                }
                 return job;
             }
             board = match self
@@ -190,7 +297,12 @@ impl Scheduler {
 
     /// Deliver a job outcome to its request, if the request still exists.
     fn deliver(&self, req_id: u64, outcome: JobOutcome) {
-        let board = self.lock_board();
+        let mut board = self.lock_board();
+        if matches!(outcome, JobOutcome::Fragment { .. }) {
+            if let Some(progress) = board.progress.get_mut(&req_id) {
+                progress.jobs_done += 1;
+            }
+        }
         if let Some(tx) = board.requests.get(&req_id) {
             // A dead receiver means the client thread is gone; its
             // deregistration will cancel the request.
@@ -202,8 +314,78 @@ impl Scheduler {
         let mut board = self.lock_board();
         board.cancelled.insert(req_id);
         board.requests.remove(&req_id);
+        board.progress.remove(&req_id);
         board.queue.retain(|job| job.req_id != req_id);
         board.affinity.retain(|(id, _), _| *id != req_id);
+    }
+
+    /// Cancel a request whose client hung up, counting and logging the
+    /// cancellation (the plain [`Scheduler::cancel`] also runs on normal
+    /// completion, where no cancellation happened).
+    fn cancel_gone_client(&self, req_id: u64, when: &str) {
+        self.requests_cancelled.inc();
+        eprintln!("sweep serve: request {req_id} cancelled: client hung up {when}");
+        sweep_tracer().event(
+            "serve_request_cancel",
+            &[("req", req_id.into()), ("when", when.into())],
+        );
+        self.cancel(req_id);
+    }
+
+    /// Snapshot the daemon's live statistics for a `stats` reply.  One
+    /// board lock for the queue/progress view; every per-worker figure is
+    /// atomic, read without blocking the fleet.
+    fn snapshot_stats(&self) -> wire::ServiceStats {
+        let board = self.lock_board();
+        let queued_jobs = board.queue.len() as u64;
+        let mut claimed = vec![0u64; self.telemetry.len()];
+        for job in &board.queue {
+            if let Some(&slot) = board
+                .affinity
+                .get(&(job.req_id, job.shard.benchmark.clone()))
+            {
+                if let Some(n) = claimed.get_mut(slot) {
+                    *n += 1;
+                }
+            }
+        }
+        let mut requests: Vec<wire::RequestProgress> = board
+            .progress
+            .iter()
+            .map(|(&req_id, p)| wire::RequestProgress {
+                req_id,
+                benchmarks: p.benchmarks,
+                jobs_total: p.jobs_total,
+                jobs_done: p.jobs_done,
+            })
+            .collect();
+        drop(board);
+        requests.sort_by_key(|r| r.req_id);
+        let workers = self
+            .telemetry
+            .iter()
+            .enumerate()
+            .map(|(slot, t)| wire::WorkerStats {
+                slot,
+                addr: t.addr.clone(),
+                busy: t.busy.get() != 0,
+                queued: claimed[slot],
+                completed: t.completed.get(),
+                failed: t.failed.get(),
+                steals: t.steals.get(),
+                heartbeat_gap_us: t.hb_gaps.snapshot().summary(),
+                shard_latency_us: t.latency.snapshot().summary(),
+            })
+            .collect();
+        wire::ServiceStats {
+            queued_jobs,
+            clients_total: self.clients_total.get(),
+            requests_total: self.requests_total.get(),
+            requests_failed: self.requests_failed.get(),
+            requests_cancelled: self.requests_cancelled.get(),
+            workers,
+            requests,
+        }
     }
 
     /// One fleet thread: own (and re-own) a connection to `addr`, run
@@ -226,6 +408,9 @@ impl Scheduler {
             // fleet forever and wedge the job's request.  Convert it to a
             // failed attempt so the normal retry/exhaust path fails only
             // the affected request.
+            let telemetry = &self.telemetry[slot];
+            telemetry.busy.set(1);
+            let attempt_started = Instant::now();
             let attempt = catch_unwind(AssertUnwindSafe(|| match &mut conn {
                 Some(live) => live.run_shard(
                     &spec,
@@ -236,11 +421,14 @@ impl Scheduler {
                     .map_err(|e| e.to_string())
                     .and_then(|t| WorkerConn::establish(Box::new(t), self.options.silence_timeout))
                 {
-                    Ok(live) => conn.insert(live).run_shard(
-                        &spec,
-                        self.options.shard_timeout,
-                        self.options.silence_timeout,
-                    ),
+                    Ok(mut live) => {
+                        live.observe_heartbeats(telemetry.hb_gaps.clone());
+                        conn.insert(live).run_shard(
+                            &spec,
+                            self.options.shard_timeout,
+                            self.options.silence_timeout,
+                        )
+                    }
                     Err(e) => Err(AttemptError::Spawn(e)),
                 },
             }))
@@ -250,16 +438,24 @@ impl Scheduler {
                     panic_message(payload.as_ref())
                 )))
             });
+            telemetry.busy.set(0);
             match attempt {
-                Ok((chunk, row)) => self.deliver(
-                    job.req_id,
-                    JobOutcome::Fragment {
-                        benchmark: job.shard.benchmark.clone(),
-                        chunk,
-                        row,
-                    },
-                ),
+                Ok((chunk, row)) => {
+                    telemetry.completed.inc();
+                    telemetry
+                        .latency
+                        .record(attempt_started.elapsed().as_micros() as u64);
+                    self.deliver(
+                        job.req_id,
+                        JobOutcome::Fragment {
+                            benchmark: job.shard.benchmark.clone(),
+                            chunk,
+                            row,
+                        },
+                    )
+                }
                 Err(failure) => {
+                    telemetry.failed.inc();
                     if let Some(dead) = conn.take() {
                         dead.kill();
                     }
@@ -279,6 +475,17 @@ impl Scheduler {
                             },
                         );
                     } else {
+                        sweep_tracer().event(
+                            "serve_requeue",
+                            &[
+                                ("req", job.req_id.into()),
+                                ("benchmark", job.shard.benchmark.as_str().into()),
+                                ("slot", slot.into()),
+                                ("attempts", job.attempts.into()),
+                                ("burned", burned.into()),
+                                ("error", failure.message().into()),
+                            ],
+                        );
                         let mut board = self.lock_board();
                         // Shed the claim so any worker may take over.
                         board
@@ -320,10 +527,26 @@ impl Scheduler {
             Ok(Some(line)) if line == wire::HANDSHAKE => {}
             _ => return, // wrong version or vanished client: nothing to salvage
         }
+        // v6: a bare `stats` line in place of the request block queries
+        // the daemon's live statistics and ends the conversation; any
+        // other first line is handed back to the request decoder.
+        let first = match lines.next_line() {
+            Ok(Some(line)) => line,
+            _ => return,
+        };
+        if first == wire::STATS_REQUEST {
+            send(&wire::encode_stats(&self.snapshot_stats()));
+            return;
+        }
+        let mut lines = PrependedLine {
+            first: Some(first),
+            rest: lines,
+        };
         let request = match wire::decode_request(&mut lines) {
             Ok(Some(request)) => request,
             Ok(None) => return,
             Err(e) => {
+                self.requests_failed.inc();
                 send(&wire::encode_service_event(&ServiceEvent::Failed {
                     message: e.to_string(),
                 }));
@@ -331,6 +554,7 @@ impl Scheduler {
             }
         };
         if let Err(message) = validate(&request) {
+            self.requests_failed.inc();
             send(&wire::encode_service_event(&ServiceEvent::Failed {
                 message,
             }));
@@ -352,6 +576,14 @@ impl Scheduler {
         {
             let mut board = self.lock_board();
             board.requests.insert(req_id, tx);
+            board.progress.insert(
+                req_id,
+                Progress {
+                    benchmarks: request.benchmarks.len() as u64,
+                    jobs_total: total_jobs as u64,
+                    jobs_done: 0,
+                },
+            );
             for shard in shards {
                 board.queue.push_back(Job {
                     req_id,
@@ -362,9 +594,24 @@ impl Scheduler {
                 });
             }
         }
+        self.requests_total.inc();
+        eprintln!(
+            "sweep serve: request {req_id} accepted ({} benchmarks × {} backends, {total_jobs} jobs)",
+            request.benchmarks.len(),
+            request.backends.len()
+        );
+        sweep_tracer().event(
+            "serve_request_accept",
+            &[
+                ("req", req_id.into()),
+                ("benchmarks", request.benchmarks.len().into()),
+                ("backends", request.backends.len().into()),
+                ("jobs", total_jobs.into()),
+            ],
+        );
         self.work_ready.notify_all();
         if !send(&[wire::encode_accepted(request.benchmarks.len())]) {
-            self.cancel(req_id);
+            self.cancel_gone_client(req_id, "before the accept line was written");
             return;
         }
 
@@ -429,7 +676,7 @@ impl Scheduler {
                 row,
             })) {
                 // Client hung up mid-stream: stop feeding it.
-                self.cancel(req_id);
+                self.cancel_gone_client(req_id, "mid-stream");
                 return;
             }
         }
@@ -440,6 +687,8 @@ impl Scheduler {
                 }));
             }
             Err(message) => {
+                self.requests_failed.inc();
+                eprintln!("sweep serve: request {req_id} failed: {message}");
                 send(&wire::encode_service_event(&ServiceEvent::Failed {
                     message,
                 }));
@@ -500,11 +749,7 @@ pub fn serve_forever(options: ServeOptions) -> Result<(), crate::SweepError> {
     }
     let _ = std::io::stdout().flush();
 
-    let scheduler = Scheduler {
-        board: Mutex::new(Board::default()),
-        work_ready: Condvar::new(),
-        options,
-    };
+    let scheduler = Scheduler::new(options);
     serve_loop(&scheduler, listener);
     Ok(())
 }
@@ -520,6 +765,15 @@ fn serve_loop(scheduler: &Scheduler, listener: TcpListener) {
                 Ok(stream) => {
                     let req_id = next_req_id;
                     next_req_id += 1;
+                    let peer = stream
+                        .peer_addr()
+                        .map_or_else(|_| "unknown".to_string(), |a| a.to_string());
+                    scheduler.clients_total.inc();
+                    eprintln!("sweep serve: client {peer} connected (request id {req_id})");
+                    sweep_tracer().event(
+                        "serve_client_connect",
+                        &[("req", req_id.into()), ("peer", peer.as_str().into())],
+                    );
                     scope.spawn(move || {
                         // A panic while serving one client must fail only
                         // that request: cancel its shards and, when the
@@ -544,6 +798,11 @@ fn serve_loop(scheduler: &Scheduler, listener: TcpListener) {
                                 let _ = w.flush();
                             }
                         }
+                        eprintln!("sweep serve: client {peer} disconnected (request id {req_id})");
+                        sweep_tracer().event(
+                            "serve_client_disconnect",
+                            &[("req", req_id.into()), ("peer", peer.as_str().into())],
+                        );
                     });
                 }
                 Err(e) => eprintln!("sweep serve: accept failed: {e}"),
@@ -557,11 +816,63 @@ mod tests {
     use super::*;
 
     fn scheduler() -> Scheduler {
-        Scheduler {
-            board: Mutex::new(Board::default()),
-            work_ready: Condvar::new(),
-            options: ServeOptions::new("127.0.0.1:0".to_string(), vec!["unused".to_string()]),
+        Scheduler::new(ServeOptions::new(
+            "127.0.0.1:0".to_string(),
+            vec!["unused-a".to_string(), "unused-b".to_string()],
+        ))
+    }
+
+    fn job(req_id: u64, benchmark: &str) -> Job {
+        Job {
+            req_id,
+            scale: Scale::Test,
+            parallelism: Parallelism::Sequential,
+            shard: Shard {
+                id: 0,
+                chunk: 0,
+                benchmark: benchmark.to_string(),
+                backends: Vec::new(),
+            },
+            attempts: 0,
         }
+    }
+
+    #[test]
+    fn stats_snapshot_reflects_board_and_steals() {
+        let s = scheduler();
+        {
+            let mut board = s.lock_board();
+            board.queue.push_back(job(1, "mcf"));
+            board.queue.push_back(job(1, "gcc"));
+            // Slot 1 claimed `gcc`; slot 0 will steal it after draining
+            // the unclaimed job.
+            board.affinity.insert((1, "gcc".to_string()), 1);
+            board.progress.insert(
+                1,
+                Progress {
+                    benchmarks: 2,
+                    jobs_total: 2,
+                    jobs_done: 0,
+                },
+            );
+        }
+        let stats = s.snapshot_stats();
+        assert_eq!(stats.queued_jobs, 2);
+        assert_eq!(stats.workers.len(), 2);
+        assert_eq!(stats.workers[1].queued, 1, "slot 1 claimed one queued job");
+        assert_eq!(stats.requests.len(), 1);
+        assert_eq!(stats.requests[0].jobs_total, 2);
+
+        let first = s.next_for(0);
+        assert_eq!(first.shard.benchmark, "mcf", "unclaimed job first");
+        assert_eq!(s.telemetry[0].steals.get(), 0);
+        let second = s.next_for(0);
+        assert_eq!(second.shard.benchmark, "gcc");
+        assert_eq!(
+            s.telemetry[0].steals.get(),
+            1,
+            "taking slot 1's claimed pair is a steal"
+        );
     }
 
     #[test]

@@ -29,6 +29,7 @@ use std::time::Duration;
 
 use effective_runtime::{Bounds, ErrorKind, ErrorStats};
 use effective_san::{Parallelism, RunReport, SpecRow};
+use obs::HistSummary;
 use san_api::{Diagnostic, SanStats, SanitizerKind};
 use vm::ExecStats;
 use workloads::Scale;
@@ -41,10 +42,20 @@ use workloads::Scale;
 /// streamed `accepted`/`srow`/`sdone`/`sfail` service replies.  Version 5
 /// widened the `exec` line again with the fast tier's `checks_elided`
 /// counter, so sweep rows carry the check-hoisting effect end to end.
-pub const WIRE_VERSION: u32 = 5;
+/// Version 6 added the daemon-introspection frames: a client may send a
+/// bare [`STATS_REQUEST`] line instead of a request block, answered with
+/// a `stats` header, per-worker `wstat` lines (queue depth, completed /
+/// failed / stolen shard counts, heartbeat-gap and shard-latency
+/// histogram summaries), per-request `rstat` progress lines, and an
+/// `endstats` terminator.
+pub const WIRE_VERSION: u32 = 6;
 
 /// The handshake line both sides send before anything else.
-pub const HANDSHAKE: &str = "effective-san-sweep-wire 5";
+pub const HANDSHAKE: &str = "effective-san-sweep-wire 6";
+
+/// The line a client sends (in place of a `request` block) to query the
+/// daemon's live statistics instead of submitting a sweep.
+pub const STATS_REQUEST: &str = "stats";
 
 /// Parse the version number out of a handshake line, if the line is a
 /// handshake at all (`effective-san-sweep-wire <n>`).
@@ -725,6 +736,181 @@ pub fn decode_service_event<S: LineSource>(src: &mut S) -> Result<ServiceEvent, 
     Ok(ServiceEvent::Row { index, row })
 }
 
+/// Live statistics for one worker slot of a `sweep serve` daemon (wire
+/// v6): its queue claim, shard outcome counters, and the heartbeat-gap /
+/// shard-latency histogram summaries, both in microseconds.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// The worker's slot index in the fleet.
+    pub slot: usize,
+    /// The worker's address as the daemon dials it.
+    pub addr: String,
+    /// Whether the slot is running a shard right now.
+    pub busy: bool,
+    /// Queued jobs whose `(request, benchmark)` pair this slot claimed.
+    pub queued: u64,
+    /// Shards this slot completed successfully.
+    pub completed: u64,
+    /// Shard attempts this slot failed (retries and exhaustions alike).
+    pub failed: u64,
+    /// Jobs this slot stole from another slot's claimed pair.
+    pub steals: u64,
+    /// Arrival-gap summary of the worker's heartbeats, in µs.
+    pub heartbeat_gap_us: HistSummary,
+    /// Per-shard wall-latency summary on this slot, in µs.
+    pub shard_latency_us: HistSummary,
+}
+
+/// Progress of one in-flight request on a `sweep serve` daemon.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RequestProgress {
+    /// The daemon-assigned request id.
+    pub req_id: u64,
+    /// How many benchmark rows the request asked for.
+    pub benchmarks: u64,
+    /// Total shard jobs the request planned.
+    pub jobs_total: u64,
+    /// Shard jobs delivered so far.
+    pub jobs_done: u64,
+}
+
+/// A `sweep serve` daemon's live statistics: global counters, one
+/// [`WorkerStats`] per fleet slot, one [`RequestProgress`] per in-flight
+/// request.  Reading the stats never perturbs scheduling — the frame is
+/// a read-only snapshot.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Jobs on the global queue (unclaimed and claimed alike).
+    pub queued_jobs: u64,
+    /// Client connections accepted since the daemon started.
+    pub clients_total: u64,
+    /// Sweep requests accepted since the daemon started.
+    pub requests_total: u64,
+    /// Requests that ended in a structured `sfail`.
+    pub requests_failed: u64,
+    /// Requests cancelled because their client vanished mid-stream.
+    pub requests_cancelled: u64,
+    /// Per-slot worker statistics, in slot order.
+    pub workers: Vec<WorkerStats>,
+    /// In-flight request progress, in request-id order.
+    pub requests: Vec<RequestProgress>,
+}
+
+/// Encode a [`HistSummary`] as one comma-joined field
+/// (`count,min,p50,p90,p99,max`).
+fn encode_hist_summary(h: &HistSummary) -> String {
+    format!(
+        "{},{},{},{},{},{}",
+        h.count, h.min, h.p50, h.p90, h.p99, h.max
+    )
+}
+
+fn decode_hist_summary(field: &'static str, s: &str) -> Result<HistSummary, WireError> {
+    let parts: Vec<&str> = s.split(',').collect();
+    if parts.len() != 6 {
+        return Err(WireError::Field {
+            field,
+            value: s.to_string(),
+            reason: "expected 6 comma-joined counters".to_string(),
+        });
+    }
+    Ok(HistSummary {
+        count: parse_num(field, parts[0])?,
+        min: parse_num(field, parts[1])?,
+        p50: parse_num(field, parts[2])?,
+        p90: parse_num(field, parts[3])?,
+        p99: parse_num(field, parts[4])?,
+        max: parse_num(field, parts[5])?,
+    })
+}
+
+/// Encode a [`ServiceStats`] snapshot as a `stats` header, `wstat` and
+/// `rstat` lines, and an `endstats` terminator.
+pub fn encode_stats(stats: &ServiceStats) -> Vec<String> {
+    let mut out = vec![format!(
+        "stats\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
+        stats.queued_jobs,
+        stats.clients_total,
+        stats.requests_total,
+        stats.requests_failed,
+        stats.requests_cancelled,
+        stats.workers.len(),
+        stats.requests.len()
+    )];
+    for w in &stats.workers {
+        out.push(format!(
+            "wstat\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
+            w.slot,
+            escape(&w.addr),
+            u8::from(w.busy),
+            w.queued,
+            w.completed,
+            w.failed,
+            w.steals,
+            encode_hist_summary(&w.heartbeat_gap_us),
+            encode_hist_summary(&w.shard_latency_us),
+        ));
+    }
+    for r in &stats.requests {
+        out.push(format!(
+            "rstat\t{}\t{}\t{}\t{}",
+            r.req_id, r.benchmarks, r.jobs_total, r.jobs_done
+        ));
+    }
+    out.push("endstats".to_string());
+    out
+}
+
+/// Decode an [`encode_stats`] block.
+pub fn decode_stats<S: LineSource>(src: &mut S) -> Result<ServiceStats, WireError> {
+    let line = next_required(src, "a `stats` header")?;
+    let f = split_fields(&line, "stats", 7)?;
+    let mut stats = ServiceStats {
+        queued_jobs: parse_num("queued-jobs", f[0])?,
+        clients_total: parse_num("clients-total", f[1])?,
+        requests_total: parse_num("requests-total", f[2])?,
+        requests_failed: parse_num("requests-failed", f[3])?,
+        requests_cancelled: parse_num("requests-cancelled", f[4])?,
+        workers: Vec::new(),
+        requests: Vec::new(),
+    };
+    let n_workers: usize = parse_num("worker-count", f[5])?;
+    let n_requests: usize = parse_num("request-count", f[6])?;
+    for _ in 0..n_workers {
+        let line = next_required(src, "a `wstat` line")?;
+        let f = split_fields(&line, "wstat", 9)?;
+        stats.workers.push(WorkerStats {
+            slot: parse_num("slot", f[0])?,
+            addr: unescape(f[1])?,
+            busy: f[2] == "1",
+            queued: parse_num("queued", f[3])?,
+            completed: parse_num("completed", f[4])?,
+            failed: parse_num("failed", f[5])?,
+            steals: parse_num("steals", f[6])?,
+            heartbeat_gap_us: decode_hist_summary("heartbeat-gap", f[7])?,
+            shard_latency_us: decode_hist_summary("shard-latency", f[8])?,
+        });
+    }
+    for _ in 0..n_requests {
+        let line = next_required(src, "an `rstat` line")?;
+        let f = split_fields(&line, "rstat", 4)?;
+        stats.requests.push(RequestProgress {
+            req_id: parse_num("req-id", f[0])?,
+            benchmarks: parse_num("benchmarks", f[1])?,
+            jobs_total: parse_num("jobs-total", f[2])?,
+            jobs_done: parse_num("jobs-done", f[3])?,
+        });
+    }
+    let end = next_required(src, "an `endstats` terminator")?;
+    if end != "endstats" {
+        return Err(WireError::UnexpectedLine {
+            expected: "endstats",
+            got: end,
+        });
+    }
+    Ok(stats)
+}
+
 /// Append the encoding of a [`SpecRow`] (header line, then one report
 /// block per report).
 pub fn encode_spec_row(row: &SpecRow, out: &mut Vec<String>) {
@@ -1092,6 +1278,67 @@ mod tests {
         assert_eq!(lines.len(), 1);
         let mut src = SliceLines::new(&lines);
         assert_eq!(decode_reply(&mut src).unwrap(), reply);
+    }
+
+    #[test]
+    fn stats_round_trip() {
+        let stats = ServiceStats {
+            queued_jobs: 3,
+            clients_total: 11,
+            requests_total: 7,
+            requests_failed: 1,
+            requests_cancelled: 2,
+            workers: vec![WorkerStats {
+                slot: 0,
+                addr: "127.0.0.1:7601\twith\ttabs".to_string(),
+                busy: true,
+                queued: 2,
+                completed: 40,
+                failed: 3,
+                steals: 5,
+                heartbeat_gap_us: HistSummary {
+                    count: 9,
+                    min: 400,
+                    p50: 512,
+                    p90: 1024,
+                    p99: 2048,
+                    max: 1900,
+                },
+                shard_latency_us: HistSummary::default(),
+            }],
+            requests: vec![RequestProgress {
+                req_id: 6,
+                benchmarks: 19,
+                jobs_total: 38,
+                jobs_done: 17,
+            }],
+        };
+        let lines = encode_stats(&stats);
+        assert_eq!(lines.last().map(String::as_str), Some("endstats"));
+        let mut src = SliceLines::new(&lines);
+        assert_eq!(decode_stats(&mut src).unwrap(), stats);
+    }
+
+    #[test]
+    fn truncated_stats_are_loud() {
+        let mut lines = encode_stats(&ServiceStats {
+            workers: vec![WorkerStats {
+                slot: 0,
+                addr: "w".to_string(),
+                busy: false,
+                queued: 0,
+                completed: 0,
+                failed: 0,
+                steals: 0,
+                heartbeat_gap_us: HistSummary::default(),
+                shard_latency_us: HistSummary::default(),
+            }],
+            ..ServiceStats::default()
+        });
+        lines.truncate(1); // header promises a worker line that never comes
+        let mut src = SliceLines::new(&lines);
+        let err = decode_stats(&mut src).unwrap_err();
+        assert!(matches!(err, WireError::UnexpectedEof { .. }), "{err}");
     }
 
     #[test]

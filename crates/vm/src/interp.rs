@@ -19,6 +19,7 @@ use minic::ir::{Builtin, CastKind, Const, Function, Instr, Program};
 use san_api::{SanStats, Sanitizer, SanitizerKind};
 use serde::{Deserialize, Serialize};
 
+use crate::profile::VmProfiler;
 use crate::tier::{FastFunction, FastInstr, LoadKind, NO_INDEX};
 use crate::value::Value;
 
@@ -89,6 +90,11 @@ pub struct VmConfig {
     /// `SAN_NO_HOIST` environment variable to a non-empty value other
     /// than `0`.
     pub hoist_checks: bool,
+    /// Collect a per-check-site / per-function tier profile (see
+    /// [`Vm::profile_report`]).  Off by default; profiling is
+    /// observational only — results, statistics and diagnostics are
+    /// bit-identical either way (the differential suite pins this).
+    pub profile: bool,
 }
 
 impl Default for VmConfig {
@@ -102,6 +108,7 @@ impl Default for VmConfig {
             promote_after_calls: 2,
             osr_after_backjumps: 64,
             hoist_checks: true,
+            profile: false,
         }
     }
 }
@@ -235,6 +242,16 @@ struct FuncEntry {
     calls: u32,
 }
 
+/// Why a function is being promoted to the fast tier (profiler/tracer
+/// annotation only; the translation itself is identical).
+#[derive(Clone, Copy, Debug)]
+enum PromoteTrigger {
+    /// The per-function call counter reached the promotion threshold.
+    Calls(u32),
+    /// A single slow activation reached the OSR backjump threshold.
+    Backjumps(u32),
+}
+
 /// The virtual machine.
 #[derive(Debug)]
 pub struct Vm {
@@ -275,6 +292,9 @@ pub struct Vm {
     /// straight-line run with no intervening call — nothing can interleave
     /// between the write and the read, even under recursion.
     check_guards: Vec<bool>,
+    /// Opt-in site/tier profiler ([`VmConfig::profile`]); `None` (the
+    /// default) keeps the hot paths free of sampling.
+    profiler: Option<Box<VmProfiler>>,
 }
 
 impl Vm {
@@ -316,6 +336,7 @@ impl Vm {
         // while executing.
         let mut names: Vec<&String> = program.functions.keys().collect();
         names.sort();
+        let func_names: Vec<String> = names.iter().map(|n| n.to_string()).collect();
         let mut funcs = Vec::with_capacity(names.len());
         let mut func_index = HashMap::with_capacity(names.len());
         let mut check_type_map: Vec<TypeId> = Vec::new();
@@ -363,6 +384,9 @@ impl Vm {
             osr_after_backjumps: config.osr_after_backjumps.max(1),
             hoist_checks: config.hoist_checks && !hoist_disabled_by_env(),
             check_guards: Vec::new(),
+            profiler: config
+                .profile
+                .then(|| Box::new(VmProfiler::new(func_names))),
         }
     }
 
@@ -385,6 +409,55 @@ impl Vm {
     /// Execution statistics.
     pub fn stats(&self) -> ExecStats {
         self.stats
+    }
+
+    /// The collected site/tier profile, if [`VmConfig::profile`] was set.
+    pub fn profile_report(&self) -> Option<obs::ProfileReport> {
+        self.profiler.as_ref().map(|p| p.report())
+    }
+
+    /// Profiler hook: a check executed its backend call.
+    #[inline]
+    fn prof_check(&mut self, loc: &Arc<str>, passed: bool) {
+        if let Some(p) = self.profiler.as_deref_mut() {
+            p.check(loc, passed);
+        }
+    }
+
+    /// Profiler hook: a dominated check was skipped under its guard.
+    #[inline]
+    fn prof_elide(&mut self, loc: &Arc<str>) {
+        if let Some(p) = self.profiler.as_deref_mut() {
+            p.elided(loc);
+        }
+    }
+
+    /// Profiler hook: a dominated check ran in full (guard failed).
+    #[inline]
+    fn prof_fallback(&mut self, loc: &Arc<str>) {
+        if let Some(p) = self.profiler.as_deref_mut() {
+            p.fallback(loc);
+        }
+    }
+
+    /// Record an on-stack replacement (profiler event + trace event).
+    fn note_osr_entry(&mut self, func_idx: u32, backjumps: u32) {
+        if let Some(p) = self.profiler.as_deref_mut() {
+            p.osr_entry(func_idx, u64::from(backjumps));
+        }
+        let tracer = obs::san_tracer();
+        if tracer.enabled() {
+            tracer.event(
+                "tier_osr_entry",
+                &[
+                    (
+                        "func",
+                        self.funcs[func_idx as usize].slow.name.as_str().into(),
+                    ),
+                    ("backjumps", backjumps.into()),
+                ],
+            );
+        }
     }
 
     /// Text emitted by `print_*` builtins.
@@ -447,7 +520,7 @@ impl Vm {
             return Err(VmError::ArityMismatch(func.name.clone()));
         }
         if want_promote {
-            self.promote(idx);
+            self.promote(idx, PromoteTrigger::Calls(self.funcs[idx as usize].calls));
         }
         self.stats.calls += 1;
 
@@ -461,16 +534,24 @@ impl Vm {
         let result = match self.funcs[idx as usize].fast.clone() {
             Some(fast) => {
                 self.stats.fast_calls += 1;
-                self.exec_fast(&fast, &mut slots, depth, 0)
+                if let Some(p) = self.profiler.as_deref_mut() {
+                    p.fast_call(idx);
+                }
+                self.exec_fast(&fast, &mut slots, depth, 0, idx)
             }
-            None => self.exec_body(&func, &mut slots, depth, idx),
+            None => {
+                if let Some(p) = self.profiler.as_deref_mut() {
+                    p.slow_call(idx);
+                }
+                self.exec_body(&func, &mut slots, depth, idx)
+            }
         };
         self.backend.stack_frame_end(frame_mark);
         result
     }
 
     /// Translate the function at table index `idx` into its fast form.
-    fn promote(&mut self, idx: u32) {
+    fn promote(&mut self, idx: u32, trigger: PromoteTrigger) {
         if self.funcs[idx as usize].fast.is_some() {
             return;
         }
@@ -487,6 +568,26 @@ impl Vm {
             self.check_guards.resize(fast.sites.len(), false);
         }
         self.stats.tier_promotions += 1;
+        let (reason, detail) = match trigger {
+            PromoteTrigger::Calls(n) => ("promoted-after-calls", u64::from(n)),
+            PromoteTrigger::Backjumps(n) => ("promoted-for-osr", u64::from(n)),
+        };
+        if let Some(p) = self.profiler.as_deref_mut() {
+            p.promoted(idx, reason, detail);
+        }
+        let tracer = obs::san_tracer();
+        if tracer.enabled() {
+            tracer.event(
+                "tier_promote",
+                &[
+                    ("func", slow.name.as_str().into()),
+                    ("reason", reason.into()),
+                    ("detail", detail.into()),
+                    ("fast_instrs", fast.body.len().into()),
+                    ("sites", fast.sites.len().into()),
+                ],
+            );
+        }
         self.funcs[idx as usize].fast = Some(Arc::new(fast));
     }
 
@@ -516,6 +617,9 @@ impl Vm {
                 self.stats.check_instructions += 1;
             } else {
                 self.stats.instructions += 1;
+            }
+            if let Some(p) = self.profiler.as_deref_mut() {
+                p.slow_instr(func_idx);
             }
             if self.stats.instructions + self.stats.check_instructions > self.max_instructions {
                 return Err(VmError::InstructionLimit);
@@ -662,10 +766,11 @@ impl Vm {
                         // would otherwise wrap (and panic in debug builds).
                         backjumps = backjumps.saturating_add(1);
                         if osr_enabled && backjumps >= self.osr_after_backjumps {
-                            self.promote(func_idx);
+                            self.promote(func_idx, PromoteTrigger::Backjumps(backjumps));
                             if let Some(fast) = self.funcs[func_idx as usize].fast.clone() {
+                                self.note_osr_entry(func_idx, backjumps);
                                 let entry = fast.pc_map[*target] as usize;
-                                return self.exec_fast(&fast, slots, depth, entry);
+                                return self.exec_fast(&fast, slots, depth, entry, func_idx);
                             }
                         }
                     }
@@ -684,10 +789,11 @@ impl Vm {
                     if t < pc {
                         backjumps = backjumps.saturating_add(1);
                         if osr_enabled && backjumps >= self.osr_after_backjumps {
-                            self.promote(func_idx);
+                            self.promote(func_idx, PromoteTrigger::Backjumps(backjumps));
                             if let Some(fast) = self.funcs[func_idx as usize].fast.clone() {
+                                self.note_osr_entry(func_idx, backjumps);
                                 let entry = fast.pc_map[t] as usize;
-                                return self.exec_fast(&fast, slots, depth, entry);
+                                return self.exec_fast(&fast, slots, depth, entry, func_idx);
                             }
                         }
                     }
@@ -709,6 +815,7 @@ impl Vm {
                     let id = self.backend_type_id(*ty_id);
                     let b = self.backend.type_check(p, id, loc);
                     slots[*dst as usize] = Value::Bounds(b);
+                    self.prof_check(loc, true);
                     if self.backend.halted() {
                         return Err(VmError::Halted);
                     }
@@ -724,6 +831,7 @@ impl Vm {
                     let id = self.backend_type_id(*ty_id);
                     let b = self.backend.cast_check(p, id, loc);
                     slots[*dst as usize] = Value::Bounds(b);
+                    self.prof_check(loc, true);
                     if self.backend.halted() {
                         return Err(VmError::Halted);
                     }
@@ -754,7 +862,8 @@ impl Vm {
                 } => {
                     let p = slots[*ptr as usize].as_ptr();
                     let b = slots[*bounds as usize].as_bounds();
-                    self.backend.bounds_check(p, *size, b, loc, *escape);
+                    let ok = self.backend.bounds_check(p, *size, b, loc, *escape);
+                    self.prof_check(loc, ok);
                     if self.backend.halted() {
                         return Err(VmError::Halted);
                     }
@@ -766,7 +875,8 @@ impl Vm {
                     loc,
                 } => {
                     let p = slots[*ptr as usize].as_ptr();
-                    self.backend.access_check(p, *size, *write, loc);
+                    let ok = self.backend.access_check(p, *size, *write, loc);
+                    self.prof_check(loc, ok);
                     if self.backend.halted() {
                         return Err(VmError::Halted);
                     }
@@ -804,6 +914,7 @@ impl Vm {
         slots: &mut [Value],
         depth: usize,
         entry: usize,
+        func_idx: u32,
     ) -> Result<Value, VmError> {
         let body = &func.body;
         let mut pc: usize = entry;
@@ -827,6 +938,9 @@ impl Vm {
                 self.stats.instructions += n_instr;
                 self.stats.check_instructions += n_check;
                 self.stats.checks_elided += n_elided;
+                if let Some(p) = self.profiler.as_deref_mut() {
+                    p.fast_instrs(func_idx, n_instr + n_check);
+                }
                 n_instr = 0;
                 n_check = 0;
                 n_elided = 0;
@@ -1074,6 +1188,7 @@ impl Vm {
                     let p = slots[ptr as usize].as_ptr();
                     let b = self.backend.type_check(p, ty, &func.sites[site as usize]);
                     slots[dst as usize] = Value::Bounds(b);
+                    self.prof_check(&func.sites[site as usize], true);
                     halted!();
                 }
                 FastInstr::CastCheck { dst, ptr, ty, site } => {
@@ -1081,6 +1196,7 @@ impl Vm {
                     let p = slots[ptr as usize].as_ptr();
                     let b = self.backend.cast_check(p, ty, &func.sites[site as usize]);
                     slots[dst as usize] = Value::Bounds(b);
+                    self.prof_check(&func.sites[site as usize], true);
                     halted!();
                 }
                 FastInstr::BoundsGet { dst, ptr } => {
@@ -1118,6 +1234,7 @@ impl Vm {
                     if guard {
                         self.check_guards[site as usize] = ok;
                     }
+                    self.prof_check(&func.sites[site as usize], ok);
                     halted!();
                 }
                 FastInstr::AccessCheck {
@@ -1135,6 +1252,7 @@ impl Vm {
                     if guard {
                         self.check_guards[site as usize] = ok;
                     }
+                    self.prof_check(&func.sites[site as usize], ok);
                     halted!();
                 }
                 FastInstr::WideBounds { dst } => {
@@ -1165,6 +1283,7 @@ impl Vm {
                     if guard {
                         self.check_guards[site as usize] = ok;
                     }
+                    self.prof_check(&func.sites[site as usize], ok);
                     halted!();
                     tick!();
                     self.stats.loads += 1;
@@ -1192,6 +1311,7 @@ impl Vm {
                     if guard {
                         self.check_guards[site as usize] = ok;
                     }
+                    self.prof_check(&func.sites[site as usize], ok);
                     halted!();
                     tick!();
                     self.stats.stores += 1;
@@ -1214,6 +1334,7 @@ impl Vm {
                     if guard {
                         self.check_guards[site as usize] = ok;
                     }
+                    self.prof_check(&func.sites[site as usize], ok);
                     halted!();
                     tick!();
                     self.stats.loads += 1;
@@ -1235,6 +1356,7 @@ impl Vm {
                     if guard {
                         self.check_guards[site as usize] = ok;
                     }
+                    self.prof_check(&func.sites[site as usize], ok);
                     halted!();
                     tick!();
                     self.stats.stores += 1;
@@ -1263,7 +1385,9 @@ impl Vm {
                     tick_check!();
                     if self.check_guards[dom_site as usize] {
                         n_elided += 1;
+                        self.prof_elide(&func.sites[site as usize]);
                     } else {
+                        self.prof_fallback(&func.sites[site as usize]);
                         let p = slots[ptr as usize].as_ptr();
                         let b = slots[bounds as usize].as_bounds();
                         self.backend
@@ -1281,7 +1405,9 @@ impl Vm {
                     tick_check!();
                     if self.check_guards[dom_site as usize] {
                         n_elided += 1;
+                        self.prof_elide(&func.sites[site as usize]);
                     } else {
+                        self.prof_fallback(&func.sites[site as usize]);
                         let p = slots[ptr as usize].as_ptr();
                         self.backend
                             .access_check(p, size, write, &func.sites[site as usize]);
@@ -1301,7 +1427,9 @@ impl Vm {
                     let p = slots[ptr as usize].as_ptr();
                     if self.check_guards[dom_site as usize] {
                         n_elided += 1;
+                        self.prof_elide(&func.sites[site as usize]);
                     } else {
+                        self.prof_fallback(&func.sites[site as usize]);
                         let b = slots[bounds as usize].as_bounds();
                         self.backend.bounds_check(
                             p,
@@ -1329,7 +1457,9 @@ impl Vm {
                     let p = slots[ptr as usize].as_ptr();
                     if self.check_guards[dom_site as usize] {
                         n_elided += 1;
+                        self.prof_elide(&func.sites[site as usize]);
                     } else {
+                        self.prof_fallback(&func.sites[site as usize]);
                         let b = slots[bounds as usize].as_bounds();
                         self.backend.bounds_check(
                             p,
@@ -1357,7 +1487,9 @@ impl Vm {
                     let p = slots[ptr as usize].as_ptr();
                     if self.check_guards[dom_site as usize] {
                         n_elided += 1;
+                        self.prof_elide(&func.sites[site as usize]);
                     } else {
+                        self.prof_fallback(&func.sites[site as usize]);
                         self.backend
                             .access_check(p, check_size, false, &func.sites[site as usize]);
                         halted!();
@@ -1378,7 +1510,9 @@ impl Vm {
                     let p = slots[ptr as usize].as_ptr();
                     if self.check_guards[dom_site as usize] {
                         n_elided += 1;
+                        self.prof_elide(&func.sites[site as usize]);
                     } else {
+                        self.prof_fallback(&func.sites[site as usize]);
                         self.backend
                             .access_check(p, check_size, true, &func.sites[site as usize]);
                         halted!();

@@ -40,6 +40,7 @@
 #![forbid(unsafe_code)]
 
 pub mod interp;
+mod profile;
 pub mod tier;
 pub mod value;
 
