@@ -9,11 +9,14 @@
 //!       [--backends list] [--scale test|small|ref] [--experiment spec|tools]
 //!       [--max-attempts N] [--tcp-workers addr,addr]
 //!       [--shard-timeout-ms N] [--silence-timeout-ms N] [--check] [--json]
-//! sweep serve --listen <addr> --tcp-workers addr,addr
+//! sweep serve --listen <addr> [--tcp-workers addr,addr]
+//!       [--register-listen <addr>] [--token <token>]
+//!       [--max-pending N] [--max-queued-jobs N]
 //!       [--max-attempts N] [--shard-timeout-ms N] [--silence-timeout-ms N]
 //! sweep --connect <addr> [--benchmarks ...] [--backends ...] [--scale ...]
-//!       [--check] [--json]
+//!       [--token <token>] [--connect-retries N] [--check] [--json]
 //! sweep --connect <addr> --stats [--json]
+//! sweep --connect <addr> --shutdown
 //! ```
 //!
 //! Workers are this same binary re-executed with `SAN_WORKER=1` (no
@@ -36,7 +39,10 @@ use effective_san::{
 };
 use sweep::coordinator::{ShardStrategy, SweepConfig, WorkerLaunch};
 use sweep::serve::{serve_forever, ServeOptions};
-use sweep::{client_sweep, diff_experiments, sharded_spec_experiment, sharded_tool_comparison};
+use sweep::{
+    client_shutdown, client_stats_with, client_sweep_with, diff_experiments,
+    sharded_spec_experiment, sharded_tool_comparison, ClientOptions,
+};
 use workloads::{Scale, SpecBenchmark};
 
 struct Options {
@@ -51,9 +57,15 @@ struct Options {
     shard_timeout: Option<Duration>,
     silence_timeout: Option<Duration>,
     listen: Option<String>,
+    register_listen: Option<String>,
+    token: Option<String>,
+    max_pending: Option<usize>,
+    max_queued_jobs: Option<usize>,
     connect: Option<String>,
+    connect_retries: Option<u32>,
     serve: bool,
     stats: bool,
+    shutdown: bool,
     check: bool,
     json: bool,
 }
@@ -64,9 +76,12 @@ fn usage() -> ! {
          [--backends list] [--scale test|small|ref] [--experiment spec|tools] \
          [--max-attempts N] [--tcp-workers addr,addr] [--shard-timeout-ms N] \
          [--silence-timeout-ms N] [--check] [--json]\n\
-         \x20      sweep serve --listen <addr> --tcp-workers addr,addr [...]\n\
-         \x20      sweep --connect <addr> [--benchmarks ...] [--backends ...] [--check] [--json]\n\
-         \x20      sweep --connect <addr> --stats [--json]"
+         \x20      sweep serve --listen <addr> [--tcp-workers addr,addr] \
+         [--register-listen <addr>] [--token T] [--max-pending N] [--max-queued-jobs N] [...]\n\
+         \x20      sweep --connect <addr> [--benchmarks ...] [--backends ...] [--token T] \
+         [--connect-retries N] [--check] [--json]\n\
+         \x20      sweep --connect <addr> --stats [--json]\n\
+         \x20      sweep --connect <addr> --shutdown"
     );
     std::process::exit(2);
 }
@@ -84,9 +99,15 @@ fn parse_options() -> Options {
         shard_timeout: None,
         silence_timeout: None,
         listen: None,
+        register_listen: None,
+        token: None,
+        max_pending: None,
+        max_queued_jobs: None,
         connect: None,
+        connect_retries: None,
         serve: false,
         stats: false,
+        shutdown: false,
         check: false,
         json: false,
     };
@@ -182,7 +203,40 @@ fn parse_options() -> Options {
                 opts.silence_timeout = Some(ms_value(&mut args, "--silence-timeout-ms"))
             }
             "--listen" => opts.listen = Some(value(&mut args, "--listen")),
+            "--register-listen" => {
+                opts.register_listen = Some(value(&mut args, "--register-listen"))
+            }
+            "--token" => opts.token = Some(value(&mut args, "--token")).filter(|t| !t.is_empty()),
+            "--max-pending" => {
+                opts.max_pending = Some(value(&mut args, "--max-pending").parse().unwrap_or_else(
+                    |e| {
+                        eprintln!("sweep: bad --max-pending value: {e}");
+                        usage();
+                    },
+                ))
+            }
+            "--max-queued-jobs" => {
+                opts.max_queued_jobs = Some(
+                    value(&mut args, "--max-queued-jobs")
+                        .parse()
+                        .unwrap_or_else(|e| {
+                            eprintln!("sweep: bad --max-queued-jobs value: {e}");
+                            usage();
+                        }),
+                )
+            }
             "--connect" => opts.connect = Some(value(&mut args, "--connect")),
+            "--connect-retries" => {
+                opts.connect_retries = Some(
+                    value(&mut args, "--connect-retries")
+                        .parse()
+                        .unwrap_or_else(|e| {
+                            eprintln!("sweep: bad --connect-retries value: {e}");
+                            usage();
+                        }),
+                )
+            }
+            "--shutdown" => opts.shutdown = true,
             "--stats" => opts.stats = true,
             "--check" => opts.check = true,
             "--json" => opts.json = true,
@@ -236,17 +290,26 @@ fn print_spec_row(row: &effective_san::SpecRow) {
     }
 }
 
-/// `sweep serve`: run the daemon until killed.
+/// `sweep serve`: run the daemon until killed or told `shutdown`.
 fn run_serve(opts: Options) -> ! {
     let Some(listen) = opts.listen else {
         eprintln!("sweep: serve needs --listen <addr>");
         usage();
     };
-    let Some(workers) = opts.tcp_workers else {
-        eprintln!("sweep: serve needs --tcp-workers addr[,addr...]");
+    // A fleet can be all dial-out, all self-registered, or mixed — but
+    // a daemon with neither would accept sweeps it can never run.
+    let workers = opts.tcp_workers.unwrap_or_default();
+    if workers.is_empty() && opts.register_listen.is_none() {
+        eprintln!("sweep: serve needs --tcp-workers addr[,addr...] or --register-listen <addr>");
         usage();
-    };
+    }
     let mut options = ServeOptions::new(listen, workers);
+    options.register_listen = opts.register_listen;
+    if opts.token.is_some() {
+        options.token = opts.token;
+    }
+    options.max_pending = opts.max_pending;
+    options.max_queued_jobs = opts.max_queued_jobs;
     options.max_attempts = opts.max_attempts;
     if opts.shard_timeout.is_some() {
         options.shard_timeout = opts.shard_timeout;
@@ -263,10 +326,22 @@ fn run_serve(opts: Options) -> ! {
     }
 }
 
+/// The client-side connection options shared by every `--connect` mode.
+fn client_options(opts: &Options) -> ClientOptions {
+    let mut options = ClientOptions::default();
+    if opts.token.is_some() {
+        options.token = opts.token.clone();
+    }
+    if let Some(attempts) = opts.connect_retries {
+        options.connect_attempts = attempts.max(1);
+    }
+    options
+}
+
 /// `sweep --connect <addr> --stats`: query the daemon's live statistics
 /// and render them as a table or (with `--json`) one JSON object.
 fn run_stats(addr: &str, opts: &Options) -> ! {
-    let stats = sweep::client_stats(addr).unwrap_or_else(|e| {
+    let stats = client_stats_with(addr, &client_options(opts)).unwrap_or_else(|e| {
         eprintln!("sweep: {e}");
         std::process::exit(1);
     });
@@ -275,18 +350,22 @@ fn run_stats(addr: &str, opts: &Options) -> ! {
         std::process::exit(0);
     }
     println!(
-        "sweep service at {addr}: {} queued jobs, {} clients served, \
-         {} requests ({} failed, {} cancelled)",
+        "sweep service at {addr}: {} queued jobs, {} pending requests, \
+         {} clients served, {} requests ({} failed, {} cancelled, {} busy-rejected)",
         stats.queued_jobs,
+        stats.pending_requests,
         stats.clients_total,
         stats.requests_total,
         stats.requests_failed,
-        stats.requests_cancelled
+        stats.requests_cancelled,
+        stats.rejected_busy
     );
     println!(
-        "{:<5} {:<22} {:>4} {:>7} {:>6} {:>6} {:>6} {:>20} {:>20}",
+        "{:<5} {:<22} {:>4} {:>4} {:>4} {:>7} {:>6} {:>6} {:>6} {:>20} {:>20}",
         "slot",
         "addr",
+        "live",
+        "reg",
         "busy",
         "queued",
         "done",
@@ -297,9 +376,11 @@ fn run_stats(addr: &str, opts: &Options) -> ! {
     );
     for w in &stats.workers {
         println!(
-            "{:<5} {:<22} {:>4} {:>7} {:>6} {:>6} {:>6} {:>20} {:>20}",
+            "{:<5} {:<22} {:>4} {:>4} {:>4} {:>7} {:>6} {:>6} {:>6} {:>20} {:>20}",
             w.slot,
             w.addr,
+            if w.live { "yes" } else { "no" },
+            if w.registered { "yes" } else { "no" },
             if w.busy { "yes" } else { "no" },
             w.queued,
             w.completed,
@@ -313,18 +394,36 @@ fn run_stats(addr: &str, opts: &Options) -> ! {
         println!("in-flight requests:");
         for r in &stats.requests {
             println!(
-                "  request {}: {}/{} jobs done ({} benchmarks)",
-                r.req_id, r.jobs_done, r.jobs_total, r.benchmarks
+                "  request {}: {}/{} jobs done, {} queued ({} benchmarks)",
+                r.req_id, r.jobs_done, r.jobs_total, r.jobs_queued, r.benchmarks
             );
         }
     }
     std::process::exit(0);
 }
 
+/// `sweep --connect <addr> --shutdown`: ask the daemon to drain its
+/// in-flight work and exit.
+fn run_shutdown(addr: &str, opts: &Options) -> ! {
+    match client_shutdown(addr, &client_options(opts)) {
+        Ok(()) => {
+            eprintln!("sweep: daemon at {addr} acknowledged shutdown");
+            std::process::exit(0);
+        }
+        Err(e) => {
+            eprintln!("sweep: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 /// `sweep --connect`: submit a sweep to a daemon and render the streamed
 /// rows (incrementally for the table view; buffered for `--json`, whose
 /// location rollup needs the whole experiment).
 fn run_connect(addr: &str, opts: Options) -> ! {
+    if opts.shutdown {
+        run_shutdown(addr, &opts);
+    }
     if opts.stats {
         run_stats(addr, &opts);
     }
@@ -350,7 +449,7 @@ fn run_connect(addr: &str, opts: Options) -> ! {
         );
         print_spec_table_header();
     }
-    let streamed = client_sweep(addr, &request, |_, row| {
+    let streamed = client_sweep_with(addr, &client_options(&opts), &request, |_, row| {
         if !opts.json {
             print_spec_row(row);
         }
@@ -369,6 +468,14 @@ fn run_connect(addr: &str, opts: Options) -> ! {
 }
 
 fn main() {
+    // A typo'd SWEEP_CHAOS must kill the process at startup, not
+    // silently soak nothing — checked before the worker-mode dispatch
+    // so re-exec'd workers inherit the same discipline.
+    if let Err(e) = sweep::Chaos::from_env() {
+        eprintln!("sweep: malformed {}: {e}", sweep::CHAOS_ENV);
+        std::process::exit(2);
+    }
+
     // Worker mode: the coordinator re-executed us with SAN_WORKER set.
     if std::env::var_os(sweep::worker::WORKER_ENV).is_some() {
         std::process::exit(sweep::worker::run_stdio());
@@ -380,6 +487,10 @@ fn main() {
     }
     if opts.stats && opts.connect.is_none() {
         eprintln!("sweep: --stats needs --connect <addr>");
+        usage();
+    }
+    if opts.shutdown && opts.connect.is_none() {
+        eprintln!("sweep: --shutdown needs --connect <addr>");
         usage();
     }
     if let Some(addr) = opts.connect.clone() {
@@ -406,6 +517,7 @@ fn main() {
         worker_env: Vec::new(),
         shard_timeout: opts.shard_timeout,
         silence_timeout: opts.silence_timeout,
+        token: opts.token.clone().or_else(sweep::token_from_env),
     };
     let names: Option<Vec<&str>> = opts
         .benchmarks

@@ -1,0 +1,240 @@
+//! Deterministic fault injection for the sweep transport seams.
+//!
+//! `SWEEP_CHAOS=drop:0.01,stall:50ms,seed:7` arms a per-process chaos
+//! plan: at every line crossing an armed seam (`LinePump` reads, worker
+//! TCP writes), a seeded [SplitMix64] stream decides whether the line
+//! is delivered intact, delivered late (a delayed heartbeat looks
+//! exactly like a slow worker), or cut short — a `drop` severs the
+//! connection after a random-length prefix of the line, which from the
+//! peer's side is a connection drop when the prefix is empty and a
+//! mid-block/mid-line truncation otherwise.
+//!
+//! The stream is deterministic per seed, so a soak run that found a
+//! bug replays the same faults in the same order.  Chaos only perturbs
+//! *transport*: shards that die are re-attempted by the existing retry
+//! machinery and re-execute identically, so the byte-identical results
+//! SLA must hold with chaos enabled — that is precisely what
+//! `tests/fleet_soak.rs` asserts.
+//!
+//! [SplitMix64]: https://prng.di.unimi.it/splitmix64.c
+
+use std::sync::{Mutex, OnceLock};
+use std::time::Duration;
+
+use crate::backoff::{splitmix64, unit_f64};
+
+/// Environment variable carrying the chaos spec.
+pub const CHAOS_ENV: &str = "SWEEP_CHAOS";
+
+/// When a `stall` budget is configured, the fraction of lines delayed.
+const STALL_PROBABILITY: f64 = 0.05;
+
+/// What the chaos plan decided for one line about to cross a seam.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LineFate {
+    /// Deliver the line untouched.
+    Deliver,
+    /// Deliver the line after sleeping this long (delayed heartbeat /
+    /// slow network).
+    DeliverAfter(Duration),
+    /// Write only the first `keep_bytes` of the line (no terminator),
+    /// then sever the connection.  `keep_bytes == 0` is a pure
+    /// connection drop; anything else is a mid-line truncation.
+    Drop {
+        /// Bytes of the line to leak before severing.
+        keep_bytes: usize,
+    },
+}
+
+/// A parsed, armed chaos plan.
+#[derive(Debug)]
+pub struct Chaos {
+    drop_probability: f64,
+    stall_budget: Option<Duration>,
+    seed: u64,
+    rng: Mutex<u64>,
+}
+
+impl Chaos {
+    /// Parse a `drop:<p>,stall:<d>ms,seed:<n>` spec.  Every key is
+    /// optional; unknown keys and malformed values are hard errors so a
+    /// typo'd spec fails the process loudly instead of soaking nothing.
+    pub fn parse(spec: &str) -> Result<Chaos, String> {
+        let mut drop_probability = 0.0;
+        let mut stall_budget = None;
+        let mut seed = 0u64;
+        for part in spec.split(',').filter(|p| !p.is_empty()) {
+            let (key, value) = part
+                .split_once(':')
+                .ok_or_else(|| format!("chaos spec `{part}` is not `key:value`"))?;
+            match key.trim() {
+                "drop" => {
+                    let p: f64 = value
+                        .trim()
+                        .parse()
+                        .map_err(|e| format!("chaos drop probability `{value}`: {e}"))?;
+                    if !(0.0..=1.0).contains(&p) {
+                        return Err(format!("chaos drop probability `{value}` outside [0, 1]"));
+                    }
+                    drop_probability = p;
+                }
+                "stall" => {
+                    let ms = value
+                        .trim()
+                        .strip_suffix("ms")
+                        .unwrap_or(value.trim())
+                        .trim();
+                    let ms: u64 = ms
+                        .parse()
+                        .map_err(|e| format!("chaos stall budget `{value}`: {e}"))?;
+                    stall_budget = Some(Duration::from_millis(ms));
+                }
+                "seed" => {
+                    seed = value
+                        .trim()
+                        .parse()
+                        .map_err(|e| format!("chaos seed `{value}`: {e}"))?;
+                }
+                other => return Err(format!("unknown chaos key `{other}`")),
+            }
+        }
+        Ok(Chaos {
+            drop_probability,
+            stall_budget,
+            seed,
+            rng: Mutex::new(seed ^ 0x5EED_CAFE_F00D_D00D),
+        })
+    }
+
+    /// Parse [`CHAOS_ENV`] if set.  `Ok(None)` means chaos is off;
+    /// `Err` means the spec is malformed (callers should die loudly at
+    /// startup rather than run an unfaulted "soak").
+    pub fn from_env() -> Result<Option<Chaos>, String> {
+        match std::env::var(CHAOS_ENV) {
+            Ok(spec) if !spec.trim().is_empty() => Chaos::parse(&spec).map(Some),
+            _ => Ok(None),
+        }
+    }
+
+    /// The process-wide chaos plan, armed from [`CHAOS_ENV`] on first
+    /// use.  A malformed spec is reported to stderr once and treated as
+    /// off — bins that want hard failure call [`Chaos::from_env`] at
+    /// startup and exit on `Err` before any seam consults this.
+    pub fn global() -> Option<&'static Chaos> {
+        static GLOBAL: OnceLock<Option<Chaos>> = OnceLock::new();
+        GLOBAL
+            .get_or_init(|| match Chaos::from_env() {
+                Ok(plan) => plan,
+                Err(e) => {
+                    eprintln!("ignoring malformed {CHAOS_ENV}: {e}");
+                    None
+                }
+            })
+            .as_ref()
+    }
+
+    /// The seed the plan was armed with (traced so a failing soak names
+    /// its replay handle).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Decide the fate of one line of `line_len` bytes at a seam.
+    pub fn fate(&self, line_len: usize) -> LineFate {
+        let mut rng = self.rng.lock().unwrap_or_else(|e| e.into_inner());
+        if unit_f64(splitmix64(&mut rng)) < self.drop_probability {
+            let keep = if line_len == 0 {
+                0
+            } else {
+                (splitmix64(&mut rng) as usize) % line_len
+            };
+            return LineFate::Drop { keep_bytes: keep };
+        }
+        if let Some(budget) = self.stall_budget {
+            if unit_f64(splitmix64(&mut rng)) < STALL_PROBABILITY {
+                let nanos = budget.as_nanos().max(1) as u64;
+                let wait = splitmix64(&mut rng) % nanos;
+                return LineFate::DeliverAfter(Duration::from_nanos(wait));
+            }
+        }
+        LineFate::Deliver
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specs_parse_and_malformed_specs_are_loud() {
+        let plan = Chaos::parse("drop:0.25,stall:50ms,seed:9").unwrap();
+        assert_eq!(plan.drop_probability, 0.25);
+        assert_eq!(plan.stall_budget, Some(Duration::from_millis(50)));
+        assert_eq!(plan.seed(), 9);
+
+        // Keys are individually optional, suffix and spaces tolerated.
+        assert!(Chaos::parse("drop:1").is_ok());
+        assert!(Chaos::parse("stall: 10 ,seed:1").is_ok());
+        assert!(Chaos::parse("").is_ok());
+
+        for bad in [
+            "drop:1.5",
+            "drop:maybe",
+            "stall:soon",
+            "seed:-1",
+            "explode:0.5",
+            "drop",
+        ] {
+            assert!(Chaos::parse(bad).is_err(), "`{bad}` parsed");
+        }
+    }
+
+    #[test]
+    fn fates_are_deterministic_per_seed() {
+        let draw = |seed: u64| -> Vec<LineFate> {
+            let plan = Chaos::parse(&format!("drop:0.3,stall:20ms,seed:{seed}")).unwrap();
+            (0..64).map(|i| plan.fate(10 + i)).collect()
+        };
+        assert_eq!(draw(5), draw(5));
+        assert_ne!(draw(5), draw(6));
+    }
+
+    #[test]
+    fn drop_rate_and_truncation_prefixes_respect_the_spec() {
+        let plan = Chaos::parse("drop:0.5,seed:1").unwrap();
+        let mut drops = 0;
+        for _ in 0..400 {
+            match plan.fate(80) {
+                LineFate::Drop { keep_bytes } => {
+                    assert!(keep_bytes < 80);
+                    drops += 1;
+                }
+                LineFate::Deliver => {}
+                LineFate::DeliverAfter(_) => panic!("no stall budget configured"),
+            }
+        }
+        // Seeded stream: the rate is deterministic, the bound loose.
+        assert!((100..300).contains(&drops), "{drops} drops out of 400");
+
+        let certain = Chaos::parse("drop:1,seed:2").unwrap();
+        assert!(matches!(certain.fate(1), LineFate::Drop { keep_bytes: 0 }));
+        assert!(matches!(certain.fate(0), LineFate::Drop { keep_bytes: 0 }));
+    }
+
+    #[test]
+    fn stalls_stay_inside_the_budget() {
+        let plan = Chaos::parse("stall:5ms,seed:3").unwrap();
+        let mut stalled = 0;
+        for _ in 0..2_000 {
+            match plan.fate(40) {
+                LineFate::DeliverAfter(wait) => {
+                    assert!(wait < Duration::from_millis(5));
+                    stalled += 1;
+                }
+                LineFate::Deliver => {}
+                LineFate::Drop { .. } => panic!("no drop probability configured"),
+            }
+        }
+        assert!(stalled > 0, "a 5% stall never fired in 2000 draws");
+    }
+}

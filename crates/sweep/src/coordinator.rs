@@ -26,7 +26,8 @@ use effective_san::{sanitizers_with_baseline, Parallelism, SpecExperiment, ToolC
 use san_api::SanitizerKind;
 use workloads::{Scale, SpecBenchmark};
 
-use crate::net::{AttemptError, PipeTransport, TcpTransport, WorkerConn};
+use crate::backoff::Backoff;
+use crate::net::{token_from_env, AttemptError, PipeTransport, TcpTransport, WorkerConn};
 use crate::shard::{merge_experiment, plan_shards, MergeError, Shard};
 use crate::wire::ShardSpec;
 
@@ -153,20 +154,21 @@ impl WorkerLaunch {
         slot: usize,
         env: &[(String, String)],
         silence: Option<Duration>,
+        token: Option<&str>,
     ) -> Result<WorkerConn, String> {
         match self {
             WorkerLaunch::Tcp(addrs) => {
                 let addr = &addrs[slot % addrs.len()];
                 let transport = TcpTransport::connect(addr, Some(Duration::from_secs(10)))
                     .map_err(|e| e.to_string())?;
-                WorkerConn::establish(Box::new(transport), silence)
+                WorkerConn::establish(Box::new(transport), silence, token)
             }
             _ => {
                 let child = self
                     .command(env)?
                     .spawn()
                     .map_err(|e| format!("spawn failed: {e}"))?;
-                WorkerConn::establish(Box::new(PipeTransport::new(child)), silence)
+                WorkerConn::establish(Box::new(PipeTransport::new(child)), silence, token)
             }
         }
     }
@@ -204,6 +206,11 @@ pub struct SweepConfig {
     /// it.  `None` = wait forever (fine for pipes, where worker death is
     /// observable as EOF; TCP callers should set it).
     pub silence_timeout: Option<Duration>,
+    /// Shared auth token presented to (and required of) every worker —
+    /// the wire-v7 `auth` frame.  `None` disables authentication.
+    /// Spawned pipe workers inherit this process's environment, so the
+    /// [`crate::net::TOKEN_ENV`] default matches on both sides.
+    pub token: Option<String>,
 }
 
 impl SweepConfig {
@@ -227,6 +234,7 @@ impl SweepConfig {
             worker_env: Vec::new(),
             shard_timeout: None,
             silence_timeout: None,
+            token: token_from_env(),
         }
     }
 }
@@ -395,6 +403,7 @@ impl Engine<'_> {
     /// unreachable retires so surviving slots absorb its work.
     fn worker_loop(&self, slot: usize) {
         let mut conn: Option<WorkerConn> = None;
+        let mut backoff = Backoff::from_env(0xC0_0DD1 ^ slot as u64);
         'shards: loop {
             if self.abort.load(Ordering::SeqCst) {
                 break;
@@ -430,6 +439,7 @@ impl Engine<'_> {
                     slot,
                     &self.config.worker_env,
                     self.config.silence_timeout,
+                    self.config.token.as_deref(),
                 ) {
                     Ok(mut live) => {
                         live.observe_heartbeats(self.hb_gaps[slot].clone());
@@ -444,6 +454,7 @@ impl Engine<'_> {
             };
             match attempt {
                 Ok((chunk, row)) => {
+                    backoff.reset();
                     let mut results = self.results.lock().expect("results lock");
                     results[pending.shard.id] = Some((pending.shard.benchmark.clone(), chunk, row));
                     drop(results);
@@ -471,6 +482,13 @@ impl Engine<'_> {
                     }
                     let last_error = failure.message();
                     self.requeue(pending);
+                    // Respawn under the shared bounded-backoff schedule
+                    // instead of immediately: a crash-looping worker
+                    // binary (or a briefly unavailable TCP peer) is not
+                    // hammered, and a success snaps the delay back.
+                    if !slot_dead {
+                        std::thread::sleep(backoff.next_delay());
+                    }
                     if slot_dead {
                         let live = self.live_slots.fetch_sub(1, Ordering::SeqCst) - 1;
                         if live == 0 {
@@ -690,6 +708,7 @@ mod tests {
             worker_env: Vec::new(),
             shard_timeout: None,
             silence_timeout: None,
+            token: None,
         }
     }
 

@@ -182,11 +182,14 @@ pub fn service_stats_json(stats: &crate::wire::ServiceStats) -> String {
         .iter()
         .map(|w| {
             format!(
-                "{{\"slot\":{},\"addr\":\"{}\",\"busy\":{},\"queued\":{},\
+                "{{\"slot\":{},\"addr\":\"{}\",\"live\":{},\"registered\":{},\
+                 \"busy\":{},\"queued\":{},\
                  \"completed\":{},\"failed\":{},\"steals\":{},\
                  \"heartbeat_gap_us\":{},\"shard_latency_us\":{}}}",
                 w.slot,
                 json_escape(&w.addr),
+                w.live,
+                w.registered,
                 w.busy,
                 w.queued,
                 w.completed,
@@ -202,20 +205,24 @@ pub fn service_stats_json(stats: &crate::wire::ServiceStats) -> String {
         .iter()
         .map(|r| {
             format!(
-                "{{\"req_id\":{},\"benchmarks\":{},\"jobs_total\":{},\"jobs_done\":{}}}",
-                r.req_id, r.benchmarks, r.jobs_total, r.jobs_done
+                "{{\"req_id\":{},\"benchmarks\":{},\"jobs_total\":{},\"jobs_done\":{},\
+                 \"jobs_queued\":{}}}",
+                r.req_id, r.benchmarks, r.jobs_total, r.jobs_done, r.jobs_queued
             )
         })
         .collect();
     format!(
-        "{{\"schema\":\"effective-san-sweep-stats/1\",\"queued_jobs\":{},\
+        "{{\"schema\":\"effective-san-sweep-stats/2\",\"queued_jobs\":{},\
          \"clients_total\":{},\"requests_total\":{},\"requests_failed\":{},\
-         \"requests_cancelled\":{},\"workers\":[{}],\"requests\":[{}]}}",
+         \"requests_cancelled\":{},\"pending_requests\":{},\"rejected_busy\":{},\
+         \"workers\":[{}],\"requests\":[{}]}}",
         stats.queued_jobs,
         stats.clients_total,
         stats.requests_total,
         stats.requests_failed,
         stats.requests_cancelled,
+        stats.pending_requests,
+        stats.rejected_busy,
         workers.join(","),
         requests.join(",")
     )
@@ -338,6 +345,8 @@ mod tests {
     fn service_stats_render_as_json() {
         let stats = crate::wire::ServiceStats {
             queued_jobs: 4,
+            pending_requests: 1,
+            rejected_busy: 3,
             clients_total: 2,
             requests_total: 1,
             requests_failed: 0,
@@ -345,6 +354,8 @@ mod tests {
             workers: vec![crate::wire::WorkerStats {
                 slot: 0,
                 addr: "127.0.0.1:7601".to_string(),
+                live: true,
+                registered: true,
                 busy: true,
                 queued: 3,
                 completed: 12,
@@ -365,16 +376,21 @@ mod tests {
                 benchmarks: 2,
                 jobs_total: 4,
                 jobs_done: 1,
+                jobs_queued: 2,
             }],
         };
         let json = service_stats_json(&stats);
         assert!(
-            json.contains("\"schema\":\"effective-san-sweep-stats/1\""),
+            json.contains("\"schema\":\"effective-san-sweep-stats/2\""),
             "{json}"
         );
         assert!(json.contains("\"busy\":true"), "{json}");
+        assert!(json.contains("\"registered\":true"), "{json}");
+        assert!(json.contains("\"pending_requests\":1"), "{json}");
+        assert!(json.contains("\"rejected_busy\":3"), "{json}");
         assert!(json.contains("\"heartbeat_gap_us\":{\"count\":5"), "{json}");
         assert!(json.contains("\"jobs_done\":1"), "{json}");
+        assert!(json.contains("\"jobs_queued\":2"), "{json}");
     }
 
     #[test]

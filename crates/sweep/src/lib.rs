@@ -23,6 +23,8 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod backoff;
+pub mod chaos;
 pub mod check;
 pub mod coordinator;
 pub mod json;
@@ -32,11 +34,16 @@ pub mod shard;
 pub mod wire;
 pub mod worker;
 
+pub use backoff::Backoff;
+pub use chaos::{Chaos, CHAOS_ENV};
 pub use check::{diff_experiments, diff_reports};
 pub use coordinator::{
     sharded_spec_experiment, sharded_tool_comparison, ShardStrategy, SweepConfig, SweepError,
     WorkerLaunch,
 };
-pub use net::{client_stats, client_sweep, ClientError};
+pub use net::{
+    client_shutdown, client_stats, client_stats_with, client_sweep, client_sweep_with,
+    token_from_env, ClientError, ClientOptions, TOKEN_ENV,
+};
 pub use shard::{merge_experiment, plan_shards, MergeError, Shard};
 pub use wire::{ServiceStats, SweepRequest, WireError, HANDSHAKE, WIRE_VERSION};

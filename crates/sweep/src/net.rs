@@ -22,7 +22,20 @@ use std::time::{Duration, Instant};
 
 use effective_san::{SpecExperiment, SpecRow};
 
+use crate::backoff::Backoff;
+use crate::chaos::{Chaos, LineFate};
 use crate::wire::{self, Hello, LineSource, Reply, ShardSpec, SweepRequest, WireError};
+
+/// Name of the shared-auth-token environment variable.  When set, every
+/// connection this process initiates or accepts carries/requires the
+/// wire-v7 `auth` frame.  The token itself never reaches trace events,
+/// stats output or error messages.
+pub const TOKEN_ENV: &str = "SWEEP_TOKEN";
+
+/// The shared auth token resolved from [`TOKEN_ENV`] (empty = unset).
+pub fn token_from_env() -> Option<String> {
+    std::env::var(TOKEN_ENV).ok().filter(|t| !t.is_empty())
+}
 
 /// Default cadence of worker heartbeats, overridable with the
 /// `SWEEP_HEARTBEAT_MS` environment variable (workers read it at serve
@@ -54,6 +67,10 @@ pub struct LinePump {
 impl LinePump {
     /// Spawn the pump thread over a buffered reader.  The thread exits at
     /// end of stream, on a read error, or when the pump is dropped.
+    ///
+    /// This is one of the two chaos seams ([`crate::chaos`]): with
+    /// `SWEEP_CHAOS` armed, a received line may be delivered late or the
+    /// whole connection may be reported dropped mid-stream.
     pub fn spawn<R: BufRead + Send + 'static>(mut reader: R) -> LinePump {
         let (tx, rx) = mpsc::channel();
         std::thread::Builder::new()
@@ -68,6 +85,16 @@ impl LinePump {
                     Ok(_) => {
                         while line.ends_with('\n') || line.ends_with('\r') {
                             line.pop();
+                        }
+                        match Chaos::global().map(|plan| plan.fate(line.len())) {
+                            Some(LineFate::Drop { .. }) => {
+                                let _ = tx.send(Err(WireError::Io {
+                                    message: "chaos: injected connection drop".to_string(),
+                                }));
+                                break;
+                            }
+                            Some(LineFate::DeliverAfter(wait)) => std::thread::sleep(wait),
+                            Some(LineFate::Deliver) | None => {}
                         }
                         if tx.send(Ok(Some(line))).is_err() {
                             break;
@@ -409,28 +436,72 @@ pub struct WorkerConn {
 
 impl WorkerConn {
     /// Perform the v4 handshake on a fresh transport: exchange handshake
-    /// lines (rejecting version skew loudly) and read the worker's
-    /// [`Hello`].  `silence` bounds each read, so a wedged peer cannot
-    /// hang the caller.
+    /// lines (rejecting version skew loudly), run the wire-v7 token gate
+    /// in both directions, and read the worker's [`Hello`].  `silence`
+    /// bounds each read, so a wedged peer cannot hang the caller.
+    ///
+    /// When `token` is set, this side sends its `auth` frame right after
+    /// the handshake line and requires a matching one from the worker
+    /// (the worker withholds its hello until it has verified us, so the
+    /// line after its optional `auth` is deterministically either the
+    /// hello or a structured `authfail`).  Error strings never contain
+    /// the token.
     pub fn establish(
         mut transport: Box<dyn Transport>,
         silence: Option<Duration>,
+        token: Option<&str>,
     ) -> Result<WorkerConn, String> {
         let result = (|| -> Result<Hello, String> {
             transport
                 .send_line(wire::HANDSHAKE)
                 .map_err(|e| format!("handshake write: {e}"))?;
-            let mut lines = DeadlineLines::new(transport.as_mut(), None, silence);
-            match lines.next_line() {
-                Ok(Some(line)) => wire::check_handshake(&line).map_err(|e| e.to_string())?,
-                Ok(None) => return Err("worker closed the stream before the handshake".to_string()),
-                Err(e) => return Err(e.to_string()),
+            if let Some(token) = token {
+                transport
+                    .send_line(&wire::encode_auth(token))
+                    .map_err(|e| format!("auth write: {e}"))?;
             }
-            match lines.next_line() {
-                Ok(Some(line)) => wire::decode_hello(&line).map_err(|e| e.to_string()),
-                Ok(None) => Err("worker closed the stream before its hello".to_string()),
-                Err(e) => Err(e.to_string()),
+            let (peer_token, line) = {
+                let mut lines = DeadlineLines::new(transport.as_mut(), None, silence);
+                match lines.next_line() {
+                    Ok(Some(line)) => wire::check_handshake(&line).map_err(|e| e.to_string())?,
+                    Ok(None) => {
+                        return Err("worker closed the stream before the handshake".to_string())
+                    }
+                    Err(e) => return Err(e.to_string()),
+                }
+                let mut peer_token = None;
+                let mut line = match lines.next_line() {
+                    Ok(Some(line)) => line,
+                    Ok(None) => return Err("worker closed the stream before its hello".to_string()),
+                    Err(e) => return Err(e.to_string()),
+                };
+                if wire::is_auth(&line) {
+                    peer_token = Some(wire::decode_auth(&line).map_err(|e| e.to_string())?);
+                    line = match lines.next_line() {
+                        Ok(Some(line)) => line,
+                        Ok(None) => {
+                            return Err("worker closed the stream before its hello".to_string())
+                        }
+                        Err(e) => return Err(e.to_string()),
+                    };
+                }
+                (peer_token, line)
+            };
+            if let Some(reason) = wire::parse_auth_reject(&line) {
+                return Err(format!("worker rejected this connection: {reason}"));
             }
+            if let Some(token) = token {
+                if peer_token.as_deref() != Some(token) {
+                    let reason = if peer_token.is_none() {
+                        "peer presented no auth token"
+                    } else {
+                        "auth token mismatch"
+                    };
+                    let _ = transport.send_line(&wire::encode_auth_reject(reason));
+                    return Err(format!("worker failed authentication: {reason}"));
+                }
+            }
+            wire::decode_hello(&line).map_err(|e| e.to_string())
         })();
         match result {
             Ok(hello) => Ok(WorkerConn {
@@ -525,6 +596,9 @@ pub enum ClientError {
     Service(String),
     /// The stream ended without delivering every promised row.
     Incomplete(String),
+    /// The daemon rejected this client's credentials (wire-v7 `authfail`
+    /// — the carried reason never contains a token).
+    Unauthorized(String),
 }
 
 impl std::fmt::Display for ClientError {
@@ -533,6 +607,9 @@ impl std::fmt::Display for ClientError {
             ClientError::Wire(e) => write!(f, "{e}"),
             ClientError::Service(m) => write!(f, "sweep service failed: {m}"),
             ClientError::Incomplete(m) => write!(f, "incomplete stream: {m}"),
+            ClientError::Unauthorized(m) => {
+                write!(f, "sweep service rejected this client: {m}")
+            }
         }
     }
 }
@@ -543,6 +620,86 @@ impl From<WireError> for ClientError {
     fn from(e: WireError) -> Self {
         ClientError::Wire(e)
     }
+}
+
+/// Knobs for the streaming client: credentials and the two bounded retry
+/// windows (connect refusals, `busy` admission rejects).
+#[derive(Clone, Debug)]
+pub struct ClientOptions {
+    /// Shared auth token; defaults to [`TOKEN_ENV`].
+    pub token: Option<String>,
+    /// Connection attempts before a refused/unreachable daemon is fatal
+    /// (scripted launches race the daemon's bind; a few backed-off
+    /// attempts absorb that).
+    pub connect_attempts: u32,
+    /// How many `busy` rejects to absorb (sleeping each frame's
+    /// retry-after hint) before giving up.
+    pub busy_retries: u32,
+    /// Per-attempt TCP connect timeout.
+    pub connect_timeout: Duration,
+}
+
+impl Default for ClientOptions {
+    fn default() -> Self {
+        ClientOptions {
+            token: token_from_env(),
+            connect_attempts: 4,
+            busy_retries: 8,
+            connect_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// Connect to `addr`, retrying refused attempts under the shared
+/// [`Backoff`] schedule (bounded by `options.connect_attempts`).
+fn connect_with_retry(addr: &str, options: &ClientOptions) -> Result<TcpTransport, WireError> {
+    let attempts = options.connect_attempts.max(1);
+    let mut backoff = Backoff::from_env(0x00C1_1E57);
+    let mut last = None;
+    for attempt in 0..attempts {
+        match TcpTransport::connect(addr, Some(options.connect_timeout)) {
+            Ok(transport) => return Ok(transport),
+            Err(e) => {
+                last = Some(e);
+                if attempt + 1 < attempts {
+                    std::thread::sleep(backoff.next_delay());
+                }
+            }
+        }
+    }
+    Err(last.unwrap_or(WireError::Io {
+        message: format!("no connection attempts made to {addr}"),
+    }))
+}
+
+/// Open a connection to the daemon and run the client side of the
+/// handshake + token exchange.
+fn client_connect(addr: &str, options: &ClientOptions) -> Result<TcpTransport, ClientError> {
+    let mut transport = connect_with_retry(addr, options)?;
+    transport.send_line(wire::HANDSHAKE)?;
+    if let Some(token) = options.token.as_deref() {
+        transport.send_line(&wire::encode_auth(token))?;
+    }
+    match transport.recv_line(None)? {
+        Some(line) => wire::check_handshake(&line)?,
+        None => {
+            return Err(ClientError::Incomplete(
+                "daemon closed the connection before the handshake".to_string(),
+            ))
+        }
+    }
+    Ok(transport)
+}
+
+/// The two ways one submission attempt can end short of failure.
+enum SweepOutcome {
+    /// The daemon is saturated; retry the whole request after the hint.
+    Busy {
+        retry_after_ms: u64,
+        message: String,
+    },
+    /// The sweep streamed to completion.
+    Done(SpecExperiment),
 }
 
 /// Submit a sweep to a `sweep serve` daemon at `addr` and reassemble the
@@ -561,20 +718,69 @@ impl From<WireError> for ClientError {
 pub fn client_sweep<F: FnMut(usize, &SpecRow)>(
     addr: &str,
     request: &SweepRequest,
+    on_row: F,
+) -> Result<SpecExperiment, ClientError> {
+    client_sweep_with(addr, &ClientOptions::default(), request, on_row)
+}
+
+/// [`client_sweep`] with explicit [`ClientOptions`]: auth token, bounded
+/// connect retries against a daemon that has not bound yet, and `busy`
+/// retry-after honoring when the daemon sheds load.
+pub fn client_sweep_with<F: FnMut(usize, &SpecRow)>(
+    addr: &str,
+    options: &ClientOptions,
+    request: &SweepRequest,
     mut on_row: F,
 ) -> Result<SpecExperiment, ClientError> {
-    let mut transport = TcpTransport::connect(addr, Some(Duration::from_secs(30)))?;
-    transport.send_line(wire::HANDSHAKE)?;
-    match transport.recv_line(None)? {
-        Some(line) => wire::check_handshake(&line)?,
-        None => {
-            return Err(ClientError::Incomplete(
-                "daemon closed the connection before the handshake".to_string(),
-            ))
+    let mut busy_left = options.busy_retries;
+    loop {
+        match sweep_once(addr, options, request, &mut on_row)? {
+            SweepOutcome::Done(experiment) => return Ok(experiment),
+            SweepOutcome::Busy {
+                retry_after_ms,
+                message,
+            } => {
+                if busy_left == 0 {
+                    return Err(ClientError::Service(format!(
+                        "daemon still busy after {} retries: {message}",
+                        options.busy_retries
+                    )));
+                }
+                busy_left -= 1;
+                std::thread::sleep(Duration::from_millis(retry_after_ms.min(5_000)));
+            }
         }
     }
-    for line in wire::encode_request(request) {
-        transport.send_line(&line)?;
+}
+
+/// One full submission attempt (fresh connection, fresh request).
+fn sweep_once<F: FnMut(usize, &SpecRow)>(
+    addr: &str,
+    options: &ClientOptions,
+    request: &SweepRequest,
+    mut on_row: F,
+) -> Result<SweepOutcome, ClientError> {
+    let mut transport = client_connect(addr, options)?;
+    let sent = wire::encode_request(request)
+        .iter()
+        .try_for_each(|line| transport.send_line(line));
+    if let Err(e) = sent {
+        // The daemon may have rejected this connection (authfail, busy)
+        // and closed while the request was still being written; the
+        // structured frame beats the raw broken pipe when it survived.
+        if let Ok(Some(line)) = transport.recv_line(Some(Duration::from_secs(5))) {
+            if let Some(reason) = wire::parse_auth_reject(&line) {
+                return Err(ClientError::Unauthorized(reason));
+            }
+            if let Some(busy) = wire::parse_busy(&line) {
+                let (retry_after_ms, message) = busy?;
+                return Ok(SweepOutcome::Busy {
+                    retry_after_ms,
+                    message,
+                });
+            }
+        }
+        return Err(e.into());
     }
     let accepted = {
         let Some(line) = transport.recv_line(None)? else {
@@ -582,6 +788,16 @@ pub fn client_sweep<F: FnMut(usize, &SpecRow)>(
                 "daemon closed the connection before accepting the request".to_string(),
             ));
         };
+        if let Some(reason) = wire::parse_auth_reject(&line) {
+            return Err(ClientError::Unauthorized(reason));
+        }
+        if let Some(busy) = wire::parse_busy(&line) {
+            let (retry_after_ms, message) = busy?;
+            return Ok(SweepOutcome::Busy {
+                retry_after_ms,
+                message,
+            });
+        }
         if line.starts_with("sfail\t") {
             let lines = vec![line];
             let mut src = wire::SliceLines::new(&lines);
@@ -622,11 +838,11 @@ pub fn client_sweep<F: FnMut(usize, &SpecRow)>(
             }
         }
     }
-    Ok(SpecExperiment {
+    Ok(SweepOutcome::Done(SpecExperiment {
         scale: request.scale,
         rows: out,
         sanitizers: request.backends.clone(),
-    })
+    }))
 }
 
 /// Query a `sweep serve` daemon's live statistics: handshake, send the
@@ -639,19 +855,58 @@ pub fn client_sweep<F: FnMut(usize, &SpecRow)>(
 /// [`ClientError::Wire`] on connection/protocol failures,
 /// [`ClientError::Incomplete`] when the daemon hangs up early.
 pub fn client_stats(addr: &str) -> Result<wire::ServiceStats, ClientError> {
-    let mut transport = TcpTransport::connect(addr, Some(Duration::from_secs(30)))?;
-    transport.send_line(wire::HANDSHAKE)?;
-    match transport.recv_line(None)? {
-        Some(line) => wire::check_handshake(&line)?,
+    client_stats_with(addr, &ClientOptions::default())
+}
+
+/// [`client_stats`] with explicit [`ClientOptions`].
+pub fn client_stats_with(
+    addr: &str,
+    options: &ClientOptions,
+) -> Result<wire::ServiceStats, ClientError> {
+    let mut transport = client_connect(addr, options)?;
+    transport.send_line(wire::STATS_REQUEST)?;
+    let first = match transport.recv_line(None)? {
+        Some(line) => line,
         None => {
             return Err(ClientError::Incomplete(
-                "daemon closed the connection before the handshake".to_string(),
+                "daemon closed the connection before answering the stats query".to_string(),
             ))
         }
+    };
+    if let Some(reason) = wire::parse_auth_reject(&first) {
+        return Err(ClientError::Unauthorized(reason));
     }
-    transport.send_line(wire::STATS_REQUEST)?;
-    let mut lines = DeadlineLines::new(&mut transport, None, None);
+    let lines = DeadlineLines::new(&mut transport, None, None);
+    let mut lines = wire::PrependedLine::new(Some(first), lines);
     Ok(wire::decode_stats(&mut lines)?)
+}
+
+/// Ask a `sweep serve` daemon to shut down gracefully: it acknowledges
+/// with [`wire::SHUTDOWN_ACK`], stops accepting new requests, drains
+/// every in-flight job to its client, and exits 0.  Token-gated like any
+/// other client connection.
+///
+/// # Errors
+///
+/// [`ClientError::Unauthorized`] when the daemon carries a token this
+/// client lacks; [`ClientError::Wire`] / [`ClientError::Incomplete`] on
+/// transport trouble.
+pub fn client_shutdown(addr: &str, options: &ClientOptions) -> Result<(), ClientError> {
+    let mut transport = client_connect(addr, options)?;
+    transport.send_line(wire::SHUTDOWN_REQUEST)?;
+    match transport.recv_line(Some(Duration::from_secs(30)))? {
+        Some(line) if line == wire::SHUTDOWN_ACK => Ok(()),
+        Some(line) => match wire::parse_auth_reject(&line) {
+            Some(reason) => Err(ClientError::Unauthorized(reason)),
+            None => Err(ClientError::Wire(WireError::UnexpectedLine {
+                expected: "a `shutdown-ok` acknowledgement",
+                got: line,
+            })),
+        },
+        None => Err(ClientError::Incomplete(
+            "daemon closed the connection before acknowledging shutdown".to_string(),
+        )),
+    }
 }
 
 #[cfg(test)]
@@ -694,7 +949,7 @@ mod tests {
         });
         let transport = TcpTransport::connect(&addr.to_string(), Some(Duration::from_secs(5)))
             .expect("connect");
-        let err = WorkerConn::establish(Box::new(transport), Some(Duration::from_secs(5)))
+        let err = WorkerConn::establish(Box::new(transport), Some(Duration::from_secs(5)), None)
             .err()
             .expect("a v2 worker must be rejected");
         assert!(err.contains("version 2"), "{err}");

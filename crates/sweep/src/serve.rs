@@ -1,17 +1,37 @@
 //! The `sweep serve` daemon: a long-running coordinator that accepts
 //! sweep requests from many concurrent clients over TCP and schedules
-//! their shards across a registered `sweep_worker --listen` fleet.
+//! their shards across a `sweep_worker` fleet.
 //!
-//! Architecture: one fleet thread per worker address holds (and on
-//! failure re-establishes) a persistent [`WorkerConn`]; one client thread
-//! per accepted connection decodes a [`wire::SweepRequest`], plans its
-//! shards with the same [`crate::shard::plan_shards`] the in-process
-//! coordinator uses, and pushes them onto a **global** work queue all
-//! requests share.  Idle fleet threads pull from that queue
-//! (work-stealing), with **result affinity**: the first worker to run a
-//! chunk of a `(request, benchmark)` pair claims the pair, and its
-//! remaining chunks prefer that worker — stolen only when a thief has
-//! nothing else to do, which moves the claim wholesale.
+//! Architecture: one fleet thread per worker slot holds a persistent
+//! [`WorkerConn`]; one client thread per accepted connection decodes a
+//! [`wire::SweepRequest`], plans its shards with the same
+//! [`crate::shard::plan_shards`] the in-process coordinator uses, and
+//! pushes them onto a **global** work queue all requests share.  Idle
+//! fleet threads pull from that queue (work-stealing), with **result
+//! affinity**: the first worker to run a chunk of a `(request,
+//! benchmark)` pair claims the pair, and its remaining chunks prefer
+//! that worker — stolen only when a thief has nothing else to do, which
+//! moves the claim wholesale.
+//!
+//! Fleet slots come in two kinds.  **Dial-out** slots are the static
+//! `--tcp-workers` list: their fleet threads redial forever (under the
+//! shared [`Backoff`] schedule), so the slot is permanently live.
+//! **Registered** slots are created at runtime when a `sweep_worker
+//! --join` process dials the daemon's `--register-listen` address: the
+//! slot joins the fleet immediately (picking up already-queued jobs)
+//! and retires when its connection dies, re-queueing its in-flight
+//! shard under the request's existing attempts budget.
+//!
+//! Every connection class — client, dial-out worker, registered worker —
+//! is gated by the optional shared token (wire-v7 `auth` frame): a
+//! mismatch gets a structured `authfail` before any capability exchange,
+//! and the token itself never appears in traces, stats, or errors.
+//! Admission control bounds the daemon's intake: past `--max-pending`
+//! requests or `--max-queued-jobs` planned jobs, new requests are turned
+//! away with a structured `busy` frame carrying a retry hint instead of
+//! being queued without bound.  A `shutdown` control frame (token-gated
+//! like everything else) stops intake, drains in-flight requests to
+//! their structured end, releases the fleet, and lets the process exit 0.
 //!
 //! Rows stream back to each client incrementally: as soon as every chunk
 //! of one benchmark has arrived, the fragments are merged (the same
@@ -21,8 +41,9 @@
 //! failed shard is re-queued under the request's `max_attempts` budget; a
 //! shard that exhausts it fails only its own request (`sfail`), never the
 //! daemon.  A dead or silent worker's connection is torn down and
-//! re-established by its fleet thread; a client that disconnects
-//! mid-stream has its request cancelled and its queued shards dropped.
+//! re-established by its fleet thread (dial-out) or retired (registered);
+//! a client that disconnects mid-stream has its request cancelled and its
+//! queued shards dropped.
 //!
 //! Fault isolation: a panic in one client or fleet thread fails only the
 //! affected request — fleet threads convert panics into failed shard
@@ -34,6 +55,7 @@ use std::collections::{HashMap, HashSet, VecDeque};
 use std::io::{BufReader, Write};
 use std::net::{TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
@@ -42,9 +64,10 @@ use effective_san::{Parallelism, SpecRow};
 use obs::{sweep_tracer, Counter, Gauge, Histogram};
 use workloads::{Scale, SpecBenchmark};
 
-use crate::net::{AttemptError, TcpTransport, WorkerConn};
+use crate::backoff::Backoff;
+use crate::net::{token_from_env, AttemptError, TcpTransport, WorkerConn};
 use crate::shard::{merge_experiment, plan_shards, Shard};
-use crate::wire::{self, IoLines, LineSource, ServiceEvent, ShardSpec, WireError};
+use crate::wire::{self, IoLines, LineSource, ServiceEvent, ShardSpec};
 
 /// Configuration of a [`serve_forever`] daemon.
 #[derive(Clone, Debug)]
@@ -52,8 +75,16 @@ pub struct ServeOptions {
     /// Address to accept client connections on (`host:port`; port `0`
     /// binds an ephemeral port, printed in the `serving` line).
     pub listen: String,
-    /// Worker fleet addresses (each a `sweep_worker --listen` process).
+    /// Address to accept `sweep_worker --join` registrations on
+    /// (printed in the `registering` line).  `None` disables dial-in
+    /// registration.
+    pub register_listen: Option<String>,
+    /// Dial-out worker fleet addresses (each a `sweep_worker --listen`
+    /// process).  May be empty when `register_listen` is set.
     pub workers: Vec<String>,
+    /// Shared auth token required of every connection (worker, client,
+    /// registration).  `None` disables authentication.
+    pub token: Option<String>,
     /// Attempts per shard before its request fails.
     pub max_attempts: usize,
     /// Per-attempt budget for one shard (heartbeats do not extend it).
@@ -61,20 +92,33 @@ pub struct ServeOptions {
     /// Per-read silence deadline on worker connections; heartbeats reset
     /// it, so it catches dead peers, not slow shards.
     pub silence_timeout: Option<Duration>,
+    /// Bound on concurrently admitted requests; past it new requests
+    /// get a structured `busy` reject.  `None` means unbounded.
+    pub max_pending: Option<usize>,
+    /// Bound on planned jobs (queued + in flight); a request whose
+    /// shards would exceed it gets a `busy` reject — unless the daemon
+    /// is idle, which always admits (no request may be unservable
+    /// merely for being larger than the bound).  `None` means unbounded.
+    pub max_queued_jobs: Option<usize>,
 }
 
 impl ServeOptions {
     /// Defaults for a daemon at `listen` over `workers`: 3 attempts per
     /// shard, no shard budget, a 10s silence deadline (workers heartbeat
     /// every [`crate::net::DEFAULT_HEARTBEAT_MS`]ms while busy, so only a
-    /// dead peer can go silent that long).
+    /// dead peer can go silent that long), no registration listener, no
+    /// admission bounds, and the token from [`crate::net::TOKEN_ENV`].
     pub fn new(listen: String, workers: Vec<String>) -> ServeOptions {
         ServeOptions {
             listen,
+            register_listen: None,
             workers,
+            token: token_from_env(),
             max_attempts: 3,
             shard_timeout: None,
             silence_timeout: Some(Duration::from_secs(10)),
+            max_pending: None,
+            max_queued_jobs: None,
         }
     }
 }
@@ -89,23 +133,6 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
         s.clone()
     } else {
         "non-string panic payload".to_string()
-    }
-}
-
-/// A [`LineSource`] that yields one already-read line, then delegates —
-/// how the first line of a client conversation (peeked to distinguish a
-/// `stats` query from a request block) is handed back to the decoder.
-struct PrependedLine<S> {
-    first: Option<String>,
-    rest: S,
-}
-
-impl<S: LineSource> LineSource for PrependedLine<S> {
-    fn next_line(&mut self) -> Result<Option<String>, WireError> {
-        match self.first.take() {
-            Some(line) => Ok(Some(line)),
-            None => self.rest.next_line(),
-        }
     }
 }
 
@@ -141,6 +168,9 @@ struct Progress {
 #[derive(Default)]
 struct Board {
     queue: VecDeque<Job>,
+    /// Jobs checked out by fleet threads and not yet delivered or
+    /// re-queued — what the shutdown drain waits on.
+    in_flight: usize,
     /// `(req_id, benchmark)` → the worker slot that claimed the pair.
     affinity: HashMap<(u64, String), usize>,
     /// Live requests' result channels, keyed by request id.
@@ -152,13 +182,33 @@ struct Board {
     cancelled: HashSet<u64>,
 }
 
+/// What the admission gate decided for one incoming request.
+enum Admission {
+    /// Queue it.
+    Proceed,
+    /// Turn it away with a structured `busy` frame.
+    Busy {
+        retry_after_ms: u64,
+        message: String,
+    },
+    /// The daemon is draining; answer with a structured `sfail`.
+    ShuttingDown,
+}
+
 /// Lock-cheap live telemetry for one worker slot: every field is an
 /// atomic `obs` primitive, so fleet threads update them without touching
 /// the board lock and the stats snapshot reads them without stalling
 /// anyone.
 struct WorkerTelemetry {
-    /// The worker's address as the daemon dials it.
+    /// The worker's address as the daemon dials it (dial-out) or saw it
+    /// connect (registered).
     addr: String,
+    /// Whether the slot joined via the registration listener.
+    registered: bool,
+    /// 1 while the slot is serviceable.  Dial-out slots stay live (their
+    /// fleet thread redials forever); a registered slot goes 0 when its
+    /// worker departs.
+    live: Gauge,
     /// 1 while the slot is running a shard attempt, 0 while idle.
     busy: Gauge,
     /// Shards this slot completed successfully.
@@ -175,9 +225,13 @@ struct WorkerTelemetry {
 }
 
 impl WorkerTelemetry {
-    fn new(addr: &str) -> WorkerTelemetry {
+    fn new(addr: &str, registered: bool) -> WorkerTelemetry {
+        let live = Gauge::new();
+        live.set(1);
         WorkerTelemetry {
             addr: addr.to_string(),
+            registered,
+            live,
             busy: Gauge::new(),
             completed: Counter::new(),
             failed: Counter::new(),
@@ -194,8 +248,15 @@ struct Scheduler {
     board: Mutex<Board>,
     work_ready: Condvar,
     options: ServeOptions,
-    /// One telemetry block per fleet slot, in slot order.
-    telemetry: Vec<WorkerTelemetry>,
+    /// One telemetry block per fleet slot, in slot order.  Append-only:
+    /// dial-out slots at construction, registered slots as workers join
+    /// (a departed slot keeps its index, with `live` at 0).
+    telemetry: Mutex<Vec<Arc<WorkerTelemetry>>>,
+    /// Set once by the `shutdown` control frame; every loop drains.
+    shutting_down: AtomicBool,
+    /// The daemon's own bound addresses, self-connected on shutdown to
+    /// wake the blocking accept loops.
+    wake_addrs: Mutex<Vec<String>>,
     /// Client connections accepted since the daemon started.
     clients_total: Counter,
     /// Sweep requests accepted since the daemon started.
@@ -204,6 +265,8 @@ struct Scheduler {
     requests_failed: Counter,
     /// Requests cancelled because their client vanished mid-stream.
     requests_cancelled: Counter,
+    /// Requests turned away with a `busy` frame.
+    rejected_busy: Counter,
 }
 
 impl Scheduler {
@@ -211,17 +274,20 @@ impl Scheduler {
         let telemetry = options
             .workers
             .iter()
-            .map(|addr| WorkerTelemetry::new(addr))
+            .map(|addr| Arc::new(WorkerTelemetry::new(addr, false)))
             .collect();
         Scheduler {
             board: Mutex::new(Board::default()),
             work_ready: Condvar::new(),
             options,
-            telemetry,
+            telemetry: Mutex::new(telemetry),
+            shutting_down: AtomicBool::new(false),
+            wake_addrs: Mutex::new(Vec::new()),
             clients_total: Counter::new(),
             requests_total: Counter::new(),
             requests_failed: Counter::new(),
             requests_cancelled: Counter::new(),
+            rejected_busy: Counter::new(),
         }
     }
 
@@ -235,11 +301,92 @@ impl Scheduler {
         self.board.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
+    /// The telemetry block of one slot (the vec is append-only, so the
+    /// index is stable for the slot's lifetime).
+    fn telemetry(&self, slot: usize) -> Arc<WorkerTelemetry> {
+        let telemetry = self
+            .telemetry
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        telemetry[slot].clone()
+    }
+
+    /// A point-in-time copy of every slot's telemetry handle.
+    fn telemetry_snapshot(&self) -> Vec<Arc<WorkerTelemetry>> {
+        self.telemetry
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+    }
+
+    /// Append a new fleet slot (a registered worker joining at runtime)
+    /// and return its index and telemetry.
+    fn add_slot(&self, addr: &str, registered: bool) -> (usize, Arc<WorkerTelemetry>) {
+        let mut telemetry = self
+            .telemetry
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        let slot = telemetry.len();
+        let block = Arc::new(WorkerTelemetry::new(addr, registered));
+        telemetry.push(block.clone());
+        (slot, block)
+    }
+
+    /// How many slots are currently serviceable.
+    fn live_workers(&self) -> usize {
+        self.telemetry_snapshot()
+            .iter()
+            .filter(|t| t.live.get() != 0)
+            .count()
+    }
+
+    fn shutting_down(&self) -> bool {
+        self.shutting_down.load(Ordering::SeqCst)
+    }
+
+    /// Flip the daemon into draining mode (idempotent): stop admitting,
+    /// wake every parked loop, and — when no worker could ever drain the
+    /// queue — fail the pending requests instead of hanging them.
+    fn initiate_shutdown(&self) {
+        if self.shutting_down.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        eprintln!("sweep serve: shutdown requested; draining in-flight work");
+        sweep_tracer().event(
+            "serve_shutdown",
+            &[("live_workers", self.live_workers().into())],
+        );
+        if self.live_workers() == 0 {
+            let mut board = self.lock_board();
+            board.queue.clear();
+            for tx in board.requests.values() {
+                let _ = tx.send(JobOutcome::Exhausted {
+                    benchmark: "*".to_string(),
+                    message: "daemon is shutting down with no live workers".to_string(),
+                });
+            }
+        }
+        self.work_ready.notify_all();
+        // Accept loops block in `incoming()`; a throwaway self-connect
+        // makes them return once so they can observe the flag.
+        let wake = self
+            .wake_addrs
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone();
+        for addr in wake {
+            let _ = TcpStream::connect(&addr);
+        }
+    }
+
     /// Pull the next job slot `slot` should run: first a job whose
     /// `(request, benchmark)` this slot already claimed, then an
     /// unclaimed one (claiming it), then — with nothing better to do —
-    /// steal a claimed pair wholesale.  Blocks until work arrives.
-    fn next_for(&self, slot: usize) -> Job {
+    /// steal a claimed pair wholesale.  Blocks until work arrives;
+    /// `None` is the drain signal (the daemon is shutting down and
+    /// every job has been delivered), upon which the fleet thread
+    /// releases its worker and exits.
+    fn next_for(&self, slot: usize) -> Option<Job> {
         let mut board = self.lock_board();
         loop {
             while let Some(idx) = Self::pick(&board, slot) {
@@ -250,10 +397,11 @@ impl Scheduler {
                 let prior = board
                     .affinity
                     .insert((job.req_id, job.shard.benchmark.clone()), slot);
+                board.in_flight += 1;
                 // A pair previously claimed by another slot moves here
                 // wholesale: that is a steal, worth counting and tracing.
                 if let Some(victim) = prior.filter(|&p| p != slot) {
-                    self.telemetry[slot].steals.inc();
+                    self.telemetry(slot).steals.inc();
                     sweep_tracer().event(
                         "serve_steal",
                         &[
@@ -264,7 +412,10 @@ impl Scheduler {
                         ],
                     );
                 }
-                return job;
+                return Some(job);
+            }
+            if self.shutting_down() && board.queue.is_empty() && board.in_flight == 0 {
+                return None;
             }
             board = match self
                 .work_ready
@@ -298,6 +449,7 @@ impl Scheduler {
     /// Deliver a job outcome to its request, if the request still exists.
     fn deliver(&self, req_id: u64, outcome: JobOutcome) {
         let mut board = self.lock_board();
+        board.in_flight = board.in_flight.saturating_sub(1);
         if matches!(outcome, JobOutcome::Fragment { .. }) {
             if let Some(progress) = board.progress.get_mut(&req_id) {
                 progress.jobs_done += 1;
@@ -308,6 +460,85 @@ impl Scheduler {
             // deregistration will cancel the request.
             let _ = tx.send(outcome);
         }
+        drop(board);
+        // The drain condition (`in_flight == 0`) may have just become
+        // true; parked fleet threads need to wake to see it.
+        if self.shutting_down() {
+            self.work_ready.notify_all();
+        }
+    }
+
+    /// One shard attempt failed: burn an attempt (unless the failure
+    /// never reached the worker), then exhaust the request or put the
+    /// job back on the queue for any slot to take over.
+    fn finish_failure(&self, slot: usize, mut job: Job, burned: bool, message: String) {
+        if burned {
+            job.attempts += 1;
+        }
+        if job.attempts >= self.options.max_attempts {
+            self.deliver(
+                job.req_id,
+                JobOutcome::Exhausted {
+                    benchmark: job.shard.benchmark.clone(),
+                    message,
+                },
+            );
+        } else {
+            sweep_tracer().event(
+                "serve_requeue",
+                &[
+                    ("req", job.req_id.into()),
+                    ("benchmark", job.shard.benchmark.as_str().into()),
+                    ("slot", slot.into()),
+                    ("attempts", job.attempts.into()),
+                    ("burned", burned.into()),
+                    ("error", message.as_str().into()),
+                ],
+            );
+            let mut board = self.lock_board();
+            board.in_flight = board.in_flight.saturating_sub(1);
+            // Shed the claim so any worker may take over.
+            board
+                .affinity
+                .remove(&(job.req_id, job.shard.benchmark.clone()));
+            board.queue.push_back(job);
+            drop(board);
+            self.work_ready.notify_all();
+        }
+    }
+
+    /// Gate one incoming request carrying `incoming_jobs` planned shards
+    /// against the admission bounds, under the caller's board lock.
+    fn admission(&self, board: &Board, incoming_jobs: usize) -> Admission {
+        if self.shutting_down() {
+            return Admission::ShuttingDown;
+        }
+        let pending = board.requests.len();
+        let retry_after_ms = (100 + 50 * pending as u64).min(1_000);
+        if let Some(max_pending) = self.options.max_pending {
+            if pending >= max_pending {
+                return Admission::Busy {
+                    retry_after_ms,
+                    message: format!("{pending} requests already pending (limit {max_pending})"),
+                };
+            }
+        }
+        if let Some(max_queued) = self.options.max_queued_jobs {
+            let load = board.queue.len() + board.in_flight;
+            // Livelock guard: an idle daemon admits any request, even
+            // one alone bigger than the bound — otherwise it could never
+            // run at all.
+            if load > 0 && load + incoming_jobs > max_queued {
+                return Admission::Busy {
+                    retry_after_ms,
+                    message: format!(
+                        "{load} jobs already queued or running, {incoming_jobs} more would \
+                         exceed the limit of {max_queued}"
+                    ),
+                };
+            }
+        }
+        Admission::Proceed
     }
 
     fn cancel(&self, req_id: u64) {
@@ -336,10 +567,14 @@ impl Scheduler {
     /// board lock for the queue/progress view; every per-worker figure is
     /// atomic, read without blocking the fleet.
     fn snapshot_stats(&self) -> wire::ServiceStats {
+        let telemetry = self.telemetry_snapshot();
         let board = self.lock_board();
         let queued_jobs = board.queue.len() as u64;
-        let mut claimed = vec![0u64; self.telemetry.len()];
+        let pending_requests = board.requests.len() as u64;
+        let mut claimed = vec![0u64; telemetry.len()];
+        let mut queued_of: HashMap<u64, u64> = HashMap::new();
         for job in &board.queue {
+            *queued_of.entry(job.req_id).or_default() += 1;
             if let Some(&slot) = board
                 .affinity
                 .get(&(job.req_id, job.shard.benchmark.clone()))
@@ -357,17 +592,19 @@ impl Scheduler {
                 benchmarks: p.benchmarks,
                 jobs_total: p.jobs_total,
                 jobs_done: p.jobs_done,
+                jobs_queued: queued_of.get(&req_id).copied().unwrap_or(0),
             })
             .collect();
         drop(board);
         requests.sort_by_key(|r| r.req_id);
-        let workers = self
-            .telemetry
+        let workers = telemetry
             .iter()
             .enumerate()
             .map(|(slot, t)| wire::WorkerStats {
                 slot,
                 addr: t.addr.clone(),
+                live: t.live.get() != 0,
+                registered: t.registered,
                 busy: t.busy.get() != 0,
                 queued: claimed[slot],
                 completed: t.completed.get(),
@@ -383,17 +620,29 @@ impl Scheduler {
             requests_total: self.requests_total.get(),
             requests_failed: self.requests_failed.get(),
             requests_cancelled: self.requests_cancelled.get(),
+            pending_requests,
+            rejected_busy: self.rejected_busy.get(),
             workers,
             requests,
         }
     }
 
-    /// One fleet thread: own (and re-own) a connection to `addr`, run
-    /// pulled jobs on it, re-queue failures.
-    fn fleet_loop(&self, slot: usize, addr: &str) {
+    /// One dial-out fleet thread: own (and re-own) a connection to
+    /// `addr`, run pulled jobs on it, re-queue failures.  Reconnect
+    /// attempts back off under the shared jittered schedule instead of
+    /// hammering a worker that is down.
+    fn fleet_dialout(&self, slot: usize, addr: &str) {
+        let telemetry = self.telemetry(slot);
         let mut conn: Option<WorkerConn> = None;
+        let mut backoff = Backoff::from_env(0xD1A1_0007 ^ slot as u64);
         loop {
-            let mut job = self.next_for(slot);
+            let Some(job) = self.next_for(slot) else {
+                // Drained: release the worker politely and exit.
+                if let Some(live) = conn.take() {
+                    live.shutdown();
+                }
+                return;
+            };
             let spec = ShardSpec {
                 id: job.shard.id,
                 chunk: job.shard.chunk,
@@ -408,7 +657,6 @@ impl Scheduler {
             // fleet forever and wedge the job's request.  Convert it to a
             // failed attempt so the normal retry/exhaust path fails only
             // the affected request.
-            let telemetry = &self.telemetry[slot];
             telemetry.busy.set(1);
             let attempt_started = Instant::now();
             let attempt = catch_unwind(AssertUnwindSafe(|| match &mut conn {
@@ -419,8 +667,13 @@ impl Scheduler {
                 ),
                 None => match TcpTransport::connect(addr, Some(Duration::from_secs(10)))
                     .map_err(|e| e.to_string())
-                    .and_then(|t| WorkerConn::establish(Box::new(t), self.options.silence_timeout))
-                {
+                    .and_then(|t| {
+                        WorkerConn::establish(
+                            Box::new(t),
+                            self.options.silence_timeout,
+                            self.options.token.as_deref(),
+                        )
+                    }) {
                     Ok(mut live) => {
                         live.observe_heartbeats(telemetry.hb_gaps.clone());
                         conn.insert(live).run_shard(
@@ -431,6 +684,85 @@ impl Scheduler {
                     }
                     Err(e) => Err(AttemptError::Spawn(e)),
                 },
+            }))
+            .unwrap_or_else(|payload| {
+                Err(AttemptError::Failed(format!(
+                    "fleet thread panicked while running the shard: {}",
+                    panic_message(payload.as_ref())
+                )))
+            });
+            telemetry.busy.set(0);
+            match attempt {
+                Ok((chunk, row)) => {
+                    backoff.reset();
+                    telemetry.completed.inc();
+                    telemetry
+                        .latency
+                        .record(attempt_started.elapsed().as_micros() as u64);
+                    self.deliver(
+                        job.req_id,
+                        JobOutcome::Fragment {
+                            benchmark: job.shard.benchmark.clone(),
+                            chunk,
+                            row,
+                        },
+                    )
+                }
+                Err(failure) => {
+                    telemetry.failed.inc();
+                    if let Some(dead) = conn.take() {
+                        dead.kill();
+                    }
+                    // Connect failures leave the shard's attempt budget
+                    // alone — the worker may just be restarting, and
+                    // another fleet thread can steal the job meanwhile.
+                    let burned = !matches!(failure, AttemptError::Spawn(_));
+                    self.finish_failure(slot, job, burned, failure.message());
+                    if !burned {
+                        // Do not spin reconnect attempts hot.
+                        std::thread::sleep(backoff.next_delay());
+                    }
+                }
+            }
+        }
+    }
+
+    /// One registered fleet slot: run pulled jobs on the worker that
+    /// dialled in, until its connection dies — then re-queue the
+    /// in-flight shard (burning an attempt of its budget), mark the slot
+    /// dead, and exit.  The worker rejoining creates a fresh slot.
+    fn fleet_registered(&self, slot: usize, telemetry: Arc<WorkerTelemetry>, conn: WorkerConn) {
+        let mut conn = Some(conn);
+        loop {
+            let Some(job) = self.next_for(slot) else {
+                telemetry.live.set(0);
+                if let Some(live) = conn.take() {
+                    live.shutdown();
+                }
+                eprintln!(
+                    "sweep serve: registered worker {} released at shutdown",
+                    telemetry.addr
+                );
+                return;
+            };
+            let spec = ShardSpec {
+                id: job.shard.id,
+                chunk: job.shard.chunk,
+                scale: job.scale,
+                parallelism: job.parallelism,
+                benchmark: job.shard.benchmark.clone(),
+                backends: job.shard.backends.clone(),
+            };
+            telemetry.busy.set(1);
+            let attempt_started = Instant::now();
+            let attempt = catch_unwind(AssertUnwindSafe(|| {
+                conn.as_mut()
+                    .expect("registered connection live")
+                    .run_shard(
+                        &spec,
+                        self.options.shard_timeout,
+                        self.options.silence_timeout,
+                    )
             }))
             .unwrap_or_else(|payload| {
                 Err(AttemptError::Failed(format!(
@@ -456,56 +788,33 @@ impl Scheduler {
                 }
                 Err(failure) => {
                     telemetry.failed.inc();
+                    telemetry.live.set(0);
                     if let Some(dead) = conn.take() {
                         dead.kill();
                     }
-                    // Connect failures leave the shard's attempt budget
-                    // alone — the worker may just be restarting, and
-                    // another fleet thread can steal the job meanwhile.
-                    let burned = !matches!(failure, AttemptError::Spawn(_));
-                    if burned {
-                        job.attempts += 1;
-                    }
-                    if job.attempts >= self.options.max_attempts {
-                        self.deliver(
-                            job.req_id,
-                            JobOutcome::Exhausted {
-                                benchmark: job.shard.benchmark.clone(),
-                                message: failure.message(),
-                            },
-                        );
-                    } else {
-                        sweep_tracer().event(
-                            "serve_requeue",
-                            &[
-                                ("req", job.req_id.into()),
-                                ("benchmark", job.shard.benchmark.as_str().into()),
-                                ("slot", slot.into()),
-                                ("attempts", job.attempts.into()),
-                                ("burned", burned.into()),
-                                ("error", failure.message().into()),
-                            ],
-                        );
-                        let mut board = self.lock_board();
-                        // Shed the claim so any worker may take over.
-                        board
-                            .affinity
-                            .remove(&(job.req_id, job.shard.benchmark.clone()));
-                        board.queue.push_back(job);
-                        drop(board);
-                        self.work_ready.notify_all();
-                        if !burned {
-                            // Do not spin reconnect attempts hot.
-                            std::thread::sleep(Duration::from_millis(200));
-                        }
-                    }
+                    let message = failure.message();
+                    eprintln!(
+                        "sweep serve: registered worker {} departed: {message}",
+                        telemetry.addr
+                    );
+                    sweep_tracer().event(
+                        "serve_worker_depart",
+                        &[
+                            ("slot", slot.into()),
+                            ("addr", telemetry.addr.as_str().into()),
+                            ("error", message.as_str().into()),
+                        ],
+                    );
+                    self.finish_failure(slot, job, true, message);
+                    return;
                 }
             }
         }
     }
 
-    /// One client connection: handshake, decode the request, enqueue its
-    /// shards, merge and stream rows as benchmarks complete.
+    /// One client connection: handshake, authenticate, decode the
+    /// request (or answer a `stats` / `shutdown` control frame), enqueue
+    /// its shards, merge and stream rows as benchmarks complete.
     fn client_loop(&self, stream: TcpStream, req_id: u64) {
         let mut write_half = match stream.try_clone() {
             Ok(w) => w,
@@ -527,21 +836,54 @@ impl Scheduler {
             Ok(Some(line)) if line == wire::HANDSHAKE => {}
             _ => return, // wrong version or vanished client: nothing to salvage
         }
-        // v6: a bare `stats` line in place of the request block queries
-        // the daemon's live statistics and ends the conversation; any
-        // other first line is handed back to the request decoder.
-        let first = match lines.next_line() {
-            Ok(Some(line)) => line,
-            _ => return,
+        // v7: the optional `auth` frame rides right after the version
+        // line; with a daemon token configured it is mandatory, and a
+        // mismatch ends the conversation before any capability exchange.
+        // The rejection (and its trace) names the failure, never the
+        // token.
+        let first = match wire::auth_gate(&mut lines, self.options.token.as_deref()) {
+            Ok(wire::AuthGate::Accepted { leftover }) => leftover,
+            Ok(wire::AuthGate::Rejected { reason }) => {
+                eprintln!(
+                    "sweep serve: client of request {req_id} failed authentication: {reason}"
+                );
+                sweep_tracer().event(
+                    "serve_auth_reject",
+                    &[("req", req_id.into()), ("reason", reason.into())],
+                );
+                send(&[wire::encode_auth_reject(reason)]);
+                // Drain what the peer already wrote before closing:
+                // dropping a socket with unread data resets it, which
+                // could wipe the reject frame out from under a client
+                // still mid-request-write.
+                let _ = write_half.shutdown(std::net::Shutdown::Write);
+                let _ = write_half.set_read_timeout(Some(Duration::from_secs(2)));
+                while let Ok(Some(_)) = lines.next_line() {}
+                return;
+            }
+            Err(_) => return,
+        };
+        // A bare `stats` line in place of the request block queries the
+        // daemon's live statistics; a `shutdown` line asks the daemon to
+        // drain and exit.  Any other first line is handed back to the
+        // request decoder.
+        let first = match first {
+            Some(line) => line,
+            None => match lines.next_line() {
+                Ok(Some(line)) => line,
+                _ => return,
+            },
         };
         if first == wire::STATS_REQUEST {
             send(&wire::encode_stats(&self.snapshot_stats()));
             return;
         }
-        let mut lines = PrependedLine {
-            first: Some(first),
-            rest: lines,
-        };
+        if first == wire::SHUTDOWN_REQUEST {
+            send(&[wire::SHUTDOWN_ACK.to_string()]);
+            self.initiate_shutdown();
+            return;
+        }
+        let mut lines = wire::PrependedLine::new(Some(first), lines);
         let request = match wire::decode_request(&mut lines) {
             Ok(Some(request)) => request,
             Ok(None) => return,
@@ -564,7 +906,7 @@ impl Scheduler {
         let shards = plan_shards(
             &request.benchmarks,
             &request.backends,
-            self.options.workers.len(),
+            self.live_workers().max(1),
         );
         let chunks_per_bench = shards
             .iter()
@@ -574,7 +916,38 @@ impl Scheduler {
         let total_jobs = shards.len();
         let (tx, rx) = mpsc::channel();
         {
+            // Admission and enqueue under one board lock: the bound
+            // cannot be raced past by two clients arriving together.
             let mut board = self.lock_board();
+            match self.admission(&board, total_jobs) {
+                Admission::Proceed => {}
+                Admission::ShuttingDown => {
+                    drop(board);
+                    self.requests_failed.inc();
+                    send(&wire::encode_service_event(&ServiceEvent::Failed {
+                        message: "sweep service is shutting down".to_string(),
+                    }));
+                    return;
+                }
+                Admission::Busy {
+                    retry_after_ms,
+                    message,
+                } => {
+                    drop(board);
+                    self.rejected_busy.inc();
+                    eprintln!("sweep serve: request {req_id} turned away busy: {message}");
+                    sweep_tracer().event(
+                        "serve_busy_reject",
+                        &[
+                            ("req", req_id.into()),
+                            ("retry_after_ms", retry_after_ms.into()),
+                            ("message", message.as_str().into()),
+                        ],
+                    );
+                    send(&[wire::encode_busy(retry_after_ms, &message)]);
+                    return;
+                }
+            }
             board.requests.insert(req_id, tx);
             board.progress.insert(
                 req_id,
@@ -724,20 +1097,67 @@ fn validate(request: &wire::SweepRequest) -> Result<(), String> {
     Ok(())
 }
 
-/// Run the sweep service: bind `options.listen`, print `serving <addr>`
-/// (resolved port included) to stdout, spawn the worker fleet threads,
-/// and accept client connections until the process dies.
+/// One accepted registration connection: authenticate the dialling
+/// worker (every rejection is structured, sent before any capability
+/// exchange), give it a fresh fleet slot, and serve jobs on it until it
+/// departs.
+fn register_worker(scheduler: &Scheduler, stream: TcpStream) {
+    let peer = stream
+        .peer_addr()
+        .map_or_else(|_| "unknown".to_string(), |a| a.to_string());
+    let transport = match TcpTransport::from_stream(stream, peer.clone()) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("sweep serve: registration from {peer} failed: {e}");
+            return;
+        }
+    };
+    match WorkerConn::establish(
+        Box::new(transport),
+        scheduler.options.silence_timeout,
+        scheduler.options.token.as_deref(),
+    ) {
+        Ok(mut conn) => {
+            let (slot, telemetry) = scheduler.add_slot(&peer, true);
+            conn.observe_heartbeats(telemetry.hb_gaps.clone());
+            eprintln!("sweep serve: worker {peer} registered as slot {slot}");
+            sweep_tracer().event(
+                "serve_worker_register",
+                &[("slot", slot.into()), ("peer", peer.as_str().into())],
+            );
+            scheduler.work_ready.notify_all();
+            scheduler.fleet_registered(slot, telemetry, conn);
+        }
+        Err(e) => {
+            // `establish` already answered the worker with a structured
+            // `authfail` when credentials were the problem; the error
+            // string never carries the token.
+            eprintln!("sweep serve: registration from {peer} rejected: {e}");
+            sweep_tracer().event(
+                "serve_worker_reject",
+                &[("peer", peer.as_str().into()), ("error", e.as_str().into())],
+            );
+        }
+    }
+}
+
+/// Run the sweep service: bind `options.listen` (and, when configured,
+/// `options.register_listen`), print `serving <addr>` — then
+/// `registering <addr>` — to stdout, spawn the worker fleet threads, and
+/// accept client connections until a `shutdown` control frame drains the
+/// daemon (then return `Ok`, i.e. exit 0).
 ///
 /// # Errors
 ///
-/// [`crate::SweepError::Config`] when the options are unusable (empty
-/// fleet) or the listen address cannot be bound; once serving, per-request
-/// failures go to their clients as `sfail` events and never tear the
-/// daemon down.
+/// [`crate::SweepError::Config`] when the options are unusable (no
+/// dial-out fleet and no registration listener) or an address cannot be
+/// bound; once serving, per-request failures go to their clients as
+/// `sfail` events and never tear the daemon down.
 pub fn serve_forever(options: ServeOptions) -> Result<(), crate::SweepError> {
-    if options.workers.is_empty() {
+    if options.workers.is_empty() && options.register_listen.is_none() {
         return Err(crate::SweepError::Config {
-            message: "sweep serve needs at least one worker address".to_string(),
+            message: "sweep serve needs at least one worker address or a --register-listen"
+                .to_string(),
         });
     }
     let listener = TcpListener::bind(&options.listen).map_err(|e| crate::SweepError::Config {
@@ -747,20 +1167,73 @@ pub fn serve_forever(options: ServeOptions) -> Result<(), crate::SweepError> {
         Ok(local) => println!("serving {local}"),
         Err(_) => println!("serving {}", options.listen),
     }
+    let registrations = match &options.register_listen {
+        Some(addr) => {
+            let reg = TcpListener::bind(addr).map_err(|e| crate::SweepError::Config {
+                message: format!("cannot accept registrations on {addr}: {e}"),
+            })?;
+            match reg.local_addr() {
+                Ok(local) => println!("registering {local}"),
+                Err(_) => println!("registering {addr}"),
+            }
+            Some(reg)
+        }
+        None => None,
+    };
     let _ = std::io::stdout().flush();
 
     let scheduler = Scheduler::new(options);
-    serve_loop(&scheduler, listener);
+    {
+        let mut wake = scheduler
+            .wake_addrs
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        if let Ok(local) = listener.local_addr() {
+            wake.push(local.to_string());
+        }
+        if let Some(local) = registrations.as_ref().and_then(|r| r.local_addr().ok()) {
+            wake.push(local.to_string());
+        }
+    }
+    serve_loop(&scheduler, listener, registrations);
+    eprintln!("sweep serve: drained, exiting");
     Ok(())
 }
 
-fn serve_loop(scheduler: &Scheduler, listener: TcpListener) {
+fn serve_loop(scheduler: &Scheduler, listener: TcpListener, registrations: Option<TcpListener>) {
     std::thread::scope(|scope| {
         for (slot, addr) in scheduler.options.workers.iter().enumerate() {
-            scope.spawn(move || scheduler.fleet_loop(slot, addr));
+            scope.spawn(move || scheduler.fleet_dialout(slot, addr));
+        }
+        if let Some(reg) = registrations {
+            scope.spawn(move || {
+                for stream in reg.incoming() {
+                    if scheduler.shutting_down() {
+                        break;
+                    }
+                    match stream {
+                        Ok(stream) => {
+                            scope.spawn(move || {
+                                if let Err(payload) = catch_unwind(AssertUnwindSafe(|| {
+                                    register_worker(scheduler, stream)
+                                })) {
+                                    eprintln!(
+                                        "sweep serve: registration thread panicked: {}",
+                                        panic_message(payload.as_ref())
+                                    );
+                                }
+                            });
+                        }
+                        Err(e) => eprintln!("sweep serve: registration accept failed: {e}"),
+                    }
+                }
+            });
         }
         let mut next_req_id = 0u64;
         for stream in listener.incoming() {
+            if scheduler.shutting_down() {
+                break;
+            }
             match stream {
                 Ok(stream) => {
                     let req_id = next_req_id;
@@ -816,10 +1289,12 @@ mod tests {
     use super::*;
 
     fn scheduler() -> Scheduler {
-        Scheduler::new(ServeOptions::new(
+        let mut options = ServeOptions::new(
             "127.0.0.1:0".to_string(),
             vec!["unused-a".to_string(), "unused-b".to_string()],
-        ))
+        );
+        options.token = None;
+        Scheduler::new(options)
     }
 
     fn job(req_id: u64, benchmark: &str) -> Job {
@@ -860,16 +1335,20 @@ mod tests {
         assert_eq!(stats.queued_jobs, 2);
         assert_eq!(stats.workers.len(), 2);
         assert_eq!(stats.workers[1].queued, 1, "slot 1 claimed one queued job");
+        assert!(stats.workers[0].live && !stats.workers[0].registered);
         assert_eq!(stats.requests.len(), 1);
         assert_eq!(stats.requests[0].jobs_total, 2);
+        assert_eq!(stats.requests[0].jobs_queued, 2);
+        assert_eq!(stats.pending_requests, 0, "no result channel registered");
+        assert_eq!(stats.rejected_busy, 0);
 
-        let first = s.next_for(0);
+        let first = s.next_for(0).expect("queued job");
         assert_eq!(first.shard.benchmark, "mcf", "unclaimed job first");
-        assert_eq!(s.telemetry[0].steals.get(), 0);
-        let second = s.next_for(0);
+        assert_eq!(s.telemetry(0).steals.get(), 0);
+        let second = s.next_for(0).expect("queued job");
         assert_eq!(second.shard.benchmark, "gcc");
         assert_eq!(
-            s.telemetry[0].steals.get(),
+            s.telemetry(0).steals.get(),
             1,
             "taking slot 1's claimed pair is a steal"
         );
@@ -906,5 +1385,93 @@ mod tests {
         assert_eq!(panic_message(formatted.as_ref()), "boom 2");
         let literal = catch_unwind(|| panic!("just a literal")).unwrap_err();
         assert_eq!(panic_message(literal.as_ref()), "just a literal");
+    }
+
+    #[test]
+    fn registered_slots_join_and_retire_in_telemetry() {
+        let s = scheduler();
+        assert_eq!(s.live_workers(), 2, "dial-out slots are live from birth");
+        let (slot, telemetry) = s.add_slot("10.0.0.9:1234", true);
+        assert_eq!(slot, 2, "registered slots append after the dial-out fleet");
+        assert_eq!(s.live_workers(), 3);
+        telemetry.live.set(0);
+        assert_eq!(s.live_workers(), 2, "a departed slot no longer counts");
+        let stats = s.snapshot_stats();
+        assert_eq!(stats.workers.len(), 3, "retired slots stay visible");
+        assert!(stats.workers[2].registered);
+        assert!(!stats.workers[2].live);
+    }
+
+    #[test]
+    fn admission_turns_requests_away_only_under_load() {
+        let mut options = ServeOptions::new("127.0.0.1:0".to_string(), vec!["w".to_string()]);
+        options.token = None;
+        options.max_pending = Some(1);
+        options.max_queued_jobs = Some(2);
+        let s = Scheduler::new(options);
+        // The idle daemon admits anything — even a request bigger than
+        // the whole queue bound (the livelock guard).
+        {
+            let board = s.lock_board();
+            assert!(matches!(s.admission(&board, 100), Admission::Proceed));
+        }
+        // One job on the queue: the queue bound now bites…
+        {
+            let mut board = s.lock_board();
+            board.queue.push_back(job(1, "mcf"));
+            match s.admission(&board, 2) {
+                Admission::Busy {
+                    retry_after_ms,
+                    message,
+                } => {
+                    assert!(retry_after_ms >= 100);
+                    assert!(message.contains("exceed the limit"), "{message}");
+                }
+                _ => panic!("over-bound request on a loaded daemon must be busy"),
+            }
+            // …but a request that still fits is admitted.
+            assert!(matches!(s.admission(&board, 1), Admission::Proceed));
+        }
+        // A pending request exhausts `max_pending` regardless of size.
+        {
+            let mut board = s.lock_board();
+            board.queue.clear();
+            let (tx, _rx) = mpsc::channel();
+            board.requests.insert(9, tx);
+            match s.admission(&board, 1) {
+                Admission::Busy { message, .. } => {
+                    assert!(message.contains("pending"), "{message}");
+                }
+                _ => panic!("past max_pending every request is busy"),
+            }
+        }
+        // Shutdown trumps everything.
+        s.shutting_down.store(true, Ordering::SeqCst);
+        let board = s.lock_board();
+        assert!(matches!(s.admission(&board, 1), Admission::ShuttingDown));
+    }
+
+    #[test]
+    fn shutdown_drains_the_queue_then_parks_the_fleet() {
+        let s = scheduler();
+        {
+            let mut board = s.lock_board();
+            board.queue.push_back(job(1, "mcf"));
+        }
+        s.initiate_shutdown();
+        s.initiate_shutdown(); // idempotent
+        let drained = s.next_for(0);
+        assert!(drained.is_some(), "queued work still runs during drain");
+        // Delivering the checked-out job is the last in-flight work;
+        // after it the fleet gets the drain signal instead of blocking.
+        s.deliver(
+            1,
+            JobOutcome::Exhausted {
+                benchmark: "mcf".to_string(),
+                message: "done draining".to_string(),
+            },
+        );
+        assert!(s.next_for(0).is_none(), "drained fleet threads exit");
+        assert!(s.next_for(1).is_none(), "every slot sees the drain");
     }
 }

@@ -47,15 +47,32 @@ use workloads::Scale;
 /// a `stats` header, per-worker `wstat` lines (queue depth, completed /
 /// failed / stolen shard counts, heartbeat-gap and shard-latency
 /// histogram summaries), per-request `rstat` progress lines, and an
-/// `endstats` terminator.
-pub const WIRE_VERSION: u32 = 6;
+/// `endstats` terminator.  Version 7 added the fleet-elasticity frames:
+/// an optional `auth` token line immediately after the handshake (every
+/// connection class — worker, client, registration), the structured
+/// `authfail` rejection, the `busy` admission-control reject carrying a
+/// retry-after hint, the token-gated [`SHUTDOWN_REQUEST`] control frame
+/// and its [`SHUTDOWN_ACK`], and widened `stats`/`wstat`/`rstat` lines
+/// (pending-request and busy-reject counters, per-slot live/registered
+/// flags, per-request queue depth).
+pub const WIRE_VERSION: u32 = 7;
 
 /// The handshake line both sides send before anything else.
-pub const HANDSHAKE: &str = "effective-san-sweep-wire 6";
+pub const HANDSHAKE: &str = "effective-san-sweep-wire 7";
 
 /// The line a client sends (in place of a `request` block) to query the
 /// daemon's live statistics instead of submitting a sweep.
 pub const STATS_REQUEST: &str = "stats";
+
+/// The line a client sends (in place of a `request` block) to ask the
+/// daemon to shut down gracefully: stop accepting, drain in-flight jobs,
+/// exit 0.  When the daemon carries a token the requester must have
+/// authenticated; the daemon answers with [`SHUTDOWN_ACK`] before it
+/// starts draining.
+pub const SHUTDOWN_REQUEST: &str = "shutdown";
+
+/// The daemon's acknowledgement of a [`SHUTDOWN_REQUEST`].
+pub const SHUTDOWN_ACK: &str = "shutdown-ok";
 
 /// Parse the version number out of a handshake line, if the line is a
 /// handshake at all (`effective-san-sweep-wire <n>`).
@@ -595,6 +612,127 @@ pub fn is_heartbeat(line: &str) -> bool {
     line == "hb" || line.starts_with("hb\t")
 }
 
+/// Encode an `auth` line (wire v7).  A peer configured with a shared
+/// token sends this immediately after its [`HANDSHAKE`] line, on every
+/// connection class — worker, client and registration alike.
+pub fn encode_auth(token: &str) -> String {
+    format!("auth\t{}", escape(token))
+}
+
+/// Whether a line is an `auth` frame.
+pub fn is_auth(line: &str) -> bool {
+    line == "auth" || line.starts_with("auth\t")
+}
+
+/// Decode an [`encode_auth`] line back into the presented token.
+pub fn decode_auth(line: &str) -> Result<String, WireError> {
+    let f = split_fields(line, "auth", 1)?;
+    unescape(f[0])
+}
+
+/// Encode an `authfail` rejection (wire v7).  The reason is structured
+/// prose for the peer's error path; it must never echo a token.
+pub fn encode_auth_reject(reason: &str) -> String {
+    format!("authfail\t{}", escape(reason))
+}
+
+/// If the line is an `authfail` rejection, its reason.
+pub fn parse_auth_reject(line: &str) -> Option<String> {
+    let f = split_fields(line, "authfail", 1).ok()?;
+    unescape(f[0]).ok()
+}
+
+/// Encode a `busy` admission-control reject (wire v7): the daemon's
+/// pending-request or job-queue bound is hit, and the client should wait
+/// `retry_after_ms` before retrying the whole request.
+pub fn encode_busy(retry_after_ms: u64, message: &str) -> String {
+    format!("busy\t{retry_after_ms}\t{}", escape(message))
+}
+
+/// If the line is a `busy` reject, decode its `(retry_after_ms, message)`.
+pub fn parse_busy(line: &str) -> Option<Result<(u64, String), WireError>> {
+    if line != "busy" && !line.starts_with("busy\t") {
+        return None;
+    }
+    Some(
+        split_fields(line, "busy", 2)
+            .and_then(|f| Ok((parse_num::<u64>("retry-after-ms", f[0])?, unescape(f[1])?))),
+    )
+}
+
+/// The outcome of the server-side token gate that runs right after the
+/// handshake exchange (see [`auth_gate`]).
+pub enum AuthGate {
+    /// The peer is in.  When the local side carries no token but the
+    /// peer sent something other than an `auth` line, that line is
+    /// handed back here so the protocol can resume with it.
+    Accepted {
+        /// A non-`auth` line consumed while peeking, to be replayed.
+        leftover: Option<String>,
+    },
+    /// The peer is out; send them [`encode_auth_reject`] with this
+    /// reason and close.  The reason never contains a token.
+    Rejected {
+        /// Why the peer was rejected.
+        reason: &'static str,
+    },
+}
+
+/// Run the wire-v7 token gate over the lines following a peer's
+/// handshake.  A side configured with `local_token` requires the next
+/// line to be a matching [`encode_auth`] frame; a side without one
+/// accepts anything (consuming a stray `auth` line so an authenticated
+/// peer can still talk to an open server).
+pub fn auth_gate<S: LineSource>(
+    src: &mut S,
+    local_token: Option<&str>,
+) -> Result<AuthGate, WireError> {
+    let Some(token) = local_token else {
+        // Open side: peek one line; swallow an auth frame, replay
+        // anything else.  EOF is fine — the peer just left.
+        return Ok(match src.next_line()? {
+            Some(line) if is_auth(&line) => AuthGate::Accepted { leftover: None },
+            line => AuthGate::Accepted { leftover: line },
+        });
+    };
+    let line = next_required(src, "an `auth` line")?;
+    if !is_auth(&line) {
+        return Ok(AuthGate::Rejected {
+            reason: "peer presented no auth token",
+        });
+    }
+    if decode_auth(&line)? != token {
+        return Ok(AuthGate::Rejected {
+            reason: "auth token mismatch",
+        });
+    }
+    Ok(AuthGate::Accepted { leftover: None })
+}
+
+/// A [`LineSource`] that replays one already-consumed line before
+/// delegating to the underlying source — used to resume decoding after
+/// peeking (the [`auth_gate`] leftover, a daemon's first-line dispatch).
+pub struct PrependedLine<S: LineSource> {
+    line: Option<String>,
+    rest: S,
+}
+
+impl<S: LineSource> PrependedLine<S> {
+    /// A source yielding `line` first (if any), then `rest`.
+    pub fn new(line: Option<String>, rest: S) -> Self {
+        PrependedLine { line, rest }
+    }
+}
+
+impl<S: LineSource> LineSource for PrependedLine<S> {
+    fn next_line(&mut self) -> Result<Option<String>, WireError> {
+        match self.line.take() {
+            Some(line) => Ok(Some(line)),
+            None => self.rest.next_line(),
+        }
+    }
+}
+
 /// A client's sweep request to the `sweep serve` daemon: the same
 /// parameters `sharded_spec_experiment` takes in-process.
 #[derive(Clone, Debug, PartialEq)]
@@ -743,8 +881,16 @@ pub fn decode_service_event<S: LineSource>(src: &mut S) -> Result<ServiceEvent, 
 pub struct WorkerStats {
     /// The worker's slot index in the fleet.
     pub slot: usize,
-    /// The worker's address as the daemon dials it.
+    /// The worker's address as the daemon dials it (dial-out slots) or
+    /// saw it connect (registered slots).
     pub addr: String,
+    /// Whether the slot is currently connected/serviceable.  Dial-out
+    /// slots are always live (the daemon redials them forever);
+    /// registered slots go dead when their worker departs.
+    pub live: bool,
+    /// Whether the slot joined via `--register-listen` (dial-in) rather
+    /// than the daemon's static dial-out list.
+    pub registered: bool,
     /// Whether the slot is running a shard right now.
     pub busy: bool,
     /// Queued jobs whose `(request, benchmark)` pair this slot claimed.
@@ -772,6 +918,9 @@ pub struct RequestProgress {
     pub jobs_total: u64,
     /// Shard jobs delivered so far.
     pub jobs_done: u64,
+    /// Shard jobs of this request still sitting on the global queue
+    /// (its live queue depth; the remainder are in flight or done).
+    pub jobs_queued: u64,
 }
 
 /// A `sweep serve` daemon's live statistics: global counters, one
@@ -790,6 +939,12 @@ pub struct ServiceStats {
     pub requests_failed: u64,
     /// Requests cancelled because their client vanished mid-stream.
     pub requests_cancelled: u64,
+    /// Requests currently admitted and in flight (the bound that
+    /// `--max-pending` enforces).
+    pub pending_requests: u64,
+    /// Requests turned away with a `busy` frame since the daemon
+    /// started.
+    pub rejected_busy: u64,
     /// Per-slot worker statistics, in slot order.
     pub workers: Vec<WorkerStats>,
     /// In-flight request progress, in request-id order.
@@ -828,20 +983,24 @@ fn decode_hist_summary(field: &'static str, s: &str) -> Result<HistSummary, Wire
 /// `rstat` lines, and an `endstats` terminator.
 pub fn encode_stats(stats: &ServiceStats) -> Vec<String> {
     let mut out = vec![format!(
-        "stats\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
+        "stats\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
         stats.queued_jobs,
         stats.clients_total,
         stats.requests_total,
         stats.requests_failed,
         stats.requests_cancelled,
+        stats.pending_requests,
+        stats.rejected_busy,
         stats.workers.len(),
         stats.requests.len()
     )];
     for w in &stats.workers {
         out.push(format!(
-            "wstat\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
+            "wstat\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
             w.slot,
             escape(&w.addr),
+            u8::from(w.live),
+            u8::from(w.registered),
             u8::from(w.busy),
             w.queued,
             w.completed,
@@ -853,8 +1012,8 @@ pub fn encode_stats(stats: &ServiceStats) -> Vec<String> {
     }
     for r in &stats.requests {
         out.push(format!(
-            "rstat\t{}\t{}\t{}\t{}",
-            r.req_id, r.benchmarks, r.jobs_total, r.jobs_done
+            "rstat\t{}\t{}\t{}\t{}\t{}",
+            r.req_id, r.benchmarks, r.jobs_total, r.jobs_done, r.jobs_queued
         ));
     }
     out.push("endstats".to_string());
@@ -864,41 +1023,46 @@ pub fn encode_stats(stats: &ServiceStats) -> Vec<String> {
 /// Decode an [`encode_stats`] block.
 pub fn decode_stats<S: LineSource>(src: &mut S) -> Result<ServiceStats, WireError> {
     let line = next_required(src, "a `stats` header")?;
-    let f = split_fields(&line, "stats", 7)?;
+    let f = split_fields(&line, "stats", 9)?;
     let mut stats = ServiceStats {
         queued_jobs: parse_num("queued-jobs", f[0])?,
         clients_total: parse_num("clients-total", f[1])?,
         requests_total: parse_num("requests-total", f[2])?,
         requests_failed: parse_num("requests-failed", f[3])?,
         requests_cancelled: parse_num("requests-cancelled", f[4])?,
+        pending_requests: parse_num("pending-requests", f[5])?,
+        rejected_busy: parse_num("rejected-busy", f[6])?,
         workers: Vec::new(),
         requests: Vec::new(),
     };
-    let n_workers: usize = parse_num("worker-count", f[5])?;
-    let n_requests: usize = parse_num("request-count", f[6])?;
+    let n_workers: usize = parse_num("worker-count", f[7])?;
+    let n_requests: usize = parse_num("request-count", f[8])?;
     for _ in 0..n_workers {
         let line = next_required(src, "a `wstat` line")?;
-        let f = split_fields(&line, "wstat", 9)?;
+        let f = split_fields(&line, "wstat", 11)?;
         stats.workers.push(WorkerStats {
             slot: parse_num("slot", f[0])?,
             addr: unescape(f[1])?,
-            busy: f[2] == "1",
-            queued: parse_num("queued", f[3])?,
-            completed: parse_num("completed", f[4])?,
-            failed: parse_num("failed", f[5])?,
-            steals: parse_num("steals", f[6])?,
-            heartbeat_gap_us: decode_hist_summary("heartbeat-gap", f[7])?,
-            shard_latency_us: decode_hist_summary("shard-latency", f[8])?,
+            live: f[2] == "1",
+            registered: f[3] == "1",
+            busy: f[4] == "1",
+            queued: parse_num("queued", f[5])?,
+            completed: parse_num("completed", f[6])?,
+            failed: parse_num("failed", f[7])?,
+            steals: parse_num("steals", f[8])?,
+            heartbeat_gap_us: decode_hist_summary("heartbeat-gap", f[9])?,
+            shard_latency_us: decode_hist_summary("shard-latency", f[10])?,
         });
     }
     for _ in 0..n_requests {
         let line = next_required(src, "an `rstat` line")?;
-        let f = split_fields(&line, "rstat", 4)?;
+        let f = split_fields(&line, "rstat", 5)?;
         stats.requests.push(RequestProgress {
             req_id: parse_num("req-id", f[0])?,
             benchmarks: parse_num("benchmarks", f[1])?,
             jobs_total: parse_num("jobs-total", f[2])?,
             jobs_done: parse_num("jobs-done", f[3])?,
+            jobs_queued: parse_num("jobs-queued", f[4])?,
         });
     }
     let end = next_required(src, "an `endstats` terminator")?;
@@ -1288,9 +1452,13 @@ mod tests {
             requests_total: 7,
             requests_failed: 1,
             requests_cancelled: 2,
+            pending_requests: 1,
+            rejected_busy: 4,
             workers: vec![WorkerStats {
                 slot: 0,
                 addr: "127.0.0.1:7601\twith\ttabs".to_string(),
+                live: true,
+                registered: true,
                 busy: true,
                 queued: 2,
                 completed: 40,
@@ -1311,6 +1479,7 @@ mod tests {
                 benchmarks: 19,
                 jobs_total: 38,
                 jobs_done: 17,
+                jobs_queued: 12,
             }],
         };
         let lines = encode_stats(&stats);
@@ -1325,6 +1494,8 @@ mod tests {
             workers: vec![WorkerStats {
                 slot: 0,
                 addr: "w".to_string(),
+                live: true,
+                registered: false,
                 busy: false,
                 queued: 0,
                 completed: 0,
@@ -1347,5 +1518,74 @@ mod tests {
         let mut src = SliceLines::new(&lines);
         let err = decode_reply(&mut src).unwrap_err();
         assert!(matches!(err, WireError::UnexpectedEof { .. }), "{err}");
+    }
+
+    #[test]
+    fn auth_and_busy_frames_round_trip() {
+        let token = "s3cr\tet\\with\nhostile bytes";
+        let line = encode_auth(token);
+        assert!(is_auth(&line));
+        assert_eq!(decode_auth(&line).unwrap(), token);
+
+        let reject = encode_auth_reject("auth token mismatch");
+        assert_eq!(
+            parse_auth_reject(&reject).as_deref(),
+            Some("auth token mismatch")
+        );
+        assert_eq!(parse_auth_reject("hello\t4\tnone"), None);
+
+        let busy = encode_busy(350, "queue\tfull");
+        assert_eq!(
+            parse_busy(&busy).unwrap().unwrap(),
+            (350, "queue\tfull".to_string())
+        );
+        assert!(parse_busy("sdone\t3").is_none());
+    }
+
+    #[test]
+    fn auth_gate_accepts_matches_and_rejects_mismatches() {
+        // Matching tokens pass.
+        let lines = vec![encode_auth("s3cret")];
+        let mut src = SliceLines::new(&lines);
+        assert!(matches!(
+            auth_gate(&mut src, Some("s3cret")).unwrap(),
+            AuthGate::Accepted { leftover: None }
+        ));
+
+        // A wrong token is rejected with the mismatch reason.
+        let lines = vec![encode_auth("wr0ng")];
+        let mut src = SliceLines::new(&lines);
+        let AuthGate::Rejected { reason } = auth_gate(&mut src, Some("s3cret")).unwrap() else {
+            panic!("wrong token was accepted");
+        };
+        assert_eq!(reason, "auth token mismatch");
+        assert!(
+            !reason.contains("s3cret") && !reason.contains("wr0ng"),
+            "reason must not echo tokens"
+        );
+
+        // No token at all is rejected before any capability exchange.
+        let lines = vec![STATS_REQUEST.to_string()];
+        let mut src = SliceLines::new(&lines);
+        let AuthGate::Rejected { reason } = auth_gate(&mut src, Some("s3cret")).unwrap() else {
+            panic!("tokenless peer was accepted by a token-bearing side");
+        };
+        assert_eq!(reason, "peer presented no auth token");
+
+        // An open side replays a non-auth line and swallows an auth one.
+        let lines = vec![STATS_REQUEST.to_string()];
+        let mut src = SliceLines::new(&lines);
+        let AuthGate::Accepted { leftover } = auth_gate(&mut src, None).unwrap() else {
+            panic!("open side rejected a peer");
+        };
+        assert_eq!(leftover.as_deref(), Some(STATS_REQUEST));
+        let lines = vec![encode_auth("whatever"), STATS_REQUEST.to_string()];
+        let mut src = SliceLines::new(&lines);
+        let AuthGate::Accepted { leftover } = auth_gate(&mut src, None).unwrap() else {
+            panic!("open side rejected an authenticated peer");
+        };
+        assert_eq!(leftover, None);
+        let mut gated = PrependedLine::new(leftover, src);
+        assert_eq!(gated.next_line().unwrap().as_deref(), Some(STATS_REQUEST));
     }
 }

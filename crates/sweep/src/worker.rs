@@ -13,7 +13,7 @@
 //! have produced itself.
 
 use std::io::{BufRead, BufReader, Write};
-use std::net::{TcpListener, TcpStream};
+use std::net::{Shutdown, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -21,8 +21,18 @@ use std::time::{Duration, Instant};
 use effective_san::spec_experiment;
 use san_api::SanitizerKind;
 
-use crate::net::heartbeat_interval;
+use crate::backoff::Backoff;
+use crate::chaos::{Chaos, LineFate};
+use crate::net::{heartbeat_interval, token_from_env};
 use crate::wire::{self, Command, Hello, IoLines, LineSource, Reply, ShardSpec};
+
+/// How long a token-bearing worker waits for the peer's `auth` frame
+/// before rejecting it.  A compliant token-bearing peer sends its auth
+/// in the same write batch as its handshake, so in the happy path this
+/// deadline is never even approached; a tokenless peer sends nothing
+/// after its handshake, and without the deadline both sides would sit
+/// out each other's (much longer) silence budgets.
+const AUTH_GATE_TIMEOUT: Duration = Duration::from_secs(5);
 
 /// Name of the environment variable that switches a cooperating binary
 /// into worker mode (checked by the `sweep` CLI before argument parsing).
@@ -143,16 +153,76 @@ fn run_shard(spec: &ShardSpec) -> Reply {
     }
 }
 
+/// The worker's side of the post-handshake token gate over a blocking
+/// line source.  With a local token, the next line must be a matching
+/// `auth` frame (`Err(reason)` otherwise — the caller sends the
+/// structured `authfail` and exits).  Without one, nothing is read here:
+/// the command loop tolerates a stray leading `auth` line instead, so a
+/// tokenless worker never blocks waiting for a frame that may not come.
+fn gate_peer<S: LineSource>(lines: &mut S, token: Option<&str>) -> Result<(), &'static str> {
+    let Some(token) = token else {
+        return Ok(());
+    };
+    match lines.next_line() {
+        Ok(Some(line)) if wire::is_auth(&line) => match wire::decode_auth(&line) {
+            Ok(presented) if presented == token => Ok(()),
+            _ => Err("auth token mismatch"),
+        },
+        _ => Err("peer presented no auth token"),
+    }
+}
+
+/// Dispose of pre-command stray lines: swallow a leading `auth` frame a
+/// token-bearing peer sent to a tokenless worker, and surface a leading
+/// `authfail` (the peer rejected *us*).  Returns the line to replay into
+/// the command decoder, or `Err` with the exit code.
+fn first_command_line<S: LineSource>(lines: &mut S) -> Result<Option<String>, i32> {
+    match lines.next_line() {
+        Ok(Some(line)) if wire::is_auth(&line) => Ok(None),
+        Ok(Some(line)) => {
+            if let Some(reason) = wire::parse_auth_reject(&line) {
+                eprintln!("sweep_worker: peer rejected this worker: {reason}");
+                return Err(2);
+            }
+            Ok(Some(line))
+        }
+        Ok(None) => Ok(None),
+        Err(e) => {
+            eprintln!("sweep_worker: {e}");
+            Err(2)
+        }
+    }
+}
+
 /// Serve the worker protocol over the given streams until `done` or
-/// end-of-input.  Returns the process exit code (0 on a clean run, 2 on a
-/// protocol error — which is also printed to stderr).
-pub fn serve<R: BufRead, W: Write>(input: R, mut output: W) -> i32 {
+/// end-of-input, with the shared token from [`crate::net::TOKEN_ENV`].
+/// Returns the process exit code (0 on a clean run, 2 on a protocol or
+/// auth error — which is also printed to stderr).
+pub fn serve<R: BufRead, W: Write>(input: R, output: W) -> i32 {
+    serve_with_token(input, output, token_from_env())
+}
+
+/// [`serve`] with an explicit token.  The worker sends its handshake
+/// (plus its own `auth` frame when it carries a token) eagerly, but
+/// withholds its `hello` until the peer has passed the token gate — so
+/// an unauthorized peer receives a structured `authfail` *before* any
+/// capability exchange.
+pub fn serve_with_token<R: BufRead, W: Write>(
+    input: R,
+    mut output: W,
+    token: Option<String>,
+) -> i32 {
     let mut lines = IoLines::new(input);
-    if writeln!(output, "{}", wire::HANDSHAKE)
-        .and_then(|()| writeln!(output, "{}", wire::encode_hello(&hello())))
-        .and_then(|()| output.flush())
-        .is_err()
-    {
+    let mut opening = vec![wire::HANDSHAKE.to_string()];
+    if let Some(token) = &token {
+        opening.push(wire::encode_auth(token));
+    }
+    for line in &opening {
+        if writeln!(output, "{line}").is_err() {
+            return 2;
+        }
+    }
+    if output.flush().is_err() {
         return 2;
     }
     match lines.next_line() {
@@ -171,6 +241,23 @@ pub fn serve<R: BufRead, W: Write>(input: R, mut output: W) -> i32 {
             return 2;
         }
     }
+    if let Err(reason) = gate_peer(&mut lines, token.as_deref()) {
+        let _ =
+            writeln!(output, "{}", wire::encode_auth_reject(reason)).and_then(|()| output.flush());
+        eprintln!("sweep_worker: rejected peer: {reason}");
+        return 2;
+    }
+    if writeln!(output, "{}", wire::encode_hello(&hello()))
+        .and_then(|()| output.flush())
+        .is_err()
+    {
+        return 2;
+    }
+    let first = match first_command_line(&mut lines) {
+        Ok(first) => first,
+        Err(code) => return code,
+    };
+    let mut lines = wire::PrependedLine::new(first, lines);
     loop {
         let command = match wire::decode_command(&mut lines) {
             Ok(Some(command)) => command,
@@ -209,9 +296,25 @@ pub fn run_stdio() -> i32 {
 /// Write a block of protocol lines atomically (one lock, one flush) so a
 /// concurrent heartbeat can interleave between blocks but never inside
 /// one.
+///
+/// This is the writer-side chaos seam ([`crate::chaos`]): with
+/// `SWEEP_CHAOS` armed, a line may be delayed (a late heartbeat looks
+/// exactly like a slow worker) or the connection severed after a random
+/// prefix of the line — a mid-block, mid-line truncation from the
+/// peer's point of view.
 fn send_block(writer: &Mutex<TcpStream>, lines: &[String]) -> bool {
     let mut stream = writer.lock().expect("worker writer lock");
     for line in lines {
+        match Chaos::global().map(|plan| plan.fate(line.len())) {
+            Some(LineFate::Drop { keep_bytes }) => {
+                let _ = stream.write_all(&line.as_bytes()[..keep_bytes]);
+                let _ = stream.flush();
+                let _ = stream.shutdown(Shutdown::Both);
+                return false;
+            }
+            Some(LineFate::DeliverAfter(wait)) => std::thread::sleep(wait),
+            Some(LineFate::Deliver) | None => {}
+        }
         if writeln!(stream, "{line}").is_err() {
             return false;
         }
@@ -219,20 +322,31 @@ fn send_block(writer: &Mutex<TcpStream>, lines: &[String]) -> bool {
     stream.flush().is_ok()
 }
 
-/// Serve one coordinator connection over TCP: the same protocol as
-/// [`serve`], plus periodic heartbeats (cadence from
-/// [`crate::net::HEARTBEAT_ENV`]) emitted while a shard is executing so
-/// the peer's silence deadline can tell a slow shard from a dead worker.
+/// Serve one coordinator connection over TCP with the token from
+/// [`crate::net::TOKEN_ENV`]: the same protocol as [`serve`], plus
+/// periodic heartbeats (cadence from [`crate::net::HEARTBEAT_ENV`])
+/// emitted while a shard is executing so the peer's silence deadline can
+/// tell a slow shard from a dead worker.
 pub fn serve_tcp(stream: TcpStream) -> i32 {
+    serve_tcp_with(stream, token_from_env())
+}
+
+/// [`serve_tcp`] with an explicit token.  Same gate ordering as
+/// [`serve_with_token`]; the gate read is additionally bounded by
+/// a 5-second timeout so a tokenless peer that (correctly) sends
+/// nothing after its handshake is rejected promptly instead of both
+/// sides sitting out their silence budgets.
+pub fn serve_tcp_with(stream: TcpStream, token: Option<String>) -> i32 {
     let Ok(write_half) = stream.try_clone() else {
         return 2;
     };
     let writer = Arc::new(Mutex::new(write_half));
     let mut lines = IoLines::new(BufReader::new(stream));
-    if !send_block(
-        &writer,
-        &[wire::HANDSHAKE.to_string(), wire::encode_hello(&hello())],
-    ) {
+    let mut opening = vec![wire::HANDSHAKE.to_string()];
+    if let Some(token) = &token {
+        opening.push(wire::encode_auth(token));
+    }
+    if !send_block(&writer, &opening) {
         return 2;
     }
     match lines.next_line() {
@@ -251,6 +365,32 @@ pub fn serve_tcp(stream: TcpStream) -> i32 {
             return 2;
         }
     }
+    if token.is_some() {
+        let gated = {
+            // The timeout is set through the write half, but applies to
+            // the shared underlying socket.
+            let timeout_handle = writer.lock().expect("worker writer lock");
+            let _ = timeout_handle.set_read_timeout(Some(AUTH_GATE_TIMEOUT));
+            drop(timeout_handle);
+            let gated = gate_peer(&mut lines, token.as_deref());
+            let timeout_handle = writer.lock().expect("worker writer lock");
+            let _ = timeout_handle.set_read_timeout(None);
+            gated
+        };
+        if let Err(reason) = gated {
+            let _ = send_block(&writer, &[wire::encode_auth_reject(reason)]);
+            eprintln!("sweep_worker: rejected peer: {reason}");
+            return 2;
+        }
+    }
+    if !send_block(&writer, &[wire::encode_hello(&hello())]) {
+        return 2;
+    }
+    let first = match first_command_line(&mut lines) {
+        Ok(first) => first,
+        Err(code) => return code,
+    };
+    let mut lines = wire::PrependedLine::new(first, lines);
 
     // Heartbeat thread: ticks fast, beats at the configured cadence, and
     // only while a shard is actually in flight (`active`).
@@ -318,7 +458,7 @@ pub fn serve_tcp(stream: TcpStream) -> i32 {
 /// leave any second coordinator stuck in the backlog behind it.  Every
 /// shard runs in its own isolated simulated address space, so concurrent
 /// peers never affect each other's bytes.
-pub fn run_listener(addr: &str) -> i32 {
+pub fn run_listener(addr: &str, token: Option<String>) -> i32 {
     let listener = match TcpListener::bind(addr) {
         Ok(listener) => listener,
         Err(e) => {
@@ -334,12 +474,39 @@ pub fn run_listener(addr: &str) -> i32 {
     for stream in listener.incoming() {
         match stream {
             Ok(stream) => {
-                std::thread::spawn(move || serve_tcp(stream));
+                let token = token.clone();
+                std::thread::spawn(move || serve_tcp_with(stream, token));
             }
             Err(e) => eprintln!("sweep_worker: accept failed: {e}"),
         }
     }
     0
+}
+
+/// Dial in to a `sweep serve --register-listen` daemon and serve it,
+/// forever: the body of `sweep_worker --join <addr>`.  Prints
+/// `joining <addr>` to stdout once, then keeps a session open to the
+/// daemon, reconnecting on bounded exponential backoff + jitter
+/// ([`Backoff`]) whenever the daemon is unreachable or the session ends
+/// abnormally — so a restarting daemon reabsorbs its fleet without any
+/// worker hot-spinning the connect path.
+pub fn run_joiner(addr: &str, token: Option<String>) -> i32 {
+    println!("joining {addr}");
+    let _ = std::io::stdout().flush();
+    let mut backoff = Backoff::from_env(0x4A01_4E52);
+    loop {
+        match TcpStream::connect(addr) {
+            Ok(stream) => {
+                if serve_tcp_with(stream, token.clone()) == 0 {
+                    // A clean session (daemon drained us out politely):
+                    // the next reconnect attempt starts fresh.
+                    backoff.reset();
+                }
+            }
+            Err(e) => eprintln!("sweep_worker: joining {addr}: {e}"),
+        }
+        std::thread::sleep(backoff.next_delay());
+    }
 }
 
 #[cfg(test)]
@@ -422,5 +589,88 @@ mod tests {
     fn bad_handshake_is_rejected() {
         let mut output = Vec::new();
         assert_eq!(serve("not-a-handshake\n".as_bytes(), &mut output), 2);
+    }
+
+    #[test]
+    fn token_worker_rejects_wrong_and_missing_tokens_before_hello() {
+        // Wrong token: structured authfail, no hello, no shard ran.
+        let input = format!(
+            "{}\n{}\ndone\n",
+            wire::HANDSHAKE,
+            wire::encode_auth("wrong")
+        );
+        let mut output = Vec::new();
+        let code = serve_with_token(input.as_bytes(), &mut output, Some("right".to_string()));
+        assert_eq!(code, 2);
+        let text = String::from_utf8(output).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], wire::HANDSHAKE);
+        assert!(wire::is_auth(lines[1]), "worker sends its own auth: {text}");
+        assert_eq!(
+            wire::parse_auth_reject(lines[2]).as_deref(),
+            Some("auth token mismatch")
+        );
+        assert!(!text.contains("hello"), "no capability exchange: {text}");
+        // The worker's own `auth` frame is the one legitimate carrier of
+        // its token; no other line — in particular the rejection — may
+        // echo it.
+        for (i, line) in lines.iter().enumerate() {
+            assert!(
+                i == 1 || !line.contains("right"),
+                "token leaked outside the auth frame: {text}"
+            );
+        }
+
+        // Missing token: same gate, different reason.
+        let input = format!("{}\ndone\n", wire::HANDSHAKE);
+        let mut output = Vec::new();
+        let code = serve_with_token(input.as_bytes(), &mut output, Some("right".to_string()));
+        assert_eq!(code, 2);
+        let text = String::from_utf8(output).unwrap();
+        assert!(text.contains("authfail"), "{text}");
+        assert!(!text.contains("hello"), "{text}");
+    }
+
+    #[test]
+    fn matching_tokens_run_shards_and_stray_auth_is_tolerated() {
+        let spec = ShardSpec {
+            id: 1,
+            chunk: 0,
+            scale: Scale::Test,
+            parallelism: Parallelism::Sequential,
+            benchmark: "mcf".to_string(),
+            backends: vec![SanitizerKind::None],
+        };
+        // Both sides carry the token.
+        let input = format!(
+            "{}\n{}\n{}\ndone\n",
+            wire::HANDSHAKE,
+            wire::encode_auth("tok\twith\ttabs"),
+            wire::encode_command(&Command::Shard(spec.clone()))
+        );
+        let mut output = Vec::new();
+        let code = serve_with_token(
+            input.as_bytes(),
+            &mut output,
+            Some("tok\twith\ttabs".to_string()),
+        );
+        assert_eq!(code, 0);
+        let text = String::from_utf8(output).unwrap();
+        assert!(text.contains("hello"), "{text}");
+        assert!(text.contains("result\t1\t0"), "{text}");
+
+        // A token-bearing peer talking to a tokenless worker: the stray
+        // auth line is swallowed, the shard still runs (the *peer* is
+        // the side that will reject, from its own gate).
+        let input = format!(
+            "{}\n{}\n{}\ndone\n",
+            wire::HANDSHAKE,
+            wire::encode_auth("whatever"),
+            wire::encode_command(&Command::Shard(spec))
+        );
+        let mut output = Vec::new();
+        assert_eq!(serve_with_token(input.as_bytes(), &mut output, None), 0);
+        let text = String::from_utf8(output).unwrap();
+        assert!(text.contains("result\t1\t0"), "{text}");
     }
 }

@@ -19,9 +19,13 @@ use std::time::Duration;
 
 use effective_runtime::{Bounds, ErrorKind, ErrorStats};
 use effective_san::{Parallelism, RunReport, SpecRow};
+use obs::HistSummary;
 use proptest::prelude::*;
 use san_api::{Diagnostic, SanStats, SanitizerKind};
-use sweep::wire::{self, Hello, ServiceEvent, SliceLines, SweepRequest, WireError};
+use sweep::wire::{
+    self, AuthGate, Hello, RequestProgress, ServiceEvent, ServiceStats, SliceLines, SweepRequest,
+    WireError, WorkerStats,
+};
 use vm::ExecStats;
 use workloads::Scale;
 
@@ -208,6 +212,76 @@ fn request_strategy() -> impl Strategy<Value = SweepRequest> {
         })
 }
 
+fn hist_summary_strategy() -> impl Strategy<Value = HistSummary> {
+    prop::collection::vec(offset_strategy(), 6..7).prop_map(|v| HistSummary {
+        count: v[0],
+        min: v[1],
+        p50: v[2],
+        p90: v[3],
+        p99: v[4],
+        max: v[5],
+    })
+}
+
+fn worker_stats_strategy() -> impl Strategy<Value = WorkerStats> {
+    (
+        (any::<u64>(), string_strategy()),
+        (any::<bool>(), any::<bool>(), any::<bool>()),
+        (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
+        (hist_summary_strategy(), hist_summary_strategy()),
+    )
+        .prop_map(
+            |(
+                (slot, addr),
+                (live, registered, busy),
+                (queued, completed, failed, steals),
+                (hb, lat),
+            )| {
+                WorkerStats {
+                    slot: (slot % (usize::MAX as u64)) as usize,
+                    addr,
+                    live,
+                    registered,
+                    busy,
+                    queued,
+                    completed,
+                    failed,
+                    steals,
+                    heartbeat_gap_us: hb,
+                    shard_latency_us: lat,
+                }
+            },
+        )
+}
+
+fn service_stats_strategy() -> impl Strategy<Value = ServiceStats> {
+    (
+        prop::collection::vec(any::<u64>(), 7..8),
+        prop::collection::vec(worker_stats_strategy(), 0..4),
+        prop::collection::vec(prop::collection::vec(any::<u64>(), 5..6), 0..4),
+    )
+        .prop_map(|(g, workers, requests)| ServiceStats {
+            queued_jobs: g[0],
+            clients_total: g[1],
+            requests_total: g[2],
+            requests_failed: g[3],
+            requests_cancelled: g[4],
+            pending_requests: g[5],
+            rejected_busy: g[6],
+            workers,
+            requests: requests
+                .into_iter()
+                .map(|r| RequestProgress {
+                    req_id: r[0],
+                    benchmarks: r[1],
+                    jobs_total: r[2],
+                    jobs_done: r[3],
+                    jobs_queued: r[4],
+                })
+                .collect(),
+        })
+}
+
 fn service_event_strategy() -> impl Strategy<Value = ServiceEvent> {
     prop_oneof![
         (any::<u64>(), spec_row_strategy()).prop_map(|(index, row)| ServiceEvent::Row {
@@ -389,6 +463,107 @@ proptest! {
             prop_assert!(is_eof, "expected WireError::UnexpectedEof, got {}", err);
         }
     }
+
+    /// Wire-v7 `auth` frames round-trip hostile tokens, `authfail`
+    /// frames round-trip hostile reasons, and neither is ever mistaken
+    /// for the other.
+    #[test]
+    fn auth_frames_round_trip_and_stay_unambiguous(token in string_strategy(),
+                                                   reason in string_strategy()) {
+        let frame = wire::encode_auth(&token);
+        prop_assert!(wire::is_auth(&frame));
+        prop_assert_eq!(wire::decode_auth(&frame).expect("decode auth"), token);
+        prop_assert!(wire::parse_auth_reject(&frame).is_none(), "auth read as authfail");
+
+        let reject = wire::encode_auth_reject(&reason);
+        prop_assert!(!wire::is_auth(&reject), "authfail read as auth");
+        prop_assert_eq!(
+            wire::parse_auth_reject(&reject).expect("parse authfail"),
+            reason
+        );
+    }
+
+    /// Wire-v7 `busy` rejects round-trip any retry hint and hostile
+    /// message, and no other frame parses as busy.
+    #[test]
+    fn busy_frames_round_trip(retry_after_ms in any::<u64>(), message in string_strategy()) {
+        let frame = wire::encode_busy(retry_after_ms, &message);
+        let (ms, msg) = wire::parse_busy(&frame)
+            .expect("a busy frame parses as busy")
+            .expect("well-formed");
+        prop_assert_eq!(ms, retry_after_ms);
+        prop_assert_eq!(msg, message);
+        for other in [
+            wire::encode_auth(&message),
+            wire::encode_auth_reject(&message),
+            wire::encode_heartbeat(retry_after_ms),
+        ] {
+            prop_assert!(wire::parse_busy(&other).is_none(), "misread as busy: {}", other);
+        }
+    }
+
+    /// The server-side token gate accepts exactly a matching `auth`
+    /// line and rejects a mismatch or a bare command — with a reason
+    /// that never contains either side's token.
+    #[test]
+    fn auth_gate_accepts_only_matching_tokens(token in string_strategy(),
+                                              wrong in string_strategy()) {
+        let lines = vec![wire::encode_auth(&token)];
+        let mut src = SliceLines::new(&lines);
+        let accepted = wire::auth_gate(&mut src, Some(&token)).expect("gate");
+        let clean = matches!(accepted, AuthGate::Accepted { leftover: None });
+        prop_assert!(clean, "matching token not accepted cleanly");
+
+        if wrong != token {
+            let mut src = SliceLines::new(&lines);
+            match wire::auth_gate(&mut src, Some(&wrong)).expect("gate") {
+                // The reason is one of two fixed strings — structurally
+                // incapable of echoing either side's token.
+                AuthGate::Rejected { reason } => prop_assert_eq!(reason, "auth token mismatch"),
+                AuthGate::Accepted { .. } => prop_assert!(false, "mismatch accepted"),
+            }
+        }
+        // An open (tokenless) gate swallows the auth line and resumes.
+        let mut src = SliceLines::new(&lines);
+        let open = wire::auth_gate(&mut src, None).expect("gate");
+        let swallowed = matches!(open, AuthGate::Accepted { leftover: None });
+        prop_assert!(swallowed, "open gate did not swallow the auth line");
+    }
+
+    /// Wire-v7 `stats` blocks — with live/registered flags, admission
+    /// counters, and per-request queue depths — round-trip exactly under
+    /// hostile worker addresses, and truncation at any interior point is
+    /// a loud `UnexpectedEof`.
+    #[test]
+    fn stats_round_trip_and_truncation_fails_loudly(stats in service_stats_strategy()) {
+        let lines = wire::encode_stats(&stats);
+        let mut src = SliceLines::new(&lines);
+        let decoded = wire::decode_stats(&mut src).expect("decode stats");
+        prop_assert_eq!(&decoded, &stats);
+        prop_assert_eq!(wire::encode_stats(&decoded), lines);
+
+        for keep in 1..lines.len() {
+            let mut src = SliceLines::new(&lines[..keep]);
+            let err = wire::decode_stats(&mut src)
+                .expect_err("a truncated stats block must not decode");
+            let is_eof = matches!(err, WireError::UnexpectedEof { .. });
+            prop_assert!(is_eof, "expected WireError::UnexpectedEof, got {}", err);
+        }
+    }
+}
+
+/// The concrete skew this PR introduces: a wire-v6 peer dialing this
+/// v7 build is rejected with an error naming *both* versions, so a
+/// mixed-fleet upgrade diagnoses itself from the message alone.
+#[test]
+fn v6_peers_are_rejected_naming_both_versions() {
+    assert_eq!(wire::WIRE_VERSION, 7, "bump this test alongside the wire");
+    let err = wire::check_handshake("effective-san-sweep-wire 6")
+        .expect_err("a v6 handshake must be rejected by a v7 build");
+    assert!(matches!(err, WireError::Version { .. }), "{err}");
+    let rendered = err.to_string();
+    assert!(rendered.contains('6'), "peer version missing: {rendered}");
+    assert!(rendered.contains('7'), "local version missing: {rendered}");
 }
 
 /// Every one of the 13 registered backend names survives the report

@@ -1,0 +1,512 @@
+//! Elasticity and fault-tolerance soak of the networked sweep fleet.
+//!
+//! * **Auth**: wrong-token connections of every class — coordinator →
+//!   listener worker, client → daemon, joiner → registration socket —
+//!   are rejected with a structured error before any job is scheduled,
+//!   and the token never appears in errors or the daemon's trace sink.
+//! * **Churn**: a registered (`--join`) worker is killed and replaced
+//!   in a loop under a deterministic `SWEEP_CHAOS` plan while two
+//!   clients stream concurrent sweeps; both must receive results
+//!   byte-identical to the in-process thread-parallel run, and the
+//!   daemon's stats must stay coherent.
+//! * **Drain**: a `shutdown` frame mid-stream lets the in-flight client
+//!   finish with a structured end and the daemon exit 0.
+//! * **Backpressure**: `--max-pending 1` sheds the second concurrent
+//!   client with a `busy` frame; its retry-after honoring still lands
+//!   the sweep, and the reject is visible in the stats.
+//!
+//! (Registered on the `sweep` crate so `CARGO_BIN_EXE_sweep_worker`
+//! and `CARGO_BIN_EXE_sweep` resolve to the binaries under test.)
+
+use std::io::{BufRead, BufReader};
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::time::Duration;
+
+use effective_san::{spec_experiment, Parallelism, SpecExperiment};
+use san_api::SanitizerKind;
+use sweep::coordinator::{ShardStrategy, SweepConfig, WorkerLaunch};
+use sweep::{
+    client_shutdown, client_stats_with, client_sweep_with, diff_experiments,
+    sharded_spec_experiment, ClientError, ClientOptions, SweepRequest,
+};
+use workloads::Scale;
+
+const TOKEN: &str = "fleet-soak-secret";
+const WRONG_TOKEN: &str = "fleet-soak-imposter";
+
+/// A spawned service process (worker, joiner, or daemon) that announced
+/// itself on stdout; killed on drop so failing tests do not leak
+/// processes.
+struct Service {
+    child: Child,
+    addr: String,
+    /// The daemon's registration socket, when one was requested.
+    register_addr: Option<String>,
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+fn read_announce(reader: &mut impl BufRead, announce: &str) -> String {
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read announce line");
+    line.trim()
+        .strip_prefix(announce)
+        .unwrap_or_else(|| panic!("expected `{announce}<addr>`, got `{line}`"))
+        .to_string()
+}
+
+fn spawn_service(mut command: Command, announce: &str) -> Service {
+    let mut child = command
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn service process");
+    let stdout = child.stdout.take().expect("service stdout piped");
+    let addr = read_announce(&mut BufReader::new(stdout), announce);
+    Service {
+        child,
+        addr,
+        register_addr: None,
+    }
+}
+
+/// A `sweep_worker --listen` on an ephemeral port.
+fn spawn_worker(token: Option<&str>, env: &[(&str, &str)]) -> Service {
+    let mut command = Command::new(env!("CARGO_BIN_EXE_sweep_worker"));
+    command.args(["--listen", "127.0.0.1:0"]);
+    if let Some(token) = token {
+        command.args(["--token", token]);
+    }
+    for (key, value) in env {
+        command.env(key, value);
+    }
+    spawn_service(command, "listening ")
+}
+
+/// A `sweep_worker --join` dialing a daemon's registration socket.
+fn spawn_joiner(register_addr: &str, token: Option<&str>, env: &[(&str, &str)]) -> Service {
+    let mut command = Command::new(env!("CARGO_BIN_EXE_sweep_worker"));
+    command.args(["--join", register_addr]);
+    if let Some(token) = token {
+        command.args(["--token", token]);
+    }
+    for (key, value) in env {
+        command.env(key, value);
+    }
+    spawn_service(command, "joining ")
+}
+
+/// A `sweep serve` daemon; reads the second announce line when a
+/// registration socket is requested.
+fn spawn_daemon(
+    workers: &[&Service],
+    register: bool,
+    token: Option<&str>,
+    extra_args: &[&str],
+    env: &[(&str, &str)],
+) -> Service {
+    let mut command = Command::new(env!("CARGO_BIN_EXE_sweep"));
+    command.args(["serve", "--listen", "127.0.0.1:0"]);
+    let fleet: Vec<&str> = workers.iter().map(|w| w.addr.as_str()).collect();
+    if !fleet.is_empty() {
+        command.args(["--tcp-workers", &fleet.join(",")]);
+    }
+    if register {
+        command.args(["--register-listen", "127.0.0.1:0"]);
+    }
+    if let Some(token) = token {
+        command.args(["--token", token]);
+    }
+    command.args(extra_args);
+    for (key, value) in env {
+        command.env(key, value);
+    }
+    let mut child = command
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn sweep serve");
+    let stdout = child.stdout.take().expect("daemon stdout piped");
+    let mut reader = BufReader::new(stdout);
+    let addr = read_announce(&mut reader, "serving ");
+    let register_addr = register.then(|| read_announce(&mut reader, "registering "));
+    Service {
+        child,
+        addr,
+        register_addr,
+    }
+}
+
+fn options_with(token: Option<&str>) -> ClientOptions {
+    ClientOptions {
+        token: token.map(str::to_string),
+        ..ClientOptions::default()
+    }
+}
+
+fn assert_identical(context: &str, a: &SpecExperiment, b: &SpecExperiment) {
+    let diffs = diff_experiments(a, b);
+    assert!(
+        diffs.is_empty(),
+        "{context}: {} differences:\n  {}",
+        diffs.len(),
+        diffs.join("\n  ")
+    );
+}
+
+#[test]
+fn wrong_token_connections_are_rejected_for_every_class_before_any_work() {
+    // Coordinator → listener worker: a mismatched token is turned away
+    // with a structured reason that never echoes either token.
+    let worker = spawn_worker(Some(TOKEN), &[]);
+    let config = SweepConfig {
+        workers: 1,
+        strategy: ShardStrategy::WorkQueue,
+        max_attempts: 2,
+        scale: Scale::Test,
+        parallelism: Parallelism::Parallel,
+        worker: WorkerLaunch::Tcp(vec![worker.addr.clone()]),
+        worker_env: Vec::new(),
+        shard_timeout: None,
+        silence_timeout: Some(Duration::from_secs(30)),
+        token: Some(WRONG_TOKEN.to_string()),
+    };
+    let err = sharded_spec_experiment(Some(&["mcf"]), &[SanitizerKind::None], &config)
+        .expect_err("wrong-token coordinator must be rejected");
+    let message = format!("{err}");
+    assert!(message.contains("auth"), "not an auth rejection: {message}");
+    assert!(
+        !message.contains(TOKEN) && !message.contains(WRONG_TOKEN),
+        "token leaked into the error: {message}"
+    );
+
+    // The worker survives the rejected peer and serves a correctly
+    // tokened coordinator afterwards, byte-identically.
+    let config = SweepConfig {
+        token: Some(TOKEN.to_string()),
+        ..config
+    };
+    let swept = sharded_spec_experiment(Some(&["mcf"]), &[SanitizerKind::None], &config)
+        .expect("tokened sweep after a rejected peer");
+    let in_process = spec_experiment(
+        Some(&["mcf"]),
+        Scale::Test,
+        &[SanitizerKind::None],
+        Parallelism::Parallel,
+    );
+    assert_identical("tokened coordinator vs in-process", &swept, &in_process);
+
+    // Client → daemon and joiner → registration socket, with the
+    // daemon's trace sink capturing every rejection.
+    let trace = std::env::temp_dir().join(format!("fleet_auth_{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&trace);
+    let daemon = spawn_daemon(
+        &[&worker],
+        true,
+        Some(TOKEN),
+        &[],
+        &[("SWEEP_TRACE", trace.to_str().unwrap())],
+    );
+
+    let request = SweepRequest {
+        scale: Scale::Test,
+        parallelism: Parallelism::Parallel,
+        benchmarks: vec!["mcf".into()],
+        backends: vec![SanitizerKind::None, SanitizerKind::EffectiveFull],
+    };
+    let err = client_sweep_with(
+        &daemon.addr,
+        &options_with(Some(WRONG_TOKEN)),
+        &request,
+        |_, _| {},
+    )
+    .expect_err("wrong-token client must be rejected");
+    assert!(matches!(err, ClientError::Unauthorized(_)), "{err}");
+    let err = client_stats_with(&daemon.addr, &options_with(Some(WRONG_TOKEN)))
+        .expect_err("wrong-token stats query must be rejected");
+    assert!(matches!(err, ClientError::Unauthorized(_)), "{err}");
+    let err = client_shutdown(&daemon.addr, &options_with(Some(WRONG_TOKEN)))
+        .expect_err("wrong-token shutdown must be rejected");
+    assert!(matches!(err, ClientError::Unauthorized(_)), "{err}");
+
+    // A wrong-token joiner keeps redialing under backoff but never
+    // takes a fleet slot.
+    let imposter = spawn_joiner(
+        daemon.register_addr.as_deref().expect("registration addr"),
+        Some(WRONG_TOKEN),
+        &[],
+    );
+    std::thread::sleep(Duration::from_millis(400));
+    drop(imposter);
+
+    // None of the rejects scheduled any work, and a correctly tokened
+    // client still gets a full byte-identical sweep.
+    let stats = client_stats_with(&daemon.addr, &options_with(Some(TOKEN))).expect("tokened stats");
+    assert_eq!(
+        stats.requests_total, 0,
+        "a rejected connection scheduled work"
+    );
+    assert_eq!(
+        stats.workers.len(),
+        1,
+        "the imposter joiner took a fleet slot: {:?}",
+        stats.workers
+    );
+    let swept = client_sweep_with(
+        &daemon.addr,
+        &options_with(Some(TOKEN)),
+        &request,
+        |_, _| {},
+    )
+    .expect("tokened client sweeps after the rejects");
+    let in_process = spec_experiment(
+        Some(&["mcf"]),
+        Scale::Test,
+        &request.backends,
+        Parallelism::Parallel,
+    );
+    assert_identical("tokened client vs in-process", &swept, &in_process);
+
+    // The daemon traced the rejections — without ever logging a token.
+    let trace_text = std::fs::read_to_string(&trace).expect("daemon trace sink written");
+    assert!(
+        trace_text.contains("serve_auth_reject"),
+        "client rejection not traced:\n{trace_text}"
+    );
+    assert!(
+        trace_text.contains("serve_worker_reject"),
+        "joiner rejection not traced:\n{trace_text}"
+    );
+    assert!(
+        !trace_text.contains(TOKEN) && !trace_text.contains(WRONG_TOKEN),
+        "a token leaked into the trace sink"
+    );
+    let _ = std::fs::remove_file(&trace);
+}
+
+#[test]
+fn registered_worker_churn_under_chaos_keeps_results_byte_identical() {
+    let stable = spawn_worker(Some(TOKEN), &[]);
+    let daemon = spawn_daemon(
+        &[&stable],
+        true,
+        Some(TOKEN),
+        &["--max-attempts", "10"],
+        &[],
+    );
+    let register_addr = daemon.register_addr.clone().expect("registration addr");
+
+    // Chaos rides only on the churned worker: its writes are dropped,
+    // truncated, and stalled deterministically; the retry machinery
+    // must absorb all of it without perturbing a single result byte.
+    let chaos_env = [("SWEEP_CHAOS", "drop:0.02,stall:2ms,seed:11")];
+    let joiner = spawn_joiner(&register_addr, Some(TOKEN), &chaos_env);
+
+    let request = SweepRequest {
+        scale: Scale::Test,
+        parallelism: Parallelism::Parallel,
+        benchmarks: vec!["mcf".into(), "h264ref".into(), "soplex".into()],
+        backends: vec![
+            SanitizerKind::None,
+            SanitizerKind::EffectiveFull,
+            SanitizerKind::AddressSanitizer,
+        ],
+    };
+
+    let done = AtomicBool::new(false);
+    let (first, second, kills) = std::thread::scope(|scope| {
+        // Kill the registered worker and rejoin a fresh one, over and
+        // over, while the clients stream.
+        let churn = scope.spawn(|| {
+            let mut current = joiner;
+            let mut kills = 0u32;
+            // Always at least one kill, even if the clients beat the
+            // first churn tick — then keep churning until they finish.
+            while kills < 8 {
+                std::thread::sleep(Duration::from_millis(150));
+                drop(current);
+                kills += 1;
+                current = spawn_joiner(&register_addr, Some(TOKEN), &chaos_env);
+                if done.load(Ordering::Relaxed) {
+                    break;
+                }
+            }
+            (current, kills)
+        });
+        let run = |tag: &'static str| {
+            let addr = daemon.addr.clone();
+            let request = request.clone();
+            scope.spawn(move || {
+                client_sweep_with(&addr, &options_with(Some(TOKEN)), &request, |_, _| {})
+                    .unwrap_or_else(|e| panic!("client {tag}: {e}"))
+            })
+        };
+        let one = run("one");
+        let two = run("two");
+        let first = one.join().expect("client one");
+        let second = two.join().expect("client two");
+        done.store(true, Ordering::Relaxed);
+        let (last_joiner, kills) = churn.join().expect("churn loop");
+        drop(last_joiner);
+        (first, second, kills)
+    });
+    assert!(kills >= 1, "the churn loop never killed a worker");
+
+    assert_identical("client one vs client two", &first, &second);
+    let in_process = spec_experiment(
+        Some(&["mcf", "h264ref", "soplex"]),
+        Scale::Test,
+        &request.backends,
+        Parallelism::Parallel,
+    );
+    assert_identical("churned stream vs in-process", &first, &in_process);
+
+    // The board settles and the stats stay coherent: both requests
+    // accounted for, every job completed exactly once, at least one
+    // registered slot seen alongside the live dial-out slot.
+    let options = options_with(Some(TOKEN));
+    let mut stats = client_stats_with(&daemon.addr, &options).expect("stats frame");
+    for _ in 0..150 {
+        if stats.requests.is_empty() && stats.queued_jobs == 0 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+        stats = client_stats_with(&daemon.addr, &options).expect("stats frame");
+    }
+    assert_eq!(stats.requests_total, 2);
+    assert_eq!(stats.requests_failed, 0);
+    assert_eq!(stats.queued_jobs, 0, "jobs left on the board");
+    assert!(stats.requests.is_empty(), "{:?}", stats.requests);
+    // Shards are benchmark-granular: 3 per request, delivered exactly
+    // once each no matter how many retries the churn forced.
+    let completed: u64 = stats.workers.iter().map(|w| w.completed).sum();
+    assert_eq!(completed, 6, "3 benchmark shards per request");
+    assert!(
+        stats.workers.iter().any(|w| w.registered),
+        "no registered slot ever appeared: {:?}",
+        stats.workers
+    );
+    assert!(
+        stats.workers.iter().any(|w| !w.registered && w.live),
+        "the stable dial-out slot went dark: {:?}",
+        stats.workers
+    );
+}
+
+#[test]
+fn shutdown_drains_a_mid_stream_client_and_exits_zero() {
+    let worker = spawn_worker(None, &[]);
+    let mut daemon = spawn_daemon(&[&worker], false, None, &[], &[]);
+    let addr = daemon.addr.clone();
+
+    let request = SweepRequest {
+        scale: Scale::Test,
+        parallelism: Parallelism::Parallel,
+        benchmarks: vec!["mcf".into(), "h264ref".into(), "soplex".into()],
+        backends: vec![SanitizerKind::None, SanitizerKind::EffectiveFull],
+    };
+
+    // Ask for shutdown the moment the first row streams: the in-flight
+    // request must still drain to a complete, structured end.
+    let (tx, rx) = mpsc::channel();
+    let streamed = std::thread::scope(|scope| {
+        let handle = scope.spawn(|| {
+            let tx = tx;
+            client_sweep_with(&addr, &options_with(None), &request, move |_, _| {
+                let _ = tx.send(());
+            })
+            .expect("mid-stream client survives the drain")
+        });
+        rx.recv_timeout(Duration::from_secs(120))
+            .expect("first streamed row");
+        client_shutdown(&addr, &options_with(None)).expect("shutdown acknowledged");
+        handle.join().expect("client thread")
+    });
+
+    let in_process = spec_experiment(
+        Some(&["mcf", "h264ref", "soplex"]),
+        Scale::Test,
+        &request.backends,
+        Parallelism::Parallel,
+    );
+    assert_identical("drained stream vs in-process", &streamed, &in_process);
+
+    // The daemon drained and exited cleanly on its own.
+    let mut status = None;
+    for _ in 0..600 {
+        status = daemon.child.try_wait().expect("poll the daemon");
+        if status.is_some() {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    let status = status.expect("the daemon never exited after acknowledging shutdown");
+    assert!(
+        status.success(),
+        "daemon exited nonzero after drain: {status:?}"
+    );
+}
+
+#[test]
+fn admission_control_sheds_load_and_rejected_clients_retry_to_completion() {
+    let worker = spawn_worker(None, &[]);
+    let daemon = spawn_daemon(&[&worker], false, None, &["--max-pending", "1"], &[]);
+
+    let request = SweepRequest {
+        scale: Scale::Test,
+        parallelism: Parallelism::Parallel,
+        benchmarks: vec!["mcf".into(), "h264ref".into()],
+        backends: vec![
+            SanitizerKind::None,
+            SanitizerKind::EffectiveFull,
+            SanitizerKind::AddressSanitizer,
+        ],
+    };
+    // Generous busy budget: the second client sleeps the daemon's
+    // retry-after hint between attempts until the first finishes.
+    let options = ClientOptions {
+        token: None,
+        busy_retries: 600,
+        ..ClientOptions::default()
+    };
+
+    let (first, second) = std::thread::scope(|scope| {
+        let run = |tag: &'static str| {
+            let addr = daemon.addr.clone();
+            let request = request.clone();
+            let options = options.clone();
+            scope.spawn(move || {
+                client_sweep_with(&addr, &options, &request, |_, _| {})
+                    .unwrap_or_else(|e| panic!("client {tag}: {e}"))
+            })
+        };
+        let one = run("one");
+        let two = run("two");
+        (
+            one.join().expect("client one"),
+            two.join().expect("client two"),
+        )
+    });
+
+    assert_identical("client one vs client two", &first, &second);
+    let in_process = spec_experiment(
+        Some(&["mcf", "h264ref"]),
+        Scale::Test,
+        &request.backends,
+        Parallelism::Parallel,
+    );
+    assert_identical("backpressured stream vs in-process", &first, &in_process);
+
+    let stats = client_stats_with(&daemon.addr, &options_with(None)).expect("stats frame");
+    assert!(
+        stats.rejected_busy >= 1,
+        "no busy reject was ever issued: {stats:?}"
+    );
+    assert_eq!(stats.requests_total, 2, "both clients eventually admitted");
+    assert_eq!(stats.requests_failed, 0);
+}

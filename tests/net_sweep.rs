@@ -97,6 +97,7 @@ fn tcp_config(fleet: Vec<String>) -> SweepConfig {
         // A dead TCP peer has no EOF-observable child process, so the
         // silence deadline is the liveness signal (heartbeats reset it).
         silence_timeout: Some(Duration::from_secs(30)),
+        token: None,
     }
 }
 

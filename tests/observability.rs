@@ -298,8 +298,8 @@ fn traced_daemon_streams_identical_results_and_serves_live_stats() {
     );
     let json = String::from_utf8(json_out.stdout).expect("stats JSON is UTF-8");
     assert!(
-        json.contains("\"schema\": \"effective-san-sweep-stats/1\"")
-            || json.contains("\"schema\":\"effective-san-sweep-stats/1\""),
+        json.contains("\"schema\": \"effective-san-sweep-stats/2\"")
+            || json.contains("\"schema\":\"effective-san-sweep-stats/2\""),
         "stats JSON lacks its schema tag:\n{json}"
     );
     assert!(json.contains("\"workers\""), "{json}");

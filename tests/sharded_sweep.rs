@@ -45,6 +45,7 @@ fn config(workers: usize, strategy: ShardStrategy) -> SweepConfig {
         worker_env: Vec::new(),
         shard_timeout: None,
         silence_timeout: None,
+        token: None,
     }
 }
 
